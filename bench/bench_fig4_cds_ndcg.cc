@@ -1,0 +1,48 @@
+// Reproduces Fig. 4: NDCG@k curves (k = 1..10) for all methods on the CDs
+// target, one panel per scenario. Prints the series and writes
+// fig4_cds_ndcg.csv next to the binary.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_util.h"
+#include "util/table.h"
+
+using namespace metadpa;
+
+int main() {
+  suite::SuiteOptions options;
+  eval::EvalOptions eval_options;
+  eval_options.max_curve_k = 10;
+
+  std::vector<suite::MethodSpec> methods = suite::AllMethods(options);
+  // Average two dataset seeds: the cold scenarios have few cases per split.
+  bench::ResultGrid grid;
+  for (uint64_t seed : {uint64_t{20220507}, uint64_t{20220508}}) {
+    bench::Experiment experiment = bench::MakeExperiment("CDs", 1.0, 99, seed);
+    bench::ResultGrid one = bench::RunMethods(&experiment, methods, eval_options);
+    bench::AccumulateGrid(&grid, one);
+  }
+  bench::FinalizeGrid(&grid, 2);
+
+  CsvWriter csv("fig4_cds_ndcg.csv");
+  csv.WriteRow({"scenario", "method", "k", "ndcg"});
+  for (data::Scenario scenario : bench::AllScenarios()) {
+    TextTable table;
+    std::vector<std::string> header = {"Method"};
+    for (int k = 1; k <= 10; ++k) header.push_back("@" + std::to_string(k));
+    table.SetHeader(header);
+    for (const auto& spec : methods) {
+      const auto& curve = grid[spec.name][scenario].ndcg_curve;
+      std::vector<std::string> row = {spec.name};
+      for (int k = 1; k <= 10; ++k) {
+        row.push_back(TextTable::Num(curve[static_cast<size_t>(k - 1)]));
+        csv.WriteRow({data::ScenarioName(scenario), spec.name, std::to_string(k),
+                      TextTable::Num(curve[static_cast<size_t>(k - 1)])});
+      }
+      table.AddRow(row);
+    }
+    std::cout << "Fig. 4 (CDs, " << data::ScenarioName(scenario) << "): NDCG@k\n"
+              << table.ToString() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the substrate: tensor kernels, autograd
+// overhead (first- and second-order), one Dual-CVAE step and one MAML
+// meta-step. Not a paper table; used to watch for performance regressions in
+// the layers every experiment depends on.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "cvae/dual_cvae.h"
+#include "meta/maml.h"
+#include "tensor/ops.h"
+
+using namespace metadpa;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, &rng);
+  Tensor b = Tensor::RandNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_ElementwiseBroadcast(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::RandNormal({256, 256}, &rng);
+  Tensor row = Tensor::RandNormal({256}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::Add(a, row));
+  }
+}
+BENCHMARK(BM_ElementwiseBroadcast);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::RandNormal({128, 512}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_AutogradFirstOrder(benchmark::State& state) {
+  Rng rng(4);
+  ag::Variable w(Tensor::RandNormal({64, 64}, &rng), true);
+  ag::Variable x = ag::Constant(Tensor::RandNormal({32, 64}, &rng));
+  Tensor targets = Tensor::RandUniform({32, 64}, &rng);
+  for (auto _ : state) {
+    ag::Variable loss = ag::BceWithLogits(ag::MatMul(x, w), ag::Constant(targets));
+    benchmark::DoNotOptimize(ag::Grad(loss, {w}));
+  }
+}
+BENCHMARK(BM_AutogradFirstOrder);
+
+void BM_AutogradSecondOrder(benchmark::State& state) {
+  Rng rng(5);
+  ag::Variable w(Tensor::RandNormal({64, 64}, &rng), true);
+  ag::Variable x = ag::Constant(Tensor::RandNormal({32, 64}, &rng));
+  Tensor targets = Tensor::RandUniform({32, 64}, &rng);
+  for (auto _ : state) {
+    ag::Variable loss = ag::BceWithLogits(ag::MatMul(x, w), ag::Constant(targets));
+    ag::GradOptions opts;
+    opts.create_graph = true;
+    ag::Variable g = ag::Grad(loss, {w}, opts)[0];
+    ag::Variable fast = ag::Sub(w, ag::MulScalar(g, 0.1f));
+    ag::Variable outer = ag::BceWithLogits(ag::MatMul(x, fast), ag::Constant(targets));
+    benchmark::DoNotOptimize(ag::Grad(outer, {w}));
+  }
+}
+BENCHMARK(BM_AutogradSecondOrder);
+
+void BM_DualCvaeStep(benchmark::State& state) {
+  Rng rng(6);
+  cvae::DualCvaeConfig config;
+  config.source_items = 200;
+  config.target_items = 240;
+  config.content_dim = 96;
+  cvae::DualCvae model(config, &rng);
+  Tensor r_s = Tensor::RandUniform({32, 200}, &rng);
+  Tensor x_s = Tensor::RandUniform({32, 96}, &rng);
+  Tensor r_t = Tensor::RandUniform({32, 240}, &rng);
+  Tensor x_t = Tensor::RandUniform({32, 96}, &rng);
+  for (auto _ : state) {
+    cvae::DualCvaeLosses losses = model.ComputeLosses(r_s, x_s, r_t, x_t, &rng);
+    benchmark::DoNotOptimize(ag::Grad(losses.total, model.Parameters()));
+  }
+}
+BENCHMARK(BM_DualCvaeStep);
+
+void BM_MamlMetaStep(benchmark::State& state) {
+  Rng rng(7);
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 96;
+  meta::PreferenceModel model(model_config, &rng);
+  meta::MamlConfig maml_config;
+  maml_config.epochs = 1;
+  maml_config.meta_batch_size = 4;
+  meta::MamlTrainer trainer(&model, maml_config);
+
+  std::vector<meta::Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    meta::Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandUniform({8, 96}, &rng);
+    task.support_item = Tensor::RandUniform({8, 96}, &rng);
+    task.support_labels = Tensor::RandUniform({8, 1}, &rng);
+    task.query_user = Tensor::RandUniform({8, 96}, &rng);
+    task.query_item = Tensor::RandUniform({8, 96}, &rng);
+    task.query_labels = Tensor::RandUniform({8, 1}, &rng);
+    tasks.push_back(std::move(task));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainEpoch(tasks));
+  }
+}
+BENCHMARK(BM_MamlMetaStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#include "experiment_util.h"
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace metadpa {
+namespace bench {
+
+Experiment MakeExperiment(const std::string& target, double scale, int num_negatives,
+                          uint64_t seed) {
+  Experiment experiment;
+  data::SyntheticConfig config = data::DefaultConfig(target, scale);
+  if (seed != 0) config.seed = seed;
+  experiment.dataset = data::Generate(config);
+  data::SplitOptions split_options;
+  split_options.num_negatives = num_negatives;
+  split_options.seed = config.seed + 1;
+  experiment.splits = data::MakeSplits(experiment.dataset.target, split_options);
+  experiment.ctx.dataset = &experiment.dataset;
+  experiment.ctx.splits = &experiment.splits;
+  experiment.ctx.seed = config.seed;
+  return experiment;
+}
+
+const std::vector<data::Scenario>& AllScenarios() {
+  static const std::vector<data::Scenario> scenarios = {
+      data::Scenario::kColdUser, data::Scenario::kColdItem,
+      data::Scenario::kColdUserItem, data::Scenario::kWarm};
+  return scenarios;
+}
+
+ResultGrid RunMethods(Experiment* experiment,
+                      const std::vector<suite::MethodSpec>& methods,
+                      const eval::EvalOptions& options) {
+  ResultGrid grid;
+  for (const suite::MethodSpec& spec : methods) {
+    Stopwatch timer;
+    std::unique_ptr<eval::Recommender> model = spec.make();
+    model->Fit(experiment->ctx);
+    const double fit_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    for (data::Scenario scenario : AllScenarios()) {
+      grid[spec.name][scenario] =
+          eval::EvaluateScenario(model.get(), experiment->ctx, scenario, options);
+    }
+    std::fprintf(stderr, "  %-12s fit %.1fs, eval %.1fs\n", spec.name.c_str(),
+                 fit_seconds, timer.ElapsedSeconds());
+  }
+  return grid;
+}
+
+void AccumulateGrid(ResultGrid* into, const ResultGrid& add) {
+  for (const auto& [name, scenarios] : add) {
+    for (const auto& [scenario, result] : scenarios) {
+      eval::ScenarioResult& slot = (*into)[name][scenario];
+      slot.at_k.hr += result.at_k.hr;
+      slot.at_k.mrr += result.at_k.mrr;
+      slot.at_k.ndcg += result.at_k.ndcg;
+      slot.at_k.auc += result.at_k.auc;
+      if (slot.ndcg_curve.size() < result.ndcg_curve.size()) {
+        slot.ndcg_curve.resize(result.ndcg_curve.size(), 0.0);
+      }
+      for (size_t i = 0; i < result.ndcg_curve.size(); ++i) {
+        slot.ndcg_curve[i] += result.ndcg_curve[i];
+      }
+      slot.per_case.insert(slot.per_case.end(), result.per_case.begin(),
+                           result.per_case.end());
+      slot.num_cases += result.num_cases;
+    }
+  }
+}
+
+void FinalizeGrid(ResultGrid* grid, int runs) {
+  const double inv = 1.0 / static_cast<double>(runs);
+  for (auto& [name, scenarios] : *grid) {
+    (void)name;
+    for (auto& [scenario, result] : scenarios) {
+      (void)scenario;
+      result.at_k.hr *= inv;
+      result.at_k.mrr *= inv;
+      result.at_k.ndcg *= inv;
+      result.at_k.auc *= inv;
+      for (double& v : result.ndcg_curve) v *= inv;
+    }
+  }
+}
+
+std::string RenderTable3(const std::string& dataset_name, const ResultGrid& grid,
+                         std::vector<std::string> order) {
+  if (order.empty()) {
+    for (const auto& [name, unused] : grid) order.push_back(name);
+  }
+  TextTable table;
+  table.SetHeader({"Scenario", "Method", "HR@10", "MRR@10", "NDCG@10", "AUC"});
+
+  for (data::Scenario scenario : AllScenarios()) {
+    // Rank methods per metric to mark best (*) and second best (o).
+    auto metric_of = [&](const std::string& name, int which) {
+      const eval::ScenarioResult& r = grid.at(name).at(scenario);
+      switch (which) {
+        case 0:
+          return r.at_k.hr;
+        case 1:
+          return r.at_k.mrr;
+        case 2:
+          return r.at_k.ndcg;
+        default:
+          return r.at_k.auc;
+      }
+    };
+    auto mark = [&](const std::string& name, int which) {
+      const double v = metric_of(name, which);
+      int better = 0;
+      for (const auto& [other, unused] : grid) {
+        if (other != name && metric_of(other, which) > v) ++better;
+      }
+      std::string cell = TextTable::Num(v);
+      if (better == 0) {
+        cell += "*";
+      } else if (better == 1) {
+        cell += "o";
+      }
+      return cell;
+    };
+
+    bool first = true;
+    for (const std::string& name : order) {
+      table.AddRow({first ? data::ScenarioName(scenario) : "", name, mark(name, 0),
+                    mark(name, 1), mark(name, 2), mark(name, 3)});
+      first = false;
+    }
+    table.AddSeparator();
+  }
+
+  std::string out = "Table III (";
+  out += dataset_name;
+  out += "): overall comparison, best = '*', second best = 'o'\n";
+  out += table.ToString();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace metadpa

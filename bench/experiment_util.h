@@ -1,0 +1,60 @@
+// Shared driver for the paper-reproduction benchmark binaries: generates a
+// target-domain experiment (data + splits), runs a set of methods over the
+// four scenarios, and renders paper-style tables.
+#ifndef METADPA_BENCH_EXPERIMENT_UTIL_H_
+#define METADPA_BENCH_EXPERIMENT_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "eval/recommender.h"
+#include "eval/suite.h"
+
+namespace metadpa {
+namespace bench {
+
+/// \brief One target-domain experiment world.
+struct Experiment {
+  data::MultiDomainDataset dataset;
+  data::DatasetSplits splits;
+  eval::TrainContext ctx;  ///< points into the members above
+};
+
+/// \brief Generates data and splits for a target ("Books" or "CDs").
+/// `scale` scales user/item counts; `num_negatives` is per test positive.
+Experiment MakeExperiment(const std::string& target, double scale, int num_negatives,
+                          uint64_t seed = 0);
+
+/// \brief Per-method, per-scenario results.
+using ResultGrid =
+    std::map<std::string, std::map<data::Scenario, eval::ScenarioResult>>;
+
+/// \brief Fits each method once and evaluates all four scenarios.
+/// Prints progress to stderr.
+ResultGrid RunMethods(Experiment* experiment,
+                      const std::vector<suite::MethodSpec>& methods,
+                      const eval::EvalOptions& options);
+
+/// \brief Renders a Table III-style block: scenario x method rows with
+/// HR@10 / MRR@10 / NDCG@10 / AUC columns; best per column marked '*', second
+/// best 'o' (as in the paper). `order` fixes the row order (defaults to the
+/// grid's alphabetical order when empty).
+std::string RenderTable3(const std::string& dataset_name, const ResultGrid& grid,
+                         std::vector<std::string> order = {});
+
+/// \brief All four scenarios in paper order.
+const std::vector<data::Scenario>& AllScenarios();
+
+/// \brief Element-wise accumulation of `add` into `into` (metrics, curves and
+/// per-case lists are concatenated/summed); Finalize divides the summed
+/// metrics by `runs`. Used to average result grids over repeated re-splits.
+void AccumulateGrid(ResultGrid* into, const ResultGrid& add);
+void FinalizeGrid(ResultGrid* grid, int runs);
+
+}  // namespace bench
+}  // namespace metadpa
+
+#endif  // METADPA_BENCH_EXPERIMENT_UTIL_H_

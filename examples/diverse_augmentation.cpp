@@ -1,0 +1,77 @@
+// Diverse preference augmentation in isolation (blocks 1-2 of MetaDPA).
+//
+// Trains the multi-source Dual-CVAE adaptation, generates the k diverse
+// rating matrices, and reports the two statistics the method depends on:
+//   * diversity: mean pairwise L1 distance between the k generations
+//     (the ME constraint should raise it),
+//   * fidelity: how much higher generated scores are at a user's true
+//     positives than at random unrated items (the adaptation must transfer
+//     real preference signal for augmentation to help at all).
+//
+// Also contrasts the ablation variants of §V-E (full / ME-only / MDI-only).
+#include <cstdio>
+
+#include "cvae/adaptation.h"
+#include "data/stats.h"
+#include "util/rng.h"
+
+using namespace metadpa;
+
+namespace {
+
+/// Mean generated score at observed positives minus at sampled negatives.
+double FidelityGap(const Tensor& generated, const data::InteractionMatrix& ratings) {
+  double pos_sum = 0.0, neg_sum = 0.0;
+  int64_t pos_n = 0, neg_n = 0;
+  Rng rng(99);
+  for (int64_t u = 0; u < ratings.num_users(); ++u) {
+    for (int32_t item : ratings.ItemsOf(u)) {
+      pos_sum += generated.at(u, item);
+      ++pos_n;
+    }
+    for (int k = 0; k < 3; ++k) {
+      const int64_t item =
+          static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(ratings.num_items())));
+      if (ratings.Has(u, item)) continue;
+      neg_sum += generated.at(u, item);
+      ++neg_n;
+    }
+  }
+  return pos_sum / static_cast<double>(pos_n) - neg_sum / static_cast<double>(neg_n);
+}
+
+void RunVariant(const char* label, bool use_mdi, bool use_me,
+                const data::MultiDomainDataset& dataset) {
+  cvae::AdaptationConfig config;
+  config.use_mdi = use_mdi;
+  config.use_me = use_me;
+  config.epochs = 25;
+  cvae::DomainAdaptation adaptation(config);
+  cvae::AdaptationReport report = adaptation.Fit(dataset);
+
+  std::vector<Tensor> generated = adaptation.GenerateDiverseRatings(dataset.target);
+  double fidelity = 0.0;
+  for (const Tensor& g : generated) fidelity += FidelityGap(g, dataset.target.ratings);
+  fidelity /= static_cast<double>(generated.size());
+
+  std::printf("%-12s diversity=%.4f  fidelity-gap=%.4f  (losses:", label,
+              cvae::RatingDiversity(generated), fidelity);
+  for (size_t s = 0; s < report.final_total_loss.size(); ++s) {
+    std::printf(" %.3f->%.3f", report.first_epoch_loss[s], report.final_total_loss[s]);
+  }
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main() {
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.6));
+  std::printf("%s\n", data::RenderDatasetTables(dataset).c_str());
+
+  std::printf("variant       diversity   fidelity (per-source first->final loss)\n");
+  RunVariant("full", true, true, dataset);
+  RunVariant("MDI-only", true, false, dataset);
+  RunVariant("ME-only", false, true, dataset);
+  RunVariant("neither", false, false, dataset);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+std::vector<Variable> MakeLeaves(const std::vector<Tensor>& points) {
+  std::vector<Variable> leaves;
+  leaves.reserve(points.size());
+  for (const Tensor& p : points) leaves.emplace_back(p.Clone(), /*requires_grad=*/true);
+  return leaves;
+}
+
+double EvalAtPerturbed(const ScalarFn& fn, const std::vector<Tensor>& points,
+                       size_t which, int64_t elem, double delta) {
+  std::vector<Variable> leaves;
+  leaves.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    Tensor p = points[i].Clone();
+    if (i == which) p.at(elem) += static_cast<float>(delta);
+    leaves.emplace_back(std::move(p), /*requires_grad=*/true);
+  }
+  return static_cast<double>(fn(leaves).item());
+}
+
+}  // namespace
+
+double MaxGradError(const ScalarFn& fn, const std::vector<Tensor>& points, double eps) {
+  std::vector<Variable> leaves = MakeLeaves(points);
+  Variable out = fn(leaves);
+  std::vector<Variable> grads = Grad(out, leaves);
+
+  double max_err = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (int64_t e = 0; e < points[i].numel(); ++e) {
+      const double plus = EvalAtPerturbed(fn, points, i, e, eps);
+      const double minus = EvalAtPerturbed(fn, points, i, e, -eps);
+      const double numeric = (plus - minus) / (2.0 * eps);
+      const double analytic = static_cast<double>(grads[i].data().at(e));
+      max_err = std::max(max_err, std::fabs(numeric - analytic));
+    }
+  }
+  return max_err;
+}
+
+double MaxSecondOrderError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                           Rng* rng, double eps) {
+  // Fixed random directions, one per input.
+  std::vector<Tensor> dirs;
+  dirs.reserve(points.size());
+  for (const Tensor& p : points) dirs.push_back(Tensor::RandNormal(p.shape(), rng));
+
+  // h(x) = sum_i <grad_i f(x), v_i>, computed with create_graph=true.
+  auto h = [&fn, &dirs](const std::vector<Variable>& leaves) -> Variable {
+    Variable out = fn(leaves);
+    GradOptions opts;
+    opts.create_graph = true;
+    std::vector<Variable> grads = Grad(out, leaves, opts);
+    Variable acc = ConstantScalar(0.0f);
+    for (size_t i = 0; i < grads.size(); ++i) {
+      acc = Add(acc, SumAll(Mul(grads[i], Constant(dirs[i]))));
+    }
+    return acc;
+  };
+
+  return MaxGradError(h, points, eps);
+}
+
+}  // namespace ag
+}  // namespace metadpa

@@ -1,0 +1,31 @@
+// Numeric gradient checking for first- and second-order derivatives.
+#ifndef METADPA_AUTOGRAD_GRADCHECK_H_
+#define METADPA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace ag {
+
+/// \brief A scalar-valued differentiable function of several tensors.
+using ScalarFn = std::function<Variable(const std::vector<Variable>&)>;
+
+/// \brief Maximum absolute difference between analytic and central-difference
+/// gradients of `fn` at `points`.
+double MaxGradError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                    double eps = 1e-3);
+
+/// \brief Checks the second-order path: defines h(x) = <Grad f(x), v> for a
+/// fixed random direction v and compares Grad h against central differences.
+/// Exercises exactly the create_graph machinery that MAML uses.
+double MaxSecondOrderError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                           Rng* rng, double eps = 1e-3);
+
+}  // namespace ag
+}  // namespace metadpa
+
+#endif  // METADPA_AUTOGRAD_GRADCHECK_H_

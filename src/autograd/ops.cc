@@ -1,0 +1,461 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+using BackwardFn = std::function<std::vector<Variable>(const Variable&)>;
+
+/// Creates the output node. If no input requires grad the tape entry is
+/// dropped entirely (constant folding), so inference builds no graph.
+Variable MakeNode(const char* name, Tensor value, const std::vector<Variable>& inputs,
+                  BackwardFn bw) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op_name = name;
+  bool requires_grad = false;
+  for (const Variable& v : inputs) requires_grad = requires_grad || v.requires_grad();
+  node->requires_grad = requires_grad;
+  if (requires_grad) {
+    node->inputs.reserve(inputs.size());
+    for (const Variable& v : inputs) node->inputs.push_back(v.node());
+    node->backward = std::move(bw);
+  }
+  return Variable(node);
+}
+
+}  // namespace
+
+Variable Constant(Tensor value) { return Variable(std::move(value), false); }
+
+Variable ConstantScalar(float value) { return Constant(Tensor::Scalar(value)); }
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeNode("add", t::Add(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {ReduceTo(g, a.shape()), ReduceTo(g, b.shape())};
+                  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeNode("sub", t::Sub(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {ReduceTo(g, a.shape()), ReduceTo(Neg(g), b.shape())};
+                  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeNode("mul", t::Mul(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {ReduceTo(Mul(g, b), a.shape()), ReduceTo(Mul(g, a), b.shape())};
+                  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  return MakeNode("div", t::Div(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    Variable ga = ReduceTo(Div(g, b), a.shape());
+                    Variable gb = ReduceTo(Neg(Div(Mul(g, a), Mul(b, b))), b.shape());
+                    return {ga, gb};
+                  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return MakeNode("add_scalar", t::AddScalar(a.data(), s), {a},
+                  [](const Variable& g) -> std::vector<Variable> { return {g}; });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return MakeNode("mul_scalar", t::MulScalar(a.data(), s), {a},
+                  [s](const Variable& g) -> std::vector<Variable> {
+                    return {MulScalar(g, s)};
+                  });
+}
+
+Variable PowScalar(const Variable& a, float exponent) {
+  return MakeNode("pow_scalar", t::PowScalar(a.data(), exponent), {a},
+                  [a, exponent](const Variable& g) -> std::vector<Variable> {
+                    // d/dx x^p = p * x^(p-1)
+                    return {Mul(g, MulScalar(PowScalar(a, exponent - 1.0f), exponent))};
+                  });
+}
+
+Variable Neg(const Variable& a) {
+  return MakeNode("neg", t::Neg(a.data()), {a},
+                  [](const Variable& g) -> std::vector<Variable> { return {Neg(g)}; });
+}
+
+Variable Exp(const Variable& a) {
+  return MakeNode("exp", t::Exp(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    return {Mul(g, Exp(a))};  // recompute; see header note on cycles
+                  });
+}
+
+Variable Log(const Variable& a) {
+  return MakeNode("log", t::Log(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    return {Div(g, a)};
+                  });
+}
+
+Variable Sqrt(const Variable& a) {
+  return MakeNode("sqrt", t::Sqrt(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    return {Div(MulScalar(g, 0.5f), Sqrt(a))};
+                  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return MakeNode("sigmoid", t::Sigmoid(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    Variable s = Sigmoid(a);
+                    return {Mul(g, Mul(s, AddScalar(Neg(s), 1.0f)))};
+                  });
+}
+
+Variable Tanh(const Variable& a) {
+  return MakeNode("tanh", t::Tanh(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    Variable th = Tanh(a);
+                    return {Mul(g, AddScalar(Neg(Mul(th, th)), 1.0f))};
+                  });
+}
+
+Variable Relu(const Variable& a) {
+  return MakeNode("relu", t::Relu(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    // Mask is constant w.r.t. the tape (correct a.e.).
+                    Variable mask =
+                        Constant(t::Greater(a.data(), Tensor::Zeros(a.shape())));
+                    return {Mul(g, mask)};
+                  });
+}
+
+Variable Softplus(const Variable& a) {
+  // softplus(x) = max(x, 0) + log(1 + exp(-|x|)), stable in both tails.
+  Tensor x = a.data();
+  Tensor value =
+      t::Add(t::Relu(x), t::Log(t::AddScalar(t::Exp(t::Neg(t::Abs(x))), 1.0f)));
+  return MakeNode("softplus", std::move(value), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    return {Mul(g, Sigmoid(a))};
+                  });
+}
+
+Variable Abs(const Variable& a) {
+  return MakeNode("abs", t::Abs(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    // sign(x) as a constant mask: +1 where x > 0, -1 where
+                    // x < 0, 0 at exactly 0 (the subgradient choice).
+                    Tensor sign(a.shape());
+                    const Tensor& x = a.data();
+                    for (int64_t i = 0; i < x.numel(); ++i) {
+                      sign.at(i) = x.at(i) > 0 ? 1.0f : (x.at(i) < 0 ? -1.0f : 0.0f);
+                    }
+                    return {Mul(g, Constant(std::move(sign)))};
+                  });
+}
+
+namespace {
+
+/// Shared implementation for elementwise max/min: the gradient flows to the
+/// winning side, split evenly on exact ties.
+Variable MaxMinImpl(const char* name, const Variable& a, const Variable& b, bool is_max) {
+  Tensor value = is_max ? t::Maximum(a.data(), b.data()) : t::Minimum(a.data(), b.data());
+  return MakeNode(
+      name, std::move(value), {a, b},
+      [a, b, is_max](const Variable& g) -> std::vector<Variable> {
+        const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+        Tensor abig = t::BroadcastTo(a.data(), out_shape);
+        Tensor bbig = t::BroadcastTo(b.data(), out_shape);
+        Tensor mask_a(out_shape), mask_b(out_shape);
+        for (int64_t i = 0; i < abig.numel(); ++i) {
+          const float av = abig.at(i), bv = bbig.at(i);
+          float wa;
+          if (av == bv) {
+            wa = 0.5f;
+          } else {
+            const bool a_wins = is_max ? av > bv : av < bv;
+            wa = a_wins ? 1.0f : 0.0f;
+          }
+          mask_a.at(i) = wa;
+          mask_b.at(i) = 1.0f - wa;
+        }
+        return {ReduceTo(Mul(g, Constant(std::move(mask_a))), a.shape()),
+                ReduceTo(Mul(g, Constant(std::move(mask_b))), b.shape())};
+      });
+}
+
+}  // namespace
+
+Variable Maximum(const Variable& a, const Variable& b) {
+  return MaxMinImpl("maximum", a, b, /*is_max=*/true);
+}
+
+Variable Minimum(const Variable& a, const Variable& b) {
+  return MaxMinImpl("minimum", a, b, /*is_max=*/false);
+}
+
+Variable ClampMin(const Variable& a, float lo) {
+  return MakeNode("clamp_min",
+                  t::Maximum(a.data(), Tensor::Full(a.shape(), lo)), {a},
+                  [a, lo](const Variable& g) -> std::vector<Variable> {
+                    Variable mask =
+                        Constant(t::Greater(a.data(), Tensor::Full(a.shape(), lo)));
+                    return {Mul(g, mask)};
+                  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  return MakeNode("matmul", t::MatMul(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {MatMul(g, Transpose(b)), MatMul(Transpose(a), g)};
+                  });
+}
+
+Variable Transpose(const Variable& a) {
+  return MakeNode("transpose", t::Transpose(a.data()), {a},
+                  [](const Variable& g) -> std::vector<Variable> {
+                    return {Transpose(g)};
+                  });
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  Shape original = a.shape();
+  return MakeNode("reshape", a.data().Reshape(std::move(new_shape)), {a},
+                  [original](const Variable& g) -> std::vector<Variable> {
+                    return {Reshape(g, original)};
+                  });
+}
+
+Variable SumAll(const Variable& a) {
+  return MakeNode("sum_all", t::SumAll(a.data()), {a},
+                  [a](const Variable& g) -> std::vector<Variable> {
+                    return {ExpandTo(g, a.shape())};
+                  });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv_n = 1.0f / static_cast<float>(a.numel());
+  return MakeNode("mean_all", t::MeanAll(a.data()), {a},
+                  [a, inv_n](const Variable& g) -> std::vector<Variable> {
+                    return {ExpandTo(MulScalar(g, inv_n), a.shape())};
+                  });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
+  if (axis < 0) axis += a.data().ndim();
+  Shape keep_shape = a.shape();
+  keep_shape[static_cast<size_t>(axis)] = 1;
+  return MakeNode("sum_axis", t::Sum(a.data(), axis, keepdims), {a},
+                  [a, keep_shape](const Variable& g) -> std::vector<Variable> {
+                    Variable gk = Reshape(g, keep_shape);
+                    return {ExpandTo(gk, a.shape())};
+                  });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdims) {
+  if (axis < 0) axis += a.data().ndim();
+  const float inv_n = 1.0f / static_cast<float>(a.shape()[static_cast<size_t>(axis)]);
+  return MulScalar(Sum(a, axis, keepdims), inv_n);
+}
+
+Variable ReduceTo(const Variable& a, const Shape& target) {
+  if (SameShape(a.shape(), target)) return a;
+  Variable cur = a;
+  while (cur.data().ndim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdims=*/false);
+  }
+  for (int64_t i = 0; i < cur.data().ndim(); ++i) {
+    if (target[static_cast<size_t>(i)] == 1 && cur.shape()[static_cast<size_t>(i)] != 1) {
+      cur = Sum(cur, i, /*keepdims=*/true);
+    }
+  }
+  MDPA_CHECK(SameShape(cur.shape(), target))
+      << "ReduceTo " << ShapeToString(a.shape()) << " -> " << ShapeToString(target);
+  return cur;
+}
+
+Variable ExpandTo(const Variable& a, const Shape& target) {
+  if (SameShape(a.shape(), target)) return a;
+  return Mul(a, Constant(Tensor::Ones(target)));
+}
+
+Variable Softmax(const Variable& a) {
+  // Shift by the (detached) row max: softmax is shift-invariant, so treating
+  // the max as a constant leaves both value and gradient exact.
+  const int64_t axis = a.data().ndim() - 1;
+  Variable shift = Constant(t::Max(a.data(), axis, /*keepdims=*/true));
+  Variable e = Exp(Sub(a, shift));
+  return Div(e, Sum(e, axis, /*keepdims=*/true));
+}
+
+Variable LogSoftmax(const Variable& a) {
+  const int64_t axis = a.data().ndim() - 1;
+  Variable shift = Constant(t::Max(a.data(), axis, /*keepdims=*/true));
+  Variable s = Sub(a, shift);
+  return Sub(s, Log(Sum(Exp(s), axis, /*keepdims=*/true)));
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  MDPA_CHECK(!parts.empty());
+  std::vector<Tensor> data;
+  data.reserve(parts.size());
+  for (const auto& p : parts) data.push_back(p.data());
+  std::vector<int64_t> lens;
+  lens.reserve(parts.size());
+  for (const auto& p : parts) lens.push_back(p.shape()[0]);
+  return MakeNode("concat_rows", t::Concat(data, 0), parts,
+                  [parts, lens](const Variable& g) -> std::vector<Variable> {
+                    std::vector<Variable> grads;
+                    grads.reserve(parts.size());
+                    int64_t off = 0;
+                    for (size_t i = 0; i < parts.size(); ++i) {
+                      grads.push_back(SliceRows(g, off, lens[i]));
+                      off += lens[i];
+                    }
+                    return grads;
+                  });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  MDPA_CHECK(!parts.empty());
+  std::vector<Tensor> data;
+  data.reserve(parts.size());
+  for (const auto& p : parts) data.push_back(p.data());
+  std::vector<int64_t> lens;
+  lens.reserve(parts.size());
+  for (const auto& p : parts) lens.push_back(p.shape()[1]);
+  return MakeNode("concat_cols", t::Concat(data, 1), parts,
+                  [parts, lens](const Variable& g) -> std::vector<Variable> {
+                    std::vector<Variable> grads;
+                    grads.reserve(parts.size());
+                    int64_t off = 0;
+                    for (size_t i = 0; i < parts.size(); ++i) {
+                      grads.push_back(SliceCols(g, off, lens[i]));
+                      off += lens[i];
+                    }
+                    return grads;
+                  });
+}
+
+namespace {
+
+Tensor SliceRowsKernel(const Tensor& a, int64_t start, int64_t len) {
+  MDPA_CHECK_GE(start, 0);
+  MDPA_CHECK_LE(start + len, a.dim(0));
+  if (a.ndim() == 1) {
+    Tensor out({len});
+    std::copy(a.data() + start, a.data() + start + len, out.data());
+    return out;
+  }
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  const int64_t cols = a.dim(1);
+  Tensor out({len, cols});
+  std::copy(a.data() + start * cols, a.data() + (start + len) * cols, out.data());
+  return out;
+}
+
+Tensor SliceColsKernel(const Tensor& a, int64_t start, int64_t len) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_GE(start, 0);
+  MDPA_CHECK_LE(start + len, a.dim(1));
+  const int64_t rows = a.dim(0), cols = a.dim(1);
+  Tensor out({rows, len});
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy(a.data() + r * cols + start, a.data() + r * cols + start + len,
+              out.data() + r * len);
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable SliceRows(const Variable& a, int64_t start, int64_t len) {
+  const Shape in_shape = a.shape();
+  return MakeNode("slice_rows", SliceRowsKernel(a.data(), start, len), {a},
+                  [in_shape, start, len](const Variable& g) -> std::vector<Variable> {
+                    const int64_t total = in_shape[0];
+                    std::vector<Variable> parts;
+                    if (start > 0) {
+                      Shape pre = in_shape;
+                      pre[0] = start;
+                      parts.push_back(Constant(Tensor::Zeros(pre)));
+                    }
+                    parts.push_back(g);
+                    if (start + len < total) {
+                      Shape post = in_shape;
+                      post[0] = total - start - len;
+                      parts.push_back(Constant(Tensor::Zeros(post)));
+                    }
+                    return {parts.size() == 1 ? parts[0] : ConcatRows(parts)};
+                  });
+}
+
+Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
+  const Shape in_shape = a.shape();
+  return MakeNode("slice_cols", SliceColsKernel(a.data(), start, len), {a},
+                  [in_shape, start, len](const Variable& g) -> std::vector<Variable> {
+                    const int64_t total = in_shape[1];
+                    std::vector<Variable> parts;
+                    if (start > 0) {
+                      parts.push_back(Constant(Tensor::Zeros({in_shape[0], start})));
+                    }
+                    parts.push_back(g);
+                    if (start + len < total) {
+                      parts.push_back(Constant(
+                          Tensor::Zeros({in_shape[0], total - start - len})));
+                    }
+                    return {parts.size() == 1 ? parts[0] : ConcatCols(parts)};
+                  });
+}
+
+Variable IndexSelectRows(const Variable& a, std::vector<int64_t> indices) {
+  MDPA_CHECK_EQ(a.data().ndim(), 2);
+  const int64_t num_rows = a.shape()[0];
+  Tensor value = t::IndexSelect(a.data(), indices);
+  return MakeNode("index_select_rows", std::move(value), {a},
+                  [indices = std::move(indices),
+                   num_rows](const Variable& g) -> std::vector<Variable> {
+                    return {ScatterAddRows(g, indices, num_rows)};
+                  });
+}
+
+Variable ScatterAddRows(const Variable& rows, std::vector<int64_t> indices,
+                        int64_t num_rows) {
+  MDPA_CHECK_EQ(rows.data().ndim(), 2);
+  MDPA_CHECK_EQ(static_cast<int64_t>(indices.size()), rows.shape()[0]);
+  const int64_t cols = rows.shape()[1];
+  Tensor value({num_rows, cols}, 0.0f);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    MDPA_CHECK_GE(indices[i], 0);
+    MDPA_CHECK_LT(indices[i], num_rows);
+    for (int64_t c = 0; c < cols; ++c) {
+      value.at(indices[i], c) += rows.data().at(static_cast<int64_t>(i), c);
+    }
+  }
+  return MakeNode("scatter_add_rows", std::move(value), {rows},
+                  [indices = std::move(indices)](const Variable& g)
+                      -> std::vector<Variable> {
+                    return {IndexSelectRows(g, indices)};
+                  });
+}
+
+Variable BceWithLogits(const Variable& logits, const Variable& targets) {
+  MDPA_CHECK(SameShape(logits.shape(), targets.shape()));
+  return MeanAll(Sub(Softplus(logits), Mul(logits, targets)));
+}
+
+Variable MseLoss(const Variable& a, const Variable& b) {
+  MDPA_CHECK(SameShape(a.shape(), b.shape()));
+  return MeanAll(PowScalar(Sub(a, b), 2.0f));
+}
+
+}  // namespace ag
+}  // namespace metadpa

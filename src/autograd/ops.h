@@ -1,0 +1,116 @@
+// Differentiable operations on ag::Variable.
+//
+// Every backward closure here is composed of these same ops, so all gradients
+// are themselves differentiable (create_graph works to any order).
+#ifndef METADPA_AUTOGRAD_OPS_H_
+#define METADPA_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace metadpa {
+namespace ag {
+
+/// \brief Wraps a tensor as a constant (requires_grad=false) variable.
+Variable Constant(Tensor value);
+
+/// \brief Scalar constant convenience.
+Variable ConstantScalar(float value);
+
+// -- Elementwise binary (numpy-style broadcasting) ----------------------------
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// -- Scalar variants -----------------------------------------------------------
+
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable PowScalar(const Variable& a, float exponent);
+
+// -- Elementwise unary -----------------------------------------------------------
+
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+/// \brief Natural log; caller must keep inputs positive (use ClampMin).
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+/// \brief log(1 + exp(x)), numerically stable.
+Variable Softplus(const Variable& a);
+/// \brief |x| (subgradient 0 at 0).
+Variable Abs(const Variable& a);
+/// \brief Elementwise max/min of two variables (broadcasting); the gradient
+/// routes to the winning branch (split on ties).
+Variable Maximum(const Variable& a, const Variable& b);
+Variable Minimum(const Variable& a, const Variable& b);
+/// \brief Clamps values below `lo` (gradient passes only where a > lo).
+Variable ClampMin(const Variable& a, float lo);
+
+// -- Linear algebra ----------------------------------------------------------------
+
+Variable MatMul(const Variable& a, const Variable& b);
+Variable Transpose(const Variable& a);
+Variable Reshape(const Variable& a, Shape new_shape);
+
+// -- Reductions ----------------------------------------------------------------------
+
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+Variable Sum(const Variable& a, int64_t axis, bool keepdims);
+Variable Mean(const Variable& a, int64_t axis, bool keepdims);
+
+/// \brief Sums a broadcast result back down to `target` (differentiable).
+Variable ReduceTo(const Variable& a, const Shape& target);
+
+/// \brief Broadcasts up to `target` by multiplying with ones.
+Variable ExpandTo(const Variable& a, const Shape& target);
+
+// -- Softmax family ---------------------------------------------------------------------
+
+/// \brief Softmax along the last axis (stable via a detached max shift).
+Variable Softmax(const Variable& a);
+
+/// \brief Log-softmax along the last axis.
+Variable LogSoftmax(const Variable& a);
+
+// -- Structure ops ----------------------------------------------------------------------
+
+/// \brief Concatenates along axis 0 (rank 1 or 2).
+Variable ConcatRows(const std::vector<Variable>& parts);
+
+/// \brief Concatenates 2-D variables along axis 1.
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// \brief Rows [start, start+len) of a 2-D variable (or elements of rank-1).
+Variable SliceRows(const Variable& a, int64_t start, int64_t len);
+
+/// \brief Columns [start, start+len) of a 2-D variable.
+Variable SliceCols(const Variable& a, int64_t start, int64_t len);
+
+/// \brief Gathers rows by index (duplicates allowed).
+Variable IndexSelectRows(const Variable& a, std::vector<int64_t> indices);
+
+/// \brief Scatter-adds the rows of `rows` into a zero tensor with `num_rows`
+/// rows: out[indices[i]] += rows[i]. Adjoint of IndexSelectRows.
+Variable ScatterAddRows(const Variable& rows, std::vector<int64_t> indices,
+                        int64_t num_rows);
+
+// -- Composite losses (kept here because they are pure ag compositions) ------------------
+
+/// \brief mean(softplus(logits) - logits * targets): binary cross-entropy with
+/// logits, valid for soft targets in [0, 1].
+Variable BceWithLogits(const Variable& logits, const Variable& targets);
+
+/// \brief mean((a - b)^2).
+Variable MseLoss(const Variable& a, const Variable& b);
+
+}  // namespace ag
+}  // namespace metadpa
+
+#endif  // METADPA_AUTOGRAD_OPS_H_

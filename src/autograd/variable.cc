@@ -1,0 +1,142 @@
+#include "autograd/variable.h"
+
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+std::atomic<int64_t> g_live_nodes{0};
+
+}  // namespace
+
+Node::Node() { g_live_nodes.fetch_add(1, std::memory_order_relaxed); }
+Node::~Node() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+
+int64_t LiveNodeCount() { return g_live_nodes.load(std::memory_order_relaxed); }
+
+Variable::Variable(Tensor data, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(data);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::data() const {
+  MDPA_CHECK(node_ != nullptr) << "access to invalid Variable";
+  return node_->value;
+}
+
+Variable Variable::Detach() const {
+  return Variable(data(), /*requires_grad=*/false);
+}
+
+void Variable::SetData(Tensor data) {
+  MDPA_CHECK(node_ != nullptr);
+  MDPA_CHECK(!node_->backward) << "SetData on a non-leaf Variable";
+  MDPA_CHECK(SameShape(data.shape(), node_->value.shape()))
+      << "SetData shape mismatch: " << ShapeToString(data.shape()) << " vs "
+      << ShapeToString(node_->value.shape());
+  node_->value = std::move(data);
+}
+
+namespace {
+
+// Depth-first post-order over the subgraph that requires grad.
+void TopoSort(const NodePtr& root, std::vector<NodePtr>* order) {
+  std::unordered_set<const Node*> visited;
+  // Iterative DFS to survive deep chains (e.g. unrolled inner loops).
+  struct Frame {
+    NodePtr node;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  if (root && root->requires_grad) stack.push_back({root});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == 0) {
+      if (visited.count(frame.node.get())) {
+        stack.pop_back();
+        continue;
+      }
+      visited.insert(frame.node.get());
+    }
+    if (frame.next_child < frame.node->inputs.size()) {
+      const NodePtr& child = frame.node->inputs[frame.next_child++];
+      if (child && child->requires_grad && !visited.count(child.get())) {
+        stack.push_back({child});
+      }
+    } else {
+      order->push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& inputs,
+                           const GradOptions& opts) {
+  MDPA_CHECK(output.is_valid());
+  MDPA_CHECK_EQ(output.numel(), 1) << "Grad requires a scalar output";
+  MDPA_CHECK(output.requires_grad())
+      << "output does not require grad; no graph to differentiate";
+
+  std::vector<NodePtr> order;
+  TopoSort(output.node(), &order);
+
+  // Accumulated gradient per node, built with differentiable ops.
+  std::unordered_map<const Node*, Variable> grads;
+  grads[output.node().get()] = Variable(Tensor::Ones(output.shape()),
+                                        /*requires_grad=*/opts.create_graph);
+
+  // Reverse topological order: every node is processed after all its users.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodePtr& node = *it;
+    auto found = grads.find(node.get());
+    if (found == grads.end()) continue;  // unreachable from output
+    const Variable grad_out = found->second;
+    if (!node->backward) continue;  // leaf
+    std::vector<Variable> input_grads = node->backward(grad_out);
+    MDPA_CHECK_EQ(input_grads.size(), node->inputs.size());
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      const NodePtr& in = node->inputs[i];
+      if (!in || !in->requires_grad || !input_grads[i].is_valid()) continue;
+      MDPA_CHECK(SameShape(input_grads[i].shape(), in->value.shape()))
+          << "backward of " << node->op_name << " produced grad of shape "
+          << ShapeToString(input_grads[i].shape()) << " for input of shape "
+          << ShapeToString(in->value.shape());
+      auto slot = grads.find(in.get());
+      if (slot == grads.end()) {
+        grads[in.get()] = input_grads[i];
+      } else {
+        slot->second = Add(slot->second, input_grads[i]);
+      }
+    }
+  }
+
+  std::vector<Variable> results;
+  results.reserve(inputs.size());
+  for (const Variable& in : inputs) {
+    MDPA_CHECK(in.is_valid());
+    auto found = grads.find(in.node().get());
+    if (found == grads.end()) {
+      MDPA_CHECK(opts.allow_unused)
+          << "an input is unused by the output and allow_unused is false";
+      results.emplace_back(Tensor::Zeros(in.shape()),
+                           /*requires_grad=*/false);
+    } else if (opts.create_graph) {
+      results.push_back(found->second);
+    } else {
+      results.push_back(found->second.Detach());
+    }
+  }
+  return results;
+}
+
+}  // namespace ag
+}  // namespace metadpa

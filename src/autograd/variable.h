@@ -1,0 +1,104 @@
+// Reverse-mode automatic differentiation with higher-order gradient support.
+//
+// Design: a Variable wraps a graph Node holding the forward value, parent
+// links and a backward closure. Every backward closure is written in terms of
+// the differentiable ops in autograd/ops.h (never raw kernels that would cut
+// the tape), so gradients returned by Grad(..., create_graph=true) are
+// themselves differentiable. This is exactly what the MAML outer loop needs:
+//
+//   fast  = w - alpha * Grad(L_support(w), {w}, /*create_graph=*/true)
+//   metag = Grad(L_query(fast), {w})   // second-order flow through the inner grad
+//
+// Backward closures may capture *input* Variables (parent links already exist,
+// so no new ownership cycles arise) but must never capture the output
+// Variable: that would make the Node own itself through the closure and leak.
+// Ops whose derivative is naturally written in terms of the output (sigmoid,
+// tanh, exp, ...) recompute it from the inputs inside the closure instead.
+#ifndef METADPA_AUTOGRAD_VARIABLE_H_
+#define METADPA_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metadpa {
+namespace ag {
+
+class Variable;
+
+/// \brief Internal graph node. Public because tests and the Grad engine walk
+/// the graph; user code should only touch Variable.
+struct Node {
+  Node();
+  ~Node();
+
+  Tensor value;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  /// Given the gradient w.r.t. this node's value, returns gradients w.r.t.
+  /// each entry of `inputs` (an invalid Variable for non-differentiable ones).
+  std::function<std::vector<Variable>(const Variable& grad_out)> backward;
+  const char* op_name = "leaf";
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// \brief A tensor tracked by the autograd tape.
+class Variable {
+ public:
+  /// \brief Invalid (empty) variable; is_valid() is false.
+  Variable() = default;
+
+  /// \brief Leaf variable wrapping `data`.
+  explicit Variable(Tensor data, bool requires_grad = false);
+
+  /// \brief Wraps an existing node (used by the op layer).
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  bool is_valid() const { return node_ != nullptr; }
+  const Tensor& data() const;
+  const Shape& shape() const { return data().shape(); }
+  int64_t numel() const { return data().numel(); }
+  float item() const { return data().item(); }
+  bool requires_grad() const { return node_ != nullptr && node_->requires_grad; }
+  const NodePtr& node() const { return node_; }
+
+  /// \brief Same value, cut off from the tape (requires_grad=false leaf).
+  Variable Detach() const;
+
+  /// \brief In-place assignment of new data to a leaf (used by optimizers).
+  /// Aborts if this variable has a grad_fn (is not a leaf).
+  void SetData(Tensor data);
+
+ private:
+  NodePtr node_;
+};
+
+/// \brief Options for Grad().
+struct GradOptions {
+  /// Build a differentiable graph for the returned gradients (needed for
+  /// second-order derivatives).
+  bool create_graph = false;
+  /// Permit inputs that the output does not depend on; their gradient comes
+  /// back as zeros of the input shape.
+  bool allow_unused = true;
+};
+
+/// \brief Computes d(output)/d(inputs) for a scalar `output`.
+///
+/// Returns one Variable per input, aligned with `inputs`. With
+/// opts.create_graph the results stay on the tape (differentiable); otherwise
+/// they are detached leaves.
+std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& inputs,
+                           const GradOptions& opts = {});
+
+/// \brief Number of live autograd nodes (leak check hook for tests).
+int64_t LiveNodeCount();
+
+}  // namespace ag
+}  // namespace metadpa
+
+#endif  // METADPA_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,118 @@
+#include "baselines/catn.h"
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void Catn::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  Rng rng(config_.train.seed ^ ctx.seed);
+  const int64_t vocab = target_->user_content.dim(1);
+
+  user_aspects_.clear();
+  item_aspects_.clear();
+  for (int64_t a = 0; a < config_.num_aspects; ++a) {
+    user_aspects_.push_back(
+        std::make_unique<nn::Linear>(vocab, config_.aspect_dim, &rng));
+    item_aspects_.push_back(
+        std::make_unique<nn::Linear>(vocab, config_.aspect_dim, &rng));
+  }
+  pair_weights_ = ag::Variable(
+      Tensor::Zeros({1, config_.num_aspects * config_.num_aspects}),
+      /*requires_grad=*/true);
+  bias_ = ag::Variable(Tensor::Zeros({1, 1}), /*requires_grad=*/true);
+
+  params_.clear();
+  for (const auto& layer : user_aspects_) {
+    nn::ParamList p = layer->Parameters();
+    params_.insert(params_.end(), p.begin(), p.end());
+  }
+  for (const auto& layer : item_aspects_) {
+    nn::ParamList p = layer->Parameters();
+    params_.insert(params_.end(), p.begin(), p.end());
+  }
+  params_.push_back(pair_weights_);
+  params_.push_back(bias_);
+
+  // Aspect extractors are shared: pre-train on the sources, then the target.
+  for (const auto& source : ctx.dataset->sources) {
+    data::LabeledExamples examples =
+        data::SampleTrainingExamples(source.ratings, 1, &rng);
+    TrainOn(examples, source, std::max(1, config_.train.epochs / 3),
+            config_.train.learning_rate, &rng);
+  }
+  data::LabeledExamples target_examples = data::SampleTrainingExamples(
+      ctx.splits->train, config_.train.negatives_per_positive, &rng);
+  TrainOn(target_examples, *target_, config_.train.epochs,
+          config_.train.learning_rate, &rng);
+  post_fit_snapshot_ = nn::SnapshotParams(params_);
+}
+
+ag::Variable Catn::Logits(const Tensor& user_content, const Tensor& item_content) const {
+  ag::Variable cu = ag::Constant(user_content);
+  ag::Variable ci = ag::Constant(item_content);
+  const int64_t num_aspects = config_.num_aspects;
+
+  std::vector<ag::Variable> user_vecs, item_vecs;
+  user_vecs.reserve(static_cast<size_t>(num_aspects));
+  item_vecs.reserve(static_cast<size_t>(num_aspects));
+  for (int64_t a = 0; a < num_aspects; ++a) {
+    user_vecs.push_back(ag::Relu(user_aspects_[static_cast<size_t>(a)]->Forward(cu)));
+    item_vecs.push_back(ag::Relu(item_aspects_[static_cast<size_t>(a)]->Forward(ci)));
+  }
+  // Attention over aspect pairs (global, learned).
+  ag::Variable attn = ag::Softmax(pair_weights_);  // (1, A*A)
+
+  ag::Variable score;
+  for (int64_t a = 0; a < num_aspects; ++a) {
+    for (int64_t b = 0; b < num_aspects; ++b) {
+      ag::Variable s_ab = ag::Sum(
+          ag::Mul(user_vecs[static_cast<size_t>(a)], item_vecs[static_cast<size_t>(b)]),
+          1, /*keepdims=*/true);  // (B, 1)
+      ag::Variable w_ab = ag::SliceCols(attn, a * num_aspects + b, 1);  // (1, 1)
+      ag::Variable term = ag::Mul(s_ab, w_ab);
+      score = score.is_valid() ? ag::Add(score, term) : term;
+    }
+  }
+  return ag::Add(score, bias_);
+}
+
+void Catn::TrainOn(const data::LabeledExamples& examples, const data::DomainData& domain,
+                   int epochs, float lr, Rng* rng) {
+  if (examples.size() == 0) return;
+  optim::Adam opt(params_, lr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& batch_idx :
+         MakeBatches(examples.size(), config_.train.batch_size, rng)) {
+      ContentBatch batch = GatherContentBatch(examples, batch_idx, domain.user_content,
+                                              domain.item_content);
+      ag::Variable loss =
+          ag::BceWithLogits(Logits(batch.user, batch.item), ag::Constant(batch.labels));
+      opt.Step(loss);
+    }
+  }
+}
+
+void Catn::BeginScenario(const data::ScenarioData& scenario,
+                         const eval::TrainContext& ctx) {
+  nn::RestoreParams(params_, post_fit_snapshot_);
+  if (scenario.support.empty()) return;
+  Rng rng(config_.train.seed + 5);
+  data::LabeledExamples support =
+      SupportExamples(scenario, ctx.dataset->target.ratings,
+                      config_.train.negatives_per_positive, &rng);
+  TrainOn(support, *target_, config_.train.finetune_epochs, config_.train.finetune_lr,
+          &rng);
+}
+
+std::vector<double> Catn::ScoreCase(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  ContentBatch batch =
+      CaseBatch(eval_case.user, items, target_->user_content, target_->item_content);
+  return LogitsToScores(Logits(batch.user, batch.item));
+}
+
+}  // namespace baselines
+}  // namespace metadpa

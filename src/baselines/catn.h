@@ -1,0 +1,56 @@
+// CATN (Zhao et al., SIGIR 2020): cross-domain recommendation via an aspect
+// transfer network for cold-start users. Users and items are decomposed into
+// A aspect vectors extracted from review text; preference is an attention-
+// weighted sum of aspect-pair interactions. The aspect extractors are shared
+// across the target and source domains so aspect-level preference matching
+// transfers.
+#ifndef METADPA_BASELINES_CATN_H_
+#define METADPA_BASELINES_CATN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief CATN hyper-parameters.
+struct CatnConfig {
+  int64_t num_aspects = 4;
+  int64_t aspect_dim = 12;
+  JointTrainOptions train;
+};
+
+class Catn : public eval::Recommender {
+ public:
+  explicit Catn(const CatnConfig& config) : config_(config) {}
+
+  std::string name() const override { return "CATN"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  ag::Variable Logits(const Tensor& user_content, const Tensor& item_content) const;
+  void TrainOn(const data::LabeledExamples& examples, const data::DomainData& domain,
+               int epochs, float lr, Rng* rng);
+
+  CatnConfig config_;
+  /// One aspect head per aspect and side: vocab -> aspect_dim.
+  std::vector<std::unique_ptr<nn::Linear>> user_aspects_;
+  std::vector<std::unique_ptr<nn::Linear>> item_aspects_;
+  ag::Variable pair_weights_;  ///< (A, A) attention logits over aspect pairs
+  ag::Variable bias_;
+  nn::ParamList params_;
+  std::vector<Tensor> post_fit_snapshot_;
+  const data::DomainData* target_ = nullptr;
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_CATN_H_

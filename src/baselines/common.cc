@@ -1,0 +1,106 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+std::vector<std::vector<int64_t>> MakeBatches(size_t n, int batch_size, Rng* rng) {
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), int64_t{0});
+  rng->Shuffle(&order);
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t start = 0; start < n; start += static_cast<size_t>(batch_size)) {
+    const size_t end = std::min(n, start + static_cast<size_t>(batch_size));
+    batches.emplace_back(order.begin() + static_cast<int64_t>(start),
+                         order.begin() + static_cast<int64_t>(end));
+  }
+  return batches;
+}
+
+ContentBatch GatherContentBatch(const data::LabeledExamples& examples,
+                                const std::vector<int64_t>& indices,
+                                const Tensor& user_content, const Tensor& item_content) {
+  std::vector<int64_t> users, items;
+  users.reserve(indices.size());
+  items.reserve(indices.size());
+  Tensor labels({static_cast<int64_t>(indices.size()), 1});
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t e = static_cast<size_t>(indices[r]);
+    users.push_back(examples.users[e]);
+    items.push_back(examples.items[e]);
+    labels.at(static_cast<int64_t>(r)) = examples.labels[e];
+  }
+  ContentBatch batch;
+  batch.user = t::IndexSelect(user_content, users);
+  batch.item = t::IndexSelect(item_content, items);
+  batch.labels = std::move(labels);
+  return batch;
+}
+
+IdBatch GatherIdBatch(const data::LabeledExamples& examples,
+                      const std::vector<int64_t>& indices) {
+  IdBatch batch;
+  batch.users.reserve(indices.size());
+  batch.items.reserve(indices.size());
+  Tensor labels({static_cast<int64_t>(indices.size()), 1});
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t e = static_cast<size_t>(indices[r]);
+    batch.users.push_back(examples.users[e]);
+    batch.items.push_back(examples.items[e]);
+    labels.at(static_cast<int64_t>(r)) = examples.labels[e];
+  }
+  batch.labels = std::move(labels);
+  return batch;
+}
+
+data::LabeledExamples SupportExamples(const data::ScenarioData& scenario,
+                                      const data::InteractionMatrix& all,
+                                      int negatives_per_positive, Rng* rng) {
+  data::LabeledExamples out;
+  const int64_t m = all.num_items();
+  for (const auto& [user, item] : scenario.support) {
+    out.users.push_back(user);
+    out.items.push_back(item);
+    out.labels.push_back(1.0f);
+    for (int k = 0; k < negatives_per_positive; ++k) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int64_t neg = static_cast<int64_t>(rng->UniformInt(m));
+        if (!all.Has(user, neg)) {
+          out.users.push_back(user);
+          out.items.push_back(neg);
+          out.labels.push_back(0.0f);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ContentBatch CaseBatch(int64_t user, const std::vector<int64_t>& items,
+                       const Tensor& user_content, const Tensor& item_content) {
+  ContentBatch batch;
+  const int64_t width = user_content.dim(1);
+  batch.user = Tensor({static_cast<int64_t>(items.size()), width});
+  for (size_t r = 0; r < items.size(); ++r) {
+    std::copy(user_content.data() + user * width, user_content.data() + (user + 1) * width,
+              batch.user.data() + static_cast<int64_t>(r) * width);
+  }
+  batch.item = t::IndexSelect(item_content, items);
+  batch.labels = Tensor({static_cast<int64_t>(items.size()), 1}, 0.0f);
+  return batch;
+}
+
+std::vector<double> LogitsToScores(const ag::Variable& logits) {
+  Tensor probs = t::Sigmoid(logits.data());
+  std::vector<double> out(static_cast<size_t>(probs.numel()));
+  for (int64_t i = 0; i < probs.numel(); ++i) out[static_cast<size_t>(i)] = probs.at(i);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,71 @@
+// Shared plumbing for the baseline recommenders: minibatching, example
+// tensorization, and snapshot/restore around per-scenario fine-tuning.
+#ifndef METADPA_BASELINES_COMMON_H_
+#define METADPA_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "data/splits.h"
+#include "eval/recommender.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief Joint-training hyper-parameters shared by the non-meta baselines.
+struct JointTrainOptions {
+  int epochs = 12;
+  int batch_size = 64;
+  float learning_rate = 5e-3f;
+  int negatives_per_positive = 2;
+  /// Fine-tuning passes over a scenario's support pool.
+  int finetune_epochs = 4;
+  float finetune_lr = 5e-3f;
+  uint64_t seed = 97;
+};
+
+/// \brief Shuffled minibatch index lists over [0, n).
+std::vector<std::vector<int64_t>> MakeBatches(size_t n, int batch_size, Rng* rng);
+
+/// \brief Gathers a batch of (user content, item content, label) tensors from
+/// flat examples.
+struct ContentBatch {
+  Tensor user;    ///< (B, vocab)
+  Tensor item;    ///< (B, vocab)
+  Tensor labels;  ///< (B, 1)
+};
+
+ContentBatch GatherContentBatch(const data::LabeledExamples& examples,
+                                const std::vector<int64_t>& indices,
+                                const Tensor& user_content, const Tensor& item_content);
+
+/// \brief Gathers a batch of (user id, item id, label) for id-embedding models.
+struct IdBatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  Tensor labels;  ///< (B, 1)
+};
+
+IdBatch GatherIdBatch(const data::LabeledExamples& examples,
+                      const std::vector<int64_t>& indices);
+
+/// \brief Builds labeled fine-tuning examples from a scenario support pool:
+/// every support positive plus sampled negatives (drawn from the full matrix
+/// so no true positive is mislabeled).
+data::LabeledExamples SupportExamples(const data::ScenarioData& scenario,
+                                      const data::InteractionMatrix& all,
+                                      int negatives_per_positive, Rng* rng);
+
+/// \brief Replicates one user's content row for each listed item and gathers
+/// item rows — the standard case-scoring input.
+ContentBatch CaseBatch(int64_t user, const std::vector<int64_t>& items,
+                       const Tensor& user_content, const Tensor& item_content);
+
+/// \brief Sigmoid of the logits column as a plain vector of doubles.
+std::vector<double> LogitsToScores(const ag::Variable& logits);
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_COMMON_H_

@@ -1,0 +1,72 @@
+#include "baselines/conn.h"
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void Conn::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  Rng rng(config_.train.seed ^ ctx.seed);
+  const int64_t vocab = target_->user_content.dim(1);
+  user_tower_ = nn::MakeMlp(vocab, {config_.tower_hidden}, config_.factor_dim, &rng);
+  item_tower_ = nn::MakeMlp(vocab, {config_.tower_hidden}, config_.factor_dim, &rng);
+  bias_ = ag::Variable(Tensor::Zeros({1, 1}), /*requires_grad=*/true);
+
+  params_ = user_tower_->Parameters();
+  nn::ParamList pi = item_tower_->Parameters();
+  params_.insert(params_.end(), pi.begin(), pi.end());
+  params_.push_back(bias_);
+
+  data::LabeledExamples examples = data::SampleTrainingExamples(
+      ctx.splits->train, config_.train.negatives_per_positive, &rng);
+  TrainOn(examples, config_.train.epochs, config_.train.learning_rate, ctx, &rng);
+  post_fit_snapshot_ = nn::SnapshotParams(params_);
+}
+
+ag::Variable Conn::Logits(const Tensor& user_content, const Tensor& item_content) const {
+  ag::Variable fu = user_tower_->Forward(ag::Constant(user_content));
+  ag::Variable fi = item_tower_->Forward(ag::Constant(item_content));
+  // Shared layer: FM-style interaction of the two tower outputs.
+  ag::Variable dot = ag::Sum(ag::Mul(fu, fi), 1, /*keepdims=*/true);
+  return ag::Add(dot, bias_);
+}
+
+void Conn::TrainOn(const data::LabeledExamples& examples, int epochs, float lr,
+                   const eval::TrainContext& ctx, Rng* rng) {
+  if (examples.size() == 0) return;
+  optim::Adam opt(params_, lr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& batch_idx :
+         MakeBatches(examples.size(), config_.train.batch_size, rng)) {
+      ContentBatch batch = GatherContentBatch(examples, batch_idx,
+                                              ctx.dataset->target.user_content,
+                                              ctx.dataset->target.item_content);
+      ag::Variable loss =
+          ag::BceWithLogits(Logits(batch.user, batch.item), ag::Constant(batch.labels));
+      opt.Step(loss);
+    }
+  }
+}
+
+void Conn::BeginScenario(const data::ScenarioData& scenario,
+                         const eval::TrainContext& ctx) {
+  nn::RestoreParams(params_, post_fit_snapshot_);
+  if (scenario.support.empty()) return;
+  Rng rng(config_.train.seed + 2);
+  data::LabeledExamples support =
+      SupportExamples(scenario, ctx.dataset->target.ratings,
+                      config_.train.negatives_per_positive, &rng);
+  TrainOn(support, config_.train.finetune_epochs, config_.train.finetune_lr, ctx, &rng);
+}
+
+std::vector<double> Conn::ScoreCase(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  ContentBatch batch =
+      CaseBatch(eval_case.user, items, target_->user_content, target_->item_content);
+  return LogitsToScores(Logits(batch.user, batch.item));
+}
+
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,51 @@
+// CoNN / DeepCoNN (Zheng et al., WSDM 2017): two parallel neural networks —
+// one modelling user behaviour from the user's review text, one modelling
+// item properties from the item's reviews — coupled by a shared interaction
+// layer on top (here a factorization-machine style dot product plus bias).
+#ifndef METADPA_BASELINES_CONN_H_
+#define METADPA_BASELINES_CONN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief CoNN hyper-parameters.
+struct ConnConfig {
+  int64_t tower_hidden = 48;
+  int64_t factor_dim = 16;
+  JointTrainOptions train;
+};
+
+class Conn : public eval::Recommender {
+ public:
+  explicit Conn(const ConnConfig& config) : config_(config) {}
+
+  std::string name() const override { return "CoNN"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  ag::Variable Logits(const Tensor& user_content, const Tensor& item_content) const;
+  void TrainOn(const data::LabeledExamples& examples, int epochs, float lr,
+               const eval::TrainContext& ctx, Rng* rng);
+
+  ConnConfig config_;
+  std::unique_ptr<nn::Sequential> user_tower_;
+  std::unique_ptr<nn::Sequential> item_tower_;
+  ag::Variable bias_;
+  nn::ParamList params_;
+  std::vector<Tensor> post_fit_snapshot_;
+  const data::DomainData* target_ = nullptr;
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_CONN_H_

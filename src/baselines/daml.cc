@@ -1,0 +1,90 @@
+#include "baselines/daml.h"
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void Daml::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  Rng rng(config_.train.seed ^ ctx.seed);
+  const int64_t vocab = target_->user_content.dim(1);
+
+  user_local_gate_ = std::make_unique<nn::Linear>(vocab, vocab, &rng);
+  item_local_gate_ = std::make_unique<nn::Linear>(vocab, vocab, &rng);
+  user_proj_ = std::make_unique<nn::Linear>(vocab, config_.feature_dim, &rng,
+                                            nn::Init::kHeNormal);
+  item_proj_ = std::make_unique<nn::Linear>(vocab, config_.feature_dim, &rng,
+                                            nn::Init::kHeNormal);
+  mutual_gate_ =
+      std::make_unique<nn::Linear>(2 * config_.feature_dim, config_.feature_dim, &rng);
+  head_ = nn::MakeMlp(config_.feature_dim, {config_.head_hidden}, 1, &rng);
+
+  params_.clear();
+  for (const nn::Linear* layer : {user_local_gate_.get(), item_local_gate_.get(),
+                                  user_proj_.get(), item_proj_.get(),
+                                  mutual_gate_.get()}) {
+    nn::ParamList p = layer->Parameters();
+    params_.insert(params_.end(), p.begin(), p.end());
+  }
+  nn::ParamList ph = head_->Parameters();
+  params_.insert(params_.end(), ph.begin(), ph.end());
+
+  data::LabeledExamples examples = data::SampleTrainingExamples(
+      ctx.splits->train, config_.train.negatives_per_positive, &rng);
+  TrainOn(examples, config_.train.epochs, config_.train.learning_rate, ctx, &rng);
+  post_fit_snapshot_ = nn::SnapshotParams(params_);
+}
+
+ag::Variable Daml::Logits(const Tensor& user_content, const Tensor& item_content) const {
+  ag::Variable cu = ag::Constant(user_content);
+  ag::Variable ci = ag::Constant(item_content);
+  // Local attention: each side gates its own content.
+  ag::Variable gu = ag::Mul(cu, ag::Sigmoid(user_local_gate_->Forward(cu)));
+  ag::Variable gi = ag::Mul(ci, ag::Sigmoid(item_local_gate_->Forward(ci)));
+  ag::Variable fu = ag::Relu(user_proj_->Forward(gu));
+  ag::Variable fi = ag::Relu(item_proj_->Forward(gi));
+  // Mutual attention: a joint gate modulates the elementwise interaction.
+  ag::Variable mutual = ag::Sigmoid(mutual_gate_->Forward(ag::ConcatCols({fu, fi})));
+  ag::Variable joint = ag::Mul(ag::Mul(fu, fi), mutual);
+  return head_->Forward(joint);
+}
+
+void Daml::TrainOn(const data::LabeledExamples& examples, int epochs, float lr,
+                   const eval::TrainContext& ctx, Rng* rng) {
+  if (examples.size() == 0) return;
+  optim::Adam opt(params_, lr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& batch_idx :
+         MakeBatches(examples.size(), config_.train.batch_size, rng)) {
+      ContentBatch batch = GatherContentBatch(examples, batch_idx,
+                                              ctx.dataset->target.user_content,
+                                              ctx.dataset->target.item_content);
+      ag::Variable loss =
+          ag::BceWithLogits(Logits(batch.user, batch.item), ag::Constant(batch.labels));
+      opt.Step(loss);
+    }
+  }
+}
+
+void Daml::BeginScenario(const data::ScenarioData& scenario,
+                         const eval::TrainContext& ctx) {
+  nn::RestoreParams(params_, post_fit_snapshot_);
+  if (scenario.support.empty()) return;
+  Rng rng(config_.train.seed + 3);
+  data::LabeledExamples support =
+      SupportExamples(scenario, ctx.dataset->target.ratings,
+                      config_.train.negatives_per_positive, &rng);
+  TrainOn(support, config_.train.finetune_epochs, config_.train.finetune_lr, ctx, &rng);
+}
+
+std::vector<double> Daml::ScoreCase(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  ContentBatch batch =
+      CaseBatch(eval_case.user, items, target_->user_content, target_->item_content);
+  return LogitsToScores(Logits(batch.user, batch.item));
+}
+
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,54 @@
+// DAML (Liu et al., KDD 2019): dual attention mutual learning between
+// ratings and reviews. Our reimplementation keeps the two mechanisms that
+// distinguish it from CoNN:
+//   * LOCAL attention: a learned gate over each side's own content features,
+//   * MUTUAL attention: a gate computed from BOTH sides that modulates the
+//     joint interaction before the neural-FM prediction head.
+#ifndef METADPA_BASELINES_DAML_H_
+#define METADPA_BASELINES_DAML_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief DAML hyper-parameters.
+struct DamlConfig {
+  int64_t feature_dim = 24;
+  int64_t head_hidden = 24;
+  JointTrainOptions train;
+};
+
+class Daml : public eval::Recommender {
+ public:
+  explicit Daml(const DamlConfig& config) : config_(config) {}
+
+  std::string name() const override { return "DAML"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  ag::Variable Logits(const Tensor& user_content, const Tensor& item_content) const;
+  void TrainOn(const data::LabeledExamples& examples, int epochs, float lr,
+               const eval::TrainContext& ctx, Rng* rng);
+
+  DamlConfig config_;
+  std::unique_ptr<nn::Linear> user_local_gate_, item_local_gate_;
+  std::unique_ptr<nn::Linear> user_proj_, item_proj_;
+  std::unique_ptr<nn::Linear> mutual_gate_;
+  std::unique_ptr<nn::Sequential> head_;
+  nn::ParamList params_;
+  std::vector<Tensor> post_fit_snapshot_;
+  const data::DomainData* target_ = nullptr;
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_DAML_H_

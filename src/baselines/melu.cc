@@ -1,0 +1,39 @@
+#include "baselines/melu.h"
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void Melu::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  train_ = &ctx.splits->train;
+  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  Rng rng(config_.seed + ctx.seed);
+
+  meta::PreferenceModelConfig model_config = config_.model;
+  model_config.content_dim = target_->user_content.dim(1);
+  model_ = std::make_unique<meta::PreferenceModel>(model_config, &rng);
+  trainer_ = std::make_unique<meta::MamlTrainer>(model_.get(), config_.maml);
+
+  std::vector<meta::Task> tasks =
+      meta::BuildTasks(ctx.splits->train, target_->user_content, target_->item_content,
+                       config_.tasks, &rng);
+  trainer_->Train(tasks);
+}
+
+std::vector<double> Melu::ScoreCase(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, *train_);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target_->ratings, target_->user_content,
+      target_->item_content, /*negatives_per_positive=*/1, &score_rng_);
+  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
+  ContentBatch batch =
+      CaseBatch(eval_case.user, items, target_->user_content, target_->item_content);
+  return trainer_->ScoreWith(fast, batch.user, batch.item);
+}
+
+}  // namespace baselines
+}  // namespace metadpa

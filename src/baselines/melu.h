@@ -1,0 +1,46 @@
+// MeLU (Lee et al., KDD 2019): meta-learned user preference estimator.
+// Content-based preference model trained with MAML over per-user tasks, with
+// per-case adaptation on the support set at test time. Identical architecture
+// to MetaDPA's block 3 but WITHOUT diverse preference augmentation — the
+// paper's meta-overfitting comparison point.
+#ifndef METADPA_BASELINES_MELU_H_
+#define METADPA_BASELINES_MELU_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "meta/maml.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief MeLU hyper-parameters.
+struct MeluConfig {
+  meta::PreferenceModelConfig model;
+  meta::MamlConfig maml;
+  meta::TaskOptions tasks;
+  uint64_t seed = 11;
+};
+
+class Melu : public eval::Recommender {
+ public:
+  explicit Melu(const MeluConfig& config) : config_(config) {}
+
+  std::string name() const override { return "MeLU"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  MeluConfig config_;
+  std::unique_ptr<meta::PreferenceModel> model_;
+  std::unique_ptr<meta::MamlTrainer> trainer_;
+  const data::DomainData* target_ = nullptr;
+  const data::InteractionMatrix* train_ = nullptr;
+  Rng score_rng_{23};
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_MELU_H_

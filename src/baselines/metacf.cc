@@ -1,0 +1,114 @@
+#include "baselines/metacf.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+namespace {
+
+/// Row-normalized item-item co-occurrence from training interactions.
+Tensor BuildCooccurrence(const data::InteractionMatrix& train) {
+  const int64_t m = train.num_items();
+  Tensor co({m, m}, 0.0f);
+  for (int64_t u = 0; u < train.num_users(); ++u) {
+    const auto& items = train.ItemsOf(u);
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        co.at(items[a], items[b]) += 1.0f;
+        co.at(items[b], items[a]) += 1.0f;
+      }
+    }
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < m; ++j) row_sum += co.at(i, j);
+    if (row_sum > 0.0f) {
+      for (int64_t j = 0; j < m; ++j) co.at(i, j) /= row_sum;
+    }
+  }
+  return co;
+}
+
+void L2NormalizeRows(Tensor* rows) {
+  const int64_t n = rows->dim(0), m = rows->dim(1);
+  for (int64_t r = 0; r < n; ++r) {
+    double sq = 0.0;
+    for (int64_t c = 0; c < m; ++c) {
+      sq += static_cast<double>(rows->at(r, c)) * rows->at(r, c);
+    }
+    if (sq > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+      for (int64_t c = 0; c < m; ++c) rows->at(r, c) *= inv;
+    }
+  }
+}
+
+/// Profile interactions visible at evaluation time: the warm training matrix
+/// plus the scenario's support pairs (never the held-out positives).
+data::InteractionMatrix ProfileMatrix(const data::InteractionMatrix& train,
+                                      const data::ScenarioData* scenario) {
+  data::InteractionMatrix profile = train;
+  if (scenario != nullptr) {
+    for (const auto& [user, item] : scenario->support) profile.Add(user, item);
+  }
+  return profile;
+}
+
+}  // namespace
+
+Tensor MetaCf::ExtendProfiles(const data::InteractionMatrix& profile) const {
+  std::vector<int64_t> all_users(static_cast<size_t>(profile.num_users()));
+  for (size_t i = 0; i < all_users.size(); ++i) all_users[i] = static_cast<int64_t>(i);
+  Tensor direct = profile.DenseRows(all_users);
+  // Potential interactions: one co-occurrence hop, downweighted.
+  Tensor extended = t::Add(
+      direct, t::MulScalar(t::MatMul(direct, item_cooccurrence_),
+                           config_.extension_weight));
+  L2NormalizeRows(&extended);
+  return extended;
+}
+
+void MetaCf::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  splits_ = ctx.splits;
+  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  Rng rng(config_.seed + ctx.seed);
+
+  const int64_t m = target_->num_items();
+  item_identity_ = Tensor({m, m}, 0.0f);
+  for (int64_t i = 0; i < m; ++i) item_identity_.at(i, i) = 1.0f;
+  item_cooccurrence_ = BuildCooccurrence(ctx.splits->train);
+  user_profiles_ = ExtendProfiles(ProfileMatrix(ctx.splits->train, nullptr));
+
+  meta::PreferenceModelConfig model_config = config_.model;
+  model_config.content_dim = m;
+  model_ = std::make_unique<meta::PreferenceModel>(model_config, &rng);
+  trainer_ = std::make_unique<meta::MamlTrainer>(model_.get(), config_.maml);
+
+  std::vector<meta::Task> tasks = meta::BuildTasks(
+      ctx.splits->train, user_profiles_, item_identity_, config_.tasks, &rng);
+  trainer_->Train(tasks);
+}
+
+void MetaCf::BeginScenario(const data::ScenarioData& scenario,
+                           const eval::TrainContext& ctx) {
+  // Rebuild profiles so new users/items reflect their support interactions.
+  user_profiles_ = ExtendProfiles(ProfileMatrix(ctx.splits->train, &scenario));
+}
+
+std::vector<double> MetaCf::ScoreCase(const data::EvalCase& eval_case,
+                                      const std::vector<int64_t>& items) {
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, splits_->train);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target_->ratings, user_profiles_,
+      item_identity_, /*negatives_per_positive=*/1, &score_rng_);
+  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
+  ContentBatch batch = CaseBatch(eval_case.user, items, user_profiles_, item_identity_);
+  return trainer_->ScoreWith(fast, batch.user, batch.item);
+}
+
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,60 @@
+// MetaCF (Wei et al., ICDM 2020): fast adaptation for cold-start
+// collaborative filtering with meta-learning. Purely collaborative — no
+// review content. Our reimplementation keeps its two defining mechanisms:
+//   * MAML over per-user preference tasks, and
+//   * interaction extension with POTENTIAL interactions: a user's profile row
+//     is enriched with co-occurrence neighbours of their rated items (the
+//     paper's dynamic-subgraph / potential-interaction idea).
+// The model reuses the PreferenceModel tower over (extended profile row,
+// item one-hot) inputs.
+#ifndef METADPA_BASELINES_METACF_H_
+#define METADPA_BASELINES_METACF_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "meta/maml.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief MetaCF hyper-parameters.
+struct MetaCfConfig {
+  meta::PreferenceModelConfig model;  ///< content_dim ignored (set to #items)
+  meta::MamlConfig maml;
+  meta::TaskOptions tasks;
+  /// Weight of the potential-interaction extension.
+  float extension_weight = 0.3f;
+  uint64_t seed = 31;
+};
+
+class MetaCf : public eval::Recommender {
+ public:
+  explicit MetaCf(const MetaCfConfig& config) : config_(config) {}
+
+  std::string name() const override { return "MetaCF"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  /// Rebuilds extended user profile rows from a profile interaction matrix.
+  Tensor ExtendProfiles(const data::InteractionMatrix& profile) const;
+
+  MetaCfConfig config_;
+  std::unique_ptr<meta::PreferenceModel> model_;
+  std::unique_ptr<meta::MamlTrainer> trainer_;
+  const data::DomainData* target_ = nullptr;
+  const data::DatasetSplits* splits_ = nullptr;
+  Tensor item_identity_;      ///< (m, m) one-hot item "content"
+  Tensor item_cooccurrence_;  ///< (m, m) row-normalized co-rating counts
+  Tensor user_profiles_;      ///< (n, m) extended rows for the active scenario
+  Rng score_rng_{37};
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_METACF_H_

@@ -1,0 +1,86 @@
+#include "baselines/neumf.h"
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void NeuMf::Fit(const eval::TrainContext& ctx) {
+  Rng rng(config_.train.seed ^ ctx.seed);
+  const int64_t n = ctx.dataset->target.num_users();
+  const int64_t m = ctx.dataset->target.num_items();
+  const float scale = 0.05f;
+  user_gmf_ = ag::Variable(Tensor::RandNormal({n, config_.embed_dim}, &rng, 0, scale),
+                           /*requires_grad=*/true);
+  item_gmf_ = ag::Variable(Tensor::RandNormal({m, config_.embed_dim}, &rng, 0, scale),
+                           /*requires_grad=*/true);
+  user_mlp_ = ag::Variable(Tensor::RandNormal({n, config_.embed_dim}, &rng, 0, scale),
+                           /*requires_grad=*/true);
+  item_mlp_ = ag::Variable(Tensor::RandNormal({m, config_.embed_dim}, &rng, 0, scale),
+                           /*requires_grad=*/true);
+  mlp1_ = std::make_unique<nn::Linear>(2 * config_.embed_dim, config_.mlp_hidden, &rng,
+                                       nn::Init::kHeNormal);
+  mlp2_ = std::make_unique<nn::Linear>(config_.mlp_hidden, config_.mlp_hidden / 2, &rng,
+                                       nn::Init::kHeNormal);
+  fusion_ = std::make_unique<nn::Linear>(config_.embed_dim + config_.mlp_hidden / 2, 1,
+                                         &rng);
+  params_ = {user_gmf_, item_gmf_, user_mlp_, item_mlp_};
+  for (const auto* layer : {mlp1_.get(), mlp2_.get(), fusion_.get()}) {
+    nn::ParamList p = layer->Parameters();
+    params_.insert(params_.end(), p.begin(), p.end());
+  }
+
+  data::LabeledExamples examples = data::SampleTrainingExamples(
+      ctx.splits->train, config_.train.negatives_per_positive, &rng);
+  TrainOn(examples, config_.train.epochs, config_.train.learning_rate, &rng);
+  post_fit_snapshot_ = nn::SnapshotParams(params_);
+}
+
+ag::Variable NeuMf::Logits(const std::vector<int64_t>& users,
+                           const std::vector<int64_t>& items) const {
+  ag::Variable pu_g = ag::IndexSelectRows(user_gmf_, users);
+  ag::Variable qi_g = ag::IndexSelectRows(item_gmf_, items);
+  ag::Variable gmf = ag::Mul(pu_g, qi_g);
+
+  ag::Variable pu_m = ag::IndexSelectRows(user_mlp_, users);
+  ag::Variable qi_m = ag::IndexSelectRows(item_mlp_, items);
+  ag::Variable h = ag::Relu(mlp1_->Forward(ag::ConcatCols({pu_m, qi_m})));
+  h = ag::Relu(mlp2_->Forward(h));
+  return fusion_->Forward(ag::ConcatCols({gmf, h}));
+}
+
+void NeuMf::TrainOn(const data::LabeledExamples& examples, int epochs, float lr,
+                    Rng* rng) {
+  if (examples.size() == 0) return;
+  optim::Adam opt(params_, lr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& batch_idx :
+         MakeBatches(examples.size(), config_.train.batch_size, rng)) {
+      IdBatch batch = GatherIdBatch(examples, batch_idx);
+      ag::Variable loss = ag::BceWithLogits(Logits(batch.users, batch.items),
+                                            ag::Constant(batch.labels));
+      opt.Step(loss);
+    }
+  }
+}
+
+void NeuMf::BeginScenario(const data::ScenarioData& scenario,
+                          const eval::TrainContext& ctx) {
+  nn::RestoreParams(params_, post_fit_snapshot_);
+  if (scenario.support.empty()) return;
+  Rng rng(config_.train.seed + 1);
+  data::LabeledExamples support =
+      SupportExamples(scenario, ctx.dataset->target.ratings,
+                      config_.train.negatives_per_positive, &rng);
+  TrainOn(support, config_.train.finetune_epochs, config_.train.finetune_lr, &rng);
+}
+
+std::vector<double> NeuMf::ScoreCase(const data::EvalCase& eval_case,
+                                     const std::vector<int64_t>& items) {
+  std::vector<int64_t> users(items.size(), eval_case.user);
+  return LogitsToScores(Logits(users, items));
+}
+
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,50 @@
+// NeuMF (He et al., 2017): neural collaborative filtering with a GMF branch
+// (elementwise product of id embeddings) fused with an MLP branch. Purely
+// id-based — its cold-start weakness in the paper's tables comes from unseen
+// users/items keeping their random embeddings.
+#ifndef METADPA_BASELINES_NEUMF_H_
+#define METADPA_BASELINES_NEUMF_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief NeuMF hyper-parameters.
+struct NeuMfConfig {
+  int64_t embed_dim = 16;
+  int64_t mlp_hidden = 32;
+  JointTrainOptions train;
+};
+
+class NeuMf : public eval::Recommender {
+ public:
+  explicit NeuMf(const NeuMfConfig& config) : config_(config) {}
+
+  std::string name() const override { return "NeuMF"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  ag::Variable Logits(const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items) const;
+  void TrainOn(const data::LabeledExamples& examples, int epochs, float lr, Rng* rng);
+
+  NeuMfConfig config_;
+  // GMF and MLP embedding tables plus the fusion layers.
+  ag::Variable user_gmf_, item_gmf_, user_mlp_, item_mlp_;
+  std::unique_ptr<nn::Linear> mlp1_, mlp2_, fusion_;
+  nn::ParamList params_;
+  std::vector<Tensor> post_fit_snapshot_;
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_NEUMF_H_

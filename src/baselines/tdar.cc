@@ -1,0 +1,126 @@
+#include "baselines/tdar.h"
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace baselines {
+
+void Tdar::Fit(const eval::TrainContext& ctx) {
+  target_ = &ctx.dataset->target;
+  source_ = nullptr;
+  for (const auto& s : ctx.dataset->sources) {
+    if (source_ == nullptr ||
+        s.ratings.NumRatings() > source_->ratings.NumRatings()) {
+      source_ = &s;
+    }
+  }
+  Rng rng(config_.train.seed ^ ctx.seed);
+  const float scale = 0.05f;
+  const int64_t vocab = target_->user_content.dim(1);
+  target_user_emb_ = ag::Variable(
+      Tensor::RandNormal({target_->num_users(), config_.embed_dim}, &rng, 0, scale),
+      /*requires_grad=*/true);
+  target_item_emb_ = ag::Variable(
+      Tensor::RandNormal({target_->num_items(), config_.embed_dim}, &rng, 0, scale),
+      /*requires_grad=*/true);
+  source_user_emb_ = ag::Variable(
+      Tensor::RandNormal({source_->num_users(), config_.embed_dim}, &rng, 0, scale),
+      /*requires_grad=*/true);
+  source_item_emb_ = ag::Variable(
+      Tensor::RandNormal({source_->num_items(), config_.embed_dim}, &rng, 0, scale),
+      /*requires_grad=*/true);
+  user_text_proj_ = std::make_unique<nn::Linear>(vocab, config_.embed_dim, &rng);
+  item_text_proj_ = std::make_unique<nn::Linear>(vocab, config_.embed_dim, &rng);
+  bias_ = ag::Variable(Tensor::Zeros({1, 1}), /*requires_grad=*/true);
+
+  params_ = {target_user_emb_, target_item_emb_, source_user_emb_, source_item_emb_,
+             bias_};
+  for (const nn::Linear* layer : {user_text_proj_.get(), item_text_proj_.get()}) {
+    nn::ParamList p = layer->Parameters();
+    params_.insert(params_.end(), p.begin(), p.end());
+  }
+
+  data::LabeledExamples target_examples = data::SampleTrainingExamples(
+      ctx.splits->train, config_.train.negatives_per_positive, &rng);
+  data::LabeledExamples source_examples = data::SampleTrainingExamples(
+      source_->ratings, config_.train.negatives_per_positive, &rng);
+  TrainOn(target_examples, source_examples, config_.train.epochs,
+          config_.train.learning_rate, ctx, &rng);
+  post_fit_snapshot_ = nn::SnapshotParams(params_);
+}
+
+ag::Variable Tdar::Logits(const ag::Variable& user_emb, const ag::Variable& item_emb,
+                          const std::vector<int64_t>& users,
+                          const std::vector<int64_t>& items) const {
+  ag::Variable pu = ag::IndexSelectRows(user_emb, users);
+  ag::Variable qi = ag::IndexSelectRows(item_emb, items);
+  return ag::Add(ag::Sum(ag::Mul(pu, qi), 1, /*keepdims=*/true), bias_);
+}
+
+ag::Variable Tdar::DomainLoss(const ag::Variable& user_emb, const ag::Variable& item_emb,
+                              const IdBatch& batch,
+                              const data::DomainData& domain) const {
+  ag::Variable bce = ag::BceWithLogits(
+      Logits(user_emb, item_emb, batch.users, batch.items), ag::Constant(batch.labels));
+  // Text anchoring: embeddings of this batch should live near the projection
+  // of their review text, which is shared across domains (the adaptation).
+  ag::Variable pu = ag::IndexSelectRows(user_emb, batch.users);
+  ag::Variable qi = ag::IndexSelectRows(item_emb, batch.items);
+  ag::Variable tu = user_text_proj_->Forward(
+      ag::Constant(t::IndexSelect(domain.user_content, batch.users)));
+  ag::Variable ti = item_text_proj_->Forward(
+      ag::Constant(t::IndexSelect(domain.item_content, batch.items)));
+  ag::Variable anchor = ag::Add(ag::MseLoss(pu, tu), ag::MseLoss(qi, ti));
+  return ag::Add(bce, ag::MulScalar(anchor, config_.text_anchor_weight));
+}
+
+void Tdar::TrainOn(const data::LabeledExamples& target_examples,
+                   const data::LabeledExamples& source_examples, int epochs, float lr,
+                   const eval::TrainContext& ctx, Rng* rng) {
+  (void)ctx;
+  if (target_examples.size() == 0) return;
+  optim::Adam opt(params_, lr);
+  const bool has_source = source_examples.size() > 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    auto source_batches =
+        has_source ? MakeBatches(source_examples.size(), config_.train.batch_size, rng)
+                   : std::vector<std::vector<int64_t>>{};
+    size_t source_cursor = 0;
+    for (const auto& batch_idx :
+         MakeBatches(target_examples.size(), config_.train.batch_size, rng)) {
+      IdBatch batch = GatherIdBatch(target_examples, batch_idx);
+      ag::Variable loss =
+          DomainLoss(target_user_emb_, target_item_emb_, batch, *target_);
+      if (has_source && !source_batches.empty()) {
+        const auto& sb = source_batches[source_cursor % source_batches.size()];
+        ++source_cursor;
+        IdBatch src = GatherIdBatch(source_examples, sb);
+        loss = ag::Add(loss,
+                       DomainLoss(source_user_emb_, source_item_emb_, src, *source_));
+      }
+      opt.Step(loss);
+    }
+  }
+}
+
+void Tdar::BeginScenario(const data::ScenarioData& scenario,
+                         const eval::TrainContext& ctx) {
+  nn::RestoreParams(params_, post_fit_snapshot_);
+  if (scenario.support.empty()) return;
+  Rng rng(config_.train.seed + 4);
+  data::LabeledExamples support =
+      SupportExamples(scenario, ctx.dataset->target.ratings,
+                      config_.train.negatives_per_positive, &rng);
+  TrainOn(support, data::LabeledExamples{}, config_.train.finetune_epochs,
+          config_.train.finetune_lr, ctx, &rng);
+}
+
+std::vector<double> Tdar::ScoreCase(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  std::vector<int64_t> users(items.size(), eval_case.user);
+  return LogitsToScores(Logits(target_user_emb_, target_item_emb_, users, items));
+}
+
+}  // namespace baselines
+}  // namespace metadpa

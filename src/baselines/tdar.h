@@ -1,0 +1,65 @@
+// TDAR (Yu et al., KDD 2020): text-enhanced domain adaptation
+// recommendation. Prediction is a collaborative MF over USER/ITEM ID
+// EMBEDDINGS; review text enters only through the domain-adaptation side:
+// textual features anchor the embeddings of both domains in a shared word
+// semantic space (our stand-in for TDAR's adversarial domain classifier is a
+// text-anchoring + feature-alignment penalty). Because prediction is
+// id-based, TDAR is strong in the warm scenario and collapses for cold
+// users/items — exactly its profile in the paper's Table III.
+#ifndef METADPA_BASELINES_TDAR_H_
+#define METADPA_BASELINES_TDAR_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace baselines {
+
+/// \brief TDAR hyper-parameters.
+struct TdarConfig {
+  int64_t embed_dim = 16;
+  /// Weight of the text-anchoring penalty ||e - W c||^2.
+  float text_anchor_weight = 0.1f;
+  JointTrainOptions train;
+};
+
+class Tdar : public eval::Recommender {
+ public:
+  explicit Tdar(const TdarConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TDAR"; }
+  void Fit(const eval::TrainContext& ctx) override;
+  void BeginScenario(const data::ScenarioData& scenario,
+                     const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+ private:
+  ag::Variable Logits(const ag::Variable& user_emb, const ag::Variable& item_emb,
+                      const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items) const;
+  /// BCE on one domain's batch plus the text-anchoring penalty.
+  ag::Variable DomainLoss(const ag::Variable& user_emb, const ag::Variable& item_emb,
+                          const IdBatch& batch, const data::DomainData& domain) const;
+  void TrainOn(const data::LabeledExamples& target_examples,
+               const data::LabeledExamples& source_examples, int epochs, float lr,
+               const eval::TrainContext& ctx, Rng* rng);
+
+  TdarConfig config_;
+  // Target and source id-embedding tables; text projections are shared.
+  ag::Variable target_user_emb_, target_item_emb_;
+  ag::Variable source_user_emb_, source_item_emb_;
+  std::unique_ptr<nn::Linear> user_text_proj_, item_text_proj_;
+  ag::Variable bias_;
+  nn::ParamList params_;
+  std::vector<Tensor> post_fit_snapshot_;
+  const data::DomainData* target_ = nullptr;
+  const data::DomainData* source_ = nullptr;  ///< largest source domain
+};
+
+}  // namespace baselines
+}  // namespace metadpa
+
+#endif  // METADPA_BASELINES_TDAR_H_

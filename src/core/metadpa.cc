@@ -1,0 +1,124 @@
+#include "core/metadpa.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace metadpa {
+namespace core {
+
+MetaDpaConfig ApplyVariant(MetaDpaConfig config, MetaDpaVariant variant) {
+  switch (variant) {
+    case MetaDpaVariant::kFull:
+      config.adaptation.use_mdi = true;
+      config.adaptation.use_me = true;
+      break;
+    case MetaDpaVariant::kMeOnly:
+      config.adaptation.use_mdi = false;
+      config.adaptation.use_me = true;
+      break;
+    case MetaDpaVariant::kMdiOnly:
+      config.adaptation.use_mdi = true;
+      config.adaptation.use_me = false;
+      break;
+  }
+  return config;
+}
+
+MetaDpa::MetaDpa(const MetaDpaConfig& config, MetaDpaVariant variant)
+    : config_(ApplyVariant(config, variant)), variant_(variant) {}
+
+std::string MetaDpa::name() const {
+  switch (variant_) {
+    case MetaDpaVariant::kFull:
+      return "MetaDPA";
+    case MetaDpaVariant::kMeOnly:
+      return "MetaDPA-ME";
+    case MetaDpaVariant::kMdiOnly:
+      return "MetaDPA-MDI";
+  }
+  return "MetaDPA";
+}
+
+void MetaDpa::Fit(const eval::TrainContext& ctx) {
+  MDPA_CHECK(ctx.dataset != nullptr);
+  MDPA_CHECK(ctx.splits != nullptr);
+  target_ = &ctx.dataset->target;
+  train_ = &ctx.splits->train;
+  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  Rng rng(config_.seed + ctx.seed);
+
+  // ---- Block 1: multi-source domain adaptation (k Dual-CVAEs). ----
+  Stopwatch timer;
+  adaptation_ = std::make_unique<cvae::DomainAdaptation>(config_.adaptation);
+  cvae::AdaptationReport report = adaptation_->Fit(*ctx.dataset);
+  block1_seconds_ = timer.ElapsedSeconds();
+  MDPA_LOG(kDebug) << name() << " block1 done in " << block1_seconds_ << "s over "
+                   << report.shared_user_pairs << " shared-user pairs";
+
+  // ---- Block 2: diverse preference augmentation. ----
+  timer.Reset();
+  generated_ = adaptation_->GenerateDiverseRatings(*target_);
+  block2_seconds_ = timer.ElapsedSeconds();
+
+  // ---- Block 3: preference meta-learning over original + augmented tasks. ----
+  timer.Reset();
+  meta::PreferenceModelConfig model_config = config_.model;
+  model_config.content_dim = target_->user_content.dim(1);
+  model_ = std::make_unique<meta::PreferenceModel>(model_config, &rng);
+  trainer_ = std::make_unique<meta::MamlTrainer>(model_.get(), config_.maml);
+
+  std::vector<meta::Task> tasks =
+      meta::BuildTasks(ctx.splits->train, target_->user_content, target_->item_content,
+                       config_.tasks, &rng);
+  MDPA_CHECK(!tasks.empty()) << "no meta-training tasks; training data too sparse";
+  if (config_.use_augmentation) {
+    // Generated labels are only trusted for items the adaptation block
+    // actually observed (see MetaDpaConfig::min_item_degree_for_augmentation).
+    std::vector<bool> keep_item(static_cast<size_t>(target_->num_items()), false);
+    for (int64_t i = 0; i < target_->num_items(); ++i) {
+      keep_item[static_cast<size_t>(i)] =
+          ctx.splits->train.ItemDegree(i) >= config_.min_item_degree_for_augmentation;
+    }
+    const size_t original = tasks.size();
+    for (const Tensor& generated : generated_) {
+      std::vector<meta::Task> augmented = meta::RelabelTasks(
+          std::vector<meta::Task>(tasks.begin(), tasks.begin() + original), generated);
+      for (meta::Task& task : augmented) {
+        task.loss_weight = config_.augmented_weight;
+        task = meta::FilterTaskItems(task, keep_item, target_->user_content,
+                                     target_->item_content);
+        if (task.query_size() > 0) tasks.push_back(std::move(task));
+      }
+    }
+  }
+  meta_losses_ = trainer_->Train(tasks);
+  block3_seconds_ = timer.ElapsedSeconds();
+}
+
+std::vector<double> MetaDpa::ScoreCase(const data::EvalCase& eval_case,
+                                       const std::vector<int64_t>& items) {
+  MDPA_CHECK(trainer_ != nullptr) << "ScoreCase before Fit";
+  // Adapt on everything observed for this user: the scenario support plus
+  // the warm training history (never the held-out positive).
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, *train_);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target_->ratings, target_->user_content,
+      target_->item_content, /*negatives_per_positive=*/1, &score_rng_);
+  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
+
+  // Score the candidate items in one batch.
+  Tensor item_rows = t::IndexSelect(target_->item_content, items);
+  const int64_t width = target_->user_content.dim(1);
+  Tensor user_rows({static_cast<int64_t>(items.size()), width});
+  for (size_t r = 0; r < items.size(); ++r) {
+    std::copy(target_->user_content.data() + eval_case.user * width,
+              target_->user_content.data() + (eval_case.user + 1) * width,
+              user_rows.data() + static_cast<int64_t>(r) * width);
+  }
+  return trainer_->ScoreWith(fast, user_rows, item_rows);
+}
+
+}  // namespace core
+}  // namespace metadpa

@@ -1,0 +1,94 @@
+// MetaDPA: the paper's primary contribution, assembled from the three blocks
+// (multi-source domain adaptation -> diverse preference augmentation ->
+// preference meta-learning) behind the common Recommender interface.
+#ifndef METADPA_CORE_METADPA_H_
+#define METADPA_CORE_METADPA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cvae/adaptation.h"
+#include "eval/recommender.h"
+#include "meta/maml.h"
+#include "meta/preference_model.h"
+#include "meta/tasks.h"
+
+namespace metadpa {
+namespace core {
+
+/// \brief Full pipeline configuration.
+struct MetaDpaConfig {
+  cvae::AdaptationConfig adaptation;
+  meta::MamlConfig maml;
+  meta::PreferenceModelConfig model;  ///< content_dim is filled in at Fit time
+  meta::TaskOptions tasks;
+  /// Train the meta-learner on augmented tasks (disable to reduce MetaDPA to
+  /// plain MAML over original tasks — used by ablations).
+  bool use_augmentation = true;
+  /// Loss weight of each augmented task relative to an original task.
+  float augmented_weight = 0.3f;
+  /// Items with fewer training ratings than this are dropped from augmented
+  /// tasks: the Dual-CVAE never saw them positive, so its generated labels
+  /// for them are pure prior and would teach the meta-learner to veto new
+  /// items (hurting C-I / C-UI).
+  int64_t min_item_degree_for_augmentation = 3;
+  uint64_t seed = 29;
+};
+
+/// \brief Ablation variants of §V-E.
+enum class MetaDpaVariant {
+  kFull,     ///< MDI + ME
+  kMeOnly,   ///< "MetaDPA-ME": only the ME constraint
+  kMdiOnly,  ///< "MetaDPA-MDI": only the MDI constraint
+};
+
+/// \brief Applies a variant's constraint toggles to a config.
+MetaDpaConfig ApplyVariant(MetaDpaConfig config, MetaDpaVariant variant);
+
+/// \brief The MetaDPA recommender.
+class MetaDpa : public eval::Recommender {
+ public:
+  explicit MetaDpa(const MetaDpaConfig& config,
+                   MetaDpaVariant variant = MetaDpaVariant::kFull);
+
+  std::string name() const override;
+  void Fit(const eval::TrainContext& ctx) override;
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+
+  /// \brief The k generated rating matrices (available after Fit; exposed for
+  /// tests, the diversity ablation and the augmentation example).
+  const std::vector<Tensor>& generated_ratings() const { return generated_; }
+
+  /// \brief Per-block training seconds of the last Fit (Fig. 6).
+  double block1_seconds() const { return block1_seconds_; }
+  double block2_seconds() const { return block2_seconds_; }
+  double block3_seconds() const { return block3_seconds_; }
+
+  /// \brief Meta-training loss trajectory of the last Fit.
+  const std::vector<float>& meta_losses() const { return meta_losses_; }
+
+ private:
+  MetaDpaConfig config_;
+  MetaDpaVariant variant_;
+  std::unique_ptr<cvae::DomainAdaptation> adaptation_;
+  std::unique_ptr<meta::PreferenceModel> model_;
+  std::unique_ptr<meta::MamlTrainer> trainer_;
+  std::vector<Tensor> generated_;
+  std::vector<float> meta_losses_;
+
+  // Scoring context captured at Fit time.
+  const data::DomainData* target_ = nullptr;
+  const data::InteractionMatrix* train_ = nullptr;
+  Rng score_rng_{17};
+
+  double block1_seconds_ = 0.0;
+  double block2_seconds_ = 0.0;
+  double block3_seconds_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace metadpa
+
+#endif  // METADPA_CORE_METADPA_H_

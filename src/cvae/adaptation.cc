@@ -1,0 +1,188 @@
+#include "cvae/adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace cvae {
+namespace {
+
+/// Aligned shared-user training matrices for one source-target pair.
+struct AlignedPairs {
+  Tensor r_s, x_s, r_t, x_t;
+  int64_t count = 0;
+};
+
+AlignedPairs BuildAlignedPairs(const data::DomainData& source,
+                               const data::DomainData& target,
+                               const std::vector<std::pair<int64_t, int64_t>>& shared) {
+  AlignedPairs out;
+  out.count = static_cast<int64_t>(shared.size());
+  std::vector<int64_t> src_users, tgt_users;
+  src_users.reserve(shared.size());
+  tgt_users.reserve(shared.size());
+  for (const auto& [su, tu] : shared) {
+    src_users.push_back(su);
+    tgt_users.push_back(tu);
+  }
+  out.r_s = source.ratings.DenseRows(src_users);
+  out.x_s = t::IndexSelect(source.user_content, src_users);
+  out.r_t = target.ratings.DenseRows(tgt_users);
+  out.x_t = t::IndexSelect(target.user_content, tgt_users);
+  return out;
+}
+
+Tensor SelectRows(const Tensor& m, const std::vector<int64_t>& rows) {
+  return t::IndexSelect(m, rows);
+}
+
+/// Trains one Dual-CVAE; returns (first epoch loss, final epoch loss).
+std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
+                                 const AdaptationConfig& config, Rng rng) {
+  optim::Adam opt(model->Parameters(), config.learning_rate);
+  std::vector<int64_t> order(static_cast<size_t>(pairs.count));
+  std::iota(order.begin(), order.end(), 0);
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < pairs.count; start += config.batch_size) {
+      const int64_t len = std::min<int64_t>(config.batch_size, pairs.count - start);
+      if (len < 2) break;  // InfoNCE needs in-batch negatives
+      std::vector<int64_t> rows(order.begin() + start, order.begin() + start + len);
+      DualCvaeLosses losses = model->ComputeLosses(
+          SelectRows(pairs.r_s, rows), SelectRows(pairs.x_s, rows),
+          SelectRows(pairs.r_t, rows), SelectRows(pairs.x_t, rows), &rng);
+      opt.Step(losses.total);
+      epoch_loss += losses.total.item();
+      ++batches;
+    }
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    if (epoch == 0) first_loss = mean_loss;
+    last_loss = mean_loss;
+  }
+  return {first_loss, last_loss};
+}
+
+}  // namespace
+
+DomainAdaptation::DomainAdaptation(const AdaptationConfig& config) : config_(config) {}
+
+AdaptationReport DomainAdaptation::Fit(const data::MultiDomainDataset& dataset) {
+  MDPA_CHECK_EQ(dataset.sources.size(), dataset.shared_users.size());
+  const size_t k = dataset.sources.size();
+  models_.clear();
+  models_.resize(k);
+
+  AdaptationReport report;
+  report.final_total_loss.resize(k, 0.0f);
+  report.first_epoch_loss.resize(k, 0.0f);
+  report.train_seconds.resize(k, 0.0);
+
+  Rng seed_rng(config_.seed);
+  std::vector<uint64_t> seeds(k);
+  for (auto& s : seeds) s = seed_rng.Next();
+
+  auto train_domain = [&](size_t s) {
+    Rng rng(seeds[s]);
+    AlignedPairs pairs = BuildAlignedPairs(dataset.sources[s], dataset.target,
+                                           dataset.shared_users[s]);
+    MDPA_CHECK_GE(pairs.count, 2)
+        << "source " << dataset.sources[s].name << " has too few shared users";
+
+    DualCvaeConfig cc;
+    cc.source_items = dataset.sources[s].num_items();
+    cc.target_items = dataset.target.num_items();
+    cc.content_dim = dataset.target.user_content.dim(1);
+    cc.hidden_dim = config_.hidden_dim;
+    cc.latent_dim = config_.latent_dim;
+    cc.beta1 = config_.beta1;
+    cc.beta2 = config_.beta2;
+    cc.use_mdi = config_.use_mdi;
+    cc.use_me = config_.use_me;
+    models_[s] = std::make_unique<DualCvae>(cc, &rng);
+
+    Stopwatch timer;
+    auto [first, last] = TrainOne(models_[s].get(), pairs, config_, rng.Split());
+    report.train_seconds[s] = timer.ElapsedSeconds();
+    report.first_epoch_loss[s] = first;
+    report.final_total_loss[s] = last;
+  };
+
+  if (config_.parallel && k > 1) {
+    ThreadPool::Global().ParallelFor(k, train_domain);
+  } else {
+    for (size_t s = 0; s < k; ++s) train_domain(s);
+  }
+  for (const auto& shared : dataset.shared_users) {
+    report.shared_user_pairs += static_cast<int64_t>(shared.size());
+  }
+  return report;
+}
+
+namespace {
+
+void MinMaxCalibrateRows(Tensor* m) {
+  const int64_t rows = m->dim(0), cols = m->dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    float lo = m->at(r, 0), hi = m->at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) {
+      lo = std::min(lo, m->at(r, c));
+      hi = std::max(hi, m->at(r, c));
+    }
+    const float span = hi - lo;
+    if (span < 1e-12f) {
+      for (int64_t c = 0; c < cols; ++c) m->at(r, c) = 0.0f;
+      continue;
+    }
+    for (int64_t c = 0; c < cols; ++c) m->at(r, c) = (m->at(r, c) - lo) / span;
+  }
+}
+
+}  // namespace
+
+std::vector<Tensor> DomainAdaptation::GenerateDiverseRatings(
+    const data::DomainData& target) const {
+  MDPA_CHECK(!models_.empty()) << "GenerateDiverseRatings before Fit";
+  std::vector<Tensor> generated;
+  generated.reserve(models_.size());
+  for (const auto& model : models_) {
+    Tensor g = model->GenerateTargetRatings(target.user_content);
+    if (config_.calibrate_rows) MinMaxCalibrateRows(&g);
+    generated.push_back(std::move(g));
+  }
+  return generated;
+}
+
+double RatingDiversity(const std::vector<Tensor>& generated) {
+  if (generated.size() < 2) return 0.0;
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (size_t a = 0; a < generated.size(); ++a) {
+    for (size_t b = a + 1; b < generated.size(); ++b) {
+      const Tensor& ga = generated[a];
+      const Tensor& gb = generated[b];
+      MDPA_CHECK(SameShape(ga.shape(), gb.shape()));
+      double l1 = 0.0;
+      for (int64_t i = 0; i < ga.numel(); ++i) {
+        l1 += std::fabs(static_cast<double>(ga.at(i)) - gb.at(i));
+      }
+      total += l1 / static_cast<double>(ga.numel());
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace cvae
+}  // namespace metadpa

@@ -1,0 +1,164 @@
+#include "cvae/dual_cvae.h"
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace cvae {
+namespace {
+
+/// Reparameterized sample z = mu + exp(0.5 * logvar) * eps.
+ag::Variable Reparameterize(const ag::Variable& mu, const ag::Variable& logvar,
+                            Rng* rng) {
+  Tensor eps = Tensor::RandNormal(mu.shape(), rng);
+  return ag::Add(mu, ag::Mul(ag::Exp(ag::MulScalar(logvar, 0.5f)),
+                             ag::Constant(std::move(eps))));
+}
+
+/// Conditional KL of Eq. (3): 0.5 * mean_B sum_l
+///   (sigma^2 + (mu - z^x)^2 - log sigma^2 - 1).
+ag::Variable ConditionalKl(const ag::Variable& mu, const ag::Variable& logvar,
+                           const ag::Variable& z_x) {
+  ag::Variable var = ag::Exp(logvar);
+  ag::Variable diff = ag::Sub(mu, z_x);
+  ag::Variable per_dim = ag::Sub(ag::Add(var, ag::Mul(diff, diff)),
+                                 ag::AddScalar(logvar, 1.0f));
+  return ag::MulScalar(ag::MeanAll(ag::Sum(per_dim, 1, /*keepdims=*/false)), 0.5f);
+}
+
+}  // namespace
+
+CvaeSide::CvaeSide(int64_t num_items, int64_t content_dim, int64_t hidden_dim,
+                   int64_t latent_dim, Rng* rng)
+    : enc_hidden_(num_items + content_dim, hidden_dim, rng, nn::Init::kHeNormal),
+      enc_mu_(hidden_dim, latent_dim, rng),
+      enc_logvar_(hidden_dim, latent_dim, rng, nn::Init::kZeros),
+      content_hidden_(content_dim, hidden_dim, rng, nn::Init::kHeNormal),
+      content_out_(hidden_dim, latent_dim, rng),
+      dec_hidden_(latent_dim + content_dim, hidden_dim, rng, nn::Init::kHeNormal),
+      dec_out_(hidden_dim, num_items, rng) {}
+
+std::pair<ag::Variable, ag::Variable> CvaeSide::Encode(const ag::Variable& ratings,
+                                                       const ag::Variable& content) const {
+  ag::Variable h = ag::Relu(enc_hidden_.Forward(ag::ConcatCols({ratings, content})));
+  return {enc_mu_.Forward(h), enc_logvar_.Forward(h)};
+}
+
+ag::Variable CvaeSide::EncodeContent(const ag::Variable& content) const {
+  return content_out_.Forward(ag::Relu(content_hidden_.Forward(content)));
+}
+
+ag::Variable CvaeSide::DecodeLogits(const ag::Variable& z,
+                                    const ag::Variable& content) const {
+  ag::Variable h = ag::Relu(dec_hidden_.Forward(ag::ConcatCols({z, content})));
+  return dec_out_.Forward(h);
+}
+
+nn::ParamList CvaeSide::Parameters() const {
+  nn::ParamList params;
+  for (const nn::Linear* layer : {&enc_hidden_, &enc_mu_, &enc_logvar_, &content_hidden_,
+                                  &content_out_, &dec_hidden_, &dec_out_}) {
+    nn::ParamList p = layer->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+DualCvae::DualCvae(const DualCvaeConfig& config, Rng* rng)
+    : config_(config),
+      source_(config.source_items, config.content_dim, config.hidden_dim,
+              config.latent_dim, rng),
+      target_(config.target_items, config.content_dim, config.hidden_dim,
+              config.latent_dim, rng),
+      mdi_critic_(config.latent_dim, config.latent_dim, config.latent_dim,
+                  config.infonce_temperature, rng),
+      me_critic_(config.source_items, config.target_items, config.latent_dim,
+                 config.infonce_temperature, rng) {
+  MDPA_CHECK_GT(config.source_items, 0);
+  MDPA_CHECK_GT(config.target_items, 0);
+  MDPA_CHECK_GT(config.content_dim, 0);
+}
+
+DualCvaeLosses DualCvae::ComputeLosses(const Tensor& r_s, const Tensor& x_s,
+                                       const Tensor& r_t, const Tensor& x_t,
+                                       Rng* rng) const {
+  ag::Variable vr_s = ag::Constant(r_s);
+  ag::Variable vx_s = ag::Constant(x_s);
+  ag::Variable vr_t = ag::Constant(r_t);
+  ag::Variable vx_t = ag::Constant(x_t);
+
+  auto [mu_s, logvar_s] = source_.Encode(vr_s, vx_s);
+  auto [mu_t, logvar_t] = target_.Encode(vr_t, vx_t);
+  ag::Variable z_s = Reparameterize(mu_s, logvar_s, rng);
+  ag::Variable z_t = Reparameterize(mu_t, logvar_t, rng);
+  ag::Variable zx_s = source_.EncodeContent(vx_s);
+  ag::Variable zx_t = target_.EncodeContent(vx_t);
+
+  DualCvaeLosses losses;
+
+  // Eq. (2): within-domain reconstruction (BCE, implicit feedback) ...
+  ag::Variable logits_s = source_.DecodeLogits(z_s, vx_s);
+  ag::Variable logits_t = target_.DecodeLogits(z_t, vx_t);
+  losses.elbo_recon =
+      ag::Add(ag::BceWithLogits(logits_s, vr_s), ag::BceWithLogits(logits_t, vr_t));
+
+  // ... plus the conditional KL of Eq. (3).
+  losses.kl = ag::Add(ConditionalKl(mu_s, logvar_s, zx_s),
+                      ConditionalKl(mu_t, logvar_t, zx_t));
+
+  // Eq. (4): align sampled latents with the content embeddings so that the
+  // content-only path (E^x -> D) can reconstruct ratings at generation time.
+  losses.mse_align = ag::Add(ag::MseLoss(z_s, zx_s), ag::MseLoss(z_t, zx_t));
+
+  // Eq. (5): cross-domain reconstruction - decode each domain's ratings from
+  // the OTHER domain's latent.
+  ag::Variable cross_s = source_.DecodeLogits(z_t, vx_s);
+  ag::Variable cross_t = target_.DecodeLogits(z_s, vx_t);
+  losses.cross_recon =
+      ag::Add(ag::BceWithLogits(cross_s, vr_s), ag::BceWithLogits(cross_t, vr_t));
+
+  // Content-only path (the red generation path of Fig. 1): decode ratings
+  // from the content embedding alone so block 2 generates faithful rows.
+  ag::Variable content_logits_s = source_.DecodeLogits(zx_s, vx_s);
+  ag::Variable content_logits_t = target_.DecodeLogits(zx_t, vx_t);
+  losses.content_recon = ag::Add(ag::BceWithLogits(content_logits_s, vr_s),
+                                 ag::BceWithLogits(content_logits_t, vr_t));
+
+  // Eq. (6): MDI constraint, -I(z_s, z_t) via InfoNCE.
+  losses.mdi = config_.use_mdi ? mdi_critic_.Loss(z_s, z_t)
+                               : ag::ConstantScalar(0.0f);
+
+  // Eq. (7): ME constraint, -I(r_hat_s, r_hat_t) on decoder outputs; ties the
+  // target generation to this source's domain-specific patterns so different
+  // Dual-CVAEs generate DIVERSE target ratings.
+  losses.me = config_.use_me
+                  ? me_critic_.Loss(ag::Sigmoid(logits_s), ag::Sigmoid(logits_t))
+                  : ag::ConstantScalar(0.0f);
+
+  // Eq. (8) plus the content-path term.
+  losses.total = ag::Add(
+      ag::Add(ag::Add(losses.elbo_recon, losses.kl),
+              ag::Add(losses.mse_align, losses.cross_recon)),
+      ag::Add(ag::MulScalar(losses.content_recon, config_.content_recon_weight),
+              ag::Add(ag::MulScalar(losses.mdi, config_.beta1),
+                      ag::MulScalar(losses.me, config_.beta2))));
+  return losses;
+}
+
+Tensor DualCvae::GenerateTargetRatings(const Tensor& target_content) const {
+  ag::Variable content = ag::Constant(target_content);
+  ag::Variable z = target_.EncodeContent(content);
+  ag::Variable logits = target_.DecodeLogits(z, content);
+  return t::Sigmoid(logits.data());
+}
+
+nn::ParamList DualCvae::Parameters() const {
+  nn::ParamList params = source_.Parameters();
+  for (const nn::ParamList& extra :
+       {target_.Parameters(), mdi_critic_.Parameters(), me_critic_.Parameters()}) {
+    params.insert(params.end(), extra.begin(), extra.end());
+  }
+  return params;
+}
+
+}  // namespace cvae
+}  // namespace metadpa

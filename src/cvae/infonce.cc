@@ -1,0 +1,56 @@
+#include "cvae/infonce.h"
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace cvae {
+namespace {
+
+/// Row-wise L2 normalization (differentiable).
+ag::Variable NormalizeRows(const ag::Variable& z) {
+  ag::Variable norm =
+      ag::Sqrt(ag::AddScalar(ag::Sum(ag::Mul(z, z), 1, /*keepdims=*/true), 1e-8f));
+  return ag::Div(z, norm);
+}
+
+/// Mean of the diagonal of a square matrix (differentiable).
+ag::Variable DiagonalMean(const ag::Variable& m) {
+  const int64_t b = m.shape()[0];
+  Tensor eye({b, b}, 0.0f);
+  for (int64_t i = 0; i < b; ++i) eye.at(i, i) = 1.0f;
+  return ag::MulScalar(ag::SumAll(ag::Mul(m, ag::Constant(std::move(eye)))),
+                       1.0f / static_cast<float>(b));
+}
+
+}  // namespace
+
+InfoNce::InfoNce(int64_t dim_a, int64_t dim_b, int64_t embed_dim, float temperature,
+                 Rng* rng)
+    : proj_a_(dim_a, embed_dim, rng),
+      proj_b_(dim_b, embed_dim, rng),
+      temperature_(temperature) {
+  MDPA_CHECK_GT(temperature, 0.0f);
+}
+
+ag::Variable InfoNce::Loss(const ag::Variable& a, const ag::Variable& b) const {
+  MDPA_CHECK_EQ(a.shape()[0], b.shape()[0]);
+  MDPA_CHECK_GE(a.shape()[0], 2) << "InfoNCE needs at least 2 in-batch negatives";
+  ag::Variable za = NormalizeRows(proj_a_.Forward(a));
+  ag::Variable zb = NormalizeRows(proj_b_.Forward(b));
+  ag::Variable logits =
+      ag::MulScalar(ag::MatMul(za, ag::Transpose(zb)), 1.0f / temperature_);
+  // Symmetric cross-entropy against the diagonal pairing.
+  ag::Variable loss_ab = ag::Neg(DiagonalMean(ag::LogSoftmax(logits)));
+  ag::Variable loss_ba = ag::Neg(DiagonalMean(ag::LogSoftmax(ag::Transpose(logits))));
+  return ag::MulScalar(ag::Add(loss_ab, loss_ba), 0.5f);
+}
+
+nn::ParamList InfoNce::Parameters() const {
+  nn::ParamList params = proj_a_.Parameters();
+  nn::ParamList pb = proj_b_.Parameters();
+  params.insert(params.end(), pb.begin(), pb.end());
+  return params;
+}
+
+}  // namespace cvae
+}  // namespace metadpa

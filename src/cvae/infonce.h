@@ -1,0 +1,43 @@
+// InfoNCE mutual-information estimator (van den Oord et al.), used for both
+// constraints of Eq. (8):
+//   * MDI (Eq. 6): maximize I(z_s, z_t) over latent representations,
+//   * ME  (Eq. 7): maximize I(r_hat_s, r_hat_t) over decoder outputs.
+// Minimizing the InfoNCE loss maximizes a lower bound on the MI between the
+// paired batches, so both constraints enter the objective as beta * loss.
+#ifndef METADPA_CVAE_INFONCE_H_
+#define METADPA_CVAE_INFONCE_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace cvae {
+
+/// \brief Symmetric InfoNCE critic with learned linear projection heads that
+/// map both views into a shared embedding space (needed because rating
+/// vectors of different domains have different dimensionality).
+class InfoNce {
+ public:
+  /// \brief dim_a/dim_b: input widths of the two views; embed_dim: critic
+  /// space; temperature: softmax sharpness.
+  InfoNce(int64_t dim_a, int64_t dim_b, int64_t embed_dim, float temperature, Rng* rng);
+
+  /// \brief InfoNCE loss for aligned batches a (B, dim_a), b (B, dim_b):
+  /// row i of a is the positive pair of row i of b. Returns a scalar; smaller
+  /// means higher mutual information. Requires B >= 2.
+  ag::Variable Loss(const ag::Variable& a, const ag::Variable& b) const;
+
+  /// \brief Critic parameters (trained jointly with the model).
+  nn::ParamList Parameters() const;
+
+ private:
+  nn::Linear proj_a_;
+  nn::Linear proj_b_;
+  float temperature_;
+};
+
+}  // namespace cvae
+}  // namespace metadpa
+
+#endif  // METADPA_CVAE_INFONCE_H_

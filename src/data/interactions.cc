@@ -1,0 +1,86 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace data {
+
+InteractionMatrix::InteractionMatrix(int64_t num_users, int64_t num_items)
+    : num_users_(num_users),
+      num_items_(num_items),
+      user_items_(static_cast<size_t>(num_users)),
+      item_degree_(static_cast<size_t>(num_items), 0) {
+  MDPA_CHECK_GE(num_users, 0);
+  MDPA_CHECK_GE(num_items, 0);
+}
+
+void InteractionMatrix::Add(int64_t user, int64_t item) {
+  MDPA_CHECK_GE(user, 0);
+  MDPA_CHECK_LT(user, num_users_);
+  MDPA_CHECK_GE(item, 0);
+  MDPA_CHECK_LT(item, num_items_);
+  auto& items = user_items_[static_cast<size_t>(user)];
+  const auto it = std::lower_bound(items.begin(), items.end(), static_cast<int32_t>(item));
+  if (it != items.end() && *it == static_cast<int32_t>(item)) return;
+  items.insert(it, static_cast<int32_t>(item));
+  ++item_degree_[static_cast<size_t>(item)];
+}
+
+bool InteractionMatrix::Remove(int64_t user, int64_t item) {
+  auto& items = user_items_[static_cast<size_t>(user)];
+  const auto it = std::lower_bound(items.begin(), items.end(), static_cast<int32_t>(item));
+  if (it == items.end() || *it != static_cast<int32_t>(item)) return false;
+  items.erase(it);
+  --item_degree_[static_cast<size_t>(item)];
+  return true;
+}
+
+bool InteractionMatrix::Has(int64_t user, int64_t item) const {
+  const auto& items = user_items_[static_cast<size_t>(user)];
+  return std::binary_search(items.begin(), items.end(), static_cast<int32_t>(item));
+}
+
+const std::vector<int32_t>& InteractionMatrix::ItemsOf(int64_t user) const {
+  MDPA_CHECK_GE(user, 0);
+  MDPA_CHECK_LT(user, num_users_);
+  return user_items_[static_cast<size_t>(user)];
+}
+
+int64_t InteractionMatrix::ItemDegree(int64_t item) const {
+  MDPA_CHECK_GE(item, 0);
+  MDPA_CHECK_LT(item, num_items_);
+  return item_degree_[static_cast<size_t>(item)];
+}
+
+int64_t InteractionMatrix::NumRatings() const {
+  int64_t n = 0;
+  for (const auto& items : user_items_) n += static_cast<int64_t>(items.size());
+  return n;
+}
+
+double InteractionMatrix::Sparsity() const {
+  const double cells = static_cast<double>(num_users_) * static_cast<double>(num_items_);
+  if (cells == 0) return 1.0;
+  return 1.0 - static_cast<double>(NumRatings()) / cells;
+}
+
+Tensor InteractionMatrix::DenseRow(int64_t user) const {
+  Tensor row({num_items_}, 0.0f);
+  for (int32_t item : ItemsOf(user)) row.at(item) = 1.0f;
+  return row;
+}
+
+Tensor InteractionMatrix::DenseRows(const std::vector<int64_t>& users) const {
+  Tensor rows({static_cast<int64_t>(users.size()), num_items_}, 0.0f);
+  for (size_t r = 0; r < users.size(); ++r) {
+    for (int32_t item : ItemsOf(users[r])) {
+      rows.at(static_cast<int64_t>(r), item) = 1.0f;
+    }
+  }
+  return rows;
+}
+
+}  // namespace data
+}  // namespace metadpa

@@ -1,0 +1,63 @@
+// Sparse implicit-feedback interaction matrix.
+#ifndef METADPA_DATA_INTERACTIONS_H_
+#define METADPA_DATA_INTERACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metadpa {
+namespace data {
+
+/// \brief Sparse binary user-item interactions stored as per-user sorted item
+/// lists. r_ui = 1 iff the user interacted with the item (paper §III-A).
+class InteractionMatrix {
+ public:
+  InteractionMatrix() : num_users_(0), num_items_(0) {}
+  InteractionMatrix(int64_t num_users, int64_t num_items);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+
+  /// \brief Records an interaction (idempotent).
+  void Add(int64_t user, int64_t item);
+
+  /// \brief Removes an interaction if present; returns whether it existed.
+  bool Remove(int64_t user, int64_t item);
+
+  /// \brief O(log n) membership test.
+  bool Has(int64_t user, int64_t item) const;
+
+  /// \brief Sorted item ids the user interacted with.
+  const std::vector<int32_t>& ItemsOf(int64_t user) const;
+
+  /// \brief Number of interactions of one user.
+  int64_t Degree(int64_t user) const { return static_cast<int64_t>(ItemsOf(user).size()); }
+
+  /// \brief Number of users who interacted with the item.
+  int64_t ItemDegree(int64_t item) const;
+
+  /// \brief Total interaction count.
+  int64_t NumRatings() const;
+
+  /// \brief 1 - ratings / (users * items), the paper's sparsity statistic.
+  double Sparsity() const;
+
+  /// \brief Dense 0/1 row for one user, shape (num_items).
+  Tensor DenseRow(int64_t user) const;
+
+  /// \brief Dense 0/1 matrix for a set of users, shape (|users|, num_items).
+  Tensor DenseRows(const std::vector<int64_t>& users) const;
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  std::vector<std::vector<int32_t>> user_items_;
+  std::vector<int64_t> item_degree_;
+};
+
+}  // namespace data
+}  // namespace metadpa
+
+#endif  // METADPA_DATA_INTERACTIONS_H_

@@ -1,0 +1,99 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "tensor/serialize.h"
+
+namespace metadpa {
+namespace data {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveInteractions(const std::string& path, const InteractionMatrix& matrix) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return Status::IoError("cannot open for writing: " + path);
+  std::fprintf(file.get(), "# users=%lld items=%lld\n",
+               static_cast<long long>(matrix.num_users()),
+               static_cast<long long>(matrix.num_items()));
+  for (int64_t u = 0; u < matrix.num_users(); ++u) {
+    for (int32_t item : matrix.ItemsOf(u)) {
+      std::fprintf(file.get(), "%lld\t%d\n", static_cast<long long>(u), item);
+    }
+  }
+  return Status::OK();
+}
+
+Result<InteractionMatrix> LoadInteractions(const std::string& path, int64_t num_users,
+                                           int64_t num_items) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) return Status::NotFound("cannot open: " + path);
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  int64_t max_user = -1, max_item = -1;
+  char line[256];
+  int64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    long long user = 0, item = 0;
+    if (std::sscanf(line, "%lld\t%lld", &user, &item) != 2 &&
+        std::sscanf(line, "%lld %lld", &user, &item) != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 'user<TAB>item'");
+    }
+    if (user < 0 || item < 0) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": negative id");
+    }
+    pairs.emplace_back(user, item);
+    max_user = std::max<int64_t>(max_user, user);
+    max_item = std::max<int64_t>(max_item, item);
+  }
+  if (num_users == 0) num_users = max_user + 1;
+  if (num_items == 0) num_items = max_item + 1;
+  if (max_user >= num_users || max_item >= num_items) {
+    return Status::OutOfRange("interaction ids exceed the declared matrix size");
+  }
+  InteractionMatrix matrix(num_users, num_items);
+  for (const auto& [user, item] : pairs) matrix.Add(user, item);
+  return matrix;
+}
+
+Status SaveDomain(const std::string& prefix, const DomainData& domain) {
+  MDPA_RETURN_NOT_OK(SaveInteractions(prefix + ".ratings.tsv", domain.ratings));
+  return t::SaveTensors(prefix + ".content.bin",
+                        {domain.user_content, domain.item_content});
+}
+
+Result<DomainData> LoadDomain(const std::string& prefix, const std::string& name) {
+  Result<std::vector<Tensor>> content = t::LoadTensors(prefix + ".content.bin");
+  if (!content.ok()) return content.status();
+  if (content.ValueOrDie().size() != 2) {
+    return Status::InvalidArgument("domain content file must hold exactly 2 tensors");
+  }
+  DomainData domain;
+  domain.name = name;
+  domain.user_content = content.ValueOrDie()[0];
+  domain.item_content = content.ValueOrDie()[1];
+  Result<InteractionMatrix> ratings =
+      LoadInteractions(prefix + ".ratings.tsv", domain.user_content.dim(0),
+                       domain.item_content.dim(0));
+  if (!ratings.ok()) return ratings.status();
+  domain.ratings = ratings.MoveValueOrDie();
+  if (domain.user_content.dim(1) != domain.item_content.dim(1)) {
+    return Status::InvalidArgument("user/item content vocabularies differ");
+  }
+  return domain;
+}
+
+}  // namespace data
+}  // namespace metadpa

@@ -1,0 +1,37 @@
+// File-based dataset I/O.
+//
+// The synthetic generator stands in for the Amazon dumps, but a downstream
+// user with the real data can export it to the simple formats here and run
+// every experiment unchanged:
+//   * interactions: one "user<TAB>item" pair per line (0-based ids),
+//   * content matrices: the binary tensor format of tensor/serialize.h.
+#ifndef METADPA_DATA_IO_H_
+#define METADPA_DATA_IO_H_
+
+#include <string>
+
+#include "data/synthetic.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace data {
+
+/// \brief Writes interactions as "user\titem" lines.
+Status SaveInteractions(const std::string& path, const InteractionMatrix& matrix);
+
+/// \brief Reads "user\titem" lines; `num_users`/`num_items` of 0 means infer
+/// them as (max id + 1). Blank lines and lines starting with '#' are skipped.
+Result<InteractionMatrix> LoadInteractions(const std::string& path,
+                                           int64_t num_users = 0, int64_t num_items = 0);
+
+/// \brief Saves a full domain (ratings + both content matrices) under
+/// `prefix` as prefix.ratings.tsv / prefix.content.bin.
+Status SaveDomain(const std::string& prefix, const DomainData& domain);
+
+/// \brief Loads a domain saved by SaveDomain.
+Result<DomainData> LoadDomain(const std::string& prefix, const std::string& name);
+
+}  // namespace data
+}  // namespace metadpa
+
+#endif  // METADPA_DATA_IO_H_

@@ -1,0 +1,205 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace data {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kWarm:
+      return "Warm-start";
+    case Scenario::kColdUser:
+      return "C-U";
+    case Scenario::kColdItem:
+      return "C-I";
+    case Scenario::kColdUserItem:
+      return "C-UI";
+  }
+  return "?";
+}
+
+const ScenarioData& DatasetSplits::ForScenario(Scenario scenario) const {
+  switch (scenario) {
+    case Scenario::kWarm:
+      return warm;
+    case Scenario::kColdUser:
+      return cold_user;
+    case Scenario::kColdItem:
+      return cold_item;
+    case Scenario::kColdUserItem:
+      return cold_ui;
+  }
+  return warm;
+}
+
+const std::vector<int64_t>& DatasetSplits::CandidateItems(Scenario scenario) const {
+  switch (scenario) {
+    case Scenario::kWarm:
+    case Scenario::kColdUser:
+      return existing_items;
+    case Scenario::kColdItem:
+    case Scenario::kColdUserItem:
+      return all_items;
+  }
+  return existing_items;
+}
+
+namespace {
+
+std::vector<int64_t> SampleNegatives(const InteractionMatrix& all, int64_t user,
+                                     const std::vector<int64_t>& candidates, int count,
+                                     Rng* rng) {
+  std::vector<int64_t> negatives;
+  negatives.reserve(static_cast<size_t>(count));
+  std::unordered_set<int64_t> used;
+  // Candidate pools are much larger than the per-user history at the sizes we
+  // generate, so rejection sampling terminates quickly.
+  int attempts = 0;
+  const int max_attempts = count * 200;
+  while (static_cast<int>(negatives.size()) < count && attempts++ < max_attempts) {
+    const int64_t item =
+        candidates[static_cast<size_t>(rng->UniformInt(candidates.size()))];
+    if (all.Has(user, item) || used.count(item)) continue;
+    used.insert(item);
+    negatives.push_back(item);
+  }
+  return negatives;
+}
+
+}  // namespace
+
+DatasetSplits MakeSplits(const DomainData& domain, const SplitOptions& options) {
+  Rng rng(options.seed);
+  const InteractionMatrix& all = domain.ratings;
+  const int64_t n = all.num_users();
+  const int64_t m = all.num_items();
+
+  DatasetSplits splits;
+  for (int64_t u = 0; u < n; ++u) {
+    (all.Degree(u) >= options.existing_threshold ? splits.existing_users
+                                                 : splits.new_users)
+        .push_back(u);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    (all.ItemDegree(i) >= options.existing_threshold ? splits.existing_items
+                                                     : splits.new_items)
+        .push_back(i);
+    splits.all_items.push_back(i);
+  }
+  std::unordered_set<int64_t> new_item_set(splits.new_items.begin(),
+                                           splits.new_items.end());
+  std::unordered_set<int64_t> new_user_set(splits.new_users.begin(),
+                                           splits.new_users.end());
+
+  splits.warm.scenario = Scenario::kWarm;
+  splits.cold_user.scenario = Scenario::kColdUser;
+  splits.cold_item.scenario = Scenario::kColdItem;
+  splits.cold_ui.scenario = Scenario::kColdUserItem;
+
+  // Warm training matrix: existing users x existing items.
+  splits.train = InteractionMatrix(n, m);
+  for (int64_t u : splits.existing_users) {
+    for (int32_t item : all.ItemsOf(u)) {
+      if (!new_item_set.count(item)) splits.train.Add(u, item);
+    }
+  }
+
+  // ---- Warm-start: hold out one existing-item positive per existing user.
+  for (int64_t u : splits.existing_users) {
+    std::vector<int64_t> warm_positives;
+    for (int32_t item : all.ItemsOf(u)) {
+      if (!new_item_set.count(item)) warm_positives.push_back(item);
+    }
+    if (warm_positives.size() < 2) continue;
+    const int64_t held =
+        warm_positives[static_cast<size_t>(rng.UniformInt(warm_positives.size()))];
+    EvalCase c;
+    c.user = u;
+    c.test_positive = held;
+    c.negatives =
+        SampleNegatives(all, u, splits.existing_items, options.num_negatives, &rng);
+    for (int64_t item : warm_positives) {
+      if (item != held) c.support_items.push_back(item);
+    }
+    if (static_cast<int>(c.negatives.size()) < options.num_negatives) continue;
+    splits.train.Remove(u, held);
+    splits.warm.cases.push_back(std::move(c));
+  }
+
+  // Helper shared by the three cold scenarios.
+  auto build_cold = [&](ScenarioData* scenario, bool users_are_new, bool items_are_new) {
+    const std::vector<int64_t>& pool =
+        items_are_new ? splits.all_items : splits.existing_items;
+    for (int64_t u = 0; u < n; ++u) {
+      const bool u_is_new = new_user_set.count(u) > 0;
+      if (u_is_new != users_are_new) continue;
+      std::vector<int64_t> positives;
+      for (int32_t item : all.ItemsOf(u)) {
+        const bool i_is_new = new_item_set.count(item) > 0;
+        if (i_is_new == items_are_new) positives.push_back(item);
+      }
+      if (positives.empty()) continue;
+      if (positives.size() == 1) {
+        // Only a support rating: contributes to fine-tuning, not to testing.
+        scenario->support.emplace_back(u, positives[0]);
+        continue;
+      }
+      const int64_t held =
+          positives[static_cast<size_t>(rng.UniformInt(positives.size()))];
+      EvalCase c;
+      c.user = u;
+      c.test_positive = held;
+      c.negatives = SampleNegatives(all, u, pool, options.num_negatives, &rng);
+      if (static_cast<int>(c.negatives.size()) < options.num_negatives) {
+        for (int64_t item : positives) scenario->support.emplace_back(u, item);
+        continue;
+      }
+      for (int64_t item : positives) {
+        if (item == held) continue;
+        c.support_items.push_back(item);
+        scenario->support.emplace_back(u, item);
+      }
+      scenario->cases.push_back(std::move(c));
+    }
+  };
+
+  build_cold(&splits.cold_user, /*users_are_new=*/true, /*items_are_new=*/false);
+  build_cold(&splits.cold_item, /*users_are_new=*/false, /*items_are_new=*/true);
+  build_cold(&splits.cold_ui, /*users_are_new=*/true, /*items_are_new=*/true);
+  return splits;
+}
+
+LabeledExamples SampleTrainingExamples(const InteractionMatrix& ratings,
+                                       int negatives_per_positive, Rng* rng) {
+  LabeledExamples out;
+  const int64_t m = ratings.num_items();
+  MDPA_CHECK_GT(m, 0);
+  for (int64_t u = 0; u < ratings.num_users(); ++u) {
+    const auto& items = ratings.ItemsOf(u);
+    for (int32_t item : items) {
+      out.users.push_back(u);
+      out.items.push_back(item);
+      out.labels.push_back(1.0f);
+      for (int k = 0; k < negatives_per_positive; ++k) {
+        // Rejection-sample an unobserved item.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const int64_t neg = static_cast<int64_t>(rng->UniformInt(m));
+          if (!ratings.Has(u, neg)) {
+            out.users.push_back(u);
+            out.items.push_back(neg);
+            out.labels.push_back(0.0f);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace metadpa

@@ -1,0 +1,96 @@
+// Scenario construction for the four recommendation problems of §III-A:
+// Warm-start, C-U (cold user), C-I (cold item), C-UI (cold user & item),
+// plus the paper's leave-one-out evaluation protocol with sampled negatives.
+#ifndef METADPA_DATA_SPLITS_H_
+#define METADPA_DATA_SPLITS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace metadpa {
+namespace data {
+
+/// \brief The four evaluation scenarios.
+enum class Scenario { kWarm, kColdUser, kColdItem, kColdUserItem };
+
+const char* ScenarioName(Scenario scenario);
+
+/// \brief One leave-one-out test case: rank `test_positive` against
+/// `negatives` for `user`.
+struct EvalCase {
+  int64_t user = -1;
+  /// The held-out positive item.
+  int64_t test_positive = -1;
+  /// Sampled unobserved items (paper: 99 per positive).
+  std::vector<int64_t> negatives;
+  /// This user's remaining positive items within the scenario (support set for
+  /// per-task adaptation; may be empty).
+  std::vector<int64_t> support_items;
+};
+
+/// \brief One scenario's fine-tuning pool and test cases.
+struct ScenarioData {
+  Scenario scenario = Scenario::kWarm;
+  /// All support (user, item) positives for this scenario, across users.
+  std::vector<std::pair<int64_t, int64_t>> support;
+  std::vector<EvalCase> cases;
+};
+
+/// \brief All splits derived from one target domain.
+struct DatasetSplits {
+  /// U_e / U_n / I_e / I_n of §III-A (>= 5 ratings = existing).
+  std::vector<int64_t> existing_users;
+  std::vector<int64_t> new_users;
+  std::vector<int64_t> existing_items;
+  std::vector<int64_t> new_items;
+  std::vector<int64_t> all_items;
+
+  /// R_w minus the warm held-out positives; the only ratings any model may
+  /// train on. Cold support ratings are NOT in here.
+  InteractionMatrix train;
+
+  ScenarioData warm;
+  ScenarioData cold_user;
+  ScenarioData cold_item;
+  ScenarioData cold_ui;
+
+  const ScenarioData& ForScenario(Scenario scenario) const;
+
+  /// Candidate item pool negatives are drawn from: I_e for Warm/C-U (the
+  /// recommendable catalogue of those scenarios), the full item set for
+  /// C-I/C-UI (a held-out NEW item is ranked against unobserved items at
+  /// large, as in the usual leave-one-out protocol — I_n alone is far smaller
+  /// than the 99 negatives the protocol needs).
+  const std::vector<int64_t>& CandidateItems(Scenario scenario) const;
+};
+
+/// \brief Options for split construction.
+struct SplitOptions {
+  int num_negatives = 99;
+  /// Threshold separating existing from new users/items (paper: 5).
+  int64_t existing_threshold = 5;
+  uint64_t seed = 7;
+};
+
+/// \brief Builds all four scenarios from a domain.
+DatasetSplits MakeSplits(const DomainData& domain, const SplitOptions& options);
+
+/// \brief Flat binary training examples drawn from an interaction matrix:
+/// every positive plus `negatives_per_positive` sampled negatives.
+struct LabeledExamples {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<float> labels;
+  size_t size() const { return users.size(); }
+};
+
+LabeledExamples SampleTrainingExamples(const InteractionMatrix& ratings,
+                                       int negatives_per_positive, Rng* rng);
+
+}  // namespace data
+}  // namespace metadpa
+
+#endif  // METADPA_DATA_SPLITS_H_

@@ -1,0 +1,46 @@
+#include "data/stats.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace metadpa {
+namespace data {
+
+DomainStats ComputeStats(const DomainData& domain) {
+  DomainStats stats;
+  stats.name = domain.name;
+  stats.num_users = domain.num_users();
+  stats.num_items = domain.num_items();
+  stats.num_ratings = domain.ratings.NumRatings();
+  stats.sparsity = domain.ratings.Sparsity();
+  return stats;
+}
+
+std::string RenderDatasetTables(const MultiDomainDataset& dataset) {
+  std::ostringstream out;
+
+  TextTable sources;
+  sources.SetHeader({"Source (S)", "#shared users (" + dataset.target.name + ")",
+                     "#users", "#items", "#ratings", "sparsity"});
+  for (size_t s = 0; s < dataset.sources.size(); ++s) {
+    const DomainStats st = ComputeStats(dataset.sources[s]);
+    sources.AddRow({st.name, std::to_string(dataset.shared_users[s].size()),
+                    std::to_string(st.num_users), std::to_string(st.num_items),
+                    std::to_string(st.num_ratings),
+                    TextTable::Num(st.sparsity * 100.0, 2) + "%"});
+  }
+  out << "Table I: source domain statistics\n" << sources.ToString() << '\n';
+
+  TextTable targets;
+  targets.SetHeader({"Dataset", "#users", "#items", "#ratings", "sparsity"});
+  const DomainStats st = ComputeStats(dataset.target);
+  targets.AddRow({st.name, std::to_string(st.num_users), std::to_string(st.num_items),
+                  std::to_string(st.num_ratings),
+                  TextTable::Num(st.sparsity * 100.0, 2) + "%"});
+  out << "Table II: target domain statistics\n" << targets.ToString();
+  return out.str();
+}
+
+}  // namespace data
+}  // namespace metadpa

@@ -1,0 +1,30 @@
+// Dataset statistics in the format of the paper's Tables I and II.
+#ifndef METADPA_DATA_STATS_H_
+#define METADPA_DATA_STATS_H_
+
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace metadpa {
+namespace data {
+
+/// \brief Per-domain summary (Table II columns).
+struct DomainStats {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_ratings = 0;
+  double sparsity = 0.0;
+};
+
+DomainStats ComputeStats(const DomainData& domain);
+
+/// \brief Renders Table I (sources with shared-user counts) and Table II
+/// (targets) for a generated dataset.
+std::string RenderDatasetTables(const MultiDomainDataset& dataset);
+
+}  // namespace data
+}  // namespace metadpa
+
+#endif  // METADPA_DATA_STATS_H_

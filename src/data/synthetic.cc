@@ -1,0 +1,346 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace data {
+namespace {
+
+/// Topic-term matrix: each latent dimension owns a block of the vocabulary
+/// plus diffuse mass, so content is informative about latents but overlapping.
+Tensor MakeTopics(int64_t latent_dim, int64_t vocab, Rng* rng) {
+  Tensor topics({latent_dim, vocab}, 0.02f);
+  const int64_t block = std::max<int64_t>(1, vocab / latent_dim);
+  for (int64_t k = 0; k < latent_dim; ++k) {
+    const int64_t lo = (k * block) % vocab;
+    for (int64_t j = 0; j < block; ++j) {
+      const int64_t term = (lo + j) % vocab;
+      topics.at(k, term) += static_cast<float>(rng->Uniform(0.5, 1.5));
+    }
+  }
+  return topics;
+}
+
+void L2NormalizeRows(Tensor* m) {
+  const int64_t rows = m->dim(0), cols = m->dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    double sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) sq += static_cast<double>(m->at(r, c)) * m->at(r, c);
+    const float inv = sq > 0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+    for (int64_t c = 0; c < cols; ++c) m->at(r, c) *= inv;
+  }
+}
+
+struct DomainLatents {
+  Tensor users;  // (n, d)
+  Tensor items;  // (m, d)
+  std::vector<double> popularity;  // additive log-bias per item
+};
+
+/// Samples `count` distinct items for one user, proportional to
+/// exp(temperature * affinity + popularity).
+std::vector<int64_t> SampleItemsForUser(const DomainLatents& lat, int64_t user,
+                                        const std::vector<int64_t>& candidates,
+                                        int64_t count, double temperature, Rng* rng) {
+  const int64_t d = lat.users.dim(1);
+  std::vector<double> weights(candidates.size());
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const int64_t item = candidates[c];
+    double dot = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      dot += static_cast<double>(lat.users.at(user, k)) * lat.items.at(item, k);
+    }
+    weights[c] = std::exp(temperature * dot * inv_sqrt_d + lat.popularity[item]);
+  }
+  std::vector<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(count));
+  for (int64_t pick = 0; pick < count && pick < static_cast<int64_t>(candidates.size());
+       ++pick) {
+    const size_t idx = rng->Categorical(weights);
+    chosen.push_back(candidates[idx]);
+    weights[idx] = 0.0;  // without replacement
+  }
+  return chosen;
+}
+
+/// Builds item content from latents: nonneg(latent) x topics + noise, L2 rows.
+Tensor MakeItemContent(const Tensor& item_latents, const Tensor& topics, double noise,
+                       Rng* rng) {
+  const int64_t m = item_latents.dim(0);
+  const int64_t vocab = topics.dim(1);
+  // Nonnegative activation of latents so topic mixing weights are positive.
+  Tensor act = t::AddScalar(t::Relu(item_latents), 0.05f);
+  Tensor content = t::MatMul(act, topics);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < vocab; ++j) {
+      content.at(i, j) += static_cast<float>(noise * std::fabs(rng->Normal()));
+    }
+  }
+  L2NormalizeRows(&content);
+  return content;
+}
+
+/// User content aggregated from reviews. Real review text only partially
+/// reflects preferences (the content-preference gap of §I): users review only
+/// SOME of the items they consume, and the text carries off-topic mass. We
+/// model that by aggregating a random ~60% subset of the rated items' content
+/// and adding substantial diffuse noise.
+Tensor MakeUserContent(const InteractionMatrix& ratings, const Tensor& item_content,
+                       double noise, Rng* rng) {
+  const int64_t n = ratings.num_users();
+  const int64_t vocab = item_content.dim(1);
+  Tensor content({n, vocab}, 0.0f);
+  for (int64_t u = 0; u < n; ++u) {
+    const auto& items = ratings.ItemsOf(u);
+    bool any = false;
+    for (int32_t item : items) {
+      if (!items.empty() && rng->Uniform() > 0.6) continue;  // unreviewed item
+      any = true;
+      for (int64_t j = 0; j < vocab; ++j) content.at(u, j) += item_content.at(item, j);
+    }
+    if (!any && !items.empty()) {
+      const int32_t item = items[rng->UniformInt(items.size())];
+      for (int64_t j = 0; j < vocab; ++j) content.at(u, j) += item_content.at(item, j);
+    }
+    for (int64_t j = 0; j < vocab; ++j) {
+      content.at(u, j) += static_cast<float>(noise * std::fabs(rng->Normal()) * 0.6);
+    }
+  }
+  L2NormalizeRows(&content);
+  return content;
+}
+
+/// Zipf-like additive log-popularity, shuffled over item ids.
+std::vector<double> MakePopularity(int64_t m, double weight, Rng* rng) {
+  std::vector<double> raw(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    raw[static_cast<size_t>(i)] = 1.0 / std::pow(static_cast<double>(i + 1), 0.7);
+  }
+  rng->Shuffle(&raw);
+  double mean = std::accumulate(raw.begin(), raw.end(), 0.0) / static_cast<double>(m);
+  std::vector<double> bias(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    bias[static_cast<size_t>(i)] = weight * std::log(raw[static_cast<size_t>(i)] / mean);
+  }
+  return bias;
+}
+
+/// Generates one domain given pre-built user latents.
+DomainData GenerateDomain(const DomainSpec& spec, const SyntheticConfig& config,
+                          Tensor user_latents, const Tensor& topics, Rng* rng) {
+  const int64_t n = spec.num_users;
+  const int64_t m = spec.num_items;
+  const int64_t d = config.latent_shared + config.latent_specific;
+  MDPA_CHECK_EQ(user_latents.dim(0), n);
+  MDPA_CHECK_EQ(user_latents.dim(1), d);
+
+  DomainLatents lat;
+  lat.users = std::move(user_latents);
+  lat.items = Tensor::RandNormal({m, d}, rng);
+  lat.popularity = MakePopularity(m, config.popularity_weight, rng);
+
+  // Item partition: the low-popularity tail fifth becomes the "cold" items
+  // that receive only 2-4 ratings (they are the C-I / C-UI test items).
+  const int64_t num_cold_items = m / 5;
+  std::vector<int64_t> all_items(static_cast<size_t>(m));
+  std::iota(all_items.begin(), all_items.end(), 0);
+  std::sort(all_items.begin(), all_items.end(), [&lat](int64_t a, int64_t b) {
+    return lat.popularity[a] > lat.popularity[b];
+  });
+  std::vector<int64_t> warm_items(all_items.begin(), all_items.end() - num_cold_items);
+  std::vector<int64_t> cold_items(all_items.end() - num_cold_items, all_items.end());
+
+  // User partition: cold ("new", §III-A) users end with < 5 total ratings,
+  // existing users with >= 5. Half of the cold users additionally rate cold
+  // items so the C-UI scenario has test cases; they get exactly 2 warm
+  // ratings to stay below the threshold after their 2 cold-item ratings.
+  std::vector<bool> is_cold_user(static_cast<size_t>(n), false);
+  std::vector<bool> rates_cold_items(static_cast<size_t>(n), false);
+  const int64_t num_cold_users =
+      static_cast<int64_t>(std::llround(spec.cold_user_fraction * static_cast<double>(n)));
+  {
+    auto picks = rng->SampleWithoutReplacement(static_cast<size_t>(n),
+                                               static_cast<size_t>(num_cold_users));
+    for (size_t i = 0; i < picks.size(); ++i) {
+      is_cold_user[picks[i]] = true;
+      if (i % 2 == 0) rates_cold_items[picks[i]] = true;
+    }
+  }
+  // A slice of the existing users rates cold items too (the C-I cases).
+  {
+    std::vector<int64_t> existing;
+    for (int64_t u = 0; u < n; ++u) {
+      if (!is_cold_user[static_cast<size_t>(u)]) existing.push_back(u);
+    }
+    const size_t want = std::min(existing.size(),
+                                 static_cast<size_t>(cold_items.size()));
+    auto picks = rng->SampleWithoutReplacement(existing.size(), want);
+    for (size_t p : picks) rates_cold_items[static_cast<size_t>(existing[p])] = true;
+  }
+
+  InteractionMatrix ratings(n, m);
+  for (int64_t u = 0; u < n; ++u) {
+    int64_t count;
+    if (is_cold_user[static_cast<size_t>(u)]) {
+      count = rates_cold_items[static_cast<size_t>(u)]
+                  ? 2
+                  : 2 + static_cast<int64_t>(rng->UniformInt(3));  // 2..4
+    } else {
+      const double extra = -std::log(1.0 - rng->Uniform()) * (spec.mean_interactions - 5.0);
+      count = 5 + static_cast<int64_t>(std::llround(extra));
+      count = std::min<int64_t>(count, static_cast<int64_t>(warm_items.size()) / 2);
+    }
+    for (int64_t item : SampleItemsForUser(lat, u, warm_items, count,
+                                           config.affinity_temperature, rng)) {
+      ratings.Add(u, item);
+    }
+  }
+
+  // Cold items receive ratings in per-user bundles of 2-3 so both C-I
+  // (existing user, >= 2 cold-item ratings) and C-UI (new user, exactly 2)
+  // test cases exist. Each cold item is capped at 4 ratings to stay "new".
+  std::vector<int64_t> capacity(static_cast<size_t>(m), 0);
+  for (int64_t item : cold_items) capacity[static_cast<size_t>(item)] = 4;
+  for (int64_t u = 0; u < n; ++u) {
+    if (!rates_cold_items[static_cast<size_t>(u)]) continue;
+    const int64_t want =
+        is_cold_user[static_cast<size_t>(u)]
+            ? 2
+            : 2 + static_cast<int64_t>(rng->UniformInt(2));  // 2..3
+    std::vector<int64_t> available;
+    for (int64_t item : cold_items) {
+      if (capacity[static_cast<size_t>(item)] > 0) available.push_back(item);
+    }
+    if (static_cast<int64_t>(available.size()) < want) continue;
+    for (int64_t item : SampleItemsForUser(lat, u, available, want,
+                                           config.affinity_temperature, rng)) {
+      ratings.Add(u, item);
+      --capacity[static_cast<size_t>(item)];
+    }
+  }
+
+  DomainData out;
+  out.name = spec.name;
+  out.item_content = MakeItemContent(lat.items, topics, config.content_noise, rng);
+  out.user_content = MakeUserContent(ratings, out.item_content, config.content_noise, rng);
+  out.ratings = std::move(ratings);
+  return out;
+}
+
+}  // namespace
+
+SyntheticConfig DefaultConfig(const std::string& target_name, double scale) {
+  auto scaled = [scale](int64_t v) {
+    return std::max<int64_t>(24, static_cast<int64_t>(std::llround(v * scale)));
+  };
+  SyntheticConfig config;
+  config.seed = 20220507;  // ICDE 2022 flavour
+
+  DomainSpec electronics;
+  electronics.name = "Electronics";
+  electronics.num_users = scaled(320);
+  electronics.num_items = scaled(220);
+  electronics.mean_interactions = 16.0;
+  electronics.shared_user_fraction = 0.35;
+
+  DomainSpec movies;
+  movies.name = "Movies";
+  movies.num_users = scaled(340);
+  movies.num_items = scaled(200);
+  movies.mean_interactions = 15.0;
+  movies.shared_user_fraction = 0.45;
+
+  DomainSpec music;
+  music.name = "Music";
+  music.num_users = scaled(180);
+  music.num_items = scaled(120);
+  music.mean_interactions = 12.0;
+  music.shared_user_fraction = 0.2;
+
+  config.sources = {electronics, movies, music};
+
+  DomainSpec target;
+  target.name = target_name;
+  if (target_name == "CDs") {
+    // CDs is the smaller, sparser target (paper Table II).
+    target.num_users = scaled(300);
+    target.num_items = scaled(170);
+    target.mean_interactions = 10.0;
+    target.cold_user_fraction = 0.3;
+  } else {
+    target.num_users = scaled(420);
+    target.num_items = scaled(240);
+    target.mean_interactions = 13.0;
+    target.cold_user_fraction = 0.25;
+  }
+  config.target = target;
+  return config;
+}
+
+MultiDomainDataset Generate(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  const int64_t d = config.latent_shared + config.latent_specific;
+  Tensor topics = MakeTopics(d, config.vocab_size, &rng);
+
+  // Target user latents: shared part + target-specific part.
+  const int64_t n_t = config.target.num_users;
+  Tensor target_shared = Tensor::RandNormal({n_t, config.latent_shared}, &rng);
+  Tensor target_latents({n_t, d});
+  for (int64_t u = 0; u < n_t; ++u) {
+    for (int64_t k = 0; k < config.latent_shared; ++k) {
+      target_latents.at(u, k) = target_shared.at(u, k);
+    }
+    for (int64_t k = config.latent_shared; k < d; ++k) {
+      target_latents.at(u, k) = static_cast<float>(rng.Normal());
+    }
+  }
+
+  MultiDomainDataset out;
+  Rng target_rng = rng.Split();
+  out.target = GenerateDomain(config.target, config, target_latents, topics, &target_rng);
+
+  for (const DomainSpec& spec : config.sources) {
+    const int64_t n_s = spec.num_users;
+    const int64_t num_shared = std::min<int64_t>(
+        n_s, std::min<int64_t>(
+                 n_t, static_cast<int64_t>(std::llround(spec.shared_user_fraction *
+                                                        static_cast<double>(n_s)))));
+    // Source users [0, num_shared) are target users chosen at random; they
+    // carry over the SHARED latent part and get fresh domain-specific dims.
+    auto target_picks = rng.SampleWithoutReplacement(static_cast<size_t>(n_t),
+                                                     static_cast<size_t>(num_shared));
+    Tensor source_latents({n_s, d});
+    std::vector<std::pair<int64_t, int64_t>> mapping;
+    mapping.reserve(static_cast<size_t>(num_shared));
+    for (int64_t u = 0; u < n_s; ++u) {
+      if (u < num_shared) {
+        const int64_t tgt_u = static_cast<int64_t>(target_picks[static_cast<size_t>(u)]);
+        mapping.emplace_back(u, tgt_u);
+        for (int64_t k = 0; k < config.latent_shared; ++k) {
+          source_latents.at(u, k) = target_shared.at(tgt_u, k);
+        }
+      } else {
+        for (int64_t k = 0; k < config.latent_shared; ++k) {
+          source_latents.at(u, k) = static_cast<float>(rng.Normal());
+        }
+      }
+      for (int64_t k = config.latent_shared; k < d; ++k) {
+        source_latents.at(u, k) = static_cast<float>(rng.Normal());
+      }
+    }
+    Rng domain_rng = rng.Split();
+    out.sources.push_back(
+        GenerateDomain(spec, config, std::move(source_latents), topics, &domain_rng));
+    out.shared_users.push_back(std::move(mapping));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace metadpa

@@ -1,0 +1,92 @@
+// Synthetic multi-domain implicit-feedback data.
+//
+// Stands in for the paper's Amazon review datasets (see DESIGN.md,
+// "Substitutions"). The generator plants exactly the structure MetaDPA
+// exploits:
+//   * user latent preferences with a domain-SHARED part (carried by users that
+//     appear in several domains) and a domain-SPECIFIC part,
+//   * review-like bag-of-words content that correlates with — but does not
+//     determine — preferences (the content/preference gap of §I),
+//   * power-law item popularity and >=99% sparsity,
+//   * cold users/items (< 5 ratings, §III-A) for the C-U / C-I / C-UI splits.
+#ifndef METADPA_DATA_SYNTHETIC_H_
+#define METADPA_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/interactions.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace data {
+
+/// \brief One domain's observable data.
+struct DomainData {
+  std::string name;
+  InteractionMatrix ratings;
+  /// Row-normalized bag-of-words per item, shape (num_items, vocab).
+  Tensor item_content;
+  /// Row-normalized bag-of-words per user (aggregated from rated items'
+  /// content, like review text), shape (num_users, vocab).
+  Tensor user_content;
+
+  int64_t num_users() const { return ratings.num_users(); }
+  int64_t num_items() const { return ratings.num_items(); }
+};
+
+/// \brief Per-domain size knobs.
+struct DomainSpec {
+  std::string name;
+  int64_t num_users = 300;
+  int64_t num_items = 200;
+  /// Fraction of users that are cold (2-4 interactions).
+  double cold_user_fraction = 0.25;
+  /// Mean interactions for existing (non-cold) users.
+  double mean_interactions = 14.0;
+  /// Fraction of the TARGET's users that also live in this SOURCE domain
+  /// (ignored for target specs).
+  double shared_user_fraction = 0.3;
+};
+
+/// \brief Generator configuration.
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  int64_t vocab_size = 96;
+  int64_t latent_shared = 8;    ///< dims carried across domains by shared users
+  int64_t latent_specific = 4;  ///< per-domain private dims
+  /// Softmax temperature when sampling items by affinity; higher = more
+  /// preference-driven, lower = more popularity-driven.
+  double affinity_temperature = 1.2;
+  /// Strength of the popularity (Zipf-like) bias.
+  double popularity_weight = 0.8;
+  /// Noise level in content generation (the content-preference gap).
+  double content_noise = 0.4;
+
+  std::vector<DomainSpec> sources;
+  DomainSpec target;
+};
+
+/// \brief A generated multi-domain world: k source domains plus one target,
+/// with explicit shared-user alignment.
+struct MultiDomainDataset {
+  std::vector<DomainData> sources;
+  DomainData target;
+  /// shared_users[s] lists (source_user_index, target_user_index) pairs for
+  /// users present in both source s and the target.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> shared_users;
+};
+
+/// \brief Default configuration mirroring the paper's 3-source setup
+/// (Electronics-, Movies-, Music-like) at laptop scale. `scale` multiplies
+/// all user/item counts (used by the Fig. 6 scalability sweep).
+SyntheticConfig DefaultConfig(const std::string& target_name = "Books", double scale = 1.0);
+
+/// \brief Generates the full multi-domain dataset.
+MultiDomainDataset Generate(const SyntheticConfig& config);
+
+}  // namespace data
+}  // namespace metadpa
+
+#endif  // METADPA_DATA_SYNTHETIC_H_

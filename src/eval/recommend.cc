@@ -1,0 +1,54 @@
+#include "eval/recommend.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace eval {
+
+std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
+                                          const std::vector<int64_t>& candidates,
+                                          const std::vector<int64_t>& support_items,
+                                          int k) {
+  MDPA_CHECK(model != nullptr);
+  MDPA_CHECK_GT(k, 0);
+  std::unordered_set<int64_t> known(support_items.begin(), support_items.end());
+  std::vector<int64_t> items;
+  items.reserve(candidates.size());
+  for (int64_t item : candidates) {
+    if (!known.count(item)) items.push_back(item);
+  }
+  if (items.empty()) return {};
+
+  data::EvalCase eval_case;
+  eval_case.user = user;
+  eval_case.support_items = support_items;
+  std::vector<double> scores = model->ScoreCase(eval_case, items);
+  MDPA_CHECK_EQ(scores.size(), items.size());
+
+  std::vector<Recommendation> recs;
+  recs.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) recs.push_back({items[i], scores[i]});
+  const size_t top = std::min<size_t>(static_cast<size_t>(k), recs.size());
+  std::partial_sort(recs.begin(), recs.begin() + top, recs.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.item < b.item;
+                    });
+  recs.resize(top);
+  return recs;
+}
+
+std::vector<Recommendation> RecommendForUser(Recommender* model,
+                                             const data::DatasetSplits& splits,
+                                             const data::DomainData& domain,
+                                             int64_t user, int k) {
+  std::vector<int64_t> support;
+  for (int32_t item : domain.ratings.ItemsOf(user)) support.push_back(item);
+  return RecommendTopK(model, user, splits.existing_items, support, k);
+}
+
+}  // namespace eval
+}  // namespace metadpa

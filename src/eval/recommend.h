@@ -1,0 +1,39 @@
+// End-user recommendation API: the paper's deliverable is "recommend k items
+// with top-k ratings" to a user (§III-A); this adapts any Recommender to
+// that interface.
+#ifndef METADPA_EVAL_RECOMMEND_H_
+#define METADPA_EVAL_RECOMMEND_H_
+
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace metadpa {
+namespace eval {
+
+/// \brief One recommended item with its predicted preference score.
+struct Recommendation {
+  int64_t item = -1;
+  double score = 0.0;
+};
+
+/// \brief Scores `candidates` for `user` with the model and returns the top-k
+/// by score (descending; ties broken by item id for determinism).
+/// `support_items` is the user's observed positives, forwarded to the model
+/// for per-case adaptation (meta methods) and excluded from the results.
+std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
+                                          const std::vector<int64_t>& candidates,
+                                          const std::vector<int64_t>& support_items,
+                                          int k);
+
+/// \brief Convenience: recommends existing items to a user out of a splits
+/// object, excluding everything the user already interacted with.
+std::vector<Recommendation> RecommendForUser(Recommender* model,
+                                             const data::DatasetSplits& splits,
+                                             const data::DomainData& domain,
+                                             int64_t user, int k);
+
+}  // namespace eval
+}  // namespace metadpa
+
+#endif  // METADPA_EVAL_RECOMMEND_H_

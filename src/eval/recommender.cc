@@ -1,0 +1,51 @@
+#include "eval/recommender.h"
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace eval {
+
+void Recommender::BeginScenario(const data::ScenarioData&, const TrainContext&) {}
+
+ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
+                                data::Scenario scenario, const EvalOptions& options) {
+  MDPA_CHECK(model != nullptr);
+  MDPA_CHECK(ctx.splits != nullptr);
+  const data::ScenarioData& data = ctx.splits->ForScenario(scenario);
+  model->BeginScenario(data, ctx);
+
+  ScenarioResult result;
+  result.ndcg_curve.assign(static_cast<size_t>(options.max_curve_k), 0.0);
+  metrics::MetricsAccumulator acc;
+
+  for (const data::EvalCase& eval_case : data.cases) {
+    // Item list: positive first, then the sampled negatives.
+    std::vector<int64_t> items;
+    items.reserve(1 + eval_case.negatives.size());
+    items.push_back(eval_case.test_positive);
+    items.insert(items.end(), eval_case.negatives.begin(), eval_case.negatives.end());
+
+    std::vector<double> scores = model->ScoreCase(eval_case, items);
+    MDPA_CHECK_EQ(scores.size(), items.size());
+    const double positive_score = scores[0];
+    std::vector<double> negative_scores(scores.begin() + 1, scores.end());
+
+    const metrics::RankingMetrics m =
+        metrics::EvaluateCase(positive_score, negative_scores, options.k);
+    acc.Add(m);
+    result.per_case.push_back(m);
+    const std::vector<double> curve =
+        metrics::NdcgCurve(positive_score, negative_scores, options.max_curve_k);
+    for (size_t i = 0; i < curve.size(); ++i) result.ndcg_curve[i] += curve[i];
+  }
+
+  result.num_cases = acc.count();
+  result.at_k = acc.Mean();
+  if (result.num_cases > 0) {
+    for (double& v : result.ndcg_curve) v /= static_cast<double>(result.num_cases);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace metadpa

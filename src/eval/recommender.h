@@ -1,0 +1,72 @@
+// Abstract recommender interface shared by MetaDPA and all baselines, plus
+// the leave-one-out evaluation driver of §V-A2.
+#ifndef METADPA_EVAL_RECOMMENDER_H_
+#define METADPA_EVAL_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "metrics/ranking.h"
+
+namespace metadpa {
+namespace eval {
+
+/// \brief Everything a model may train on: the multi-domain data (sources are
+/// only used by cross-domain methods) and the target splits. Models must only
+/// fit on splits->train plus, during fine-tuning, a scenario's support pool.
+struct TrainContext {
+  const data::MultiDomainDataset* dataset = nullptr;
+  const data::DatasetSplits* splits = nullptr;
+  uint64_t seed = 1;
+};
+
+/// \brief Base class for every method in the comparison.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// \brief Method name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// \brief Trains on the warm training data (and for cross-domain methods,
+  /// the source domains).
+  virtual void Fit(const TrainContext& ctx) = 0;
+
+  /// \brief Called once before evaluating a scenario. Default: restore the
+  /// post-Fit state and fine-tune on the scenario's support pool if the model
+  /// supports it. Must leave the model re-usable for other scenarios (i.e.
+  /// implementations snapshot/restore their post-Fit parameters).
+  virtual void BeginScenario(const data::ScenarioData& scenario,
+                             const TrainContext& ctx);
+
+  /// \brief Scores (higher = more preferred) the items for the case's user.
+  /// Meta-learning methods adapt on case.support_items first.
+  virtual std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                        const std::vector<int64_t>& items) = 0;
+};
+
+/// \brief Metrics for one (method, scenario) cell of Table III.
+struct ScenarioResult {
+  metrics::RankingMetrics at_k;          ///< HR/MRR/NDCG at k, plus AUC
+  std::vector<double> ndcg_curve;        ///< NDCG@1..max_k (Figs. 3-4)
+  std::vector<metrics::RankingMetrics> per_case;  ///< for significance tests
+  int64_t num_cases = 0;
+};
+
+/// \brief Evaluation options.
+struct EvalOptions {
+  int k = 10;
+  int max_curve_k = 10;
+};
+
+/// \brief Runs the leave-one-out protocol for one scenario.
+ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
+                                data::Scenario scenario, const EvalOptions& options);
+
+}  // namespace eval
+}  // namespace metadpa
+
+#endif  // METADPA_EVAL_RECOMMENDER_H_

@@ -1,0 +1,145 @@
+#include "eval/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/catn.h"
+#include "baselines/conn.h"
+#include "baselines/daml.h"
+#include "baselines/melu.h"
+#include "baselines/metacf.h"
+#include "baselines/neumf.h"
+#include "baselines/tdar.h"
+
+namespace metadpa {
+namespace suite {
+
+int ScaledEpochs(int epochs, double effort) {
+  return std::max(1, static_cast<int>(std::llround(epochs * effort)));
+}
+
+core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options) {
+  core::MetaDpaConfig config;
+  config.seed = options.seed;
+  config.adaptation.epochs = ScaledEpochs(30, options.effort);
+  config.adaptation.hidden_dim = 48;
+  config.adaptation.latent_dim = 12;
+  config.adaptation.beta1 = 0.1f;  // paper's grid-search optimum
+  config.adaptation.beta2 = 1.0f;
+  config.maml.epochs = ScaledEpochs(10, options.effort);
+  config.maml.inner_lr = 0.1f;
+  config.maml.inner_steps = 1;
+  config.maml.second_order = true;
+  config.maml.outer_lr = 5e-3f;
+  config.maml.meta_batch_size = 8;
+  config.maml.finetune_steps = 10;
+  config.model.embed_dim = 24;
+  config.model.hidden = {48, 24};
+  config.tasks.negatives_per_positive = 1;
+  return config;
+}
+
+namespace {
+
+meta::MamlConfig BaselineMamlConfig(const SuiteOptions& options) {
+  meta::MamlConfig config;
+  config.epochs = ScaledEpochs(10, options.effort);
+  config.inner_lr = 0.1f;
+  config.inner_steps = 1;
+  config.second_order = true;
+  config.outer_lr = 5e-3f;
+  config.meta_batch_size = 8;
+  config.finetune_steps = 10;
+  config.seed = options.seed + 1;
+  return config;
+}
+
+baselines::JointTrainOptions BaselineTrainOptions(const SuiteOptions& options) {
+  baselines::JointTrainOptions train;
+  train.epochs = ScaledEpochs(12, options.effort);
+  train.batch_size = 64;
+  train.learning_rate = 5e-3f;
+  train.negatives_per_positive = 2;
+  train.finetune_epochs = ScaledEpochs(4, options.effort);
+  train.finetune_lr = 5e-3f;
+  train.seed = options.seed + 2;
+  return train;
+}
+
+}  // namespace
+
+std::vector<MethodSpec> AllMethods(const SuiteOptions& options) {
+  std::vector<MethodSpec> methods;
+
+  methods.push_back({"NeuMF", [options] {
+                       baselines::NeuMfConfig config;
+                       config.train = BaselineTrainOptions(options);
+                       return std::make_unique<baselines::NeuMf>(config);
+                     }});
+  methods.push_back({"MeLU", [options] {
+                       baselines::MeluConfig config;
+                       config.model.embed_dim = 24;
+                       config.model.hidden = {48, 24};
+                       config.maml = BaselineMamlConfig(options);
+                       config.seed = options.seed + 3;
+                       return std::make_unique<baselines::Melu>(config);
+                     }});
+  methods.push_back({"CoNN", [options] {
+                       baselines::ConnConfig config;
+                       config.train = BaselineTrainOptions(options);
+                       return std::make_unique<baselines::Conn>(config);
+                     }});
+  methods.push_back({"TDAR", [options] {
+                       baselines::TdarConfig config;
+                       config.train = BaselineTrainOptions(options);
+                       return std::make_unique<baselines::Tdar>(config);
+                     }});
+  methods.push_back({"CATN", [options] {
+                       baselines::CatnConfig config;
+                       config.train = BaselineTrainOptions(options);
+                       return std::make_unique<baselines::Catn>(config);
+                     }});
+  methods.push_back({"DAML", [options] {
+                       baselines::DamlConfig config;
+                       config.train = BaselineTrainOptions(options);
+                       return std::make_unique<baselines::Daml>(config);
+                     }});
+  methods.push_back({"MetaCF", [options] {
+                       baselines::MetaCfConfig config;
+                       config.model.embed_dim = 24;
+                       config.model.hidden = {48, 24};
+                       config.maml = BaselineMamlConfig(options);
+                       config.seed = options.seed + 4;
+                       return std::make_unique<baselines::MetaCf>(config);
+                     }});
+  methods.push_back({"MetaDPA", [options] {
+                       return std::make_unique<core::MetaDpa>(
+                           DefaultMetaDpaConfig(options));
+                     }});
+  return methods;
+}
+
+std::unique_ptr<eval::Recommender> MakeMethod(const std::string& name,
+                                              const SuiteOptions& options) {
+  // Ablation variants of §V-E (not part of Table III's eight rows).
+  if (name == "MetaDPA-ME") {
+    return std::make_unique<core::MetaDpa>(DefaultMetaDpaConfig(options),
+                                           core::MetaDpaVariant::kMeOnly);
+  }
+  if (name == "MetaDPA-MDI") {
+    return std::make_unique<core::MetaDpa>(DefaultMetaDpaConfig(options),
+                                           core::MetaDpaVariant::kMdiOnly);
+  }
+  if (name == "MetaDPA-NoAug") {
+    core::MetaDpaConfig config = DefaultMetaDpaConfig(options);
+    config.use_augmentation = false;
+    return std::make_unique<core::MetaDpa>(config);
+  }
+  for (MethodSpec& spec : AllMethods(options)) {
+    if (spec.name == name) return spec.make();
+  }
+  return nullptr;
+}
+
+}  // namespace suite
+}  // namespace metadpa

@@ -1,0 +1,50 @@
+// Factory for the full method suite of the paper's comparison (Table III):
+// NeuMF, MeLU, CoNN, TDAR, CATN, DAML, MetaCF and MetaDPA (plus its ablation
+// variants), each with tuned default configurations. Used by the benchmark
+// harness and the examples so every experiment builds the same models.
+#ifndef METADPA_EVAL_SUITE_H_
+#define METADPA_EVAL_SUITE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metadpa.h"
+#include "eval/recommender.h"
+
+namespace metadpa {
+namespace suite {
+
+/// \brief Global knobs for a whole experiment run.
+struct SuiteOptions {
+  /// Scales every method's training epochs (1.0 = defaults; benches use
+  /// smaller values for quick runs).
+  double effort = 1.0;
+  uint64_t seed = 2022;
+};
+
+/// \brief One constructible method.
+struct MethodSpec {
+  std::string name;
+  std::function<std::unique_ptr<eval::Recommender>()> make;
+};
+
+/// \brief The eight methods of Table III, in the paper's row order.
+std::vector<MethodSpec> AllMethods(const SuiteOptions& options);
+
+/// \brief Builds one method by its Table III name ("NeuMF", ..., "MetaDPA");
+/// returns nullptr for unknown names.
+std::unique_ptr<eval::Recommender> MakeMethod(const std::string& name,
+                                              const SuiteOptions& options);
+
+/// \brief The tuned MetaDPA configuration (shared with ablations / sweeps).
+core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options);
+
+/// \brief Scales an epoch count by the effort knob (at least 1).
+int ScaledEpochs(int epochs, double effort);
+
+}  // namespace suite
+}  // namespace metadpa
+
+#endif  // METADPA_EVAL_SUITE_H_

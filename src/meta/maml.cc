@@ -1,0 +1,126 @@
+#include "meta/maml.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace meta {
+
+MamlTrainer::MamlTrainer(PreferenceModel* model, const MamlConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  MDPA_CHECK(model != nullptr);
+  MDPA_CHECK_GT(config.inner_lr, 0.0f);
+  MDPA_CHECK_GE(config.inner_steps, 1);
+  outer_opt_ = std::make_unique<optim::Adam>(model->Parameters(), config.outer_lr);
+}
+
+nn::ParamList MamlTrainer::InnerAdapt(const nn::ParamList& params, const Task& task,
+                                      int steps, bool build_graph) const {
+  if (task.support_size() == 0) return params;
+  ag::Variable su = ag::Constant(task.support_user);
+  ag::Variable si = ag::Constant(task.support_item);
+  ag::Variable sl = ag::Constant(task.support_labels);
+
+  nn::ParamList fast = params;
+  for (int step = 0; step < steps; ++step) {
+    ag::Variable loss = ag::BceWithLogits(model_->ForwardWith(su, si, fast), sl);
+    ag::GradOptions opts;
+    opts.create_graph = build_graph;
+    std::vector<ag::Variable> grads = ag::Grad(loss, fast, opts);
+    nn::ParamList next;
+    next.reserve(fast.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      next.push_back(ag::Sub(fast[i], ag::MulScalar(grads[i], config_.inner_lr)));
+    }
+    fast = std::move(next);
+  }
+  return fast;
+}
+
+float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
+  MDPA_CHECK(!tasks.empty());
+  std::vector<size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng_.Shuffle(&order);
+
+  const nn::ParamList& params = outer_opt_->params();
+  double epoch_loss = 0.0;
+  int64_t counted = 0;
+
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(config_.meta_batch_size)) {
+    const size_t end =
+        std::min(order.size(), start + static_cast<size_t>(config_.meta_batch_size));
+    std::vector<Tensor> grad_acc;
+    int batch_tasks = 0;
+    for (size_t idx = start; idx < end; ++idx) {
+      const Task& task = tasks[order[idx]];
+      if (task.query_size() == 0) continue;
+      nn::ParamList fast =
+          InnerAdapt(params, task, config_.inner_steps, config_.second_order);
+      ag::Variable loss = ag::BceWithLogits(
+          model_->ForwardWith(ag::Constant(task.query_user),
+                              ag::Constant(task.query_item), fast),
+          ag::Constant(task.query_labels));
+      if (task.loss_weight != 1.0f) loss = ag::MulScalar(loss, task.loss_weight);
+      std::vector<ag::Variable> grads = ag::Grad(loss, params);
+      if (grad_acc.empty()) {
+        grad_acc.reserve(grads.size());
+        for (const auto& g : grads) grad_acc.push_back(g.data().Clone());
+      } else {
+        for (size_t i = 0; i < grads.size(); ++i) {
+          grad_acc[i] = t::Add(grad_acc[i], grads[i].data());
+        }
+      }
+      epoch_loss += loss.item();
+      ++batch_tasks;
+      ++counted;
+    }
+    if (batch_tasks == 0) continue;
+    std::vector<ag::Variable> mean_grads;
+    mean_grads.reserve(grad_acc.size());
+    for (auto& g : grad_acc) {
+      mean_grads.emplace_back(t::MulScalar(g, 1.0f / static_cast<float>(batch_tasks)),
+                              /*requires_grad=*/false);
+    }
+    optim::ClipGradNorm(&mean_grads, 10.0f);
+    outer_opt_->Step(mean_grads);
+  }
+  return counted > 0 ? static_cast<float>(epoch_loss / static_cast<double>(counted))
+                     : 0.0f;
+}
+
+std::vector<float> MamlTrainer::Train(const std::vector<Task>& tasks) {
+  std::vector<float> losses;
+  losses.reserve(static_cast<size_t>(config_.epochs));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    losses.push_back(TrainEpoch(tasks));
+  }
+  return losses;
+}
+
+nn::ParamList MamlTrainer::Adapt(const Task& task, int steps) const {
+  nn::ParamList fast =
+      InnerAdapt(model_->Parameters(), task, steps, /*build_graph=*/false);
+  // Detach so scoring builds no graph.
+  nn::ParamList detached;
+  detached.reserve(fast.size());
+  for (const auto& p : fast) detached.push_back(p.Detach());
+  return detached;
+}
+
+std::vector<double> MamlTrainer::ScoreWith(const nn::ParamList& params,
+                                           const Tensor& user_content,
+                                           const Tensor& item_content) const {
+  ag::Variable logits = model_->ForwardWith(ag::Constant(user_content),
+                                            ag::Constant(item_content), params);
+  Tensor probs = t::Sigmoid(logits.data());
+  std::vector<double> out(static_cast<size_t>(probs.numel()));
+  for (int64_t i = 0; i < probs.numel(); ++i) out[static_cast<size_t>(i)] = probs.at(i);
+  return out;
+}
+
+}  // namespace meta
+}  // namespace metadpa

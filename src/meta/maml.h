@@ -1,0 +1,72 @@
+// Model-agnostic meta-learning (Finn et al.) over the preference model —
+// block 3 of MetaDPA and the optimization scheme behind the MeLU/MetaCF
+// baselines.
+//
+// The inner loop takes gradient steps on a task's support set producing fast
+// weights; the outer loop differentiates the query loss THROUGH those steps
+// (second order; Eq. 1) unless first_order is requested (FOMAML).
+#ifndef METADPA_META_MAML_H_
+#define METADPA_META_MAML_H_
+
+#include <memory>
+#include <vector>
+
+#include "meta/preference_model.h"
+#include "meta/tasks.h"
+#include "optim/optimizer.h"
+
+namespace metadpa {
+namespace meta {
+
+/// \brief MAML hyper-parameters.
+struct MamlConfig {
+  float inner_lr = 0.1f;       ///< alpha of Eq. (1)
+  int inner_steps = 1;         ///< local update count
+  bool second_order = true;    ///< differentiate through the inner step
+  float outer_lr = 5e-3f;      ///< Adam meta learning rate
+  int meta_batch_size = 8;     ///< tasks per outer update
+  int epochs = 8;
+  int finetune_steps = 5;      ///< test-time adaptation steps
+  uint64_t seed = 3;
+};
+
+/// \brief Meta-trains a PreferenceModel over tasks.
+class MamlTrainer {
+ public:
+  /// \brief The trainer borrows `model`; the caller keeps ownership.
+  MamlTrainer(PreferenceModel* model, const MamlConfig& config);
+
+  /// \brief One pass over all tasks in meta-batches; returns the mean query
+  /// loss of the epoch.
+  float TrainEpoch(const std::vector<Task>& tasks);
+
+  /// \brief Runs config.epochs of TrainEpoch; returns per-epoch losses.
+  std::vector<float> Train(const std::vector<Task>& tasks);
+
+  /// \brief Test-time adaptation: `steps` plain SGD steps on a support set
+  /// starting from the meta-learned initialization. Returns detached fast
+  /// weights; the stored model parameters are untouched. An empty support set
+  /// returns the initialization itself.
+  nn::ParamList Adapt(const Task& task, int steps) const;
+
+  /// \brief Rating probabilities (B,) for content batches under `params`.
+  std::vector<double> ScoreWith(const nn::ParamList& params, const Tensor& user_content,
+                                const Tensor& item_content) const;
+
+  const MamlConfig& config() const { return config_; }
+
+ private:
+  /// Inner-loop adaptation with optional graph construction.
+  nn::ParamList InnerAdapt(const nn::ParamList& params, const Task& task, int steps,
+                           bool build_graph) const;
+
+  PreferenceModel* model_;
+  MamlConfig config_;
+  std::unique_ptr<optim::Adam> outer_opt_;
+  Rng rng_;
+};
+
+}  // namespace meta
+}  // namespace metadpa
+
+#endif  // METADPA_META_MAML_H_

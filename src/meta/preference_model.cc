@@ -1,0 +1,54 @@
+#include "meta/preference_model.h"
+
+namespace metadpa {
+namespace meta {
+
+PreferenceModel::PreferenceModel(const PreferenceModelConfig& config, Rng* rng)
+    : config_(config),
+      embed_user_(config.content_dim, config.embed_dim, rng),
+      embed_item_(config.content_dim, config.embed_dim, rng),
+      dot_weight_(Tensor::Ones({1, 1}), /*requires_grad=*/true),
+      mlp_(nn::MakeMlp(3 * config.embed_dim, config.hidden, 1, rng)) {
+  MDPA_CHECK_GT(config.content_dim, 0);
+}
+
+ag::Variable PreferenceModel::Forward(const ag::Variable& user_content,
+                                      const ag::Variable& item_content) const {
+  return ForwardWith(user_content, item_content, Parameters());
+}
+
+ag::Variable PreferenceModel::ForwardWith(const ag::Variable& user_content,
+                                          const ag::Variable& item_content,
+                                          const nn::ParamList& params) const {
+  MDPA_CHECK_EQ(params.size(), 5 + mlp_->NumParamTensors());
+  size_t cursor = 0;
+  ag::Variable xu = embed_user_.ForwardWith(user_content, params, &cursor);
+  ag::Variable xi = embed_item_.ForwardWith(item_content, params, &cursor);
+  const ag::Variable& dot_weight = params[cursor++];
+  // Eq. (11)'s multi-layer architecture cites Neural Factorization Machines
+  // [29]: a linear interaction term (dot-product shortcut) plus a deep stack
+  // over the bi-interaction features.
+  ag::Variable interaction = ag::Mul(xu, xi);
+  ag::Variable dot = ag::Mul(ag::Sum(interaction, 1, /*keepdims=*/true), dot_weight);
+  ag::Variable x = ag::ConcatCols({ag::Relu(xu), ag::Relu(xi), interaction});
+  return ag::Add(mlp_->ForwardWith(x, params, &cursor), dot);
+}
+
+nn::ParamList PreferenceModel::Parameters() const {
+  nn::ParamList params = embed_user_.Parameters();
+  nn::ParamList pi = embed_item_.Parameters();
+  params.insert(params.end(), pi.begin(), pi.end());
+  params.push_back(dot_weight_);
+  nn::ParamList pm = mlp_->Parameters();
+  params.insert(params.end(), pm.begin(), pm.end());
+  return params;
+}
+
+int64_t PreferenceModel::NumParams() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+}  // namespace meta
+}  // namespace metadpa

@@ -1,0 +1,58 @@
+// The preference prediction model of Eq. (11): a fully connected embedding
+// layer (theta_e) encoding user and item content into dense vectors, followed
+// by a multi-layer network (theta_l) with a sigmoid/BCE head.
+#ifndef METADPA_META_PREFERENCE_MODEL_H_
+#define METADPA_META_PREFERENCE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace metadpa {
+namespace meta {
+
+/// \brief Sizing of the preference model.
+struct PreferenceModelConfig {
+  int64_t content_dim = 0;   ///< bag-of-words width of c_u and c_i
+  int64_t embed_dim = 24;    ///< theta_e output width per tower
+  std::vector<int64_t> hidden = {48, 24};  ///< theta_l hidden widths
+};
+
+/// \brief r_hat = f(theta_l, theta_e, c_u, c_i); supports fast weights.
+class PreferenceModel {
+ public:
+  PreferenceModel(const PreferenceModelConfig& config, Rng* rng);
+
+  /// \brief Rating logits (B, 1) for batches of user/item content rows using
+  /// the model's own parameters.
+  ag::Variable Forward(const ag::Variable& user_content,
+                       const ag::Variable& item_content) const;
+
+  /// \brief Same with externally supplied parameters (MAML fast weights),
+  /// aligned with Parameters().
+  ag::Variable ForwardWith(const ag::Variable& user_content,
+                           const ag::Variable& item_content,
+                           const nn::ParamList& params) const;
+
+  /// \brief All parameters: user embedding, item embedding, then the MLP.
+  nn::ParamList Parameters() const;
+
+  int64_t NumParams() const;
+
+  const PreferenceModelConfig& config() const { return config_; }
+
+ private:
+  PreferenceModelConfig config_;
+  nn::Linear embed_user_;
+  nn::Linear embed_item_;
+  /// Learned scale of the dot-product shortcut (the NFM-style linear
+  /// interaction term that bypasses the deep stack).
+  ag::Variable dot_weight_;
+  std::unique_ptr<nn::Sequential> mlp_;
+};
+
+}  // namespace meta
+}  // namespace metadpa
+
+#endif  // METADPA_META_PREFERENCE_MODEL_H_

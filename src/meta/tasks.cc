@@ -1,0 +1,201 @@
+#include "meta/tasks.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace meta {
+namespace {
+
+/// Replicates one content row `count` times into a (count, width) matrix.
+Tensor RepeatRow(const Tensor& matrix, int64_t row, int64_t count) {
+  const int64_t width = matrix.dim(1);
+  Tensor out({count, width});
+  for (int64_t r = 0; r < count; ++r) {
+    std::copy(matrix.data() + row * width, matrix.data() + (row + 1) * width,
+              out.data() + r * width);
+  }
+  return out;
+}
+
+/// Gathers content rows for the given item ids.
+Tensor GatherRows(const Tensor& matrix, const std::vector<int64_t>& rows) {
+  return t::IndexSelect(matrix, rows);
+}
+
+Tensor LabelColumn(const std::vector<float>& labels) {
+  Tensor out({static_cast<int64_t>(labels.size()), 1});
+  for (size_t i = 0; i < labels.size(); ++i) out.at(static_cast<int64_t>(i)) = labels[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<Task> BuildTasks(const data::InteractionMatrix& train,
+                             const Tensor& user_content, const Tensor& item_content,
+                             const TaskOptions& options, Rng* rng) {
+  MDPA_CHECK_EQ(user_content.dim(0), train.num_users());
+  MDPA_CHECK_EQ(item_content.dim(0), train.num_items());
+  const int64_t m = train.num_items();
+  std::vector<Task> tasks;
+
+  for (int64_t u = 0; u < train.num_users(); ++u) {
+    const auto& positives = train.ItemsOf(u);
+    if (static_cast<int64_t>(positives.size()) < options.min_positives) continue;
+
+    std::vector<int64_t> items;
+    std::vector<float> labels;
+    for (int32_t item : positives) {
+      items.push_back(item);
+      labels.push_back(1.0f);
+      for (int k = 0; k < options.negatives_per_positive; ++k) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const int64_t neg = static_cast<int64_t>(rng->UniformInt(m));
+          if (!train.Has(u, neg)) {
+            items.push_back(neg);
+            labels.push_back(0.0f);
+            break;
+          }
+        }
+      }
+    }
+
+    // Shuffle jointly, then split support/query.
+    std::vector<size_t> perm(items.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng->Shuffle(&perm);
+    const size_t ns = std::max<size_t>(
+        1, static_cast<size_t>(options.support_fraction * static_cast<double>(perm.size())));
+    if (perm.size() - ns < 1) continue;
+
+    Task task;
+    task.user = u;
+    std::vector<float> support_labels, query_labels;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      if (i < ns) {
+        task.support_item_ids.push_back(items[perm[i]]);
+        support_labels.push_back(labels[perm[i]]);
+      } else {
+        task.query_item_ids.push_back(items[perm[i]]);
+        query_labels.push_back(labels[perm[i]]);
+      }
+    }
+    task.support_user = RepeatRow(user_content, u,
+                                  static_cast<int64_t>(task.support_item_ids.size()));
+    task.support_item = GatherRows(item_content, task.support_item_ids);
+    task.support_labels = LabelColumn(support_labels);
+    task.query_user =
+        RepeatRow(user_content, u, static_cast<int64_t>(task.query_item_ids.size()));
+    task.query_item = GatherRows(item_content, task.query_item_ids);
+    task.query_labels = LabelColumn(query_labels);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+std::vector<Task> RelabelTasks(const std::vector<Task>& tasks, const Tensor& generated) {
+  MDPA_CHECK_EQ(generated.ndim(), 2);
+  std::vector<Task> out;
+  out.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    MDPA_CHECK_LT(task.user, generated.dim(0));
+    Task aug = task;  // shares content tensors (they are identical by Eq. 10)
+    aug.support_labels = task.support_labels.Clone();
+    aug.query_labels = task.query_labels.Clone();
+    for (size_t i = 0; i < task.support_item_ids.size(); ++i) {
+      aug.support_labels.at(static_cast<int64_t>(i)) =
+          generated.at(task.user, task.support_item_ids[i]);
+    }
+    for (size_t i = 0; i < task.query_item_ids.size(); ++i) {
+      aug.query_labels.at(static_cast<int64_t>(i)) =
+          generated.at(task.user, task.query_item_ids[i]);
+    }
+    out.push_back(std::move(aug));
+  }
+  return out;
+}
+
+Task FilterTaskItems(const Task& task, const std::vector<bool>& keep_item,
+                     const Tensor& user_content, const Tensor& item_content) {
+  Task out;
+  out.user = task.user;
+  out.loss_weight = task.loss_weight;
+  std::vector<float> support_labels, query_labels;
+  for (size_t i = 0; i < task.support_item_ids.size(); ++i) {
+    const int64_t item = task.support_item_ids[i];
+    if (!keep_item[static_cast<size_t>(item)]) continue;
+    out.support_item_ids.push_back(item);
+    support_labels.push_back(task.support_labels.at(static_cast<int64_t>(i)));
+  }
+  for (size_t i = 0; i < task.query_item_ids.size(); ++i) {
+    const int64_t item = task.query_item_ids[i];
+    if (!keep_item[static_cast<size_t>(item)]) continue;
+    out.query_item_ids.push_back(item);
+    query_labels.push_back(task.query_labels.at(static_cast<int64_t>(i)));
+  }
+  const int64_t ns = static_cast<int64_t>(out.support_item_ids.size());
+  const int64_t nq = static_cast<int64_t>(out.query_item_ids.size());
+  out.support_user = RepeatRow(user_content, task.user, ns);
+  out.support_item = ns > 0 ? GatherRows(item_content, out.support_item_ids)
+                            : Tensor({0, item_content.dim(1)});
+  out.support_labels = LabelColumn(support_labels);
+  out.query_user = RepeatRow(user_content, task.user, nq);
+  out.query_item = nq > 0 ? GatherRows(item_content, out.query_item_ids)
+                          : Tensor({0, item_content.dim(1)});
+  out.query_labels = LabelColumn(query_labels);
+  return out;
+}
+
+std::vector<int64_t> MergedSupport(int64_t user,
+                                   const std::vector<int64_t>& support_items,
+                                   const data::InteractionMatrix& train) {
+  std::vector<int64_t> merged = support_items;
+  for (int32_t item : train.ItemsOf(user)) {
+    if (std::find(merged.begin(), merged.end(), static_cast<int64_t>(item)) ==
+        merged.end()) {
+      merged.push_back(item);
+    }
+  }
+  return merged;
+}
+
+Task BuildAdaptationTask(int64_t user, const std::vector<int64_t>& positive_items,
+                         const data::InteractionMatrix& all, const Tensor& user_content,
+                         const Tensor& item_content, int negatives_per_positive,
+                         Rng* rng) {
+  Task task;
+  task.user = user;
+  std::vector<float> labels;
+  const int64_t m = all.num_items();
+  for (int64_t item : positive_items) {
+    task.support_item_ids.push_back(item);
+    labels.push_back(1.0f);
+    for (int k = 0; k < negatives_per_positive; ++k) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int64_t neg = static_cast<int64_t>(rng->UniformInt(m));
+        if (!all.Has(user, neg)) {
+          task.support_item_ids.push_back(neg);
+          labels.push_back(0.0f);
+          break;
+        }
+      }
+    }
+  }
+  const int64_t ns = static_cast<int64_t>(task.support_item_ids.size());
+  if (ns > 0) {
+    task.support_user = RepeatRow(user_content, user, ns);
+    task.support_item = GatherRows(item_content, task.support_item_ids);
+    task.support_labels = LabelColumn(labels);
+  } else {
+    const int64_t width = user_content.dim(1);
+    task.support_user = Tensor({0, width});
+    task.support_item = Tensor({0, width});
+    task.support_labels = Tensor({0, 1});
+  }
+  return task;
+}
+
+}  // namespace meta
+}  // namespace metadpa

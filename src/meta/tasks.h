@@ -1,0 +1,83 @@
+// Meta-learning task construction (paper §III-B, §IV-C).
+//
+// A task T_u is one user's preference prediction problem: inputs are
+// (user content, item content) pairs, labels are that user's implicit
+// ratings. Tasks are split into support and query halves. Augmented tasks
+// T_uk keep the same inputs but take their labels from the k generated
+// diverse rating matrices (Eq. 10).
+#ifndef METADPA_META_TASKS_H_
+#define METADPA_META_TASKS_H_
+
+#include <vector>
+
+#include "data/interactions.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace meta {
+
+/// \brief One user's task with a support/query split.
+struct Task {
+  int64_t user = -1;
+  /// Relative weight of this task's query loss in the outer objective
+  /// (MetaDPA down-weights augmented tasks against the originals).
+  float loss_weight = 1.0f;
+  /// Item ids backing each row (kept for relabeling into augmented tasks).
+  std::vector<int64_t> support_item_ids;
+  std::vector<int64_t> query_item_ids;
+
+  Tensor support_user;    ///< (ns, content) — the user's content row repeated
+  Tensor support_item;    ///< (ns, content)
+  Tensor support_labels;  ///< (ns, 1) in [0, 1]
+  Tensor query_user;      ///< (nq, content)
+  Tensor query_item;      ///< (nq, content)
+  Tensor query_labels;    ///< (nq, 1) in [0, 1]
+
+  int64_t support_size() const { return support_labels.numel(); }
+  int64_t query_size() const { return query_labels.numel(); }
+};
+
+/// \brief Task construction knobs.
+struct TaskOptions {
+  /// Sampled negatives per positive item.
+  int negatives_per_positive = 1;
+  /// Fraction of a task's examples that go to the support set.
+  double support_fraction = 0.5;
+  /// Users with fewer positives than this yield no task.
+  int64_t min_positives = 2;
+};
+
+/// \brief Builds the original tasks T_u from training interactions: label 1
+/// for interacted items, 0 for sampled negatives.
+std::vector<Task> BuildTasks(const data::InteractionMatrix& train,
+                             const Tensor& user_content, const Tensor& item_content,
+                             const TaskOptions& options, Rng* rng);
+
+/// \brief Builds augmented tasks T_uk (Eq. 10): clones `tasks` with labels
+/// replaced by rows of `generated` (shape: users x items, values in [0, 1]).
+std::vector<Task> RelabelTasks(const std::vector<Task>& tasks, const Tensor& generated);
+
+/// \brief Rebuilds a task keeping only the rows whose item id passes
+/// `keep_item`. Used to drop items whose generated labels carry no signal
+/// (items the Dual-CVAE barely observed). Returns a task that may be empty.
+Task FilterTaskItems(const Task& task, const std::vector<bool>& keep_item,
+                     const Tensor& user_content, const Tensor& item_content);
+
+/// \brief Builds one adaptation task from explicit positive items (used at
+/// meta-test time from an EvalCase's support set); negatives sampled against
+/// `all` interactions. All examples land in the support half.
+Task BuildAdaptationTask(int64_t user, const std::vector<int64_t>& positive_items,
+                         const data::InteractionMatrix& all, const Tensor& user_content,
+                         const Tensor& item_content, int negatives_per_positive,
+                         Rng* rng);
+
+/// \brief Union of a case's scenario support items and the user's training
+/// history — the full observed positive set a meta-learner may adapt on.
+std::vector<int64_t> MergedSupport(int64_t user,
+                                   const std::vector<int64_t>& support_items,
+                                   const data::InteractionMatrix& train);
+
+}  // namespace meta
+}  // namespace metadpa
+
+#endif  // METADPA_META_TASKS_H_

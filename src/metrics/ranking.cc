@@ -1,0 +1,78 @@
+#include "metrics/ranking.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace metrics {
+
+double PositiveRank(double positive_score, const std::vector<double>& negative_scores) {
+  int64_t greater = 0, ties = 0;
+  for (double s : negative_scores) {
+    if (s > positive_score) {
+      ++greater;
+    } else if (s == positive_score) {
+      ++ties;
+    }
+  }
+  return 1.0 + static_cast<double>(greater) + 0.5 * static_cast<double>(ties);
+}
+
+RankingMetrics EvaluateCase(double positive_score,
+                            const std::vector<double>& negative_scores, int k) {
+  MDPA_CHECK_GT(k, 0);
+  MDPA_CHECK(!negative_scores.empty());
+  const double rank = PositiveRank(positive_score, negative_scores);
+  RankingMetrics m;
+  if (rank <= static_cast<double>(k)) {
+    m.hr = 1.0;
+    m.mrr = 1.0 / rank;
+    m.ndcg = 1.0 / std::log2(rank + 1.0);
+  }
+  int64_t below = 0, ties = 0;
+  for (double s : negative_scores) {
+    if (s < positive_score) {
+      ++below;
+    } else if (s == positive_score) {
+      ++ties;
+    }
+  }
+  m.auc = (static_cast<double>(below) + 0.5 * static_cast<double>(ties)) /
+          static_cast<double>(negative_scores.size());
+  return m;
+}
+
+void MetricsAccumulator::Add(const RankingMetrics& m) {
+  sum_.hr += m.hr;
+  sum_.mrr += m.mrr;
+  sum_.ndcg += m.ndcg;
+  sum_.auc += m.auc;
+  ++count_;
+}
+
+RankingMetrics MetricsAccumulator::Mean() const {
+  RankingMetrics m;
+  if (count_ == 0) return m;
+  const double inv = 1.0 / static_cast<double>(count_);
+  m.hr = sum_.hr * inv;
+  m.mrr = sum_.mrr * inv;
+  m.ndcg = sum_.ndcg * inv;
+  m.auc = sum_.auc * inv;
+  return m;
+}
+
+std::vector<double> NdcgCurve(double positive_score,
+                              const std::vector<double>& negative_scores, int max_k) {
+  const double rank = PositiveRank(positive_score, negative_scores);
+  std::vector<double> curve(static_cast<size_t>(max_k), 0.0);
+  for (int k = 1; k <= max_k; ++k) {
+    if (rank <= static_cast<double>(k)) {
+      curve[static_cast<size_t>(k - 1)] = 1.0 / std::log2(rank + 1.0);
+    }
+  }
+  return curve;
+}
+
+}  // namespace metrics
+}  // namespace metadpa

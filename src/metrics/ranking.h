@@ -1,0 +1,48 @@
+// Top-k ranking metrics of the paper's protocol (§V-A2): HR@k, MRR@k,
+// NDCG@k and AUC over leave-one-out cases with sampled negatives.
+#ifndef METADPA_METRICS_RANKING_H_
+#define METADPA_METRICS_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace metadpa {
+namespace metrics {
+
+/// \brief Metric values for one case or averaged over many.
+struct RankingMetrics {
+  double hr = 0.0;
+  double mrr = 0.0;
+  double ndcg = 0.0;
+  double auc = 0.0;
+};
+
+/// \brief Fractional 1-based rank of the positive among the negatives; ties
+/// contribute half a position, so a constant scorer lands mid-list.
+double PositiveRank(double positive_score, const std::vector<double>& negative_scores);
+
+/// \brief Metrics for one leave-one-out case at cutoff k.
+RankingMetrics EvaluateCase(double positive_score,
+                            const std::vector<double>& negative_scores, int k);
+
+/// \brief Streaming mean over cases.
+class MetricsAccumulator {
+ public:
+  void Add(const RankingMetrics& m);
+  RankingMetrics Mean() const;
+  int64_t count() const { return count_; }
+
+ private:
+  RankingMetrics sum_;
+  int64_t count_ = 0;
+};
+
+/// \brief NDCG@k for k = 1..max_k in one pass (Figures 3 and 4 need the whole
+/// curve).
+std::vector<double> NdcgCurve(double positive_score,
+                              const std::vector<double>& negative_scores, int max_k);
+
+}  // namespace metrics
+}  // namespace metadpa
+
+#endif  // METADPA_METRICS_RANKING_H_

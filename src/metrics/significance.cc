@@ -1,0 +1,70 @@
+#include "metrics/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace metrics {
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  MDPA_CHECK_EQ(x.size(), y.size());
+  WilcoxonResult result;
+
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d == 0.0) continue;
+    diffs.push_back({std::fabs(d), d > 0 ? 1 : -1});
+  }
+  result.n = static_cast<int64_t>(diffs.size());
+  if (result.n == 0) return result;
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& a, const Diff& b) { return a.abs < b.abs; });
+
+  // Average ranks over ties; accumulate the tie correction term.
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < diffs.size()) {
+    size_t j = i;
+    while (j < diffs.size() && diffs[j].abs == diffs[i].abs) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const double tie_size = static_cast<double>(j - i);
+    if (j - i > 1) tie_correction += tie_size * (tie_size * tie_size - 1.0);
+    for (size_t r = i; r < j; ++r) {
+      if (diffs[r].sign > 0) {
+        result.w_plus += avg_rank;
+      } else {
+        result.w_minus += avg_rank;
+      }
+    }
+    i = j;
+  }
+
+  const double n = static_cast<double>(result.n);
+  const double mean = n * (n + 1.0) / 4.0;
+  const double variance =
+      n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) {
+    result.p_value = result.w_plus > mean ? 0.0 : 1.0;
+    return result;
+  }
+  // Continuity correction toward the null.
+  const double cc = result.w_plus > mean ? -0.5 : 0.5;
+  result.z = (result.w_plus - mean + cc) / std::sqrt(variance);
+  result.p_value = 1.0 - NormalCdf(result.z);
+  return result;
+}
+
+}  // namespace metrics
+}  // namespace metadpa

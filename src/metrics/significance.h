@@ -1,0 +1,32 @@
+// One-sided Wilcoxon signed-rank test (paper §V-D).
+#ifndef METADPA_METRICS_SIGNIFICANCE_H_
+#define METADPA_METRICS_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace metadpa {
+namespace metrics {
+
+/// \brief Result of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double w_plus = 0.0;   ///< rank sum of positive differences
+  double w_minus = 0.0;  ///< rank sum of negative differences
+  int64_t n = 0;         ///< pairs after dropping zero differences
+  double z = 0.0;        ///< normal approximation statistic
+  double p_value = 1.0;  ///< one-sided P(median difference <= 0 rejected)
+};
+
+/// \brief Tests H1: median(x - y) > 0 (i.e. method x beats method y), using
+/// the normal approximation with tie correction and continuity correction.
+/// Pairs with x == y are dropped, as in the standard procedure.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// \brief Standard normal CDF.
+double NormalCdf(double z);
+
+}  // namespace metrics
+}  // namespace metadpa
+
+#endif  // METADPA_METRICS_SIGNIFICANCE_H_

@@ -1,0 +1,40 @@
+#include "nn/checkpoint.h"
+
+#include "tensor/serialize.h"
+
+namespace metadpa {
+namespace nn {
+
+Status SaveCheckpoint(const std::string& path, const ParamList& params) {
+  std::vector<Tensor> tensors;
+  tensors.reserve(params.size());
+  for (const auto& p : params) tensors.push_back(p.data());
+  return t::SaveTensors(path, tensors);
+}
+
+Status LoadCheckpoint(const std::string& path, const ParamList& params) {
+  Result<std::vector<Tensor>> loaded = t::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  const std::vector<Tensor>& tensors = loaded.ValueOrDie();
+  if (tensors.size() != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(tensors.size()) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!SameShape(tensors[i].shape(), params[i].shape())) {
+      return Status::InvalidArgument("checkpoint tensor " + std::to_string(i) +
+                                     " shape " + ShapeToString(tensors[i].shape()) +
+                                     " does not match model shape " +
+                                     ShapeToString(params[i].shape()));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    ag::Variable handle = params[i];
+    handle.SetData(tensors[i].Clone());
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace metadpa

@@ -1,0 +1,24 @@
+// Model checkpointing: parameter lists round-trip through the binary tensor
+// file format, with shape validation on load.
+#ifndef METADPA_NN_CHECKPOINT_H_
+#define METADPA_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace nn {
+
+/// \brief Saves a parameter list's current data to `path`.
+Status SaveCheckpoint(const std::string& path, const ParamList& params);
+
+/// \brief Loads a checkpoint into an existing parameter list; every tensor's
+/// shape must match (the model architecture is not serialized).
+Status LoadCheckpoint(const std::string& path, const ParamList& params);
+
+}  // namespace nn
+}  // namespace metadpa
+
+#endif  // METADPA_NN_CHECKPOINT_H_

@@ -1,0 +1,83 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace nn {
+namespace {
+
+Tensor InitWeight(int64_t in, int64_t out, Rng* rng, Init init) {
+  switch (init) {
+    case Init::kXavierUniform: {
+      const float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+      return Tensor::RandUniform({in, out}, rng, -bound, bound);
+    }
+    case Init::kHeNormal: {
+      const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+      return Tensor::RandNormal({in, out}, rng, 0.0f, stddev);
+    }
+    case Init::kZeros:
+      return Tensor::Zeros({in, out});
+  }
+  return Tensor::Zeros({in, out});
+}
+
+}  // namespace
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, Init init)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(InitWeight(in_features, out_features, rng, init), /*requires_grad=*/true),
+      bias_(Tensor::Zeros({1, out_features}), /*requires_grad=*/true) {}
+
+ParamList Linear::Parameters() const { return {weight_, bias_}; }
+
+ag::Variable Linear::ForwardWith(const ag::Variable& x, const ParamList& params,
+                                 size_t* cursor) const {
+  MDPA_CHECK_LE(*cursor + 2, params.size());
+  const ag::Variable& w = params[*cursor];
+  const ag::Variable& b = params[*cursor + 1];
+  *cursor += 2;
+  MDPA_CHECK_EQ(x.shape().back(), in_features_)
+      << "Linear input width mismatch: " << ShapeToString(x.shape());
+  return ag::Add(ag::MatMul(x, w), b);
+}
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  MDPA_CHECK_GE(p, 0.0f);
+  MDPA_CHECK_LT(p, 1.0f);
+}
+
+ag::Variable Dropout::ForwardWith(const ag::Variable& x, const ParamList&,
+                                  size_t*) const {
+  if (!training_ || p_ == 0.0f) return x;
+  Tensor mask(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.at(i) = rng_->Bernoulli(p_) ? 0.0f : scale;
+  }
+  return ag::Mul(x, ag::Constant(std::move(mask)));
+}
+
+std::unique_ptr<Sequential> MakeMlp(int64_t in, const std::vector<int64_t>& hidden,
+                                    int64_t out, Rng* rng, bool relu) {
+  auto mlp = std::make_unique<Sequential>();
+  int64_t cur = in;
+  for (int64_t h : hidden) {
+    mlp->Add(std::make_unique<Linear>(cur, h, rng,
+                                      relu ? Init::kHeNormal : Init::kXavierUniform));
+    if (relu) {
+      mlp->Add(std::make_unique<ReluLayer>());
+    } else {
+      mlp->Add(std::make_unique<TanhLayer>());
+    }
+    cur = h;
+  }
+  mlp->Add(std::make_unique<Linear>(cur, out, rng, Init::kXavierUniform));
+  return mlp;
+}
+
+}  // namespace nn
+}  // namespace metadpa

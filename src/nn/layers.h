@@ -1,0 +1,108 @@
+// Concrete layers: Linear, activations, Dropout.
+#ifndef METADPA_NN_LAYERS_H_
+#define METADPA_NN_LAYERS_H_
+
+#include <memory>
+
+#include "nn/module.h"
+
+namespace metadpa {
+namespace nn {
+
+/// \brief Weight initialization schemes.
+enum class Init {
+  kXavierUniform,  ///< U(-sqrt(6/(fan_in+fan_out)), +...)  — tanh/sigmoid nets
+  kHeNormal,       ///< N(0, sqrt(2/fan_in))                — relu nets
+  kZeros,
+};
+
+/// \brief Fully connected layer: y = x W + b with x of shape (batch, in).
+class Linear : public Module {
+ public:
+  /// \brief Creates and initializes W (in x out) and b (1 x out).
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         Init init = Init::kXavierUniform);
+
+  ParamList Parameters() const override;
+  size_t NumParamTensors() const override { return 2; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList& params,
+                           size_t* cursor) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Variable weight_;
+  ag::Variable bias_;
+};
+
+/// \brief Parameter-free elementwise activation layers.
+class ReluLayer : public Module {
+ public:
+  ParamList Parameters() const override { return {}; }
+  size_t NumParamTensors() const override { return 0; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList&,
+                           size_t*) const override {
+    return ag::Relu(x);
+  }
+};
+
+class SigmoidLayer : public Module {
+ public:
+  ParamList Parameters() const override { return {}; }
+  size_t NumParamTensors() const override { return 0; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList&,
+                           size_t*) const override {
+    return ag::Sigmoid(x);
+  }
+};
+
+class TanhLayer : public Module {
+ public:
+  ParamList Parameters() const override { return {}; }
+  size_t NumParamTensors() const override { return 0; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList&,
+                           size_t*) const override {
+    return ag::Tanh(x);
+  }
+};
+
+class SoftmaxLayer : public Module {
+ public:
+  ParamList Parameters() const override { return {}; }
+  size_t NumParamTensors() const override { return 0; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList&,
+                           size_t*) const override {
+    return ag::Softmax(x);
+  }
+};
+
+/// \brief Inverted dropout; identity in eval mode.
+class Dropout : public Module {
+ public:
+  /// \brief Drops activations with probability `p` during training.
+  Dropout(float p, Rng* rng);
+
+  ParamList Parameters() const override { return {}; }
+  size_t NumParamTensors() const override { return 0; }
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList&,
+                           size_t*) const override;
+  void SetTraining(bool training) override { training_ = training; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  bool training_ = true;
+};
+
+/// \brief Builds a multi-layer perceptron: Linear(+act) per hidden layer, then
+/// a final Linear without activation.
+std::unique_ptr<Sequential> MakeMlp(int64_t in, const std::vector<int64_t>& hidden,
+                                    int64_t out, Rng* rng, bool relu = true);
+
+}  // namespace nn
+}  // namespace metadpa
+
+#endif  // METADPA_NN_LAYERS_H_

@@ -1,0 +1,72 @@
+#include "nn/module.h"
+
+namespace metadpa {
+namespace nn {
+
+ag::Variable Module::Forward(const ag::Variable& x) const {
+  ParamList params = Parameters();
+  size_t cursor = 0;
+  ag::Variable out = ForwardWith(x, params, &cursor);
+  MDPA_CHECK_EQ(cursor, params.size()) << "module consumed a wrong parameter count";
+  return out;
+}
+
+void Module::SetTraining(bool) {}
+
+int64_t Module::NumParams() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+Sequential& Sequential::Add(std::unique_ptr<Module> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ParamList Sequential::Parameters() const {
+  ParamList out;
+  for (const auto& layer : layers_) {
+    ParamList p = layer->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+size_t Sequential::NumParamTensors() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) n += layer->NumParamTensors();
+  return n;
+}
+
+ag::Variable Sequential::ForwardWith(const ag::Variable& x, const ParamList& params,
+                                     size_t* cursor) const {
+  ag::Variable cur = x;
+  for (const auto& layer : layers_) {
+    cur = layer->ForwardWith(cur, params, cursor);
+  }
+  return cur;
+}
+
+void Sequential::SetTraining(bool training) {
+  for (const auto& layer : layers_) layer->SetTraining(training);
+}
+
+std::vector<Tensor> SnapshotParams(const ParamList& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p.data().Clone());
+  return out;
+}
+
+void RestoreParams(const ParamList& params, const std::vector<Tensor>& snapshot) {
+  MDPA_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    // Variables are shared handles; a copy still addresses the same leaf node.
+    ag::Variable handle = params[i];
+    handle.SetData(snapshot[i].Clone());
+  }
+}
+
+}  // namespace nn
+}  // namespace metadpa

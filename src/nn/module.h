@@ -1,0 +1,81 @@
+// Neural-network modules over the autograd engine.
+//
+// Modules own leaf parameter Variables but can also run with externally
+// supplied "fast weights" via ForwardWith: MAML's inner loop produces adapted
+// parameters as graph nodes, and the query pass must consume them without
+// touching the stored leaves. Every module therefore reports how many
+// parameter tensors it consumes and reads them from a cursor.
+#ifndef METADPA_NN_MODULE_H_
+#define METADPA_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace nn {
+
+/// \brief Ordered list of parameter variables.
+using ParamList = std::vector<ag::Variable>;
+
+/// \brief Base class for all layers and models.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// \brief The module's own parameters, in consumption order.
+  virtual ParamList Parameters() const = 0;
+
+  /// \brief Number of parameter tensors consumed by ForwardWith.
+  virtual size_t NumParamTensors() const = 0;
+
+  /// \brief Forward pass reading parameters from params[*cursor...]; advances
+  /// the cursor by NumParamTensors().
+  virtual ag::Variable ForwardWith(const ag::Variable& x, const ParamList& params,
+                                   size_t* cursor) const = 0;
+
+  /// \brief Forward pass using the module's own parameters.
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  /// \brief Toggles training-time behaviour (dropout etc.). Default no-op.
+  virtual void SetTraining(bool training);
+
+  /// \brief Total scalar parameter count.
+  int64_t NumParams() const;
+};
+
+/// \brief Composition of modules applied in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// \brief Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Module> layer);
+
+  ParamList Parameters() const override;
+  size_t NumParamTensors() const override;
+  ag::Variable ForwardWith(const ag::Variable& x, const ParamList& params,
+                           size_t* cursor) const override;
+  void SetTraining(bool training) override;
+
+  size_t size() const { return layers_.size(); }
+  Module& layer(size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+/// \brief Copies parameter data out of a list (detached snapshot).
+std::vector<Tensor> SnapshotParams(const ParamList& params);
+
+/// \brief Writes a snapshot back into leaf parameters.
+void RestoreParams(const ParamList& params, const std::vector<Tensor>& snapshot);
+
+}  // namespace nn
+}  // namespace metadpa
+
+#endif  // METADPA_NN_MODULE_H_

@@ -1,0 +1,100 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace optim {
+
+void Optimizer::Step(const ag::Variable& loss) {
+  std::vector<ag::Variable> grads = ag::Grad(loss, params_);
+  Step(grads);
+}
+
+Sgd::Sgd(nn::ParamList params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Sgd::Step(const std::vector<ag::Variable>& grads) {
+  MDPA_CHECK_EQ(grads.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor g = grads[i].data();
+    if (weight_decay_ > 0.0f) {
+      g = t::Add(g, t::MulScalar(params_[i].data(), weight_decay_));
+    }
+    Tensor update;
+    if (momentum_ > 0.0f) {
+      velocity_[i] = t::Add(t::MulScalar(velocity_[i], momentum_), g);
+      update = velocity_[i];
+    } else {
+      update = g;
+    }
+    ag::Variable p = params_[i];
+    p.SetData(t::Sub(p.data(), t::MulScalar(update, lr_)));
+  }
+}
+
+Adam::Adam(nn::ParamList params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step(const std::vector<ag::Variable>& grads) {
+  MDPA_CHECK_EQ(grads.size(), params_.size());
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor g = grads[i].data();
+    if (weight_decay_ > 0.0f) {
+      g = t::Add(g, t::MulScalar(params_[i].data(), weight_decay_));
+    }
+    m_[i] = t::Add(t::MulScalar(m_[i], beta1_), t::MulScalar(g, 1.0f - beta1_));
+    v_[i] = t::Add(t::MulScalar(v_[i], beta2_),
+                   t::MulScalar(t::Mul(g, g), 1.0f - beta2_));
+    Tensor m_hat = t::MulScalar(m_[i], 1.0f / bc1);
+    Tensor v_hat = t::MulScalar(v_[i], 1.0f / bc2);
+    Tensor update = t::Div(m_hat, t::AddScalar(t::Sqrt(v_hat), eps_));
+    ag::Variable p = params_[i];
+    p.SetData(t::Sub(p.data(), t::MulScalar(update, lr_)));
+  }
+}
+
+float ClipGradNorm(std::vector<ag::Variable>* grads, float max_norm) {
+  double sq = 0.0;
+  for (const auto& g : *grads) {
+    const Tensor& d = g.data();
+    for (int64_t i = 0; i < d.numel(); ++i) sq += static_cast<double>(d.at(i)) * d.at(i);
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& g : *grads) {
+      ag::Variable handle = g;
+      handle.SetData(t::MulScalar(g.data(), scale));
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace metadpa

@@ -1,0 +1,77 @@
+// First-order optimizers. They pair a ParamList with gradients produced by
+// ag::Grad and update the leaf data in place.
+#ifndef METADPA_OPTIM_OPTIMIZER_H_
+#define METADPA_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace metadpa {
+namespace optim {
+
+/// \brief Base optimizer interface.
+class Optimizer {
+ public:
+  /// \brief Registers the parameters to optimize.
+  explicit Optimizer(nn::ParamList params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update given gradients aligned with the params.
+  virtual void Step(const std::vector<ag::Variable>& grads) = 0;
+
+  /// \brief Convenience: computes grads of `loss` w.r.t. the registered
+  /// params and applies one update.
+  void Step(const ag::Variable& loss);
+
+  const nn::ParamList& params() const { return params_; }
+
+ protected:
+  nn::ParamList params_;
+};
+
+/// \brief Stochastic gradient descent with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(nn::ParamList params, float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void Step(const std::vector<ag::Variable>& grads) override;
+  using Optimizer::Step;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(nn::ParamList params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step(const std::vector<ag::Variable>& grads) override;
+  using Optimizer::Step;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// \brief Scales gradients in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm.
+float ClipGradNorm(std::vector<ag::Variable>* grads, float max_norm);
+
+}  // namespace optim
+}  // namespace metadpa
+
+#endif  // METADPA_OPTIM_OPTIMIZER_H_

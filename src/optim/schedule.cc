@@ -1,0 +1,40 @@
+#include "optim/schedule.h"
+
+#include <cmath>
+
+namespace metadpa {
+namespace optim {
+
+LrSchedule ConstantLr(float lr) {
+  return [lr](int) { return lr; };
+}
+
+LrSchedule StepDecay(float base_lr, int step_epochs, float gamma) {
+  MDPA_CHECK_GT(step_epochs, 0);
+  return [base_lr, step_epochs, gamma](int epoch) {
+    return base_lr * std::pow(gamma, static_cast<float>(epoch / step_epochs));
+  };
+}
+
+LrSchedule CosineDecay(float base_lr, float min_lr, int total_epochs) {
+  MDPA_CHECK_GT(total_epochs, 0);
+  MDPA_CHECK_LE(min_lr, base_lr);
+  return [base_lr, min_lr, total_epochs](int epoch) {
+    if (epoch >= total_epochs) return min_lr;
+    const float progress = static_cast<float>(epoch) / static_cast<float>(total_epochs);
+    return min_lr +
+           0.5f * (base_lr - min_lr) * (1.0f + std::cos(progress * 3.14159265f));
+  };
+}
+
+LrSchedule WithWarmup(LrSchedule schedule, int warmup_epochs) {
+  MDPA_CHECK_GE(warmup_epochs, 0);
+  return [schedule = std::move(schedule), warmup_epochs](int epoch) {
+    const float base = schedule(epoch);
+    if (warmup_epochs == 0 || epoch >= warmup_epochs) return base;
+    return base * static_cast<float>(epoch + 1) / static_cast<float>(warmup_epochs);
+  };
+}
+
+}  // namespace optim
+}  // namespace metadpa

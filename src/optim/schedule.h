@@ -1,0 +1,32 @@
+// Learning-rate schedules. Stateless functions of the epoch index that
+// trainers apply via Optimizer::set_lr.
+#ifndef METADPA_OPTIM_SCHEDULE_H_
+#define METADPA_OPTIM_SCHEDULE_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace optim {
+
+/// \brief Maps an epoch index to a learning rate.
+using LrSchedule = std::function<float(int epoch)>;
+
+/// \brief Constant learning rate.
+LrSchedule ConstantLr(float lr);
+
+/// \brief Multiplies the base rate by `gamma` every `step_epochs`.
+LrSchedule StepDecay(float base_lr, int step_epochs, float gamma);
+
+/// \brief Cosine annealing from base_lr to min_lr over total_epochs.
+LrSchedule CosineDecay(float base_lr, float min_lr, int total_epochs);
+
+/// \brief Linear ramp from 0 to the wrapped schedule's value over
+/// `warmup_epochs`, then the wrapped schedule.
+LrSchedule WithWarmup(LrSchedule schedule, int warmup_epochs);
+
+}  // namespace optim
+}  // namespace metadpa
+
+#endif  // METADPA_OPTIM_SCHEDULE_H_

@@ -1,0 +1,446 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace t {
+namespace {
+
+// Row-major strides of a shape.
+std::vector<int64_t> Strides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+// Strides of `shape` aligned (right-justified) to an output of rank
+// `out_rank`, with 0 stride in broadcast dimensions.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out_shape) {
+  const size_t out_rank = out_shape.size();
+  std::vector<int64_t> in_strides = Strides(shape);
+  std::vector<int64_t> strides(out_rank, 0);
+  for (size_t i = 0; i < shape.size(); ++i) {
+    const size_t out_i = out_rank - shape.size() + i;
+    strides[out_i] = (shape[i] == 1 && out_shape[out_i] != 1) ? 0 : in_strides[i];
+  }
+  return strides;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F&& f) {
+  if (SameShape(a.shape(), b.shape())) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const auto so = Strides(out_shape);
+  const int64_t n = out.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const size_t rank = out_shape.size();
+  for (int64_t lin = 0; lin < n; ++lin) {
+    int64_t rem = lin, ia = 0, ib = 0;
+    for (size_t d = 0; d < rank; ++d) {
+      const int64_t coord = rem / so[d];
+      rem -= coord * so[d];
+      ia += coord * sa[d];
+      ib += coord * sb[d];
+    }
+    po[lin] = f(pa[ia], pb[ib]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+int64_t NormalizeAxis(const Tensor& a, int64_t axis) {
+  if (axis < 0) axis += a.ndim();
+  MDPA_CHECK_GE(axis, 0);
+  MDPA_CHECK_LT(axis, a.ndim());
+  return axis;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+}
+Tensor Greater(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+Tensor PowScalar(const Tensor& a, float exponent) {
+  return UnaryOp(a, [exponent](float x) { return std::pow(x, exponent); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    // Numerically stable in both tails.
+    if (x >= 0) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.0f; });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MDPA_CHECK_EQ(k, b.dim(0)) << "matmul inner dims " << ShapeToString(a.shape()) << " x "
+                             << ShapeToString(b.shape());
+  Tensor out({m, n}, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  auto row_block = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  };
+  // Parallelize only when the work amortizes the dispatch overhead.
+  const int64_t flops = m * n * k;
+  if (flops > (1 << 20) && m > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    const int64_t num_blocks =
+        std::min<int64_t>(m, static_cast<int64_t>(pool.num_threads()) * 2);
+    const int64_t block = (m + num_blocks - 1) / num_blocks;
+    pool.ParallelFor(static_cast<size_t>(num_blocks), [&](size_t bi) {
+      const int64_t i0 = static_cast<int64_t>(bi) * block;
+      const int64_t i1 = std::min(m, i0 + block);
+      if (i0 < i1) row_block(i0, i1);
+    });
+  } else {
+    row_block(0, m);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  MDPA_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.numel()));
+}
+
+namespace {
+
+// Applies a reduction along `axis`: out[outer][inner] = reduce_i a[outer][i][inner].
+template <typename Init, typename Acc, typename Fin>
+Tensor ReduceAxis(const Tensor& a, int64_t axis, bool keepdims, Init init, Acc acc,
+                  Fin fin) {
+  axis = NormalizeAxis(a, axis);
+  const Shape& shape = a.shape();
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < axis; ++i) outer *= shape[static_cast<size_t>(i)];
+  for (int64_t i = axis + 1; i < a.ndim(); ++i) inner *= shape[static_cast<size_t>(i)];
+  const int64_t reduce = shape[static_cast<size_t>(axis)];
+  MDPA_CHECK_GT(reduce, 0);
+
+  Shape out_shape;
+  for (int64_t i = 0; i < a.ndim(); ++i) {
+    if (i == axis) {
+      if (keepdims) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(shape[static_cast<size_t>(i)]);
+    }
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      double v = init();
+      for (int64_t r = 0; r < reduce; ++r) {
+        v = acc(v, static_cast<double>(pa[(o * reduce + r) * inner + in]));
+      }
+      po[o * inner + in] = static_cast<float>(fin(v, reduce));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  return ReduceAxis(
+      a, axis, keepdims, [] { return 0.0; }, [](double v, double x) { return v + x; },
+      [](double v, int64_t) { return v; });
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  return ReduceAxis(
+      a, axis, keepdims, [] { return 0.0; }, [](double v, double x) { return v + x; },
+      [](double v, int64_t n) { return v / static_cast<double>(n); });
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  return ReduceAxis(
+      a, axis, keepdims, [] { return -std::numeric_limits<double>::infinity(); },
+      [](double v, double x) { return std::max(v, x); },
+      [](double v, int64_t) { return v; });
+}
+
+Tensor ArgMaxRows(const Tensor& a) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t best = 0;
+    float best_v = a.at(i, 0);
+    for (int64_t j = 1; j < n; ++j) {
+      if (a.at(i, j) > best_v) {
+        best_v = a.at(i, j);
+        best = j;
+      }
+    }
+    out.at(i) = static_cast<float>(best);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (SameShape(t.shape(), target)) return t;
+  MDPA_CHECK_LE(target.size(), t.shape().size())
+      << "cannot reduce " << ShapeToString(t.shape()) << " to " << ShapeToString(target);
+  Tensor cur = t;
+  // Sum away leading dimensions the target lacks.
+  while (cur.ndim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdims=*/false);
+  }
+  // Sum dimensions where the target is 1 but the source is larger.
+  for (int64_t i = 0; i < cur.ndim(); ++i) {
+    if (target[static_cast<size_t>(i)] == 1 && cur.dim(i) != 1) {
+      cur = Sum(cur, i, /*keepdims=*/true);
+    } else {
+      MDPA_CHECK_EQ(target[static_cast<size_t>(i)], cur.dim(i))
+          << "reduce mismatch at axis " << i;
+    }
+  }
+  return cur;
+}
+
+Tensor BroadcastTo(const Tensor& t, const Shape& target) {
+  if (SameShape(t.shape(), target)) return t;
+  // Multiply by ones of the target shape; reuses the broadcast machinery.
+  return Mul(t, Tensor::Ones(target));
+}
+
+Tensor Softmax(const Tensor& a) {
+  MDPA_CHECK_GE(a.ndim(), 1);
+  const int64_t axis = a.ndim() - 1;
+  Tensor m = Max(a, axis, /*keepdims=*/true);
+  Tensor e = Exp(Sub(a, m));
+  Tensor z = Sum(e, axis, /*keepdims=*/true);
+  return Div(e, z);
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  MDPA_CHECK_GE(a.ndim(), 1);
+  const int64_t axis = a.ndim() - 1;
+  Tensor m = Max(a, axis, /*keepdims=*/true);
+  Tensor shifted = Sub(a, m);
+  Tensor z = Log(Sum(Exp(shifted), axis, /*keepdims=*/true));
+  return Sub(shifted, z);
+}
+
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
+  MDPA_CHECK_GE(a.ndim(), 1);
+  MDPA_CHECK_LE(a.ndim(), 2);
+  if (a.ndim() == 1) {
+    Tensor out({static_cast<int64_t>(indices.size())});
+    for (size_t i = 0; i < indices.size(); ++i) {
+      MDPA_CHECK_GE(indices[i], 0);
+      MDPA_CHECK_LT(indices[i], a.dim(0));
+      out.at(static_cast<int64_t>(i)) = a.at(indices[i]);
+    }
+    return out;
+  }
+  const int64_t cols = a.dim(1);
+  Tensor out({static_cast<int64_t>(indices.size()), cols});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    MDPA_CHECK_GE(indices[i], 0);
+    MDPA_CHECK_LT(indices[i], a.dim(0));
+    std::copy(a.data() + indices[i] * cols, a.data() + (indices[i] + 1) * cols,
+              out.data() + static_cast<int64_t>(i) * cols);
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  MDPA_CHECK(!parts.empty());
+  const int64_t rank = parts[0].ndim();
+  MDPA_CHECK(rank == 1 || rank == 2) << "Concat supports rank 1 or 2";
+  if (rank == 1) {
+    MDPA_CHECK_EQ(axis, 0);
+    int64_t total = 0;
+    for (const auto& p : parts) {
+      MDPA_CHECK_EQ(p.ndim(), 1);
+      total += p.dim(0);
+    }
+    Tensor out({total});
+    int64_t off = 0;
+    for (const auto& p : parts) {
+      std::copy(p.data(), p.data() + p.numel(), out.data() + off);
+      off += p.numel();
+    }
+    return out;
+  }
+  MDPA_CHECK(axis == 0 || axis == 1);
+  if (axis == 0) {
+    const int64_t cols = parts[0].dim(1);
+    int64_t rows = 0;
+    for (const auto& p : parts) {
+      MDPA_CHECK_EQ(p.dim(1), cols);
+      rows += p.dim(0);
+    }
+    Tensor out({rows, cols});
+    int64_t off = 0;
+    for (const auto& p : parts) {
+      std::copy(p.data(), p.data() + p.numel(), out.data() + off);
+      off += p.numel();
+    }
+    return out;
+  }
+  const int64_t rows = parts[0].dim(0);
+  int64_t cols = 0;
+  for (const auto& p : parts) {
+    MDPA_CHECK_EQ(p.dim(0), rows);
+    cols += p.dim(1);
+  }
+  Tensor out({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t off = 0;
+    for (const auto& p : parts) {
+      const int64_t pc = p.dim(1);
+      std::copy(p.data() + r * pc, p.data() + (r + 1) * pc, out.data() + r * cols + off);
+      off += pc;
+    }
+  }
+  return out;
+}
+
+Tensor Row(const Tensor& a, int64_t row) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_GE(row, 0);
+  MDPA_CHECK_LT(row, a.dim(0));
+  const int64_t cols = a.dim(1);
+  Tensor out({cols});
+  std::copy(a.data() + row * cols, a.data() + (row + 1) * cols, out.data());
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  MDPA_CHECK(SameShape(a.shape(), b.shape()));
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+  }
+  return m;
+}
+
+bool AllFinite(const Tensor& a) {
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(a.at(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace t
+}  // namespace metadpa

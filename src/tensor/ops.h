@@ -1,0 +1,110 @@
+// Raw (non-differentiable) tensor kernels. The autograd layer composes these
+// into differentiable operations; everything here allocates a fresh output.
+#ifndef METADPA_TENSOR_OPS_H_
+#define METADPA_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metadpa {
+namespace t {
+
+// -- Elementwise binary with numpy-style broadcasting -------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+/// \brief 1.0 where a > b else 0.0.
+Tensor Greater(const Tensor& a, const Tensor& b);
+
+// -- Elementwise with a scalar -------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor PowScalar(const Tensor& a, float exponent);
+
+// -- Elementwise unary ----------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// \brief Clamps every element into [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// -- Linear algebra --------------------------------------------------------------
+
+/// \brief 2-D matrix product (m,k) x (k,n) -> (m,n). Parallelized over rows
+/// for large outputs.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// \brief 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+// -- Reductions -------------------------------------------------------------------
+
+/// \brief Sum of all elements as a rank-0 tensor.
+Tensor SumAll(const Tensor& a);
+
+/// \brief Mean of all elements as a rank-0 tensor.
+Tensor MeanAll(const Tensor& a);
+
+/// \brief Sum along one axis; with keepdims the axis stays as size-1.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims);
+
+/// \brief Mean along one axis.
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims);
+
+/// \brief Maximum along one axis.
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims);
+
+/// \brief Index of the maximum along the last axis of a 2-D tensor; returns a
+/// rank-1 tensor of float-encoded indices.
+Tensor ArgMaxRows(const Tensor& a);
+
+/// \brief Sums `t` down to `target` shape (inverse of broadcasting); used by
+/// autograd to reduce gradients of broadcast operands.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+/// \brief Broadcasts `t` up to `target` shape by copying.
+Tensor BroadcastTo(const Tensor& t, const Shape& target);
+
+// -- Softmax family ----------------------------------------------------------------
+
+/// \brief Numerically-stable softmax along the last axis.
+Tensor Softmax(const Tensor& a);
+
+/// \brief Numerically-stable log-softmax along the last axis.
+Tensor LogSoftmax(const Tensor& a);
+
+// -- Shuffling / selection -----------------------------------------------------------
+
+/// \brief Gathers rows of a 2-D tensor (or elements of a 1-D tensor).
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices);
+
+/// \brief Concatenates tensors along `axis` (0 or 1 for 2-D, 0 for 1-D).
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// \brief Extracts one row of a 2-D tensor as a rank-1 tensor.
+Tensor Row(const Tensor& a, int64_t row);
+
+// -- Utilities -----------------------------------------------------------------------
+
+/// \brief Max |a - b| over all elements (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// \brief True when every element is finite.
+bool AllFinite(const Tensor& a);
+
+}  // namespace t
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_OPS_H_

@@ -1,0 +1,114 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace metadpa {
+namespace t {
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x4d445054;  // "MDPT"
+constexpr uint32_t kFileMagic = 0x4d445046;    // "MDPF"
+constexpr uint32_t kVersion = 1;
+
+Status WriteRaw(std::FILE* file, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, file) != bytes) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadRaw(std::FILE* file, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, file) != bytes) {
+    return Status::IoError("short read (truncated or corrupt file)");
+  }
+  return Status::OK();
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteTensor(std::FILE* file, const Tensor& tensor) {
+  MDPA_CHECK(file != nullptr);
+  MDPA_RETURN_NOT_OK(WriteRaw(file, &kTensorMagic, sizeof(kTensorMagic)));
+  const uint32_t rank = static_cast<uint32_t>(tensor.ndim());
+  MDPA_RETURN_NOT_OK(WriteRaw(file, &rank, sizeof(rank)));
+  for (int64_t d = 0; d < tensor.ndim(); ++d) {
+    const int64_t dim = tensor.dim(d);
+    MDPA_RETURN_NOT_OK(WriteRaw(file, &dim, sizeof(dim)));
+  }
+  return WriteRaw(file, tensor.data(),
+                  static_cast<size_t>(tensor.numel()) * sizeof(float));
+}
+
+Result<Tensor> ReadTensor(std::FILE* file) {
+  MDPA_CHECK(file != nullptr);
+  uint32_t magic = 0;
+  MDPA_RETURN_NOT_OK(ReadRaw(file, &magic, sizeof(magic)));
+  if (magic != kTensorMagic) {
+    return Status::InvalidArgument("bad tensor magic; not a MetaDPA tensor stream");
+  }
+  uint32_t rank = 0;
+  MDPA_RETURN_NOT_OK(ReadRaw(file, &rank, sizeof(rank)));
+  if (rank > 8) return Status::InvalidArgument("tensor rank too large (corrupt file?)");
+  Shape shape(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    MDPA_RETURN_NOT_OK(ReadRaw(file, &shape[d], sizeof(int64_t)));
+    if (shape[d] < 0 || shape[d] > (int64_t{1} << 32)) {
+      return Status::InvalidArgument("implausible tensor dimension (corrupt file?)");
+    }
+  }
+  Tensor tensor(shape);
+  MDPA_RETURN_NOT_OK(
+      ReadRaw(file, tensor.data(), static_cast<size_t>(tensor.numel()) * sizeof(float)));
+  return tensor;
+}
+
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return Status::IoError("cannot open for writing: " + path);
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &kFileMagic, sizeof(kFileMagic)));
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &kVersion, sizeof(kVersion)));
+  const uint64_t count = tensors.size();
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &count, sizeof(count)));
+  for (const Tensor& tensor : tensors) {
+    MDPA_RETURN_NOT_OK(WriteTensor(file.get(), tensor));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::NotFound("cannot open: " + path);
+  uint32_t magic = 0, version = 0;
+  MDPA_RETURN_NOT_OK(ReadRaw(file.get(), &magic, sizeof(magic)));
+  if (magic != kFileMagic) {
+    return Status::InvalidArgument(path + " is not a MetaDPA tensor file");
+  }
+  MDPA_RETURN_NOT_OK(ReadRaw(file.get(), &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported tensor file version " +
+                                   std::to_string(version));
+  }
+  uint64_t count = 0;
+  MDPA_RETURN_NOT_OK(ReadRaw(file.get(), &count, sizeof(count)));
+  if (count > (1u << 20)) return Status::InvalidArgument("implausible tensor count");
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Result<Tensor> tensor = ReadTensor(file.get());
+    if (!tensor.ok()) return tensor.status();
+    tensors.push_back(tensor.MoveValueOrDie());
+  }
+  return tensors;
+}
+
+}  // namespace t
+}  // namespace metadpa

@@ -1,0 +1,32 @@
+// Binary tensor serialization (little-endian, versioned magic header).
+// Used for model checkpoints and for exchanging generated rating matrices
+// between processes.
+#ifndef METADPA_TENSOR_SERIALIZE_H_
+#define METADPA_TENSOR_SERIALIZE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace t {
+
+/// \brief Writes one tensor to an open stream.
+Status WriteTensor(std::FILE* file, const Tensor& tensor);
+
+/// \brief Reads one tensor from an open stream.
+Result<Tensor> ReadTensor(std::FILE* file);
+
+/// \brief Saves a list of tensors to `path` (overwrites).
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
+
+/// \brief Loads a list of tensors from `path`.
+Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace t
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_SERIALIZE_H_

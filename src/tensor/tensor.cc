@@ -1,0 +1,139 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace metadpa {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MDPA_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da == db || da == 1 || db == 1) {
+      out[rank - 1 - i] = std::max(da, db);
+    } else {
+      MDPA_CHECK(false) << "incompatible broadcast shapes " << ShapeToString(a) << " and "
+                        << ShapeToString(b);
+    }
+  }
+  return out;
+}
+
+Tensor::Tensor() : shape_(), data_(std::make_shared<std::vector<float>>(1, 0.0f)) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(NumElements(shape_)))) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(NumElements(shape_)),
+                                                 value)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+  MDPA_CHECK_EQ(NumElements(shape_), static_cast<int64_t>(data_->size()))
+      << "value count does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::Scalar(float value) { return Tensor(Shape{}, std::vector<float>{value}); }
+
+Tensor Tensor::RandNormal(Shape shape, Rng* rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  if (axis < 0) axis += ndim();
+  MDPA_CHECK_GE(axis, 0);
+  MDPA_CHECK_LT(axis, ndim());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::at(int64_t row, int64_t col) {
+  MDPA_CHECK_EQ(ndim(), 2);
+  return (*data_)[static_cast<size_t>(row * shape_[1] + col)];
+}
+
+float Tensor::at(int64_t row, int64_t col) const {
+  MDPA_CHECK_EQ(ndim(), 2);
+  return (*data_)[static_cast<size_t>(row * shape_[1] + col)];
+}
+
+float Tensor::item() const {
+  MDPA_CHECK_EQ(numel(), 1) << "item() on tensor with " << numel() << " elements";
+  return (*data_)[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MDPA_CHECK_EQ(NumElements(new_shape), numel())
+      << "reshape " << ShapeToString(shape_) << " -> " << ShapeToString(new_shape);
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out(shape_);
+  std::copy(data_->begin(), data_->end(), out.data_->begin());
+  return out;
+}
+
+void Tensor::Fill(float value) { std::fill(data_->begin(), data_->end(), value); }
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t limit = std::min<int64_t>(numel(), 16);
+  for (int64_t i = 0; i < limit; ++i) {
+    if (i > 0) out << ", ";
+    out << at(i);
+  }
+  if (numel() > limit) out << ", ...";
+  out << '}';
+  return out.str();
+}
+
+}  // namespace metadpa

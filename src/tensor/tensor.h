@@ -1,0 +1,107 @@
+// Dense row-major float tensor.
+//
+// This is the storage substrate underneath the autograd engine. Tensors are
+// value types with shared, copy-on-nothing storage: copying a Tensor aliases
+// the same buffer (like numpy), and all ops in ops.h allocate fresh outputs.
+#ifndef METADPA_TENSOR_TENSOR_H_
+#define METADPA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metadpa {
+
+/// \brief Shape of a tensor; empty means a scalar (rank 0, one element).
+using Shape = std::vector<int64_t>;
+
+/// \brief Number of elements a shape addresses.
+int64_t NumElements(const Shape& shape);
+
+/// \brief Renders e.g. "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+/// \brief True if two shapes are identical.
+bool SameShape(const Shape& a, const Shape& b);
+
+/// \brief Computes the numpy-style broadcast of two shapes; aborts if the
+/// shapes are incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// \brief Dense row-major float32 tensor with shared storage.
+class Tensor {
+ public:
+  /// \brief An empty scalar-shaped tensor holding 0.0f.
+  Tensor();
+
+  /// \brief Uninitialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// \brief Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// \brief Tensor adopting `values` (size must match the shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// \brief Rank-1 tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+
+  /// \brief Rank-0 tensor holding a single value.
+  static Tensor Scalar(float value);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+
+  /// \brief I.i.d. N(mean, stddev^2) entries drawn from `rng`.
+  static Tensor RandNormal(Shape shape, Rng* rng, float mean = 0.0f, float stddev = 1.0f);
+
+  /// \brief I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor RandUniform(Shape shape, Rng* rng, float lo = 0.0f, float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t numel() const { return static_cast<int64_t>(data_->size()); }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  float& at(int64_t i) { return (*data_)[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return (*data_)[static_cast<size_t>(i)]; }
+
+  /// \brief 2-D element accessors (row-major). Requires ndim()==2.
+  float& at(int64_t row, int64_t col);
+  float at(int64_t row, int64_t col) const;
+
+  /// \brief The single value of a one-element tensor.
+  float item() const;
+
+  /// \brief Returns a tensor viewing the same storage with a new shape
+  /// (element count must match).
+  Tensor Reshape(Shape new_shape) const;
+
+  /// \brief Deep copy of values into a fresh buffer.
+  Tensor Clone() const;
+
+  /// \brief Fills in place.
+  void Fill(float value);
+
+  /// \brief True if this tensor aliases the same storage as `other`.
+  bool SharesStorageWith(const Tensor& other) const { return data_ == other.data_; }
+
+  /// \brief Human-readable rendering (truncates long tensors).
+  std::string ToString() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_TENSOR_H_

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace metadpa {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetMinLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::min_level() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void Logger::Emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_min_level.load()) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  char buf[32];
+  std::tm tm_buf;
+  localtime_r(&t, &tm_buf);
+  std::strftime(buf, sizeof(buf), "%H:%M:%S", &tm_buf);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << buf << " " << LevelName(level) << "] " << msg << std::endl;
+}
+
+}  // namespace metadpa

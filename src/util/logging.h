@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+#ifndef METADPA_UTIL_LOGGING_H_
+#define METADPA_UTIL_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace metadpa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide logging controls.
+class Logger {
+ public:
+  /// \brief Minimum level that will be emitted (default kInfo).
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// \brief Emits one formatted line; used by the MDPA_LOG macro.
+  static void Emit(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  ~LogMessage() { Logger::Emit(level_, stream_.str()); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace metadpa
+
+#define MDPA_LOG(level) ::metadpa::internal::LogMessage(::metadpa::LogLevel::level)
+
+#endif  // METADPA_UTIL_LOGGING_H_

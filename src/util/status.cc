@@ -1,0 +1,55 @@
+#include "util/status.h"
+
+namespace metadpa {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  std::cerr << "Fatal status";
+  if (context != nullptr) std::cerr << " in " << context;
+  std::cerr << ": " << ToString() << std::endl;
+  std::abort();
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& extra) {
+  std::cerr << "Check failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) std::cerr << " " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace metadpa

@@ -1,0 +1,166 @@
+// Status / Result error model, in the style of Apache Arrow: library entry
+// points that can fail for reasons a caller should handle return Status or
+// Result<T>; programming errors (shape mismatches inside hot loops, broken
+// invariants) abort via the MDPA_CHECK family.
+#ifndef METADPA_UTIL_STATUS_H_
+#define METADPA_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace metadpa {
+
+/// \brief Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error value carried by fallible public APIs.
+///
+/// Statuses are cheap to copy in the success case (no allocation) and carry a
+/// message in the failure case. Use the factory helpers
+/// (Status::InvalidArgument(...) etc.) to construct errors.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not ok.
+  void Abort(const char* context = nullptr) const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value-or-Status, in the spirit of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T& ValueOrDie() {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T MoveValueOrDie() {
+    if (!ok()) status_.Abort("Result::MoveValueOrDie");
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+
+/// \brief Builds the message for a failed check and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// \brief Stream-capable helper so checks can append context with <<.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace metadpa
+
+/// Aborts with a message when `cond` is false. Used for programming errors
+/// (invariants), never for data-dependent failures a caller should handle.
+#define MDPA_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::metadpa::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define MDPA_CHECK_EQ(a, b) MDPA_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MDPA_CHECK_NE(a, b) MDPA_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MDPA_CHECK_LT(a, b) MDPA_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MDPA_CHECK_LE(a, b) MDPA_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MDPA_CHECK_GT(a, b) MDPA_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define MDPA_CHECK_GE(a, b) MDPA_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Propagates a non-OK Status from the current function.
+#define MDPA_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::metadpa::Status _st = (expr);        \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#endif  // METADPA_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing used by the scalability experiment (Fig. 6).
+#ifndef METADPA_UTIL_STOPWATCH_H_
+#define METADPA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace metadpa {
+
+/// \brief Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace metadpa
+
+#endif  // METADPA_UTIL_STOPWATCH_H_

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace metadpa {
+
+void TextTable::SetHeader(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  Row row;
+  row.cells = std::move(cells);
+  row.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { pending_separator_ = true; }
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.cells.size());
+  std::vector<size_t> width(num_cols, 0);
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row.cells);
+
+  std::ostringstream out;
+  auto rule = [&out, &width] {
+    out << '+';
+    for (size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&out, &width, num_cols](const std::vector<std::string>& cells) {
+    out << '|';
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << ' ' << cell << std::string(width[i] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator_before) rule();
+    emit(row.cells);
+  }
+  rule();
+  return out.str();
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  file_ = f;
+  ok_ = f != nullptr;
+}
+
+CsvWriter::~CsvWriter() {
+  if (ok_) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!ok_) return;
+  FILE* f = static_cast<FILE*>(file_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) std::fputc(',', f);
+    std::fputs(cells[i].c_str(), f);
+  }
+  std::fputc('\n', f);
+}
+
+}  // namespace metadpa

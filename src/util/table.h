@@ -1,0 +1,59 @@
+// ASCII table rendering used by the benchmark harness to print paper-style
+// tables (Table I/II/III) and figure series.
+#ifndef METADPA_UTIL_TABLE_H_
+#define METADPA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace metadpa {
+
+/// \brief Accumulates rows of string cells and renders a boxed ASCII table.
+class TextTable {
+ public:
+  /// \brief Sets the header row.
+  void SetHeader(std::vector<std::string> cells);
+
+  /// \brief Appends one data row; rows may have differing widths.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Inserts a horizontal rule before the next added row.
+  void AddSeparator();
+
+  /// \brief Renders the full table with column alignment.
+  std::string ToString() const;
+
+  /// \brief Formats a double with the paper's 4-decimal convention.
+  static std::string Num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// \brief Writes rows of (x, series...) as a CSV file; used to dump figure
+/// data next to the printed tables.
+class CsvWriter {
+ public:
+  /// \brief Opens `path` for writing; overwrites existing content.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  bool ok() const { return ok_; }
+
+  /// \brief Writes one row of cells, comma-separated.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header.
+  bool ok_;
+};
+
+}  // namespace metadpa
+
+#endif  // METADPA_UTIL_TABLE_H_

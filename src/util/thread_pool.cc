@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace {
+
+// True while the current thread is executing a pool task. Nested ParallelFor
+// calls from inside a worker run serially: with a fixed-size pool, waiting on
+// sub-tasks from a worker can deadlock once all workers block on each other.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  MDPA_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || t_inside_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunked dynamic scheduling: each worker repeatedly claims the next index.
+  std::atomic<size_t> next{0};
+  const size_t num_tasks = std::min(n, workers_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_tasks);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    futures.push_back(Submit([&next, n, &fn] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace metadpa

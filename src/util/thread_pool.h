@@ -1,0 +1,61 @@
+// Fixed-size worker pool used to train the k Dual-CVAEs of the multi-source
+// adaptation block in parallel (paper §IV-B: "training multiple Dual-CVAEs in
+// parallel") and to parallelize batched linear algebra.
+#ifndef METADPA_UTIL_THREAD_POOL_H_
+#define METADPA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace metadpa {
+
+/// \brief A minimal task-queue thread pool.
+class ThreadPool {
+ public:
+  /// \brief Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task and returns a future for its completion.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// \brief Runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief A process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace metadpa
+
+#endif  // METADPA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,271 @@
+// Parameterized property tests for the autograd engine: every unary and
+// binary op family is numerically grad-checked (first AND second order) at
+// random points, across several shapes and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+struct OpCase {
+  std::string name;
+  // Builds a scalar loss from one input (the second entry, if present, is a
+  // fixed constant baked into the closure by the fixture).
+  ScalarFn fn;
+  // Point generator; keeps inputs inside the op's smooth domain.
+  std::function<Tensor(const Shape&, Rng*)> sample;
+  bool check_second_order = true;
+};
+
+Tensor AnyPoint(const Shape& shape, Rng* rng) { return Tensor::RandNormal(shape, rng); }
+
+Tensor PositivePoint(const Shape& shape, Rng* rng) {
+  return t::AddScalar(t::Abs(Tensor::RandNormal(shape, rng)), 0.5f);
+}
+
+Tensor AwayFromZero(const Shape& shape, Rng* rng) {
+  // |x| in [0.5, 2.5] with a random sign: keeps relu/abs kinks at distance.
+  Tensor x = Tensor::RandUniform(shape, rng, 0.5f, 2.5f);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (rng->Bernoulli(0.5)) x.at(i) = -x.at(i);
+  }
+  return x;
+}
+
+std::vector<OpCase> AllOpCases() {
+  std::vector<OpCase> cases;
+  auto scalarize = [](const Variable& v) { return MeanAll(PowScalar(v, 2.0f)); };
+
+  cases.push_back({"neg", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Neg(in[0]));
+                   },
+                   AnyPoint});
+  cases.push_back({"exp", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Exp(MulScalar(in[0], 0.5f)));
+                   },
+                   AnyPoint});
+  cases.push_back({"log", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Log(in[0]));
+                   },
+                   PositivePoint});
+  cases.push_back({"sqrt", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Sqrt(in[0]));
+                   },
+                   PositivePoint});
+  cases.push_back({"sigmoid", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Sigmoid(in[0]));
+                   },
+                   AnyPoint});
+  cases.push_back({"tanh", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Tanh(in[0]));
+                   },
+                   AnyPoint});
+  cases.push_back({"softplus", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Softplus(in[0]));
+                   },
+                   AnyPoint});
+  // Relu's second derivative is zero a.e.; only first order is meaningful.
+  cases.push_back({"relu", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Relu(in[0]));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  cases.push_back({"pow3", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(PowScalar(in[0], 3.0f));
+                   },
+                   AnyPoint});
+  cases.push_back({"add_mul_scalar", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(AddScalar(MulScalar(in[0], -1.7f), 0.3f));
+                   },
+                   AnyPoint});
+  cases.push_back({"softmax", [](const std::vector<Variable>& in) {
+                     return SumAll(PowScalar(Softmax(in[0]), 2.0f));
+                   },
+                   AnyPoint});
+  cases.push_back({"logsoftmax", [](const std::vector<Variable>& in) {
+                     return Neg(MeanAll(LogSoftmax(in[0])));
+                   },
+                   AnyPoint});
+  cases.push_back({"sum_axis0", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Sum(in[0], 0, false));
+                   },
+                   AnyPoint});
+  cases.push_back({"mean_axis1", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Mean(in[0], 1, true));
+                   },
+                   AnyPoint});
+  cases.push_back({"transpose", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Transpose(in[0]));
+                   },
+                   AnyPoint});
+  cases.push_back({"reshape", [scalarize](const std::vector<Variable>& in) {
+                     const int64_t n = in[0].numel();
+                     return scalarize(Reshape(in[0], {n}));
+                   },
+                   AnyPoint});
+  cases.push_back({"slice_rows", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(SliceRows(in[0], 1, 2));
+                   },
+                   AnyPoint});
+  cases.push_back({"slice_cols", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(SliceCols(in[0], 1, 2));
+                   },
+                   AnyPoint});
+  cases.push_back({"index_select", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(IndexSelectRows(in[0], {0, 2, 2, 1}));
+                   },
+                   AnyPoint});
+  cases.push_back({"scatter_add", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(ScatterAddRows(in[0], {1, 0, 1, 4}, 6));
+                   },
+                   AnyPoint});
+  cases.push_back({"clamp_min", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(ClampMin(in[0], 0.0f));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  cases.push_back({"expand_reduce", [scalarize](const std::vector<Variable>& in) {
+                     Variable big = ExpandTo(in[0], {6, 4, 3});
+                     return scalarize(ReduceTo(big, in[0].shape()));
+                   },
+                   AnyPoint});
+  cases.push_back({"abs", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Abs(in[0]));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  cases.push_back({"maximum_vs_const", [scalarize](const std::vector<Variable>& in) {
+                     Variable other = Constant(Tensor::Full(in[0].shape(), 0.1f));
+                     return scalarize(Maximum(in[0], other));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  cases.push_back({"minimum_vs_const", [scalarize](const std::vector<Variable>& in) {
+                     Variable other = Constant(Tensor::Full(in[0].shape(), -0.1f));
+                     return scalarize(Minimum(in[0], other));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  return cases;
+}
+
+class OpGradCheck : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OpGradCheck, FirstOrderMatchesNumeric) {
+  const OpCase op = AllOpCases()[GetParam()];
+  for (uint64_t seed : {11u, 29u}) {
+    Rng rng(seed);
+    std::vector<Tensor> pts = {op.sample({4, 3}, &rng)};
+    EXPECT_LT(MaxGradError(op.fn, pts), 3e-2) << op.name << " seed " << seed;
+  }
+}
+
+TEST_P(OpGradCheck, SecondOrderMatchesNumeric) {
+  const OpCase op = AllOpCases()[GetParam()];
+  if (!op.check_second_order) GTEST_SKIP() << "piecewise-linear op";
+  Rng rng(31);
+  std::vector<Tensor> pts = {op.sample({4, 3}, &rng)};
+  EXPECT_LT(MaxSecondOrderError(op.fn, pts, &rng), 8e-2) << op.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpGradCheck,
+                         ::testing::Range(size_t{0}, AllOpCases().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return AllOpCases()[info.param].name;
+                         });
+
+// ---- binary ops with broadcasting, parameterized over shape pairs ----
+
+struct ShapePair {
+  Shape a, b;
+  std::string name;
+};
+
+class BroadcastGradCheck : public ::testing::TestWithParam<ShapePair> {};
+
+TEST_P(BroadcastGradCheck, AllBinaryOpsBothOrders) {
+  const ShapePair& shapes = GetParam();
+  Rng rng(7);
+  std::vector<Tensor> pts = {Tensor::RandNormal(shapes.a, &rng),
+                             PositivePoint(shapes.b, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable s = Add(in[0], in[1]);
+    Variable d = Sub(in[0], in[1]);
+    Variable p = Mul(in[0], in[1]);
+    Variable q = Div(in[0], in[1]);
+    return MeanAll(Add(Add(PowScalar(s, 2.0f), Sigmoid(d)), Add(Tanh(p), q)));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 3e-2) << shapes.name;
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 1e-1) << shapes.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastGradCheck,
+    ::testing::Values(ShapePair{{3, 4}, {3, 4}, "same"},
+                      ShapePair{{3, 4}, {4}, "row_vector"},
+                      ShapePair{{3, 4}, {3, 1}, "col_vector"},
+                      ShapePair{{3, 4}, {}, "scalar"},
+                      ShapePair{{2, 1, 3}, {4, 1}, "rank3_mixed"}),
+    [](const ::testing::TestParamInfo<ShapePair>& info) { return info.param.name; });
+
+// ---- algebraic identities ----
+
+TEST(AutogradIdentityTest, GradOfLinearIsConstant) {
+  Rng rng(41);
+  Tensor a = Tensor::RandNormal({5}, &rng);
+  Variable x(Tensor::RandNormal({5}, &rng), true);
+  Variable y = SumAll(Mul(x, Constant(a)));
+  auto g = Grad(y, {x});
+  EXPECT_LT(t::MaxAbsDiff(g[0].data(), a), 1e-6f);
+  // And the second derivative of a linear function is exactly zero.
+  GradOptions opts;
+  opts.create_graph = true;
+  auto g1 = Grad(y, {x}, opts);
+  Variable h = SumAll(g1[0]);
+  if (h.requires_grad()) {
+    auto g2 = Grad(h, {x});
+    EXPECT_LT(t::MaxAbsDiff(g2[0].data(), Tensor::Zeros({5})), 1e-6f);
+  }
+}
+
+TEST(AutogradIdentityTest, SumRule) {
+  Rng rng(43);
+  Variable x(Tensor::RandNormal({6}, &rng), true);
+  Variable f = MeanAll(Sigmoid(x));
+  Variable g = MeanAll(Tanh(x));
+  Tensor grad_sum = Grad(Add(f, g), {x})[0].data();
+  Tensor grad_f = Grad(f, {x})[0].data();
+  Tensor grad_g = Grad(g, {x})[0].data();
+  EXPECT_LT(t::MaxAbsDiff(grad_sum, t::Add(grad_f, grad_g)), 1e-5f);
+}
+
+TEST(AutogradIdentityTest, ChainThroughMatMulTwice) {
+  Rng rng(47);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 3}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable y = MatMul(in[0], in[0]);  // shared input used twice
+    return MeanAll(Sigmoid(y));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 3e-2);
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 1e-1);
+}
+
+TEST(AutogradIdentityTest, ThirdOrderGradient) {
+  // f(x) = sum(x^4): f' = 4x^3, f'' = 12x^2, f''' = 24x — all via the tape.
+  Variable x(Tensor::FromVector({1.5f, -2.0f}), true);
+  GradOptions keep;
+  keep.create_graph = true;
+  Variable f = SumAll(PowScalar(x, 4.0f));
+  Variable g1 = Grad(f, {x}, keep)[0];
+  Variable g2 = Grad(SumAll(g1), {x}, keep)[0];
+  Variable g3 = Grad(SumAll(g2), {x})[0];
+  EXPECT_NEAR(g3.data().at(0), 24.0f * 1.5f, 1e-2f);
+  EXPECT_NEAR(g3.data().at(1), 24.0f * -2.0f, 1e-2f);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace metadpa

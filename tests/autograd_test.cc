@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+Variable Leaf(Tensor v) { return Variable(std::move(v), /*requires_grad=*/true); }
+
+TEST(VariableTest, LeafBasics) {
+  Variable v = Leaf(Tensor::FromVector({1, 2}));
+  EXPECT_TRUE(v.is_valid());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.numel(), 2);
+  Variable d = v.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data().at(1), 2.0f);
+}
+
+TEST(VariableTest, SetDataOnLeaf) {
+  Variable v = Leaf(Tensor::FromVector({1, 2}));
+  v.SetData(Tensor::FromVector({3, 4}));
+  EXPECT_EQ(v.data().at(0), 3.0f);
+}
+
+TEST(VariableTest, ConstantsDoNotGrowTape) {
+  Variable a = Constant(Tensor::FromVector({1, 2}));
+  Variable b = Constant(Tensor::FromVector({3, 4}));
+  Variable c = Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.node()->inputs.empty());
+}
+
+TEST(GradTest, SimpleChain) {
+  // f(x) = sum(3 * x^2), df/dx = 6x
+  Variable x = Leaf(Tensor::FromVector({1, -2, 0.5f}));
+  Variable y = SumAll(MulScalar(PowScalar(x, 2.0f), 3.0f));
+  auto g = Grad(y, {x});
+  EXPECT_FLOAT_EQ(g[0].data().at(0), 6.0f);
+  EXPECT_FLOAT_EQ(g[0].data().at(1), -12.0f);
+  EXPECT_FLOAT_EQ(g[0].data().at(2), 3.0f);
+}
+
+TEST(GradTest, SharedSubexpressionAccumulates) {
+  // f(x) = sum(x*x + x) uses x three times.
+  Variable x = Leaf(Tensor::FromVector({2}));
+  Variable y = SumAll(Add(Mul(x, x), x));
+  auto g = Grad(y, {x});
+  EXPECT_FLOAT_EQ(g[0].data().at(0), 5.0f);  // 2x + 1
+}
+
+TEST(GradTest, UnusedInputGivesZeros) {
+  Variable x = Leaf(Tensor::FromVector({1}));
+  Variable unused = Leaf(Tensor::FromVector({5, 6}));
+  Variable y = SumAll(x);
+  auto g = Grad(y, {x, unused});
+  EXPECT_FLOAT_EQ(g[0].data().at(0), 1.0f);
+  EXPECT_EQ(g[1].shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(g[1].data().at(0), 0.0f);
+}
+
+TEST(GradTest, BroadcastAddReducesGrad) {
+  Variable a = Leaf(Tensor({2, 3}, 1.0f));
+  Variable row = Leaf(Tensor::FromVector({1, 2, 3}));
+  Variable y = SumAll(Add(a, row));
+  auto g = Grad(y, {a, row});
+  EXPECT_EQ(g[0].shape(), (Shape{2, 3}));
+  EXPECT_EQ(g[1].shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(g[1].data().at(0), 2.0f);  // row used by both rows
+}
+
+TEST(GradTest, MatMulGradShapes) {
+  Rng rng(3);
+  Variable a = Leaf(Tensor::RandNormal({4, 5}, &rng));
+  Variable b = Leaf(Tensor::RandNormal({5, 2}, &rng));
+  Variable y = SumAll(MatMul(a, b));
+  auto g = Grad(y, {a, b});
+  EXPECT_EQ(g[0].shape(), (Shape{4, 5}));
+  EXPECT_EQ(g[1].shape(), (Shape{5, 2}));
+}
+
+TEST(GradTest, DetachCutsTape) {
+  Variable x = Leaf(Tensor::FromVector({3}));
+  Variable y = SumAll(Mul(x.Detach(), x));  // only one path is live
+  auto g = Grad(y, {x});
+  EXPECT_FLOAT_EQ(g[0].data().at(0), 3.0f);
+}
+
+// ---- numeric gradient checks, one per op family ----
+
+TEST(GradCheckTest, AddSubMulDiv) {
+  Rng rng(7);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 2}, &rng),
+                             t::AddScalar(t::Abs(Tensor::RandNormal({3, 2}, &rng)), 0.5f)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(Div(Mul(Add(in[0], in[1]), Sub(in[0], in[1])), in[1]));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, BroadcastedOps) {
+  Rng rng(11);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4, 3}, &rng),
+                             Tensor::RandNormal({3}, &rng),
+                             Tensor::RandNormal({4, 1}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(Mul(Add(in[0], in[1]), AddScalar(in[2], 2.0f)));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, UnaryChain) {
+  Rng rng(13);
+  std::vector<Tensor> pts = {Tensor::RandUniform({5}, &rng, 0.2f, 2.0f)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return SumAll(Log(AddScalar(Exp(Neg(Sqrt(in[0]))), 1.0f)));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, SigmoidTanhSoftplus) {
+  Rng rng(17);
+  std::vector<Tensor> pts = {Tensor::RandNormal({6}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(Add(Add(Sigmoid(in[0]), Tanh(in[0])), Softplus(in[0])));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, MatMulAndTranspose) {
+  Rng rng(19);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng),
+                             Tensor::RandNormal({4, 2}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(MatMul(in[0], in[1]));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+  auto fn2 = [](const std::vector<Variable>& in) {
+    return SumAll(MatMul(Transpose(in[1]), Transpose(in[0])));
+  };
+  EXPECT_LT(MaxGradError(fn2, pts), 2e-2);
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(23);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable per_row = Sum(in[0], 1, /*keepdims=*/false);
+    Variable per_col = Mean(in[0], 0, /*keepdims=*/true);
+    return Add(MeanAll(PowScalar(per_row, 2.0f)), SumAll(PowScalar(per_col, 2.0f)));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, SoftmaxAndLogSoftmax) {
+  Rng rng(29);
+  std::vector<Tensor> pts = {Tensor::RandNormal({2, 5}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable s = Softmax(in[0]);
+    return SumAll(PowScalar(s, 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+  auto fn2 = [](const std::vector<Variable>& in) {
+    return Neg(MeanAll(LogSoftmax(in[0])));
+  };
+  EXPECT_LT(MaxGradError(fn2, pts), 2e-2);
+}
+
+TEST(GradCheckTest, SliceAndConcat) {
+  Rng rng(31);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4, 3}, &rng),
+                             Tensor::RandNormal({2, 3}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable cat = ConcatRows({in[0], in[1]});
+    Variable mid = SliceRows(cat, 2, 3);
+    Variable cols = SliceCols(mid, 1, 2);
+    return MeanAll(PowScalar(cols, 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, ConcatColsRoundTrip) {
+  Rng rng(37);
+  std::vector<Tensor> pts = {Tensor::RandNormal({2, 3}, &rng),
+                             Tensor::RandNormal({2, 4}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(ConcatCols({in[0], in[1]}), 3.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 5e-2);
+}
+
+TEST(GradCheckTest, IndexSelectScatter) {
+  Rng rng(41);
+  std::vector<Tensor> pts = {Tensor::RandNormal({5, 3}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable sel = IndexSelectRows(in[0], {0, 2, 2, 4});
+    return MeanAll(PowScalar(sel, 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, Losses) {
+  Rng rng(43);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4, 3}, &rng)};
+  Tensor targets = Tensor::RandUniform({4, 3}, &rng);
+  auto fn = [&targets](const std::vector<Variable>& in) {
+    return BceWithLogits(in[0], Constant(targets));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+  auto fn2 = [&targets](const std::vector<Variable>& in) {
+    return MseLoss(in[0], Constant(targets));
+  };
+  EXPECT_LT(MaxGradError(fn2, pts), 2e-2);
+}
+
+TEST(GradCheckTest, ClampMinPassesGradAboveThreshold) {
+  Variable x = Leaf(Tensor::FromVector({-1.0f, 2.0f}));
+  Variable y = SumAll(ClampMin(x, 0.5f));
+  auto g = Grad(y, {x});
+  EXPECT_FLOAT_EQ(g[0].data().at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g[0].data().at(1), 1.0f);
+}
+
+// ---- second order ----
+
+TEST(SecondOrderTest, Quadratic) {
+  // f = sum(x^3); f' = 3x^2; directional second derivative = 6x * v.
+  Rng rng(47);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) { return SumAll(PowScalar(in[0], 3.0f)); };
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(SecondOrderTest, SigmoidNetwork) {
+  Rng rng(53);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 2}, &rng),
+                             Tensor::RandNormal({2, 2}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(Sigmoid(MatMul(in[0], in[1])));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(SecondOrderTest, BceThroughLinearLayer) {
+  Rng rng(59);
+  Tensor targets = Tensor::RandUniform({4, 1}, &rng);
+  Tensor x = Tensor::RandNormal({4, 3}, &rng);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 1}, &rng)};
+  auto fn = [&targets, &x](const std::vector<Variable>& in) {
+    return BceWithLogits(MatMul(Constant(x), in[0]), Constant(targets));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(SecondOrderTest, MamlStyleInnerStep) {
+  // One MAML inner step: fast = w - a * grad(L_s(w)); outer loss L_q(fast).
+  // Check d(outer)/dw numerically against the create_graph path.
+  Rng rng(61);
+  Tensor xs = Tensor::RandNormal({5, 3}, &rng);
+  Tensor ys = Tensor::RandUniform({5, 1}, &rng);
+  Tensor xq = Tensor::RandNormal({5, 3}, &rng);
+  Tensor yq = Tensor::RandUniform({5, 1}, &rng);
+  const float alpha = 0.1f;
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 1}, &rng)};
+
+  auto outer = [&](const std::vector<Variable>& in) {
+    Variable w = in[0];
+    Variable support_loss = BceWithLogits(MatMul(Constant(xs), w), Constant(ys));
+    GradOptions opts;
+    opts.create_graph = true;
+    Variable gw = Grad(support_loss, {w}, opts)[0];
+    Variable fast = Sub(w, MulScalar(gw, alpha));
+    return BceWithLogits(MatMul(Constant(xq), fast), Constant(yq));
+  };
+  EXPECT_LT(MaxGradError(outer, pts), 2e-2);
+}
+
+TEST(SecondOrderTest, FirstOrderDiffersFromSecondOrder) {
+  // The same MAML step with a detached inner gradient (FOMAML) must give a
+  // different outer gradient than the full second-order path.
+  Rng rng(67);
+  Tensor xs = Tensor::RandNormal({6, 3}, &rng);
+  Tensor ys = Tensor::RandUniform({6, 1}, &rng);
+  Tensor xq = Tensor::RandNormal({6, 3}, &rng);
+  Tensor yq = Tensor::RandUniform({6, 1}, &rng);
+  const float alpha = 0.5f;
+  Variable w = Leaf(Tensor::RandNormal({3, 1}, &rng));
+
+  auto inner = [&](bool second_order) {
+    Variable support_loss = BceWithLogits(MatMul(Constant(xs), w), Constant(ys));
+    GradOptions opts;
+    opts.create_graph = second_order;
+    Variable gw = Grad(support_loss, {w}, opts)[0];
+    if (!second_order) gw = gw.Detach();
+    Variable fast = Sub(w, MulScalar(gw, alpha));
+    Variable outer = BceWithLogits(MatMul(Constant(xq), fast), Constant(yq));
+    return Grad(outer, {w})[0];
+  };
+  Variable g2 = inner(true);
+  Variable g1 = inner(false);
+  EXPECT_GT(t::MaxAbsDiff(g2.data(), g1.data()), 1e-5f);
+}
+
+TEST(GraphHygieneTest, NodesAreFreedAfterUse) {
+  const int64_t before = LiveNodeCount();
+  {
+    Rng rng(71);
+    Variable x = Leaf(Tensor::RandNormal({10, 10}, &rng));
+    Variable y = MeanAll(Sigmoid(MatMul(x, Transpose(x))));
+    auto g = Grad(y, {x});
+    EXPECT_TRUE(t::AllFinite(g[0].data()));
+    EXPECT_GT(LiveNodeCount(), before);
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+TEST(GraphHygieneTest, SecondOrderGraphAlsoFreed) {
+  const int64_t before = LiveNodeCount();
+  {
+    Rng rng(73);
+    Variable x = Leaf(Tensor::RandNormal({4, 4}, &rng));
+    Variable y = MeanAll(Tanh(MatMul(x, x)));
+    GradOptions opts;
+    opts.create_graph = true;
+    auto g = Grad(y, {x}, opts);
+    Variable h = SumAll(PowScalar(g[0], 2.0f));
+    auto g2 = Grad(h, {x});
+    EXPECT_TRUE(t::AllFinite(g2[0].data()));
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace metadpa

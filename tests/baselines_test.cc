@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/catn.h"
+#include "baselines/common.h"
+#include "baselines/conn.h"
+#include "baselines/daml.h"
+#include "baselines/melu.h"
+#include "baselines/metacf.h"
+#include "baselines/neumf.h"
+#include "baselines/tdar.h"
+#include "eval/suite.h"
+
+namespace metadpa {
+namespace baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::MultiDomainDataset(
+        data::Generate(data::DefaultConfig("CDs", 0.3)));
+    data::SplitOptions options;
+    options.num_negatives = 20;
+    splits_ = new data::DatasetSplits(data::MakeSplits(dataset_->target, options));
+    ctx_ = new eval::TrainContext{dataset_, splits_, 3};
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete splits_;
+    delete dataset_;
+    ctx_ = nullptr;
+    splits_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Fits a model with tiny effort and checks the Recommender contract:
+  /// scoring works for every scenario, scores are finite probabilities, and
+  /// running two scenarios back-to-back does not poison each other.
+  void CheckContract(eval::Recommender* model) {
+    model->Fit(*ctx_);
+    for (data::Scenario scenario : {data::Scenario::kWarm, data::Scenario::kColdUser,
+                                    data::Scenario::kColdItem}) {
+      const data::ScenarioData& sc = splits_->ForScenario(scenario);
+      model->BeginScenario(sc, *ctx_);
+      ASSERT_FALSE(sc.cases.empty());
+      const data::EvalCase& c = sc.cases[0];
+      std::vector<int64_t> items = {c.test_positive};
+      items.insert(items.end(), c.negatives.begin(), c.negatives.end());
+      std::vector<double> scores = model->ScoreCase(c, items);
+      ASSERT_EQ(scores.size(), items.size());
+      for (double s : scores) {
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+      }
+    }
+  }
+
+  static data::MultiDomainDataset* dataset_;
+  static data::DatasetSplits* splits_;
+  static eval::TrainContext* ctx_;
+};
+
+data::MultiDomainDataset* BaselinesTest::dataset_ = nullptr;
+data::DatasetSplits* BaselinesTest::splits_ = nullptr;
+eval::TrainContext* BaselinesTest::ctx_ = nullptr;
+
+suite::SuiteOptions TinyOptions() {
+  suite::SuiteOptions options;
+  options.effort = 0.15;
+  return options;
+}
+
+TEST_F(BaselinesTest, NeuMfContract) {
+  auto model = suite::MakeMethod("NeuMF", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, MeluContract) {
+  auto model = suite::MakeMethod("MeLU", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, ConnContract) {
+  auto model = suite::MakeMethod("CoNN", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, TdarContract) {
+  auto model = suite::MakeMethod("TDAR", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, CatnContract) {
+  auto model = suite::MakeMethod("CATN", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, DamlContract) {
+  auto model = suite::MakeMethod("DAML", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, MetaCfContract) {
+  auto model = suite::MakeMethod("MetaCF", TinyOptions());
+  CheckContract(model.get());
+}
+
+TEST_F(BaselinesTest, FineTuningIsScenarioLocal) {
+  // Scoring the SAME warm case must give identical results before and after
+  // evaluating an unrelated cold scenario in between (snapshot/restore).
+  NeuMfConfig config;
+  config.train.epochs = 2;
+  config.train.finetune_epochs = 2;
+  NeuMf model(config);
+  model.Fit(*ctx_);
+
+  const data::EvalCase& c = splits_->warm.cases[0];
+  std::vector<int64_t> items = {c.test_positive};
+  items.insert(items.end(), c.negatives.begin(), c.negatives.end());
+
+  model.BeginScenario(splits_->warm, *ctx_);
+  std::vector<double> first = model.ScoreCase(c, items);
+  model.BeginScenario(splits_->cold_user, *ctx_);  // fine-tunes on support
+  model.BeginScenario(splits_->warm, *ctx_);       // must restore
+  std::vector<double> second = model.ScoreCase(c, items);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(first[i], second[i], 1e-6);
+  }
+}
+
+TEST_F(BaselinesTest, TrainedNeuMfBeatsChanceOnWarm) {
+  // The dataset here is deliberately tiny, so NeuMF overfits at high epoch
+  // counts; a modest budget must still clearly beat chance AUC on warm.
+  suite::SuiteOptions options_s = TinyOptions();
+  options_s.effort = 0.3;
+  auto model = suite::MakeMethod("NeuMF", options_s);
+  model->Fit(*ctx_);
+  eval::EvalOptions options;
+  const double auc =
+      eval::EvaluateScenario(model.get(), *ctx_, data::Scenario::kWarm, options)
+          .at_k.auc;
+  EXPECT_GT(auc, 0.54);
+}
+
+TEST(BaselinesCommonTest, MakeBatchesCoverAll) {
+  Rng rng(1);
+  auto batches = MakeBatches(10, 3, &rng);
+  ASSERT_EQ(batches.size(), 4u);
+  std::vector<bool> seen(10, false);
+  for (const auto& b : batches) {
+    for (int64_t i : b) seen[static_cast<size_t>(i)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(batches.back().size(), 1u);
+}
+
+TEST(BaselinesCommonTest, SupportExamplesLabels) {
+  data::InteractionMatrix all(4, 10);
+  all.Add(0, 1);
+  all.Add(0, 2);
+  all.Add(1, 3);
+  data::ScenarioData scenario;
+  scenario.support = {{0, 1}, {1, 3}};
+  Rng rng(2);
+  data::LabeledExamples examples = SupportExamples(scenario, all, 2, &rng);
+  EXPECT_EQ(examples.size(), 6u);  // 2 positives + 4 negatives
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (examples.labels[i] > 0.5f) {
+      EXPECT_TRUE(all.Has(examples.users[i], examples.items[i]));
+    } else {
+      EXPECT_FALSE(all.Has(examples.users[i], examples.items[i]));
+    }
+  }
+}
+
+TEST(BaselinesCommonTest, CaseBatchReplicatesUser) {
+  Rng rng(3);
+  Tensor user_content = Tensor::RandUniform({3, 4}, &rng);
+  Tensor item_content = Tensor::RandUniform({5, 4}, &rng);
+  ContentBatch batch = CaseBatch(1, {0, 4, 2}, user_content, item_content);
+  EXPECT_EQ(batch.user.shape(), (Shape{3, 4}));
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(batch.user.at(r, c), user_content.at(1, c));
+    }
+  }
+  EXPECT_FLOAT_EQ(batch.item.at(1, 0), item_content.at(4, 0));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace metadpa

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cvae/adaptation.h"
+#include "cvae/dual_cvae.h"
+#include "cvae/infonce.h"
+#include "data/synthetic.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace cvae {
+namespace {
+
+TEST(InfoNceTest, LossIsFiniteScalar) {
+  Rng rng(1);
+  InfoNce critic(6, 4, 8, 0.2f, &rng);
+  ag::Variable a = ag::Constant(Tensor::RandNormal({5, 6}, &rng));
+  ag::Variable b = ag::Constant(Tensor::RandNormal({5, 4}, &rng));
+  ag::Variable loss = critic.Loss(a, b);
+  EXPECT_EQ(loss.numel(), 1);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_EQ(critic.Parameters().size(), 4u);
+}
+
+TEST(InfoNceTest, AlignedPairsScoreLowerThanShuffled) {
+  // Train the critic briefly on correlated pairs; the aligned loss must drop
+  // below the loss of a shuffled (independent) pairing.
+  Rng rng(2);
+  InfoNce critic(8, 8, 8, 0.2f, &rng);
+  optim::Adam opt(critic.Parameters(), 1e-2f);
+  const int64_t batch = 16;
+  Tensor base = Tensor::RandNormal({batch, 8}, &rng);
+  Tensor view_b = t::Add(base, Tensor::RandNormal({batch, 8}, &rng, 0.0f, 0.1f));
+  for (int step = 0; step < 200; ++step) {
+    ag::Variable loss = critic.Loss(ag::Constant(base), ag::Constant(view_b));
+    opt.Step(loss);
+  }
+  const float aligned = critic.Loss(ag::Constant(base), ag::Constant(view_b)).item();
+  // Shuffle rows of b to break the pairing.
+  std::vector<int64_t> perm(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) perm[static_cast<size_t>(i)] = (i + 7) % batch;
+  Tensor shuffled = t::IndexSelect(view_b, perm);
+  const float misaligned =
+      critic.Loss(ag::Constant(base), ag::Constant(shuffled)).item();
+  EXPECT_LT(aligned + 0.5f, misaligned);
+}
+
+TEST(InfoNceTest, GradientsFlowToCritic) {
+  Rng rng(3);
+  InfoNce critic(4, 4, 4, 0.5f, &rng);
+  ag::Variable a = ag::Constant(Tensor::RandNormal({3, 4}, &rng));
+  ag::Variable b = ag::Constant(Tensor::RandNormal({3, 4}, &rng));
+  auto grads = ag::Grad(critic.Loss(a, b), critic.Parameters());
+  float total = 0.0f;
+  for (const auto& g : grads) {
+    for (int64_t i = 0; i < g.numel(); ++i) total += std::fabs(g.data().at(i));
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+class DualCvaeTest : public ::testing::Test {
+ protected:
+  DualCvaeTest() : rng_(11) {
+    config_.source_items = 20;
+    config_.target_items = 14;
+    config_.content_dim = 10;
+    config_.hidden_dim = 16;
+    config_.latent_dim = 6;
+    model_ = std::make_unique<DualCvae>(config_, &rng_);
+  }
+
+  DualCvaeLosses Losses() {
+    Tensor r_s = Tensor::RandUniform({4, 20}, &rng_);
+    Tensor x_s = Tensor::RandUniform({4, 10}, &rng_);
+    Tensor r_t = Tensor::RandUniform({4, 14}, &rng_);
+    Tensor x_t = Tensor::RandUniform({4, 10}, &rng_);
+    // Binarize ratings.
+    for (Tensor* r : {&r_s, &r_t}) {
+      for (int64_t i = 0; i < r->numel(); ++i) r->at(i) = r->at(i) > 0.8f ? 1.0f : 0.0f;
+    }
+    return model_->ComputeLosses(r_s, x_s, r_t, x_t, &rng_);
+  }
+
+  DualCvaeConfig config_;
+  Rng rng_;
+  std::unique_ptr<DualCvae> model_;
+};
+
+TEST_F(DualCvaeTest, AllLossTermsFinite) {
+  DualCvaeLosses losses = Losses();
+  for (const ag::Variable* v : {&losses.total, &losses.elbo_recon, &losses.kl,
+                                &losses.mse_align, &losses.cross_recon,
+                                &losses.content_recon, &losses.mdi, &losses.me}) {
+    EXPECT_TRUE(std::isfinite(v->item())) << "non-finite loss term";
+  }
+  EXPECT_GE(losses.elbo_recon.item(), 0.0f);
+  EXPECT_GE(losses.kl.item(), -1e-4f);  // KL to conditional prior is >= 0
+  EXPECT_GE(losses.mse_align.item(), 0.0f);
+}
+
+TEST_F(DualCvaeTest, TotalIsWeightedSum) {
+  DualCvaeLosses losses = Losses();
+  const float expected = losses.elbo_recon.item() + losses.kl.item() +
+                         losses.mse_align.item() + losses.cross_recon.item() +
+                         config_.content_recon_weight * losses.content_recon.item() +
+                         config_.beta1 * losses.mdi.item() +
+                         config_.beta2 * losses.me.item();
+  EXPECT_NEAR(losses.total.item(), expected, 1e-3f);
+}
+
+TEST_F(DualCvaeTest, AblationTogglesZeroOutConstraints) {
+  DualCvaeConfig no_mdi = config_;
+  no_mdi.use_mdi = false;
+  Rng rng(12);
+  DualCvae model(no_mdi, &rng);
+  Tensor r_s = Tensor::Zeros({3, 20});
+  Tensor x_s = Tensor::RandUniform({3, 10}, &rng);
+  Tensor r_t = Tensor::Zeros({3, 14});
+  Tensor x_t = Tensor::RandUniform({3, 10}, &rng);
+  DualCvaeLosses losses = model.ComputeLosses(r_s, x_s, r_t, x_t, &rng);
+  EXPECT_FLOAT_EQ(losses.mdi.item(), 0.0f);
+  EXPECT_NE(losses.me.item(), 0.0f);
+}
+
+TEST_F(DualCvaeTest, GradientsTouchEveryParameter) {
+  DualCvaeLosses losses = Losses();
+  nn::ParamList params = model_->Parameters();
+  auto grads = ag::Grad(losses.total, params);
+  int64_t nonzero_tensors = 0;
+  for (const auto& g : grads) {
+    float total = 0.0f;
+    for (int64_t i = 0; i < g.numel(); ++i) total += std::fabs(g.data().at(i));
+    if (total > 0.0f) ++nonzero_tensors;
+    EXPECT_TRUE(t::AllFinite(g.data()));
+  }
+  // Every parameter tensor should receive some gradient (biases of heads with
+  // relu-dead units can be zero; demand a large majority).
+  EXPECT_GT(nonzero_tensors, static_cast<int64_t>(params.size() * 3 / 4));
+}
+
+TEST_F(DualCvaeTest, GenerateProducesProbabilities) {
+  Tensor content = Tensor::RandUniform({7, 10}, &rng_);
+  Tensor generated = model_->GenerateTargetRatings(content);
+  EXPECT_EQ(generated.shape(), (Shape{7, 14}));
+  for (int64_t i = 0; i < generated.numel(); ++i) {
+    EXPECT_GE(generated.at(i), 0.0f);
+    EXPECT_LE(generated.at(i), 1.0f);
+  }
+}
+
+TEST_F(DualCvaeTest, TrainingReducesLoss) {
+  Rng rng(13);
+  Tensor r_s = Tensor::Zeros({16, 20});
+  Tensor r_t = Tensor::Zeros({16, 14});
+  Tensor x_s = Tensor::RandUniform({16, 10}, &rng);
+  Tensor x_t = Tensor::RandUniform({16, 10}, &rng);
+  for (int64_t u = 0; u < 16; ++u) {
+    for (int64_t i = 0; i < 4; ++i) {
+      r_s.at(u, static_cast<int64_t>(rng.UniformInt(20))) = 1.0f;
+      r_t.at(u, static_cast<int64_t>(rng.UniformInt(14))) = 1.0f;
+    }
+  }
+  optim::Adam opt(model_->Parameters(), 2e-3f);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    DualCvaeLosses losses = model_->ComputeLosses(r_s, x_s, r_t, x_t, &rng);
+    if (step == 0) first = losses.total.item();
+    last = losses.total.item();
+    opt.Step(losses.total);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(AdaptationTest, FitAndGenerateOnSyntheticData) {
+  data::SyntheticConfig dconfig = data::DefaultConfig("CDs", 0.25);
+  data::MultiDomainDataset dataset = data::Generate(dconfig);
+
+  AdaptationConfig config;
+  config.epochs = 3;
+  config.hidden_dim = 24;
+  config.latent_dim = 8;
+  DomainAdaptation adaptation(config);
+  AdaptationReport report = adaptation.Fit(dataset);
+  EXPECT_EQ(adaptation.num_models(), dataset.sources.size());
+  EXPECT_GT(report.shared_user_pairs, 0);
+  for (size_t s = 0; s < dataset.sources.size(); ++s) {
+    EXPECT_TRUE(std::isfinite(report.final_total_loss[s]));
+    EXPECT_GT(report.train_seconds[s], 0.0);
+  }
+
+  std::vector<Tensor> generated = adaptation.GenerateDiverseRatings(dataset.target);
+  ASSERT_EQ(generated.size(), dataset.sources.size());
+  for (const Tensor& g : generated) {
+    EXPECT_EQ(g.dim(0), dataset.target.num_users());
+    EXPECT_EQ(g.dim(1), dataset.target.num_items());
+    EXPECT_TRUE(t::AllFinite(g));
+  }
+  // k generators trained against different sources must not coincide.
+  EXPECT_GT(RatingDiversity(generated), 1e-4);
+}
+
+TEST(AdaptationTest, SerialAndParallelAgree) {
+  data::SyntheticConfig dconfig = data::DefaultConfig("CDs", 0.2);
+  data::MultiDomainDataset dataset = data::Generate(dconfig);
+
+  AdaptationConfig config;
+  config.epochs = 2;
+  config.hidden_dim = 16;
+  config.latent_dim = 6;
+  config.parallel = false;
+  DomainAdaptation serial(config);
+  serial.Fit(dataset);
+  config.parallel = true;
+  DomainAdaptation parallel(config);
+  parallel.Fit(dataset);
+
+  Tensor gs = serial.GenerateDiverseRatings(dataset.target)[0];
+  Tensor gp = parallel.GenerateDiverseRatings(dataset.target)[0];
+  EXPECT_LT(t::MaxAbsDiff(gs, gp), 1e-5f) << "parallel training must be deterministic";
+}
+
+TEST(AdaptationTest, CalibratedRowsSpanUnitInterval) {
+  data::SyntheticConfig dconfig = data::DefaultConfig("CDs", 0.2);
+  data::MultiDomainDataset dataset = data::Generate(dconfig);
+  AdaptationConfig config;
+  config.epochs = 2;
+  config.hidden_dim = 16;
+  config.latent_dim = 6;
+  config.calibrate_rows = true;
+  DomainAdaptation adaptation(config);
+  adaptation.Fit(dataset);
+  Tensor g = adaptation.GenerateDiverseRatings(dataset.target)[0];
+  for (int64_t r = 0; r < std::min<int64_t>(g.dim(0), 10); ++r) {
+    float lo = 1.0f, hi = 0.0f;
+    for (int64_t c = 0; c < g.dim(1); ++c) {
+      lo = std::min(lo, g.at(r, c));
+      hi = std::max(hi, g.at(r, c));
+    }
+    // Min-max calibration pins each row's extremes to 0 and 1.
+    EXPECT_NEAR(lo, 0.0f, 1e-6f);
+    EXPECT_NEAR(hi, 1.0f, 1e-6f);
+  }
+}
+
+TEST(AdaptationTest, UncalibratedRowsStayNearDensity) {
+  data::SyntheticConfig dconfig = data::DefaultConfig("CDs", 0.2);
+  data::MultiDomainDataset dataset = data::Generate(dconfig);
+  AdaptationConfig config;
+  config.epochs = 12;
+  config.hidden_dim = 16;
+  config.latent_dim = 6;
+  config.calibrate_rows = false;
+  DomainAdaptation adaptation(config);
+  adaptation.Fit(dataset);
+  Tensor g = adaptation.GenerateDiverseRatings(dataset.target)[0];
+  // Without calibration the rows are raw sigmoid outputs: none of them spans
+  // the full [0,1] interval the way min-max-calibrated rows do (DESIGN.md).
+  int64_t rows_pinned = 0;
+  for (int64_t r = 0; r < g.dim(0); ++r) {
+    float lo = 1.0f, hi = 0.0f;
+    for (int64_t c = 0; c < g.dim(1); ++c) {
+      lo = std::min(lo, g.at(r, c));
+      hi = std::max(hi, g.at(r, c));
+    }
+    if (lo < 1e-6f && hi > 1.0f - 1e-6f) ++rows_pinned;
+  }
+  EXPECT_EQ(rows_pinned, 0);
+}
+
+TEST(RatingDiversityTest, IdenticalIsZero) {
+  Tensor a = Tensor::Full({2, 3}, 0.5f);
+  EXPECT_DOUBLE_EQ(RatingDiversity({a, a.Clone()}), 0.0);
+  Tensor b = Tensor::Full({2, 3}, 0.75f);
+  EXPECT_NEAR(RatingDiversity({a, b}), 0.25, 1e-6);
+  EXPECT_DOUBLE_EQ(RatingDiversity({a}), 0.0);
+}
+
+}  // namespace
+}  // namespace cvae
+}  // namespace metadpa

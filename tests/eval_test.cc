@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "eval/recommender.h"
+#include "eval/suite.h"
+
+namespace metadpa {
+namespace eval {
+namespace {
+
+/// Oracle that scores the true positive highest; sanity-checks the harness.
+class OracleRecommender : public Recommender {
+ public:
+  explicit OracleRecommender(const data::DomainData* domain) : domain_(domain) {}
+  std::string name() const override { return "Oracle"; }
+  void Fit(const TrainContext&) override { fitted_ = true; }
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override {
+    std::vector<double> scores;
+    scores.reserve(items.size());
+    for (int64_t item : items) {
+      scores.push_back(domain_->ratings.Has(eval_case.user, item) ? 1.0 : 0.0);
+    }
+    return scores;
+  }
+  bool fitted() const { return fitted_; }
+
+ private:
+  const data::DomainData* domain_;
+  bool fitted_ = false;
+};
+
+/// Constant scorer: every metric must land at its chance level.
+class ConstantRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Constant"; }
+  void Fit(const TrainContext&) override {}
+  std::vector<double> ScoreCase(const data::EvalCase&,
+                                const std::vector<int64_t>& items) override {
+    return std::vector<double>(items.size(), 0.5);
+  }
+};
+
+class EvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::MultiDomainDataset(
+        data::Generate(data::DefaultConfig("CDs", 0.3)));
+    data::SplitOptions options;
+    options.num_negatives = 30;
+    splits_ = new data::DatasetSplits(data::MakeSplits(dataset_->target, options));
+    ctx_ = new TrainContext{dataset_, splits_, 5};
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete splits_;
+    delete dataset_;
+    ctx_ = nullptr;
+    splits_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::MultiDomainDataset* dataset_;
+  static data::DatasetSplits* splits_;
+  static TrainContext* ctx_;
+};
+
+data::MultiDomainDataset* EvalTest::dataset_ = nullptr;
+data::DatasetSplits* EvalTest::splits_ = nullptr;
+TrainContext* EvalTest::ctx_ = nullptr;
+
+TEST_F(EvalTest, OracleGetsPerfectScores) {
+  OracleRecommender oracle(&dataset_->target);
+  oracle.Fit(*ctx_);
+  EXPECT_TRUE(oracle.fitted());
+  EvalOptions options;
+  for (data::Scenario scenario :
+       {data::Scenario::kWarm, data::Scenario::kColdUser, data::Scenario::kColdItem}) {
+    ScenarioResult result = EvaluateScenario(&oracle, *ctx_, scenario, options);
+    ASSERT_GT(result.num_cases, 0) << data::ScenarioName(scenario);
+    EXPECT_DOUBLE_EQ(result.at_k.hr, 1.0);
+    EXPECT_DOUBLE_EQ(result.at_k.ndcg, 1.0);
+    EXPECT_DOUBLE_EQ(result.at_k.auc, 1.0);
+  }
+}
+
+TEST_F(EvalTest, ConstantScorerSitsAtChanceLevel) {
+  ConstantRecommender constant;
+  EvalOptions options;
+  options.k = 10;
+  ScenarioResult result =
+      EvaluateScenario(&constant, *ctx_, data::Scenario::kWarm, options);
+  ASSERT_GT(result.num_cases, 10);
+  // With ties-as-half-rank, the positive lands mid-list (rank 16 of 31).
+  EXPECT_NEAR(result.at_k.auc, 0.5, 1e-9);
+  EXPECT_NEAR(result.at_k.hr, 0.0, 1e-9);  // rank 16 > 10
+}
+
+TEST_F(EvalTest, ResultShapesAreConsistent) {
+  ConstantRecommender constant;
+  EvalOptions options;
+  options.max_curve_k = 7;
+  ScenarioResult result =
+      EvaluateScenario(&constant, *ctx_, data::Scenario::kColdUser, options);
+  EXPECT_EQ(result.ndcg_curve.size(), 7u);
+  EXPECT_EQ(static_cast<int64_t>(result.per_case.size()), result.num_cases);
+}
+
+TEST(SuiteTest, AllMethodsPresentInPaperOrder) {
+  suite::SuiteOptions options;
+  std::vector<suite::MethodSpec> methods = suite::AllMethods(options);
+  ASSERT_EQ(methods.size(), 8u);
+  EXPECT_EQ(methods.front().name, "NeuMF");
+  EXPECT_EQ(methods.back().name, "MetaDPA");
+  for (const auto& spec : methods) {
+    std::unique_ptr<Recommender> model = spec.make();
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), spec.name);
+  }
+}
+
+TEST(SuiteTest, MakeMethodByName) {
+  suite::SuiteOptions options;
+  EXPECT_NE(suite::MakeMethod("MeLU", options), nullptr);
+  EXPECT_NE(suite::MakeMethod("MetaDPA", options), nullptr);
+  EXPECT_EQ(suite::MakeMethod("NoSuchMethod", options), nullptr);
+}
+
+TEST(SuiteTest, ScaledEpochsFloorsAtOne) {
+  EXPECT_EQ(suite::ScaledEpochs(10, 1.0), 10);
+  EXPECT_EQ(suite::ScaledEpochs(10, 0.25), 3);
+  EXPECT_EQ(suite::ScaledEpochs(2, 0.01), 1);
+}
+
+TEST(SuiteTest, MetaDpaConfigUsesPaperBetas) {
+  suite::SuiteOptions options;
+  core::MetaDpaConfig config = suite::DefaultMetaDpaConfig(options);
+  EXPECT_FLOAT_EQ(config.adaptation.beta1, 0.1f);
+  EXPECT_FLOAT_EQ(config.adaptation.beta2, 1.0f);
+  EXPECT_TRUE(config.adaptation.use_mdi);
+  EXPECT_TRUE(config.adaptation.use_me);
+  EXPECT_TRUE(config.maml.second_order);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metadpa

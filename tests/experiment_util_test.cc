@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "experiment_util.h"
+
+namespace metadpa {
+namespace bench {
+namespace {
+
+eval::ScenarioResult MakeResult(double ndcg, int64_t cases) {
+  eval::ScenarioResult result;
+  result.at_k.ndcg = ndcg;
+  result.at_k.hr = ndcg * 2;
+  result.at_k.mrr = ndcg / 2;
+  result.at_k.auc = 0.5 + ndcg;
+  result.ndcg_curve = {ndcg / 2, ndcg};
+  result.num_cases = cases;
+  for (int64_t i = 0; i < cases; ++i) {
+    result.per_case.push_back({0, 0, ndcg, 0});
+  }
+  return result;
+}
+
+TEST(GridAggregationTest, AccumulateThenFinalizeAverages) {
+  ResultGrid a, b;
+  a["m"][data::Scenario::kWarm] = MakeResult(0.2, 10);
+  b["m"][data::Scenario::kWarm] = MakeResult(0.4, 12);
+
+  ResultGrid merged;
+  AccumulateGrid(&merged, a);
+  AccumulateGrid(&merged, b);
+  FinalizeGrid(&merged, 2);
+
+  const eval::ScenarioResult& r = merged["m"][data::Scenario::kWarm];
+  EXPECT_DOUBLE_EQ(r.at_k.ndcg, 0.3);
+  EXPECT_DOUBLE_EQ(r.at_k.hr, 0.6);
+  EXPECT_DOUBLE_EQ(r.at_k.auc, 0.8);
+  // Curves average; per-case lists concatenate (for significance tests).
+  ASSERT_EQ(r.ndcg_curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.ndcg_curve[1], 0.3);
+  EXPECT_EQ(r.per_case.size(), 22u);
+  EXPECT_EQ(r.num_cases, 22);
+}
+
+TEST(GridAggregationTest, DisjointMethodsBothKept) {
+  ResultGrid a, b;
+  a["x"][data::Scenario::kWarm] = MakeResult(0.1, 1);
+  b["y"][data::Scenario::kColdUser] = MakeResult(0.2, 1);
+  ResultGrid merged;
+  AccumulateGrid(&merged, a);
+  AccumulateGrid(&merged, b);
+  EXPECT_EQ(merged.count("x"), 1u);
+  EXPECT_EQ(merged.count("y"), 1u);
+}
+
+TEST(RenderTable3Test, MarksBestAndSecond) {
+  ResultGrid grid;
+  grid["A"][data::Scenario::kWarm] = MakeResult(0.3, 5);
+  grid["B"][data::Scenario::kWarm] = MakeResult(0.2, 5);
+  grid["C"][data::Scenario::kWarm] = MakeResult(0.1, 5);
+  for (data::Scenario s :
+       {data::Scenario::kColdUser, data::Scenario::kColdItem,
+        data::Scenario::kColdUserItem}) {
+    grid["A"][s] = MakeResult(0.1, 1);
+    grid["B"][s] = MakeResult(0.2, 1);
+    grid["C"][s] = MakeResult(0.3, 1);
+  }
+  const std::string table = RenderTable3("Books", grid, {"A", "B", "C"});
+  EXPECT_NE(table.find("Table III (Books)"), std::string::npos);
+  // In the warm block, A's NDCG (0.3000) is best and B's (0.2000) second.
+  EXPECT_NE(table.find("0.3000*"), std::string::npos);
+  EXPECT_NE(table.find("0.2000o"), std::string::npos);
+}
+
+TEST(MakeExperimentTest, ContextPointsIntoExperiment) {
+  Experiment experiment = MakeExperiment("CDs", 0.15, 5);
+  EXPECT_EQ(experiment.ctx.dataset, &experiment.dataset);
+  EXPECT_EQ(experiment.ctx.splits, &experiment.splits);
+  EXPECT_EQ(experiment.dataset.target.name, "CDs");
+  EXPECT_FALSE(experiment.splits.warm.cases.empty());
+}
+
+TEST(MakeExperimentTest, SeedChangesData) {
+  Experiment a = MakeExperiment("CDs", 0.15, 5, 1);
+  Experiment b = MakeExperiment("CDs", 0.15, 5, 2);
+  EXPECT_NE(a.dataset.target.ratings.NumRatings(),
+            b.dataset.target.ratings.NumRatings());
+}
+
+TEST(AllScenariosTest, CoversAllFour) {
+  EXPECT_EQ(AllScenarios().size(), 4u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace metadpa

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace metadpa {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TensorSerializeTest, RoundTripSingle) {
+  Rng rng(1);
+  Tensor original = Tensor::RandNormal({3, 5}, &rng);
+  const std::string path = TempPath("single.bin");
+  ASSERT_TRUE(t::SaveTensors(path, {original}).ok());
+  auto loaded = t::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.ValueOrDie().size(), 1u);
+  EXPECT_EQ(loaded.ValueOrDie()[0].shape(), original.shape());
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(loaded.ValueOrDie()[0], original), 0.0f);
+}
+
+TEST(TensorSerializeTest, RoundTripManyShapes) {
+  Rng rng(2);
+  std::vector<Tensor> tensors = {Tensor::Scalar(3.5f), Tensor::RandNormal({7}, &rng),
+                                 Tensor::RandNormal({2, 3, 4}, &rng),
+                                 Tensor::Zeros({1, 1})};
+  const std::string path = TempPath("many.bin");
+  ASSERT_TRUE(t::SaveTensors(path, tensors).ok());
+  auto loaded = t::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.ValueOrDie().size(), tensors.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    EXPECT_EQ(loaded.ValueOrDie()[i].shape(), tensors[i].shape());
+    EXPECT_FLOAT_EQ(t::MaxAbsDiff(loaded.ValueOrDie()[i], tensors[i]), 0.0f);
+  }
+}
+
+TEST(TensorSerializeTest, MissingFileIsNotFound) {
+  auto loaded = t::LoadTensors(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TensorSerializeTest, GarbageFileIsInvalidArgument) {
+  const std::string path = TempPath("garbage.bin");
+  std::ofstream(path) << "this is not a tensor file at all";
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TensorSerializeTest, TruncatedFileIsIoError) {
+  Rng rng(3);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(t::SaveTensors(path, {Tensor::RandNormal({50, 50}, &rng)}).ok());
+  // Chop the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 1000), 0);
+  std::fclose(f);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, SaveLoadRestoresParameters) {
+  Rng rng(4);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("ckpt.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, layer.Parameters()).ok());
+
+  std::vector<Tensor> original = nn::SnapshotParams(layer.Parameters());
+  // Perturb, then load back.
+  ag::Variable w = layer.Parameters()[0];
+  w.SetData(Tensor::Zeros(w.shape()));
+  ASSERT_TRUE(nn::LoadCheckpoint(path, layer.Parameters()).ok());
+  std::vector<Tensor> restored = nn::SnapshotParams(layer.Parameters());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_FLOAT_EQ(t::MaxAbsDiff(original[i], restored[i]), 0.0f);
+  }
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  Rng rng(5);
+  nn::Linear small(3, 2, &rng);
+  nn::Linear big(5, 2, &rng);
+  const std::string path = TempPath("mismatch.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, small.Parameters()).ok());
+  Status status = nn::LoadCheckpoint(path, big.Parameters());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, CountMismatchRejected) {
+  Rng rng(6);
+  nn::Linear layer(3, 2, &rng);
+  const std::string path = TempPath("count.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, layer.Parameters()).ok());
+  nn::ParamList too_few = {layer.Parameters()[0]};
+  Status status = nn::LoadCheckpoint(path, too_few);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InteractionsIoTest, RoundTrip) {
+  data::InteractionMatrix matrix(5, 8);
+  matrix.Add(0, 1);
+  matrix.Add(0, 7);
+  matrix.Add(3, 2);
+  matrix.Add(4, 0);
+  const std::string path = TempPath("ratings.tsv");
+  ASSERT_TRUE(data::SaveInteractions(path, matrix).ok());
+  auto loaded = data::LoadInteractions(path, 5, 8);
+  ASSERT_TRUE(loaded.ok());
+  const auto& m = loaded.ValueOrDie();
+  EXPECT_EQ(m.NumRatings(), 4);
+  EXPECT_TRUE(m.Has(0, 7));
+  EXPECT_TRUE(m.Has(4, 0));
+  EXPECT_FALSE(m.Has(1, 1));
+}
+
+TEST(InteractionsIoTest, InfersDimensions) {
+  const std::string path = TempPath("infer.tsv");
+  std::ofstream(path) << "# comment\n0\t3\n2\t1\n\n";
+  auto loaded = data::LoadInteractions(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().num_users(), 3);
+  EXPECT_EQ(loaded.ValueOrDie().num_items(), 4);
+}
+
+TEST(InteractionsIoTest, MalformedLineRejected) {
+  const std::string path = TempPath("bad.tsv");
+  std::ofstream(path) << "0\t1\nnot numbers\n";
+  auto loaded = data::LoadInteractions(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InteractionsIoTest, IdsBeyondDeclaredSizeRejected) {
+  const std::string path = TempPath("oob.tsv");
+  std::ofstream(path) << "9\t1\n";
+  auto loaded = data::LoadInteractions(path, 5, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DomainIoTest, FullDomainRoundTrip) {
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
+  const std::string prefix = TempPath("cds");
+  ASSERT_TRUE(data::SaveDomain(prefix, dataset.target).ok());
+  auto loaded = data::LoadDomain(prefix, "CDs");
+  ASSERT_TRUE(loaded.ok());
+  const data::DomainData& domain = loaded.ValueOrDie();
+  EXPECT_EQ(domain.name, "CDs");
+  EXPECT_EQ(domain.num_users(), dataset.target.num_users());
+  EXPECT_EQ(domain.num_items(), dataset.target.num_items());
+  EXPECT_EQ(domain.ratings.NumRatings(), dataset.target.ratings.NumRatings());
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(domain.user_content, dataset.target.user_content), 0.0f);
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(domain.item_content, dataset.target.item_content), 0.0f);
+}
+
+TEST(DomainIoTest, MissingContentFileFails) {
+  auto loaded = data::LoadDomain(TempPath("missing_prefix"), "X");
+  ASSERT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace metadpa

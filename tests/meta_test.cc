@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "meta/maml.h"
+#include "meta/preference_model.h"
+#include "meta/tasks.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace meta {
+namespace {
+
+PreferenceModelConfig SmallModel(int64_t content_dim) {
+  PreferenceModelConfig config;
+  config.content_dim = content_dim;
+  config.embed_dim = 8;
+  config.hidden = {12};
+  return config;
+}
+
+TEST(PreferenceModelTest, ForwardShape) {
+  Rng rng(1);
+  PreferenceModel model(SmallModel(10), &rng);
+  ag::Variable logits = model.Forward(ag::Constant(Tensor::RandUniform({5, 10}, &rng)),
+                                      ag::Constant(Tensor::RandUniform({5, 10}, &rng)));
+  EXPECT_EQ(logits.shape(), (Shape{5, 1}));
+  EXPECT_GT(model.NumParams(), 0);
+}
+
+TEST(PreferenceModelTest, FastWeightsChangeOutput) {
+  Rng rng(2);
+  PreferenceModel model(SmallModel(6), &rng);
+  Tensor cu = Tensor::RandUniform({3, 6}, &rng);
+  Tensor ci = Tensor::RandUniform({3, 6}, &rng);
+  ag::Variable base = model.Forward(ag::Constant(cu), ag::Constant(ci));
+
+  nn::ParamList fast;
+  for (const auto& p : model.Parameters()) {
+    fast.emplace_back(t::AddScalar(p.data(), 0.3f), /*requires_grad=*/false);
+  }
+  ag::Variable shifted =
+      model.ForwardWith(ag::Constant(cu), ag::Constant(ci), fast);
+  EXPECT_GT(t::MaxAbsDiff(base.data(), shifted.data()), 1e-4f);
+}
+
+class TasksTest : public ::testing::Test {
+ protected:
+  TasksTest() : train_(6, 12), rng_(7) {
+    // Users 0-3 have >= 3 ratings; users 4-5 have one.
+    for (int64_t u = 0; u < 4; ++u) {
+      for (int64_t j = 0; j < 4; ++j) train_.Add(u, (u * 3 + j * 2) % 12);
+    }
+    train_.Add(4, 1);
+    train_.Add(5, 2);
+    user_content_ = Tensor::RandUniform({6, 5}, &rng_);
+    item_content_ = Tensor::RandUniform({12, 5}, &rng_);
+  }
+  data::InteractionMatrix train_;
+  Tensor user_content_, item_content_;
+  Rng rng_;
+};
+
+TEST_F(TasksTest, BuildTasksRespectsMinPositives) {
+  TaskOptions options;
+  options.min_positives = 2;
+  std::vector<Task> tasks = BuildTasks(train_, user_content_, item_content_, options, &rng_);
+  EXPECT_EQ(tasks.size(), 4u);
+  for (const Task& task : tasks) {
+    EXPECT_GE(task.support_size(), 1);
+    EXPECT_GE(task.query_size(), 1);
+    EXPECT_EQ(task.support_user.dim(0), task.support_size());
+    EXPECT_EQ(task.support_item.dim(0), task.support_size());
+    EXPECT_EQ(task.query_user.dim(1), 5);
+  }
+}
+
+TEST_F(TasksTest, LabelsMatchInteractions) {
+  TaskOptions options;
+  std::vector<Task> tasks = BuildTasks(train_, user_content_, item_content_, options, &rng_);
+  for (const Task& task : tasks) {
+    for (size_t i = 0; i < task.support_item_ids.size(); ++i) {
+      const float label = task.support_labels.at(static_cast<int64_t>(i));
+      EXPECT_EQ(label > 0.5f, train_.Has(task.user, task.support_item_ids[i]));
+    }
+    for (size_t i = 0; i < task.query_item_ids.size(); ++i) {
+      const float label = task.query_labels.at(static_cast<int64_t>(i));
+      EXPECT_EQ(label > 0.5f, train_.Has(task.user, task.query_item_ids[i]));
+    }
+  }
+}
+
+TEST_F(TasksTest, UserRowsAreReplicated) {
+  TaskOptions options;
+  std::vector<Task> tasks = BuildTasks(train_, user_content_, item_content_, options, &rng_);
+  const Task& task = tasks[0];
+  for (int64_t r = 0; r < task.support_user.dim(0); ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_FLOAT_EQ(task.support_user.at(r, c), user_content_.at(task.user, c));
+    }
+  }
+}
+
+TEST_F(TasksTest, RelabelKeepsInputsChangesLabels) {
+  TaskOptions options;
+  std::vector<Task> tasks = BuildTasks(train_, user_content_, item_content_, options, &rng_);
+  Tensor generated = Tensor::RandUniform({6, 12}, &rng_);
+  std::vector<Task> augmented = RelabelTasks(tasks, generated);
+  ASSERT_EQ(augmented.size(), tasks.size());
+  for (size_t k = 0; k < tasks.size(); ++k) {
+    // Same items, same content...
+    EXPECT_EQ(augmented[k].support_item_ids, tasks[k].support_item_ids);
+    EXPECT_FLOAT_EQ(
+        t::MaxAbsDiff(augmented[k].support_user, tasks[k].support_user), 0.0f);
+    // ...labels from the generated matrix.
+    for (size_t i = 0; i < augmented[k].support_item_ids.size(); ++i) {
+      EXPECT_FLOAT_EQ(augmented[k].support_labels.at(static_cast<int64_t>(i)),
+                      generated.at(tasks[k].user, tasks[k].support_item_ids[i]));
+    }
+    // Originals untouched.
+    for (size_t i = 0; i < tasks[k].support_item_ids.size(); ++i) {
+      const float label = tasks[k].support_labels.at(static_cast<int64_t>(i));
+      EXPECT_TRUE(label == 0.0f || label == 1.0f);
+    }
+  }
+}
+
+TEST_F(TasksTest, AdaptationTaskFromSupportItems) {
+  Task task = BuildAdaptationTask(2, {0, 5}, train_, user_content_, item_content_, 1,
+                                  &rng_);
+  EXPECT_EQ(task.user, 2);
+  EXPECT_EQ(task.support_size(), 4);  // 2 positives + 2 negatives
+  int positives = 0;
+  for (int64_t i = 0; i < task.support_labels.numel(); ++i) {
+    positives += task.support_labels.at(i) > 0.5f;
+  }
+  EXPECT_EQ(positives, 2);
+}
+
+TEST_F(TasksTest, AdaptationTaskEmptySupport) {
+  Task task = BuildAdaptationTask(1, {}, train_, user_content_, item_content_, 1, &rng_);
+  EXPECT_EQ(task.support_size(), 0);
+}
+
+class MamlTest : public ::testing::Test {
+ protected:
+  MamlTest() : rng_(17) {
+    model_ = std::make_unique<PreferenceModel>(SmallModel(6), &rng_);
+    // Synthetic structured tasks: label = 1 iff <user, item> content dot > 0.
+    for (int t = 0; t < 12; ++t) tasks_.push_back(MakeTask());
+  }
+
+  Task MakeTask() {
+    const int64_t ns = 6, nq = 6;
+    Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandNormal({ns, 6}, &rng_);
+    task.support_item = Tensor::RandNormal({ns, 6}, &rng_);
+    task.query_user = Tensor::RandNormal({nq, 6}, &rng_);
+    task.query_item = Tensor::RandNormal({nq, 6}, &rng_);
+    task.support_labels = Labels(task.support_user, task.support_item);
+    task.query_labels = Labels(task.query_user, task.query_item);
+    task.support_item_ids.resize(static_cast<size_t>(ns));
+    task.query_item_ids.resize(static_cast<size_t>(nq));
+    return task;
+  }
+
+  Tensor Labels(const Tensor& u, const Tensor& i) {
+    Tensor labels({u.dim(0), 1});
+    for (int64_t r = 0; r < u.dim(0); ++r) {
+      float dot = 0.0f;
+      for (int64_t c = 0; c < u.dim(1); ++c) dot += u.at(r, c) * i.at(r, c);
+      labels.at(r) = dot > 0.0f ? 1.0f : 0.0f;
+    }
+    return labels;
+  }
+
+  Rng rng_;
+  std::unique_ptr<PreferenceModel> model_;
+  std::vector<Task> tasks_;
+};
+
+TEST_F(MamlTest, TrainingReducesQueryLoss) {
+  MamlConfig config;
+  config.epochs = 6;
+  config.inner_steps = 1;
+  config.meta_batch_size = 4;
+  MamlTrainer trainer(model_.get(), config);
+  std::vector<float> losses = trainer.Train(tasks_);
+  ASSERT_EQ(losses.size(), 6u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(MamlTest, AdaptDoesNotMutateModel) {
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  std::vector<Tensor> before = nn::SnapshotParams(model_->Parameters());
+  nn::ParamList fast = trainer.Adapt(tasks_[0], 5);
+  std::vector<Tensor> after = nn::SnapshotParams(model_->Parameters());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(t::MaxAbsDiff(before[i], after[i]), 0.0f);
+  }
+  // But the fast weights differ from the stored ones.
+  float diff = 0.0f;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    diff += t::MaxAbsDiff(fast[i].data(), after[i]);
+  }
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST_F(MamlTest, AdaptImprovesSupportFit) {
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  const Task& task = tasks_[0];
+  auto support_loss = [&](const nn::ParamList& params) {
+    ag::Variable logits = model_->ForwardWith(ag::Constant(task.support_user),
+                                              ag::Constant(task.support_item), params);
+    return ag::BceWithLogits(logits, ag::Constant(task.support_labels)).item();
+  };
+  const float before = support_loss(model_->Parameters());
+  nn::ParamList fast = trainer.Adapt(task, 10);
+  EXPECT_LT(support_loss(fast), before);
+}
+
+TEST_F(MamlTest, EmptySupportReturnsInitialization) {
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  Task empty;
+  empty.support_user = Tensor({0, 6});
+  empty.support_item = Tensor({0, 6});
+  empty.support_labels = Tensor({0, 1});
+  nn::ParamList fast = trainer.Adapt(empty, 5);
+  nn::ParamList params = model_->Parameters();
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_FLOAT_EQ(t::MaxAbsDiff(fast[i].data(), params[i].data()), 0.0f);
+  }
+}
+
+TEST_F(MamlTest, SecondOrderDiffersFromFirstOrder) {
+  // Meta-train two trainers from identical initializations; the second-order
+  // outer gradient must lead to different parameters than FOMAML.
+  Rng rng_a(99), rng_b(99);
+  PreferenceModel model_a(SmallModel(6), &rng_a);
+  PreferenceModel model_b(SmallModel(6), &rng_b);
+
+  MamlConfig config;
+  config.epochs = 2;
+  config.second_order = true;
+  MamlTrainer trainer_a(&model_a, config);
+  trainer_a.Train(tasks_);
+
+  config.second_order = false;
+  MamlTrainer trainer_b(&model_b, config);
+  trainer_b.Train(tasks_);
+
+  float diff = 0.0f;
+  nn::ParamList pa = model_a.Parameters(), pb = model_b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    diff += t::MaxAbsDiff(pa[i].data(), pb[i].data());
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST_F(MamlTest, ScoreWithProducesProbabilities) {
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  Rng rng(5);
+  Tensor cu = Tensor::RandNormal({4, 6}, &rng);
+  Tensor ci = Tensor::RandNormal({4, 6}, &rng);
+  std::vector<double> scores = trainer.ScoreWith(model_->Parameters(), cu, ci);
+  ASSERT_EQ(scores.size(), 4u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace meta
+}  // namespace metadpa

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/ranking.h"
+#include "metrics/significance.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace metrics {
+namespace {
+
+TEST(RankingTest, PerfectScorerRankOne) {
+  std::vector<double> negs(99, 0.1);
+  RankingMetrics m = EvaluateCase(0.9, negs, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+TEST(RankingTest, WorstScorerMisses) {
+  std::vector<double> negs(99, 0.9);
+  RankingMetrics m = EvaluateCase(0.1, negs, 10);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);
+}
+
+TEST(RankingTest, RankCountsStrictlyGreater) {
+  std::vector<double> negs = {0.9, 0.8, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(PositiveRank(0.5, negs), 3.0);
+}
+
+TEST(RankingTest, TiesContributeHalf) {
+  std::vector<double> negs = {0.5, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(PositiveRank(0.5, negs), 2.0);
+  // Constant scorer over 99 negatives lands mid-list.
+  std::vector<double> same(99, 0.5);
+  EXPECT_DOUBLE_EQ(PositiveRank(0.5, same), 50.5);
+  RankingMetrics m = EvaluateCase(0.5, same, 10);
+  EXPECT_NEAR(m.auc, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(m.hr, 0.0);
+}
+
+TEST(RankingTest, RankThreeValues) {
+  std::vector<double> negs = {0.9, 0.8, 0.3};
+  RankingMetrics m = EvaluateCase(0.5, negs, 10);
+  // rank 3: ndcg = 1/log2(4), mrr = 1/3, auc = 1/3.
+  EXPECT_DOUBLE_EQ(m.hr, 1.0);
+  EXPECT_NEAR(m.ndcg, 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(m.mrr, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.auc, 1.0 / 3.0, 1e-12);
+}
+
+TEST(RankingTest, CutoffBoundary) {
+  std::vector<double> negs(99, 0.0);
+  for (int i = 0; i < 9; ++i) negs[static_cast<size_t>(i)] = 1.0;
+  RankingMetrics at10 = EvaluateCase(0.5, negs, 10);
+  EXPECT_DOUBLE_EQ(at10.hr, 1.0);  // rank 10
+  RankingMetrics at9 = EvaluateCase(0.5, negs, 9);
+  EXPECT_DOUBLE_EQ(at9.hr, 0.0);
+}
+
+TEST(RankingTest, AccumulatorAverages) {
+  MetricsAccumulator acc;
+  acc.Add({1.0, 1.0, 1.0, 1.0});
+  acc.Add({0.0, 0.0, 0.0, 0.0});
+  RankingMetrics mean = acc.Mean();
+  EXPECT_DOUBLE_EQ(mean.hr, 0.5);
+  EXPECT_DOUBLE_EQ(mean.auc, 0.5);
+  EXPECT_EQ(acc.count(), 2);
+}
+
+TEST(RankingTest, EmptyAccumulatorIsZero) {
+  MetricsAccumulator acc;
+  RankingMetrics mean = acc.Mean();
+  EXPECT_DOUBLE_EQ(mean.ndcg, 0.0);
+  EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(RankingTest, NdcgCurveMonotone) {
+  std::vector<double> negs = {0.9, 0.8, 0.7, 0.2, 0.1};
+  std::vector<double> curve = NdcgCurve(0.5, negs, 10);  // rank 4
+  ASSERT_EQ(curve.size(), 10u);
+  for (int k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(curve[static_cast<size_t>(k)], 0.0);
+  for (int k = 3; k < 10; ++k) {
+    EXPECT_NEAR(curve[static_cast<size_t>(k)], 1.0 / std::log2(5.0), 1e-12);
+  }
+  // Monotone non-decreasing in k.
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_GE(curve[static_cast<size_t>(k)], curve[static_cast<size_t>(k - 1)]);
+  }
+}
+
+TEST(RankingTest, CurveConsistentWithAtK) {
+  std::vector<double> negs = {0.6, 0.4, 0.3};
+  RankingMetrics m = EvaluateCase(0.5, negs, 10);
+  std::vector<double> curve = NdcgCurve(0.5, negs, 10);
+  EXPECT_DOUBLE_EQ(curve[9], m.ndcg);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(WilcoxonTest, ClearlyBetterGivesSmallP) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Uniform();
+    y.push_back(base);
+    x.push_back(base + 0.05 + 0.01 * rng.Uniform());
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(r.n, 30);
+  EXPECT_LT(r.p_value, 1e-4);
+  EXPECT_GT(r.w_plus, r.w_minus);
+}
+
+TEST(WilcoxonTest, ClearlyWorseGivesLargeP) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Uniform();
+    x.push_back(base);
+    y.push_back(base + 0.05);
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_GT(r.p_value, 0.999);
+}
+
+TEST(WilcoxonTest, NoSignalGivesMidP) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.p_value, 0.99);
+}
+
+TEST(WilcoxonTest, ZeroDifferencesDropped) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {1.0, 2.0, 2.5, 3.5};
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(r.n, 2);
+}
+
+TEST(WilcoxonTest, AllEqualGivesNoEvidence) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {1.0, 2.0};
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(r.n, 0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, TiesHandled) {
+  // Many identical |differences| exercise the tie-correction path (0.25 is
+  // exactly representable, so all |d| really tie).
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(1.0);
+    y.push_back(i % 4 == 0 ? 1.25 : 0.75);  // |d| = 0.25 everywhere
+  }
+  WilcoxonResult r = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(r.n, 20);
+  EXPECT_LT(r.p_value, 0.05);  // 15 of 20 positive
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace metadpa

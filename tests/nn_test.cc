@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndParams) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  EXPECT_EQ(layer.NumParamTensors(), 2u);
+  EXPECT_EQ(layer.NumParams(), 4 * 3 + 3);
+  ag::Variable x = ag::Constant(Tensor::Zeros({2, 4}));
+  ag::Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(1);
+  Linear layer(4, 2, &rng);
+  ag::Variable y = layer.Forward(ag::Constant(Tensor::Zeros({1, 4})));
+  // Bias is zero-initialized.
+  EXPECT_FLOAT_EQ(y.data().at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.data().at(0, 1), 0.0f);
+}
+
+TEST(LinearTest, FastWeightsOverrideOwn) {
+  Rng rng(2);
+  Linear layer(2, 1, &rng);
+  ag::Variable x = ag::Constant(Tensor({1, 2}, {1.0f, 1.0f}));
+  ag::Variable own = layer.Forward(x);
+
+  ParamList fast = {ag::Variable(Tensor({2, 1}, {1.0f, 2.0f}), true),
+                    ag::Variable(Tensor({1, 1}, {10.0f}), true)};
+  size_t cursor = 0;
+  ag::Variable with_fast = layer.ForwardWith(x, fast, &cursor);
+  EXPECT_EQ(cursor, 2u);
+  EXPECT_FLOAT_EQ(with_fast.data().at(0, 0), 13.0f);
+  EXPECT_NE(own.data().at(0, 0), with_fast.data().at(0, 0));
+}
+
+TEST(SequentialTest, ComposesAndCountsParams) {
+  Rng rng(3);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(4, 8, &rng))
+      .Add(std::make_unique<ReluLayer>())
+      .Add(std::make_unique<Linear>(8, 1, &rng));
+  EXPECT_EQ(seq.NumParamTensors(), 4u);
+  EXPECT_EQ(seq.Parameters().size(), 4u);
+  ag::Variable y = seq.Forward(ag::Constant(Tensor::Ones({3, 4})));
+  EXPECT_EQ(y.shape(), (Shape{3, 1}));
+}
+
+TEST(SequentialTest, GradientFlowsThroughAllLayers) {
+  Rng rng(4);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(3, 5, &rng))
+      .Add(std::make_unique<TanhLayer>())
+      .Add(std::make_unique<Linear>(5, 1, &rng));
+  ag::Variable loss = ag::MeanAll(seq.Forward(ag::Constant(Tensor::Ones({2, 3}))));
+  auto grads = ag::Grad(loss, seq.Parameters());
+  for (const auto& g : grads) EXPECT_TRUE(t::AllFinite(g.data()));
+  // First layer weight grad should be non-zero in general.
+  float total = 0.0f;
+  for (int64_t i = 0; i < grads[0].numel(); ++i) total += std::fabs(grads[0].data().at(i));
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(ActivationLayersTest, Behave) {
+  ag::Variable x = ag::Constant(Tensor({1, 3}, {-1.0f, 0.0f, 2.0f}));
+  ReluLayer relu;
+  SigmoidLayer sig;
+  size_t cursor = 0;
+  EXPECT_FLOAT_EQ(relu.ForwardWith(x, {}, &cursor).data().at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(sig.ForwardWith(x, {}, &cursor).data().at(0, 1), 0.5f);
+  SoftmaxLayer sm;
+  ag::Variable s = sm.ForwardWith(x, {}, &cursor);
+  float sum = 0.0f;
+  for (int64_t j = 0; j < 3; ++j) sum += s.data().at(0, j);
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(5);
+  Dropout drop(0.5f, &rng);
+  drop.SetTraining(false);
+  Tensor x = Tensor::RandNormal({4, 4}, &rng);
+  ag::Variable y = drop.Forward(ag::Constant(x));
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(y.data(), x), 0.0f);
+}
+
+TEST(DropoutTest, TrainingDropsAndRescales) {
+  Rng rng(6);
+  Dropout drop(0.5f, &rng);
+  Tensor x = Tensor::Ones({1, 1000});
+  ag::Variable y = drop.Forward(ag::Constant(x));
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.data().at(i);
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    zeros += v == 0.0f;
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.08);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // inverted dropout keeps expectation
+}
+
+TEST(MakeMlpTest, StructureAndForward) {
+  Rng rng(7);
+  auto mlp = MakeMlp(6, {8, 4}, 2, &rng);
+  EXPECT_EQ(mlp->NumParamTensors(), 6u);
+  ag::Variable y = mlp->Forward(ag::Constant(Tensor::Ones({5, 6})));
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+}
+
+TEST(SnapshotTest, SnapshotAndRestore) {
+  Rng rng(8);
+  Linear layer(2, 2, &rng);
+  ParamList params = layer.Parameters();
+  std::vector<Tensor> snap = SnapshotParams(params);
+  ag::Variable handle = params[0];
+  handle.SetData(Tensor::Zeros({2, 2}));
+  EXPECT_FLOAT_EQ(layer.Parameters()[0].data().at(0), 0.0f);
+  RestoreParams(params, snap);
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(layer.Parameters()[0].data(), snap[0]), 0.0f);
+}
+
+// ---- optimizers ----
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // minimize ||w - target||^2
+  ag::Variable w(Tensor::Zeros({3}), true);
+  Tensor target = Tensor::FromVector({1.0f, -2.0f, 0.5f});
+  optim::Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    ag::Variable loss = ag::MseLoss(w, ag::Constant(target));
+    opt.Step(loss);
+  }
+  EXPECT_LT(t::MaxAbsDiff(w.data(), target), 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    ag::Variable w(Tensor::Full({2}, 5.0f), true);
+    Tensor target = Tensor::Zeros({2});
+    optim::Sgd opt({w}, 0.02f, momentum);
+    for (int i = 0; i < 40; ++i) {
+      opt.Step(ag::MseLoss(w, ag::Constant(target)));
+    }
+    return std::fabs(w.data().at(0));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ag::Variable w(Tensor::Full({4}, 3.0f), true);
+  Tensor target = Tensor::FromVector({0.0f, 1.0f, -1.0f, 2.0f});
+  optim::Adam opt({w}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    opt.Step(ag::MseLoss(w, ag::Constant(target)));
+  }
+  EXPECT_LT(t::MaxAbsDiff(w.data(), target), 1e-2f);
+  EXPECT_EQ(opt.step_count(), 400);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  ag::Variable w(Tensor::Full({2}, 1.0f), true);
+  optim::Adam opt({w}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  // Loss gradient is zero; only decay acts.
+  for (int i = 0; i < 50; ++i) {
+    std::vector<ag::Variable> zero_grads = {
+        ag::Variable(Tensor::Zeros({2}), false)};
+    opt.Step(zero_grads);
+  }
+  EXPECT_LT(w.data().at(0), 1.0f);
+}
+
+TEST(ClipGradNormTest, ClipsOnlyWhenAbove) {
+  std::vector<ag::Variable> grads = {ag::Variable(Tensor::Full({4}, 3.0f), false)};
+  const float norm = optim::ClipGradNorm(&grads, 1.0f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4f);
+  double sq = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    sq += static_cast<double>(grads[0].data().at(i)) * grads[0].data().at(i);
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-4);
+
+  std::vector<ag::Variable> small = {ag::Variable(Tensor::Full({1}, 0.1f), false)};
+  optim::ClipGradNorm(&small, 1.0f);
+  EXPECT_FLOAT_EQ(small[0].data().at(0), 0.1f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace metadpa

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "eval/recommend.h"
+
+namespace metadpa {
+namespace eval {
+namespace {
+
+/// Deterministic scorer: score = 1 / (1 + item id), so smaller ids rank higher.
+class IdScorer : public Recommender {
+ public:
+  std::string name() const override { return "IdScorer"; }
+  void Fit(const TrainContext&) override {}
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override {
+    last_support_ = eval_case.support_items;
+    std::vector<double> scores;
+    for (int64_t item : items) scores.push_back(1.0 / (1.0 + static_cast<double>(item)));
+    return scores;
+  }
+  std::vector<int64_t> last_support_;
+};
+
+TEST(RecommendTest, ReturnsTopKSortedByScore) {
+  IdScorer model;
+  auto recs = RecommendTopK(&model, 0, {5, 1, 9, 3, 7}, {}, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 3);
+  EXPECT_EQ(recs[2].item, 5);
+  EXPECT_GT(recs[0].score, recs[1].score);
+}
+
+TEST(RecommendTest, ExcludesSupportItems) {
+  IdScorer model;
+  auto recs = RecommendTopK(&model, 0, {1, 2, 3, 4}, {1, 2}, 10);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 3);
+  EXPECT_EQ(recs[1].item, 4);
+}
+
+TEST(RecommendTest, ForwardsSupportForAdaptation) {
+  IdScorer model;
+  RecommendTopK(&model, 7, {1, 2, 3}, {9, 8}, 2);
+  EXPECT_EQ(model.last_support_, (std::vector<int64_t>{9, 8}));
+}
+
+TEST(RecommendTest, KLargerThanCandidatesReturnsAll) {
+  IdScorer model;
+  auto recs = RecommendTopK(&model, 0, {4, 2}, {}, 50);
+  EXPECT_EQ(recs.size(), 2u);
+}
+
+TEST(RecommendTest, AllCandidatesKnownReturnsEmpty) {
+  IdScorer model;
+  auto recs = RecommendTopK(&model, 0, {1, 2}, {1, 2}, 5);
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(RecommendTest, TieBreakIsDeterministicById) {
+  /// Constant scorer: every item ties; ids must come back ascending.
+  class Constant : public Recommender {
+   public:
+    std::string name() const override { return "Const"; }
+    void Fit(const TrainContext&) override {}
+    std::vector<double> ScoreCase(const data::EvalCase&,
+                                  const std::vector<int64_t>& items) override {
+      return std::vector<double>(items.size(), 0.5);
+    }
+  };
+  Constant model;
+  auto recs = RecommendTopK(&model, 0, {9, 3, 7, 1}, {}, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 3);
+  EXPECT_EQ(recs[2].item, 7);
+}
+
+TEST(RecommendTest, RecommendForUserExcludesHistory) {
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
+  data::SplitOptions options;
+  options.num_negatives = 5;
+  data::DatasetSplits splits = data::MakeSplits(dataset.target, options);
+  IdScorer model;
+  const int64_t user = splits.existing_users[0];
+  auto recs = RecommendForUser(&model, splits, dataset.target, user, 5);
+  ASSERT_FALSE(recs.empty());
+  for (const auto& rec : recs) {
+    EXPECT_FALSE(dataset.target.ratings.Has(user, rec.item))
+        << "recommended an already-consumed item";
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metadpa

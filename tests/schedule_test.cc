@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "optim/schedule.h"
+
+namespace metadpa {
+namespace optim {
+namespace {
+
+TEST(ScheduleTest, ConstantIsConstant) {
+  LrSchedule s = ConstantLr(0.01f);
+  EXPECT_FLOAT_EQ(s(0), 0.01f);
+  EXPECT_FLOAT_EQ(s(100), 0.01f);
+}
+
+TEST(ScheduleTest, StepDecayHalvesAtBoundaries) {
+  LrSchedule s = StepDecay(1.0f, 10, 0.5f);
+  EXPECT_FLOAT_EQ(s(0), 1.0f);
+  EXPECT_FLOAT_EQ(s(9), 1.0f);
+  EXPECT_FLOAT_EQ(s(10), 0.5f);
+  EXPECT_FLOAT_EQ(s(20), 0.25f);
+  EXPECT_FLOAT_EQ(s(35), 0.125f);
+}
+
+TEST(ScheduleTest, CosineDecayEndpoints) {
+  LrSchedule s = CosineDecay(1.0f, 0.1f, 100);
+  EXPECT_FLOAT_EQ(s(0), 1.0f);
+  EXPECT_NEAR(s(50), 0.55f, 1e-3f);  // midpoint of cosine
+  EXPECT_FLOAT_EQ(s(100), 0.1f);
+  EXPECT_FLOAT_EQ(s(500), 0.1f);  // clamped past the horizon
+}
+
+TEST(ScheduleTest, CosineIsMonotoneNonIncreasing) {
+  LrSchedule s = CosineDecay(0.5f, 0.0f, 40);
+  for (int e = 1; e <= 40; ++e) EXPECT_LE(s(e), s(e - 1) + 1e-7f);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  LrSchedule s = WithWarmup(ConstantLr(1.0f), 4);
+  EXPECT_FLOAT_EQ(s(0), 0.25f);
+  EXPECT_FLOAT_EQ(s(1), 0.5f);
+  EXPECT_FLOAT_EQ(s(3), 1.0f);
+  EXPECT_FLOAT_EQ(s(4), 1.0f);
+  EXPECT_FLOAT_EQ(s(50), 1.0f);
+}
+
+TEST(ScheduleTest, WarmupComposesWithDecay) {
+  LrSchedule s = WithWarmup(StepDecay(1.0f, 10, 0.1f), 2);
+  EXPECT_FLOAT_EQ(s(0), 0.5f);
+  EXPECT_FLOAT_EQ(s(1), 1.0f);
+  EXPECT_FLOAT_EQ(s(15), 0.1f);
+}
+
+TEST(ScheduleTest, ZeroWarmupIsIdentity) {
+  LrSchedule s = WithWarmup(ConstantLr(0.3f), 0);
+  EXPECT_FLOAT_EQ(s(0), 0.3f);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace metadpa

@@ -1,0 +1,201 @@
+// Parameterized property tests for the tensor kernels: algebraic identities
+// that must hold for random tensors across shapes and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace t {
+namespace {
+
+struct ShapeCase {
+  Shape shape;
+  std::string name;
+};
+
+class TensorAlgebra : public ::testing::TestWithParam<ShapeCase> {
+ protected:
+  Tensor Random(uint64_t seed) {
+    Rng rng(seed);
+    return Tensor::RandNormal(GetParam().shape, &rng);
+  }
+};
+
+TEST_P(TensorAlgebra, AddCommutes) {
+  Tensor a = Random(1), b = Random(2);
+  EXPECT_LT(MaxAbsDiff(Add(a, b), Add(b, a)), 1e-6f);
+}
+
+TEST_P(TensorAlgebra, MulCommutes) {
+  Tensor a = Random(3), b = Random(4);
+  EXPECT_LT(MaxAbsDiff(Mul(a, b), Mul(b, a)), 1e-6f);
+}
+
+TEST_P(TensorAlgebra, AddAssociatesApproximately) {
+  Tensor a = Random(5), b = Random(6), c = Random(7);
+  EXPECT_LT(MaxAbsDiff(Add(Add(a, b), c), Add(a, Add(b, c))), 1e-5f);
+}
+
+TEST_P(TensorAlgebra, DistributiveLaw) {
+  Tensor a = Random(8), b = Random(9), c = Random(10);
+  Tensor lhs = Mul(a, Add(b, c));
+  Tensor rhs = Add(Mul(a, b), Mul(a, c));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+TEST_P(TensorAlgebra, NegIsSubFromZero) {
+  Tensor a = Random(11);
+  EXPECT_LT(MaxAbsDiff(Neg(a), Sub(Tensor::Zeros(a.shape()), a)), 1e-6f);
+}
+
+TEST_P(TensorAlgebra, ExpLogRoundTrip) {
+  Tensor a = Random(12);
+  Tensor pos = AddScalar(Abs(a), 0.1f);
+  EXPECT_LT(MaxAbsDiff(Exp(Log(pos)), pos), 1e-4f);
+}
+
+TEST_P(TensorAlgebra, SigmoidSymmetry) {
+  // sigmoid(-x) = 1 - sigmoid(x)
+  Tensor a = Random(13);
+  Tensor lhs = Sigmoid(Neg(a));
+  Tensor rhs = AddScalar(Neg(Sigmoid(a)), 1.0f);
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-5f);
+}
+
+TEST_P(TensorAlgebra, ReluPlusNegRelu) {
+  // relu(x) - relu(-x) = x
+  Tensor a = Random(14);
+  EXPECT_LT(MaxAbsDiff(Sub(Relu(a), Relu(Neg(a))), a), 1e-6f);
+}
+
+TEST_P(TensorAlgebra, SumAllMatchesSequentialAxisSums) {
+  Tensor a = Random(15);
+  Tensor cur = a;
+  while (cur.ndim() > 0) cur = Sum(cur, 0, /*keepdims=*/false);
+  EXPECT_NEAR(cur.item(), SumAll(a).item(), 1e-3f);
+}
+
+TEST_P(TensorAlgebra, MeanTimesCountIsSum) {
+  Tensor a = Random(16);
+  EXPECT_NEAR(MeanAll(a).item() * static_cast<float>(a.numel()), SumAll(a).item(),
+              1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorAlgebra,
+    ::testing::Values(ShapeCase{{7}, "vector"}, ShapeCase{{3, 5}, "matrix"},
+                      ShapeCase{{2, 3, 4}, "rank3"}, ShapeCase{{1, 1}, "singleton"},
+                      ShapeCase{{}, "scalar"}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) { return info.param.name; });
+
+// ---- matmul properties ----
+
+TEST(MatMulPropertyTest, TransposeOfProduct) {
+  Rng rng(20);
+  Tensor a = Tensor::RandNormal({4, 6}, &rng);
+  Tensor b = Tensor::RandNormal({6, 3}, &rng);
+  // (AB)^T = B^T A^T
+  Tensor lhs = Transpose(MatMul(a, b));
+  Tensor rhs = MatMul(Transpose(b), Transpose(a));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+TEST(MatMulPropertyTest, IdentityIsNeutral) {
+  Rng rng(21);
+  Tensor a = Tensor::RandNormal({5, 5}, &rng);
+  Tensor eye({5, 5}, 0.0f);
+  for (int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_LT(MaxAbsDiff(MatMul(a, eye), a), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(MatMul(eye, a), a), 1e-6f);
+}
+
+TEST(MatMulPropertyTest, Associativity) {
+  Rng rng(22);
+  Tensor a = Tensor::RandNormal({3, 4}, &rng);
+  Tensor b = Tensor::RandNormal({4, 5}, &rng);
+  Tensor c = Tensor::RandNormal({5, 2}, &rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c))), 1e-3f);
+}
+
+TEST(MatMulPropertyTest, LinearityInFirstArgument) {
+  Rng rng(23);
+  Tensor a1 = Tensor::RandNormal({3, 4}, &rng);
+  Tensor a2 = Tensor::RandNormal({3, 4}, &rng);
+  Tensor b = Tensor::RandNormal({4, 2}, &rng);
+  Tensor lhs = MatMul(Add(a1, a2), b);
+  Tensor rhs = Add(MatMul(a1, b), MatMul(a2, b));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-4f);
+}
+
+// ---- softmax properties ----
+
+TEST(SoftmaxPropertyTest, ShiftInvariance) {
+  Rng rng(30);
+  Tensor a = Tensor::RandNormal({4, 6}, &rng);
+  Tensor shifted = AddScalar(a, 123.0f);
+  EXPECT_LT(MaxAbsDiff(Softmax(a), Softmax(shifted)), 1e-5f);
+}
+
+TEST(SoftmaxPropertyTest, OutputIsDistribution) {
+  Rng rng(31);
+  Tensor a = Tensor::RandNormal({8, 5}, &rng, 0.0f, 10.0f);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 8; ++r) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_GE(s.at(r, c), 0.0f);
+      total += s.at(r, c);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+}
+
+TEST(SoftmaxPropertyTest, PreservesArgmax) {
+  Rng rng(32);
+  Tensor a = Tensor::RandNormal({6, 7}, &rng);
+  Tensor am_before = ArgMaxRows(a);
+  Tensor am_after = ArgMaxRows(Softmax(a));
+  EXPECT_LT(MaxAbsDiff(am_before, am_after), 0.5f);
+}
+
+// ---- structural ops round trips ----
+
+TEST(StructurePropertyTest, ConcatThenSliceRoundTrip) {
+  Rng rng(40);
+  Tensor a = Tensor::RandNormal({3, 4}, &rng);
+  Tensor b = Tensor::RandNormal({2, 4}, &rng);
+  Tensor cat = Concat({a, b}, 0);
+  Tensor a2 = IndexSelect(cat, {0, 1, 2});
+  EXPECT_LT(MaxAbsDiff(a, a2), 1e-7f);
+}
+
+TEST(StructurePropertyTest, BroadcastThenReduceRecoversScaled) {
+  Rng rng(41);
+  Tensor row = Tensor::RandNormal({5}, &rng);
+  Tensor big = BroadcastTo(row, {7, 5});
+  Tensor back = ReduceToShape(big, {5});
+  EXPECT_LT(MaxAbsDiff(back, MulScalar(row, 7.0f)), 1e-4f);
+}
+
+TEST(StructurePropertyTest, TransposeIsInvolution) {
+  Rng rng(42);
+  Tensor a = Tensor::RandNormal({6, 9}, &rng);
+  EXPECT_LT(MaxAbsDiff(Transpose(Transpose(a)), a), 1e-7f);
+}
+
+TEST(StructurePropertyTest, RowMatchesIndexSelect) {
+  Rng rng(43);
+  Tensor a = Tensor::RandNormal({4, 5}, &rng);
+  for (int64_t r = 0; r < 4; ++r) {
+    Tensor via_row = Row(a, r);
+    Tensor via_select = IndexSelect(a, {r}).Reshape({5});
+    EXPECT_LT(MaxAbsDiff(via_row, via_select), 1e-7f);
+  }
+}
+
+}  // namespace
+}  // namespace t
+}  // namespace metadpa

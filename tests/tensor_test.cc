@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({0, 5}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(ShapeTest, BroadcastRules) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1}, {1, 4}), (Shape{2, 4}));
+  EXPECT_EQ(BroadcastShapes({}, {5}), (Shape{5}));
+  EXPECT_EQ(BroadcastShapes({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+}
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor z = Tensor::Zeros({2, 2});
+  EXPECT_EQ(z.numel(), 4);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(z.at(i), 0.0f);
+  z.Fill(3.5f);
+  EXPECT_EQ(z.at(1, 1), 3.5f);
+}
+
+TEST(TensorTest, FromVectorAndScalar) {
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.shape(), (Shape{3}));
+  EXPECT_EQ(v.at(2), 3.0f);
+  Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.item(), 7.0f);
+}
+
+TEST(TensorTest, CopyAliasesStorageCloneDoesNot) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor alias = a;
+  Tensor clone = a.Clone();
+  a.at(0) = 5.0f;
+  EXPECT_EQ(alias.at(0), 5.0f);
+  EXPECT_EQ(clone.at(0), 0.0f);
+  EXPECT_TRUE(a.SharesStorageWith(alias));
+  EXPECT_FALSE(a.SharesStorageWith(clone));
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({2, 3});
+  EXPECT_EQ(b.at(1, 2), 6.0f);
+  EXPECT_TRUE(a.SharesStorageWith(b));
+}
+
+TEST(TensorTest, NegativeAxisDim) {
+  Tensor a = Tensor::Zeros({4, 7});
+  EXPECT_EQ(a.dim(-1), 7);
+  EXPECT_EQ(a.dim(-2), 4);
+}
+
+TEST(TensorTest, RandNormalMoments) {
+  Rng rng(21);
+  Tensor a = Tensor::RandNormal({10000}, &rng, 2.0f, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    sum += a.at(i);
+    sq += a.at(i) * a.at(i);
+  }
+  const double mean = sum / a.numel();
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(sq / a.numel() - mean * mean, 0.25, 0.05);
+}
+
+TEST(OpsTest, ElementwiseSameShape) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_EQ(t::Add(a, b).at(0), 5.0f);
+  EXPECT_EQ(t::Sub(a, b).at(1), -3.0f);
+  EXPECT_EQ(t::Mul(a, b).at(2), 18.0f);
+  EXPECT_FLOAT_EQ(t::Div(b, a).at(1), 2.5f);
+  EXPECT_EQ(t::Maximum(a, b).at(0), 4.0f);
+  EXPECT_EQ(t::Minimum(a, b).at(0), 1.0f);
+  EXPECT_EQ(t::Greater(b, a).at(0), 1.0f);
+}
+
+TEST(OpsTest, BroadcastRowVector) {
+  Tensor a = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::FromVector({10, 20, 30});
+  Tensor sum = t::Add(a, row);
+  EXPECT_EQ(sum.at(0, 0), 11.0f);
+  EXPECT_EQ(sum.at(1, 2), 36.0f);
+}
+
+TEST(OpsTest, BroadcastColVector) {
+  Tensor a = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col({2, 1}, {100, 200});
+  Tensor sum = t::Add(a, col);
+  EXPECT_EQ(sum.at(0, 2), 103.0f);
+  EXPECT_EQ(sum.at(1, 0), 204.0f);
+}
+
+TEST(OpsTest, BroadcastScalarTensor) {
+  Tensor a = Tensor({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(10.0f);
+  EXPECT_EQ(t::Mul(a, s).at(1, 1), 40.0f);
+}
+
+TEST(OpsTest, UnaryOps) {
+  Tensor a = Tensor::FromVector({-1.0f, 0.0f, 2.0f});
+  EXPECT_EQ(t::Neg(a).at(0), 1.0f);
+  EXPECT_EQ(t::Relu(a).at(0), 0.0f);
+  EXPECT_EQ(t::Relu(a).at(2), 2.0f);
+  EXPECT_EQ(t::Abs(a).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(t::Exp(Tensor::Scalar(0.0f)).item(), 1.0f);
+  EXPECT_FLOAT_EQ(t::Log(Tensor::Scalar(std::exp(2.0f))).item(), 2.0f);
+  EXPECT_FLOAT_EQ(t::Sqrt(Tensor::Scalar(9.0f)).item(), 3.0f);
+  EXPECT_FLOAT_EQ(t::Tanh(Tensor::Scalar(0.0f)).item(), 0.0f);
+  EXPECT_EQ(t::Clamp(a, -0.5f, 1.0f).at(0), -0.5f);
+  EXPECT_EQ(t::Clamp(a, -0.5f, 1.0f).at(2), 1.0f);
+}
+
+TEST(OpsTest, SigmoidStableAtExtremes) {
+  Tensor a = Tensor::FromVector({-100.0f, 0.0f, 100.0f});
+  Tensor s = t::Sigmoid(a);
+  EXPECT_NEAR(s.at(0), 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(s.at(1), 0.5f);
+  EXPECT_NEAR(s.at(2), 1.0f, 1e-6f);
+  EXPECT_TRUE(t::AllFinite(s));
+}
+
+TEST(OpsTest, ScalarHelpers) {
+  Tensor a = Tensor::FromVector({1, 2});
+  EXPECT_EQ(t::AddScalar(a, 1.0f).at(1), 3.0f);
+  EXPECT_EQ(t::MulScalar(a, -2.0f).at(0), -2.0f);
+  EXPECT_FLOAT_EQ(t::PowScalar(a, 3.0f).at(1), 8.0f);
+}
+
+TEST(OpsTest, MatMulSmall) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = t::MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulLargeParallelMatchesSerial) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({64, 128}, &rng);
+  Tensor b = Tensor::RandNormal({128, 96}, &rng);
+  Tensor c = t::MatMul(a, b);  // below threshold -> serial
+  // Force parallel path by scaling up rows of a with repeats.
+  std::vector<Tensor> reps(16, a);
+  Tensor big = t::Concat(reps, 0);
+  Tensor big_c = t::MatMul(big, b);
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = 0; j < 96; ++j) {
+      EXPECT_NEAR(big_c.at(i, j), c.at(i, j), 1e-4f);
+      EXPECT_NEAR(big_c.at(i + 64 * 7, j), c.at(i, j), 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, Transpose) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor at = t::Transpose(a);
+  EXPECT_EQ(at.shape(), (Shape{3, 2}));
+  EXPECT_EQ(at.at(2, 1), 6.0f);
+  EXPECT_EQ(at.at(0, 1), 4.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t::SumAll(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(t::MeanAll(a).item(), 3.5f);
+
+  Tensor s0 = t::Sum(a, 0, false);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0.at(0), 5.0f);
+  EXPECT_EQ(s0.at(2), 9.0f);
+
+  Tensor s1 = t::Sum(a, 1, true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1.at(0), 6.0f);
+  EXPECT_EQ(s1.at(1), 15.0f);
+
+  Tensor m1 = t::Mean(a, 1, false);
+  EXPECT_FLOAT_EQ(m1.at(1), 5.0f);
+
+  Tensor mx = t::Max(a, 0, false);
+  EXPECT_EQ(mx.at(1), 5.0f);
+}
+
+TEST(OpsTest, NegativeAxisReduction) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = t::Sum(a, -1, false);
+  EXPECT_EQ(s.shape(), (Shape{2}));
+  EXPECT_EQ(s.at(0), 6.0f);
+}
+
+TEST(OpsTest, ArgMaxRows) {
+  Tensor a({2, 3}, {1, 9, 3, 7, 5, 6});
+  Tensor idx = t::ArgMaxRows(a);
+  EXPECT_EQ(idx.at(0), 1.0f);
+  EXPECT_EQ(idx.at(1), 0.0f);
+}
+
+TEST(OpsTest, ReduceToShape) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = t::ReduceToShape(a, {3});
+  EXPECT_EQ(row.at(0), 5.0f);
+  Tensor col = t::ReduceToShape(a, {2, 1});
+  EXPECT_EQ(col.at(0), 6.0f);
+  Tensor all = t::ReduceToShape(a, {});
+  EXPECT_EQ(all.item(), 21.0f);
+}
+
+TEST(OpsTest, BroadcastTo) {
+  Tensor row = Tensor::FromVector({1, 2, 3});
+  Tensor big = t::BroadcastTo(row, {2, 3});
+  EXPECT_EQ(big.at(1, 2), 3.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a({2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  Tensor s = t::Softmax(a);
+  EXPECT_TRUE(t::AllFinite(s));
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (int64_t j = 0; j < 3; ++j) sum += s.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_NEAR(s.at(1, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = t::LogSoftmax(a);
+  Tensor s = t::Softmax(a);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_NEAR(ls.at(0, j), std::log(s.at(0, j)), 1e-5f);
+}
+
+TEST(OpsTest, IndexSelect) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor sel = t::IndexSelect(a, {2, 0, 2});
+  EXPECT_EQ(sel.shape(), (Shape{3, 2}));
+  EXPECT_EQ(sel.at(0, 0), 5.0f);
+  EXPECT_EQ(sel.at(1, 1), 2.0f);
+  EXPECT_EQ(sel.at(2, 1), 6.0f);
+
+  Tensor v = Tensor::FromVector({10, 20, 30});
+  Tensor vs = t::IndexSelect(v, {1});
+  EXPECT_EQ(vs.at(0), 20.0f);
+}
+
+TEST(OpsTest, ConcatAxis0And1) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c0 = t::Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c0.at(2, 1), 6.0f);
+
+  Tensor d({1, 3}, {7, 8, 9});
+  Tensor c1 = t::Concat({a, d}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 5}));
+  EXPECT_EQ(c1.at(0, 4), 9.0f);
+
+  Tensor v1 = Tensor::FromVector({1});
+  Tensor v2 = Tensor::FromVector({2, 3});
+  Tensor cv = t::Concat({v1, v2}, 0);
+  EXPECT_EQ(cv.shape(), (Shape{3}));
+  EXPECT_EQ(cv.at(2), 3.0f);
+}
+
+TEST(OpsTest, RowExtraction) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t::Row(a, 1);
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  EXPECT_EQ(r.at(0), 4.0f);
+}
+
+TEST(OpsTest, MaxAbsDiffAndAllFinite) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({1, 2.5f, 3});
+  EXPECT_FLOAT_EQ(t::MaxAbsDiff(a, b), 0.5f);
+  Tensor inf = Tensor::FromVector({1, std::numeric_limits<float>::infinity()});
+  EXPECT_FALSE(t::AllFinite(inf));
+  EXPECT_TRUE(t::AllFinite(a));
+}
+
+}  // namespace
+}  // namespace metadpa

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad beta");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad beta");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 32; ++i) diff += a.Next() != b.Next();
+  EXPECT_GT(diff, 30);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(10), 10u);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : uniq) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Split();
+  // Child should not replay the parent's stream.
+  Rng b(42);
+  b.Next();  // parent consumed one value for the split
+  EXPECT_NE(child.Next(), b.Next());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  int count = 0;
+  pool.ParallelFor(1, [&count](size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3 * 0.5);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1.0"});
+  table.AddSeparator();
+  table.AddRow({"beta", "10.25"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| beta"), std::string::npos);
+  // Header + 2 data rows + 4 rules (top, under header, separator, bottom).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 7);
+}
+
+TEST(TextTableTest, NumFormatsFourDecimals) {
+  EXPECT_EQ(TextTable::Num(0.1234), "0.1234");
+  EXPECT_EQ(TextTable::Num(2.0, 2), "2.00");
+}
+
+}  // namespace
+}  // namespace metadpa
