@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_books_ndcg.dir/bench_fig3_books_ndcg.cc.o"
+  "CMakeFiles/bench_fig3_books_ndcg.dir/bench_fig3_books_ndcg.cc.o.d"
+  "bench_fig3_books_ndcg"
+  "bench_fig3_books_ndcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_books_ndcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

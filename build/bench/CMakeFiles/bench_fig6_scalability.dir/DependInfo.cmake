@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_scalability.cc" "bench/CMakeFiles/bench_fig6_scalability.dir/bench_fig6_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_scalability.dir/bench_fig6_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/metadpa_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/metadpa_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/metadpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvae/CMakeFiles/metadpa_cvae.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/metadpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/metadpa_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/metadpa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metadpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/metadpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/metadpa_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metadpa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/metadpa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metadpa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metadpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sig_test.dir/bench_sig_test.cc.o"
+  "CMakeFiles/bench_sig_test.dir/bench_sig_test.cc.o.d"
+  "bench_sig_test"
+  "bench_sig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_benchlib.dir/experiment_util.cc.o"
+  "CMakeFiles/metadpa_benchlib.dir/experiment_util.cc.o.d"
+  "libmetadpa_benchlib.a"
+  "libmetadpa_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diverse_augmentation.dir/diverse_augmentation.cpp.o"
+  "CMakeFiles/diverse_augmentation.dir/diverse_augmentation.cpp.o.d"
+  "diverse_augmentation"
+  "diverse_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diverse_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

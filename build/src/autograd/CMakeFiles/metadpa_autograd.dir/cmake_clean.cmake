@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/metadpa_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/metadpa_autograd.dir/ops.cc.o"
+  "CMakeFiles/metadpa_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/metadpa_autograd.dir/variable.cc.o"
+  "CMakeFiles/metadpa_autograd.dir/variable.cc.o.d"
+  "libmetadpa_autograd.a"
+  "libmetadpa_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/catn.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/catn.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/catn.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/conn.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/conn.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/conn.cc.o.d"
+  "/root/repo/src/baselines/daml.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/daml.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/daml.cc.o.d"
+  "/root/repo/src/baselines/melu.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/melu.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/melu.cc.o.d"
+  "/root/repo/src/baselines/metacf.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/metacf.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/metacf.cc.o.d"
+  "/root/repo/src/baselines/neumf.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/neumf.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/neumf.cc.o.d"
+  "/root/repo/src/baselines/tdar.cc" "src/baselines/CMakeFiles/metadpa_baselines.dir/tdar.cc.o" "gcc" "src/baselines/CMakeFiles/metadpa_baselines.dir/tdar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/metadpa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/metadpa_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/metadpa_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/metadpa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metadpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metadpa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/metadpa_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metadpa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metadpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

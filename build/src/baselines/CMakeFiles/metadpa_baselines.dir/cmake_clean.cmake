@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_baselines.dir/catn.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/catn.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/common.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/common.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/conn.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/conn.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/daml.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/daml.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/melu.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/melu.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/metacf.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/metacf.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/neumf.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/neumf.cc.o.d"
+  "CMakeFiles/metadpa_baselines.dir/tdar.cc.o"
+  "CMakeFiles/metadpa_baselines.dir/tdar.cc.o.d"
+  "libmetadpa_baselines.a"
+  "libmetadpa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

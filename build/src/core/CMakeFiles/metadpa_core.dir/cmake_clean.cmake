@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_core.dir/metadpa.cc.o"
+  "CMakeFiles/metadpa_core.dir/metadpa.cc.o.d"
+  "libmetadpa_core.a"
+  "libmetadpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

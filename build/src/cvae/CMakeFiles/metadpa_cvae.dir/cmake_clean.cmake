@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_cvae.dir/adaptation.cc.o"
+  "CMakeFiles/metadpa_cvae.dir/adaptation.cc.o.d"
+  "CMakeFiles/metadpa_cvae.dir/dual_cvae.cc.o"
+  "CMakeFiles/metadpa_cvae.dir/dual_cvae.cc.o.d"
+  "CMakeFiles/metadpa_cvae.dir/infonce.cc.o"
+  "CMakeFiles/metadpa_cvae.dir/infonce.cc.o.d"
+  "libmetadpa_cvae.a"
+  "libmetadpa_cvae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_cvae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

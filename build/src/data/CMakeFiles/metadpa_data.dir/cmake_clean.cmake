@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_data.dir/interactions.cc.o"
+  "CMakeFiles/metadpa_data.dir/interactions.cc.o.d"
+  "CMakeFiles/metadpa_data.dir/io.cc.o"
+  "CMakeFiles/metadpa_data.dir/io.cc.o.d"
+  "CMakeFiles/metadpa_data.dir/splits.cc.o"
+  "CMakeFiles/metadpa_data.dir/splits.cc.o.d"
+  "CMakeFiles/metadpa_data.dir/stats.cc.o"
+  "CMakeFiles/metadpa_data.dir/stats.cc.o.d"
+  "CMakeFiles/metadpa_data.dir/synthetic.cc.o"
+  "CMakeFiles/metadpa_data.dir/synthetic.cc.o.d"
+  "libmetadpa_data.a"
+  "libmetadpa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_eval.dir/recommend.cc.o"
+  "CMakeFiles/metadpa_eval.dir/recommend.cc.o.d"
+  "CMakeFiles/metadpa_eval.dir/recommender.cc.o"
+  "CMakeFiles/metadpa_eval.dir/recommender.cc.o.d"
+  "libmetadpa_eval.a"
+  "libmetadpa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

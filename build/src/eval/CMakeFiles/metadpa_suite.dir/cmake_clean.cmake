@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_suite.dir/suite.cc.o"
+  "CMakeFiles/metadpa_suite.dir/suite.cc.o.d"
+  "libmetadpa_suite.a"
+  "libmetadpa_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

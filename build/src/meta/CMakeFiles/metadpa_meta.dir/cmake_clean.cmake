@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_meta.dir/maml.cc.o"
+  "CMakeFiles/metadpa_meta.dir/maml.cc.o.d"
+  "CMakeFiles/metadpa_meta.dir/preference_model.cc.o"
+  "CMakeFiles/metadpa_meta.dir/preference_model.cc.o.d"
+  "CMakeFiles/metadpa_meta.dir/tasks.cc.o"
+  "CMakeFiles/metadpa_meta.dir/tasks.cc.o.d"
+  "libmetadpa_meta.a"
+  "libmetadpa_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

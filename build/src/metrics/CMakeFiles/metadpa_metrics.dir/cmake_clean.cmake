@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_metrics.dir/ranking.cc.o"
+  "CMakeFiles/metadpa_metrics.dir/ranking.cc.o.d"
+  "CMakeFiles/metadpa_metrics.dir/significance.cc.o"
+  "CMakeFiles/metadpa_metrics.dir/significance.cc.o.d"
+  "libmetadpa_metrics.a"
+  "libmetadpa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

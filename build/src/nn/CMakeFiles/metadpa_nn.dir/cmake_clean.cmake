@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/metadpa_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/metadpa_nn.dir/layers.cc.o"
+  "CMakeFiles/metadpa_nn.dir/layers.cc.o.d"
+  "CMakeFiles/metadpa_nn.dir/module.cc.o"
+  "CMakeFiles/metadpa_nn.dir/module.cc.o.d"
+  "libmetadpa_nn.a"
+  "libmetadpa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetadpa_nn.a"
+)

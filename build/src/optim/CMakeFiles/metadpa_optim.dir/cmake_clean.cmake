@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_optim.dir/optimizer.cc.o"
+  "CMakeFiles/metadpa_optim.dir/optimizer.cc.o.d"
+  "CMakeFiles/metadpa_optim.dir/schedule.cc.o"
+  "CMakeFiles/metadpa_optim.dir/schedule.cc.o.d"
+  "libmetadpa_optim.a"
+  "libmetadpa_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_tensor.dir/ops.cc.o"
+  "CMakeFiles/metadpa_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/metadpa_tensor.dir/serialize.cc.o"
+  "CMakeFiles/metadpa_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/metadpa_tensor.dir/tensor.cc.o"
+  "CMakeFiles/metadpa_tensor.dir/tensor.cc.o.d"
+  "libmetadpa_tensor.a"
+  "libmetadpa_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_util.dir/logging.cc.o"
+  "CMakeFiles/metadpa_util.dir/logging.cc.o.d"
+  "CMakeFiles/metadpa_util.dir/rng.cc.o"
+  "CMakeFiles/metadpa_util.dir/rng.cc.o.d"
+  "CMakeFiles/metadpa_util.dir/status.cc.o"
+  "CMakeFiles/metadpa_util.dir/status.cc.o.d"
+  "CMakeFiles/metadpa_util.dir/table.cc.o"
+  "CMakeFiles/metadpa_util.dir/table.cc.o.d"
+  "CMakeFiles/metadpa_util.dir/thread_pool.cc.o"
+  "CMakeFiles/metadpa_util.dir/thread_pool.cc.o.d"
+  "libmetadpa_util.a"
+  "libmetadpa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

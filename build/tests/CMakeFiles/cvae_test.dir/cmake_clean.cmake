@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvae_test.dir/cvae_test.cc.o"
+  "CMakeFiles/cvae_test.dir/cvae_test.cc.o.d"
+  "cvae_test"
+  "cvae_test.pdb"
+  "cvae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_util_test.dir/experiment_util_test.cc.o"
+  "CMakeFiles/experiment_util_test.dir/experiment_util_test.cc.o.d"
+  "experiment_util_test"
+  "experiment_util_test.pdb"
+  "experiment_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

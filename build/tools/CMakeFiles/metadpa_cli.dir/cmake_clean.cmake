@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadpa_cli.dir/metadpa_cli.cc.o"
+  "CMakeFiles/metadpa_cli.dir/metadpa_cli.cc.o.d"
+  "metadpa_cli"
+  "metadpa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
