@@ -1,5 +1,6 @@
 #include "experiment_util.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/stopwatch.h"
@@ -41,12 +42,24 @@ ResultGrid RunMethods(Experiment* experiment,
     model->Fit(experiment->ctx);
     const double fit_seconds = timer.ElapsedSeconds();
     timer.Reset();
+    double score_seconds = 0.0;
+    int64_t cases = 0;
+    int threads = 1;
     for (data::Scenario scenario : AllScenarios()) {
-      grid[spec.name][scenario] =
+      eval::ScenarioResult result =
           eval::EvaluateScenario(model.get(), experiment->ctx, scenario, options);
+      score_seconds += result.timing.score_seconds;
+      cases += result.num_cases;
+      threads = std::max(threads, result.timing.threads_used);
+      grid[spec.name][scenario] = std::move(result);
     }
-    std::fprintf(stderr, "  %-12s fit %.1fs, eval %.1fs\n", spec.name.c_str(),
-                 fit_seconds, timer.ElapsedSeconds());
+    const double cases_per_second =
+        score_seconds > 0.0 ? static_cast<double>(cases) / score_seconds : 0.0;
+    std::fprintf(stderr,
+                 "  %-12s fit %.1fs, eval %.1fs (%lld cases, %.0f cases/s, "
+                 "%d threads)\n",
+                 spec.name.c_str(), fit_seconds, timer.ElapsedSeconds(),
+                 static_cast<long long>(cases), cases_per_second, threads);
   }
   return grid;
 }

@@ -228,6 +228,9 @@ bench/CMakeFiles/metadpa_benchlib.dir/experiment_util.cc.o: \
  /root/repo/src/autograd/ops.h /root/repo/src/autograd/variable.h \
  /root/repo/src/meta/maml.h /root/repo/src/meta/preference_model.h \
  /root/repo/src/meta/tasks.h /root/repo/src/optim/optimizer.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \

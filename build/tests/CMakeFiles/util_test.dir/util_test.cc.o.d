@@ -316,20 +316,19 @@ tests/CMakeFiles/util_test.dir/util_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/rng.h \
- /root/repo/src/util/status.h /root/repo/src/util/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/util/table.h \
- /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/status.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/util/table.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h

@@ -31,6 +31,12 @@ class Conn : public eval::Recommender {
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 
+  /// ScoreCase is a pure forward pass over weights frozen since
+  /// BeginScenario; concurrent scorers can safely share this object.
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
+    return std::make_unique<eval::SharedStateScorer>(this);
+  }
+
  private:
   ag::Variable Logits(const Tensor& user_content, const Tensor& item_content) const;
   void TrainOn(const data::LabeledExamples& examples, int epochs, float lr,

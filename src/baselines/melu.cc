@@ -4,11 +4,52 @@
 
 namespace metadpa {
 namespace baselines {
+namespace {
+
+// Shared by ScoreCase and the per-thread scorer so both are bit-identical:
+// everything mutable (the adaptation task, its rng, the fast weights) is
+// local, and the rng is derived from the case identity, not a shared stream.
+std::vector<double> ScoreMeluCase(const meta::MamlTrainer& trainer,
+                                  const data::DomainData& target,
+                                  const data::InteractionMatrix& train,
+                                  uint64_t score_seed, const data::EvalCase& eval_case,
+                                  const std::vector<int64_t>& items) {
+  Rng case_rng(eval::CaseSeed(score_seed, eval_case));
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, train);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target.ratings, target.user_content,
+      target.item_content, /*negatives_per_positive=*/1, &case_rng);
+  nn::ParamList fast = trainer.Adapt(task, trainer.config().finetune_steps);
+  ContentBatch batch =
+      CaseBatch(eval_case.user, items, target.user_content, target.item_content);
+  return trainer.ScoreWith(fast, batch.user, batch.item);
+}
+
+class MeluScorer : public eval::CaseScorer {
+ public:
+  MeluScorer(const meta::MamlTrainer* trainer, const data::DomainData* target,
+             const data::InteractionMatrix* train, uint64_t score_seed)
+      : trainer_(trainer), target_(target), train_(train), score_seed_(score_seed) {}
+
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return ScoreMeluCase(*trainer_, *target_, *train_, score_seed_, eval_case, items);
+  }
+
+ private:
+  const meta::MamlTrainer* trainer_;
+  const data::DomainData* target_;
+  const data::InteractionMatrix* train_;
+  uint64_t score_seed_;
+};
+
+}  // namespace
 
 void Melu::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   train_ = &ctx.splits->train;
-  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  score_seed_ = config_.seed ^ ctx.seed;
   Rng rng(config_.seed + ctx.seed);
 
   meta::PreferenceModelConfig model_config = config_.model;
@@ -24,15 +65,12 @@ void Melu::Fit(const eval::TrainContext& ctx) {
 
 std::vector<double> Melu::ScoreCase(const data::EvalCase& eval_case,
                                     const std::vector<int64_t>& items) {
-  std::vector<int64_t> positives =
-      meta::MergedSupport(eval_case.user, eval_case.support_items, *train_);
-  meta::Task task = meta::BuildAdaptationTask(
-      eval_case.user, positives, target_->ratings, target_->user_content,
-      target_->item_content, /*negatives_per_positive=*/1, &score_rng_);
-  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
-  ContentBatch batch =
-      CaseBatch(eval_case.user, items, target_->user_content, target_->item_content);
-  return trainer_->ScoreWith(fast, batch.user, batch.item);
+  return ScoreMeluCase(*trainer_, *target_, *train_, score_seed_, eval_case, items);
+}
+
+std::unique_ptr<eval::CaseScorer> Melu::CloneForScoring() {
+  if (trainer_ == nullptr) return nullptr;
+  return std::make_unique<MeluScorer>(trainer_.get(), target_, train_, score_seed_);
 }
 
 }  // namespace baselines

@@ -31,13 +31,17 @@ class Melu : public eval::Recommender {
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 
+  /// Per-thread scorer owning its adaptation state (task build + fast
+  /// weights); the meta-trained weights are shared read-only.
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override;
+
  private:
   MeluConfig config_;
   std::unique_ptr<meta::PreferenceModel> model_;
   std::unique_ptr<meta::MamlTrainer> trainer_;
   const data::DomainData* target_ = nullptr;
   const data::InteractionMatrix* train_ = nullptr;
-  Rng score_rng_{23};
+  uint64_t score_seed_ = 23;  ///< base of the per-case adaptation streams
 };
 
 }  // namespace baselines

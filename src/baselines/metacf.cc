@@ -56,6 +56,54 @@ data::InteractionMatrix ProfileMatrix(const data::InteractionMatrix& train,
   return profile;
 }
 
+// Shared by ScoreCase and the per-thread scorer so both are bit-identical:
+// all mutable adaptation state is local and the rng is derived from the case
+// identity, not a shared stream.
+std::vector<double> ScoreMetaCfCase(const meta::MamlTrainer& trainer,
+                                    const data::DomainData& target,
+                                    const data::InteractionMatrix& train,
+                                    const Tensor& user_profiles,
+                                    const Tensor& item_identity, uint64_t score_seed,
+                                    const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) {
+  Rng case_rng(eval::CaseSeed(score_seed, eval_case));
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, train);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target.ratings, user_profiles, item_identity,
+      /*negatives_per_positive=*/1, &case_rng);
+  nn::ParamList fast = trainer.Adapt(task, trainer.config().finetune_steps);
+  ContentBatch batch = CaseBatch(eval_case.user, items, user_profiles, item_identity);
+  return trainer.ScoreWith(fast, batch.user, batch.item);
+}
+
+class MetaCfScorer : public eval::CaseScorer {
+ public:
+  MetaCfScorer(const meta::MamlTrainer* trainer, const data::DomainData* target,
+               const data::InteractionMatrix* train, const Tensor* user_profiles,
+               const Tensor* item_identity, uint64_t score_seed)
+      : trainer_(trainer),
+        target_(target),
+        train_(train),
+        user_profiles_(user_profiles),
+        item_identity_(item_identity),
+        score_seed_(score_seed) {}
+
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return ScoreMetaCfCase(*trainer_, *target_, *train_, *user_profiles_,
+                           *item_identity_, score_seed_, eval_case, items);
+  }
+
+ private:
+  const meta::MamlTrainer* trainer_;
+  const data::DomainData* target_;
+  const data::InteractionMatrix* train_;
+  const Tensor* user_profiles_;
+  const Tensor* item_identity_;
+  uint64_t score_seed_;
+};
+
 }  // namespace
 
 Tensor MetaCf::ExtendProfiles(const data::InteractionMatrix& profile) const {
@@ -73,7 +121,7 @@ Tensor MetaCf::ExtendProfiles(const data::InteractionMatrix& profile) const {
 void MetaCf::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   splits_ = ctx.splits;
-  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  score_seed_ = config_.seed ^ ctx.seed;
   Rng rng(config_.seed + ctx.seed);
 
   const int64_t m = target_->num_items();
@@ -100,14 +148,14 @@ void MetaCf::BeginScenario(const data::ScenarioData& scenario,
 
 std::vector<double> MetaCf::ScoreCase(const data::EvalCase& eval_case,
                                       const std::vector<int64_t>& items) {
-  std::vector<int64_t> positives =
-      meta::MergedSupport(eval_case.user, eval_case.support_items, splits_->train);
-  meta::Task task = meta::BuildAdaptationTask(
-      eval_case.user, positives, target_->ratings, user_profiles_,
-      item_identity_, /*negatives_per_positive=*/1, &score_rng_);
-  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
-  ContentBatch batch = CaseBatch(eval_case.user, items, user_profiles_, item_identity_);
-  return trainer_->ScoreWith(fast, batch.user, batch.item);
+  return ScoreMetaCfCase(*trainer_, *target_, splits_->train, user_profiles_,
+                         item_identity_, score_seed_, eval_case, items);
+}
+
+std::unique_ptr<eval::CaseScorer> MetaCf::CloneForScoring() {
+  if (trainer_ == nullptr) return nullptr;
+  return std::make_unique<MetaCfScorer>(trainer_.get(), target_, &splits_->train,
+                                        &user_profiles_, &item_identity_, score_seed_);
 }
 
 }  // namespace baselines

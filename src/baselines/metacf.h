@@ -39,6 +39,10 @@ class MetaCf : public eval::Recommender {
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 
+  /// Per-thread scorer owning its adaptation state (task build + fast
+  /// weights); the meta-trained weights and profiles are shared read-only.
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override;
+
  private:
   /// Rebuilds extended user profile rows from a profile interaction matrix.
   Tensor ExtendProfiles(const data::InteractionMatrix& profile) const;
@@ -51,7 +55,7 @@ class MetaCf : public eval::Recommender {
   Tensor item_identity_;      ///< (m, m) one-hot item "content"
   Tensor item_cooccurrence_;  ///< (m, m) row-normalized co-rating counts
   Tensor user_profiles_;      ///< (n, m) extended rows for the active scenario
-  Rng score_rng_{37};
+  uint64_t score_seed_ = 37;  ///< base of the per-case adaptation streams
 };
 
 }  // namespace baselines

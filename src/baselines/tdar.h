@@ -36,6 +36,12 @@ class Tdar : public eval::Recommender {
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 
+  /// ScoreCase is a pure forward pass over weights frozen since
+  /// BeginScenario; concurrent scorers can safely share this object.
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
+    return std::make_unique<eval::SharedStateScorer>(this);
+  }
+
  private:
   ag::Variable Logits(const ag::Variable& user_emb, const ag::Variable& item_emb,
                       const std::vector<int64_t>& users,

@@ -6,6 +6,59 @@
 
 namespace metadpa {
 namespace core {
+namespace {
+
+// Shared by ScoreCase and the per-thread scorer so both are bit-identical:
+// all mutable adaptation state (task, rng, fast weights) is local, and the
+// rng is derived from the case identity, not a shared stream.
+std::vector<double> ScoreMetaDpaCase(const meta::MamlTrainer& trainer,
+                                     const data::DomainData& target,
+                                     const data::InteractionMatrix& train,
+                                     uint64_t score_seed,
+                                     const data::EvalCase& eval_case,
+                                     const std::vector<int64_t>& items) {
+  // Adapt on everything observed for this user: the scenario support plus
+  // the warm training history (never the held-out positive).
+  Rng case_rng(eval::CaseSeed(score_seed, eval_case));
+  std::vector<int64_t> positives =
+      meta::MergedSupport(eval_case.user, eval_case.support_items, train);
+  meta::Task task = meta::BuildAdaptationTask(
+      eval_case.user, positives, target.ratings, target.user_content,
+      target.item_content, /*negatives_per_positive=*/1, &case_rng);
+  nn::ParamList fast = trainer.Adapt(task, trainer.config().finetune_steps);
+
+  // Score the candidate items in one batch.
+  Tensor item_rows = t::IndexSelect(target.item_content, items);
+  const int64_t width = target.user_content.dim(1);
+  Tensor user_rows({static_cast<int64_t>(items.size()), width});
+  for (size_t r = 0; r < items.size(); ++r) {
+    std::copy(target.user_content.data() + eval_case.user * width,
+              target.user_content.data() + (eval_case.user + 1) * width,
+              user_rows.data() + static_cast<int64_t>(r) * width);
+  }
+  return trainer.ScoreWith(fast, user_rows, item_rows);
+}
+
+class MetaDpaScorer : public eval::CaseScorer {
+ public:
+  MetaDpaScorer(const meta::MamlTrainer* trainer, const data::DomainData* target,
+                const data::InteractionMatrix* train, uint64_t score_seed)
+      : trainer_(trainer), target_(target), train_(train), score_seed_(score_seed) {}
+
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return ScoreMetaDpaCase(*trainer_, *target_, *train_, score_seed_, eval_case,
+                            items);
+  }
+
+ private:
+  const meta::MamlTrainer* trainer_;
+  const data::DomainData* target_;
+  const data::InteractionMatrix* train_;
+  uint64_t score_seed_;
+};
+
+}  // namespace
 
 MetaDpaConfig ApplyVariant(MetaDpaConfig config, MetaDpaVariant variant) {
   switch (variant) {
@@ -45,7 +98,7 @@ void MetaDpa::Fit(const eval::TrainContext& ctx) {
   MDPA_CHECK(ctx.splits != nullptr);
   target_ = &ctx.dataset->target;
   train_ = &ctx.splits->train;
-  score_rng_ = Rng(config_.seed ^ ctx.seed);
+  score_seed_ = config_.seed ^ ctx.seed;
   Rng rng(config_.seed + ctx.seed);
 
   // ---- Block 1: multi-source domain adaptation (k Dual-CVAEs). ----
@@ -99,25 +152,12 @@ void MetaDpa::Fit(const eval::TrainContext& ctx) {
 std::vector<double> MetaDpa::ScoreCase(const data::EvalCase& eval_case,
                                        const std::vector<int64_t>& items) {
   MDPA_CHECK(trainer_ != nullptr) << "ScoreCase before Fit";
-  // Adapt on everything observed for this user: the scenario support plus
-  // the warm training history (never the held-out positive).
-  std::vector<int64_t> positives =
-      meta::MergedSupport(eval_case.user, eval_case.support_items, *train_);
-  meta::Task task = meta::BuildAdaptationTask(
-      eval_case.user, positives, target_->ratings, target_->user_content,
-      target_->item_content, /*negatives_per_positive=*/1, &score_rng_);
-  nn::ParamList fast = trainer_->Adapt(task, trainer_->config().finetune_steps);
+  return ScoreMetaDpaCase(*trainer_, *target_, *train_, score_seed_, eval_case, items);
+}
 
-  // Score the candidate items in one batch.
-  Tensor item_rows = t::IndexSelect(target_->item_content, items);
-  const int64_t width = target_->user_content.dim(1);
-  Tensor user_rows({static_cast<int64_t>(items.size()), width});
-  for (size_t r = 0; r < items.size(); ++r) {
-    std::copy(target_->user_content.data() + eval_case.user * width,
-              target_->user_content.data() + (eval_case.user + 1) * width,
-              user_rows.data() + static_cast<int64_t>(r) * width);
-  }
-  return trainer_->ScoreWith(fast, user_rows, item_rows);
+std::unique_ptr<eval::CaseScorer> MetaDpa::CloneForScoring() {
+  if (trainer_ == nullptr) return nullptr;
+  return std::make_unique<MetaDpaScorer>(trainer_.get(), target_, train_, score_seed_);
 }
 
 }  // namespace core

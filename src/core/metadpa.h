@@ -57,6 +57,10 @@ class MetaDpa : public eval::Recommender {
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 
+  /// \brief Per-thread scorer owning its adaptation state (task build + fast
+  /// weights); the meta-trained weights are shared read-only.
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override;
+
   /// \brief The k generated rating matrices (available after Fit; exposed for
   /// tests, the diversity ablation and the augmentation example).
   const std::vector<Tensor>& generated_ratings() const { return generated_; }
@@ -81,7 +85,7 @@ class MetaDpa : public eval::Recommender {
   // Scoring context captured at Fit time.
   const data::DomainData* target_ = nullptr;
   const data::InteractionMatrix* train_ = nullptr;
-  Rng score_rng_{17};
+  uint64_t score_seed_ = 17;  ///< base of the per-case adaptation streams
 
   double block1_seconds_ = 0.0;
   double block2_seconds_ = 0.0;

@@ -1,49 +1,129 @@
 #include "eval/recommender.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace metadpa {
 namespace eval {
+namespace {
+
+/// Everything one case contributes to a ScenarioResult; computed in parallel,
+/// merged serially in case order so float accumulation order never changes.
+struct CaseOutcome {
+  metrics::RankingMetrics at_k;
+  std::vector<double> curve;
+};
+
+CaseOutcome ComputeOutcome(CaseScorer* scorer, const data::EvalCase& eval_case,
+                           const EvalOptions& options) {
+  // Item list: positive first, then the sampled negatives.
+  std::vector<int64_t> items;
+  items.reserve(1 + eval_case.negatives.size());
+  items.push_back(eval_case.test_positive);
+  items.insert(items.end(), eval_case.negatives.begin(), eval_case.negatives.end());
+
+  std::vector<double> scores = scorer->Score(eval_case, items);
+  if (scores.size() != items.size()) {
+    // Thrown (not checked) so a buggy model fails the sweep loudly without
+    // aborting the process; ParallelFor drains sibling shards first.
+    throw std::runtime_error("ScoreCase returned " + std::to_string(scores.size()) +
+                             " scores for " + std::to_string(items.size()) + " items");
+  }
+  const double positive_score = scores[0];
+  std::vector<double> negative_scores(scores.begin() + 1, scores.end());
+
+  CaseOutcome outcome;
+  outcome.at_k = metrics::EvaluateCase(positive_score, negative_scores, options.k);
+  outcome.curve =
+      metrics::NdcgCurve(positive_score, negative_scores, options.max_curve_k);
+  return outcome;
+}
+
+}  // namespace
 
 void Recommender::BeginScenario(const data::ScenarioData&, const TrainContext&) {}
+
+std::unique_ptr<CaseScorer> Recommender::CloneForScoring() { return nullptr; }
 
 ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
                                 data::Scenario scenario, const EvalOptions& options) {
   MDPA_CHECK(model != nullptr);
   MDPA_CHECK(ctx.splits != nullptr);
   const data::ScenarioData& data = ctx.splits->ForScenario(scenario);
+
+  Stopwatch phase;
   model->BeginScenario(data, ctx);
 
   ScenarioResult result;
+  result.timing.begin_seconds = phase.ElapsedSeconds();
   result.ndcg_curve.assign(static_cast<size_t>(options.max_curve_k), 0.0);
-  metrics::MetricsAccumulator acc;
 
-  for (const data::EvalCase& eval_case : data.cases) {
-    // Item list: positive first, then the sampled negatives.
-    std::vector<int64_t> items;
-    items.reserve(1 + eval_case.negatives.size());
-    items.push_back(eval_case.test_positive);
-    items.insert(items.end(), eval_case.negatives.begin(), eval_case.negatives.end());
+  const size_t n = data.cases.size();
+  size_t shards = options.num_threads > 0 ? static_cast<size_t>(options.num_threads)
+                                          : ThreadPool::Global().num_threads();
+  shards = std::max<size_t>(std::min(shards, n), 1);
 
-    std::vector<double> scores = model->ScoreCase(eval_case, items);
-    MDPA_CHECK_EQ(scores.size(), items.size());
-    const double positive_score = scores[0];
-    std::vector<double> negative_scores(scores.begin() + 1, scores.end());
-
-    const metrics::RankingMetrics m =
-        metrics::EvaluateCase(positive_score, negative_scores, options.k);
-    acc.Add(m);
-    result.per_case.push_back(m);
-    const std::vector<double> curve =
-        metrics::NdcgCurve(positive_score, negative_scores, options.max_curve_k);
-    for (size_t i = 0; i < curve.size(); ++i) result.ndcg_curve[i] += curve[i];
+  // One scorer per shard; a model that opts out of the thread-safety
+  // contract (nullptr) is evaluated serially through its own ScoreCase.
+  std::vector<std::unique_ptr<CaseScorer>> scorers;
+  if (shards > 1) {
+    scorers.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      std::unique_ptr<CaseScorer> scorer = model->CloneForScoring();
+      if (scorer == nullptr) {
+        scorers.clear();
+        break;
+      }
+      scorers.push_back(std::move(scorer));
+    }
+    if (scorers.empty()) shards = 1;
   }
 
+  std::vector<CaseOutcome> outcomes(n);
+  auto score_range = [&](CaseScorer* scorer, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      outcomes[i] = ComputeOutcome(scorer, data.cases[i], options);
+    }
+  };
+
+  phase.Reset();
+  if (shards <= 1) {
+    SharedStateScorer serial(model);
+    score_range(&serial, 0, n);
+  } else {
+    ThreadPool::Global().ParallelFor(shards, [&](size_t s) {
+      score_range(scorers[s].get(), n * s / shards, n * (s + 1) / shards);
+    });
+  }
+  result.timing.score_seconds = phase.ElapsedSeconds();
+
+  // Ordered merge: accumulate in case order, exactly as the serial loop did,
+  // so the parallel path is bit-identical to it.
+  phase.Reset();
+  metrics::MetricsAccumulator acc;
+  result.per_case.reserve(n);
+  for (const CaseOutcome& outcome : outcomes) {
+    acc.Add(outcome.at_k);
+    result.per_case.push_back(outcome.at_k);
+    for (size_t i = 0; i < outcome.curve.size(); ++i) {
+      result.ndcg_curve[i] += outcome.curve[i];
+    }
+  }
   result.num_cases = acc.count();
   result.at_k = acc.Mean();
   if (result.num_cases > 0) {
     for (double& v : result.ndcg_curve) v /= static_cast<double>(result.num_cases);
   }
+  result.timing.merge_seconds = phase.ElapsedSeconds();
+  result.timing.threads_used = static_cast<int>(shards);
+  result.timing.cases_per_second =
+      result.timing.score_seconds > 0.0
+          ? static_cast<double>(n) / result.timing.score_seconds
+          : 0.0;
   return result;
 }
 

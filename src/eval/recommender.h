@@ -10,6 +10,7 @@
 #include "data/splits.h"
 #include "data/synthetic.h"
 #include "metrics/ranking.h"
+#include "util/rng.h"
 
 namespace metadpa {
 namespace eval {
@@ -21,6 +22,19 @@ struct TrainContext {
   const data::MultiDomainDataset* dataset = nullptr;
   const data::DatasetSplits* splits = nullptr;
   uint64_t seed = 1;
+};
+
+/// \brief Per-thread scoring handle for parallel evaluation (see
+/// Recommender::CloneForScoring for the thread-safety contract).
+class CaseScorer {
+ public:
+  virtual ~CaseScorer() = default;
+
+  /// \brief Scores (higher = more preferred) the items for the case's user.
+  /// Must be bit-identical to the parent Recommender's ScoreCase for the same
+  /// case — the parallel evaluation driver relies on this for determinism.
+  virtual std::vector<double> Score(const data::EvalCase& eval_case,
+                                    const std::vector<int64_t>& items) = 0;
 };
 
 /// \brief Base class for every method in the comparison.
@@ -43,9 +57,59 @@ class Recommender {
                              const TrainContext& ctx);
 
   /// \brief Scores (higher = more preferred) the items for the case's user.
-  /// Meta-learning methods adapt on case.support_items first.
+  /// Meta-learning methods adapt on case.support_items first. Per-case
+  /// stochastic state (e.g. adaptation negative sampling) must be derived
+  /// from the case identity via CaseSeed, never from a sequentially consumed
+  /// member stream, so that results do not depend on case order.
   virtual std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                         const std::vector<int64_t>& items) = 0;
+
+  /// \brief Thread-safety contract for parallel evaluation.
+  ///
+  /// Returns a lightweight scoring handle that EvaluateScenario may use
+  /// concurrently with other handles cloned from the same model. A handle
+  /// borrows the model's trained state read-only and owns ALL per-case
+  /// mutable scoring state (adaptation tasks, fast weights, rngs, scratch
+  /// buffers), so handles never race on shared fast weights. The parent must
+  /// outlive its handles and must not be mutated (Fit/BeginScenario) while
+  /// any handle is alive.
+  ///
+  /// The default returns nullptr: a model that has not audited its scoring
+  /// path opts out, and EvaluateScenario falls back to the serial loop.
+  virtual std::unique_ptr<CaseScorer> CloneForScoring();
+};
+
+/// \brief CaseScorer for models whose ScoreCase is already safe for
+/// concurrent callers: a pure forward pass over weights frozen since
+/// BeginScenario, with no member rng or scratch state. Such models implement
+/// CloneForScoring as `return std::make_unique<SharedStateScorer>(this);`.
+class SharedStateScorer : public CaseScorer {
+ public:
+  explicit SharedStateScorer(Recommender* model) : model_(model) {}
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return model_->ScoreCase(eval_case, items);
+  }
+
+ private:
+  Recommender* model_;
+};
+
+/// \brief Stable per-case adaptation seed: mixes a model-level seed with the
+/// case identity, so a case draws the same stream no matter which thread
+/// scores it or in which order (serial == parallel, bit for bit).
+inline uint64_t CaseSeed(uint64_t model_seed, const data::EvalCase& eval_case) {
+  return MixSeeds(model_seed, static_cast<uint64_t>(eval_case.user),
+                  static_cast<uint64_t>(eval_case.test_positive));
+}
+
+/// \brief Per-phase instrumentation of one EvaluateScenario call.
+struct EvalTiming {
+  double begin_seconds = 0.0;   ///< BeginScenario (restore + fine-tune)
+  double score_seconds = 0.0;   ///< scoring every case (wall clock)
+  double merge_seconds = 0.0;   ///< deterministic metric merge
+  int threads_used = 1;         ///< scoring shards actually used
+  double cases_per_second = 0.0;  ///< num_cases / score_seconds
 };
 
 /// \brief Metrics for one (method, scenario) cell of Table III.
@@ -54,15 +118,23 @@ struct ScenarioResult {
   std::vector<double> ndcg_curve;        ///< NDCG@1..max_k (Figs. 3-4)
   std::vector<metrics::RankingMetrics> per_case;  ///< for significance tests
   int64_t num_cases = 0;
+  EvalTiming timing;                     ///< not part of the paper's metrics
 };
 
 /// \brief Evaluation options.
 struct EvalOptions {
   int k = 10;
   int max_curve_k = 10;
+  /// Scoring shards: 0 = one per global thread-pool worker, 1 = serial.
+  /// Parallel scoring needs the model to support CloneForScoring; models
+  /// that return nullptr are evaluated serially regardless.
+  int num_threads = 0;
 };
 
-/// \brief Runs the leave-one-out protocol for one scenario.
+/// \brief Runs the leave-one-out protocol for one scenario. Cases are scored
+/// in parallel shards when the model supports CloneForScoring; per-shard
+/// results are merged in case order, so metrics are bit-identical to a
+/// serial (num_threads = 1) run.
 ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
                                 data::Scenario scenario, const EvalOptions& options);
 

@@ -2,15 +2,22 @@
 
 #include <cmath>
 
-#include "util/status.h"
-
 namespace metadpa {
 namespace metrics {
 
 double PositiveRank(double positive_score, const std::vector<double>& negative_scores) {
+  // A diverged model can emit NaN/inf scores. NaN compares false against
+  // everything, so without this guard a NaN positive would "beat" every
+  // negative and score a perfect rank; a +inf positive is the same artifact.
+  // Any non-finite positive is pinned to the worst rank instead, and a NaN
+  // negative counts as outranking the positive (±inf negatives order
+  // correctly under ordinary comparisons and need no special case).
+  if (!std::isfinite(positive_score)) {
+    return static_cast<double>(negative_scores.size()) + 1.0;
+  }
   int64_t greater = 0, ties = 0;
   for (double s : negative_scores) {
-    if (s > positive_score) {
+    if (std::isnan(s) || s > positive_score) {
       ++greater;
     } else if (s == positive_score) {
       ++ties;
@@ -21,18 +28,20 @@ double PositiveRank(double positive_score, const std::vector<double>& negative_s
 
 RankingMetrics EvaluateCase(double positive_score,
                             const std::vector<double>& negative_scores, int k) {
-  MDPA_CHECK_GT(k, 0);
-  MDPA_CHECK(!negative_scores.empty());
-  const double rank = PositiveRank(positive_score, negative_scores);
+  // Degenerate inputs yield zero metrics rather than aborting: one bad case
+  // must not kill a whole evaluation sweep.
   RankingMetrics m;
+  if (k <= 0 || negative_scores.empty()) return m;
+  const double rank = PositiveRank(positive_score, negative_scores);
   if (rank <= static_cast<double>(k)) {
     m.hr = 1.0;
     m.mrr = 1.0 / rank;
     m.ndcg = 1.0 / std::log2(rank + 1.0);
   }
+  if (!std::isfinite(positive_score)) return m;  // worst rank: AUC stays 0
   int64_t below = 0, ties = 0;
   for (double s : negative_scores) {
-    if (s < positive_score) {
+    if (s < positive_score) {  // NaN negatives count as above the positive
       ++below;
     } else if (s == positive_score) {
       ++ties;

@@ -18,10 +18,14 @@ struct RankingMetrics {
 };
 
 /// \brief Fractional 1-based rank of the positive among the negatives; ties
-/// contribute half a position, so a constant scorer lands mid-list.
+/// contribute half a position, so a constant scorer lands mid-list. Non-finite
+/// positive scores (a diverged model) are pinned to the worst rank and NaN
+/// negatives count as outranking the positive, so NaNs can never fake a hit.
 double PositiveRank(double positive_score, const std::vector<double>& negative_scores);
 
-/// \brief Metrics for one leave-one-out case at cutoff k.
+/// \brief Metrics for one leave-one-out case at cutoff k. Never aborts:
+/// degenerate inputs (k <= 0, no negatives) and non-finite scores produce
+/// worst-case metrics instead.
 RankingMetrics EvaluateCase(double positive_score,
                             const std::vector<double>& negative_scores, int k);
 

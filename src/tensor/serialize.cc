@@ -59,11 +59,22 @@ Result<Tensor> ReadTensor(std::FILE* file) {
   MDPA_RETURN_NOT_OK(ReadRaw(file, &rank, sizeof(rank)));
   if (rank > 8) return Status::InvalidArgument("tensor rank too large (corrupt file?)");
   Shape shape(rank);
+  // Per-dimension bounds are not enough: the dimension PRODUCT decides the
+  // allocation, and a corrupt header with several large-but-individually-legal
+  // dims can request terabytes (or overflow int64 into a small positive
+  // number). Cap numel with overflow-safe multiplication before allocating.
+  constexpr int64_t kMaxNumel = int64_t{1} << 31;  // 8 GiB of floats
+  int64_t numel = 1;
   for (uint32_t d = 0; d < rank; ++d) {
     MDPA_RETURN_NOT_OK(ReadRaw(file, &shape[d], sizeof(int64_t)));
     if (shape[d] < 0 || shape[d] > (int64_t{1} << 32)) {
       return Status::InvalidArgument("implausible tensor dimension (corrupt file?)");
     }
+    if (shape[d] > 0 && numel > kMaxNumel / shape[d]) {
+      return Status::InvalidArgument(
+          "implausible tensor element count (corrupt file?)");
+    }
+    numel *= shape[d];
   }
   Tensor tensor(shape);
   MDPA_RETURN_NOT_OK(

@@ -19,6 +19,11 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  uint64_t state = a ^ Rotl(b, 32) ^ 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);

@@ -14,6 +14,15 @@
 
 namespace metadpa {
 
+/// \brief Mixes two seeds into one well-dispersed seed (SplitMix64 finalizer).
+/// Used to derive stable per-entity streams — e.g. a per-eval-case Rng from
+/// (model seed, user, item) — that do not depend on iteration order, so
+/// serial and parallel sweeps over the entities draw identical numbers.
+uint64_t MixSeeds(uint64_t a, uint64_t b);
+inline uint64_t MixSeeds(uint64_t a, uint64_t b, uint64_t c) {
+  return MixSeeds(MixSeeds(a, b), c);
+}
+
 /// \brief A small, fast xoshiro256**-based generator with convenience
 /// distributions.
 class Rng {

@@ -54,20 +54,46 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
   // Chunked dynamic scheduling: each worker repeatedly claims the next index.
+  // `failed` stops siblings from starting new indices once one body threw.
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  auto claim_loop = [&next, &failed, n, &fn] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // captured by the worker's packaged_task future
+      }
+    }
+  };
   const size_t num_tasks = std::min(n, workers_.size());
   std::vector<std::future<void>> futures;
   futures.reserve(num_tasks);
-  for (size_t t = 0; t < num_tasks; ++t) {
-    futures.push_back(Submit([&next, n, &fn] {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    }));
+  for (size_t t = 0; t < num_tasks; ++t) futures.push_back(Submit(claim_loop));
+  // The calling thread participates instead of blocking: the loop still makes
+  // progress when the pool is saturated by concurrent ParallelFor callers.
+  std::exception_ptr first_error;
+  try {
+    claim_loop();
+  } catch (...) {
+    first_error = std::current_exception();
   }
-  for (auto& f : futures) f.get();
+  // Drain EVERY future before surfacing an error: sibling workers still
+  // reference `next`/`fn`/`failed` on this stack frame, and packaged_task
+  // futures do not block on destruction, so rethrowing from the first get()
+  // would let them run against a dead frame (use-after-free).
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::Global() {

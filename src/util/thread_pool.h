@@ -38,7 +38,11 @@ class ThreadPool {
     return fut;
   }
 
-  /// \brief Runs fn(i) for i in [0, n) across the pool and waits.
+  /// \brief Runs fn(i) for i in [0, n) across the pool and waits. The calling
+  /// thread participates in the work. If a body throws, no further indices are
+  /// started, every in-flight sibling is drained before returning, and the
+  /// first captured exception is rethrown. Safe to call from multiple threads
+  /// concurrently; calls nested inside a pool task run serially.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }

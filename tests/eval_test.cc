@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "eval/recommender.h"
 #include "eval/suite.h"
 
@@ -67,6 +70,77 @@ data::MultiDomainDataset* EvalTest::dataset_ = nullptr;
 data::DatasetSplits* EvalTest::splits_ = nullptr;
 TrainContext* EvalTest::ctx_ = nullptr;
 
+/// Deterministic stateless scorer: score depends only on (user, item), so it
+/// is trivially safe for concurrent scoring — the equivalence baseline.
+class HashRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Hash"; }
+  void Fit(const TrainContext&) override {}
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override {
+    std::vector<double> scores;
+    scores.reserve(items.size());
+    for (int64_t item : items) {
+      Rng rng(MixSeeds(9, static_cast<uint64_t>(eval_case.user),
+                       static_cast<uint64_t>(item)));
+      scores.push_back(rng.Uniform());
+    }
+    return scores;
+  }
+  std::unique_ptr<CaseScorer> CloneForScoring() override {
+    return std::make_unique<SharedStateScorer>(this);
+  }
+};
+
+/// A diverged model: every score is NaN. Must yield worst-case metrics, not
+/// the perfect ranks NaN comparisons would otherwise fake, and never abort.
+class NanRecommender : public Recommender {
+ public:
+  std::string name() const override { return "NaN"; }
+  void Fit(const TrainContext&) override {}
+  std::vector<double> ScoreCase(const data::EvalCase&,
+                                const std::vector<int64_t>& items) override {
+    return std::vector<double>(items.size(), std::nan(""));
+  }
+  std::unique_ptr<CaseScorer> CloneForScoring() override {
+    return std::make_unique<SharedStateScorer>(this);
+  }
+};
+
+/// A buggy model: wrong score count. EvaluateScenario must throw (fail the
+/// sweep loudly) instead of crashing, serial and parallel alike.
+class WrongSizeRecommender : public Recommender {
+ public:
+  std::string name() const override { return "WrongSize"; }
+  void Fit(const TrainContext&) override {}
+  std::vector<double> ScoreCase(const data::EvalCase&,
+                                const std::vector<int64_t>& items) override {
+    return std::vector<double>(items.size() + 3, 0.5);
+  }
+  std::unique_ptr<CaseScorer> CloneForScoring() override {
+    return std::make_unique<SharedStateScorer>(this);
+  }
+};
+
+void ExpectIdenticalResults(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.num_cases, b.num_cases);
+  EXPECT_DOUBLE_EQ(a.at_k.hr, b.at_k.hr);
+  EXPECT_DOUBLE_EQ(a.at_k.mrr, b.at_k.mrr);
+  EXPECT_DOUBLE_EQ(a.at_k.ndcg, b.at_k.ndcg);
+  EXPECT_DOUBLE_EQ(a.at_k.auc, b.at_k.auc);
+  ASSERT_EQ(a.ndcg_curve.size(), b.ndcg_curve.size());
+  for (size_t i = 0; i < a.ndcg_curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ndcg_curve[i], b.ndcg_curve[i]) << "curve k=" << i + 1;
+  }
+  ASSERT_EQ(a.per_case.size(), b.per_case.size());
+  for (size_t i = 0; i < a.per_case.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_case[i].hr, b.per_case[i].hr) << "case " << i;
+    EXPECT_DOUBLE_EQ(a.per_case[i].mrr, b.per_case[i].mrr) << "case " << i;
+    EXPECT_DOUBLE_EQ(a.per_case[i].ndcg, b.per_case[i].ndcg) << "case " << i;
+    EXPECT_DOUBLE_EQ(a.per_case[i].auc, b.per_case[i].auc) << "case " << i;
+  }
+}
+
 TEST_F(EvalTest, OracleGetsPerfectScores) {
   OracleRecommender oracle(&dataset_->target);
   oracle.Fit(*ctx_);
@@ -102,6 +176,91 @@ TEST_F(EvalTest, ResultShapesAreConsistent) {
       EvaluateScenario(&constant, *ctx_, data::Scenario::kColdUser, options);
   EXPECT_EQ(result.ndcg_curve.size(), 7u);
   EXPECT_EQ(static_cast<int64_t>(result.per_case.size()), result.num_cases);
+}
+
+TEST_F(EvalTest, ParallelEvaluationMatchesSerialBitwise) {
+  HashRecommender model;
+  EvalOptions serial_options;
+  serial_options.num_threads = 1;
+  for (data::Scenario scenario : {data::Scenario::kWarm, data::Scenario::kColdUser}) {
+    ScenarioResult serial = EvaluateScenario(&model, *ctx_, scenario, serial_options);
+    EXPECT_EQ(serial.timing.threads_used, 1);
+    for (int threads : {2, 3, 7}) {
+      EvalOptions parallel_options;
+      parallel_options.num_threads = threads;
+      ScenarioResult parallel =
+          EvaluateScenario(&model, *ctx_, scenario, parallel_options);
+      EXPECT_GT(parallel.timing.threads_used, 1);
+      ExpectIdenticalResults(serial, parallel);
+    }
+  }
+}
+
+TEST_F(EvalTest, ParallelEvaluationMatchesSerialForMetaMethod) {
+  // End-to-end equivalence through a real meta-learner: per-case adaptation
+  // (support task build, negative sampling, fast weights) must be derived
+  // from the case identity so shard count cannot change any metric.
+  suite::SuiteOptions options;
+  options.effort = 0.1;
+  auto model = suite::MakeMethod("MeLU", options);
+  model->Fit(*ctx_);
+  EvalOptions serial_options;
+  serial_options.num_threads = 1;
+  ScenarioResult serial =
+      EvaluateScenario(model.get(), *ctx_, data::Scenario::kColdUser, serial_options);
+  EvalOptions parallel_options;
+  parallel_options.num_threads = 4;
+  ScenarioResult parallel =
+      EvaluateScenario(model.get(), *ctx_, data::Scenario::kColdUser, parallel_options);
+  EXPECT_EQ(parallel.timing.threads_used, 4);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+TEST_F(EvalTest, ModelsWithoutCloneSupportFallBackToSerial) {
+  ConstantRecommender constant;  // default CloneForScoring returns nullptr
+  EvalOptions options;
+  options.num_threads = 8;
+  ScenarioResult result =
+      EvaluateScenario(&constant, *ctx_, data::Scenario::kWarm, options);
+  EXPECT_EQ(result.timing.threads_used, 1);
+  EXPECT_GT(result.num_cases, 0);
+}
+
+TEST_F(EvalTest, NanScorerNeverScoresPerfect) {
+  NanRecommender nan_model;
+  for (int threads : {1, 4}) {
+    EvalOptions options;
+    options.num_threads = threads;
+    ScenarioResult result =
+        EvaluateScenario(&nan_model, *ctx_, data::Scenario::kWarm, options);
+    ASSERT_GT(result.num_cases, 0);
+    EXPECT_DOUBLE_EQ(result.at_k.hr, 0.0);
+    EXPECT_DOUBLE_EQ(result.at_k.mrr, 0.0);
+    EXPECT_DOUBLE_EQ(result.at_k.ndcg, 0.0);
+    EXPECT_DOUBLE_EQ(result.at_k.auc, 0.0);
+  }
+}
+
+TEST_F(EvalTest, WrongScoreCountFailsLoudlyWithoutCrashing) {
+  WrongSizeRecommender bad;
+  for (int threads : {1, 4}) {
+    EvalOptions options;
+    options.num_threads = threads;
+    EXPECT_THROW(EvaluateScenario(&bad, *ctx_, data::Scenario::kWarm, options),
+                 std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST_F(EvalTest, TimingCountersArePopulated) {
+  HashRecommender model;
+  EvalOptions options;
+  ScenarioResult result =
+      EvaluateScenario(&model, *ctx_, data::Scenario::kWarm, options);
+  EXPECT_GE(result.timing.begin_seconds, 0.0);
+  EXPECT_GE(result.timing.score_seconds, 0.0);
+  EXPECT_GE(result.timing.merge_seconds, 0.0);
+  EXPECT_GE(result.timing.threads_used, 1);
 }
 
 TEST(SuiteTest, AllMethodsPresentInPaperOrder) {

@@ -59,6 +59,29 @@ TEST(TensorSerializeTest, GarbageFileIsInvalidArgument) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(TensorSerializeTest, OverflowingDimensionProductRejected) {
+  // Each dimension passes the per-dim bound, but the product would be a
+  // multi-exabyte allocation (and overflows int64). The reader must reject
+  // the header instead of trying to construct the tensor.
+  const std::string path = TempPath("huge_product.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t file_magic = 0x4d445046, version = 1;
+  const uint64_t count = 1;
+  const uint32_t tensor_magic = 0x4d445054, rank = 4;
+  const int64_t dim = int64_t{1} << 31;
+  std::fwrite(&file_magic, sizeof(file_magic), 1, f);
+  std::fwrite(&version, sizeof(version), 1, f);
+  std::fwrite(&count, sizeof(count), 1, f);
+  std::fwrite(&tensor_magic, sizeof(tensor_magic), 1, f);
+  std::fwrite(&rank, sizeof(rank), 1, f);
+  for (uint32_t d = 0; d < rank; ++d) std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fclose(f);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(TensorSerializeTest, TruncatedFileIsIoError) {
   Rng rng(3);
   const std::string path = TempPath("trunc.bin");

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "metrics/ranking.h"
 #include "metrics/significance.h"
@@ -61,6 +62,47 @@ TEST(RankingTest, CutoffBoundary) {
   EXPECT_DOUBLE_EQ(at10.hr, 1.0);  // rank 10
   RankingMetrics at9 = EvaluateCase(0.5, negs, 9);
   EXPECT_DOUBLE_EQ(at9.hr, 0.0);
+}
+
+TEST(RankingTest, NonFinitePositiveGetsWorstRank) {
+  // A NaN positive compares false against every negative; without the guard
+  // it would be "never outranked" and score a PERFECT HR/MRR/NDCG — the
+  // diverged-model artifact. It must land at the worst rank instead.
+  const double nan = std::nan("");
+  std::vector<double> negs(99, 0.1);
+  EXPECT_DOUBLE_EQ(PositiveRank(nan, negs), 100.0);
+  for (double bad : {nan, std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    RankingMetrics m = EvaluateCase(bad, negs, 10);
+    EXPECT_DOUBLE_EQ(m.hr, 0.0);
+    EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+    EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+    EXPECT_DOUBLE_EQ(m.auc, 0.0);
+  }
+  std::vector<double> curve = NdcgCurve(nan, negs, 10);
+  for (double v : curve) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RankingTest, NanNegativeOutranksPositive) {
+  const double nan = std::nan("");
+  std::vector<double> negs = {nan, 0.1};
+  EXPECT_DOUBLE_EQ(PositiveRank(0.5, negs), 2.0);
+  RankingMetrics m = EvaluateCase(0.5, negs, 10);
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);  // one below, NaN counts as above
+}
+
+TEST(RankingTest, InfiniteNegativesStillOrder) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> negs = {inf, -inf};
+  EXPECT_DOUBLE_EQ(PositiveRank(0.5, negs), 2.0);
+}
+
+TEST(RankingTest, DegenerateInputsYieldZeroNotAbort) {
+  RankingMetrics empty = EvaluateCase(0.5, {}, 10);
+  EXPECT_DOUBLE_EQ(empty.hr, 0.0);
+  EXPECT_DOUBLE_EQ(empty.auc, 0.0);
+  RankingMetrics bad_k = EvaluateCase(0.5, {0.1}, 0);
+  EXPECT_DOUBLE_EQ(bad_k.hr, 0.0);
 }
 
 TEST(RankingTest, AccumulatorAverages) {

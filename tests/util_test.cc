@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/status.h"
@@ -121,6 +124,18 @@ TEST(RngTest, SplitProducesIndependentStream) {
   EXPECT_NE(child.Next(), b.Next());
 }
 
+TEST(RngTest, MixSeedsIsStableAndDispersed) {
+  EXPECT_EQ(MixSeeds(1, 2), MixSeeds(1, 2));
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(2, 1));
+  EXPECT_NE(MixSeeds(1, 2), MixSeeds(1, 3));
+  EXPECT_EQ(MixSeeds(1, 2, 3), MixSeeds(MixSeeds(1, 2), 3));
+  // Nearby seeds must decorrelate: streams seeded from adjacent ids differ.
+  Rng a(MixSeeds(7, 0)), b(MixSeeds(7, 1));
+  int diff = 0;
+  for (int i = 0; i < 32; ++i) diff += a.Next() != b.Next();
+  EXPECT_GT(diff, 30);
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng rng(3);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
@@ -149,6 +164,88 @@ TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
   int count = 0;
   pool.ParallelFor(1, [&count](size_t) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](size_t i) {
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForDrainsSiblingsBeforeRethrow) {
+  // Every lambda that entered must have exited by the time ParallelFor
+  // returns: siblings capture locals of the caller's frame, so an early
+  // rethrow would leave them running against a dead stack (use-after-free,
+  // caught by TSan/ASan builds of this test).
+  ThreadPool pool(4);
+  std::atomic<int> entered{0}, exited{0};
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelFor(256, [&](size_t i) {
+        entered.fetch_add(1);
+        if (i % 5 == 1) {
+          exited.fetch_add(1);
+          throw std::runtime_error("boom");
+        }
+        exited.fetch_add(1);
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(entered.load(), exited.load());
+  }
+  // The pool must remain usable after a failed loop.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(100, [&ok](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForStopsSchedulingAfterException) {
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  try {
+    pool.ParallelFor(1 << 20, [&started](size_t) {
+      started.fetch_add(1);
+      throw std::runtime_error("first index fails");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Workers stop claiming once a body throws; with three claimants (two
+  // workers + the caller) at most a handful of indices ever start.
+  EXPECT_LT(started.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  pool.ParallelFor(8, [&](size_t outer) {
+    pool.ParallelFor(16, [&, outer](size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersAllComplete) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6, kIters = 200;
+  std::vector<std::atomic<int>> hits(kCallers * kIters);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kIters, [&hits, c](size_t i) {
+        hits[static_cast<size_t>(c) * kIters + i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(StopwatchTest, MeasuresElapsed) {

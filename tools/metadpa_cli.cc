@@ -4,13 +4,17 @@
 //   stats   [--target NAME] [--scale S]
 //       print Table I/II-style dataset statistics for a generated world.
 //   run     [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
-//           [--effort E] [--seed SEED] [--csv PATH]
+//           [--effort E] [--seed SEED] [--csv PATH] [--threads T]
 //       train the chosen methods and print the four-scenario comparison;
 //       optionally dump a CSV of every (method, scenario, metric) cell.
+//       --threads controls parallel case scoring (0 = all cores, 1 = serial);
+//       per-method eval throughput is reported on stderr.
 //   export  --prefix PATH [--target NAME] [--scale S]
 //       write the generated target domain to PATH.ratings.tsv /
 //       PATH.content.bin (the formats data/io.h reads back).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -37,7 +41,14 @@ struct Args {
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "invalid value for --%s: %s\n", key.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
   }
 };
 
@@ -46,7 +57,7 @@ int Usage() {
                "usage: metadpa_cli <stats|run|export> [--target Books|CDs]\n"
                "  stats  [--scale S]\n"
                "  run    [--methods A,B,..] [--scale S] [--negatives N]\n"
-               "         [--effort E] [--seed SEED] [--csv PATH]\n"
+               "         [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
                "  export --prefix PATH [--scale S]\n");
   return 2;
 }
@@ -116,6 +127,7 @@ int RunCompare(const Args& args) {
   }
 
   eval::EvalOptions eval_options;
+  eval_options.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   TextTable table;
   table.SetHeader({"Method", "Scenario", "HR@10", "MRR@10", "NDCG@10", "AUC"});
   for (const std::string& name : names) {
@@ -125,12 +137,18 @@ int RunCompare(const Args& args) {
       return 2;
     }
     model->Fit(ctx);
+    double score_seconds = 0.0;
+    int64_t cases = 0;
+    int threads_used = 1;
     bool first = true;
     for (data::Scenario scenario :
          {data::Scenario::kWarm, data::Scenario::kColdUser, data::Scenario::kColdItem,
           data::Scenario::kColdUserItem}) {
       eval::ScenarioResult r =
           eval::EvaluateScenario(model.get(), ctx, scenario, eval_options);
+      score_seconds += r.timing.score_seconds;
+      cases += r.num_cases;
+      threads_used = std::max(threads_used, r.timing.threads_used);
       table.AddRow({first ? name : "", data::ScenarioName(scenario),
                     TextTable::Num(r.at_k.hr), TextTable::Num(r.at_k.mrr),
                     TextTable::Num(r.at_k.ndcg), TextTable::Num(r.at_k.auc)});
@@ -142,7 +160,10 @@ int RunCompare(const Args& args) {
       first = false;
     }
     table.AddSeparator();
-    std::fprintf(stderr, "%s done\n", name.c_str());
+    std::fprintf(stderr, "%s done: %lld cases in %.2fs (%.0f cases/s, %d threads)\n",
+                 name.c_str(), static_cast<long long>(cases), score_seconds,
+                 score_seconds > 0.0 ? static_cast<double>(cases) / score_seconds : 0.0,
+                 threads_used);
   }
   std::cout << table.ToString();
   return 0;
