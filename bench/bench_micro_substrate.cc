@@ -25,6 +25,54 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
 
+void BM_MatMulNT(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, &rng);
+  Tensor b = Tensor::RandNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::MatMulNT(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulNT)->Arg(128)->Arg(256);
+
+void BM_MatMulTN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, &rng);
+  Tensor b = Tensor::RandNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::MatMulTN(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTN)->Arg(128)->Arg(256);
+
+// The old spelling of a matmul backward product: what MatMulNT replaces.
+void BM_MatMulViaTranspose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, &rng);
+  Tensor b = Tensor::RandNormal({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::MatMul(a, t::Transpose(b)));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulViaTranspose)->Arg(128)->Arg(256);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(1);
+  Tensor x = Tensor::RandNormal({64, 256}, &rng);
+  Tensor w = Tensor::RandNormal({256, 256}, &rng);
+  Tensor bias = Tensor::RandNormal({1, 256}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t::LinearForward(x, w, bias));
+  }
+}
+BENCHMARK(BM_LinearForward);
+
 void BM_ElementwiseBroadcast(benchmark::State& state) {
   Rng rng(2);
   Tensor a = Tensor::RandNormal({256, 256}, &rng);

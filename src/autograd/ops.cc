@@ -213,9 +213,35 @@ Variable ClampMin(const Variable& a, float lo) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  // dA = g·bᵀ, dB = aᵀ·g — computed transpose-free by the NT/TN kernels.
   return MakeNode("matmul", t::MatMul(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
-                    return {MatMul(g, Transpose(b)), MatMul(Transpose(a), g)};
+                    return {MatMulNT(g, b), MatMulTN(a, g)};
+                  });
+}
+
+Variable MatMulNT(const Variable& a, const Variable& b) {
+  // c = a·bᵀ: dA = g·b, dB = gᵀ·a.
+  return MakeNode("matmul_nt", t::MatMulNT(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {MatMul(g, b), MatMulTN(g, a)};
+                  });
+}
+
+Variable MatMulTN(const Variable& a, const Variable& b) {
+  // c = aᵀ·b: dA = b·gᵀ, dB = a·g.
+  return MakeNode("matmul_tn", t::MatMulTN(a.data(), b.data()), {a, b},
+                  [a, b](const Variable& g) -> std::vector<Variable> {
+                    return {MatMulNT(b, g), MatMul(a, g)};
+                  });
+}
+
+Variable Linear(const Variable& x, const Variable& w, const Variable& bias) {
+  const Shape bias_shape = bias.shape();
+  return MakeNode("linear", t::LinearForward(x.data(), w.data(), bias.data()),
+                  {x, w, bias},
+                  [x, w, bias_shape](const Variable& g) -> std::vector<Variable> {
+                    return {MatMulNT(g, w), MatMulTN(x, g), ReduceTo(g, bias_shape)};
                   });
 }
 

@@ -55,6 +55,21 @@ Variable ClampMin(const Variable& a, float lo);
 // -- Linear algebra ----------------------------------------------------------------
 
 Variable MatMul(const Variable& a, const Variable& b);
+
+/// \brief a·bᵀ with a (m,k), b (n,k) — equals MatMul(a, Transpose(b)) without
+/// materializing the transpose. The GEMM family {MatMul, MatMulNT,
+/// MatMulTN} is closed under differentiation: every backward is expressed in
+/// terms of the family, so no matmul gradient (of any order) builds a
+/// transpose node.
+Variable MatMulNT(const Variable& a, const Variable& b);
+
+/// \brief aᵀ·b with a (k,m), b (k,n) — equals MatMul(Transpose(a), b).
+Variable MatMulTN(const Variable& a, const Variable& b);
+
+/// \brief Fused x·w + bias with x (m,k), w (k,n), bias (n) or (1,n); equals
+/// Add(MatMul(x, w), bias) in one kernel pass (see t::LinearForward).
+Variable Linear(const Variable& x, const Variable& w, const Variable& bias);
+
 Variable Transpose(const Variable& a);
 Variable Reshape(const Variable& a, Shape new_shape);
 

@@ -35,6 +35,12 @@ Variable Variable::Detach() const {
   return Variable(data(), /*requires_grad=*/false);
 }
 
+Tensor Variable::MutableData() {
+  MDPA_CHECK(node_ != nullptr);
+  MDPA_CHECK(!node_->backward) << "MutableData on a non-leaf Variable";
+  return node_->value;  // a Tensor copy shares the node's storage
+}
+
 void Variable::SetData(Tensor data) {
   MDPA_CHECK(node_ != nullptr);
   MDPA_CHECK(!node_->backward) << "SetData on a non-leaf Variable";
@@ -94,6 +100,14 @@ std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& 
   grads[output.node().get()] = Variable(Tensor::Ones(output.shape()),
                                         /*requires_grad=*/opts.create_graph);
 
+  // Without create_graph the accumulated sums need no tape, so multi-consumer
+  // nodes accumulate in place instead of allocating an Add node per consumer.
+  // A buffer is only written through once it is exclusively ours: the first
+  // collision makes a fresh t::Add result (recorded in `owned`), later
+  // arrivals AddInPlace into it. Buffers produced by backward closures are
+  // never mutated — pass-through closures may alias them into other slots.
+  std::unordered_set<const Node*> owned;
+
   // Reverse topological order: every node is processed after all its users.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodePtr& node = *it;
@@ -113,8 +127,15 @@ std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& 
       auto slot = grads.find(in.get());
       if (slot == grads.end()) {
         grads[in.get()] = input_grads[i];
-      } else {
+      } else if (opts.create_graph) {
         slot->second = Add(slot->second, input_grads[i]);
+      } else if (owned.count(in.get())) {
+        Tensor acc = slot->second.data();  // shares storage with the owned sum
+        t::AddInPlace(&acc, input_grads[i].data());
+      } else {
+        slot->second = Variable(t::Add(slot->second.data(), input_grads[i].data()),
+                                /*requires_grad=*/false);
+        owned.insert(in.get());
       }
     }
   }

@@ -73,6 +73,12 @@ class Variable {
   /// Aborts if this variable has a grad_fn (is not a leaf).
   void SetData(Tensor data);
 
+  /// \brief Tensor aliasing a leaf's storage, for in-place optimizer updates
+  /// (t::AddInPlace / t::AxpyInPlace / fused update loops). Mutations are
+  /// value-equivalent to SetData with the updated tensor, but keep the same
+  /// buffer, so per-parameter updates allocate nothing. Aborts on non-leaf.
+  Tensor MutableData();
+
  private:
   NodePtr node_;
 };

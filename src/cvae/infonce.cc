@@ -37,8 +37,7 @@ ag::Variable InfoNce::Loss(const ag::Variable& a, const ag::Variable& b) const {
   MDPA_CHECK_GE(a.shape()[0], 2) << "InfoNCE needs at least 2 in-batch negatives";
   ag::Variable za = NormalizeRows(proj_a_.Forward(a));
   ag::Variable zb = NormalizeRows(proj_b_.Forward(b));
-  ag::Variable logits =
-      ag::MulScalar(ag::MatMul(za, ag::Transpose(zb)), 1.0f / temperature_);
+  ag::Variable logits = ag::MulScalar(ag::MatMulNT(za, zb), 1.0f / temperature_);
   // Symmetric cross-entropy against the diagonal pairing.
   ag::Variable loss_ab = ag::Neg(DiagonalMean(ag::LogSoftmax(logits)));
   ag::Variable loss_ba = ag::Neg(DiagonalMean(ag::LogSoftmax(ag::Transpose(logits))));

@@ -70,8 +70,10 @@ float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
         grad_acc.reserve(grads.size());
         for (const auto& g : grads) grad_acc.push_back(g.data().Clone());
       } else {
+        // grad_acc buffers are private clones, so accumulate without
+        // allocating a fresh sum per task.
         for (size_t i = 0; i < grads.size(); ++i) {
-          grad_acc[i] = t::Add(grad_acc[i], grads[i].data());
+          t::AddInPlace(&grad_acc[i], grads[i].data());
         }
       }
       epoch_loss += loss.item();

@@ -42,7 +42,7 @@ ag::Variable Linear::ForwardWith(const ag::Variable& x, const ParamList& params,
   *cursor += 2;
   MDPA_CHECK_EQ(x.shape().back(), in_features_)
       << "Linear input width mismatch: " << ShapeToString(x.shape());
-  return ag::Add(ag::MatMul(x, w), b);
+  return ag::Linear(x, w, b);
 }
 
 Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {

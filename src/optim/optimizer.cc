@@ -26,19 +26,30 @@ Sgd::Sgd(nn::ParamList params, float lr, float momentum, float weight_decay)
 void Sgd::Step(const std::vector<ag::Variable>& grads) {
   MDPA_CHECK_EQ(grads.size(), params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
-    Tensor g = grads[i].data();
-    if (weight_decay_ > 0.0f) {
-      g = t::Add(g, t::MulScalar(params_[i].data(), weight_decay_));
-    }
-    Tensor update;
-    if (momentum_ > 0.0f) {
-      velocity_[i] = t::Add(t::MulScalar(velocity_[i], momentum_), g);
-      update = velocity_[i];
-    } else {
-      update = g;
-    }
     ag::Variable p = params_[i];
-    p.SetData(t::Sub(p.data(), t::MulScalar(update, lr_)));
+    Tensor pt = p.MutableData();
+    const Tensor& gt = grads[i].data();
+    MDPA_CHECK(SameShape(gt.shape(), pt.shape()));
+    if (momentum_ == 0.0f && weight_decay_ == 0.0f) {
+      t::AxpyInPlace(&pt, -lr_, gt);
+      continue;
+    }
+    // Fused per-element update with the same arithmetic order as the
+    // tensor-op formulation (g' = g + wd*p; v = v*mu + g'; p -= update*lr),
+    // without allocating per-parameter temporaries.
+    float* pp = pt.data();
+    const float* pg = gt.data();
+    float* pvel = momentum_ > 0.0f ? velocity_[i].data() : nullptr;
+    const int64_t n = pt.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = pg[j];
+      if (weight_decay_ > 0.0f) g = g + pp[j] * weight_decay_;
+      if (pvel != nullptr) {
+        pvel[j] = pvel[j] * momentum_ + g;
+        g = pvel[j];
+      }
+      pp[j] -= g * lr_;
+    }
   }
 }
 
@@ -63,19 +74,30 @@ void Adam::Step(const std::vector<ag::Variable>& grads) {
   ++step_count_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const float inv_bc1 = 1.0f / bc1;
+  const float inv_bc2 = 1.0f / bc2;
   for (size_t i = 0; i < params_.size(); ++i) {
-    Tensor g = grads[i].data();
-    if (weight_decay_ > 0.0f) {
-      g = t::Add(g, t::MulScalar(params_[i].data(), weight_decay_));
-    }
-    m_[i] = t::Add(t::MulScalar(m_[i], beta1_), t::MulScalar(g, 1.0f - beta1_));
-    v_[i] = t::Add(t::MulScalar(v_[i], beta2_),
-                   t::MulScalar(t::Mul(g, g), 1.0f - beta2_));
-    Tensor m_hat = t::MulScalar(m_[i], 1.0f / bc1);
-    Tensor v_hat = t::MulScalar(v_[i], 1.0f / bc2);
-    Tensor update = t::Div(m_hat, t::AddScalar(t::Sqrt(v_hat), eps_));
     ag::Variable p = params_[i];
-    p.SetData(t::Sub(p.data(), t::MulScalar(update, lr_)));
+    Tensor pt = p.MutableData();
+    const Tensor& gt = grads[i].data();
+    MDPA_CHECK(SameShape(gt.shape(), pt.shape()));
+    // One fused pass per parameter with the same per-element arithmetic as
+    // the tensor-op formulation; the moment buffers and the parameter are
+    // updated in place, so a step allocates nothing.
+    float* pp = pt.data();
+    const float* pg = gt.data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    const int64_t n = pt.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = pg[j];
+      if (weight_decay_ > 0.0f) g = g + pp[j] * weight_decay_;
+      pm[j] = pm[j] * beta1_ + g * (1.0f - beta1_);
+      pv[j] = pv[j] * beta2_ + (g * g) * (1.0f - beta2_);
+      const float m_hat = pm[j] * inv_bc1;
+      const float v_hat = pv[j] * inv_bc2;
+      pp[j] -= (m_hat / (std::sqrt(v_hat) + eps_)) * lr_;
+    }
   }
 }
 

@@ -1,0 +1,139 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+namespace metadpa {
+namespace pool {
+namespace {
+
+// Size classes are powers of two over float counts. Class c holds buffers
+// whose capacity is in [2^c, 2^(c+1)); an acquire of n floats is served from
+// class ceil_log2(n), whose every buffer has capacity >= n.
+constexpr size_t kNumClasses = 27;  // up to 2^26 floats = 256 MiB per buffer
+constexpr size_t kMaxBuffersPerClass = 32;
+constexpr size_t kMaxPoolBytesPerThread = size_t{96} << 20;  // 96 MiB
+
+std::atomic<bool> g_enabled{true};
+
+size_t CeilLog2(size_t n) {
+  size_t c = 0;
+  size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++c;
+  }
+  return c;
+}
+
+struct LocalPool {
+  std::array<std::vector<std::unique_ptr<std::vector<float>>>, kNumClasses> free_lists;
+  size_t pooled_bytes = 0;
+  Stats stats;
+};
+
+// The pool object and a trivially-destructible aliveness flag. Deleters can
+// run on a thread after its LocalPool was destroyed (thread-local destruction
+// order during thread exit); they must then free directly instead of touching
+// the dead pool. The flag has no destructor, so reading it stays valid for
+// the whole lifetime of the thread's storage.
+thread_local bool tls_pool_alive = false;
+
+struct PoolHolder {
+  LocalPool pool;
+  PoolHolder() { tls_pool_alive = true; }
+  ~PoolHolder() { tls_pool_alive = false; }
+};
+
+LocalPool& TlsPool() {
+  thread_local PoolHolder holder;
+  return holder.pool;
+}
+
+void Release(std::vector<float>* buf) {
+  if (!tls_pool_alive || !g_enabled.load(std::memory_order_relaxed)) {
+    delete buf;
+    return;
+  }
+  LocalPool& pool = TlsPool();
+  const size_t cap = buf->capacity();
+  const size_t c = CeilLog2(cap);
+  // A capacity that is not an exact power of two still serves every request
+  // of its floor class, so file it under the floor (round down when cap is
+  // not a power of two, i.e. when 2^c > cap).
+  const size_t cls = ((size_t{1} << c) == cap || c == 0) ? c : c - 1;
+  const size_t bytes = cap * sizeof(float);
+  if (cls >= kNumClasses || pool.free_lists[cls].size() >= kMaxBuffersPerClass ||
+      pool.pooled_bytes + bytes > kMaxPoolBytesPerThread) {
+    ++pool.stats.dropped;
+    delete buf;
+    return;
+  }
+  buf->clear();  // keep capacity; resize() on reuse value-initializes
+  pool.free_lists[cls].push_back(std::unique_ptr<std::vector<float>>(buf));
+  pool.pooled_bytes += bytes;
+  ++pool.stats.returned;
+}
+
+std::shared_ptr<std::vector<float>> Wrap(std::vector<float>* buf) {
+  return std::shared_ptr<std::vector<float>>(buf, &Release);
+}
+
+// Takes a buffer with capacity >= n and size 0 from the pool, or mallocs one.
+std::vector<float>* TakeRaw(size_t n) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    LocalPool& pool = TlsPool();
+    const size_t cls = CeilLog2(n);
+    if (cls < kNumClasses && !pool.free_lists[cls].empty()) {
+      std::vector<float>* buf = pool.free_lists[cls].back().release();
+      pool.free_lists[cls].pop_back();
+      pool.pooled_bytes -= buf->capacity() * sizeof(float);
+      ++pool.stats.hits;
+      return buf;
+    }
+    ++pool.stats.misses;
+    auto* buf = new std::vector<float>();
+    buf->reserve(cls < kNumClasses ? (size_t{1} << cls) : n);
+    return buf;
+  }
+  auto* buf = new std::vector<float>();
+  buf->reserve(n);
+  return buf;
+}
+
+}  // namespace
+
+std::shared_ptr<std::vector<float>> AcquireZeroed(size_t n) {
+  std::vector<float>* buf = TakeRaw(n);
+  buf->resize(n);  // value-initializes: zeros, exactly like std::vector<float>(n)
+  return Wrap(buf);
+}
+
+std::shared_ptr<std::vector<float>> AcquireFilled(size_t n, float value) {
+  std::vector<float>* buf = TakeRaw(n);
+  buf->assign(n, value);
+  return Wrap(buf);
+}
+
+std::shared_ptr<std::vector<float>> Adopt(std::vector<float> values) {
+  return Wrap(new std::vector<float>(std::move(values)));
+}
+
+Stats ThreadStats() {
+  return tls_pool_alive ? TlsPool().stats : Stats{};
+}
+
+void ClearThreadPool() {
+  LocalPool& pool = TlsPool();
+  for (auto& list : pool.free_lists) list.clear();
+  pool.pooled_bytes = 0;
+  pool.stats = Stats{};
+}
+
+bool SetPoolingEnabled(bool enabled) {
+  return g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace pool
+}  // namespace metadpa

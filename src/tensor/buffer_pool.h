@@ -1,0 +1,66 @@
+// Thread-local free-list buffer pool behind Tensor allocation.
+//
+// Training rebuilds the autograd graph every step, so the substrate allocates
+// (and immediately frees) one float buffer per intermediate tensor per step.
+// This pool recycles those buffers instead of hammering malloc: every Tensor
+// storage buffer is handed out by Acquire* and, when the last Tensor aliasing
+// it dies, is returned by the shared_ptr deleter to the free list of the
+// thread that released it.
+//
+// Ownership contract (see DESIGN.md "Tensor buffer pool"):
+//  * The pool hands out std::shared_ptr<std::vector<float>>; the deleter IS
+//    the RAII return path. Callers never return buffers explicitly.
+//  * Free lists are thread-local: Acquire takes from the calling thread's
+//    list, release pushes to the releasing thread's list. No locks, no
+//    cross-thread sharing of pool state (TSan-clean by construction).
+//  * A buffer released while its thread is shutting down (after the
+//    thread-local pool was destroyed) is freed directly.
+//  * Capacity is bounded per thread (buffers per size class and total bytes);
+//    buffers over the cap are freed, never queued.
+//
+// Value semantics match a fresh std::vector<float>: AcquireZeroed(n) yields n
+// zeros, AcquireFilled(n, v) yields n copies of v, Adopt(values) wraps an
+// existing vector. Recycled or not is unobservable to the caller.
+#ifndef METADPA_TENSOR_BUFFER_POOL_H_
+#define METADPA_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace metadpa {
+namespace pool {
+
+/// \brief Buffer of size n, zero-initialized (same as std::vector<float>(n)).
+std::shared_ptr<std::vector<float>> AcquireZeroed(size_t n);
+
+/// \brief Buffer of size n filled with `value`.
+std::shared_ptr<std::vector<float>> AcquireFilled(size_t n, float value);
+
+/// \brief Wraps an existing vector so its storage is recycled on death.
+std::shared_ptr<std::vector<float>> Adopt(std::vector<float> values);
+
+/// \brief Per-thread pool counters (for tests and instrumentation).
+struct Stats {
+  int64_t hits = 0;      ///< acquires served from the free list
+  int64_t misses = 0;    ///< acquires that had to malloc
+  int64_t returned = 0;  ///< buffers queued for reuse
+  int64_t dropped = 0;   ///< buffers freed because a capacity bound was hit
+};
+
+/// \brief Counters of the calling thread's pool.
+Stats ThreadStats();
+
+/// \brief Frees every queued buffer of the calling thread and zeroes its
+/// counters. Tests use this to start from a cold pool.
+void ClearThreadPool();
+
+/// \brief Globally enables/disables recycling (acquire and release fall back
+/// to plain malloc/free when disabled). Returns the previous setting.
+/// Intended for A/B benchmarking and leak triage, not for production tuning.
+bool SetPoolingEnabled(bool enabled);
+
+}  // namespace pool
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_BUFFER_POOL_H_

@@ -155,30 +155,21 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  MDPA_CHECK_EQ(a.ndim(), 2);
-  MDPA_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  MDPA_CHECK_EQ(k, b.dim(0)) << "matmul inner dims " << ShapeToString(a.shape()) << " x "
-                             << ShapeToString(b.shape());
-  Tensor out({m, n}, 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  auto row_block = [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  };
-  // Parallelize only when the work amortizes the dispatch overhead.
-  const int64_t flops = m * n * k;
+namespace {
+
+// -- GEMM kernel family core --------------------------------------------------
+//
+// All three kernels (NN, NT, TN) accumulate every output element's product
+// terms in increasing inner-index (kk) order with one running sum, so for
+// finite inputs the family members are bit-identical to the forms composed
+// from MatMul + Transpose. Zero-skip guards only ever suppress additions of
+// ±0.0f, which cannot change an accumulator that starts at +0.0f, so guard
+// placement (per row vs. per row-group) does not affect results.
+
+// Shards the row range [0, m) into contiguous blocks over the global pool
+// when the flop count amortizes dispatch overhead; otherwise runs inline.
+template <typename F>
+void ShardRows(int64_t m, int64_t flops, const F& row_block) {
   if (flops > (1 << 20) && m > 1) {
     ThreadPool& pool = ThreadPool::Global();
     const int64_t num_blocks =
@@ -192,6 +183,192 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   } else {
     row_block(0, m);
   }
+}
+
+// Per-thread packing scratch for the NT kernel; grows monotonically and is
+// reused across calls (ParallelFor workers each own one).
+float* TlsScratch(size_t n) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch.data();
+}
+
+// C rows [i0, i1) += A·B with A (m,k), B (k,n), C pre-zeroed (or pre-seeded
+// with a bias row) by the caller. Register tile of four A rows: each B row is
+// streamed once per four output rows instead of once per row.
+void GemmNNBlock(const float* pa, const float* pb, float* po, int64_t i0, int64_t i1,
+                 int64_t k, int64_t n) {
+  int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = pa + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* o0 = po + i * n;
+    float* o1 = o0 + n;
+    float* o2 = o1 + n;
+    float* o3 = o2 + n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        o0[j] += av0 * bv;
+        o1[j] += av1 * bv;
+        o2[j] += av2 * bv;
+        o3[j] += av3 * bv;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// Cache-blocked transposed pack: scratch (k,n) <- Bᵀ for B (n,k). A strict
+// dot-product NT inner loop cannot auto-vectorize without reordering the
+// reduction (which strict FP forbids), so the axpy form needs B's columns
+// contiguous. Packing once into reusable thread-local scratch is what makes
+// MatMulNT transpose-free in the sense that matters: no Tensor allocation,
+// no per-call materialization through the allocator. The pack is written
+// once per call; row shards then run the plain NN block over it, so the
+// accumulation order per element is exactly MatMul(a, Transpose(b))'s.
+void PackTransposed(const float* pb, float* scratch, int64_t n, int64_t k) {
+  constexpr int64_t kTile = 32;
+  for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+    const int64_t j1 = std::min(n, j0 + kTile);
+    for (int64_t k0 = 0; k0 < k; k0 += kTile) {
+      const int64_t k1 = std::min(k, k0 + kTile);
+      for (int64_t j = j0; j < j1; ++j) {
+        const float* brow = pb + j * k;
+        for (int64_t kk = k0; kk < k1; ++kk) scratch[kk * n + j] = brow[kk];
+      }
+    }
+  }
+}
+
+// C rows [i0, i1) += Aᵀ·B with A (k,m), B (k,n), C pre-zeroed. Outer-product
+// accumulation over four C rows at a time; the four A loads per kk are
+// contiguous (a column block of A's row kk) and the inner loop is a
+// contiguous axpy over B's row kk.
+void GemmTNBlock(const float* pa, const float* pb, float* po, int64_t i0, int64_t i1,
+                 int64_t k, int64_t m, int64_t n) {
+  int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    float* o0 = po + i * n;
+    float* o1 = o0 + n;
+    float* o2 = o1 + n;
+    float* o3 = o2 + n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* acol = pa + kk * m + i;
+      const float av0 = acol[0], av1 = acol[1], av2 = acol[2], av3 = acol[3];
+      if (av0 == 0.0f && av1 == 0.0f && av2 == 0.0f && av3 == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        o0[j] += av0 * bv;
+        o1[j] += av1 * bv;
+        o2[j] += av2 * bv;
+        o3[j] += av3 * bv;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[kk * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MDPA_CHECK_EQ(k, b.dim(0)) << "matmul inner dims " << ShapeToString(a.shape()) << " x "
+                             << ShapeToString(b.shape());
+  Tensor out({m, n}, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ShardRows(m, m * n * k, [&](int64_t i0, int64_t i1) {
+    GemmNNBlock(pa, pb, po, i0, i1, k, n);
+  });
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  MDPA_CHECK_EQ(k, b.dim(1)) << "matmul_nt inner dims " << ShapeToString(a.shape())
+                             << " x " << ShapeToString(b.shape()) << "ᵀ";
+  Tensor out({m, n}, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Packed on the calling thread before sharding; workers only read it
+  // (ParallelFor's dispatch establishes the ordering).
+  float* packed = TlsScratch(static_cast<size_t>(k) * static_cast<size_t>(n));
+  PackTransposed(pb, packed, n, k);
+  ShardRows(m, m * n * k, [&](int64_t i0, int64_t i1) {
+    GemmNNBlock(pa, packed, po, i0, i1, k, n);
+  });
+  return out;
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  MDPA_CHECK_EQ(a.ndim(), 2);
+  MDPA_CHECK_EQ(b.ndim(), 2);
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  MDPA_CHECK_EQ(k, b.dim(0)) << "matmul_tn inner dims " << ShapeToString(a.shape())
+                             << "ᵀ x " << ShapeToString(b.shape());
+  Tensor out({m, n}, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ShardRows(m, m * n * k, [&](int64_t i0, int64_t i1) {
+    GemmTNBlock(pa, pb, po, i0, i1, k, m, n);
+  });
+  return out;
+}
+
+Tensor LinearForward(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  MDPA_CHECK_EQ(x.ndim(), 2);
+  MDPA_CHECK_EQ(w.ndim(), 2);
+  const int64_t m = x.dim(0), k = x.dim(1), n = w.dim(1);
+  MDPA_CHECK_EQ(k, w.dim(0)) << "linear inner dims " << ShapeToString(x.shape()) << " x "
+                             << ShapeToString(w.shape());
+  MDPA_CHECK(bias.ndim() == 1 || (bias.ndim() == 2 && bias.dim(0) == 1))
+      << "linear bias must be (n) or (1,n), got " << ShapeToString(bias.shape());
+  MDPA_CHECK_EQ(bias.dim(-1), n) << "linear bias width " << ShapeToString(bias.shape());
+  Tensor out({m, n}, 0.0f);
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pbias = bias.data();
+  float* po = out.data();
+  ShardRows(m, m * n * k, [&](int64_t i0, int64_t i1) {
+    GemmNNBlock(px, pw, po, i0, i1, k, n);
+    // Bias is added after the full accumulation so every element is computed
+    // as (Σ products) + bias — bit-identical to Add(MatMul(x, w), bias).
+    for (int64_t i = i0; i < i1; ++i) {
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += pbias[j];
+    }
+  });
   return out;
 }
 
@@ -201,10 +378,47 @@ Tensor Transpose(const Tensor& a) {
   Tensor out({n, m});
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  // Cache-blocked tiles: the naive column-strided loop misses on every store
+  // once m*n exceeds the L1; a 32x32 tile keeps both the source rows and the
+  // destination rows resident while the tile is swapped.
+  constexpr int64_t kTile = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const int64_t i1 = std::min(m, i0 + kTile);
+    for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+      const int64_t j1 = std::min(n, j0 + kTile);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * n;
+        for (int64_t j = j0; j < j1; ++j) po[j * m + i] = arow[j];
+      }
+    }
   }
   return out;
+}
+
+void AddInPlace(Tensor* dst, const Tensor& x) {
+  MDPA_CHECK(SameShape(dst->shape(), x.shape()))
+      << "AddInPlace shape mismatch " << ShapeToString(dst->shape()) << " vs "
+      << ShapeToString(x.shape());
+  float* pd = dst->data();
+  const float* px = x.data();
+  const int64_t n = dst->numel();
+  for (int64_t i = 0; i < n; ++i) pd[i] += px[i];
+}
+
+void ScaleInPlace(Tensor* dst, float s) {
+  float* pd = dst->data();
+  const int64_t n = dst->numel();
+  for (int64_t i = 0; i < n; ++i) pd[i] *= s;
+}
+
+void AxpyInPlace(Tensor* dst, float alpha, const Tensor& x) {
+  MDPA_CHECK(SameShape(dst->shape(), x.shape()))
+      << "AxpyInPlace shape mismatch " << ShapeToString(dst->shape()) << " vs "
+      << ShapeToString(x.shape());
+  float* pd = dst->data();
+  const float* px = x.data();
+  const int64_t n = dst->numel();
+  for (int64_t i = 0; i < n; ++i) pd[i] += alpha * px[i];
 }
 
 Tensor SumAll(const Tensor& a) {

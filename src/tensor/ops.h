@@ -46,8 +46,43 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 /// for large outputs.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// \brief 2-D transpose.
+/// \brief Transpose-free GEMM family. For every (i,j) the product terms are
+/// accumulated in increasing inner-index order, exactly like MatMul, so for
+/// finite inputs these are bit-identical to the compose-from-primitives
+/// forms while never allocating a transposed operand tensor (MatMulNT packs
+/// through reusable thread-local scratch; MatMulTN needs no packing at all):
+///
+///   MatMulNT(a, b) == MatMul(a, Transpose(b))   a: (m,k), b: (n,k) -> (m,n)
+///   MatMulTN(a, b) == MatMul(Transpose(a), b)   a: (k,m), b: (k,n) -> (m,n)
+///
+/// These are the shapes of the two matmul-backward products (dA = g·Bᵀ,
+/// dB = Aᵀ·g); ag::MatMul's backward calls them directly.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
+/// \brief Fused y = x·w + bias in one pass over the output: bit-identical to
+/// Add(MatMul(x, w), bias) without materializing the pre-bias product.
+/// x: (m,k), w: (k,n), bias: (n) or (1,n).
+Tensor LinearForward(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/// \brief 2-D transpose (cache-blocked).
 Tensor Transpose(const Tensor& a);
+
+// -- In-place accumulation ---------------------------------------------------------
+//
+// The only ops in this header that mutate an argument. Aliasing rule: `x`
+// may alias `*dst` only if it is the same tensor element-for-element (same
+// storage, same shape); partial overlap is undefined. Shapes must match
+// exactly — no broadcasting.
+
+/// \brief *dst += x.
+void AddInPlace(Tensor* dst, const Tensor& x);
+
+/// \brief *dst *= s.
+void ScaleInPlace(Tensor* dst, float s);
+
+/// \brief *dst += alpha * x.
+void AxpyInPlace(Tensor* dst, float alpha, const Tensor& x);
 
 // -- Reductions -------------------------------------------------------------------
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/buffer_pool.h"
+
 namespace metadpa {
 
 int64_t NumElements(const Shape& shape) {
@@ -44,20 +46,18 @@ Shape BroadcastShapes(const Shape& a, const Shape& b) {
   return out;
 }
 
-Tensor::Tensor() : shape_(), data_(std::make_shared<std::vector<float>>(1, 0.0f)) {}
+Tensor::Tensor() : shape_(), data_(pool::AcquireFilled(1, 0.0f)) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(NumElements(shape_)))) {}
+      data_(pool::AcquireZeroed(static_cast<size_t>(NumElements(shape_)))) {}
 
 Tensor::Tensor(Shape shape, float value)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(static_cast<size_t>(NumElements(shape_)),
-                                                 value)) {}
+      data_(pool::AcquireFilled(static_cast<size_t>(NumElements(shape_)), value)) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+    : shape_(std::move(shape)), data_(pool::Adopt(std::move(values))) {
   MDPA_CHECK_EQ(NumElements(shape_), static_cast<int64_t>(data_->size()))
       << "value count does not match shape " << ShapeToString(shape_);
 }

@@ -3,6 +3,9 @@
 // This is the storage substrate underneath the autograd engine. Tensors are
 // value types with shared, copy-on-nothing storage: copying a Tensor aliases
 // the same buffer (like numpy), and all ops in ops.h allocate fresh outputs.
+// Storage buffers come from the thread-local recycling pool in
+// tensor/buffer_pool.h; construction semantics are identical to fresh
+// std::vector allocation (zeroed / filled), only malloc traffic differs.
 #ifndef METADPA_TENSOR_TENSOR_H_
 #define METADPA_TENSOR_TENSOR_H_
 

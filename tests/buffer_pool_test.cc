@@ -1,0 +1,144 @@
+// Tests for the thread-local tensor buffer pool: value semantics, recycling
+// behavior, capacity bounds, and (under -DMETADPA_TSAN=ON, via `ctest -L
+// tsan`) freedom from races when buffers are acquired on one thread and
+// released on another through ParallelFor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "tensor/buffer_pool.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = pool::SetPoolingEnabled(true);
+    pool::ClearThreadPool();
+  }
+  void TearDown() override {
+    pool::ClearThreadPool();
+    pool::SetPoolingEnabled(was_enabled_);
+  }
+  bool was_enabled_ = true;
+};
+
+TEST_F(BufferPoolTest, RecyclesFreedBuffers) {
+  const float* first = nullptr;
+  {
+    Tensor a({64, 64});
+    first = a.data();
+  }
+  EXPECT_GE(pool::ThreadStats().returned, 1);
+  Tensor b({64, 64});
+  // Same size class, nothing else in between: the freed buffer comes back.
+  EXPECT_EQ(b.data(), first);
+  EXPECT_GE(pool::ThreadStats().hits, 1);
+}
+
+TEST_F(BufferPoolTest, ReusedBuffersAreZeroInitialized) {
+  {
+    Tensor dirty({33}, 7.5f);
+    for (int64_t i = 0; i < dirty.numel(); ++i) dirty.at(i) = 123.0f;
+  }
+  Tensor clean({33});
+  for (int64_t i = 0; i < clean.numel(); ++i) ASSERT_EQ(clean.at(i), 0.0f);
+}
+
+TEST_F(BufferPoolTest, ReusedBuffersHonorFillValue) {
+  { Tensor dirty({40}, -9.0f); }
+  Tensor filled({40}, 2.5f);
+  for (int64_t i = 0; i < filled.numel(); ++i) ASSERT_EQ(filled.at(i), 2.5f);
+}
+
+TEST_F(BufferPoolTest, AdoptedVectorsKeepTheirValues) {
+  std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  Tensor a({2, 3}, values);
+  EXPECT_EQ(a.at(1, 2), 6.0f);
+  { Tensor scratch = a; }  // copies share storage; no early return to pool
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+}
+
+TEST_F(BufferPoolTest, SmallerRequestReusesLargerClassSafely) {
+  // A 100-element buffer files under the floor size class; a later
+  // 70-element acquire from that class must still see exactly 70 zeros.
+  { Tensor big({100}, 3.0f); }
+  Tensor small({70});
+  ASSERT_EQ(small.numel(), 70);
+  for (int64_t i = 0; i < small.numel(); ++i) ASSERT_EQ(small.at(i), 0.0f);
+}
+
+TEST_F(BufferPoolTest, CapacityBoundDropsExcessBuffers) {
+  // More simultaneous live buffers of one class than the per-class cap:
+  // releasing them all must drop some instead of queueing unboundedly.
+  std::vector<Tensor> live;
+  for (int i = 0; i < 64; ++i) live.emplace_back(Shape{128});
+  live.clear();
+  const pool::Stats s = pool::ThreadStats();
+  EXPECT_GT(s.dropped, 0);
+  EXPECT_LE(s.returned, 64 - s.dropped + 1);
+}
+
+TEST_F(BufferPoolTest, DisablingPoolingBypassesFreeLists) {
+  pool::SetPoolingEnabled(false);
+  const pool::Stats before = pool::ThreadStats();
+  { Tensor a({256}); }
+  Tensor b({256});
+  const pool::Stats after = pool::ThreadStats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.returned, before.returned);
+}
+
+TEST_F(BufferPoolTest, TensorSemanticsUnchangedByRecycling) {
+  // Pool on/off must be unobservable through tensor arithmetic.
+  Rng rng1(42), rng2(42);
+  pool::SetPoolingEnabled(true);
+  Tensor a1 = Tensor::RandNormal({17, 19}, &rng1);
+  Tensor r1 = t::MatMul(a1, t::Transpose(a1));
+  pool::SetPoolingEnabled(false);
+  Tensor a2 = Tensor::RandNormal({17, 19}, &rng2);
+  Tensor r2 = t::MatMul(a2, t::Transpose(a2));
+  EXPECT_EQ(t::MaxAbsDiff(r1, r2), 0.0f);
+}
+
+// The TSan target: hammer the pool from every worker of the global pool with
+// allocation, arithmetic, cross-thread release (tensors created on the main
+// thread die inside workers and vice versa), and pool clears.
+TEST_F(BufferPoolTest, ConcurrentStressUnderParallelFor) {
+  ThreadPool& tp = ThreadPool::Global();
+  constexpr size_t kIters = 256;
+
+  // Tensors created on this thread, destroyed on whichever worker runs i:
+  // exercises release into a different thread's free list than the acquirer's.
+  std::vector<std::shared_ptr<Tensor>> cross(kIters);
+  for (size_t i = 0; i < kIters; ++i)
+    cross[i] = std::make_shared<Tensor>(Shape{static_cast<int64_t>(1 + i % 97)});
+
+  std::atomic<int64_t> checksum{0};
+  tp.ParallelFor(kIters, [&](size_t i) {
+    cross[i].reset();  // cross-thread release
+    Rng rng(1000 + i);
+    Tensor a = Tensor::RandNormal({8, static_cast<int64_t>(1 + i % 31)}, &rng);
+    Tensor b = t::MatMulNT(a, a);        // churn: scratch + output buffers
+    Tensor c = t::Add(b, b);
+    t::ScaleInPlace(&c, 0.5f);
+    checksum.fetch_add(c.numel(), std::memory_order_relaxed);
+    if (i % 64 == 63) pool::ClearThreadPool();  // concurrent with siblings
+  });
+  EXPECT_EQ(checksum.load(), static_cast<int64_t>(kIters) * 8 * 8);
+
+  // Second wave reuses whatever the workers pooled; results must be sane.
+  tp.ParallelFor(kIters, [&](size_t i) {
+    Tensor z(Shape{static_cast<int64_t>(1 + i % 97)});
+    for (int64_t j = 0; j < z.numel(); ++j) ASSERT_EQ(z.at(j), 0.0f);
+  });
+}
+
+}  // namespace
+}  // namespace metadpa

@@ -1,0 +1,235 @@
+// Bit-compatibility and gradient tests for the transpose-free GEMM family.
+//
+// The contract under test (tensor/ops.h): for finite inputs,
+//   MatMulNT(a, b)        == MatMul(a, Transpose(b))        bit for bit,
+//   MatMulTN(a, b)        == MatMul(Transpose(a), b)        bit for bit,
+//   LinearForward(x,w,b)  == Add(MatMul(x, w), b)           bit for bit,
+// because every kernel accumulates each output element's product terms in
+// increasing inner-index order into a single accumulator. The autograd
+// wrappers must additionally be correct to first and second order (the MAML
+// outer loop differentiates through matmul backward).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace {
+
+// Exact bit equality, not float equality: catches a kernel that flips the
+// sign of a zero or reorders an accumulation into a value-equal-but-different
+// rounding, which value comparison at tolerance would miss.
+void ExpectBitEqual(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_TRUE(SameShape(got.shape(), want.shape())) << what;
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const float g = got.at(i), w = want.at(i);
+    uint32_t gb, wb;
+    std::memcpy(&gb, &g, sizeof(gb));
+    std::memcpy(&wb, &w, sizeof(wb));
+    ASSERT_EQ(gb, wb) << what << " differs at flat index " << i << ": got " << g
+                      << " want " << w;
+  }
+}
+
+struct GemmCase {
+  int64_t m, k, n;
+  std::string name;
+};
+
+class GemmFamilyBitCompat : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmFamilyBitCompat, MatMulNTMatchesComposed) {
+  const auto& p = GetParam();
+  Rng rng(100 + p.m * 31 + p.k * 7 + p.n);
+  Tensor a = Tensor::RandNormal({p.m, p.k}, &rng);
+  Tensor b = Tensor::RandNormal({p.n, p.k}, &rng);
+  ExpectBitEqual(t::MatMulNT(a, b), t::MatMul(a, t::Transpose(b)), "MatMulNT");
+}
+
+TEST_P(GemmFamilyBitCompat, MatMulTNMatchesComposed) {
+  const auto& p = GetParam();
+  Rng rng(200 + p.m * 31 + p.k * 7 + p.n);
+  Tensor a = Tensor::RandNormal({p.k, p.m}, &rng);
+  Tensor b = Tensor::RandNormal({p.k, p.n}, &rng);
+  ExpectBitEqual(t::MatMulTN(a, b), t::MatMul(t::Transpose(a), b), "MatMulTN");
+}
+
+TEST_P(GemmFamilyBitCompat, LinearForwardMatchesComposed) {
+  const auto& p = GetParam();
+  Rng rng(300 + p.m * 31 + p.k * 7 + p.n);
+  Tensor x = Tensor::RandNormal({p.m, p.k}, &rng);
+  Tensor w = Tensor::RandNormal({p.k, p.n}, &rng);
+  Tensor bias = Tensor::RandNormal({1, p.n}, &rng);
+  ExpectBitEqual(t::LinearForward(x, w, bias), t::Add(t::MatMul(x, w), bias),
+                 "LinearForward");
+  // Rank-1 bias spelling must hit the same path.
+  Tensor bias1 = bias.Reshape({p.n});
+  ExpectBitEqual(t::LinearForward(x, w, bias1), t::Add(t::MatMul(x, w), bias),
+                 "LinearForward(rank-1 bias)");
+}
+
+TEST_P(GemmFamilyBitCompat, ZeroSkipGuardsCannotChangeResults) {
+  // Sparse inputs exercise the kernels' skip-a-zero-row guards; the skipped
+  // additions add ±0 to a running sum, which is an exact no-op, so bit
+  // equality must survive heavy sparsity.
+  const auto& p = GetParam();
+  Rng rng(400 + p.m * 31 + p.k * 7 + p.n);
+  Tensor a = Tensor::RandNormal({p.m, p.k}, &rng);
+  Tensor b = Tensor::RandNormal({p.n, p.k}, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i)
+    if ((i % 3) != 0) a.at(i) = 0.0f;
+  for (int64_t i = 0; i < b.numel(); ++i)
+    if ((i % 2) != 0) b.at(i) = -0.0f;
+  ExpectBitEqual(t::MatMulNT(a, b), t::MatMul(a, t::Transpose(b)),
+                 "sparse MatMulNT");
+  ExpectBitEqual(t::MatMulTN(t::Transpose(a), t::Transpose(b)),
+                 t::MatMul(a, t::Transpose(b)), "sparse MatMulTN");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmFamilyBitCompat,
+    ::testing::Values(GemmCase{1, 1, 1, "unit"},            // all edges at once
+                      GemmCase{1, 5, 3, "m1"},              // single output row
+                      GemmCase{4, 1, 3, "k1"},              // single product term
+                      GemmCase{3, 4, 1, "n1"},              // single output col
+                      GemmCase{1, 1, 7, "m1k1"},
+                      GemmCase{7, 13, 9, "odd"},            // no tile divides
+                      GemmCase{8, 16, 8, "aligned"},
+                      GemmCase{5, 130, 140, "overKcJc"},    // crosses 128 pack tiles
+                      GemmCase{33, 129, 65, "tails"}),      // tile tails everywhere
+    [](const ::testing::TestParamInfo<GemmCase>& info) { return info.param.name; });
+
+TEST(GemmFamilyBitCompat, ParallelPathMatchesSerialContract) {
+  // Large enough output to cross the ShardRows parallelization threshold:
+  // sharding must not change per-element accumulation order.
+  Rng rng(500);
+  Tensor a = Tensor::RandNormal({96, 80}, &rng);
+  Tensor b = Tensor::RandNormal({112, 80}, &rng);
+  ExpectBitEqual(t::MatMulNT(a, b), t::MatMul(a, t::Transpose(b)),
+                 "parallel MatMulNT");
+  Tensor at = t::Transpose(a);
+  ExpectBitEqual(t::MatMulTN(at, b.Reshape({80, 112})),
+                 t::MatMul(a, b.Reshape({80, 112})), "parallel MatMulTN");
+}
+
+// ---- cache-blocked transpose ----
+
+TEST(TransposeTest, BlockedTransposeIsExact) {
+  Rng rng(600);
+  for (const auto& shape :
+       {Shape{1, 1}, Shape{1, 9}, Shape{9, 1}, Shape{31, 33}, Shape{64, 64},
+        Shape{70, 130}}) {
+    Tensor a = Tensor::RandNormal(shape, &rng);
+    Tensor at = t::Transpose(a);
+    ASSERT_EQ(at.shape()[0], shape[1]);
+    ASSERT_EQ(at.shape()[1], shape[0]);
+    for (int64_t i = 0; i < shape[0]; ++i)
+      for (int64_t j = 0; j < shape[1]; ++j)
+        ASSERT_EQ(a.at(i, j), at.at(j, i));
+    ExpectBitEqual(t::Transpose(at), a, "double transpose");
+  }
+}
+
+// ---- in-place ops ----
+
+TEST(InPlaceOpsTest, MatchOutOfPlaceBitwise) {
+  Rng rng(700);
+  Tensor x = Tensor::RandNormal({5, 7}, &rng);
+  Tensor y = Tensor::RandNormal({5, 7}, &rng);
+
+  Tensor acc = x;  // shares storage; in-place writes through
+  Tensor add_ref = t::Add(x, y);
+  t::AddInPlace(&acc, y);
+  ExpectBitEqual(acc, add_ref, "AddInPlace");
+
+  Tensor scale_ref = t::MulScalar(acc, 0.37f);
+  t::ScaleInPlace(&acc, 0.37f);
+  ExpectBitEqual(acc, scale_ref, "ScaleInPlace");
+
+  Tensor axpy_ref = t::Add(acc, t::MulScalar(y, -1.25f));
+  t::AxpyInPlace(&acc, -1.25f, y);
+  ExpectBitEqual(acc, axpy_ref, "AxpyInPlace");
+}
+
+TEST(InPlaceOpsTest, SelfAliasingIsDefined) {
+  // The documented aliasing rule: x may alias *dst when it is the same
+  // storage with the same shape. dst += dst must double, dst += -1*dst must
+  // zero.
+  Rng rng(701);
+  Tensor x = Tensor::RandNormal({4, 4}, &rng);
+  Tensor doubled = t::MulScalar(x, 2.0f);
+  Tensor d = x;
+  t::AddInPlace(&d, d);
+  ExpectBitEqual(d, doubled, "AddInPlace self");
+  t::AxpyInPlace(&d, -1.0f, d);
+  for (int64_t i = 0; i < d.numel(); ++i) ASSERT_EQ(d.at(i), 0.0f);
+}
+
+// ---- autograd family: gradients to first and second order ----
+
+TEST(GemmFamilyGradTest, MatMulNTGradcheck) {
+  Rng rng(800);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng),
+                             Tensor::RandNormal({5, 4}, &rng)};
+  ag::ScalarFn fn = [](const std::vector<ag::Variable>& v) {
+    return ag::SumAll(ag::Mul(ag::MatMulNT(v[0], v[1]), ag::MatMulNT(v[0], v[1])));
+  };
+  EXPECT_LT(ag::MaxGradError(fn, pts), 5e-2);
+  EXPECT_LT(ag::MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(GemmFamilyGradTest, MatMulTNGradcheck) {
+  Rng rng(801);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4, 3}, &rng),
+                             Tensor::RandNormal({4, 5}, &rng)};
+  ag::ScalarFn fn = [](const std::vector<ag::Variable>& v) {
+    return ag::SumAll(ag::Mul(ag::MatMulTN(v[0], v[1]), ag::MatMulTN(v[0], v[1])));
+  };
+  EXPECT_LT(ag::MaxGradError(fn, pts), 5e-2);
+  EXPECT_LT(ag::MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(GemmFamilyGradTest, LinearGradcheck) {
+  Rng rng(802);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng),
+                             Tensor::RandNormal({4, 2}, &rng),
+                             Tensor::RandNormal({1, 2}, &rng)};
+  ag::ScalarFn fn = [](const std::vector<ag::Variable>& v) {
+    ag::Variable y = ag::Linear(v[0], v[1], v[2]);
+    return ag::SumAll(ag::Mul(y, y));
+  };
+  EXPECT_LT(ag::MaxGradError(fn, pts), 5e-2);
+  EXPECT_LT(ag::MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(GemmFamilyGradTest, MatMulBackwardStillCorrectThroughNewKernels) {
+  // ag::MatMul's backward now calls MatMulNT/MatMulTN directly; its first-
+  // and second-order derivatives must be unchanged.
+  Rng rng(803);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng),
+                             Tensor::RandNormal({4, 5}, &rng)};
+  ag::ScalarFn fn = [](const std::vector<ag::Variable>& v) {
+    ag::Variable y = ag::MatMul(v[0], v[1]);
+    return ag::SumAll(ag::Mul(y, y));
+  };
+  EXPECT_LT(ag::MaxGradError(fn, pts), 5e-2);
+  EXPECT_LT(ag::MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(GemmFamilyGradTest, FamilyForwardsAgreeOnTape) {
+  // The three autograd spellings of the same product must agree bitwise,
+  // so swapping call sites (e.g. InfoNCE's za·zbᵀ) cannot move a trajectory.
+  Rng rng(804);
+  ag::Variable a(Tensor::RandNormal({6, 3}, &rng), /*requires_grad=*/true);
+  ag::Variable b(Tensor::RandNormal({5, 3}, &rng), /*requires_grad=*/true);
+  ExpectBitEqual(ag::MatMulNT(a, b).data(),
+                 ag::MatMul(a, ag::Transpose(b)).data(), "ag::MatMulNT");
+}
+
+}  // namespace
+}  // namespace metadpa

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Runs the substrate microbenchmarks and writes a machine-readable baseline to
+# BENCH_substrate.json (google-benchmark JSON format) at the repo root.
+#
+# Usage: tools/run_substrate_bench.sh [build-dir] [output-json]
+#
+# Compare a fresh run against the committed baseline with google-benchmark's
+# tools/compare.py, or just diff the real_time fields. Record notable moves in
+# EXPERIMENTS.md ("Substrate microbenchmarks" section). Re-baseline on the
+# same machine/flags you compare against; see bench/README.md for the
+# METADPA_NATIVE caveat.
+set -eu
+
+build_dir="${1:-build}"
+out="${2:-BENCH_substrate.json}"
+bench="$build_dir/bench/bench_micro_substrate"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (cmake --build $build_dir --target bench_micro_substrate)" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "wrote $out"
