@@ -167,6 +167,40 @@ void BM_MamlMetaStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MamlMetaStep);
 
+// One full meta-epoch (8 tasks, meta_batch_size 8) at varying `threads`;
+// arg 0 means "all cores". Results are bit-identical across args — this
+// measures only the wall-clock effect of task-parallel inner loops.
+void BM_MamlMetaEpochThreads(benchmark::State& state) {
+  Rng rng(8);
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 96;
+  meta::PreferenceModel model(model_config, &rng);
+  meta::MamlConfig maml_config;
+  maml_config.epochs = 1;
+  maml_config.meta_batch_size = 8;
+  maml_config.second_order = true;
+  maml_config.threads = static_cast<int>(state.range(0));
+  meta::MamlTrainer trainer(&model, maml_config);
+
+  std::vector<meta::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    meta::Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandUniform({16, 96}, &rng);
+    task.support_item = Tensor::RandUniform({16, 96}, &rng);
+    task.support_labels = Tensor::RandUniform({16, 1}, &rng);
+    task.query_user = Tensor::RandUniform({16, 96}, &rng);
+    task.query_item = Tensor::RandUniform({16, 96}, &rng);
+    task.query_labels = Tensor::RandUniform({16, 1}, &rng);
+    tasks.push_back(std::move(task));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainEpoch(tasks));
+  }
+  state.SetItemsProcessed(state.iterations() * tasks.size());
+}
+BENCHMARK(BM_MamlMetaEpochThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -14,6 +14,18 @@
 // Variable: that would make the Node own itself through the closure and leak.
 // Ops whose derivative is naturally written in terms of the output (sigmoid,
 // tanh, exp, ...) recompute it from the inputs inside the closure instead.
+//
+// Thread safety (the parallel-training contract, DESIGN.md "Parallel
+// training"): the engine keeps no global mutable state besides an atomic
+// node counter, and Grad() walks with function-local maps, so threads may
+// build graphs and run Grad() concurrently PROVIDED their graphs share only
+// leaf nodes (typically model parameters) and every shared leaf is treated
+// as read-only for the duration — no SetData/MutableData while another
+// thread links against it or differentiates through it. Interior (non-leaf)
+// nodes must never be shared across concurrently built graphs: consumers
+// append to shared subgraph tails only via their own Variables, and
+// Grad()'s in-place accumulation assumes single-threaded ownership of each
+// gradient slot.
 #ifndef METADPA_AUTOGRAD_VARIABLE_H_
 #define METADPA_AUTOGRAD_VARIABLE_H_
 

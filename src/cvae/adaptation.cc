@@ -7,6 +7,7 @@
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -43,28 +44,86 @@ Tensor SelectRows(const Tensor& m, const std::vector<int64_t>& rows) {
   return t::IndexSelect(m, rows);
 }
 
+/// One mini-batch's contribution to an accumulation group, produced by a
+/// (possibly parallel) worker and consumed by the ordered reduction.
+struct BatchContribution {
+  std::vector<Tensor> grads;  ///< per-parameter grads, detached
+  double loss = 0.0;
+};
+
 /// Trains one Dual-CVAE; returns (first epoch loss, final epoch loss).
+///
+/// The epoch is a sequence of optimizer steps, each covering
+/// `config.accum_batches` mini-batches whose gradients are averaged in batch
+/// order; the batches of one group run concurrently under `config.threads`.
+/// Reparameterization noise is drawn from per-(epoch, batch) seeds, so the
+/// trajectory depends only on the configuration, never on scheduling.
 std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
                                  const AdaptationConfig& config, Rng rng) {
   optim::Adam opt(model->Parameters(), config.learning_rate);
+  const nn::ParamList& params = opt.params();
   std::vector<int64_t> order(static_cast<size_t>(pairs.count));
   std::iota(order.begin(), order.end(), 0);
+  const uint64_t noise_seed = rng.Next();
+  const size_t accum = static_cast<size_t>(std::max(1, config.accum_batches));
+  const size_t threads = ThreadPool::ResolveConcurrency(config.threads);
 
   float first_loss = 0.0f, last_loss = 0.0f;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.Shuffle(&order);
+    std::vector<int64_t> batch_starts;
+    for (int64_t start = 0; start < pairs.count; start += config.batch_size) {
+      if (pairs.count - start < 2) break;  // InfoNCE needs in-batch negatives
+      batch_starts.push_back(start);
+    }
     double epoch_loss = 0.0;
     int64_t batches = 0;
-    for (int64_t start = 0; start < pairs.count; start += config.batch_size) {
-      const int64_t len = std::min<int64_t>(config.batch_size, pairs.count - start);
-      if (len < 2) break;  // InfoNCE needs in-batch negatives
-      std::vector<int64_t> rows(order.begin() + start, order.begin() + start + len);
-      DualCvaeLosses losses = model->ComputeLosses(
-          SelectRows(pairs.r_s, rows), SelectRows(pairs.x_s, rows),
-          SelectRows(pairs.r_t, rows), SelectRows(pairs.x_t, rows), &rng);
-      opt.Step(losses.total);
-      epoch_loss += losses.total.item();
-      ++batches;
+    for (size_t group = 0; group < batch_starts.size(); group += accum) {
+      const size_t count = std::min(accum, batch_starts.size() - group);
+      std::vector<BatchContribution> contribs(count);
+      auto run_batch = [&](size_t offset) {
+        const int64_t start = batch_starts[group + offset];
+        const int64_t len = std::min<int64_t>(config.batch_size, pairs.count - start);
+        std::vector<int64_t> rows(order.begin() + start, order.begin() + start + len);
+        Rng noise(MixSeeds(noise_seed, static_cast<uint64_t>(epoch),
+                           static_cast<uint64_t>(group + offset)));
+        DualCvaeLosses losses = model->ComputeLosses(
+            SelectRows(pairs.r_s, rows), SelectRows(pairs.x_s, rows),
+            SelectRows(pairs.r_t, rows), SelectRows(pairs.x_t, rows), &noise);
+        std::vector<ag::Variable> grads = ag::Grad(losses.total, params);
+        BatchContribution& out = contribs[offset];
+        out.grads.reserve(grads.size());
+        for (const auto& g : grads) out.grads.push_back(g.data());
+        out.loss = static_cast<double>(losses.total.item());
+      };
+      if (threads > 1 && count > 1) {
+        ThreadPool::Global().ParallelFor(count, threads, run_batch);
+      } else {
+        for (size_t offset = 0; offset < count; ++offset) run_batch(offset);
+      }
+
+      // Ordered reduction into private clones (batch-index order), then one
+      // step on the group mean — bit-identical for any thread count.
+      std::vector<Tensor> grad_acc;
+      for (const BatchContribution& c : contribs) {
+        if (grad_acc.empty()) {
+          grad_acc.reserve(c.grads.size());
+          for (const Tensor& g : c.grads) grad_acc.push_back(g.Clone());
+        } else {
+          for (size_t i = 0; i < c.grads.size(); ++i) {
+            t::AddInPlace(&grad_acc[i], c.grads[i]);
+          }
+        }
+        epoch_loss += c.loss;
+        ++batches;
+      }
+      std::vector<ag::Variable> mean_grads;
+      mean_grads.reserve(grad_acc.size());
+      for (auto& g : grad_acc) {
+        mean_grads.emplace_back(t::MulScalar(g, 1.0f / static_cast<float>(count)),
+                                /*requires_grad=*/false);
+      }
+      opt.Step(mean_grads);
     }
     const float mean_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;

@@ -32,6 +32,17 @@ struct AdaptationConfig {
   uint64_t seed = 13;
   /// Train the k Dual-CVAEs on the global thread pool.
   bool parallel = true;
+  /// Mini-batches whose gradients are accumulated (in batch order) into one
+  /// optimizer step. 1 reproduces plain per-batch SGD; larger values define
+  /// the independent work a parallel epoch exploits.
+  int accum_batches = 1;
+  /// Concurrent mini-batches within one accumulation group (1 = serial,
+  /// 0 = all cores, N = at most N threads). Like MamlConfig::threads, any
+  /// value is bit-identical: per-batch graphs are independent, noise comes
+  /// from per-batch seeds, and the reduction runs in batch order. Degrades
+  /// to serial inside the per-source `parallel` workers (the pool is
+  /// non-reentrant), so it pays off when k = 1 or parallel = false.
+  int threads = 1;
   /// Min-max calibrate each generated rating row to [0, 1]. Raw sigmoid
   /// outputs concentrate near the row density (a few percent), which makes
   /// augmented labels structurally unlike the binary originals; calibration

@@ -81,11 +81,14 @@ DualCvae::DualCvae(const DualCvaeConfig& config, Rng* rng)
 DualCvaeLosses DualCvae::ComputeLosses(const Tensor& r_s, const Tensor& x_s,
                                        const Tensor& r_t, const Tensor& x_t,
                                        Rng* rng) const {
-  ag::Variable vr_s = ag::Constant(r_s);
-  ag::Variable vx_s = ag::Constant(x_s);
-  ag::Variable vr_t = ag::Constant(r_t);
-  ag::Variable vx_t = ag::Constant(x_t);
+  return ComputeLosses(ag::Constant(r_s), ag::Constant(x_s), ag::Constant(r_t),
+                       ag::Constant(x_t), rng);
+}
 
+DualCvaeLosses DualCvae::ComputeLosses(const ag::Variable& vr_s,
+                                       const ag::Variable& vx_s,
+                                       const ag::Variable& vr_t,
+                                       const ag::Variable& vx_t, Rng* rng) const {
   auto [mu_s, logvar_s] = source_.Encode(vr_s, vx_s);
   auto [mu_t, logvar_t] = target_.Encode(vr_t, vx_t);
   ag::Variable z_s = Reparameterize(mu_s, logvar_s, rng);

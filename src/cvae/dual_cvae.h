@@ -90,6 +90,13 @@ class DualCvae {
   DualCvaeLosses ComputeLosses(const Tensor& r_s, const Tensor& x_s, const Tensor& r_t,
                                const Tensor& x_t, Rng* rng) const;
 
+  /// \brief Same on tape-tracked inputs, so the losses are differentiable
+  /// w.r.t. the rating/content batches as well as the parameters (the ELBO
+  /// gradcheck in tests/cvae_test.cc differentiates through this).
+  DualCvaeLosses ComputeLosses(const ag::Variable& r_s, const ag::Variable& x_s,
+                               const ag::Variable& r_t, const ag::Variable& x_t,
+                               Rng* rng) const;
+
   /// \brief Diverse-rating generation (paper §IV-B): feeds target content
   /// through E_t^x and D_t; returns probabilities in [0,1], shape
   /// (B, target_items). No tape is built.

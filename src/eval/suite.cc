@@ -33,6 +33,11 @@ core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options) {
   config.maml.outer_lr = 5e-3f;
   config.maml.meta_batch_size = 8;
   config.maml.finetune_steps = 10;
+  config.maml.threads = options.train_threads;
+  // accum_batches stays at its default (1): raising it alters the CVAE
+  // optimization trajectory (batches per step), so it is not tied to the
+  // pure-parallelism train_threads knob.
+  config.adaptation.threads = options.train_threads;
   config.model.embed_dim = 24;
   config.model.hidden = {48, 24};
   config.tasks.negatives_per_positive = 1;
@@ -50,6 +55,7 @@ meta::MamlConfig BaselineMamlConfig(const SuiteOptions& options) {
   config.outer_lr = 5e-3f;
   config.meta_batch_size = 8;
   config.finetune_steps = 10;
+  config.threads = options.train_threads;
   config.seed = options.seed + 1;
   return config;
 }

@@ -22,6 +22,10 @@ struct SuiteOptions {
   /// smaller values for quick runs).
   double effort = 1.0;
   uint64_t seed = 2022;
+  /// Concurrent tasks/mini-batches inside the meta-trained methods' training
+  /// loops (MamlConfig::threads / AdaptationConfig::threads: 1 = serial,
+  /// 0 = all cores). Training results are bit-identical for any value.
+  int train_threads = 1;
 };
 
 /// \brief One constructible method.

@@ -4,9 +4,21 @@
 #include <numeric>
 
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace metadpa {
 namespace meta {
+namespace {
+
+/// One task's contribution to the outer step, produced by a (possibly
+/// parallel) worker and consumed by the ordered reduction.
+struct TaskContribution {
+  std::vector<Tensor> grads;  ///< per-parameter outer grads, detached
+  double query_loss = 0.0;
+  bool valid = false;  ///< false for tasks with an empty query set
+};
+
+}  // namespace
 
 MamlTrainer::MamlTrainer(PreferenceModel* model, const MamlConfig& config)
     : model_(model), config_(config), rng_(config.seed) {
@@ -40,24 +52,34 @@ nn::ParamList MamlTrainer::InnerAdapt(const nn::ParamList& params, const Task& t
 }
 
 float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
+  return TrainEpochStats(tasks).mean_query_loss;
+}
+
+EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
   MDPA_CHECK(!tasks.empty());
   std::vector<size_t> order(tasks.size());
   std::iota(order.begin(), order.end(), size_t{0});
   rng_.Shuffle(&order);
 
   const nn::ParamList& params = outer_opt_->params();
+  const size_t threads = ThreadPool::ResolveConcurrency(config_.threads);
+  EpochStats stats;
   double epoch_loss = 0.0;
-  int64_t counted = 0;
 
   for (size_t start = 0; start < order.size();
        start += static_cast<size_t>(config_.meta_batch_size)) {
     const size_t end =
         std::min(order.size(), start + static_cast<size_t>(config_.meta_batch_size));
-    std::vector<Tensor> grad_acc;
-    int batch_tasks = 0;
-    for (size_t idx = start; idx < end; ++idx) {
-      const Task& task = tasks[order[idx]];
-      if (task.query_size() == 0) continue;
+    const size_t count = end - start;
+
+    // Per-task inner-loop graphs are independent (each worker builds its own
+    // graph over the shared read-only parameter leaves; see DESIGN.md
+    // "Parallel training"), so tasks of one meta-batch run concurrently and
+    // drop their contributions into position-indexed slots.
+    std::vector<TaskContribution> contribs(count);
+    auto run_task = [&](size_t offset) {
+      const Task& task = tasks[order[start + offset]];
+      if (task.query_size() == 0) return;
       nn::ParamList fast =
           InnerAdapt(params, task, config_.inner_steps, config_.second_order);
       ag::Variable loss = ag::BceWithLogits(
@@ -66,21 +88,47 @@ float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
           ag::Constant(task.query_labels));
       if (task.loss_weight != 1.0f) loss = ag::MulScalar(loss, task.loss_weight);
       std::vector<ag::Variable> grads = ag::Grad(loss, params);
+      TaskContribution& out = contribs[offset];
+      out.grads.reserve(grads.size());
+      // Keep only the tensors (shared storage); the graphs die here, on the
+      // thread that built them, so their buffers return to that thread's pool.
+      for (const auto& g : grads) out.grads.push_back(g.data());
+      out.query_loss = static_cast<double>(loss.item());
+      out.valid = true;
+    };
+    if (threads > 1 && count > 1) {
+      ThreadPool::Global().ParallelFor(count, threads, run_task);
+    } else {
+      for (size_t offset = 0; offset < count; ++offset) run_task(offset);
+    }
+
+    // Ordered reduction: accumulate in task-index order into private clones,
+    // so serial and parallel epochs are bit-identical (the same contract as
+    // eval::EvaluateScenario's ordered merge).
+    std::vector<Tensor> grad_acc;
+    int batch_tasks = 0;
+    double batch_loss = 0.0;
+    for (const TaskContribution& c : contribs) {
+      if (!c.valid) continue;
       if (grad_acc.empty()) {
-        grad_acc.reserve(grads.size());
-        for (const auto& g : grads) grad_acc.push_back(g.data().Clone());
+        grad_acc.reserve(c.grads.size());
+        for (const Tensor& g : c.grads) grad_acc.push_back(g.Clone());
       } else {
         // grad_acc buffers are private clones, so accumulate without
         // allocating a fresh sum per task.
-        for (size_t i = 0; i < grads.size(); ++i) {
-          t::AddInPlace(&grad_acc[i], grads[i].data());
+        for (size_t i = 0; i < c.grads.size(); ++i) {
+          t::AddInPlace(&grad_acc[i], c.grads[i]);
         }
       }
-      epoch_loss += loss.item();
+      batch_loss += c.query_loss;
       ++batch_tasks;
-      ++counted;
     }
     if (batch_tasks == 0) continue;
+    epoch_loss += batch_loss;
+    stats.tasks_counted += batch_tasks;
+    stats.batch_mean_loss.push_back(
+        static_cast<float>(batch_loss / static_cast<double>(batch_tasks)));
+    stats.batch_task_count.push_back(batch_tasks);
     std::vector<ag::Variable> mean_grads;
     mean_grads.reserve(grad_acc.size());
     for (auto& g : grad_acc) {
@@ -90,8 +138,13 @@ float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
     optim::ClipGradNorm(&mean_grads, 10.0f);
     outer_opt_->Step(mean_grads);
   }
-  return counted > 0 ? static_cast<float>(epoch_loss / static_cast<double>(counted))
-                     : 0.0f;
+  // Mean over tasks, not over batches: a ragged final meta-batch must not be
+  // overweighted (tests/meta_test.cc pins this for 3 tasks, batch size 2).
+  stats.mean_query_loss =
+      stats.tasks_counted > 0
+          ? static_cast<float>(epoch_loss / static_cast<double>(stats.tasks_counted))
+          : 0.0f;
+  return stats;
 }
 
 std::vector<float> MamlTrainer::Train(const std::vector<Task>& tasks) {

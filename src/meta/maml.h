@@ -27,7 +27,21 @@ struct MamlConfig {
   int meta_batch_size = 8;     ///< tasks per outer update
   int epochs = 8;
   int finetune_steps = 5;      ///< test-time adaptation steps
+  /// Concurrent tasks per meta-batch (1 = serial, 0 = all cores, N = at most
+  /// N threads). Any value produces bit-identical training: per-task graphs
+  /// are independent and the outer reduction runs in task-index order.
+  int threads = 1;
   uint64_t seed = 3;
+};
+
+/// \brief Diagnostics of one TrainEpoch pass (tests and logging).
+struct EpochStats {
+  /// Mean query loss over every counted task — NOT the mean of per-batch
+  /// means, which would overweight a ragged final meta-batch.
+  float mean_query_loss = 0.0f;
+  int64_t tasks_counted = 0;               ///< tasks with a non-empty query set
+  std::vector<float> batch_mean_loss;      ///< per outer step
+  std::vector<int> batch_task_count;       ///< tasks behind each outer step
 };
 
 /// \brief Meta-trains a PreferenceModel over tasks.
@@ -39,6 +53,9 @@ class MamlTrainer {
   /// \brief One pass over all tasks in meta-batches; returns the mean query
   /// loss of the epoch.
   float TrainEpoch(const std::vector<Task>& tasks);
+
+  /// \brief TrainEpoch with per-batch diagnostics.
+  EpochStats TrainEpochStats(const std::vector<Task>& tasks);
 
   /// \brief Runs config.epochs of TrainEpoch; returns per-epoch losses.
   std::vector<float> Train(const std::vector<Task>& tasks);

@@ -48,8 +48,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, /*max_concurrency=*/0, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_concurrency,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || t_inside_worker) {
+  if (n == 1 || max_concurrency == 1 || t_inside_worker) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -70,7 +75,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       }
     }
   };
-  const size_t num_tasks = std::min(n, workers_.size());
+  // The calling thread is one executor, so only max_concurrency - 1 claim
+  // loops go to the pool when a cap is set.
+  size_t num_tasks = std::min(n, workers_.size());
+  if (max_concurrency > 0) num_tasks = std::min(num_tasks, max_concurrency - 1);
   std::vector<std::future<void>> futures;
   futures.reserve(num_tasks);
   for (size_t t = 0; t < num_tasks; ++t) futures.push_back(Submit(claim_loop));
@@ -99,6 +107,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 ThreadPool& ThreadPool::Global() {
   static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
   return pool;
+}
+
+size_t ThreadPool::ResolveConcurrency(int threads) {
+  if (threads > 0) return static_cast<size_t>(threads);
+  return Global().num_threads() + 1;
 }
 
 }  // namespace metadpa

@@ -45,10 +45,22 @@ class ThreadPool {
   /// concurrently; calls nested inside a pool task run serially.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// \brief Same, but at most `max_concurrency` threads (pool workers plus the
+  /// calling thread) execute bodies. 0 means "no cap beyond the pool size";
+  /// 1 runs everything on the calling thread. This is how a `threads` config
+  /// knob bounds a parallel section without resizing the global pool.
+  void ParallelFor(size_t n, size_t max_concurrency,
+                   const std::function<void(size_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// \brief A process-wide pool sized to the hardware concurrency.
   static ThreadPool& Global();
+
+  /// \brief Resolves a `threads` config knob against the global pool:
+  /// 0 = one executor per core (workers plus the calling thread), otherwise
+  /// the knob itself. The result feeds ParallelFor's max_concurrency.
+  static size_t ResolveConcurrency(int threads);
 
  private:
   void WorkerLoop();

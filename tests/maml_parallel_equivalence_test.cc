@@ -1,0 +1,193 @@
+// Serial vs parallel MAML training must be bit-identical: per-task graphs
+// are independent and the outer reduction accumulates in task-index order
+// (DESIGN.md "Parallel training"). These tests train twin models from
+// identical initializations with threads=1 and threads=4 and compare every
+// per-epoch loss and every final parameter at the bit level, across
+// second-order MAML, FOMAML, and a meta-batch size that does not divide the
+// task count. Registered under `ctest -L tsan` (like buffer_pool_test) so a
+// -DMETADPA_TSAN=ON build race-checks the parallel epoch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "meta/maml.h"
+#include "meta/preference_model.h"
+#include "tensor/ops.h"
+
+namespace metadpa {
+namespace meta {
+namespace {
+
+PreferenceModelConfig SmallModel(int64_t content_dim) {
+  PreferenceModelConfig config;
+  config.content_dim = content_dim;
+  config.embed_dim = 8;
+  config.hidden = {12};
+  return config;
+}
+
+Tensor DotLabels(const Tensor& u, const Tensor& i) {
+  Tensor labels({u.dim(0), 1});
+  for (int64_t r = 0; r < u.dim(0); ++r) {
+    float dot = 0.0f;
+    for (int64_t c = 0; c < u.dim(1); ++c) dot += u.at(r, c) * i.at(r, c);
+    labels.at(r) = dot > 0.0f ? 1.0f : 0.0f;
+  }
+  return labels;
+}
+
+Task MakeTask(Rng* rng, int64_t ns, int64_t nq, float loss_weight = 1.0f) {
+  Task task;
+  task.user = 0;
+  task.loss_weight = loss_weight;
+  task.support_user = Tensor::RandNormal({ns, 6}, rng);
+  task.support_item = Tensor::RandNormal({ns, 6}, rng);
+  task.query_user = Tensor::RandNormal({nq, 6}, rng);
+  task.query_item = Tensor::RandNormal({nq, 6}, rng);
+  task.support_labels = DotLabels(task.support_user, task.support_item);
+  task.query_labels = DotLabels(task.query_user, task.query_item);
+  return task;
+}
+
+/// Same float bits everywhere, including signed zeros (stronger than ==).
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    uint32_t ba, bb;
+    const float fa = a.at(i), fb = b.at(i);
+    std::memcpy(&ba, &fa, sizeof(ba));
+    std::memcpy(&bb, &fb, sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at element " << i << ": " << fa
+                      << " vs " << fb;
+  }
+}
+
+struct TrainRun {
+  std::vector<float> losses;
+  std::vector<Tensor> final_params;
+};
+
+TrainRun Train(const std::vector<Task>& tasks, const MamlConfig& config) {
+  Rng rng(4242);
+  PreferenceModel model(SmallModel(6), &rng);
+  MamlTrainer trainer(&model, config);
+  TrainRun run;
+  run.losses = trainer.Train(tasks);
+  for (const auto& p : model.Parameters()) run.final_params.push_back(p.data().Clone());
+  return run;
+}
+
+void ExpectRunsBitIdentical(const std::vector<Task>& tasks, MamlConfig config) {
+  config.threads = 1;
+  TrainRun serial = Train(tasks, config);
+  config.threads = 4;
+  TrainRun parallel = Train(tasks, config);
+
+  ASSERT_EQ(serial.losses.size(), parallel.losses.size());
+  for (size_t e = 0; e < serial.losses.size(); ++e) {
+    uint32_t bs, bp;
+    std::memcpy(&bs, &serial.losses[e], sizeof(bs));
+    std::memcpy(&bp, &parallel.losses[e], sizeof(bp));
+    EXPECT_EQ(bs, bp) << "epoch " << e << " loss: " << serial.losses[e] << " vs "
+                      << parallel.losses[e];
+  }
+  ASSERT_EQ(serial.final_params.size(), parallel.final_params.size());
+  for (size_t i = 0; i < serial.final_params.size(); ++i) {
+    ExpectBitIdentical(serial.final_params[i], parallel.final_params[i], "param");
+  }
+}
+
+class MamlParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  MamlParallelEquivalenceTest() : rng_(317) {
+    for (int t = 0; t < 12; ++t) tasks_.push_back(MakeTask(&rng_, 6, 6));
+  }
+
+  MamlConfig BaseConfig() const {
+    MamlConfig config;
+    config.epochs = 3;
+    config.inner_steps = 2;
+    config.meta_batch_size = 4;
+    config.seed = 11;
+    return config;
+  }
+
+  Rng rng_;
+  std::vector<Task> tasks_;
+};
+
+TEST_F(MamlParallelEquivalenceTest, SecondOrder) {
+  MamlConfig config = BaseConfig();
+  config.second_order = true;
+  ExpectRunsBitIdentical(tasks_, config);
+}
+
+TEST_F(MamlParallelEquivalenceTest, FirstOrder) {
+  MamlConfig config = BaseConfig();
+  config.second_order = false;
+  ExpectRunsBitIdentical(tasks_, config);
+}
+
+TEST_F(MamlParallelEquivalenceTest, RaggedMetaBatch) {
+  // 12 tasks, batches of 5 -> the last outer step sees only 2 tasks.
+  MamlConfig config = BaseConfig();
+  config.meta_batch_size = 5;
+  ExpectRunsBitIdentical(tasks_, config);
+}
+
+TEST_F(MamlParallelEquivalenceTest, EmptyQueryTasksAndWeights) {
+  // Tasks a worker must skip (empty query) interleaved with down-weighted
+  // ones: the ordered reduction has to skip/scale identically in both modes.
+  std::vector<Task> tasks = tasks_;
+  tasks[2] = MakeTask(&rng_, 5, 0);
+  tasks[7] = MakeTask(&rng_, 4, 0);
+  tasks[5].loss_weight = 0.3f;
+  MamlConfig config = BaseConfig();
+  config.meta_batch_size = 3;
+  ExpectRunsBitIdentical(tasks, config);
+}
+
+TEST_F(MamlParallelEquivalenceTest, ThreadsZeroMeansAllCores) {
+  MamlConfig config = BaseConfig();
+  config.epochs = 2;
+  config.threads = 1;
+  TrainRun serial = Train(tasks_, config);
+  config.threads = 0;
+  TrainRun all_cores = Train(tasks_, config);
+  ASSERT_EQ(serial.losses.size(), all_cores.losses.size());
+  for (size_t e = 0; e < serial.losses.size(); ++e) {
+    EXPECT_EQ(serial.losses[e], all_cores.losses[e]);
+  }
+  for (size_t i = 0; i < serial.final_params.size(); ++i) {
+    ExpectBitIdentical(serial.final_params[i], all_cores.final_params[i], "param");
+  }
+}
+
+// Parallel-training stress for the tsan label: many small tasks churning
+// through concurrent graph construction, Grad() and the buffer pool. The
+// assertions are light — the point is the interleavings TSan observes.
+TEST_F(MamlParallelEquivalenceTest, ParallelTrainingStress) {
+  std::vector<Task> tasks;
+  for (int t = 0; t < 24; ++t) {
+    tasks.push_back(MakeTask(&rng_, 4 + t % 3, 3 + t % 4));
+  }
+  Rng rng(5150);
+  PreferenceModel model(SmallModel(6), &rng);
+  MamlConfig config;
+  config.epochs = 3;
+  config.inner_steps = 2;
+  config.second_order = true;
+  config.meta_batch_size = 8;
+  config.threads = 4;
+  MamlTrainer trainer(&model, config);
+  std::vector<float> losses = trainer.Train(tasks);
+  ASSERT_EQ(losses.size(), 3u);
+  for (float l : losses) EXPECT_TRUE(std::isfinite(l));
+  for (const auto& p : model.Parameters()) EXPECT_TRUE(t::AllFinite(p.data()));
+}
+
+}  // namespace
+}  // namespace meta
+}  // namespace metadpa

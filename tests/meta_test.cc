@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "autograd/gradcheck.h"
 #include "meta/maml.h"
 #include "meta/preference_model.h"
 #include "meta/tasks.h"
@@ -259,6 +262,138 @@ TEST_F(MamlTest, SecondOrderDiffersFromFirstOrder) {
     diff += t::MaxAbsDiff(pa[i].data(), pb[i].data());
   }
   EXPECT_GT(diff, 1e-6f);
+}
+
+TEST_F(MamlTest, RaggedMetaBatchMeanLossNormalization) {
+  // Regression: with 3 tasks and meta_batch_size=2 the epoch splits into
+  // batches of {2, 1}. The epoch mean must weight every task equally
+  // (sum of per-task losses / 3), NOT average the two batch means — that
+  // would overweight the ragged final batch's single task.
+  MamlConfig config;
+  config.meta_batch_size = 2;
+  config.epochs = 1;
+  MamlTrainer trainer(model_.get(), config);
+  std::vector<Task> three(tasks_.begin(), tasks_.begin() + 3);
+  EpochStats stats = trainer.TrainEpochStats(three);
+
+  ASSERT_EQ(stats.batch_mean_loss.size(), 2u);
+  ASSERT_EQ(stats.batch_task_count.size(), 2u);
+  EXPECT_EQ(stats.batch_task_count[0], 2);
+  EXPECT_EQ(stats.batch_task_count[1], 1);
+  EXPECT_EQ(stats.tasks_counted, 3);
+
+  const double b0 = stats.batch_mean_loss[0], b1 = stats.batch_mean_loss[1];
+  const double task_weighted = (2.0 * b0 + 1.0 * b1) / 3.0;
+  const double batch_mean_of_means = (b0 + b1) / 2.0;
+  EXPECT_NEAR(stats.mean_query_loss, task_weighted, 1e-6);
+  ASSERT_NE(b0, b1);  // distinct tasks -> distinct batch means
+  EXPECT_NE(stats.mean_query_loss, static_cast<float>(batch_mean_of_means));
+  // And TrainEpoch returns the same normalization.
+  Rng rng(17);
+  PreferenceModel twin(SmallModel(6), &rng);
+  // (fresh trainer: TrainEpochStats above already stepped the optimizer)
+  MamlTrainer pinned(&twin, config);
+  EpochStats again = pinned.TrainEpochStats(three);
+  EXPECT_NEAR(again.mean_query_loss,
+              (2.0 * again.batch_mean_loss[0] + again.batch_mean_loss[1]) / 3.0, 1e-6);
+}
+
+TEST_F(MamlTest, AdaptZeroStepsReturnsInitializationExactly) {
+  // Property: over randomized task sets, Adapt with steps=0 must hand back
+  // the meta-learned initialization bit-for-bit (detached copies).
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  nn::ParamList params = model_->Parameters();
+  Rng rng(91);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t ns = 1 + static_cast<int64_t>(rng.Next() % 7);
+    Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandNormal({ns, 6}, &rng);
+    task.support_item = Tensor::RandNormal({ns, 6}, &rng);
+    task.support_labels = Tensor::RandUniform({ns, 1}, &rng);
+    nn::ParamList fast = trainer.Adapt(task, /*steps=*/0);
+    ASSERT_EQ(fast.size(), params.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_FLOAT_EQ(t::MaxAbsDiff(fast[i].data(), params[i].data()), 0.0f)
+          << "trial " << trial << " param " << i;
+      EXPECT_FALSE(fast[i].requires_grad());
+    }
+  }
+}
+
+TEST_F(MamlTest, ScoreWithInvariantToTaskAndRowOrdering) {
+  MamlConfig config;
+  MamlTrainer trainer(model_.get(), config);
+  Rng rng(53);
+  Tensor cu = Tensor::RandNormal({7, 6}, &rng);
+  Tensor ci = Tensor::RandNormal({7, 6}, &rng);
+
+  // Property 1: Adapt() is const — scoring with the stored parameters gives
+  // the same result regardless of how many tasks were adapted in between,
+  // and in which order.
+  std::vector<double> before = trainer.ScoreWith(model_->Parameters(), cu, ci);
+  std::vector<size_t> task_order(tasks_.size());
+  std::iota(task_order.begin(), task_order.end(), size_t{0});
+  Rng shuffle_rng(7);
+  shuffle_rng.Shuffle(&task_order);
+  for (size_t idx : task_order) trainer.Adapt(tasks_[idx], 3);
+  std::vector<double> after = trainer.ScoreWith(model_->Parameters(), cu, ci);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+
+  // Property 2: each row is scored independently, so permuting the batch
+  // permutes the scores exactly (row i's float path never sees row j).
+  std::vector<int64_t> perm = {4, 0, 6, 2, 5, 1, 3};
+  Tensor pu = t::IndexSelect(cu, perm);
+  Tensor pi = t::IndexSelect(ci, perm);
+  std::vector<double> permuted = trainer.ScoreWith(model_->Parameters(), pu, pi);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(permuted[i], before[static_cast<size_t>(perm[i])]) << "row " << i;
+  }
+}
+
+// Gradcheck of the MeLU adaptation path (baselines/melu.cc ->
+// MamlTrainer::InnerAdapt): one differentiable inner SGD step on the support
+// set, then the query loss on the fast weights. First order validates the
+// meta-gradient; second order validates differentiating THROUGH it — the
+// exact create_graph machinery the second-order outer loop relies on.
+TEST(MeluAdaptationGradCheckTest, FirstAndSecondOrder) {
+  Rng rng(23);
+  PreferenceModelConfig config;
+  config.content_dim = 3;
+  config.embed_dim = 2;
+  config.hidden = {3};
+  PreferenceModel model(config, &rng);
+
+  Tensor su = Tensor::RandNormal({2, 3}, &rng);
+  Tensor si = Tensor::RandNormal({2, 3}, &rng);
+  Tensor sl = Tensor::RandUniform({2, 1}, &rng);
+  Tensor qu = Tensor::RandNormal({2, 3}, &rng);
+  Tensor qi = Tensor::RandNormal({2, 3}, &rng);
+  Tensor ql = Tensor::RandUniform({2, 1}, &rng);
+
+  ag::ScalarFn fn = [&](const std::vector<ag::Variable>& params) {
+    ag::Variable support_loss = ag::BceWithLogits(
+        model.ForwardWith(ag::Constant(su), ag::Constant(si), params),
+        ag::Constant(sl));
+    ag::GradOptions opts;
+    opts.create_graph = true;
+    std::vector<ag::Variable> grads = ag::Grad(support_loss, params, opts);
+    nn::ParamList fast;
+    fast.reserve(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      fast.push_back(ag::Sub(params[i], ag::MulScalar(grads[i], 0.1f)));
+    }
+    return ag::BceWithLogits(
+        model.ForwardWith(ag::Constant(qu), ag::Constant(qi), fast),
+        ag::Constant(ql));
+  };
+
+  std::vector<Tensor> points;
+  for (const auto& p : model.Parameters()) points.push_back(p.data().Clone());
+  EXPECT_LT(ag::MaxGradError(fn, points), 3e-2);
+  EXPECT_LT(ag::MaxSecondOrderError(fn, points, &rng), 1e-1);
 }
 
 TEST_F(MamlTest, ScoreWithProducesProbabilities) {

@@ -5,10 +5,13 @@
 //       print Table I/II-style dataset statistics for a generated world.
 //   run     [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
 //           [--effort E] [--seed SEED] [--csv PATH] [--threads T]
+//           [--train-threads T]
 //       train the chosen methods and print the four-scenario comparison;
 //       optionally dump a CSV of every (method, scenario, metric) cell.
 //       --threads controls parallel case scoring (0 = all cores, 1 = serial);
-//       per-method eval throughput is reported on stderr.
+//       --train-threads controls parallel meta-training (same convention;
+//       results are bit-identical for any value); per-method eval throughput
+//       is reported on stderr.
 //   export  --prefix PATH [--target NAME] [--scale S]
 //       write the generated target domain to PATH.ratings.tsv /
 //       PATH.content.bin (the formats data/io.h reads back).
@@ -58,6 +61,7 @@ int Usage() {
                "  stats  [--scale S]\n"
                "  run    [--methods A,B,..] [--scale S] [--negatives N]\n"
                "         [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
+               "         [--train-threads T]\n"
                "  export --prefix PATH [--scale S]\n");
   return 2;
 }
@@ -113,6 +117,7 @@ int RunCompare(const Args& args) {
 
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
+  options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
 
   std::vector<std::string> names;
   std::stringstream ss(args.Get("methods", "MeLU,CoNN,MetaDPA"));
