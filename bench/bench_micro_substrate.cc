@@ -7,6 +7,7 @@
 #include "autograd/ops.h"
 #include "cvae/dual_cvae.h"
 #include "meta/maml.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 using namespace metadpa;
@@ -200,6 +201,46 @@ void BM_MamlMetaEpochThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * tasks.size());
 }
 BENCHMARK(BM_MamlMetaEpochThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+// Instrumentation overhead on BM_MamlMetaEpochThreads-scale work: the same
+// meta-epoch with observability disabled (arg 0: every OBS_* site costs one
+// relaxed load + branch) vs. enabled (arg 1: spans and shard increments
+// record). A -DMETADPA_OBS_STRIP=ON build of this benchmark gives the third
+// column of the EXPERIMENTS.md table (gates compiled out entirely).
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  Rng rng(8);  // same world as BM_MamlMetaEpochThreads for comparability
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 96;
+  meta::PreferenceModel model(model_config, &rng);
+  meta::MamlConfig maml_config;
+  maml_config.epochs = 1;
+  maml_config.meta_batch_size = 8;
+  maml_config.second_order = true;
+  maml_config.threads = 1;
+  meta::MamlTrainer trainer(&model, maml_config);
+
+  std::vector<meta::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    meta::Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandUniform({16, 96}, &rng);
+    task.support_item = Tensor::RandUniform({16, 96}, &rng);
+    task.support_labels = Tensor::RandUniform({16, 1}, &rng);
+    task.query_user = Tensor::RandUniform({16, 96}, &rng);
+    task.query_item = Tensor::RandUniform({16, 96}, &rng);
+    task.query_labels = Tensor::RandUniform({16, 1}, &rng);
+    tasks.push_back(std::move(task));
+  }
+  const bool was_enabled = obs::SetEnabled(enabled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainEpoch(tasks));
+  }
+  obs::SetEnabled(was_enabled);
+  obs::ResetAll();  // keep later repetitions/benchmarks from inheriting state
+  state.SetItemsProcessed(state.iterations() * tasks.size());
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -70,6 +71,7 @@ std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
 
   float first_loss = 0.0f, last_loss = 0.0f;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    OBS_SPAN("cvae/epoch");
     rng.Shuffle(&order);
     std::vector<int64_t> batch_starts;
     for (int64_t start = 0; start < pairs.count; start += config.batch_size) {
@@ -116,7 +118,12 @@ std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
         }
         epoch_loss += c.loss;
         ++batches;
+        OBS_OBSERVE("cvae/batch_loss",
+                    (std::vector<double>{1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}),
+                    c.loss);
       }
+      OBS_COUNT("cvae/batches", static_cast<int64_t>(count));
+      OBS_COUNT("cvae/optimizer_steps", 1);
       std::vector<ag::Variable> mean_grads;
       mean_grads.reserve(grad_acc.size());
       for (auto& g : grad_acc) {
@@ -153,6 +160,7 @@ AdaptationReport DomainAdaptation::Fit(const data::MultiDomainDataset& dataset) 
   for (auto& s : seeds) s = seed_rng.Next();
 
   auto train_domain = [&](size_t s) {
+    OBS_SPAN("cvae/fit_source");
     Rng rng(seeds[s]);
     AlignedPairs pairs = BuildAlignedPairs(dataset.sources[s], dataset.target,
                                            dataset.shared_users[s]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -20,6 +21,7 @@ struct CaseOutcome {
 
 CaseOutcome ComputeOutcome(CaseScorer* scorer, const data::EvalCase& eval_case,
                            const EvalOptions& options) {
+  OBS_SPAN("eval/case");
   // Item list: positive first, then the sampled negatives.
   std::vector<int64_t> items;
   items.reserve(1 + eval_case.negatives.size());
@@ -40,6 +42,12 @@ CaseOutcome ComputeOutcome(CaseScorer* scorer, const data::EvalCase& eval_case,
   outcome.at_k = metrics::EvaluateCase(positive_score, negative_scores, options.k);
   outcome.curve =
       metrics::NdcgCurve(positive_score, negative_scores, options.max_curve_k);
+  OBS_COUNT("eval/cases", 1);
+  // Rank distribution, recomputed from the already-produced scores: the
+  // instrumentation reads model output, it never re-draws or re-scores.
+  OBS_OBSERVE("eval/positive_rank",
+              (std::vector<double>{1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0}),
+              metrics::PositiveRank(positive_score, negative_scores));
   return outcome;
 }
 
@@ -53,10 +61,14 @@ ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
                                 data::Scenario scenario, const EvalOptions& options) {
   MDPA_CHECK(model != nullptr);
   MDPA_CHECK(ctx.splits != nullptr);
+  OBS_SPAN("eval/scenario");
   const data::ScenarioData& data = ctx.splits->ForScenario(scenario);
 
   Stopwatch phase;
-  model->BeginScenario(data, ctx);
+  {
+    OBS_SPAN("eval/begin_scenario");
+    model->BeginScenario(data, ctx);
+  }
 
   ScenarioResult result;
   result.timing.begin_seconds = phase.ElapsedSeconds();

@@ -10,9 +10,52 @@
 #include "baselines/metacf.h"
 #include "baselines/neumf.h"
 #include "baselines/tdar.h"
+#include "obs/obs.h"
+#include "tensor/buffer_pool.h"
+#include "util/thread_pool.h"
 
 namespace metadpa {
 namespace suite {
+
+void SetupObservability(const SuiteOptions& options) {
+  if (options.trace_out.empty() && options.metrics_out.empty()) return;
+  obs::SetEnabled(true);
+  ThreadPool::Global().SetIdleTimingEnabled(true);
+  // Pull bridges: subsystems below obs in the layering (ThreadPool in util,
+  // the buffer pool in tensor) keep their native counters; snapshots read
+  // them through these providers instead of pushing on their hot paths.
+  obs::RegisterStatsProvider("thread_pool", [] {
+    const ThreadPool::Stats stats = ThreadPool::Global().GetStats();
+    return std::vector<std::pair<std::string, double>>{
+        {"thread_pool/tasks_submitted", static_cast<double>(stats.tasks_submitted)},
+        {"thread_pool/tasks_executed", static_cast<double>(stats.tasks_executed)},
+        {"thread_pool/queue_depth", static_cast<double>(stats.queue_depth)},
+        {"thread_pool/peak_queue_depth",
+         static_cast<double>(stats.peak_queue_depth)},
+        {"thread_pool/idle_seconds", stats.idle_seconds},
+    };
+  });
+  obs::RegisterStatsProvider("tensor_pool", [] {
+    const pool::Stats stats = pool::GlobalStats();
+    return std::vector<std::pair<std::string, double>>{
+        {"tensor_pool/hits", static_cast<double>(stats.hits)},
+        {"tensor_pool/misses", static_cast<double>(stats.misses)},
+        {"tensor_pool/returned", static_cast<double>(stats.returned)},
+        {"tensor_pool/dropped", static_cast<double>(stats.dropped)},
+        {"tensor_pool/bytes_reused", static_cast<double>(stats.bytes_reused)},
+    };
+  });
+}
+
+Status ExportObservability(const SuiteOptions& options) {
+  if (!options.trace_out.empty()) {
+    MDPA_RETURN_NOT_OK(obs::WriteTrace(options.trace_out));
+  }
+  if (!options.metrics_out.empty()) {
+    MDPA_RETURN_NOT_OK(obs::WriteMetrics(options.metrics_out));
+  }
+  return Status::OK();
+}
 
 int ScaledEpochs(int epochs, double effort) {
   return std::max(1, static_cast<int>(std::llround(epochs * effort)));

@@ -12,6 +12,7 @@
 
 #include "core/metadpa.h"
 #include "eval/recommender.h"
+#include "util/status.h"
 
 namespace metadpa {
 namespace suite {
@@ -26,6 +27,12 @@ struct SuiteOptions {
   /// loops (MamlConfig::threads / AdaptationConfig::threads: 1 = serial,
   /// 0 = all cores). Training results are bit-identical for any value.
   int train_threads = 1;
+  /// When non-empty, SetupObservability enables tracing/metrics and
+  /// ExportObservability writes a chrome://tracing JSON here.
+  std::string trace_out;
+  /// When non-empty, ExportObservability writes the metrics + span summary
+  /// tables here. Either output alone turns instrumentation on.
+  std::string metrics_out;
 };
 
 /// \brief One constructible method.
@@ -47,6 +54,16 @@ core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options);
 
 /// \brief Scales an epoch count by the effort knob (at least 1).
 int ScaledEpochs(int epochs, double effort);
+
+/// \brief Enables instrumentation when the options ask for any observability
+/// output: turns obs on, starts thread-pool idle timing, and registers the
+/// thread-pool / tensor-buffer-pool stats providers. No-op (and obs stays
+/// off) when both output paths are empty. Safe to call repeatedly.
+void SetupObservability(const SuiteOptions& options);
+
+/// \brief Writes the requested observability outputs (trace JSON and/or the
+/// metrics + span summary tables). OK when neither output was requested.
+Status ExportObservability(const SuiteOptions& options);
 
 }  // namespace suite
 }  // namespace metadpa

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -31,6 +32,7 @@ MamlTrainer::MamlTrainer(PreferenceModel* model, const MamlConfig& config)
 nn::ParamList MamlTrainer::InnerAdapt(const nn::ParamList& params, const Task& task,
                                       int steps, bool build_graph) const {
   if (task.support_size() == 0) return params;
+  OBS_COUNT("maml/inner_steps", steps);
   ag::Variable su = ag::Constant(task.support_user);
   ag::Variable si = ag::Constant(task.support_item);
   ag::Variable sl = ag::Constant(task.support_labels);
@@ -57,6 +59,7 @@ float MamlTrainer::TrainEpoch(const std::vector<Task>& tasks) {
 
 EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
   MDPA_CHECK(!tasks.empty());
+  OBS_SPAN("maml/train_epoch");
   std::vector<size_t> order(tasks.size());
   std::iota(order.begin(), order.end(), size_t{0});
   rng_.Shuffle(&order);
@@ -71,6 +74,7 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
     const size_t end =
         std::min(order.size(), start + static_cast<size_t>(config_.meta_batch_size));
     const size_t count = end - start;
+    OBS_SPAN("maml/meta_batch");
 
     // Per-task inner-loop graphs are independent (each worker builds its own
     // graph over the shared read-only parameter leaves; see DESIGN.md
@@ -122,8 +126,15 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
       }
       batch_loss += c.query_loss;
       ++batch_tasks;
+      // Observation only: query_loss is already computed; the histogram
+      // never feeds back into training.
+      OBS_OBSERVE("maml/query_loss",
+                  (std::vector<double>{0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0}),
+                  c.query_loss);
     }
     if (batch_tasks == 0) continue;
+    OBS_COUNT("maml/tasks", batch_tasks);
+    OBS_COUNT("maml/outer_steps", 1);
     epoch_loss += batch_loss;
     stats.tasks_counted += batch_tasks;
     stats.batch_mean_loss.push_back(

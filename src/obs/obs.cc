@@ -1,0 +1,508 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/table.h"
+
+namespace metadpa {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+/// One thread's shard of a Counter. Owned by the Counter, never freed, so a
+/// thread's final increments stay visible after the thread exits.
+struct alignas(64) CounterCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// One thread's shard of a Histogram: per-bucket counts plus count and sum.
+/// Only the owning thread read-modify-writes; readers load relaxed, so the
+/// store(load + v) on `sum` never loses updates.
+struct HistogramCell {
+  explicit HistogramCell(size_t num_buckets) : buckets(num_buckets) {}
+  std::vector<std::atomic<int64_t>> buckets;
+  std::atomic<int64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+/// Factory access to the metrics' private constructors, so only obs.cc's
+/// registry can mint instances.
+struct Access {
+  static Counter* NewCounter(size_t id) { return new Counter(id); }
+  static Gauge* NewGauge() { return new Gauge(); }
+  static Histogram* NewHistogram(size_t id, std::vector<double> bounds) {
+    return new Histogram(id, std::move(bounds));
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::CounterCell;
+using internal::HistogramCell;
+
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+/// Nanoseconds since the trace epoch (the first call in the process).
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+struct Event {
+  const char* name;
+  int64_t start_ns;
+  int64_t dur_ns;
+};
+
+/// Per-thread span buffer. Appends only contend with export (per-buffer
+/// mutex); buffers are owned by the registry and survive thread exit.
+struct EventBuffer {
+  explicit EventBuffer(uint64_t tid_in) : tid(tid_in) {}
+  const uint64_t tid;
+  std::mutex mutex;
+  std::vector<Event> events;
+  int64_t dropped = 0;
+};
+
+/// Leaky singleton: metrics and trace buffers must stay valid for deleters
+/// and worker threads that run during static destruction.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      auto* c = internal::Access::NewCounter(next_counter_id_++);
+      it = counters_.emplace(name, c).first;
+    }
+    return *it->second;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, internal::Access::NewGauge()).first;
+    }
+    return *it->second;
+  }
+
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      MDPA_CHECK(!bounds.empty()) << "histogram " << name << " needs bounds";
+      for (size_t i = 1; i < bounds.size(); ++i) {
+        MDPA_CHECK_LT(bounds[i - 1], bounds[i])
+            << "histogram " << name << " bounds must be strictly ascending";
+      }
+      auto* h = internal::Access::NewHistogram(next_histogram_id_++, std::move(bounds));
+      it = histograms_.emplace(name, h).first;
+    } else {
+      MDPA_CHECK(bounds == it->second->bounds())
+          << "histogram " << name << " re-registered with different bounds";
+    }
+    return *it->second;
+  }
+
+  void RegisterProvider(const std::string& name, StatsProvider provider) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers_[name] = std::move(provider);
+  }
+
+  EventBuffer* NewEventBuffer() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<EventBuffer>(next_tid_++));
+    return buffers_.back().get();
+  }
+
+  /// Name-sorted copies of the metric maps (for snapshot/rendering).
+  std::map<std::string, Counter*> CountersByName() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+  }
+  std::map<std::string, Gauge*> GaugesByName() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {gauges_.begin(), gauges_.end()};
+  }
+  std::map<std::string, Histogram*> HistogramsByName() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {histograms_.begin(), histograms_.end()};
+  }
+  std::map<std::string, StatsProvider> ProvidersByName() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {providers_.begin(), providers_.end()};
+  }
+  std::vector<EventBuffer*> Buffers() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<EventBuffer*> out;
+    out.reserve(buffers_.size());
+    for (auto& b : buffers_) out.push_back(b.get());
+    return out;
+  }
+
+ private:
+  Registry() = default;
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, Counter*> counters_;
+  std::unordered_map<std::string, Gauge*> gauges_;
+  std::unordered_map<std::string, Histogram*> histograms_;
+  std::unordered_map<std::string, StatsProvider> providers_;
+  std::vector<std::unique_ptr<EventBuffer>> buffers_;
+  size_t next_counter_id_ = 0;
+  size_t next_histogram_id_ = 0;
+  uint64_t next_tid_ = 1;
+};
+
+// Per-thread shard caches, indexed by metric id. A null slot means this
+// thread has not touched that metric yet.
+thread_local std::vector<CounterCell*> t_counter_cells;
+thread_local std::vector<HistogramCell*> t_histogram_cells;
+thread_local EventBuffer* t_events = nullptr;
+
+void RecordEvent(const char* name, int64_t start_ns, int64_t dur_ns) {
+  if (t_events == nullptr) t_events = Registry::Get().NewEventBuffer();
+  std::lock_guard<std::mutex> lock(t_events->mutex);
+  if (t_events->events.size() >= kMaxEventsPerThread) {
+    ++t_events->dropped;
+    return;
+  }
+  t_events->events.push_back(Event{name, start_ns, dur_ns});
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for writing: " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool SetEnabled(bool enabled) {
+  return internal::g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+internal::CounterCell* Counter::CellForThisThread() {
+  if (id_ >= t_counter_cells.size()) t_counter_cells.resize(id_ + 1, nullptr);
+  CounterCell*& slot = t_counter_cells[id_];
+  if (slot == nullptr) {
+    auto* cell = new CounterCell();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cells_.push_back(cell);
+    }
+    slot = cell;
+  }
+  return slot;
+}
+
+void Counter::Add(int64_t delta) {
+  CellForThisThread()->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const CounterCell* cell : cells_) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CounterCell* cell : cells_) {
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::Value() const { return value_.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+internal::HistogramCell* Histogram::CellForThisThread() {
+  if (id_ >= t_histogram_cells.size()) t_histogram_cells.resize(id_ + 1, nullptr);
+  HistogramCell*& slot = t_histogram_cells[id_];
+  if (slot == nullptr) {
+    auto* cell = new HistogramCell(bounds_.size() + 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cells_.push_back(cell);
+    }
+    slot = cell;
+  }
+  return slot;
+}
+
+void Histogram::Observe(double value) {
+  HistogramCell* cell = CellForThisThread();
+  // First bucket whose (inclusive) upper bound admits the value; past-the-end
+  // is the overflow bucket.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  cell->buckets[b].fetch_add(1, std::memory_order_relaxed);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+  // Owner-only RMW: this thread is the only writer of its cell.
+  cell->sum.store(cell->sum.load(std::memory_order_relaxed) + value,
+                  std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const HistogramCell* cell : cells_) {
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += cell->count.load(std::memory_order_relaxed);
+    snap.sum += cell->sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (HistogramCell* cell : cells_) {
+    for (auto& b : cell->buckets) b.store(0, std::memory_order_relaxed);
+    cell->count.store(0, std::memory_order_relaxed);
+    cell->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry front door
+// ---------------------------------------------------------------------------
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Get().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) { return Registry::Get().GetGauge(name); }
+
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+  return Registry::Get().GetHistogram(name, std::move(bounds));
+}
+
+void RegisterStatsProvider(const std::string& name, StatsProvider provider) {
+  Registry::Get().RegisterProvider(name, std::move(provider));
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  MetricsSnapshot snap;
+  // Providers run outside the registry lock (they may call arbitrary
+  // subsystem accessors) and publish through plain gauges.
+  for (auto& [name, provider] : Registry::Get().ProvidersByName()) {
+    for (const auto& [metric, value] : provider()) {
+      GetGauge(metric).Set(value);
+    }
+  }
+  for (auto& [name, counter] : Registry::Get().CountersByName()) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  for (auto& [name, gauge] : Registry::Get().GaugesByName()) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  for (auto& [name, histogram] : Registry::Get().HistogramsByName()) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+void ResetMetrics() {
+  for (auto& [name, counter] : Registry::Get().CountersByName()) counter->Reset();
+  for (auto& [name, gauge] : Registry::Get().GaugesByName()) gauge->Set(0.0);
+  for (auto& [name, histogram] : Registry::Get().HistogramsByName()) {
+    histogram->Reset();
+  }
+}
+
+std::string MetricsTable() {
+  MetricsSnapshot snap = SnapshotMetrics();
+  TextTable table;
+  table.SetHeader({"Metric", "Type", "Value"});
+  for (const auto& [name, value] : snap.counters) {
+    table.AddRow({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    table.AddRow({name, "gauge", TextTable::Num(value, 3)});
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    std::string cells;
+    for (size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (!cells.empty()) cells += " ";
+      const std::string edge = b < hist.bounds.size()
+                                   ? "le" + TextTable::Num(hist.bounds[b], 3)
+                                   : "inf";
+      cells += edge + ":" + std::to_string(hist.buckets[b]);
+    }
+    table.AddRow({name, "histogram",
+                  "count=" + std::to_string(hist.count) +
+                      " sum=" + TextTable::Num(hist.sum, 3) + " " + cells});
+  }
+  return table.ToString();
+}
+
+Status WriteMetrics(const std::string& path) {
+  return WriteStringToFile(path, MetricsTable() + "\n" + SpanSummaryTable());
+}
+
+// ---------------------------------------------------------------------------
+// Spans and trace export
+// ---------------------------------------------------------------------------
+
+#ifndef METADPA_OBS_STRIP
+Span::Span(const char* name) {
+  if (!Enabled()) return;
+  name_ = name;
+  start_ns_ = NowNs();
+}
+
+Span::~Span() {
+  if (start_ns_ < 0) return;
+  RecordEvent(name_, start_ns_, NowNs() - start_ns_);
+}
+#endif
+
+std::vector<TraceEvent> SnapshotTrace() {
+  std::vector<TraceEvent> out;
+  for (EventBuffer* buffer : Registry::Get().Buffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const Event& e : buffer->events) {
+      out.push_back(TraceEvent{e.name, buffer->tid, e.start_ns, e.dur_ns});
+    }
+  }
+  return out;
+}
+
+void ClearTrace() {
+  for (EventBuffer* buffer : Registry::Get().Buffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::string TraceJson() {
+  std::vector<TraceEvent> events = SnapshotTrace();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "\n{\"name\":\"" + JsonEscape(e.name) + "\",\"ph\":\"X\",\"pid\":0";
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f}",
+                  static_cast<unsigned long long>(e.tid),
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteTrace(const std::string& path) {
+  return WriteStringToFile(path, TraceJson());
+}
+
+std::string SpanSummaryTable() {
+  struct Agg {
+    int64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t min_ns = 0;
+    int64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : SnapshotTrace()) {
+    Agg& agg = by_name[e.name];
+    if (agg.count == 0) {
+      agg.min_ns = e.dur_ns;
+      agg.max_ns = e.dur_ns;
+    } else {
+      agg.min_ns = std::min(agg.min_ns, e.dur_ns);
+      agg.max_ns = std::max(agg.max_ns, e.dur_ns);
+    }
+    ++agg.count;
+    agg.total_ns += e.dur_ns;
+  }
+  TextTable table;
+  table.SetHeader({"Span", "Count", "Total ms", "Mean ms", "Min ms", "Max ms"});
+  for (const auto& [name, agg] : by_name) {
+    const double total_ms = static_cast<double>(agg.total_ns) / 1e6;
+    table.AddRow({name, std::to_string(agg.count), TextTable::Num(total_ms, 3),
+                  TextTable::Num(total_ms / static_cast<double>(agg.count), 3),
+                  TextTable::Num(static_cast<double>(agg.min_ns) / 1e6, 3),
+                  TextTable::Num(static_cast<double>(agg.max_ns) / 1e6, 3)});
+  }
+  return table.ToString();
+}
+
+void ResetAll() {
+  ClearTrace();
+  ResetMetrics();
+}
+
+}  // namespace obs
+}  // namespace metadpa

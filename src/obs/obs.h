@@ -1,0 +1,281 @@
+// Observability subsystem: a thread-safe metrics registry (counters, gauges,
+// fixed-bucket histograms) and scoped wall-clock trace spans.
+//
+// Hot-path contract:
+//  * Increments are lock-free. Each Counter/Histogram keeps one cell per
+//    thread (allocated on a thread's first touch, owned by the metric, never
+//    freed), so the fast path is a relaxed atomic add on a cache line no
+//    other thread writes. Reads merge the shards under the metric's mutex.
+//  * Instrumentation call sites gate on Enabled() — one relaxed atomic load
+//    and a predictable branch when observability is off — via the OBS_*
+//    macros below. A -DMETADPA_OBS_STRIP=ON build compiles the gates and
+//    spans out entirely (Enabled() becomes constexpr false).
+//  * Instrumentation READS program state; it never draws random numbers,
+//    never mutates tensors, and never reorders work. Enabled vs. disabled
+//    runs are bit-identical (tests/obs_equivalence_test.cc pins this).
+//
+// Trace spans:
+//  * obs::Span is RAII: construction stamps a start time, destruction
+//    records a complete event into the calling thread's buffer. Buffers are
+//    per-thread (registered once, guarded by a per-buffer mutex that only
+//    contends with export), so spans from pool workers never interleave.
+//  * Export: chrome://tracing JSON ("Complete" X events; load via
+//    chrome://tracing or https://ui.perfetto.dev) and a plain-text summary
+//    table aggregated per span name (util/table).
+//
+// Span names and metric names passed to the macros must be string literals
+// (or otherwise outlive every export): events store the pointer, not a copy.
+#ifndef METADPA_OBS_OBS_H_
+#define METADPA_OBS_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// \brief True while instrumentation points record. The OBS_* macros and
+/// Span construction check this; registry reads/writes ignore it (a test can
+/// exercise a Counter without enabling the subsystem).
+#ifdef METADPA_OBS_STRIP
+constexpr bool Enabled() { return false; }
+#else
+inline bool Enabled() { return internal::g_enabled.load(std::memory_order_relaxed); }
+#endif
+
+/// \brief Turns instrumentation on/off; returns the previous setting.
+bool SetEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+namespace internal {
+struct CounterCell;
+struct HistogramCell;
+struct Access;  ///< registry-side factory (obs.cc); metrics have private ctors
+}  // namespace internal
+
+/// \brief Monotonic named counter. Add is lock-free (per-thread shard);
+/// Value merges every shard. Exact: N threads adding M times reads N*M.
+class Counter {
+ public:
+  void Add(int64_t delta = 1);
+  int64_t Value() const;
+  void Reset();  ///< zeroes every shard (tests, repeated runs)
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend struct internal::Access;
+  explicit Counter(size_t id) : id_(id) {}
+
+  internal::CounterCell* CellForThisThread();
+
+  const size_t id_;
+  mutable std::mutex mutex_;  ///< guards cells_ growth and merged reads
+  std::vector<internal::CounterCell*> cells_;
+};
+
+/// \brief Last-value gauge (queue depth, bytes pooled, ...). Set/Add are
+/// single atomic operations; no sharding (gauges are not hot-path).
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend struct internal::Access;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief One histogram's merged state.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< inclusive upper edges, ascending
+  std::vector<int64_t> buckets;  ///< bounds.size() + 1 (last = overflow)
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// \brief Fixed-bucket histogram. A value lands in the first bucket whose
+/// upper bound is >= the value (inclusive edges); values above every bound
+/// land in the overflow bucket. Observe is lock-free (per-thread shard).
+class Histogram {
+ public:
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();  ///< zeroes every shard (tests, repeated runs)
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend struct internal::Access;
+  Histogram(size_t id, std::vector<double> bounds)
+      : id_(id), bounds_(std::move(bounds)) {}
+
+  internal::HistogramCell* CellForThisThread();
+
+  const size_t id_;
+  const std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<internal::HistogramCell*> cells_;
+};
+
+/// \brief Finds or registers a counter. The reference is stable for the
+/// process lifetime; cache it (the OBS_* macros do) instead of re-looking-up
+/// on a hot path.
+Counter& GetCounter(const std::string& name);
+
+/// \brief Finds or registers a gauge.
+Gauge& GetGauge(const std::string& name);
+
+/// \brief Finds or registers a histogram. `bounds` must be non-empty and
+/// strictly ascending; a second registration under the same name must pass
+/// identical bounds (checked).
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
+
+/// \brief Merged values of every registered metric, sorted by name. Runs the
+/// registered stats providers first, so subsystem bridges (thread pool,
+/// tensor buffer pool) appear as gauges.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+MetricsSnapshot SnapshotMetrics();
+
+/// \brief Zeroes every registered metric (tests and benchmark repetitions).
+void ResetMetrics();
+
+/// \brief A pull-based bridge for subsystems that keep native counters
+/// (ThreadPool, pool::GlobalStats): called at snapshot time, returns
+/// (gauge name, value) pairs. Re-registering a name replaces the provider.
+using StatsProvider = std::function<std::vector<std::pair<std::string, double>>()>;
+void RegisterStatsProvider(const std::string& name, StatsProvider provider);
+
+/// \brief Renders the snapshot as a boxed text table (one row per metric).
+std::string MetricsTable();
+
+/// \brief Writes MetricsTable() plus the span summary table to `path`.
+Status WriteMetrics(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// \brief Scoped wall-time span. Construction is a no-op when !Enabled().
+class Span {
+ public:
+#ifdef METADPA_OBS_STRIP
+  explicit Span(const char*) {}
+#else
+  explicit Span(const char* name);
+  ~Span();
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef METADPA_OBS_STRIP
+  const char* name_ = nullptr;
+  int64_t start_ns_ = -1;  ///< -1: disabled at construction, record nothing
+#endif
+};
+
+/// \brief One recorded span, in registration order per thread.
+struct TraceEvent {
+  std::string name;
+  uint64_t tid = 0;      ///< small sequential id, stable per thread
+  int64_t start_ns = 0;  ///< relative to the trace epoch, >= 0
+  int64_t dur_ns = 0;    ///< >= 0
+};
+
+/// \brief Copies every thread's recorded events (unsorted across threads).
+std::vector<TraceEvent> SnapshotTrace();
+
+/// \brief Drops all recorded events (buffers stay registered).
+void ClearTrace();
+
+/// \brief Chrome trace-event JSON ("Complete" events, microsecond
+/// timestamps). Open in chrome://tracing or Perfetto.
+std::string TraceJson();
+
+/// \brief Writes TraceJson() to `path`.
+Status WriteTrace(const std::string& path);
+
+/// \brief Per-name aggregation of all recorded spans (count, total/mean/
+/// min/max milliseconds), rendered with util/table, sorted by name.
+std::string SpanSummaryTable();
+
+/// \brief ClearTrace + ResetMetrics, for back-to-back experiment runs.
+void ResetAll();
+
+}  // namespace obs
+}  // namespace metadpa
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros: one relaxed load when disabled; registration
+// happens once per call site (function-local static) when first enabled.
+// ---------------------------------------------------------------------------
+
+#define METADPA_OBS_CONCAT_INNER(a, b) a##b
+#define METADPA_OBS_CONCAT(a, b) METADPA_OBS_CONCAT_INNER(a, b)
+
+/// Scoped trace span: OBS_SPAN("maml/meta_batch");
+#define OBS_SPAN(name) \
+  ::metadpa::obs::Span METADPA_OBS_CONCAT(_obs_span_, __LINE__)(name)
+
+/// Counter increment: OBS_COUNT("maml/outer_steps", 1);
+#define OBS_COUNT(name, delta)                                        \
+  do {                                                                \
+    if (::metadpa::obs::Enabled()) {                                  \
+      static ::metadpa::obs::Counter& _obs_c =                        \
+          ::metadpa::obs::GetCounter(name);                           \
+      _obs_c.Add(delta);                                              \
+    }                                                                 \
+  } while (0)
+
+/// Gauge set: OBS_GAUGE_SET("eval/shards", shards);
+#define OBS_GAUGE_SET(name, value)                                    \
+  do {                                                                \
+    if (::metadpa::obs::Enabled()) {                                  \
+      static ::metadpa::obs::Gauge& _obs_g =                          \
+          ::metadpa::obs::GetGauge(name);                             \
+      _obs_g.Set(value);                                              \
+    }                                                                 \
+  } while (0)
+
+/// Histogram observation; `bounds` (a braced vector expression, parenthesized
+/// at the call site) is only consulted on the first registration:
+///   OBS_OBSERVE("maml/query_loss", (std::vector<double>{0.1, 0.5, 1.0}), v);
+#define OBS_OBSERVE(name, bounds, value)                              \
+  do {                                                                \
+    if (::metadpa::obs::Enabled()) {                                  \
+      static ::metadpa::obs::Histogram& _obs_h =                      \
+          ::metadpa::obs::GetHistogram(name, bounds);                 \
+      _obs_h.Observe(value);                                          \
+    }                                                                 \
+  } while (0)
+
+#endif  // METADPA_OBS_OBS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <mutex>
 
 namespace metadpa {
 namespace pool {
@@ -27,11 +28,55 @@ size_t CeilLog2(size_t n) {
   return c;
 }
 
+// Per-thread counters as relaxed atomics: only the owning thread writes, but
+// GlobalStats() reads them from other threads, so plain ints would race.
+// Uncontended relaxed adds on a thread-private cache line cost the same as
+// plain increments.
+struct alignas(64) AtomicStats {
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> returned{0};
+  std::atomic<int64_t> dropped{0};
+  std::atomic<int64_t> bytes_reused{0};
+};
+
+Stats ToStats(const AtomicStats& a) {
+  Stats s;
+  s.hits = a.hits.load(std::memory_order_relaxed);
+  s.misses = a.misses.load(std::memory_order_relaxed);
+  s.returned = a.returned.load(std::memory_order_relaxed);
+  s.dropped = a.dropped.load(std::memory_order_relaxed);
+  s.bytes_reused = a.bytes_reused.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AccumulateStats(Stats* dst, const Stats& src) {
+  dst->hits += src.hits;
+  dst->misses += src.misses;
+  dst->returned += src.returned;
+  dst->dropped += src.dropped;
+  dst->bytes_reused += src.bytes_reused;
+}
+
 struct LocalPool {
   std::array<std::vector<std::unique_ptr<std::vector<float>>>, kNumClasses> free_lists;
   size_t pooled_bytes = 0;
-  Stats stats;
+  AtomicStats stats;
 };
+
+/// Registry of every live thread's stats block plus the folded totals of
+/// exited threads; leaky so deleters running during static destruction stay
+/// safe. Only GlobalStats and thread birth/death take the mutex.
+struct StatsRegistry {
+  std::mutex mutex;
+  std::vector<const AtomicStats*> live;
+  Stats dead;
+};
+
+StatsRegistry& GetStatsRegistry() {
+  static StatsRegistry* registry = new StatsRegistry();
+  return *registry;
+}
 
 // The pool object and a trivially-destructible aliveness flag. Deleters can
 // run on a thread after its LocalPool was destroyed (thread-local destruction
@@ -42,8 +87,21 @@ thread_local bool tls_pool_alive = false;
 
 struct PoolHolder {
   LocalPool pool;
-  PoolHolder() { tls_pool_alive = true; }
-  ~PoolHolder() { tls_pool_alive = false; }
+  PoolHolder() {
+    tls_pool_alive = true;
+    StatsRegistry& registry = GetStatsRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.live.push_back(&pool.stats);
+  }
+  ~PoolHolder() {
+    tls_pool_alive = false;
+    StatsRegistry& registry = GetStatsRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    AccumulateStats(&registry.dead, ToStats(pool.stats));
+    registry.live.erase(
+        std::remove(registry.live.begin(), registry.live.end(), &pool.stats),
+        registry.live.end());
+  }
 };
 
 LocalPool& TlsPool() {
@@ -66,14 +124,14 @@ void Release(std::vector<float>* buf) {
   const size_t bytes = cap * sizeof(float);
   if (cls >= kNumClasses || pool.free_lists[cls].size() >= kMaxBuffersPerClass ||
       pool.pooled_bytes + bytes > kMaxPoolBytesPerThread) {
-    ++pool.stats.dropped;
+    pool.stats.dropped.fetch_add(1, std::memory_order_relaxed);
     delete buf;
     return;
   }
   buf->clear();  // keep capacity; resize() on reuse value-initializes
   pool.free_lists[cls].push_back(std::unique_ptr<std::vector<float>>(buf));
   pool.pooled_bytes += bytes;
-  ++pool.stats.returned;
+  pool.stats.returned.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<std::vector<float>> Wrap(std::vector<float>* buf) {
@@ -89,10 +147,13 @@ std::vector<float>* TakeRaw(size_t n) {
       std::vector<float>* buf = pool.free_lists[cls].back().release();
       pool.free_lists[cls].pop_back();
       pool.pooled_bytes -= buf->capacity() * sizeof(float);
-      ++pool.stats.hits;
+      pool.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      pool.stats.bytes_reused.fetch_add(
+          static_cast<int64_t>(buf->capacity() * sizeof(float)),
+          std::memory_order_relaxed);
       return buf;
     }
-    ++pool.stats.misses;
+    pool.stats.misses.fetch_add(1, std::memory_order_relaxed);
     auto* buf = new std::vector<float>();
     buf->reserve(cls < kNumClasses ? (size_t{1} << cls) : n);
     return buf;
@@ -121,14 +182,28 @@ std::shared_ptr<std::vector<float>> Adopt(std::vector<float> values) {
 }
 
 Stats ThreadStats() {
-  return tls_pool_alive ? TlsPool().stats : Stats{};
+  return tls_pool_alive ? ToStats(TlsPool().stats) : Stats{};
+}
+
+Stats GlobalStats() {
+  StatsRegistry& registry = GetStatsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  Stats total = registry.dead;
+  for (const AtomicStats* stats : registry.live) {
+    AccumulateStats(&total, ToStats(*stats));
+  }
+  return total;
 }
 
 void ClearThreadPool() {
   LocalPool& pool = TlsPool();
   for (auto& list : pool.free_lists) list.clear();
   pool.pooled_bytes = 0;
-  pool.stats = Stats{};
+  pool.stats.hits.store(0, std::memory_order_relaxed);
+  pool.stats.misses.store(0, std::memory_order_relaxed);
+  pool.stats.returned.store(0, std::memory_order_relaxed);
+  pool.stats.dropped.store(0, std::memory_order_relaxed);
+  pool.stats.bytes_reused.store(0, std::memory_order_relaxed);
 }
 
 bool SetPoolingEnabled(bool enabled) {

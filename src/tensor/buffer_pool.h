@@ -42,14 +42,22 @@ std::shared_ptr<std::vector<float>> Adopt(std::vector<float> values);
 
 /// \brief Per-thread pool counters (for tests and instrumentation).
 struct Stats {
-  int64_t hits = 0;      ///< acquires served from the free list
-  int64_t misses = 0;    ///< acquires that had to malloc
-  int64_t returned = 0;  ///< buffers queued for reuse
-  int64_t dropped = 0;   ///< buffers freed because a capacity bound was hit
+  int64_t hits = 0;         ///< acquires served from the free list
+  int64_t misses = 0;       ///< acquires that had to malloc
+  int64_t returned = 0;     ///< buffers queued for reuse
+  int64_t dropped = 0;      ///< buffers freed because a capacity bound was hit
+  int64_t bytes_reused = 0; ///< capacity bytes served from the free list
 };
 
 /// \brief Counters of the calling thread's pool.
 Stats ThreadStats();
+
+/// \brief Counters summed over every thread's pool, including threads that
+/// have already exited (their totals are folded into a global accumulator on
+/// thread shutdown). Concurrent acquires make this a point-in-time snapshot,
+/// exact once the pool-using threads are quiescent. This is what the obs
+/// metrics bridge exports.
+Stats GlobalStats();
 
 /// \brief Frees every queued buffer of the calling thread and zeroes its
 /// counters. Tests use this to start from a cold pool.

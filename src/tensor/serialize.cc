@@ -33,6 +33,19 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Bytes from the current position to EOF, or -1 when the stream is not
+/// seekable (pipe); callers then skip size validation and rely on short-read
+/// errors instead.
+int64_t RemainingBytes(std::FILE* file) {
+  const long pos = std::ftell(file);
+  if (pos < 0) return -1;
+  if (std::fseek(file, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(file);
+  // Restore the position even if the end ftell failed.
+  if (std::fseek(file, pos, SEEK_SET) != 0 || end < pos) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
 }  // namespace
 
 Status WriteTensor(std::FILE* file, const Tensor& tensor) {
@@ -76,6 +89,18 @@ Result<Tensor> ReadTensor(std::FILE* file) {
     }
     numel *= shape[d];
   }
+  // A corrupt-but-plausible header can still request far more payload than
+  // the file holds; check against the actual bytes left (when the stream is
+  // seekable) BEFORE allocating, so a bit-flipped dimension yields an error
+  // Status instead of a gigabyte allocation followed by a short read.
+  const int64_t remaining = RemainingBytes(file);
+  if (remaining >= 0 && numel * static_cast<int64_t>(sizeof(float)) > remaining) {
+    // IoError, matching what the doomed fread would have reported: the
+    // dominant cause is a truncated file, and io_test pins that code.
+    return Status::IoError(
+        "tensor payload larger than remaining file bytes (truncated or corrupt "
+        "file?)");
+  }
   Tensor tensor(shape);
   MDPA_RETURN_NOT_OK(
       ReadRaw(file, tensor.data(), static_cast<size_t>(tensor.numel()) * sizeof(float)));
@@ -117,6 +142,15 @@ Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
     Result<Tensor> tensor = ReadTensor(file.get());
     if (!tensor.ok()) return tensor.status();
     tensors.push_back(tensor.MoveValueOrDie());
+  }
+  // The declared count must consume the whole file: trailing bytes mean the
+  // count field (or the payload) is corrupt, and silently ignoring them would
+  // mask it.
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, file.get()) != 0) {
+    return Status::InvalidArgument(path +
+                                   " has trailing bytes after the last tensor "
+                                   "(corrupt count or payload?)");
   }
   return tensors;
 }

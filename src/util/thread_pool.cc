@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "util/status.h"
 
@@ -36,15 +37,39 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (idle_timing_.load(std::memory_order_relaxed)) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        idle_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wait_start)
+                        .count();
+      } else {
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      }
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++tasks_executed_;
     }
     t_inside_worker = true;
     task();
     t_inside_worker = false;
   }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.tasks_submitted = tasks_submitted_;
+  stats.tasks_executed = tasks_executed_;
+  stats.queue_depth = static_cast<int64_t>(tasks_.size());
+  stats.peak_queue_depth = peak_queue_depth_;
+  stats.idle_seconds = static_cast<double>(idle_ns_) / 1e9;
+  return stats;
+}
+
+bool ThreadPool::SetIdleTimingEnabled(bool enabled) {
+  return idle_timing_.exchange(enabled, std::memory_order_relaxed);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

@@ -1,0 +1,228 @@
+// Adversarial-input hardening for the binary tensor format and checkpoints:
+// every byte-level corruption of a valid file — truncation at any offset,
+// bit flips anywhere in the header region, trailing garbage, oversized
+// payload claims — must come back as an error Status. Never a crash, never
+// an abort, never a multi-gigabyte allocation, and never silently-wrong
+// tensors. The asan tier runs this binary to catch the buffer overreads such
+// corruption is best at provoking.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace metadpa {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A valid two-tensor file to corrupt, as raw bytes.
+std::string MakeValidFile(const std::string& name) {
+  Rng rng(11);
+  const std::string path = TempPath(name);
+  std::vector<Tensor> tensors = {Tensor::RandNormal({3, 4}, &rng),
+                                 Tensor::RandNormal({5}, &rng)};
+  EXPECT_TRUE(t::SaveTensors(path, tensors).ok());
+  return ReadFileBytes(path);
+}
+
+// --- Truncation ------------------------------------------------------------
+
+TEST(TensorHardeningTest, EveryTruncationYieldsErrorStatus) {
+  const std::string bytes = MakeValidFile("trunc_base.bin");
+  const std::string path = TempPath("trunc.bin");
+  // Cutting the file at ANY byte boundary short of the full length must load
+  // as an error: inside the file header, a tensor header, or a payload.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(path, bytes.substr(0, len));
+    auto loaded = t::LoadTensors(path);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << len << " bytes accepted";
+  }
+  // The untruncated file still loads (the loop above didn't test a broken
+  // fixture).
+  WriteFileBytes(path, bytes);
+  EXPECT_TRUE(t::LoadTensors(path).ok());
+}
+
+// --- Trailing bytes --------------------------------------------------------
+
+TEST(TensorHardeningTest, TrailingBytesRejected) {
+  const std::string bytes = MakeValidFile("trail_base.bin");
+  const std::string path = TempPath("trail.bin");
+  WriteFileBytes(path, bytes + std::string(7, '\x5a'));
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Bit flips -------------------------------------------------------------
+
+TEST(TensorHardeningTest, HeaderBitFlipsNeverCrash) {
+  const std::string bytes = MakeValidFile("flip_base.bin");
+  const std::string path = TempPath("flip.bin");
+  // The header region: file magic(4) + version(4) + count(8) + first tensor's
+  // magic(4) + rank(4) + dims(2*8). Flip every bit of every header byte; the
+  // payload region is excluded because flipped float payload bytes are
+  // legitimately loadable data.
+  const size_t header_bytes = 4 + 4 + 8 + 4 + 4 + 16;
+  ASSERT_LT(header_bytes, bytes.size());
+  for (size_t byte = 0; byte < header_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      WriteFileBytes(path, corrupt);
+      // Must return (ok or error, usually error) — never crash or abort. A
+      // flipped dimension bit may conserve total payload size only by luck;
+      // the remaining-bytes check catches the rest without allocating.
+      auto loaded = t::LoadTensors(path);
+      if (loaded.ok()) {
+        // The rare survivable flips must still describe the right amount of
+        // data end-to-end.
+        int64_t numel = 0;
+        for (const Tensor& t : loaded.ValueOrDie()) numel += t.numel();
+        EXPECT_EQ(numel, 3 * 4 + 5) << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(TensorHardeningTest, OversizedDimensionRejectedWithoutAllocating) {
+  // Hand-craft a header claiming a ~16 GiB tensor in a 100-byte file. The
+  // plausibility caps plus the remaining-bytes check must reject it before
+  // any allocation happens (asan would flag the OOM path as a crash).
+  const std::string path = TempPath("huge.bin");
+  std::string bytes;
+  const uint32_t file_magic = 0x4d445046, version = 1, tensor_magic = 0x4d445054;
+  const uint64_t count = 1;
+  const uint32_t rank = 2;
+  const int64_t dims[2] = {int64_t{1} << 31, 2};
+  bytes.append(reinterpret_cast<const char*>(&file_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  bytes.append(reinterpret_cast<const char*>(&count), 8);
+  bytes.append(reinterpret_cast<const char*>(&tensor_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&rank), 4);
+  bytes.append(reinterpret_cast<const char*>(dims), 16);
+  bytes.append(64, '\0');
+  WriteFileBytes(path, bytes);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TensorHardeningTest, PlausibleDimsButShortPayloadRejected) {
+  // A header whose dims pass the plausibility caps (24 floats) but whose
+  // payload was cut off: the remaining-bytes check must reject before the
+  // short read.
+  const std::string path = TempPath("short_payload.bin");
+  std::string bytes;
+  const uint32_t file_magic = 0x4d445046, version = 1, tensor_magic = 0x4d445054;
+  const uint64_t count = 1;
+  const uint32_t rank = 2;
+  const int64_t dims[2] = {4, 6};
+  bytes.append(reinterpret_cast<const char*>(&file_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  bytes.append(reinterpret_cast<const char*>(&count), 8);
+  bytes.append(reinterpret_cast<const char*>(&tensor_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&rank), 4);
+  bytes.append(reinterpret_cast<const char*>(dims), 16);
+  bytes.append(10, '\0');  // 10 bytes where 96 are claimed
+  WriteFileBytes(path, bytes);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(TensorHardeningTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.bin");
+  WriteFileBytes(path, std::string(256, '\xa7'));
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TensorHardeningTest, MissingFileIsNotFound) {
+  auto loaded = t::LoadTensors(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- Checkpoint-level hardening -------------------------------------------
+
+TEST(CheckpointHardeningTest, TruncatedCheckpointRejectedAtEveryLength) {
+  Rng rng(12);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("ckpt_trunc_base.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, layer.Parameters()).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::string corrupt_path = TempPath("ckpt_trunc.bin");
+  // Step 9 keeps the sweep fast while still hitting header, dims, and
+  // payload offsets (9 is coprime to the 4/8-byte field sizes).
+  for (size_t len = 0; len < bytes.size(); len += 9) {
+    WriteFileBytes(corrupt_path, bytes.substr(0, len));
+    std::vector<Tensor> before = nn::SnapshotParams(layer.Parameters());
+    Status status = nn::LoadCheckpoint(corrupt_path, layer.Parameters());
+    EXPECT_FALSE(status.ok()) << "truncation to " << len << " bytes accepted";
+    // A failed load must not have partially overwritten the parameters.
+    std::vector<Tensor> after = nn::SnapshotParams(layer.Parameters());
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_FLOAT_EQ(t::MaxAbsDiff(before[i], after[i]), 0.0f);
+    }
+  }
+}
+
+TEST(CheckpointHardeningTest, BitFlippedCheckpointHeaderNeverCrashes) {
+  Rng rng(13);
+  nn::Linear layer(3, 2, &rng);
+  const std::string path = TempPath("ckpt_flip_base.bin");
+  ASSERT_TRUE(nn::SaveCheckpoint(path, layer.Parameters()).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::string corrupt_path = TempPath("ckpt_flip.bin");
+  const size_t header_bytes = 4 + 4 + 8 + 4 + 4 + 16;  // through W's dims
+  ASSERT_LT(header_bytes, bytes.size());
+  for (size_t byte = 0; byte < header_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      WriteFileBytes(corrupt_path, corrupt);
+      // Shape/count validation makes ok() unreachable for header flips (the
+      // model's shapes are fixed); the real assertion is "returns, never
+      // dies".
+      Status status = nn::LoadCheckpoint(corrupt_path, layer.Parameters());
+      (void)status;
+    }
+  }
+}
+
+TEST(CheckpointHardeningTest, SaveToUnwritablePathIsError) {
+  Rng rng(14);
+  nn::Linear layer(3, 2, &rng);
+  Status status =
+      nn::SaveCheckpoint("/nonexistent_dir_for_test/x.bin", layer.Parameters());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace metadpa

@@ -1,0 +1,297 @@
+// Unit and concurrency tests for the observability subsystem (src/obs):
+// exact cross-thread counter sums, pinned histogram bucket semantics, gauges,
+// snapshot/reset, stats providers, and a ThreadPool stress run. The binary
+// carries the `tsan` and `asan` labels: the sharded hot paths are exactly the
+// code a sanitizer build must keep honest.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+// Metric names are per-process and the registry is append-only, so every test
+// uses its own names; ResetAll() in SetUp keeps values (not registrations)
+// independent.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetAll();
+    was_enabled_ = SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(was_enabled_);
+    ResetAll();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTest, CounterSingleThread) {
+  Counter& c = GetCounter("test/counter_single");
+  EXPECT_EQ(c.Value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST_F(ObsTest, CounterExactAcrossThreads) {
+  // N threads x M increments must sum to exactly N*M: shards are owned by the
+  // metric, so no increment is lost to a racing merge or a thread exit.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  Counter& c = GetCounter("test/counter_exact");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kIncrements; ++j) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST_F(ObsTest, CounterSurvivesThreadExit) {
+  Counter& c = GetCounter("test/counter_exit");
+  std::thread([&c] { c.Add(7); }).join();
+  // The incrementing thread is gone; its cell (owned by the counter) is not.
+  EXPECT_EQ(c.Value(), 7);
+}
+
+TEST_F(ObsTest, GaugeSetAddValue) {
+  Gauge& g = GetGauge("test/gauge");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_EQ(g.Value(), 1.5);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesArePinned) {
+  // Edges are INCLUSIVE upper bounds: a value equal to a bound lands in that
+  // bound's bucket; anything above the last bound is overflow. This pins the
+  // lower_bound-based indexing so a refactor to upper_bound (exclusive edges)
+  // fails loudly.
+  Histogram& h = GetHistogram("test/hist_edges", {1.0, 2.0, 5.0});
+  h.Observe(0.5);   // <= 1.0
+  h.Observe(1.0);   // == first bound -> first bucket
+  h.Observe(1.5);   // <= 2.0
+  h.Observe(2.0);   // == second bound -> second bucket
+  h.Observe(5.0);   // == last bound -> third bucket
+  h.Observe(5.01);  // overflow
+  h.Observe(-3.0);  // below every bound -> first bucket
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 3);  // 0.5, 1.0, -3.0
+  EXPECT_EQ(snap.buckets[1], 2);  // 1.5, 2.0
+  EXPECT_EQ(snap.buckets[2], 1);  // 5.0
+  EXPECT_EQ(snap.buckets[3], 1);  // 5.01
+  EXPECT_EQ(snap.count, 7);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.01 - 3.0);
+}
+
+TEST_F(ObsTest, HistogramExactAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  Histogram& h = GetHistogram("test/hist_exact", {10.0, 100.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&h, i] {
+      for (int j = 0; j < kObservations; ++j) {
+        h.Observe(static_cast<double>(i));  // every value lands in bucket 0
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kObservations);
+  EXPECT_EQ(snap.buckets[0], int64_t{kThreads} * kObservations);
+  // Sum of i over threads, each kObservations times: (0+..+7) * 5000.
+  EXPECT_DOUBLE_EQ(snap.sum, 28.0 * kObservations);
+}
+
+TEST_F(ObsTest, HistogramRejectsMismatchedReRegistration) {
+  // threadsafe style re-executes the binary for the death test, which stays
+  // sound in this multi-threaded (and sanitizer-built) test binary.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GetHistogram("test/hist_bounds_pinned", {1.0, 2.0});
+  EXPECT_DEATH(GetHistogram("test/hist_bounds_pinned", {1.0, 3.0}),
+               "different bounds");
+}
+
+TEST_F(ObsTest, SameNameReturnsSameInstance) {
+  Counter& a = GetCounter("test/same_instance");
+  Counter& b = GetCounter("test/same_instance");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3);
+}
+
+TEST_F(ObsTest, SnapshotContainsRegisteredMetricsSorted) {
+  GetCounter("test/snap_b").Add(2);
+  GetCounter("test/snap_a").Add(1);
+  MetricsSnapshot snap = SnapshotMetrics();
+  // Registry is process-global; find our names and check relative order.
+  int idx_a = -1, idx_b = -1;
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (snap.counters[i].first == "test/snap_a") idx_a = static_cast<int>(i);
+    if (snap.counters[i].first == "test/snap_b") idx_b = static_cast<int>(i);
+  }
+  ASSERT_GE(idx_a, 0);
+  ASSERT_GE(idx_b, 0);
+  EXPECT_LT(idx_a, idx_b);
+  EXPECT_EQ(snap.counters[idx_a].second, 1);
+  EXPECT_EQ(snap.counters[idx_b].second, 2);
+}
+
+TEST_F(ObsTest, StatsProviderPublishesGauges) {
+  std::atomic<int> calls{0};
+  RegisterStatsProvider("test_provider", [&calls] {
+    ++calls;
+    return std::vector<std::pair<std::string, double>>{
+        {"test/provider_value", 12.5}};
+  });
+  MetricsSnapshot snap = SnapshotMetrics();
+  EXPECT_GE(calls.load(), 1);
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test/provider_value") {
+      found = true;
+      EXPECT_EQ(value, 12.5);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Replace: the same provider name must not double-report.
+  RegisterStatsProvider("test_provider", [] {
+    return std::vector<std::pair<std::string, double>>{
+        {"test/provider_value", 99.0}};
+  });
+  snap = SnapshotMetrics();
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test/provider_value") EXPECT_EQ(value, 99.0);
+  }
+}
+
+TEST_F(ObsTest, ResetMetricsZeroesEverything) {
+  GetCounter("test/reset_c").Add(5);
+  GetHistogram("test/reset_h", {1.0}).Observe(0.5);
+  ResetMetrics();
+  EXPECT_EQ(GetCounter("test/reset_c").Value(), 0);
+  HistogramSnapshot snap = GetHistogram("test/reset_h", {1.0}).Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.buckets[0], 0);
+  EXPECT_EQ(snap.sum, 0.0);
+}
+
+TEST_F(ObsTest, MacrosRecordOnlyWhenEnabled) {
+  SetEnabled(false);
+  OBS_COUNT("test/macro_counter", 1);
+  // The site was disabled at first execution, so nothing was registered or
+  // incremented; enabling and re-running the site must start from zero.
+  SetEnabled(true);
+  OBS_COUNT("test/macro_counter", 2);
+  OBS_COUNT("test/macro_counter", 3);
+  EXPECT_EQ(GetCounter("test/macro_counter").Value(), 5);
+  OBS_OBSERVE("test/macro_hist", (std::vector<double>{1.0, 2.0}), 1.5);
+  EXPECT_EQ(GetHistogram("test/macro_hist", {1.0, 2.0}).Snapshot().count, 1);
+}
+
+TEST_F(ObsTest, ThreadPoolStressCountersAndSpans) {
+  // Hammer one counter, one histogram, and spans from pool workers; sums must
+  // stay exact and every span must be recorded. This is the configuration the
+  // tsan/asan tiers exist for.
+  constexpr size_t kTasks = 64;
+  constexpr int kPerTask = 1000;
+  Counter& c = GetCounter("test/pool_stress_counter");
+  Histogram& h = GetHistogram("test/pool_stress_hist", {0.5});
+  ThreadPool::Global().ParallelFor(kTasks, [&](size_t task) {
+    OBS_SPAN("test/pool_stress_span");
+    for (int i = 0; i < kPerTask; ++i) {
+      c.Add();
+      h.Observe(task % 2 == 0 ? 0.25 : 0.75);
+    }
+  });
+  EXPECT_EQ(c.Value(), int64_t{kTasks} * kPerTask);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kTasks} * kPerTask);
+  EXPECT_EQ(snap.buckets[0], int64_t{kTasks} / 2 * kPerTask);
+  EXPECT_EQ(snap.buckets[1], int64_t{kTasks} / 2 * kPerTask);
+
+  int64_t spans = 0;
+  for (const TraceEvent& e : SnapshotTrace()) {
+    if (e.name == "test/pool_stress_span") ++spans;
+  }
+  EXPECT_EQ(spans, static_cast<int64_t>(kTasks));
+}
+
+TEST_F(ObsTest, ThreadPoolStatsCountExecutedTasks) {
+  ThreadPool& pool = ThreadPool::Global();
+  const ThreadPool::Stats before = pool.GetStats();
+  constexpr size_t kTasks = 32;
+  std::atomic<int> ran{0};
+  pool.ParallelFor(kTasks, [&](size_t) { ++ran; });
+  const ThreadPool::Stats after = pool.GetStats();
+  EXPECT_EQ(ran.load(), static_cast<int>(kTasks));
+  // ParallelFor may run shards inline on the caller; executed tasks grow by
+  // at most kTasks and the submitted/executed ledger never goes backwards.
+  EXPECT_GE(after.tasks_submitted, before.tasks_submitted);
+  EXPECT_GE(after.tasks_executed, before.tasks_executed);
+  EXPECT_LE(after.tasks_executed - before.tasks_executed,
+            static_cast<int64_t>(kTasks));
+  EXPECT_EQ(after.queue_depth, 0);
+  EXPECT_GE(after.peak_queue_depth, before.peak_queue_depth);
+}
+
+TEST_F(ObsTest, ThreadPoolIdleTimingAccumulates) {
+  ThreadPool& pool = ThreadPool::Global();
+  const bool was = pool.SetIdleTimingEnabled(true);
+  const double before = pool.GetStats().idle_seconds;
+  // Give the workers a moment parked in cv_.wait with timing on.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.ParallelFor(4, [](size_t) {});
+  const double after = pool.GetStats().idle_seconds;
+  pool.SetIdleTimingEnabled(was);
+  EXPECT_GE(after, before);
+}
+
+TEST_F(ObsTest, SpansRecordedPerThreadWithSaneTimes) {
+  {
+    OBS_SPAN("test/span_outer");
+    OBS_SPAN("test/span_inner");
+  }
+  bool outer = false, inner = false;
+  for (const TraceEvent& e : SnapshotTrace()) {
+    if (e.name == "test/span_outer") outer = true;
+    if (e.name == "test/span_inner") inner = true;
+    EXPECT_GE(e.start_ns, 0);
+    EXPECT_GE(e.dur_ns, 0);
+    EXPECT_GT(e.tid, 0u);
+  }
+  EXPECT_TRUE(outer);
+  EXPECT_TRUE(inner);
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  SetEnabled(false);
+  ClearTrace();
+  { OBS_SPAN("test/span_disabled"); }
+  for (const TraceEvent& e : SnapshotTrace()) {
+    EXPECT_NE(e.name, "test/span_disabled");
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace metadpa

@@ -1,0 +1,264 @@
+// Golden tests for trace export: TraceJson() must be syntactically valid
+// JSON with the chrome://tracing "Complete"-event schema, every recorded
+// span must carry non-negative timestamps, spans must be well-nested within
+// each thread (RAII scopes can only close in LIFO order), and the summary
+// table must agree with the recorded events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+// --- A minimal JSON validator (syntax only, enough for the golden check) ---
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped character
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class ObsTraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetAll();
+    was_enabled_ = SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(was_enabled_);
+    ResetAll();
+  }
+
+  /// A deterministic multi-threaded span workload: nested scopes on the main
+  /// thread plus one span per pool task.
+  void RecordWorkload() {
+    {
+      OBS_SPAN("trace/outer");
+      {
+        OBS_SPAN("trace/inner");
+        { OBS_SPAN("trace/leaf"); }
+      }
+      { OBS_SPAN("trace/inner"); }
+    }
+    ThreadPool::Global().ParallelFor(8, [](size_t) { OBS_SPAN("trace/worker"); });
+  }
+
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTraceExportTest, JsonParsesAndHasTheEventSchema) {
+  RecordWorkload();
+  const std::string json = TraceJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"trace/outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"trace/worker\""), std::string::npos);
+  // Negative timestamps would break the chrome://tracing timeline.
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+TEST_F(ObsTraceExportTest, EmptyTraceIsStillValidJson) {
+  const std::string json = TraceJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+}
+
+TEST_F(ObsTraceExportTest, TimestampsNonNegativeAndSpansWellNestedPerThread) {
+  RecordWorkload();
+  std::map<uint64_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : SnapshotTrace()) {
+    EXPECT_GE(e.start_ns, 0);
+    EXPECT_GE(e.dur_ns, 0);
+    by_tid[e.tid].push_back(e);
+  }
+  ASSERT_GE(by_tid.size(), 1u);
+  // Within one thread, RAII spans form a stack: any two intervals are either
+  // disjoint or one contains the other. Sweep intervals in start order and
+  // check containment against the enclosing stack.
+  for (auto& [tid, events] : by_tid) {
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                return a.dur_ns > b.dur_ns;  // enclosing span first
+              });
+    std::vector<int64_t> stack;  // end times of open spans
+    for (const TraceEvent& e : events) {
+      while (!stack.empty() && stack.back() <= e.start_ns) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(e.start_ns + e.dur_ns, stack.back())
+            << "span " << e.name << " on tid " << tid
+            << " straddles its enclosing span";
+      }
+      stack.push_back(e.start_ns + e.dur_ns);
+    }
+  }
+}
+
+TEST_F(ObsTraceExportTest, SummaryTableMatchesRecordedEvents) {
+  RecordWorkload();
+  std::map<std::string, int64_t> counts;
+  for (const TraceEvent& e : SnapshotTrace()) ++counts[e.name];
+  EXPECT_EQ(counts["trace/outer"], 1);
+  EXPECT_EQ(counts["trace/inner"], 2);
+  EXPECT_EQ(counts["trace/leaf"], 1);
+  EXPECT_EQ(counts["trace/worker"], 8);
+
+  const std::string table = SpanSummaryTable();
+  for (const auto& [name, count] : counts) {
+    EXPECT_NE(table.find(name), std::string::npos) << table;
+  }
+  // The count column is exact: "| trace/worker | 8" must appear (allowing
+  // for the table's padding between the name and the count).
+  const size_t row = table.find("trace/worker");
+  ASSERT_NE(row, std::string::npos);
+  const size_t bar = table.find('|', row);
+  ASSERT_NE(bar, std::string::npos);
+  size_t p = bar + 1;
+  while (p < table.size() && table[p] == ' ') ++p;
+  EXPECT_EQ(table.substr(p, 1), "8") << table;
+}
+
+TEST_F(ObsTraceExportTest, WriteTraceRoundTripsThroughAFile) {
+  RecordWorkload();
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(WriteTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, TraceJson());
+  EXPECT_TRUE(JsonScanner(contents).Valid());
+}
+
+TEST_F(ObsTraceExportTest, ClearTraceDropsEvents) {
+  RecordWorkload();
+  ASSERT_FALSE(SnapshotTrace().empty());
+  ClearTrace();
+  EXPECT_TRUE(SnapshotTrace().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace metadpa

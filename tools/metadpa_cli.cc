@@ -5,13 +5,15 @@
 //       print Table I/II-style dataset statistics for a generated world.
 //   run     [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
 //           [--effort E] [--seed SEED] [--csv PATH] [--threads T]
-//           [--train-threads T]
+//           [--train-threads T] [--trace-out PATH] [--metrics-out PATH]
 //       train the chosen methods and print the four-scenario comparison;
 //       optionally dump a CSV of every (method, scenario, metric) cell.
 //       --threads controls parallel case scoring (0 = all cores, 1 = serial);
 //       --train-threads controls parallel meta-training (same convention;
 //       results are bit-identical for any value); per-method eval throughput
-//       is reported on stderr.
+//       is reported on stderr. --trace-out writes a chrome://tracing JSON of
+//       the run, --metrics-out the metrics + span summary tables; either flag
+//       turns instrumentation on (results stay bit-identical).
 //   export  --prefix PATH [--target NAME] [--scale S]
 //       write the generated target domain to PATH.ratings.tsv /
 //       PATH.content.bin (the formats data/io.h reads back).
@@ -61,7 +63,8 @@ int Usage() {
                "  stats  [--scale S]\n"
                "  run    [--methods A,B,..] [--scale S] [--negatives N]\n"
                "         [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
-               "         [--train-threads T]\n"
+               "         [--train-threads T] [--trace-out PATH]\n"
+               "         [--metrics-out PATH]\n"
                "  export --prefix PATH [--scale S]\n");
   return 2;
 }
@@ -118,6 +121,9 @@ int RunCompare(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
+  options.trace_out = args.Get("trace-out", "");
+  options.metrics_out = args.Get("metrics-out", "");
+  suite::SetupObservability(options);
 
   std::vector<std::string> names;
   std::stringstream ss(args.Get("methods", "MeLU,CoNN,MetaDPA"));
@@ -171,6 +177,11 @@ int RunCompare(const Args& args) {
                  threads_used);
   }
   std::cout << table.ToString();
+  Status obs_status = suite::ExportObservability(options);
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
