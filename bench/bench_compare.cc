@@ -1,0 +1,275 @@
+#include "bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace metadpa {
+namespace bench {
+namespace {
+
+/// Cursor over the JSON text; the helpers below implement just enough of a
+/// scanner to walk the flat objects of the "benchmarks" array.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  void SkipWhitespace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                        text[pos] == '\r' || text[pos] == ',')) {
+      ++pos;
+    }
+  }
+};
+
+/// Parses a JSON string literal at the cursor (expects an opening quote).
+/// Escapes are unescaped for \" and \\ only — benchmark names never carry
+/// anything fancier.
+bool ParseString(Cursor* c, std::string* out) {
+  if (c->AtEnd() || c->Peek() != '"') return false;
+  ++c->pos;
+  out->clear();
+  while (!c->AtEnd()) {
+    const char ch = c->text[c->pos++];
+    if (ch == '"') return true;
+    if (ch == '\\' && !c->AtEnd()) {
+      out->push_back(c->text[c->pos++]);
+    } else {
+      out->push_back(ch);
+    }
+  }
+  return false;
+}
+
+/// Consumes a scalar value (number, true/false/null) as raw text.
+void ParseScalarText(Cursor* c, std::string* out) {
+  out->clear();
+  while (!c->AtEnd()) {
+    const char ch = c->Peek();
+    if (ch == ',' || ch == '}' || ch == ']' || ch == ' ' || ch == '\n' ||
+        ch == '\r' || ch == '\t') {
+      break;
+    }
+    out->push_back(ch);
+    ++c->pos;
+  }
+}
+
+/// Skips a (possibly nested) array or object value.
+bool SkipComposite(Cursor* c) {
+  int depth = 0;
+  bool in_string = false;
+  while (!c->AtEnd()) {
+    const char ch = c->text[c->pos++];
+    if (in_string) {
+      if (ch == '\\') {
+        ++c->pos;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') {
+      --depth;
+      if (depth == 0) return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one flat benchmark object at the cursor (expects '{'). Unknown
+/// keys are skipped; nested values inside an entry are tolerated.
+bool ParseBenchObject(Cursor* c, BenchRecord* out) {
+  if (c->AtEnd() || c->Peek() != '{') return false;
+  ++c->pos;
+  while (true) {
+    c->SkipWhitespace();
+    if (c->AtEnd()) return false;
+    if (c->Peek() == '}') {
+      ++c->pos;
+      return true;
+    }
+    std::string key;
+    if (!ParseString(c, &key)) return false;
+    c->SkipWhitespace();
+    if (c->AtEnd() || c->Peek() != ':') return false;
+    ++c->pos;
+    c->SkipWhitespace();
+    if (c->AtEnd()) return false;
+    if (c->Peek() == '"') {
+      std::string value;
+      if (!ParseString(c, &value)) return false;
+      if (key == "name") out->name = value;
+      else if (key == "run_name") out->run_name = value;
+      else if (key == "run_type") out->run_type = value;
+      else if (key == "aggregate_name") out->aggregate_name = value;
+      else if (key == "time_unit") out->time_unit = value;
+    } else if (c->Peek() == '{' || c->Peek() == '[') {
+      if (!SkipComposite(c)) return false;
+    } else {
+      std::string raw;
+      ParseScalarText(c, &raw);
+      if (key == "real_time" || key == "cpu_time") {
+        try {
+          const double v = std::stod(raw);
+          if (key == "real_time") out->real_time = v;
+          else out->cpu_time = v;
+        } catch (const std::exception&) {
+          return false;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<BenchRecord>> ParseBenchmarkJson(const std::string& json) {
+  const size_t key = json.find("\"benchmarks\"");
+  if (key == std::string::npos) {
+    return Status::InvalidArgument("no \"benchmarks\" array in JSON document");
+  }
+  const size_t open = json.find('[', key);
+  if (open == std::string::npos) {
+    return Status::InvalidArgument("\"benchmarks\" key without an array value");
+  }
+  Cursor c{json, open + 1};
+  std::vector<BenchRecord> records;
+  while (true) {
+    c.SkipWhitespace();
+    if (c.AtEnd()) {
+      return Status::InvalidArgument("unterminated \"benchmarks\" array");
+    }
+    if (c.Peek() == ']') break;
+    BenchRecord record;
+    if (!ParseBenchObject(&c, &record)) {
+      return Status::InvalidArgument("malformed benchmark entry at offset " +
+                                     std::to_string(c.pos));
+    }
+    if (record.name.empty()) {
+      return Status::InvalidArgument("benchmark entry without a name");
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<BenchRecord>> ReadBenchmarkFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  return ParseBenchmarkJson(contents);
+}
+
+std::map<std::string, BenchSummary> SummarizeByRunName(
+    const std::vector<BenchRecord>& records) {
+  // First pass: aggregate entries win verbatim.
+  std::map<std::string, BenchSummary> out;
+  std::map<std::string, std::vector<double>> iteration_times;
+  for (const BenchRecord& r : records) {
+    const std::string& run = r.run_name.empty() ? r.name : r.run_name;
+    if (r.run_type == "aggregate") {
+      BenchSummary& s = out[run];
+      s.time_unit = r.time_unit;
+      if (r.aggregate_name == "mean") s.mean = r.real_time;
+      if (r.aggregate_name == "median") s.median = r.real_time;
+    } else {
+      iteration_times[run].push_back(r.real_time);
+    }
+  }
+  for (auto& [run, times] : iteration_times) {
+    if (out.count(run) != 0) continue;  // aggregates already cover it
+    std::sort(times.begin(), times.end());
+    double sum = 0.0;
+    for (double t : times) sum += t;
+    BenchSummary s;
+    s.mean = sum / static_cast<double>(times.size());
+    const size_t mid = times.size() / 2;
+    s.median = times.size() % 2 == 1 ? times[mid]
+                                     : 0.5 * (times[mid - 1] + times[mid]);
+    for (const BenchRecord& r : records) {
+      const std::string& name = r.run_name.empty() ? r.name : r.run_name;
+      if (name == run) {
+        s.time_unit = r.time_unit;
+        break;
+      }
+    }
+    out[run] = s;
+  }
+  return out;
+}
+
+BenchDiffReport DiffBenchmarks(const std::vector<BenchRecord>& baseline,
+                               const std::vector<BenchRecord>& contender,
+                               const BenchDiffOptions& options) {
+  const std::map<std::string, BenchSummary> base = SummarizeByRunName(baseline);
+  const std::map<std::string, BenchSummary> cont = SummarizeByRunName(contender);
+
+  BenchDiffReport report;
+  for (const auto& [run, base_summary] : base) {
+    auto it = cont.find(run);
+    if (it == cont.end()) {
+      report.only_in_baseline.push_back(run);
+      continue;
+    }
+    BenchDelta delta;
+    delta.run_name = run;
+    delta.baseline_time = options.use_median ? base_summary.median : base_summary.mean;
+    delta.contender_time = options.use_median ? it->second.median : it->second.mean;
+    delta.delta_pct = delta.baseline_time > 0.0
+                          ? 100.0 * (delta.contender_time - delta.baseline_time) /
+                                delta.baseline_time
+                          : 0.0;
+    delta.regression = delta.delta_pct > options.threshold_pct;
+    report.has_regression = report.has_regression || delta.regression;
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [run, summary] : cont) {
+    (void)summary;
+    if (base.count(run) == 0) report.only_in_contender.push_back(run);
+  }
+  return report;
+}
+
+std::string RenderBenchDiff(const BenchDiffReport& report,
+                            const BenchDiffOptions& options) {
+  TextTable table;
+  const std::string metric = options.use_median ? "median" : "mean";
+  table.SetHeader({"Benchmark", "Base " + metric, "New " + metric, "Delta", ""});
+  for (const BenchDelta& d : report.deltas) {
+    std::ostringstream pct;
+    pct << (d.delta_pct >= 0 ? "+" : "") << TextTable::Num(d.delta_pct, 1) << "%";
+    table.AddRow({d.run_name, TextTable::Num(d.baseline_time, 0),
+                  TextTable::Num(d.contender_time, 0), pct.str(),
+                  d.regression ? "REGRESSION" : ""});
+  }
+  std::ostringstream out;
+  out << table.ToString();
+  for (const std::string& run : report.only_in_baseline) {
+    out << "only in baseline: " << run << "\n";
+  }
+  for (const std::string& run : report.only_in_contender) {
+    out << "only in contender: " << run << "\n";
+  }
+  out << (report.has_regression ? "regressions above " : "no regression above ")
+      << TextTable::Num(options.threshold_pct, 1) << "% threshold\n";
+  return out.str();
+}
+
+}  // namespace bench
+}  // namespace metadpa

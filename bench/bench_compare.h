@@ -1,0 +1,94 @@
+// Benchmark baseline comparison: parses google-benchmark JSON output files
+// (the format run_substrate_bench.sh writes to BENCH_substrate.json), matches
+// benchmarks by run name, and reports per-benchmark mean/median time deltas
+// against a configurable regression threshold.
+//
+// The parser is deliberately minimal: it only reads the flat benchmark
+// objects inside the "benchmarks" array (name / run_name / run_type /
+// aggregate_name / real_time / cpu_time / time_unit) and ignores everything
+// else, so it needs no JSON dependency. Used by tools/bench_diff and
+// tests/bench_diff_test.cc.
+#ifndef METADPA_BENCH_BENCH_COMPARE_H_
+#define METADPA_BENCH_BENCH_COMPARE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace bench {
+
+/// \brief One entry of a google-benchmark "benchmarks" array.
+struct BenchRecord {
+  std::string name;            ///< e.g. "BM_MatMul/32_mean"
+  std::string run_name;        ///< e.g. "BM_MatMul/32"
+  std::string run_type;        ///< "iteration" or "aggregate"
+  std::string aggregate_name;  ///< "mean", "median", ... (aggregates only)
+  std::string time_unit;       ///< "ns", "us", ...
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+};
+
+/// \brief Parses the "benchmarks" array of a google-benchmark JSON document.
+/// Fails on documents without a "benchmarks" array or with malformed entries.
+Result<std::vector<BenchRecord>> ParseBenchmarkJson(const std::string& json);
+
+/// \brief ParseBenchmarkJson over a file's contents.
+Result<std::vector<BenchRecord>> ReadBenchmarkFile(const std::string& path);
+
+/// \brief Per-run-name real-time summary, in the file's time unit.
+struct BenchSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  std::string time_unit;
+};
+
+/// \brief Collapses records into one summary per run name. Aggregate entries
+/// ("_mean" / "_median") are preferred verbatim; run names with only
+/// iteration entries get the mean/median computed over those iterations.
+std::map<std::string, BenchSummary> SummarizeByRunName(
+    const std::vector<BenchRecord>& records);
+
+/// \brief Comparison knobs.
+struct BenchDiffOptions {
+  /// A contender slower than baseline by more than this percentage counts as
+  /// a regression.
+  double threshold_pct = 10.0;
+  /// Compare medians (default; robust to a noisy repetition) or means.
+  bool use_median = true;
+};
+
+/// \brief One matched benchmark's delta.
+struct BenchDelta {
+  std::string run_name;
+  double baseline_time = 0.0;   ///< in the baseline's time unit
+  double contender_time = 0.0;
+  double delta_pct = 0.0;       ///< +N% = contender slower
+  bool regression = false;      ///< delta_pct > threshold_pct
+};
+
+/// \brief Full comparison: matched deltas (sorted by run name) plus the
+/// benchmarks present on only one side (reported, never a regression).
+struct BenchDiffReport {
+  std::vector<BenchDelta> deltas;
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_contender;
+  bool has_regression = false;
+};
+
+/// \brief Compares two record sets by run name.
+BenchDiffReport DiffBenchmarks(const std::vector<BenchRecord>& baseline,
+                               const std::vector<BenchRecord>& contender,
+                               const BenchDiffOptions& options);
+
+/// \brief Renders the report as a boxed table (regressions marked) plus
+/// unmatched-benchmark notes.
+std::string RenderBenchDiff(const BenchDiffReport& report,
+                            const BenchDiffOptions& options);
+
+}  // namespace bench
+}  // namespace metadpa
+
+#endif  // METADPA_BENCH_BENCH_COMPARE_H_

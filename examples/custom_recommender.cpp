@@ -21,7 +21,7 @@ class ContentPopularity : public eval::Recommender {
  public:
   std::string name() const override { return "ContentPop"; }
 
-  void Fit(const eval::TrainContext& ctx) override {
+  Status Fit(const eval::TrainContext& ctx) override {
     target_ = &ctx.dataset->target;
     const data::InteractionMatrix& train = ctx.splits->train;
     popularity_.assign(static_cast<size_t>(train.num_items()), 0.0);
@@ -31,6 +31,7 @@ class ContentPopularity : public eval::Recommender {
       max_degree = std::max(max_degree, popularity_[static_cast<size_t>(i)]);
     }
     for (double& p : popularity_) p /= max_degree;
+    return Status::OK();
   }
 
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

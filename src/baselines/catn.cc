@@ -6,7 +6,7 @@
 namespace metadpa {
 namespace baselines {
 
-void Catn::Fit(const eval::TrainContext& ctx) {
+Status Catn::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   Rng rng(config_.train.seed ^ ctx.seed);
   const int64_t vocab = target_->user_content.dim(1);
@@ -48,6 +48,7 @@ void Catn::Fit(const eval::TrainContext& ctx) {
   TrainOn(target_examples, *target_, config_.train.epochs,
           config_.train.learning_rate, &rng);
   post_fit_snapshot_ = nn::SnapshotParams(params_);
+  return Status::OK();
 }
 
 ag::Variable Catn::Logits(const Tensor& user_content, const Tensor& item_content) const {

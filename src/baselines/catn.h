@@ -28,7 +28,7 @@ class Catn : public eval::Recommender {
   explicit Catn(const CatnConfig& config) : config_(config) {}
 
   std::string name() const override { return "CATN"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

@@ -25,7 +25,7 @@ class Conn : public eval::Recommender {
   explicit Conn(const ConnConfig& config) : config_(config) {}
 
   std::string name() const override { return "CoNN"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

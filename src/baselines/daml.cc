@@ -6,7 +6,7 @@
 namespace metadpa {
 namespace baselines {
 
-void Daml::Fit(const eval::TrainContext& ctx) {
+Status Daml::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   Rng rng(config_.train.seed ^ ctx.seed);
   const int64_t vocab = target_->user_content.dim(1);
@@ -35,6 +35,7 @@ void Daml::Fit(const eval::TrainContext& ctx) {
       ctx.splits->train, config_.train.negatives_per_positive, &rng);
   TrainOn(examples, config_.train.epochs, config_.train.learning_rate, ctx, &rng);
   post_fit_snapshot_ = nn::SnapshotParams(params_);
+  return Status::OK();
 }
 
 ag::Variable Daml::Logits(const Tensor& user_content, const Tensor& item_content) const {

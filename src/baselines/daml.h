@@ -27,7 +27,7 @@ class Daml : public eval::Recommender {
   explicit Daml(const DamlConfig& config) : config_(config) {}
 
   std::string name() const override { return "DAML"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

@@ -46,7 +46,7 @@ class MeluScorer : public eval::CaseScorer {
 
 }  // namespace
 
-void Melu::Fit(const eval::TrainContext& ctx) {
+Status Melu::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   train_ = &ctx.splits->train;
   score_seed_ = config_.seed ^ ctx.seed;
@@ -60,7 +60,7 @@ void Melu::Fit(const eval::TrainContext& ctx) {
   std::vector<meta::Task> tasks =
       meta::BuildTasks(ctx.splits->train, target_->user_content, target_->item_content,
                        config_.tasks, &rng);
-  trainer_->Train(tasks);
+  return trainer_->TrainWithStatus(tasks, nullptr);
 }
 
 std::vector<double> Melu::ScoreCase(const data::EvalCase& eval_case,

@@ -27,7 +27,7 @@ class Melu : public eval::Recommender {
   explicit Melu(const MeluConfig& config) : config_(config) {}
 
   std::string name() const override { return "MeLU"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 

@@ -118,7 +118,7 @@ Tensor MetaCf::ExtendProfiles(const data::InteractionMatrix& profile) const {
   return extended;
 }
 
-void MetaCf::Fit(const eval::TrainContext& ctx) {
+Status MetaCf::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   splits_ = ctx.splits;
   score_seed_ = config_.seed ^ ctx.seed;
@@ -137,7 +137,7 @@ void MetaCf::Fit(const eval::TrainContext& ctx) {
 
   std::vector<meta::Task> tasks = meta::BuildTasks(
       ctx.splits->train, user_profiles_, item_identity_, config_.tasks, &rng);
-  trainer_->Train(tasks);
+  return trainer_->TrainWithStatus(tasks, nullptr);
 }
 
 void MetaCf::BeginScenario(const data::ScenarioData& scenario,

@@ -33,7 +33,7 @@ class MetaCf : public eval::Recommender {
   explicit MetaCf(const MetaCfConfig& config) : config_(config) {}
 
   std::string name() const override { return "MetaCF"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

@@ -6,7 +6,7 @@
 namespace metadpa {
 namespace baselines {
 
-void NeuMf::Fit(const eval::TrainContext& ctx) {
+Status NeuMf::Fit(const eval::TrainContext& ctx) {
   Rng rng(config_.train.seed ^ ctx.seed);
   const int64_t n = ctx.dataset->target.num_users();
   const int64_t m = ctx.dataset->target.num_items();
@@ -35,6 +35,7 @@ void NeuMf::Fit(const eval::TrainContext& ctx) {
       ctx.splits->train, config_.train.negatives_per_positive, &rng);
   TrainOn(examples, config_.train.epochs, config_.train.learning_rate, &rng);
   post_fit_snapshot_ = nn::SnapshotParams(params_);
+  return Status::OK();
 }
 
 ag::Variable NeuMf::Logits(const std::vector<int64_t>& users,

@@ -25,7 +25,7 @@ class NeuMf : public eval::Recommender {
   explicit NeuMf(const NeuMfConfig& config) : config_(config) {}
 
   std::string name() const override { return "NeuMF"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

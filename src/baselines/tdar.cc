@@ -6,7 +6,7 @@
 namespace metadpa {
 namespace baselines {
 
-void Tdar::Fit(const eval::TrainContext& ctx) {
+Status Tdar::Fit(const eval::TrainContext& ctx) {
   target_ = &ctx.dataset->target;
   source_ = nullptr;
   for (const auto& s : ctx.dataset->sources) {
@@ -48,6 +48,7 @@ void Tdar::Fit(const eval::TrainContext& ctx) {
   TrainOn(target_examples, source_examples, config_.train.epochs,
           config_.train.learning_rate, ctx, &rng);
   post_fit_snapshot_ = nn::SnapshotParams(params_);
+  return Status::OK();
 }
 
 ag::Variable Tdar::Logits(const ag::Variable& user_emb, const ag::Variable& item_emb,

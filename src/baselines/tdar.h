@@ -30,7 +30,7 @@ class Tdar : public eval::Recommender {
   explicit Tdar(const TdarConfig& config) : config_(config) {}
 
   std::string name() const override { return "TDAR"; }
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   void BeginScenario(const data::ScenarioData& scenario,
                      const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,

@@ -93,7 +93,7 @@ std::string MetaDpa::name() const {
   return "MetaDPA";
 }
 
-void MetaDpa::Fit(const eval::TrainContext& ctx) {
+Status MetaDpa::Fit(const eval::TrainContext& ctx) {
   MDPA_CHECK(ctx.dataset != nullptr);
   MDPA_CHECK(ctx.splits != nullptr);
   target_ = &ctx.dataset->target;
@@ -106,6 +106,7 @@ void MetaDpa::Fit(const eval::TrainContext& ctx) {
   adaptation_ = std::make_unique<cvae::DomainAdaptation>(config_.adaptation);
   cvae::AdaptationReport report = adaptation_->Fit(*ctx.dataset);
   block1_seconds_ = timer.ElapsedSeconds();
+  MDPA_RETURN_NOT_OK(report.health);
   MDPA_LOG(kDebug) << name() << " block1 done in " << block1_seconds_ << "s over "
                    << report.shared_user_pairs << " shared-user pairs";
 
@@ -145,8 +146,10 @@ void MetaDpa::Fit(const eval::TrainContext& ctx) {
       }
     }
   }
-  meta_losses_ = trainer_->Train(tasks);
+  meta_losses_.clear();
+  Status health = trainer_->TrainWithStatus(tasks, &meta_losses_);
   block3_seconds_ = timer.ElapsedSeconds();
+  return health;
 }
 
 std::vector<double> MetaDpa::ScoreCase(const data::EvalCase& eval_case,

@@ -53,7 +53,7 @@ class MetaDpa : public eval::Recommender {
                    MetaDpaVariant variant = MetaDpaVariant::kFull);
 
   std::string name() const override;
-  void Fit(const eval::TrainContext& ctx) override;
+  Status Fit(const eval::TrainContext& ctx) override;
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override;
 

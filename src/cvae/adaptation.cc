@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -52,15 +53,39 @@ struct BatchContribution {
   double loss = 0.0;
 };
 
-/// Trains one Dual-CVAE; returns (first epoch loss, final epoch loss).
+/// TrainOne's diagnostics: first/last epoch losses and the watchdog verdict.
+struct TrainOneResult {
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  Status health = Status::OK();
+};
+
+/// Global L2 norm over the detached gradient variables; computed only when a
+/// health monitor wants it (zero cost with the watchdog off).
+double GradGlobalNorm(const std::vector<ag::Variable>& grads) {
+  double sum_sq = 0.0;
+  for (const auto& g : grads) {
+    const Tensor& t = g.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const double v = static_cast<double>(t.at(i));
+      sum_sq += v * v;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+/// Trains one Dual-CVAE; returns first/last epoch losses plus the watchdog
+/// Status (monitor named "cvae/<source_index>").
 ///
 /// The epoch is a sequence of optimizer steps, each covering
 /// `config.accum_batches` mini-batches whose gradients are averaged in batch
 /// order; the batches of one group run concurrently under `config.threads`.
 /// Reparameterization noise is drawn from per-(epoch, batch) seeds, so the
 /// trajectory depends only on the configuration, never on scheduling.
-std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
-                                 const AdaptationConfig& config, Rng rng) {
+TrainOneResult TrainOne(DualCvae* model, const AlignedPairs& pairs,
+                        const AdaptationConfig& config, size_t source_index,
+                        Rng rng) {
+  obs::HealthMonitor health("cvae/" + std::to_string(source_index), config.health);
   optim::Adam opt(model->Parameters(), config.learning_rate);
   const nn::ParamList& params = opt.params();
   std::vector<int64_t> order(static_cast<size_t>(pairs.count));
@@ -69,7 +94,7 @@ std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
   const size_t accum = static_cast<size_t>(std::max(1, config.accum_batches));
   const size_t threads = ThreadPool::ResolveConcurrency(config.threads);
 
-  float first_loss = 0.0f, last_loss = 0.0f;
+  TrainOneResult result;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     OBS_SPAN("cvae/epoch");
     rng.Shuffle(&order);
@@ -126,18 +151,40 @@ std::pair<float, float> TrainOne(DualCvae* model, const AlignedPairs& pairs,
       OBS_COUNT("cvae/optimizer_steps", 1);
       std::vector<ag::Variable> mean_grads;
       mean_grads.reserve(grad_acc.size());
+      double group_loss = 0.0;
+      for (const BatchContribution& c : contribs) group_loss += c.loss;
       for (auto& g : grad_acc) {
         mean_grads.emplace_back(t::MulScalar(g, 1.0f / static_cast<float>(count)),
                                 /*requires_grad=*/false);
+      }
+      if (health.enabled()) {
+        // Checks run BEFORE the step so a kAbort trip leaves the model at
+        // its last healthy parameters.
+        health.CheckGradNorm(GradGlobalNorm(mean_grads));
+        health.CheckStep(group_loss / static_cast<double>(count));
+        if (!health.status().ok()) {
+          result.health = health.status();
+          return result;
+        }
       }
       opt.Step(mean_grads);
     }
     const float mean_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
-    if (epoch == 0) first_loss = mean_loss;
-    last_loss = mean_loss;
+    if (epoch == 0) result.first_loss = mean_loss;
+    result.last_loss = mean_loss;
+    // Forced telemetry sample at the epoch boundary (no-op without an active
+    // sampler; SampleNow is thread-safe across parallel sources).
+    obs::SampleTelemetryNow("cvae/epoch");
+    if (health.enabled()) {
+      health.CheckEpoch(static_cast<double>(mean_loss));
+      if (!health.status().ok()) {
+        result.health = health.status();
+        return result;
+      }
+    }
   }
-  return {first_loss, last_loss};
+  return result;
 }
 
 }  // namespace
@@ -154,6 +201,7 @@ AdaptationReport DomainAdaptation::Fit(const data::MultiDomainDataset& dataset) 
   report.final_total_loss.resize(k, 0.0f);
   report.first_epoch_loss.resize(k, 0.0f);
   report.train_seconds.resize(k, 0.0);
+  std::vector<Status> health(k, Status::OK());
 
   Rng seed_rng(config_.seed);
   std::vector<uint64_t> seeds(k);
@@ -180,10 +228,12 @@ AdaptationReport DomainAdaptation::Fit(const data::MultiDomainDataset& dataset) 
     models_[s] = std::make_unique<DualCvae>(cc, &rng);
 
     Stopwatch timer;
-    auto [first, last] = TrainOne(models_[s].get(), pairs, config_, rng.Split());
+    TrainOneResult trained =
+        TrainOne(models_[s].get(), pairs, config_, s, rng.Split());
     report.train_seconds[s] = timer.ElapsedSeconds();
-    report.first_epoch_loss[s] = first;
-    report.final_total_loss[s] = last;
+    report.first_epoch_loss[s] = trained.first_loss;
+    report.final_total_loss[s] = trained.last_loss;
+    health[s] = std::move(trained.health);
   };
 
   if (config_.parallel && k > 1) {
@@ -193,6 +243,13 @@ AdaptationReport DomainAdaptation::Fit(const data::MultiDomainDataset& dataset) 
   }
   for (const auto& shared : dataset.shared_users) {
     report.shared_user_pairs += static_cast<int64_t>(shared.size());
+  }
+  // First failure in source-index order, independent of scheduling.
+  for (Status& st : health) {
+    if (!st.ok()) {
+      report.health = std::move(st);
+      break;
+    }
   }
   return report;
 }

@@ -14,6 +14,8 @@
 
 #include "cvae/dual_cvae.h"
 #include "data/synthetic.h"
+#include "obs/health.h"
+#include "util/status.h"
 
 namespace metadpa {
 namespace cvae {
@@ -43,6 +45,12 @@ struct AdaptationConfig {
   /// to serial inside the per-source `parallel` workers (the pool is
   /// non-reentrant), so it pays off when k = 1 or parallel = false.
   int threads = 1;
+  /// Training-health watchdog over each source's per-step losses, step
+  /// gradient norms, and per-epoch losses (monitors are named "cvae/<s>").
+  /// kAbort stops the tripping source before the offending optimizer step and
+  /// surfaces the error through AdaptationReport::health; other sources
+  /// finish normally.
+  obs::HealthConfig health;
   /// Min-max calibrate each generated rating row to [0, 1]. Raw sigmoid
   /// outputs concentrate near the row density (a few percent), which makes
   /// augmented labels structurally unlike the binary originals; calibration
@@ -56,6 +64,10 @@ struct AdaptationReport {
   std::vector<float> first_epoch_loss;       ///< per source
   std::vector<double> train_seconds;         ///< per source
   int64_t shared_user_pairs = 0;
+  /// First (in source-index order) kAbort watchdog error, or OK. A tripped
+  /// source stops training at the offending step; its model keeps the last
+  /// healthy parameters.
+  Status health = Status::OK();
 };
 
 /// \brief Owns the k Dual-CVAEs of the multi-source adaptation.

@@ -11,6 +11,7 @@
 #include "data/synthetic.h"
 #include "metrics/ranking.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace metadpa {
 namespace eval {
@@ -46,8 +47,12 @@ class Recommender {
   virtual std::string name() const = 0;
 
   /// \brief Trains on the warm training data (and for cross-domain methods,
-  /// the source domains).
-  virtual void Fit(const TrainContext& ctx) = 0;
+  /// the source domains). Returns non-OK only for failures a caller should
+  /// handle — today, a kAbort training-health watchdog trip (see
+  /// obs/health.h); the model is then left at its last healthy parameters
+  /// and must not be checkpointed or evaluated. Invariant violations still
+  /// MDPA_CHECK.
+  virtual Status Fit(const TrainContext& ctx) = 0;
 
   /// \brief Called once before evaluating a scenario. Default: restore the
   /// post-Fit state and fine-tune on the scenario's support pool if the model

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "baselines/catn.h"
 #include "baselines/conn.h"
@@ -18,7 +19,10 @@ namespace metadpa {
 namespace suite {
 
 void SetupObservability(const SuiteOptions& options) {
-  if (options.trace_out.empty() && options.metrics_out.empty()) return;
+  if (options.trace_out.empty() && options.metrics_out.empty() &&
+      options.telemetry_out.empty()) {
+    return;
+  }
   obs::SetEnabled(true);
   ThreadPool::Global().SetIdleTimingEnabled(true);
   // Pull bridges: subsystems below obs in the layering (ThreadPool in util,
@@ -57,6 +61,55 @@ Status ExportObservability(const SuiteOptions& options) {
   return Status::OK();
 }
 
+obs::RunManifest BuildRunManifest(const SuiteOptions& options) {
+  obs::RunManifest manifest;
+  obs::AddBuildInfo(&manifest);
+  obs::AddHostInfo(&manifest);
+
+  manifest.SetDouble("suite", "effort", options.effort);
+  manifest.SetInt("suite", "seed", static_cast<int64_t>(options.seed));
+  manifest.SetInt("suite", "train_threads", options.train_threads);
+  manifest.Set("suite", "watchdog", obs::HealthPolicyName(options.watchdog));
+  manifest.SetInt("suite", "telemetry_interval_ms", options.telemetry_interval_ms);
+
+  const core::MetaDpaConfig config = DefaultMetaDpaConfig(options);
+  manifest.SetInt("adaptation", "epochs", config.adaptation.epochs);
+  manifest.SetInt("adaptation", "hidden_dim", config.adaptation.hidden_dim);
+  manifest.SetInt("adaptation", "latent_dim", config.adaptation.latent_dim);
+  manifest.SetDouble("adaptation", "beta1", config.adaptation.beta1);
+  manifest.SetDouble("adaptation", "beta2", config.adaptation.beta2);
+  manifest.SetInt("adaptation", "batch_size", config.adaptation.batch_size);
+  manifest.SetDouble("adaptation", "learning_rate", config.adaptation.learning_rate);
+  manifest.SetInt("adaptation", "accum_batches", config.adaptation.accum_batches);
+  manifest.SetInt("adaptation", "seed", static_cast<int64_t>(config.adaptation.seed));
+  manifest.SetInt("maml", "epochs", config.maml.epochs);
+  manifest.SetDouble("maml", "inner_lr", config.maml.inner_lr);
+  manifest.SetInt("maml", "inner_steps", config.maml.inner_steps);
+  manifest.SetBool("maml", "second_order", config.maml.second_order);
+  manifest.SetDouble("maml", "outer_lr", config.maml.outer_lr);
+  manifest.SetInt("maml", "meta_batch_size", config.maml.meta_batch_size);
+  manifest.SetInt("maml", "finetune_steps", config.maml.finetune_steps);
+  manifest.SetInt("maml", "seed", static_cast<int64_t>(config.maml.seed));
+  return manifest;
+}
+
+std::unique_ptr<obs::TelemetrySampler> StartTelemetry(
+    const SuiteOptions& options, const obs::RunManifest* manifest) {
+  if (options.telemetry_out.empty()) return nullptr;
+  const obs::RunManifest resolved =
+      manifest != nullptr ? *manifest : BuildRunManifest(options);
+  const Status manifest_status =
+      resolved.WriteJson(options.telemetry_out + ".manifest.json");
+  if (!manifest_status.ok()) {
+    std::cerr << "warning: run manifest not written: " << manifest_status.ToString()
+              << "\n";
+  }
+  obs::TelemetryOptions telemetry;
+  telemetry.path = options.telemetry_out;
+  telemetry.interval_ms = options.telemetry_interval_ms;
+  return std::make_unique<obs::TelemetrySampler>(telemetry);
+}
+
 int ScaledEpochs(int epochs, double effort) {
   return std::max(1, static_cast<int>(std::llround(epochs * effort)));
 }
@@ -81,6 +134,8 @@ core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options) {
   // optimization trajectory (batches per step), so it is not tied to the
   // pure-parallelism train_threads knob.
   config.adaptation.threads = options.train_threads;
+  config.maml.health.policy = options.watchdog;
+  config.adaptation.health.policy = options.watchdog;
   config.model.embed_dim = 24;
   config.model.hidden = {48, 24};
   config.tasks.negatives_per_positive = 1;
@@ -100,6 +155,7 @@ meta::MamlConfig BaselineMamlConfig(const SuiteOptions& options) {
   config.finetune_steps = 10;
   config.threads = options.train_threads;
   config.seed = options.seed + 1;
+  config.health.policy = options.watchdog;
   return config;
 }
 

@@ -12,6 +12,9 @@
 
 #include "core/metadpa.h"
 #include "eval/recommender.h"
+#include "obs/health.h"
+#include "obs/manifest.h"
+#include "obs/telemetry.h"
 #include "util/status.h"
 
 namespace metadpa {
@@ -31,8 +34,18 @@ struct SuiteOptions {
   /// ExportObservability writes a chrome://tracing JSON here.
   std::string trace_out;
   /// When non-empty, ExportObservability writes the metrics + span summary
-  /// tables here. Either output alone turns instrumentation on.
+  /// tables here. Any observability output alone turns instrumentation on.
   std::string metrics_out;
+  /// When non-empty, StartTelemetry appends JSONL registry snapshots here
+  /// while the run executes and writes a run manifest to
+  /// "<telemetry_out>.manifest.json".
+  std::string telemetry_out;
+  /// Background sampling period; 0 keeps only the forced epoch-boundary
+  /// samples (deterministic sample count — what the tests use).
+  int telemetry_interval_ms = 250;
+  /// Training-health watchdog policy applied to every method's training
+  /// loops (MamlConfig::health / AdaptationConfig::health).
+  obs::HealthPolicy watchdog = obs::HealthPolicy::kOff;
 };
 
 /// \brief One constructible method.
@@ -64,6 +77,20 @@ void SetupObservability(const SuiteOptions& options);
 /// \brief Writes the requested observability outputs (trace JSON and/or the
 /// metrics + span summary tables). OK when neither output was requested.
 Status ExportObservability(const SuiteOptions& options);
+
+/// \brief Run provenance: build + host sections (obs) plus the resolved
+/// SuiteOptions and the tuned MetaDPA configuration derived from them.
+obs::RunManifest BuildRunManifest(const SuiteOptions& options);
+
+/// \brief Starts the telemetry sampler and writes the run manifest to
+/// "<telemetry_out>.manifest.json". Returns nullptr when telemetry_out is
+/// empty. `manifest` overrides the default BuildRunManifest(options) document
+/// (callers add e.g. a "data" section first); pass nullptr for the default.
+/// Destroy (or Stop()) the sampler after training finishes and before
+/// ExportObservability. A manifest write failure is reported on stderr but
+/// does not block the run.
+std::unique_ptr<obs::TelemetrySampler> StartTelemetry(
+    const SuiteOptions& options, const obs::RunManifest* manifest = nullptr);
 
 }  // namespace suite
 }  // namespace metadpa

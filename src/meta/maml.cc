@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -22,7 +23,10 @@ struct TaskContribution {
 }  // namespace
 
 MamlTrainer::MamlTrainer(PreferenceModel* model, const MamlConfig& config)
-    : model_(model), config_(config), rng_(config.seed) {
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      health_("maml", config.health) {
   MDPA_CHECK(model != nullptr);
   MDPA_CHECK_GT(config.inner_lr, 0.0f);
   MDPA_CHECK_GE(config.inner_steps, 1);
@@ -146,7 +150,17 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
       mean_grads.emplace_back(t::MulScalar(g, 1.0f / static_cast<float>(batch_tasks)),
                               /*requires_grad=*/false);
     }
-    optim::ClipGradNorm(&mean_grads, 10.0f);
+    const float grad_norm = optim::ClipGradNorm(&mean_grads, 10.0f);
+    if (health_.enabled()) {
+      // Checks run BEFORE the outer step: a kAbort trip leaves the model at
+      // its last healthy parameters (no partially-applied poisoned step).
+      health_.CheckGradNorm(static_cast<double>(grad_norm));
+      health_.CheckStep(batch_loss / static_cast<double>(batch_tasks));
+      if (!health_.status().ok()) {
+        stats.health = health_.status();
+        break;
+      }
+    }
     outer_opt_->Step(mean_grads);
   }
   // Mean over tasks, not over batches: a ragged final meta-batch must not be
@@ -155,16 +169,33 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
       stats.tasks_counted > 0
           ? static_cast<float>(epoch_loss / static_cast<double>(stats.tasks_counted))
           : 0.0f;
+  // Forced telemetry sample at the epoch boundary (no-op without an active
+  // sampler); reads metrics only, so bit-identity is preserved.
+  obs::SampleTelemetryNow("maml/epoch");
   return stats;
 }
 
 std::vector<float> MamlTrainer::Train(const std::vector<Task>& tasks) {
   std::vector<float> losses;
-  losses.reserve(static_cast<size_t>(config_.epochs));
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    losses.push_back(TrainEpoch(tasks));
-  }
+  // A kAbort trip truncates the vector; callers that must see the error use
+  // TrainWithStatus.
+  (void)TrainWithStatus(tasks, &losses);
   return losses;
+}
+
+Status MamlTrainer::TrainWithStatus(const std::vector<Task>& tasks,
+                                    std::vector<float>* losses) {
+  if (losses != nullptr) losses->reserve(static_cast<size_t>(config_.epochs));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats = TrainEpochStats(tasks);
+    if (!stats.health.ok()) return stats.health;
+    if (losses != nullptr) losses->push_back(stats.mean_query_loss);
+    if (health_.enabled()) {
+      health_.CheckEpoch(static_cast<double>(stats.mean_query_loss));
+      if (!health_.status().ok()) return health_.status();
+    }
+  }
+  return Status::OK();
 }
 
 nn::ParamList MamlTrainer::Adapt(const Task& task, int steps) const {

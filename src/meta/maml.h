@@ -13,7 +13,9 @@
 
 #include "meta/preference_model.h"
 #include "meta/tasks.h"
+#include "obs/health.h"
 #include "optim/optimizer.h"
+#include "util/status.h"
 
 namespace metadpa {
 namespace meta {
@@ -32,6 +34,12 @@ struct MamlConfig {
   /// are independent and the outer reduction runs in task-index order.
   int threads = 1;
   uint64_t seed = 3;
+  /// Training-health watchdog (NaN/Inf batch losses or outer-gradient norms,
+  /// divergence, stalls). kOff skips every check; kWarn only records
+  /// (bit-identical results); kAbort surfaces an error Status from
+  /// TrainWithStatus / EpochStats::health BEFORE the offending outer step is
+  /// applied, so the model is never poisoned.
+  obs::HealthConfig health;
 };
 
 /// \brief Diagnostics of one TrainEpoch pass (tests and logging).
@@ -42,6 +50,9 @@ struct EpochStats {
   int64_t tasks_counted = 0;               ///< tasks with a non-empty query set
   std::vector<float> batch_mean_loss;      ///< per outer step
   std::vector<int> batch_task_count;       ///< tasks behind each outer step
+  /// Non-OK when the kAbort watchdog tripped; the epoch stopped before the
+  /// offending outer step and the remaining meta-batches were skipped.
+  Status health = Status::OK();
 };
 
 /// \brief Meta-trains a PreferenceModel over tasks.
@@ -57,8 +68,15 @@ class MamlTrainer {
   /// \brief TrainEpoch with per-batch diagnostics.
   EpochStats TrainEpochStats(const std::vector<Task>& tasks);
 
-  /// \brief Runs config.epochs of TrainEpoch; returns per-epoch losses.
+  /// \brief Runs config.epochs of TrainEpoch; returns per-epoch losses. A
+  /// kAbort watchdog trip silently truncates the loss vector — callers that
+  /// must observe it use TrainWithStatus.
   std::vector<float> Train(const std::vector<Task>& tasks);
+
+  /// \brief Train with watchdog propagation: appends each epoch's mean query
+  /// loss to `losses` (ignored when null) and returns the first health error
+  /// (stopping immediately), or OK after config.epochs epochs.
+  Status TrainWithStatus(const std::vector<Task>& tasks, std::vector<float>* losses);
 
   /// \brief Test-time adaptation: `steps` plain SGD steps on a support set
   /// starting from the meta-learned initialization. Returns detached fast
@@ -81,6 +99,7 @@ class MamlTrainer {
   MamlConfig config_;
   std::unique_ptr<optim::Adam> outer_opt_;
   Rng rng_;
+  obs::HealthMonitor health_;
 };
 
 }  // namespace meta

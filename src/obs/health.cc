@@ -1,0 +1,141 @@
+#include "obs/health.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace metadpa {
+namespace obs {
+
+const char* HealthPolicyName(HealthPolicy policy) {
+  switch (policy) {
+    case HealthPolicy::kOff:
+      return "off";
+    case HealthPolicy::kWarn:
+      return "warn";
+    case HealthPolicy::kAbort:
+      return "abort";
+  }
+  return "off";
+}
+
+bool ParseHealthPolicy(const std::string& text, HealthPolicy* out) {
+  if (text == "off") {
+    *out = HealthPolicy::kOff;
+  } else if (text == "warn") {
+    *out = HealthPolicy::kWarn;
+  } else if (text == "abort") {
+    *out = HealthPolicy::kAbort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+HealthMonitor::HealthMonitor(std::string name, const HealthConfig& config)
+    : name_(std::move(name)), config_(config) {}
+
+Status HealthMonitor::Record(const char* kind, const std::string& detail) {
+  ++events_;
+  // The registry works whether or not obs::Enabled(); watchdog events are
+  // rare (per optimizer step at most), so this is never a hot path.
+  GetCounter(std::string("health/") + kind).Add(1);
+  if (logged_ < config_.max_warnings_logged) {
+    std::fprintf(stderr, "[health] %s: %s: %s\n", name_.c_str(), kind,
+                 detail.c_str());
+    if (++logged_ == config_.max_warnings_logged) {
+      std::fprintf(stderr, "[health] %s: suppressing further warnings\n",
+                   name_.c_str());
+    }
+  }
+  if (config_.policy == HealthPolicy::kAbort) {
+    status_ = Status::FailedPrecondition("[health] " + name_ + ": " + kind +
+                                         ": " + detail);
+    return status_;
+  }
+  return Status::OK();
+}
+
+Status HealthMonitor::CheckStep(double loss) {
+  if (!enabled()) return Status::OK();
+  if (!status_.ok()) return status_;
+  if (!std::isfinite(loss)) {
+    std::ostringstream msg;
+    msg << "non-finite step loss " << loss;
+    return Record("non_finite", msg.str());
+  }
+  if (window_.size() >= static_cast<size_t>(config_.divergence_window) &&
+      config_.divergence_window > 0) {
+    const double mean = window_sum_ / static_cast<double>(window_.size());
+    if (mean > 0.0 && loss > config_.divergence_factor * mean) {
+      std::ostringstream msg;
+      msg << "step loss " << loss << " > " << config_.divergence_factor
+          << "x trailing mean " << mean;
+      Status st = Record("divergence", msg.str());
+      if (!st.ok()) return st;
+    }
+  }
+  window_.push_back(loss);
+  window_sum_ += loss;
+  while (window_.size() > static_cast<size_t>(config_.divergence_window) &&
+         !window_.empty()) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status HealthMonitor::CheckGradNorm(double norm) {
+  if (!enabled()) return Status::OK();
+  if (!status_.ok()) return status_;
+  if (!std::isfinite(norm)) {
+    std::ostringstream msg;
+    msg << "non-finite gradient global norm " << norm;
+    return Record("non_finite", msg.str());
+  }
+  return Status::OK();
+}
+
+Status HealthMonitor::CheckEpoch(double loss) {
+  if (!enabled()) return Status::OK();
+  if (!status_.ok()) return status_;
+  if (!std::isfinite(loss)) {
+    std::ostringstream msg;
+    msg << "non-finite epoch loss " << loss;
+    return Record("non_finite", msg.str());
+  }
+  if (config_.stall_epochs <= 0) return Status::OK();
+  if (!has_best_epoch_ || loss < best_epoch_loss_ - config_.stall_min_delta) {
+    best_epoch_loss_ = loss;
+    has_best_epoch_ = true;
+    epochs_since_improvement_ = 0;
+    return Status::OK();
+  }
+  if (++epochs_since_improvement_ >= config_.stall_epochs) {
+    std::ostringstream msg;
+    msg << "no epoch-loss improvement > " << config_.stall_min_delta << " in "
+        << epochs_since_improvement_ << " epochs (best " << best_epoch_loss_
+        << ", last " << loss << ")";
+    // Restart the count so a warn-policy run does not fire every epoch
+    // after the first stall.
+    epochs_since_improvement_ = 0;
+    return Record("stall", msg.str());
+  }
+  return Status::OK();
+}
+
+void HealthMonitor::Reset() {
+  window_.clear();
+  window_sum_ = 0.0;
+  has_best_epoch_ = false;
+  best_epoch_loss_ = 0.0;
+  epochs_since_improvement_ = 0;
+  events_ = 0;
+  logged_ = 0;
+  status_ = Status::OK();
+}
+
+}  // namespace obs
+}  // namespace metadpa

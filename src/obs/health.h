@@ -1,0 +1,111 @@
+// Training-health watchdog: turns silent mid-run failures (NaN/Inf losses or
+// gradients, divergence, stalls) into counters, stderr warnings, or an error
+// Status the training loop propagates — never std::abort.
+//
+// Contract:
+//  * A HealthMonitor only READS values the training loop already computed; it
+//    never draws random numbers, mutates tensors, or reorders work, so a
+//    `warn`-policy run is bit-identical to a policy-off run (pinned by
+//    tests/obs_equivalence_test.cc).
+//  * With policy kOff every Check* is an immediate OK and callers are
+//    expected to skip any extra work (e.g. a gradient-norm computation) that
+//    only feeds the monitor — zero overhead when the watchdog is off.
+//  * With kAbort the first trip produces a FailedPrecondition Status that
+//    sticks: every later Check* returns it, so a loop can simply bail on the
+//    first non-OK result. Callers must check BEFORE applying the offending
+//    optimizer step, so an aborted model is never poisoned by the step that
+//    tripped the watchdog (and no checkpoint of a poisoned state exists).
+//  * Not thread-safe: call from the (serial) reduction path of a training
+//    loop, one monitor per trainer / per Dual-CVAE source.
+#ifndef METADPA_OBS_HEALTH_H_
+#define METADPA_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+/// \brief What happens when a health check trips.
+enum class HealthPolicy {
+  kOff = 0,  ///< checks disabled entirely
+  kWarn,     ///< increment health/* counter + one stderr line, keep training
+  kAbort,    ///< return (and stick to) an error Status; training must stop
+};
+
+/// \brief "off" / "warn" / "abort".
+const char* HealthPolicyName(HealthPolicy policy);
+
+/// \brief Parses "off"/"warn"/"abort"; returns false on unknown text.
+bool ParseHealthPolicy(const std::string& text, HealthPolicy* out);
+
+/// \brief Watchdog thresholds. The defaults are deliberately loose: they flag
+/// runs that are unmistakably broken, not merely noisy.
+struct HealthConfig {
+  HealthPolicy policy = HealthPolicy::kOff;
+  /// A step loss greater than `divergence_factor` times the trailing-window
+  /// mean counts as divergence. Checked only once the window is full, so
+  /// early-training noise never trips it.
+  double divergence_factor = 10.0;
+  int divergence_window = 16;  ///< trailing finite step losses kept
+  /// Epochs without an improvement of at least `stall_min_delta` over the
+  /// best epoch loss before a stall fires. 0 disables the stall check.
+  int stall_epochs = 0;
+  double stall_min_delta = 1e-4;
+  /// stderr lines emitted per monitor before suppressing (counters keep
+  /// counting regardless).
+  int max_warnings_logged = 5;
+};
+
+/// \brief Per-training-loop health state. See the header comment for the
+/// read-only / abort-sticks / not-thread-safe contract.
+class HealthMonitor {
+ public:
+  /// \brief `name` prefixes warnings and Status messages ("maml", "cvae/0").
+  HealthMonitor(std::string name, const HealthConfig& config);
+
+  bool enabled() const { return config_.policy != HealthPolicy::kOff; }
+
+  /// \brief Per-optimizer-step loss: NaN/Inf and divergence vs. the trailing
+  /// window. Finite losses enter the window after the check.
+  Status CheckStep(double loss);
+
+  /// \brief Outer/step gradient global norm: NaN/Inf only.
+  Status CheckGradNorm(double norm);
+
+  /// \brief Per-epoch loss: NaN/Inf, plus the no-improvement stall check.
+  Status CheckEpoch(double loss);
+
+  /// \brief First kAbort failure, or OK. Sticks once set.
+  const Status& status() const { return status_; }
+
+  /// \brief Total events recorded (all kinds, any policy except kOff).
+  int64_t events() const { return events_; }
+
+  /// \brief Clears the window, stall state, and any stuck Status.
+  void Reset();
+
+ private:
+  /// Records one tripped check: counter ("health/<kind>"), a rate-limited
+  /// stderr line, and under kAbort the sticky error Status.
+  Status Record(const char* kind, const std::string& detail);
+
+  const std::string name_;
+  const HealthConfig config_;
+  std::deque<double> window_;
+  double window_sum_ = 0.0;
+  double best_epoch_loss_ = 0.0;
+  bool has_best_epoch_ = false;
+  int epochs_since_improvement_ = 0;
+  int64_t events_ = 0;
+  int logged_ = 0;
+  Status status_;
+};
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_HEALTH_H_

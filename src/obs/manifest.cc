@@ -1,0 +1,192 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      const std::string& value) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.s = value;
+  sections_[section][key] = std::move(v);
+}
+
+void RunManifest::SetInt(const std::string& section, const std::string& key,
+                         int64_t value) {
+  Value v;
+  v.kind = Value::Kind::kInt;
+  v.i = value;
+  sections_[section][key] = v;
+}
+
+void RunManifest::SetDouble(const std::string& section, const std::string& key,
+                            double value) {
+  Value v;
+  v.kind = Value::Kind::kDouble;
+  v.d = value;
+  sections_[section][key] = v;
+}
+
+void RunManifest::SetBool(const std::string& section, const std::string& key,
+                          bool value) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.b = value;
+  sections_[section][key] = v;
+}
+
+bool RunManifest::Has(const std::string& section, const std::string& key) const {
+  auto sit = sections_.find(section);
+  if (sit == sections_.end()) return false;
+  return sit->second.find(key) != sit->second.end();
+}
+
+std::string RunManifest::ToJson() const {
+  std::string out = "{";
+  bool first_section = true;
+  for (const auto& [section, entries] : sections_) {
+    if (!first_section) out += ",";
+    first_section = false;
+    out += "\n  \"" + JsonEscape(section) + "\": {";
+    bool first_key = true;
+    for (const auto& [key, value] : entries) {
+      if (!first_key) out += ",";
+      first_key = false;
+      out += "\n    \"" + JsonEscape(key) + "\": ";
+      switch (value.kind) {
+        case Value::Kind::kString:
+          out += "\"" + JsonEscape(value.s) + "\"";
+          break;
+        case Value::Kind::kInt:
+          out += std::to_string(value.i);
+          break;
+        case Value::Kind::kDouble:
+          out += FormatDouble(value.d);
+          break;
+        case Value::Kind::kBool:
+          out += value.b ? "true" : "false";
+          break;
+      }
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status RunManifest::WriteJson(const std::string& path) const {
+  const std::string contents = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for writing: " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+void AddBuildInfo(RunManifest* manifest) {
+#ifdef METADPA_BUILD_TYPE
+  manifest->Set("build", "type", METADPA_BUILD_TYPE);
+#else
+  manifest->Set("build", "type", "unknown");
+#endif
+#ifdef METADPA_BUILD_NATIVE
+  manifest->SetBool("build", "native", true);
+#else
+  manifest->SetBool("build", "native", false);
+#endif
+#ifdef METADPA_BUILD_TSAN
+  manifest->SetBool("build", "tsan", true);
+#else
+  manifest->SetBool("build", "tsan", false);
+#endif
+#ifdef METADPA_BUILD_ASAN
+  manifest->SetBool("build", "asan", true);
+#else
+  manifest->SetBool("build", "asan", false);
+#endif
+#ifdef METADPA_OBS_STRIP
+  manifest->SetBool("build", "obs_strip", true);
+#else
+  manifest->SetBool("build", "obs_strip", false);
+#endif
+#ifdef __VERSION__
+  manifest->Set("build", "compiler", __VERSION__);
+#endif
+  manifest->SetInt("build", "cplusplus", static_cast<int64_t>(__cplusplus));
+}
+
+void AddHostInfo(RunManifest* manifest) {
+#if defined(__unix__) || defined(__APPLE__)
+  char hostname[256] = {0};
+  if (gethostname(hostname, sizeof(hostname) - 1) == 0) {
+    manifest->Set("host", "name", hostname);
+  }
+#endif
+#if defined(__linux__)
+  manifest->Set("host", "platform", "linux");
+#elif defined(__APPLE__)
+  manifest->Set("host", "platform", "darwin");
+#elif defined(_WIN32)
+  manifest->Set("host", "platform", "windows");
+#else
+  manifest->Set("host", "platform", "unknown");
+#endif
+  manifest->SetInt("host", "hardware_threads",
+                   static_cast<int64_t>(std::thread::hardware_concurrency()));
+  manifest->SetInt("host", "pointer_bits",
+                   static_cast<int64_t>(sizeof(void*) * 8));
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char stamp[32];
+  if (std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+    manifest->Set("host", "start_utc", stamp);
+  }
+}
+
+}  // namespace obs
+}  // namespace metadpa

@@ -1,0 +1,62 @@
+// Run manifest: a small JSON document written next to every telemetry /
+// trace / metrics / bench artifact so the artifact is attributable — which
+// configuration, seeds, build flags, and host produced it.
+//
+// The manifest is a flat two-level map: section -> key -> scalar. Sections
+// and keys render sorted, so two manifests of the same run diff cleanly.
+// obs only provides the container plus the build/host sections it can see
+// from compile-time macros; higher layers (eval/suite, the CLI) fill in the
+// resolved experiment configuration (see suite::BuildRunManifest).
+#ifndef METADPA_OBS_MANIFEST_H_
+#define METADPA_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+/// \brief Section -> key -> scalar value document, serialized as JSON.
+class RunManifest {
+ public:
+  void Set(const std::string& section, const std::string& key,
+           const std::string& value);
+  void SetInt(const std::string& section, const std::string& key, int64_t value);
+  void SetDouble(const std::string& section, const std::string& key, double value);
+  void SetBool(const std::string& section, const std::string& key, bool value);
+
+  /// \brief True if the (section, key) entry exists.
+  bool Has(const std::string& section, const std::string& key) const;
+
+  /// \brief Pretty-printed JSON object (one key per line, sorted).
+  std::string ToJson() const;
+
+  /// \brief Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Value {
+    enum class Kind { kString, kInt, kDouble, kBool } kind = Kind::kString;
+    std::string s;
+    int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+  };
+  std::map<std::string, std::map<std::string, Value>> sections_;
+};
+
+/// \brief Fills the "build" section: build type, sanitizer / NATIVE /
+/// OBS_STRIP flags, and the compiler version (all from compile-time macros).
+void AddBuildInfo(RunManifest* manifest);
+
+/// \brief Fills the "host" section: hostname, hardware threads, platform,
+/// pointer width, and the wall-clock start time (UTC).
+void AddHostInfo(RunManifest* manifest);
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_MANIFEST_H_

@@ -308,6 +308,31 @@ void Histogram::Observe(double value) {
                   std::memory_order_relaxed);
 }
 
+double HistogramPercentile(const HistogramSnapshot& snap, double p) {
+  if (snap.count <= 0 || snap.bounds.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(snap.count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < snap.buckets.size(); ++b) {
+    const int64_t in_bucket = snap.buckets[b];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // lo == hi for the first and the overflow bucket: both degenerate to
+      // their single known edge (see the header contract).
+      const double lo = b == 0 ? snap.bounds[0] : snap.bounds[b - 1];
+      const double hi = b < snap.bounds.size() ? snap.bounds[b] : snap.bounds.back();
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return snap.bounds.back();
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.bounds = bounds_;
@@ -400,7 +425,11 @@ std::string MetricsTable() {
     }
     table.AddRow({name, "histogram",
                   "count=" + std::to_string(hist.count) +
-                      " sum=" + TextTable::Num(hist.sum, 3) + " " + cells});
+                      " sum=" + TextTable::Num(hist.sum, 3) +
+                      " p50=" + TextTable::Num(HistogramPercentile(hist, 50.0), 3) +
+                      " p90=" + TextTable::Num(HistogramPercentile(hist, 90.0), 3) +
+                      " p99=" + TextTable::Num(HistogramPercentile(hist, 99.0), 3) +
+                      " " + cells});
   }
   return table.ToString();
 }

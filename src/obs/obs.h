@@ -114,6 +114,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// \brief Interpolated percentile from a snapshot's bucket counts, p in
+/// [0, 100]. A value inside an interior bucket interpolates linearly by rank
+/// between the bucket's lower and upper bound; the first bucket (no finite
+/// lower edge) reports bounds[0] and the overflow bucket reports
+/// bounds.back(), so results are always within the configured bound range.
+/// Empty histograms report 0. Pinned by exact-bucket tests in obs_test.cc.
+double HistogramPercentile(const HistogramSnapshot& snap, double p);
+
 /// \brief Fixed-bucket histogram. A value lands in the first bucket whose
 /// upper bound is >= the value (inclusive edges); values above every bound
 /// land in the overflow bucket. Observe is lock-free (per-thread shard).

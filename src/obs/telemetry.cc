@@ -1,0 +1,178 @@
+#include "obs/telemetry.h"
+
+#include "obs/obs.h"
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+std::atomic<TelemetrySampler*> g_active{nullptr};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+/// One snapshot as a single JSON line (no trailing newline).
+std::string SerializeSample(int64_t step, double ts_ms, const char* label,
+                            const MetricsSnapshot& snap) {
+  std::string out = "{\"step\":" + std::to_string(step) + ",\"ts_ms\":";
+  AppendNumber(&out, ts_ms);
+  out += ",\"label\":\"" + JsonEscape(label) + "\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":";
+    AppendNumber(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + std::to_string(hist.count) + ",\"sum\":";
+    AppendNumber(&out, hist.sum);
+    for (const auto& [tag, p] : {std::pair<const char*, double>{"p50", 50.0},
+                                 {"p90", 90.0},
+                                 {"p99", 99.0}}) {
+      out += std::string(",\"") + tag + "\":";
+      AppendNumber(&out, HistogramPercentile(hist, p));
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(const TelemetryOptions& options)
+    : options_(options), t0_(std::chrono::steady_clock::now()) {
+  file_ = std::fopen(options_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open telemetry output: " + options_.path);
+    stopped_ = true;  // nothing to stop; keep SampleNow a no-op
+  }
+  TelemetrySampler* expected = nullptr;
+  MDPA_CHECK(g_active.compare_exchange_strong(expected, this))
+      << "only one TelemetrySampler may be alive at a time";
+  if (file_ != nullptr) {
+    Sample("start");
+    if (options_.interval_ms > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() {
+  Stop();
+  TelemetrySampler* self = this;
+  g_active.compare_exchange_strong(self, nullptr);
+}
+
+TelemetrySampler* TelemetrySampler::Active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void TelemetrySampler::Sample(const char* label) {
+  const double ts_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - t0_)
+          .count();
+  // Providers + merged shards are read outside the write mutex; the line is
+  // serialized before taking it so concurrent forced samples only contend on
+  // the actual append.
+  const MetricsSnapshot snap = SnapshotMetrics();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (file_ == nullptr) return;
+  const std::string line = SerializeSample(step_, ts_ms, label, snap) + "\n";
+  ++step_;
+  const size_t n = std::fwrite(line.data(), 1, line.size(), file_);
+  if (n != line.size()) {
+    if (status_.ok()) status_ = Status::IoError("short write: " + options_.path);
+    return;
+  }
+  std::fflush(file_);
+  ++written_;
+}
+
+void TelemetrySampler::SampleNow(const char* label) { Sample(label); }
+
+void TelemetrySampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                        [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    Sample("interval");
+  }
+}
+
+Status TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return status();
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Sample("stop");
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed: " + options_.path);
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+int64_t TelemetrySampler::samples_written() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return written_;
+}
+
+Status TelemetrySampler::status() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return status_;
+}
+
+void SampleTelemetryNow(const char* label) {
+  TelemetrySampler* sampler = g_active.load(std::memory_order_acquire);
+  if (sampler == nullptr) return;
+  sampler->SampleNow(label);
+}
+
+}  // namespace obs
+}  // namespace metadpa

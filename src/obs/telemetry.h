@@ -1,0 +1,109 @@
+// Time-series telemetry: periodic (and forced) snapshots of the metrics
+// registry appended as JSONL, so a long multi-stage run (Dual-CVAE
+// pre-training, then MAML) is observable WHILE it runs, not only at exit.
+//
+// One line per sample:
+//   {"step":3,"ts_ms":812.044,"label":"maml/epoch",
+//    "counters":{"maml/outer_steps":24,...},
+//    "gauges":{"thread_pool/queue_depth":0,...},
+//    "histograms":{"maml/query_loss":{"count":96,"sum":61.1,
+//                  "p50":0.61,"p90":1.4,"p99":3.9},...}}
+//
+// * `step` increments per sample (run-relative), `ts_ms` is monotonic
+//   (steady clock) relative to sampler construction; both are append-only.
+// * Sampling READS the registry (SnapshotMetrics) and nothing else: it never
+//   draws random numbers, never touches tensors, never reorders work, so a
+//   sampler-on run is bit-identical to a sampler-off run (pinned by
+//   tests/obs_equivalence_test.cc).
+// * A background thread samples every `interval_ms`; training loops
+//   additionally force samples at epoch boundaries through the
+//   SampleTelemetryNow() hook, which makes tests deterministic
+//   (interval_ms = 0 disables the thread entirely, leaving only forced
+//   samples).
+#ifndef METADPA_OBS_TELEMETRY_H_
+#define METADPA_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+/// \brief Sampler configuration.
+struct TelemetryOptions {
+  std::string path;      ///< JSONL output file (truncated on open)
+  int interval_ms = 250; ///< background period; <= 0 = forced samples only
+};
+
+/// \brief Appends registry snapshots to a JSONL file; at most one instance
+/// may be alive per process (it registers itself as the target of the
+/// SampleTelemetryNow hook). Destroy it only after every thread that may
+/// call the hook has finished its training loop.
+class TelemetrySampler {
+ public:
+  /// \brief Opens the file, writes an initial "start" sample, and starts the
+  /// background thread when interval_ms > 0. Open failures park the sampler
+  /// (status() reports them; samples become no-ops).
+  explicit TelemetrySampler(const TelemetryOptions& options);
+
+  /// \brief Stop() + unregisters the hook target.
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// \brief Forces one sample with the given label (thread-safe; used by the
+  /// epoch-boundary hooks and by tests). `label` is copied immediately.
+  void SampleNow(const char* label);
+
+  /// \brief Writes a final "stop" sample, joins the background thread, and
+  /// closes the file. Idempotent; returns the first error seen (short
+  /// writes, open failure).
+  Status Stop();
+
+  /// \brief Samples successfully appended so far.
+  int64_t samples_written() const;
+
+  /// \brief First I/O error, or OK.
+  Status status() const;
+
+  /// \brief The live sampler, or nullptr.
+  static TelemetrySampler* Active();
+
+ private:
+  void Sample(const char* label);
+  void Loop();
+
+  const TelemetryOptions options_;
+  const std::chrono::steady_clock::time_point t0_;
+
+  mutable std::mutex write_mutex_;  ///< guards file_, step_, written_, status_
+  std::FILE* file_ = nullptr;
+  int64_t step_ = 0;
+  int64_t written_ = 0;
+  Status status_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// \brief Instrumentation hook for epoch boundaries: forces a sample on the
+/// active sampler, or does nothing (one relaxed atomic load) when no sampler
+/// is live. Read-only with respect to program state, like every obs hook.
+void SampleTelemetryNow(const char* label);
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_TELEMETRY_H_

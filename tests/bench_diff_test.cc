@@ -1,0 +1,259 @@
+// bench_compare: google-benchmark JSON parsing, per-run-name summaries, and
+// the regression-threshold diff that tools/bench_diff and
+// tools/check_bench_regression.sh are built on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_compare.h"
+
+namespace metadpa {
+namespace bench {
+namespace {
+
+// A trimmed google-benchmark document: context block (ignored), two run
+// names, one with aggregate entries and one with iteration entries only.
+std::string BaselineJson() {
+  return R"({
+  "context": {
+    "date": "2026-08-06T00:00:00+00:00",
+    "caches": [ {"type": "Data", "level": 1, "size": 32768} ],
+    "library_build_type": "release"
+  },
+  "benchmarks": [
+    {
+      "name": "BM_MatMul/32_mean",
+      "run_name": "BM_MatMul/32",
+      "run_type": "aggregate",
+      "aggregate_name": "mean",
+      "iterations": 3,
+      "real_time": 1.05e+03,
+      "cpu_time": 1.04e+03,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_MatMul/32_median",
+      "run_name": "BM_MatMul/32",
+      "run_type": "aggregate",
+      "aggregate_name": "median",
+      "iterations": 3,
+      "real_time": 1.00e+03,
+      "cpu_time": 0.99e+03,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_Reduce/8",
+      "run_name": "BM_Reduce/8",
+      "run_type": "iteration",
+      "iterations": 100,
+      "real_time": 10.0,
+      "cpu_time": 10.0,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_Reduce/8",
+      "run_name": "BM_Reduce/8",
+      "run_type": "iteration",
+      "iterations": 100,
+      "real_time": 30.0,
+      "cpu_time": 30.0,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_Reduce/8",
+      "run_name": "BM_Reduce/8",
+      "run_type": "iteration",
+      "iterations": 100,
+      "real_time": 20.0,
+      "cpu_time": 20.0,
+      "time_unit": "us"
+    }
+  ]
+})";
+}
+
+// Same shape with BM_MatMul/32 regressed 50% on median, BM_Reduce/8 dropped,
+// and a brand-new benchmark added.
+std::string ContenderJson() {
+  return R"({
+  "benchmarks": [
+    {
+      "name": "BM_MatMul/32_mean",
+      "run_name": "BM_MatMul/32",
+      "run_type": "aggregate",
+      "aggregate_name": "mean",
+      "real_time": 1.60e+03,
+      "cpu_time": 1.59e+03,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_MatMul/32_median",
+      "run_name": "BM_MatMul/32",
+      "run_type": "aggregate",
+      "aggregate_name": "median",
+      "real_time": 1.50e+03,
+      "cpu_time": 1.49e+03,
+      "time_unit": "us"
+    },
+    {
+      "name": "BM_New/1",
+      "run_name": "BM_New/1",
+      "run_type": "iteration",
+      "real_time": 5.0,
+      "cpu_time": 5.0,
+      "time_unit": "us"
+    }
+  ]
+})";
+}
+
+TEST(ParseBenchmarkJsonTest, ReadsRecordsAndSkipsUnknownKeys) {
+  const Result<std::vector<BenchRecord>> parsed =
+      ParseBenchmarkJson(BaselineJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<BenchRecord>& records = parsed.ValueOrDie();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].name, "BM_MatMul/32_mean");
+  EXPECT_EQ(records[0].run_name, "BM_MatMul/32");
+  EXPECT_EQ(records[0].run_type, "aggregate");
+  EXPECT_EQ(records[0].aggregate_name, "mean");
+  EXPECT_DOUBLE_EQ(records[0].real_time, 1050.0);
+  EXPECT_EQ(records[0].time_unit, "us");
+  EXPECT_EQ(records[2].run_type, "iteration");
+  EXPECT_TRUE(records[2].aggregate_name.empty());
+}
+
+TEST(ParseBenchmarkJsonTest, FailsWithoutBenchmarksArray) {
+  const auto parsed = ParseBenchmarkJson(R"({"context": {"date": "x"}})");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParseBenchmarkJsonTest, FailsOnUnterminatedArray) {
+  const auto parsed =
+      ParseBenchmarkJson(R"({"benchmarks": [ {"name": "BM_A"} )");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParseBenchmarkJsonTest, FailsOnEntryWithoutName) {
+  const auto parsed =
+      ParseBenchmarkJson(R"({"benchmarks": [ {"real_time": 1.0} ]})");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParseBenchmarkJsonTest, EmptyArrayIsValid) {
+  const auto parsed = ParseBenchmarkJson(R"({"benchmarks": []})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.ValueOrDie().empty());
+}
+
+TEST(SummarizeByRunNameTest, PrefersAggregatesVerbatim) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto summaries = SummarizeByRunName(records);
+  ASSERT_EQ(summaries.count("BM_MatMul/32"), 1u);
+  const BenchSummary& s = summaries.at("BM_MatMul/32");
+  EXPECT_DOUBLE_EQ(s.mean, 1050.0);
+  EXPECT_DOUBLE_EQ(s.median, 1000.0);
+  EXPECT_EQ(s.time_unit, "us");
+}
+
+TEST(SummarizeByRunNameTest, ComputesOverIterationEntries) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto summaries = SummarizeByRunName(records);
+  ASSERT_EQ(summaries.count("BM_Reduce/8"), 1u);
+  const BenchSummary& s = summaries.at("BM_Reduce/8");
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);    // (10 + 30 + 20) / 3
+  EXPECT_DOUBLE_EQ(s.median, 20.0);  // sorted middle of {10, 20, 30}
+}
+
+TEST(DiffBenchmarksTest, FlagsRegressionAboveThreshold) {
+  const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 10.0;  // median went 1000 -> 1500 us: +50%
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  EXPECT_TRUE(report.has_regression);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].run_name, "BM_MatMul/32");
+  EXPECT_DOUBLE_EQ(report.deltas[0].baseline_time, 1000.0);
+  EXPECT_DOUBLE_EQ(report.deltas[0].contender_time, 1500.0);
+  EXPECT_DOUBLE_EQ(report.deltas[0].delta_pct, 50.0);
+  EXPECT_TRUE(report.deltas[0].regression);
+}
+
+TEST(DiffBenchmarksTest, BelowThresholdIsNotARegression) {
+  const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 60.0;  // +50% is inside a 60% budget
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  EXPECT_FALSE(report.has_regression);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_FALSE(report.deltas[0].regression);
+}
+
+TEST(DiffBenchmarksTest, SpeedupNeverCountsAsRegression) {
+  const auto baseline = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 10.0;  // reversed direction: 1500 -> 1000 us
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  EXPECT_FALSE(report.has_regression);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_LT(report.deltas[0].delta_pct, 0.0);
+}
+
+TEST(DiffBenchmarksTest, ComparesMeansWhenConfigured) {
+  const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.use_median = false;  // mean went 1050 -> 1600 us
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.deltas[0].baseline_time, 1050.0);
+  EXPECT_DOUBLE_EQ(report.deltas[0].contender_time, 1600.0);
+}
+
+TEST(DiffBenchmarksTest, ReportsUnmatchedBenchmarksWithoutRegressing) {
+  const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 60.0;
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  ASSERT_EQ(report.only_in_baseline.size(), 1u);
+  EXPECT_EQ(report.only_in_baseline[0], "BM_Reduce/8");
+  ASSERT_EQ(report.only_in_contender.size(), 1u);
+  EXPECT_EQ(report.only_in_contender[0], "BM_New/1");
+  EXPECT_FALSE(report.has_regression);
+}
+
+TEST(DiffBenchmarksTest, SelfCompareIsAllZeros) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const BenchDiffReport report =
+      DiffBenchmarks(records, records, BenchDiffOptions{});
+  EXPECT_FALSE(report.has_regression);
+  ASSERT_EQ(report.deltas.size(), 2u);
+  for (const BenchDelta& d : report.deltas) {
+    EXPECT_DOUBLE_EQ(d.delta_pct, 0.0);
+    EXPECT_FALSE(d.regression);
+  }
+  EXPECT_TRUE(report.only_in_baseline.empty());
+  EXPECT_TRUE(report.only_in_contender.empty());
+}
+
+TEST(RenderBenchDiffTest, MarksRegressionsAndUnmatched) {
+  const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 10.0;
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  const std::string rendered = RenderBenchDiff(report, options);
+  EXPECT_NE(rendered.find("BM_MatMul/32"), std::string::npos);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("BM_Reduce/8"), std::string::npos);
+  EXPECT_NE(rendered.find("BM_New/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace metadpa

@@ -15,7 +15,7 @@ class OracleRecommender : public Recommender {
  public:
   explicit OracleRecommender(const data::DomainData* domain) : domain_(domain) {}
   std::string name() const override { return "Oracle"; }
-  void Fit(const TrainContext&) override { fitted_ = true; }
+  Status Fit(const TrainContext&) override { fitted_ = true; return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override {
     std::vector<double> scores;
@@ -36,7 +36,7 @@ class OracleRecommender : public Recommender {
 class ConstantRecommender : public Recommender {
  public:
   std::string name() const override { return "Constant"; }
-  void Fit(const TrainContext&) override {}
+  Status Fit(const TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase&,
                                 const std::vector<int64_t>& items) override {
     return std::vector<double>(items.size(), 0.5);
@@ -75,7 +75,7 @@ TrainContext* EvalTest::ctx_ = nullptr;
 class HashRecommender : public Recommender {
  public:
   std::string name() const override { return "Hash"; }
-  void Fit(const TrainContext&) override {}
+  Status Fit(const TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override {
     std::vector<double> scores;
@@ -97,7 +97,7 @@ class HashRecommender : public Recommender {
 class NanRecommender : public Recommender {
  public:
   std::string name() const override { return "NaN"; }
-  void Fit(const TrainContext&) override {}
+  Status Fit(const TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase&,
                                 const std::vector<int64_t>& items) override {
     return std::vector<double>(items.size(), std::nan(""));
@@ -112,7 +112,7 @@ class NanRecommender : public Recommender {
 class WrongSizeRecommender : public Recommender {
  public:
   std::string name() const override { return "WrongSize"; }
-  void Fit(const TrainContext&) override {}
+  Status Fit(const TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase&,
                                 const std::vector<int64_t>& items) override {
     return std::vector<double>(items.size() + 3, 0.5);

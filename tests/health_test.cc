@@ -1,0 +1,272 @@
+// Training-health watchdog: HealthMonitor unit checks (NaN/Inf, divergence,
+// stall, policy semantics) plus end-to-end fault injection — a NaN poisoned
+// into a MAML task or the Dual-CVAE inputs must surface as an error Status
+// under the abort policy (with the model left at its last healthy, finite
+// parameters and no checkpoint written), and as counters under warn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cvae/adaptation.h"
+#include "data/synthetic.h"
+#include "meta/maml.h"
+#include "meta/preference_model.h"
+#include "nn/checkpoint.h"
+#include "obs/health.h"
+#include "obs/obs.h"
+
+namespace metadpa {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+obs::HealthConfig Config(obs::HealthPolicy policy) {
+  obs::HealthConfig config;
+  config.policy = policy;
+  config.max_warnings_logged = 0;  // keep test output clean
+  return config;
+}
+
+TEST(HealthPolicyTest, ParseRoundTrips) {
+  obs::HealthPolicy policy;
+  EXPECT_TRUE(obs::ParseHealthPolicy("off", &policy));
+  EXPECT_EQ(policy, obs::HealthPolicy::kOff);
+  EXPECT_TRUE(obs::ParseHealthPolicy("warn", &policy));
+  EXPECT_EQ(policy, obs::HealthPolicy::kWarn);
+  EXPECT_TRUE(obs::ParseHealthPolicy("abort", &policy));
+  EXPECT_EQ(policy, obs::HealthPolicy::kAbort);
+  EXPECT_FALSE(obs::ParseHealthPolicy("panic", &policy));
+  EXPECT_FALSE(obs::ParseHealthPolicy("", &policy));
+  EXPECT_STREQ(obs::HealthPolicyName(obs::HealthPolicy::kWarn), "warn");
+}
+
+TEST(HealthMonitorTest, OffPolicyChecksNothing) {
+  obs::HealthMonitor monitor("t", Config(obs::HealthPolicy::kOff));
+  EXPECT_FALSE(monitor.enabled());
+  EXPECT_TRUE(monitor.CheckStep(kNan).ok());
+  EXPECT_TRUE(monitor.CheckGradNorm(kInf).ok());
+  EXPECT_TRUE(monitor.CheckEpoch(kNan).ok());
+  EXPECT_EQ(monitor.events(), 0);
+}
+
+TEST(HealthMonitorTest, WarnRecordsButNeverFails) {
+  obs::GetCounter("health/non_finite").Reset();
+  obs::HealthMonitor monitor("t", Config(obs::HealthPolicy::kWarn));
+  EXPECT_TRUE(monitor.CheckStep(kNan).ok());
+  EXPECT_TRUE(monitor.CheckGradNorm(kInf).ok());
+  EXPECT_TRUE(monitor.CheckStep(1.0).ok());
+  EXPECT_EQ(monitor.events(), 2);
+  EXPECT_EQ(obs::GetCounter("health/non_finite").Value(), 2);
+  EXPECT_TRUE(monitor.status().ok());
+}
+
+TEST(HealthMonitorTest, AbortSticksAfterFirstTrip) {
+  obs::HealthMonitor monitor("t", Config(obs::HealthPolicy::kAbort));
+  EXPECT_TRUE(monitor.CheckStep(0.5).ok());
+  Status first = monitor.CheckStep(kNan);
+  EXPECT_EQ(first.code(), StatusCode::kFailedPrecondition);
+  // A healthy loss after the trip still reports the stuck status.
+  EXPECT_FALSE(monitor.CheckStep(0.5).ok());
+  EXPECT_FALSE(monitor.CheckEpoch(0.5).ok());
+  EXPECT_FALSE(monitor.status().ok());
+  monitor.Reset();
+  EXPECT_TRUE(monitor.status().ok());
+  EXPECT_TRUE(monitor.CheckStep(0.5).ok());
+}
+
+TEST(HealthMonitorTest, DivergenceNeedsFullWindow) {
+  obs::HealthConfig config = Config(obs::HealthPolicy::kAbort);
+  config.divergence_window = 4;
+  config.divergence_factor = 10.0;
+  obs::HealthMonitor monitor("t", config);
+  // A huge early loss is NOT divergence: the window is not full yet.
+  EXPECT_TRUE(monitor.CheckStep(100.0).ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(monitor.CheckStep(1.0).ok());
+  // Window now holds {100, 1, 1, 1}, mean 25.75 — 20 is fine...
+  EXPECT_TRUE(monitor.CheckStep(20.0).ok());
+  // ...window slides to {1, 1, 1, 20}, mean 5.75; 10x mean = 57.5 < 100.
+  Status st = monitor.CheckStep(100.0);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("divergence"), std::string::npos);
+}
+
+TEST(HealthMonitorTest, StallFiresAfterNoImprovement) {
+  obs::HealthConfig config = Config(obs::HealthPolicy::kAbort);
+  config.stall_epochs = 2;
+  config.stall_min_delta = 1e-3;
+  obs::HealthMonitor monitor("t", config);
+  EXPECT_TRUE(monitor.CheckEpoch(1.0).ok());   // sets the best
+  EXPECT_TRUE(monitor.CheckEpoch(1.0).ok());   // 1 epoch without improvement
+  Status st = monitor.CheckEpoch(0.9999);      // sub-delta move: 2 epochs
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("stall"), std::string::npos);
+}
+
+TEST(HealthMonitorTest, ImprovementResetsStallCount) {
+  obs::HealthConfig config = Config(obs::HealthPolicy::kAbort);
+  config.stall_epochs = 2;
+  config.stall_min_delta = 1e-3;
+  obs::HealthMonitor monitor("t", config);
+  EXPECT_TRUE(monitor.CheckEpoch(1.0).ok());
+  EXPECT_TRUE(monitor.CheckEpoch(1.0).ok());
+  EXPECT_TRUE(monitor.CheckEpoch(0.5).ok());  // real improvement: count resets
+  EXPECT_TRUE(monitor.CheckEpoch(0.5).ok());
+  EXPECT_FALSE(monitor.CheckEpoch(0.5).ok());
+}
+
+// --- MAML fault injection ---------------------------------------------------
+
+Tensor DotLabels(const Tensor& u, const Tensor& i) {
+  Tensor labels({u.dim(0), 1});
+  for (int64_t r = 0; r < u.dim(0); ++r) {
+    float dot = 0.0f;
+    for (int64_t c = 0; c < u.dim(1); ++c) dot += u.at(r, c) * i.at(r, c);
+    labels.at(r) = dot > 0.0f ? 1.0f : 0.0f;
+  }
+  return labels;
+}
+
+std::vector<meta::Task> MakeTasks(int count, bool poison_one) {
+  Rng rng(317);
+  std::vector<meta::Task> tasks;
+  tasks.reserve(count);
+  for (int t = 0; t < count; ++t) {
+    meta::Task task;
+    task.user = 0;
+    task.support_user = Tensor::RandNormal({6, 6}, &rng);
+    task.support_item = Tensor::RandNormal({6, 6}, &rng);
+    task.query_user = Tensor::RandNormal({6, 6}, &rng);
+    task.query_item = Tensor::RandNormal({6, 6}, &rng);
+    task.support_labels = DotLabels(task.support_user, task.support_item);
+    task.query_labels = DotLabels(task.query_user, task.query_item);
+    tasks.push_back(std::move(task));
+  }
+  if (poison_one) {
+    tasks[1].query_user.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  }
+  return tasks;
+}
+
+struct MamlRun {
+  Status health;
+  std::vector<float> losses;
+  nn::ParamList params;
+};
+
+MamlRun TrainPoisonedMaml(obs::HealthPolicy policy) {
+  Rng rng(4242);
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 6;
+  model_config.embed_dim = 8;
+  model_config.hidden = {12};
+  meta::PreferenceModel model(model_config, &rng);
+  meta::MamlConfig config;
+  config.epochs = 3;
+  config.inner_steps = 1;
+  config.meta_batch_size = 4;
+  config.seed = 11;
+  config.health = Config(policy);
+  meta::MamlTrainer trainer(&model, config);
+  MamlRun run;
+  run.health = trainer.TrainWithStatus(MakeTasks(8, /*poison_one=*/true),
+                                       &run.losses);
+  run.params = model.Parameters();
+  return run;
+}
+
+TEST(MamlWatchdogTest, AbortTurnsInjectedNanIntoErrorStatus) {
+  MamlRun run = TrainPoisonedMaml(obs::HealthPolicy::kAbort);
+  EXPECT_EQ(run.health.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.health.message().find("maml"), std::string::npos);
+  // The check fires BEFORE the poisoned outer step is applied: every
+  // parameter is still finite.
+  for (const auto& p : run.params) {
+    const Tensor& t = p.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(t.at(i))) << "parameter poisoned by NaN step";
+    }
+  }
+}
+
+TEST(MamlWatchdogTest, AbortWritesNoCheckpoint) {
+  // The driver pattern every caller follows: checkpoint only on OK.
+  const std::string path = ::testing::TempDir() + "/health_ckpt.bin";
+  std::remove(path.c_str());
+  MamlRun run = TrainPoisonedMaml(obs::HealthPolicy::kAbort);
+  if (run.health.ok()) {
+    ASSERT_TRUE(nn::SaveCheckpoint(path, run.params).ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "checkpoint written despite watchdog abort";
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(MamlWatchdogTest, WarnCompletesAndCounts) {
+  obs::GetCounter("health/non_finite").Reset();
+  MamlRun run = TrainPoisonedMaml(obs::HealthPolicy::kWarn);
+  EXPECT_TRUE(run.health.ok());
+  EXPECT_EQ(run.losses.size(), 3u);  // all epochs ran
+  EXPECT_GT(obs::GetCounter("health/non_finite").Value(), 0);
+}
+
+TEST(MamlWatchdogTest, TrainTruncatesOnAbort) {
+  Rng rng(4242);
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 6;
+  model_config.embed_dim = 8;
+  model_config.hidden = {12};
+  meta::PreferenceModel model(model_config, &rng);
+  meta::MamlConfig config;
+  config.epochs = 3;
+  config.meta_batch_size = 4;
+  config.seed = 11;
+  config.health = Config(obs::HealthPolicy::kAbort);
+  meta::MamlTrainer trainer(&model, config);
+  std::vector<float> losses = trainer.Train(MakeTasks(8, /*poison_one=*/true));
+  EXPECT_LT(losses.size(), 3u);  // legacy API: abort silently truncates
+}
+
+// --- Dual-CVAE fault injection ----------------------------------------------
+
+cvae::AdaptationConfig SmallAdaptationConfig(obs::HealthPolicy policy) {
+  cvae::AdaptationConfig config;
+  config.epochs = 2;
+  config.hidden_dim = 16;
+  config.latent_dim = 6;
+  config.health = Config(policy);
+  return config;
+}
+
+TEST(CvaeWatchdogTest, AbortSurfacesNanThroughReport) {
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
+  dataset.target.user_content.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  cvae::DomainAdaptation adaptation(SmallAdaptationConfig(obs::HealthPolicy::kAbort));
+  cvae::AdaptationReport report = adaptation.Fit(dataset);
+  EXPECT_EQ(report.health.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.health.message().find("cvae/"), std::string::npos);
+}
+
+TEST(CvaeWatchdogTest, WarnCompletesAndCounts) {
+  obs::GetCounter("health/non_finite").Reset();
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
+  dataset.target.user_content.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  cvae::DomainAdaptation adaptation(SmallAdaptationConfig(obs::HealthPolicy::kWarn));
+  cvae::AdaptationReport report = adaptation.Fit(dataset);
+  EXPECT_TRUE(report.health.ok());
+  EXPECT_GT(obs::GetCounter("health/non_finite").Value(), 0);
+}
+
+TEST(CvaeWatchdogTest, CleanRunStaysHealthy) {
+  data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
+  cvae::DomainAdaptation adaptation(SmallAdaptationConfig(obs::HealthPolicy::kAbort));
+  cvae::AdaptationReport report = adaptation.Fit(dataset);
+  EXPECT_TRUE(report.health.ok());
+}
+
+}  // namespace
+}  // namespace metadpa

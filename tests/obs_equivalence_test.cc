@@ -13,7 +13,9 @@
 #include "eval/recommender.h"
 #include "meta/maml.h"
 #include "meta/preference_model.h"
+#include "obs/health.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 
 namespace metadpa {
 namespace {
@@ -72,7 +74,8 @@ struct TrainRun {
   std::vector<Tensor> final_params;
 };
 
-TrainRun TrainMaml(const std::vector<meta::Task>& tasks, int threads) {
+TrainRun TrainMaml(const std::vector<meta::Task>& tasks, int threads,
+                   obs::HealthPolicy watchdog = obs::HealthPolicy::kOff) {
   Rng rng(4242);
   meta::PreferenceModelConfig model_config;
   model_config.content_dim = 6;
@@ -86,6 +89,7 @@ TrainRun TrainMaml(const std::vector<meta::Task>& tasks, int threads) {
   config.meta_batch_size = 4;
   config.seed = 11;
   config.threads = threads;
+  config.health.policy = watchdog;
   meta::MamlTrainer trainer(&model, config);
   TrainRun run;
   run.losses = trainer.Train(tasks);
@@ -102,7 +106,7 @@ TrainRun TrainMaml(const std::vector<meta::Task>& tasks, int threads) {
 class HashRecommender : public eval::Recommender {
  public:
   std::string name() const override { return "Hash"; }
-  void Fit(const eval::TrainContext&) override {}
+  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override {
     std::vector<double> scores;
@@ -167,6 +171,63 @@ TEST_F(ObsEquivalenceTest, MamlTrainingBitIdenticalEnabledVsDisabled) {
     // runs.
     EXPECT_GT(obs::GetCounter("maml/outer_steps").Value(), 0);
     obs::ResetAll();
+  }
+}
+
+void ExpectBitIdenticalRuns(const TrainRun& a, const TrainRun& b,
+                            const char* what) {
+  ASSERT_EQ(a.losses.size(), b.losses.size()) << what;
+  for (size_t e = 0; e < a.losses.size(); ++e) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a.losses[e], sizeof(ba));
+    std::memcpy(&bb, &b.losses[e], sizeof(bb));
+    EXPECT_EQ(ba, bb) << what << " epoch " << e << " loss: " << a.losses[e]
+                      << " vs " << b.losses[e];
+  }
+  ASSERT_EQ(a.final_params.size(), b.final_params.size()) << what;
+  for (size_t i = 0; i < a.final_params.size(); ++i) {
+    ExpectBitIdenticalTensor(a.final_params[i], b.final_params[i], what);
+  }
+}
+
+// A live TelemetrySampler — background thread plus the forced epoch-boundary
+// samples TrainEpochStats emits through SampleTelemetryNow — only READS the
+// registry; results must not move by a bit.
+TEST_F(ObsEquivalenceTest, MamlTrainingBitIdenticalSamplerOnVsOff) {
+  const std::vector<meta::Task> tasks = MakeTasks(12);
+  for (int threads : {1, 4}) {
+    obs::SetEnabled(true);
+    TrainRun off = TrainMaml(tasks, threads);
+    obs::ResetAll();
+
+    obs::TelemetryOptions options;
+    options.path = ::testing::TempDir() + "/obs_equiv_sampler.jsonl";
+    options.interval_ms = 1;
+    int64_t samples = 0;
+    {
+      obs::TelemetrySampler sampler(options);
+      ASSERT_TRUE(sampler.status().ok());
+      TrainRun on = TrainMaml(tasks, threads);
+      ASSERT_TRUE(sampler.Stop().ok());
+      samples = sampler.samples_written();
+      ExpectBitIdenticalRuns(off, on, "sampler on/off");
+    }
+    // start + 3 forced epoch samples + stop at minimum, or the sampler was
+    // never actually in the loop and the comparison proves nothing.
+    EXPECT_GE(samples, 5);
+    obs::SetEnabled(false);
+    obs::ResetAll();
+  }
+}
+
+// A warn-policy watchdog only reads losses/gradient norms the loop already
+// computed; on a healthy run it must be invisible at the bit level.
+TEST_F(ObsEquivalenceTest, MamlTrainingBitIdenticalWatchdogWarnVsOff) {
+  const std::vector<meta::Task> tasks = MakeTasks(12);
+  for (int threads : {1, 4}) {
+    TrainRun off = TrainMaml(tasks, threads, obs::HealthPolicy::kOff);
+    TrainRun warn = TrainMaml(tasks, threads, obs::HealthPolicy::kWarn);
+    ExpectBitIdenticalRuns(off, warn, "watchdog warn/off");
   }
 }
 

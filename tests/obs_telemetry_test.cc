@@ -1,0 +1,231 @@
+// Telemetry sampler + run manifest: JSONL sample structure, deterministic
+// forced sampling (interval 0), background-thread sampling, I/O failure
+// parking, manifest JSON round-trips, and a sampler-vs-training stress test
+// for the `ctest -L tsan` tier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(false);
+    obs::ResetMetrics();
+  }
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::ResetMetrics();
+  }
+};
+
+TEST_F(TelemetryTest, ForcedSamplesAreDeterministic) {
+  const std::string path = TempPath("tele_forced.jsonl");
+  obs::TelemetryOptions options;
+  options.path = path;
+  options.interval_ms = 0;  // no background thread: forced samples only
+  {
+    obs::TelemetrySampler sampler(options);
+    ASSERT_TRUE(sampler.status().ok());
+    EXPECT_EQ(obs::TelemetrySampler::Active(), &sampler);
+    obs::GetCounter("tele_test/steps").Add(3);
+    sampler.SampleNow("epoch_1");
+    obs::GetCounter("tele_test/steps").Add(2);
+    obs::SampleTelemetryNow("epoch_2");  // the hook reaches the live sampler
+    EXPECT_TRUE(sampler.Stop().ok());
+    EXPECT_EQ(sampler.samples_written(), 4);  // start + 2 forced + stop
+  }
+  EXPECT_EQ(obs::TelemetrySampler::Active(), nullptr);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  // Steps are run-relative and strictly increasing; labels round-trip.
+  EXPECT_NE(lines[0].find("\"step\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\":\"start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"label\":\"epoch_1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"tele_test/steps\":3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"label\":\"epoch_2\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"tele_test/steps\":5"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"step\":3"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"label\":\"stop\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SnapshotsCarryHistogramPercentiles) {
+  const std::string path = TempPath("tele_hist.jsonl");
+  obs::TelemetryOptions options;
+  options.path = path;
+  options.interval_ms = 0;
+  obs::TelemetrySampler sampler(options);
+  obs::Histogram& hist =
+      obs::GetHistogram("tele_test/latency", std::vector<double>{1.0, 2.0, 3.0});
+  hist.Observe(1.0);
+  hist.Observe(1.5);
+  hist.Observe(1.5);
+  hist.Observe(2.5);
+  sampler.SampleNow("after");
+  ASSERT_TRUE(sampler.Stop().ok());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"tele_test/latency\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"count\":4"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"p50\":1.5"), std::string::npos);
+  // Pin the prefix only: %.17g may render 2.96 with rounding dust.
+  EXPECT_NE(lines[1].find("\"p99\":2.9"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, BackgroundThreadSamples) {
+  const std::string path = TempPath("tele_bg.jsonl");
+  obs::TelemetryOptions options;
+  options.path = path;
+  options.interval_ms = 5;
+  obs::TelemetrySampler sampler(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(sampler.Stop().ok());
+  // start + stop + at least a couple of periodic samples; the exact count is
+  // scheduling-dependent, the floor is not.
+  EXPECT_GE(sampler.samples_written(), 4);
+  const std::vector<std::string> lines = ReadLines(path);
+  EXPECT_EQ(static_cast<int64_t>(lines.size()), sampler.samples_written());
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(TelemetryTest, OpenFailureParksSampler) {
+  obs::TelemetryOptions options;
+  options.path = TempPath("no_such_dir") + "/tele.jsonl";
+  options.interval_ms = 0;
+  obs::TelemetrySampler sampler(options);
+  EXPECT_EQ(sampler.status().code(), StatusCode::kIoError);
+  sampler.SampleNow("ignored");  // must not crash
+  EXPECT_EQ(sampler.samples_written(), 0);
+  EXPECT_FALSE(sampler.Stop().ok());
+}
+
+TEST_F(TelemetryTest, HookWithoutSamplerIsNoop) {
+  ASSERT_EQ(obs::TelemetrySampler::Active(), nullptr);
+  obs::SampleTelemetryNow("nobody-listening");
+}
+
+TEST_F(TelemetryTest, StopIsIdempotent) {
+  const std::string path = TempPath("tele_stop.jsonl");
+  obs::TelemetryOptions options;
+  options.path = path;
+  options.interval_ms = 0;
+  obs::TelemetrySampler sampler(options);
+  EXPECT_TRUE(sampler.Stop().ok());
+  EXPECT_TRUE(sampler.Stop().ok());
+  EXPECT_EQ(sampler.samples_written(), 2);  // start + one stop sample
+}
+
+// Background sampler reading the sharded registry while worker threads hammer
+// counters/histograms and force samples concurrently — the race surface the
+// `-L tsan` tier exists for.
+TEST_F(TelemetryTest, SamplerVsMetricWritersStress) {
+  const std::string path = TempPath("tele_stress.jsonl");
+  obs::TelemetryOptions options;
+  options.path = path;
+  options.interval_ms = 1;
+  obs::TelemetrySampler sampler(options);
+  obs::SetEnabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &done] {
+      for (int i = 0; i < kIterations; ++i) {
+        obs::GetCounter("tele_stress/ops").Add(1);
+        obs::GetHistogram("tele_stress/val", std::vector<double>{1.0, 10.0})
+            .Observe(static_cast<double>(i % 12));
+        if (i % 256 == 0) obs::SampleTelemetryNow("worker-forced");
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+      (void)t;
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_EQ(done.load(), kThreads);
+  ASSERT_TRUE(sampler.Stop().ok());
+  // Shard merges are exact, so the final forced sample totals are too.
+  EXPECT_EQ(obs::GetCounter("tele_stress/ops").Value(), kThreads * kIterations);
+  EXPECT_GE(sampler.samples_written(), 2);
+}
+
+// --- RunManifest ------------------------------------------------------------
+
+TEST(RunManifestTest, SortedJsonRoundTrip) {
+  obs::RunManifest manifest;
+  manifest.Set("run", "name", "unit-test");
+  manifest.SetInt("run", "seed", 42);
+  manifest.SetDouble("run", "effort", 0.5);
+  manifest.SetBool("run", "parallel", true);
+  manifest.Set("a_section", "key", "value \"quoted\"");
+  EXPECT_TRUE(manifest.Has("run", "seed"));
+  EXPECT_FALSE(manifest.Has("run", "missing"));
+
+  const std::string json = manifest.ToJson();
+  // Sections and keys render sorted, so documents diff cleanly.
+  EXPECT_LT(json.find("\"a_section\""), json.find("\"run\""));
+  EXPECT_LT(json.find("\"effort\""), json.find("\"name\""));
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"effort\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"parallel\": true"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(RunManifestTest, BuildAndHostSectionsPopulate) {
+  obs::RunManifest manifest;
+  obs::AddBuildInfo(&manifest);
+  obs::AddHostInfo(&manifest);
+  EXPECT_TRUE(manifest.Has("build", "type"));
+  EXPECT_TRUE(manifest.Has("build", "tsan"));
+  EXPECT_TRUE(manifest.Has("build", "asan"));
+  EXPECT_TRUE(manifest.Has("build", "obs_strip"));
+  EXPECT_TRUE(manifest.Has("host", "hardware_threads"));
+  EXPECT_TRUE(manifest.Has("host", "start_utc"));
+}
+
+TEST(RunManifestTest, WriteJsonCreatesFile) {
+  obs::RunManifest manifest;
+  manifest.Set("run", "name", "write-test");
+  const std::string path = TempPath("manifest_test.json");
+  ASSERT_TRUE(manifest.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), manifest.ToJson());
+  EXPECT_FALSE(manifest.WriteJson(TempPath("no_dir") + "/m.json").ok());
+}
+
+}  // namespace
+}  // namespace metadpa

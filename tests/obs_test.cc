@@ -101,6 +101,63 @@ TEST_F(ObsTest, HistogramBucketBoundariesArePinned) {
   EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.01 - 3.0);
 }
 
+TEST_F(ObsTest, HistogramPercentilesArePinned) {
+  // Exact-bucket arithmetic for the interpolated percentile: bounds {1,2,3},
+  // observations 1, 1.5, 1.5, 2.5 -> buckets [1, 2, 1, 0].
+  Histogram& h = GetHistogram("test/hist_pctl", {1.0, 2.0, 3.0});
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(1.5);
+  h.Observe(2.5);
+  HistogramSnapshot snap = h.Snapshot();
+  // p50: target rank 2.0 falls in bucket (1,2] at fraction (2-1)/2 = 0.5.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 50.0), 1.5);
+  // p25: target rank 1.0 is satisfied by the first bucket, which has no
+  // finite lower edge and degenerates to bounds[0].
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 25.0), 1.0);
+  // p90: target rank 3.6 falls in bucket (2,3] at fraction 0.6.
+  EXPECT_NEAR(HistogramPercentile(snap, 90.0), 2.6, 1e-12);
+  // p99: target rank 3.96 falls in bucket (2,3] at fraction 0.96.
+  EXPECT_NEAR(HistogramPercentile(snap, 99.0), 2.96, 1e-12);
+  // Extremes clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 100.0), 3.0);
+}
+
+TEST_F(ObsTest, HistogramPercentileEdgeCases) {
+  HistogramSnapshot empty;
+  empty.bounds = {1.0, 2.0};
+  empty.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(HistogramPercentile(empty, 50.0), 0.0);
+
+  // Every observation above the last bound: the overflow bucket reports the
+  // last bound (percentiles never leave the configured range).
+  Histogram& h = GetHistogram("test/hist_pctl_overflow", {1.0, 2.0, 3.0});
+  h.Observe(10.0);
+  h.Observe(10.0);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(snap, 99.0), 3.0);
+
+  // All mass in the first bucket: always bounds[0].
+  Histogram& lo = GetHistogram("test/hist_pctl_first", {1.0, 2.0});
+  lo.Observe(0.25);
+  lo.Observe(0.75);
+  HistogramSnapshot lo_snap = lo.Snapshot();
+  EXPECT_DOUBLE_EQ(HistogramPercentile(lo_snap, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(lo_snap, 99.0), 1.0);
+}
+
+TEST_F(ObsTest, MetricsTableShowsPercentileSummaries) {
+  Histogram& h = GetHistogram("test/hist_table_pctl", {1.0, 2.0, 3.0});
+  h.Observe(1.5);
+  const std::string table = MetricsTable();
+  EXPECT_NE(table.find("test/hist_table_pctl"), std::string::npos);
+  EXPECT_NE(table.find("p50="), std::string::npos);
+  EXPECT_NE(table.find("p90="), std::string::npos);
+  EXPECT_NE(table.find("p99="), std::string::npos);
+}
+
 TEST_F(ObsTest, HistogramExactAcrossThreads) {
   constexpr int kThreads = 8;
   constexpr int kObservations = 5000;

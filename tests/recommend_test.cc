@@ -10,7 +10,7 @@ namespace {
 class IdScorer : public Recommender {
  public:
   std::string name() const override { return "IdScorer"; }
-  void Fit(const TrainContext&) override {}
+  Status Fit(const TrainContext&) override { return Status::OK(); }
   std::vector<double> ScoreCase(const data::EvalCase& eval_case,
                                 const std::vector<int64_t>& items) override {
     last_support_ = eval_case.support_items;
@@ -62,7 +62,7 @@ TEST(RecommendTest, TieBreakIsDeterministicById) {
   class Constant : public Recommender {
    public:
     std::string name() const override { return "Const"; }
-    void Fit(const TrainContext&) override {}
+    Status Fit(const TrainContext&) override { return Status::OK(); }
     std::vector<double> ScoreCase(const data::EvalCase&,
                                   const std::vector<int64_t>& items) override {
       return std::vector<double>(items.size(), 0.5);

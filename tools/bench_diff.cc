@@ -1,0 +1,86 @@
+// bench_diff — compares two google-benchmark JSON files by benchmark name.
+//
+// usage: bench_diff <baseline.json> <contender.json>
+//                   [--threshold-pct P] [--metric median|mean]
+//
+// Prints a per-benchmark delta table. Exit codes:
+//   0  no matched benchmark regressed beyond the threshold
+//   1  at least one regression (contender slower by more than P percent)
+//   2  usage or parse error
+//
+// Benchmarks present in only one file are reported but never count as
+// regressions (a renamed benchmark should not fail CI silently either way;
+// the rename shows up in the "only in ..." lines).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_compare.h"
+
+using namespace metadpa;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <contender.json>\n"
+               "                  [--threshold-pct P] [--metric median|mean]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, contender_path;
+  bench::BenchDiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold-pct" && i + 1 < argc) {
+      try {
+        options.threshold_pct = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "invalid --threshold-pct: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--metric" && i + 1 < argc) {
+      const std::string metric = argv[++i];
+      if (metric == "median") {
+        options.use_median = true;
+      } else if (metric == "mean") {
+        options.use_median = false;
+      } else {
+        std::fprintf(stderr, "invalid --metric: %s (median|mean)\n", metric.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (contender_path.empty()) {
+      contender_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || contender_path.empty()) return Usage();
+
+  Result<std::vector<bench::BenchRecord>> baseline =
+      bench::ReadBenchmarkFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::vector<bench::BenchRecord>> contender =
+      bench::ReadBenchmarkFile(contender_path);
+  if (!contender.ok()) {
+    std::fprintf(stderr, "%s: %s\n", contender_path.c_str(),
+                 contender.status().ToString().c_str());
+    return 2;
+  }
+
+  const bench::BenchDiffReport report = bench::DiffBenchmarks(
+      baseline.ValueOrDie(), contender.ValueOrDie(), options);
+  std::fputs(bench::RenderBenchDiff(report, options).c_str(), stdout);
+  return report.has_regression ? 1 : 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Runs the substrate microbenchmarks and compares them against the committed
+# baseline with bench_diff; exits non-zero when any benchmark regressed
+# beyond the threshold.
+#
+# Usage: tools/check_bench_regression.sh [build-dir] [baseline-json] [threshold-pct]
+#
+# Defaults: build / BENCH_substrate.json / 25. The threshold is deliberately
+# loose for a 1-run-vs-baseline comparison on a shared machine; tighten it on
+# quiet dedicated hardware. Compare against a baseline produced with the same
+# build flags (see bench/README.md on METADPA_NATIVE).
+set -eu
+
+build_dir="${1:-build}"
+baseline="${2:-BENCH_substrate.json}"
+threshold="${3:-25}"
+fresh="$(mktemp -t bench_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+if [ ! -f "$baseline" ]; then
+  echo "error: baseline $baseline not found" >&2
+  exit 2
+fi
+if [ ! -x "$build_dir/tools/bench_diff" ]; then
+  echo "error: $build_dir/tools/bench_diff not built (cmake --build $build_dir --target bench_diff)" >&2
+  exit 2
+fi
+
+tools/run_substrate_bench.sh "$build_dir" "$fresh"
+
+"$build_dir/tools/bench_diff" "$baseline" "$fresh" --threshold-pct "$threshold"

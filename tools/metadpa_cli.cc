@@ -17,6 +17,18 @@
 //   export  --prefix PATH [--target NAME] [--scale S]
 //       write the generated target domain to PATH.ratings.tsv /
 //       PATH.content.bin (the formats data/io.h reads back).
+//   manifest [--out PATH] [--target NAME] [--scale S] [--effort E]
+//            [--seed SEED] [--train-threads T]
+//       write the run-provenance manifest (build flags, host, resolved
+//       configuration, data-generator parameters) to PATH, or stdout.
+//
+// Telemetry flags for `run`:
+//   --telemetry-out PATH        append JSONL metric snapshots during the run
+//                               (manifest sidecar: PATH.manifest.json)
+//   --telemetry-interval-ms N   background sampling period (default 250;
+//                               0 = only epoch-boundary samples)
+//   --watchdog off|warn|abort   training-health policy (default off); abort
+//                               fails the run on NaN/Inf/divergent training
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -59,25 +71,68 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: metadpa_cli <stats|run|export> [--target Books|CDs]\n"
-               "  stats  [--scale S]\n"
-               "  run    [--methods A,B,..] [--scale S] [--negatives N]\n"
-               "         [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
-               "         [--train-threads T] [--trace-out PATH]\n"
-               "         [--metrics-out PATH]\n"
-               "  export --prefix PATH [--scale S]\n");
+               "usage: metadpa_cli <stats|run|export|manifest> [--target Books|CDs]\n"
+               "  stats    [--scale S]\n"
+               "  run      [--methods A,B,..] [--scale S] [--negatives N]\n"
+               "           [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
+               "           [--train-threads T] [--trace-out PATH]\n"
+               "           [--metrics-out PATH] [--telemetry-out PATH]\n"
+               "           [--telemetry-interval-ms N] [--watchdog off|warn|abort]\n"
+               "  export   --prefix PATH [--scale S]\n"
+               "  manifest [--out PATH] [--scale S] [--effort E] [--seed SEED]\n");
   return 2;
 }
 
 Args Parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.flags[key] = argv[i + 1];
+    // Both --key value and --key=value are accepted.
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      args.flags[key] = argv[++i];
+    }
   }
   return args;
+}
+
+/// Resolved telemetry/watchdog flags shared by SuiteOptions construction;
+/// exits with a usage error on invalid values.
+void ApplyObservabilityFlags(const Args& args, suite::SuiteOptions* options) {
+  options->trace_out = args.Get("trace-out", "");
+  options->metrics_out = args.Get("metrics-out", "");
+  options->telemetry_out = args.Get("telemetry-out", "");
+  const double interval = args.GetDouble("telemetry-interval-ms", 250);
+  if (interval < 0) {
+    std::fprintf(stderr, "invalid value for --telemetry-interval-ms: %g (must be >= 0)\n",
+                 interval);
+    std::exit(2);
+  }
+  options->telemetry_interval_ms = static_cast<int>(interval);
+  const std::string watchdog = args.Get("watchdog", "off");
+  if (!obs::ParseHealthPolicy(watchdog, &options->watchdog)) {
+    std::fprintf(stderr, "invalid value for --watchdog: %s (off|warn|abort)\n",
+                 watchdog.c_str());
+    std::exit(2);
+  }
+}
+
+/// The full provenance document: suite manifest plus the data-generator
+/// parameters only the CLI knows. `data_seed` is the resolved generator seed
+/// (after any --seed override).
+obs::RunManifest BuildCliManifest(const Args& args, const suite::SuiteOptions& options,
+                                  uint64_t data_seed) {
+  obs::RunManifest manifest = suite::BuildRunManifest(options);
+  manifest.Set("data", "target", args.Get("target", "Books"));
+  manifest.SetDouble("data", "scale", args.GetDouble("scale", 1.0));
+  manifest.SetInt("data", "seed", static_cast<int64_t>(data_seed));
+  manifest.SetInt("data", "negatives", static_cast<int>(args.GetDouble("negatives", 99)));
+  manifest.Set("data", "methods", args.Get("methods", "MeLU,CoNN,MetaDPA"));
+  return manifest;
 }
 
 int RunStats(const Args& args) {
@@ -121,9 +176,11 @@ int RunCompare(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
-  options.trace_out = args.Get("trace-out", "");
-  options.metrics_out = args.Get("metrics-out", "");
+  ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
+  obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
+  std::unique_ptr<obs::TelemetrySampler> sampler =
+      suite::StartTelemetry(options, &manifest);
 
   std::vector<std::string> names;
   std::stringstream ss(args.Get("methods", "MeLU,CoNN,MetaDPA"));
@@ -147,7 +204,15 @@ int RunCompare(const Args& args) {
       std::fprintf(stderr, "unknown method: %s\n", name.c_str());
       return 2;
     }
-    model->Fit(ctx);
+    Status fit_status = model->Fit(ctx);
+    if (!fit_status.ok()) {
+      // A kAbort watchdog trip: the model stopped at its last healthy
+      // parameters; no result row or checkpoint is produced for it.
+      std::fprintf(stderr, "%s training failed: %s\n", name.c_str(),
+                   fit_status.ToString().c_str());
+      if (sampler != nullptr) sampler->Stop();
+      return 1;
+    }
     double score_seconds = 0.0;
     int64_t cases = 0;
     int threads_used = 1;
@@ -177,11 +242,42 @@ int RunCompare(const Args& args) {
                  threads_used);
   }
   std::cout << table.ToString();
+  if (sampler != nullptr) {
+    Status telemetry_status = sampler->Stop();
+    if (!telemetry_status.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", telemetry_status.ToString().c_str());
+      return 1;
+    }
+  }
   Status obs_status = suite::ExportObservability(options);
   if (!obs_status.ok()) {
     std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
     return 1;
   }
+  return 0;
+}
+
+int RunManifest(const Args& args) {
+  suite::SuiteOptions options;
+  options.effort = args.GetDouble("effort", 1.0);
+  options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
+  ApplyObservabilityFlags(args, &options);
+  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"),
+                                                     args.GetDouble("scale", 1.0));
+  const uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
+  if (seed != 0) config.seed = seed;
+  obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::cout << manifest.ToJson() << "\n";
+    return 0;
+  }
+  Status status = manifest.WriteJson(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 
@@ -192,5 +288,6 @@ int main(int argc, char** argv) {
   if (args.command == "stats") return RunStats(args);
   if (args.command == "run") return RunCompare(args);
   if (args.command == "export") return RunExport(args);
+  if (args.command == "manifest") return RunManifest(args);
   return Usage();
 }

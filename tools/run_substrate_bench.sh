@@ -4,8 +4,13 @@
 #
 # Usage: tools/run_substrate_bench.sh [build-dir] [output-json]
 #
-# Compare a fresh run against the committed baseline with google-benchmark's
-# tools/compare.py, or just diff the real_time fields. Record notable moves in
+# Also writes a run manifest sidecar (<output-json>.manifest.json) recording
+# the build flags and host that produced the baseline, when metadpa_cli is
+# built.
+#
+# Compare a fresh run against the committed baseline with
+#   build/tools/bench_diff BENCH_substrate.json fresh.json
+# (tools/check_bench_regression.sh wraps both steps). Record notable moves in
 # EXPERIMENTS.md ("Substrate microbenchmarks" section). Re-baseline on the
 # same machine/flags you compare against; see bench/README.md for the
 # METADPA_NATIVE caveat.
@@ -27,3 +32,10 @@ fi
   --benchmark_report_aggregates_only=true
 
 echo "wrote $out"
+
+cli="$build_dir/tools/metadpa_cli"
+if [ -x "$cli" ]; then
+  "$cli" manifest --out "$out.manifest.json"
+else
+  echo "note: $cli not built; skipping $out.manifest.json" >&2
+fi
