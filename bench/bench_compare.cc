@@ -177,19 +177,20 @@ Result<std::vector<BenchRecord>> ReadBenchmarkFile(const std::string& path) {
 }
 
 std::map<std::string, BenchSummary> SummarizeByRunName(
-    const std::vector<BenchRecord>& records) {
+    const std::vector<BenchRecord>& records, bool use_cpu_time) {
   // First pass: aggregate entries win verbatim.
   std::map<std::string, BenchSummary> out;
   std::map<std::string, std::vector<double>> iteration_times;
   for (const BenchRecord& r : records) {
     const std::string& run = r.run_name.empty() ? r.name : r.run_name;
+    const double time = use_cpu_time ? r.cpu_time : r.real_time;
     if (r.run_type == "aggregate") {
       BenchSummary& s = out[run];
       s.time_unit = r.time_unit;
-      if (r.aggregate_name == "mean") s.mean = r.real_time;
-      if (r.aggregate_name == "median") s.median = r.real_time;
+      if (r.aggregate_name == "mean") s.mean = time;
+      if (r.aggregate_name == "median") s.median = time;
     } else {
-      iteration_times[run].push_back(r.real_time);
+      iteration_times[run].push_back(time);
     }
   }
   for (auto& [run, times] : iteration_times) {
@@ -217,8 +218,10 @@ std::map<std::string, BenchSummary> SummarizeByRunName(
 BenchDiffReport DiffBenchmarks(const std::vector<BenchRecord>& baseline,
                                const std::vector<BenchRecord>& contender,
                                const BenchDiffOptions& options) {
-  const std::map<std::string, BenchSummary> base = SummarizeByRunName(baseline);
-  const std::map<std::string, BenchSummary> cont = SummarizeByRunName(contender);
+  const std::map<std::string, BenchSummary> base =
+      SummarizeByRunName(baseline, options.use_cpu_time);
+  const std::map<std::string, BenchSummary> cont =
+      SummarizeByRunName(contender, options.use_cpu_time);
 
   BenchDiffReport report;
   for (const auto& [run, base_summary] : base) {
@@ -249,7 +252,8 @@ BenchDiffReport DiffBenchmarks(const std::vector<BenchRecord>& baseline,
 std::string RenderBenchDiff(const BenchDiffReport& report,
                             const BenchDiffOptions& options) {
   TextTable table;
-  const std::string metric = options.use_median ? "median" : "mean";
+  std::string metric = options.use_median ? "median" : "mean";
+  if (options.use_cpu_time) metric = "cpu " + metric;
   table.SetHeader({"Benchmark", "Base " + metric, "New " + metric, "Delta", ""});
   for (const BenchDelta& d : report.deltas) {
     std::ostringstream pct;

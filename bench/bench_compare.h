@@ -38,7 +38,7 @@ Result<std::vector<BenchRecord>> ParseBenchmarkJson(const std::string& json);
 /// \brief ParseBenchmarkJson over a file's contents.
 Result<std::vector<BenchRecord>> ReadBenchmarkFile(const std::string& path);
 
-/// \brief Per-run-name real-time summary, in the file's time unit.
+/// \brief Per-run-name time summary, in the file's time unit.
 struct BenchSummary {
   double mean = 0.0;
   double median = 0.0;
@@ -48,8 +48,9 @@ struct BenchSummary {
 /// \brief Collapses records into one summary per run name. Aggregate entries
 /// ("_mean" / "_median") are preferred verbatim; run names with only
 /// iteration entries get the mean/median computed over those iterations.
+/// `use_cpu_time` summarizes cpu_time instead of real_time.
 std::map<std::string, BenchSummary> SummarizeByRunName(
-    const std::vector<BenchRecord>& records);
+    const std::vector<BenchRecord>& records, bool use_cpu_time = false);
 
 /// \brief Comparison knobs.
 struct BenchDiffOptions {
@@ -58,6 +59,10 @@ struct BenchDiffOptions {
   double threshold_pct = 10.0;
   /// Compare medians (default; robust to a noisy repetition) or means.
   bool use_median = true;
+  /// Compare cpu_time instead of real_time. Wall time is what users feel,
+  /// but on a shared machine it also measures the neighbors; CPU time is
+  /// the stable choice for gating on contended hardware.
+  bool use_cpu_time = false;
 };
 
 /// \brief One matched benchmark's delta.

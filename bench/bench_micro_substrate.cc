@@ -4,10 +4,16 @@
 // the layers every experiment depends on.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "autograd/ops.h"
 #include "cvae/dual_cvae.h"
 #include "meta/maml.h"
 #include "obs/obs.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "tensor/ops.h"
 
 using namespace metadpa;
@@ -241,6 +247,79 @@ void BM_ObsOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * tasks.size());
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
+
+// Embedding-dot recommender for the serve-path benchmark: one request's
+// candidate rows are gathered into a matrix and scored with a single
+// t::MatMulNT against the user embedding — the batched GEMM path the server
+// contract requires, with none of MetaDPA's adaptation cost, so the benchmark
+// isolates the server's own request-path overhead (queueing, batching,
+// snapshot pinning, top-k selection).
+class EmbeddingDotModel : public eval::Recommender {
+ public:
+  EmbeddingDotModel(int64_t num_users, int64_t num_items, int64_t dim, Rng* rng)
+      : users_(Tensor::RandNormal({num_users, dim}, rng)),
+        items_(Tensor::RandNormal({num_items, dim}, rng)),
+        dim_(dim) {}
+  std::string name() const override { return "EmbeddingDot"; }
+  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override {
+    const int64_t n = static_cast<int64_t>(items.size());
+    Tensor user({1, dim_});
+    std::memcpy(user.data(), users_.data() + eval_case.user * dim_,
+                sizeof(float) * static_cast<size_t>(dim_));
+    Tensor candidates({n, dim_});
+    for (int64_t i = 0; i < n; ++i) {
+      std::memcpy(candidates.data() + i * dim_, items_.data() + items[i] * dim_,
+                  sizeof(float) * static_cast<size_t>(dim_));
+    }
+    Tensor scores = t::MatMulNT(user, candidates);  // {1, n}
+    return std::vector<double>(scores.data(), scores.data() + n);
+  }
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
+    return std::make_unique<eval::SharedStateScorer>(this);
+  }
+
+ private:
+  Tensor users_;
+  Tensor items_;
+  int64_t dim_;
+};
+
+// One server round trip: Submit -> worker drains -> batched GEMM scoring ->
+// top-k -> future resolves. range(0) is the candidate-set size. Tracked by
+// bench_diff as the serve-path regression gate.
+void BM_ServeScoreTopK(benchmark::State& state) {
+  const int64_t num_candidates = state.range(0);
+  constexpr int64_t kUsers = 256, kItems = 2048, kDim = 96;
+  Rng rng(9);
+  auto model = std::make_shared<EmbeddingDotModel>(kUsers, kItems, kDim, &rng);
+  auto snapshot = serve::ModelSnapshot::Capture(model, 1);
+  if (!snapshot.ok()) {
+    state.SkipWithError("snapshot capture failed");
+    return;
+  }
+  serve::ScoringServer server(snapshot.ValueOrDie(), serve::ServerConfig{});
+
+  std::vector<int64_t> pool(kItems);
+  for (int64_t i = 0; i < kItems; ++i) pool[i] = i;
+  serve::LoadgenConfig shape;
+  shape.candidates_per_request = static_cast<int>(num_candidates);
+  shape.k = 10;
+  int64_t index = 0;
+  for (auto _ : state) {
+    serve::ScoreRequest request =
+        serve::SynthesizeRequest(index++, kUsers, pool, shape);
+    auto admitted = server.Submit(std::move(request));
+    if (!admitted.ok()) {
+      state.SkipWithError("request rejected");
+      return;
+    }
+    benchmark::DoNotOptimize(admitted.ValueOrDie().get());
+  }
+  state.SetItemsProcessed(state.iterations() * num_candidates);
+}
+BENCHMARK(BM_ServeScoreTopK)->Arg(128)->Arg(512);
 
 }  // namespace
 

@@ -1,31 +1,39 @@
 #include "eval/recommend.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
 
 #include "util/status.h"
 
 namespace metadpa {
 namespace eval {
+namespace {
 
-std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
-                                          const std::vector<int64_t>& candidates,
-                                          const std::vector<int64_t>& support_items,
-                                          int k) {
-  MDPA_CHECK(model != nullptr);
-  MDPA_CHECK_GT(k, 0);
+using ScoreFn = std::function<std::vector<double>(const data::EvalCase&,
+                                                  const std::vector<int64_t>&)>;
+
+std::vector<Recommendation> TopKImpl(const ScoreFn& score, int64_t user,
+                                     const std::vector<int64_t>& candidates,
+                                     const std::vector<int64_t>& support_items,
+                                     int k) {
+  if (k <= 0) return {};
   std::unordered_set<int64_t> known(support_items.begin(), support_items.end());
+  std::unordered_set<int64_t> seen;
+  seen.reserve(candidates.size());
   std::vector<int64_t> items;
   items.reserve(candidates.size());
   for (int64_t item : candidates) {
-    if (!known.count(item)) items.push_back(item);
+    if (known.count(item)) continue;
+    if (!seen.insert(item).second) continue;  // repeated candidate id
+    items.push_back(item);
   }
   if (items.empty()) return {};
 
   data::EvalCase eval_case;
   eval_case.user = user;
   eval_case.support_items = support_items;
-  std::vector<double> scores = model->ScoreCase(eval_case, items);
+  std::vector<double> scores = score(eval_case, items);
   MDPA_CHECK_EQ(scores.size(), items.size());
 
   std::vector<Recommendation> recs;
@@ -39,6 +47,32 @@ std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
                     });
   recs.resize(top);
   return recs;
+}
+
+}  // namespace
+
+std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
+                                          const std::vector<int64_t>& candidates,
+                                          const std::vector<int64_t>& support_items,
+                                          int k) {
+  MDPA_CHECK(model != nullptr);
+  return TopKImpl(
+      [model](const data::EvalCase& eval_case, const std::vector<int64_t>& items) {
+        return model->ScoreCase(eval_case, items);
+      },
+      user, candidates, support_items, k);
+}
+
+std::vector<Recommendation> RecommendTopK(CaseScorer* scorer, int64_t user,
+                                          const std::vector<int64_t>& candidates,
+                                          const std::vector<int64_t>& support_items,
+                                          int k) {
+  MDPA_CHECK(scorer != nullptr);
+  return TopKImpl(
+      [scorer](const data::EvalCase& eval_case, const std::vector<int64_t>& items) {
+        return scorer->Score(eval_case, items);
+      },
+      user, candidates, support_items, k);
 }
 
 std::vector<Recommendation> RecommendForUser(Recommender* model,

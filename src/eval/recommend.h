@@ -21,7 +21,21 @@ struct Recommendation {
 /// by score (descending; ties broken by item id for determinism).
 /// `support_items` is the user's observed positives, forwarded to the model
 /// for per-case adaptation (meta methods) and excluded from the results.
+///
+/// Robust against the inputs an online request path delivers at rate:
+/// repeated candidate ids are scored once and appear at most once in the
+/// result, k <= 0 returns empty, and k larger than the candidate pool
+/// returns every scorable candidate — always exactly
+/// min(max(k, 0), |unique candidates not in support|) results.
 std::vector<Recommendation> RecommendTopK(Recommender* model, int64_t user,
+                                          const std::vector<int64_t>& candidates,
+                                          const std::vector<int64_t>& support_items,
+                                          int k);
+
+/// \brief Same through a per-thread CaseScorer handle (see
+/// Recommender::CloneForScoring): what the scoring server calls on its worker
+/// threads. Bit-identical to the Recommender overload for the same model.
+std::vector<Recommendation> RecommendTopK(CaseScorer* scorer, int64_t user,
                                           const std::vector<int64_t>& candidates,
                                           const std::vector<int64_t>& support_items,
                                           int k);

@@ -1,0 +1,149 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace metadpa {
+namespace serve {
+namespace {
+
+double PercentileMs(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank on the sorted samples: exact, unlike the histogram
+  // interpolation the telemetry path uses (the report is the ground truth
+  // the histograms are sanity-checked against).
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ScoreRequest SynthesizeRequest(int64_t index, int64_t num_users,
+                               const std::vector<int64_t>& candidate_pool,
+                               const LoadgenConfig& config) {
+  MDPA_CHECK_GT(num_users, 0);
+  MDPA_CHECK(!candidate_pool.empty());
+  Rng rng(MixSeeds(config.seed, static_cast<uint64_t>(index)));
+  ScoreRequest request;
+  request.user = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_users)));
+  request.k = config.k;
+
+  const int support_span = std::max(0, config.max_support - config.min_support);
+  const size_t support_size = static_cast<size_t>(
+      config.min_support +
+      (support_span > 0
+           ? static_cast<int>(rng.UniformInt(static_cast<uint64_t>(support_span + 1)))
+           : 0));
+  for (size_t idx :
+       rng.SampleWithoutReplacement(candidate_pool.size(),
+                                    std::min(support_size, candidate_pool.size()))) {
+    request.support_items.push_back(candidate_pool[idx]);
+  }
+
+  const size_t want = std::min<size_t>(
+      static_cast<size_t>(std::max(1, config.candidates_per_request)),
+      candidate_pool.size());
+  for (size_t idx : rng.SampleWithoutReplacement(candidate_pool.size(), want)) {
+    request.candidates.push_back(candidate_pool[idx]);
+  }
+  return request;
+}
+
+LoadgenReport RunLoadgen(ScoringServer* server, int64_t num_users,
+                         const std::vector<int64_t>& candidate_pool,
+                         const LoadgenConfig& config) {
+  MDPA_CHECK(server != nullptr);
+  MDPA_CHECK_GE(config.clients, 1);
+  MDPA_CHECK_GE(config.num_requests, 0);
+
+  std::atomic<int64_t> next_index{0};
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> rejected{0};
+  std::vector<std::vector<double>> client_latencies(
+      static_cast<size_t>(config.clients));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client_loop = [&](size_t client_id) {
+    std::vector<double>& latencies = client_latencies[client_id];
+    for (;;) {
+      const int64_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= config.num_requests) return;
+      if (config.target_qps > 0.0) {
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(static_cast<double>(i) /
+                                                   config.target_qps));
+        std::this_thread::sleep_until(scheduled);
+      }
+      ScoreRequest request =
+          SynthesizeRequest(i, num_users, candidate_pool, config);
+      Stopwatch timer;
+      Result<std::future<ScoreResponse>> admitted =
+          server->Submit(std::move(request));
+      if (!admitted.ok()) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const ScoreResponse response = admitted.ValueOrDie().get();
+      (void)response;
+      latencies.push_back(timer.ElapsedMillis());
+      ok.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Clients are plain threads, NOT server-pool tasks: the load generator must
+  // not compete with the workers for the pool it is measuring.
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back(client_loop, static_cast<size_t>(c));
+  }
+  for (auto& c : clients) c.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& v : client_latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  LoadgenReport report;
+  report.requests = config.num_requests;
+  report.ok = ok.load();
+  report.rejected = rejected.load();
+  report.wall_seconds = wall_seconds;
+  report.achieved_qps =
+      wall_seconds > 0.0 ? static_cast<double>(report.ok) / wall_seconds : 0.0;
+  if (!all.empty()) {
+    double sum = 0.0;
+    for (double v : all) sum += v;
+    report.mean_ms = sum / static_cast<double>(all.size());
+    report.p50_ms = PercentileMs(all, 50);
+    report.p90_ms = PercentileMs(all, 90);
+    report.p99_ms = PercentileMs(all, 99);
+    report.max_ms = all.back();
+  }
+  return report;
+}
+
+std::string RenderLoadgenReport(const LoadgenReport& report) {
+  TextTable table;
+  table.SetHeader({"requests", "ok", "rejected", "wall_s", "qps", "p50_ms",
+                   "p90_ms", "p99_ms", "max_ms"});
+  table.AddRow({std::to_string(report.requests), std::to_string(report.ok),
+                std::to_string(report.rejected), TextTable::Num(report.wall_seconds),
+                TextTable::Num(report.achieved_qps), TextTable::Num(report.p50_ms),
+                TextTable::Num(report.p90_ms), TextTable::Num(report.p99_ms),
+                TextTable::Num(report.max_ms)});
+  return table.ToString();
+}
+
+}  // namespace serve
+}  // namespace metadpa

@@ -1,0 +1,78 @@
+// Closed-loop synthetic load generator for the scoring server.
+//
+// Drives `num_requests` cold-user requests through a ScoringServer from
+// `clients` closed-loop client threads (each waits for its response before
+// claiming the next request — the classic closed system). Request content is
+// synthesized deterministically PER REQUEST INDEX from the generated world:
+// request i draws its user, support set and candidate subset from an rng
+// seeded with MixSeeds(seed, i), so the request stream is identical no
+// matter how many clients replay it or how they interleave.
+//
+// Pacing: target_qps > 0 schedules request i at t0 + i/target_qps (a client
+// sleeps until its claim's scheduled time — open-loop arrivals, closed-loop
+// completion); target_qps = 0 is saturation mode (no pacing, the demo's
+// "sustainable QPS" probe).
+#ifndef METADPA_SERVE_LOADGEN_H_
+#define METADPA_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace metadpa {
+namespace serve {
+
+/// \brief Load shape.
+struct LoadgenConfig {
+  int64_t num_requests = 1000;
+  double target_qps = 0.0;  ///< aggregate; 0 = no pacing (saturation)
+  int clients = 4;          ///< closed-loop client threads
+  int k = 10;
+  /// Candidate-set size per request (sampled from the pool without
+  /// replacement; the whole pool when it is smaller).
+  int candidates_per_request = 100;
+  /// Cold-user support size range (inclusive), matching the paper's "< 5
+  /// ratings" cold definition.
+  int min_support = 2;
+  int max_support = 4;
+  uint64_t seed = 2024;
+};
+
+/// \brief Aggregate results of one run. Latencies are end-to-end
+/// (Submit -> future ready), percentiles exact (sorted samples, nearest-rank).
+struct LoadgenReport {
+  int64_t requests = 0;   ///< attempted
+  int64_t ok = 0;         ///< served
+  int64_t rejected = 0;   ///< backpressure/invalid rejections (failed requests)
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;  ///< ok / wall_seconds
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// \brief Runs the load. `num_users` bounds the synthesized user ids (the
+/// target domain's user count — every user has a content row); requests draw
+/// support items and candidates from `candidate_pool` (e.g. the splits'
+/// existing items). The server must outlive the call.
+LoadgenReport RunLoadgen(ScoringServer* server, int64_t num_users,
+                         const std::vector<int64_t>& candidate_pool,
+                         const LoadgenConfig& config);
+
+/// \brief The deterministic request for one index (exposed for tests pinning
+/// the client-count-independence of the stream).
+ScoreRequest SynthesizeRequest(int64_t index, int64_t num_users,
+                               const std::vector<int64_t>& candidate_pool,
+                               const LoadgenConfig& config);
+
+/// \brief One-line-per-stat text rendering (util/table).
+std::string RenderLoadgenReport(const LoadgenReport& report);
+
+}  // namespace serve
+}  // namespace metadpa
+
+#endif  // METADPA_SERVE_LOADGEN_H_

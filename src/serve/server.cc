@@ -1,0 +1,205 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace metadpa {
+namespace serve {
+namespace {
+
+// Latency-style bucket edges (milliseconds) shared by the request-latency and
+// queue-wait histograms; roughly log-spaced so p99 interpolation stays tight
+// from sub-millisecond scoring up to an overloaded queue.
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double> bounds = {0.25, 0.5, 1,  2,   5,   10,
+                                             20,   50,  100, 250, 500, 1000};
+  return bounds;
+}
+
+}  // namespace
+
+ScoringServer::ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                             const ServerConfig& config)
+    : config_(config) {
+  MDPA_CHECK(snapshot != nullptr);
+  MDPA_CHECK_GE(config_.num_workers, 1);
+  MDPA_CHECK_GE(config_.max_queue, 1);
+  MDPA_CHECK_GE(config_.max_batch, 1);
+  MDPA_CHECK_GE(config_.default_k, 1);
+  snapshot_ = std::move(snapshot);
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_workers));
+}
+
+ScoringServer::~ScoringServer() { Stop(); }
+
+Result<std::future<ScoreResponse>> ScoringServer::Submit(ScoreRequest request) {
+  if (request.user < 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_invalid_;
+    return Status::InvalidArgument("ScoringServer: negative user id");
+  }
+  if (request.candidates.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_invalid_;
+    return Status::InvalidArgument("ScoringServer: empty candidate set");
+  }
+  if (request.k < 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_invalid_;
+    return Status::InvalidArgument("ScoringServer: negative k");
+  }
+  std::future<ScoreResponse> fut;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("ScoringServer: stopped");
+    }
+    if (static_cast<int64_t>(queue_.size()) >=
+        static_cast<int64_t>(config_.max_queue)) {
+      // Backpressure: reject NOW instead of blocking the acceptor. The
+      // counter (not the caller's retry loop) is what the SLO dashboards
+      // watch.
+      ++rejected_full_;
+      OBS_COUNT("serve/requests_rejected", 1);
+      return Status::FailedPrecondition("ScoringServer: admission queue full");
+    }
+    Pending pending;
+    pending.request = std::move(request);
+    fut = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++accepted_;
+    const int64_t depth = static_cast<int64_t>(queue_.size());
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
+    OBS_GAUGE_SET("serve/queue_depth", static_cast<double>(depth));
+    // Every push guarantees a live drainer: either one is spawned here, or
+    // drainers_ == num_workers and an existing one must observe this entry
+    // before exiting (exit and pop share mutex_). The pool Submit happens
+    // under mutex_, so it is ordered before any later Stop() -> Shutdown()
+    // and the drain task always runs.
+    if (drainers_ < config_.num_workers) {
+      ++drainers_;
+      pool_->Submit([this] { DrainLoop(); });
+    }
+  }
+  return fut;
+}
+
+void ScoringServer::DrainLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (!queue_.empty() &&
+             batch.size() < static_cast<size_t>(config_.max_batch)) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.empty()) {
+        --drainers_;
+        return;
+      }
+      OBS_GAUGE_SET("serve/queue_depth", static_cast<double>(queue_.size()));
+    }
+    ServeBatch(&batch);
+  }
+}
+
+void ScoringServer::ServeBatch(std::vector<Pending>* batch) {
+  OBS_SPAN("serve/batch");
+  // Pin the snapshot once per batch: every request in the batch is served by
+  // the same model version, and a concurrent UpdateSnapshot cannot free the
+  // model under us — the shared_ptr copy keeps it alive to the last response.
+  std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  std::unique_ptr<eval::CaseScorer> scorer = snapshot->NewScorer();
+  OBS_OBSERVE("serve/batch_size",
+              (std::vector<double>{1, 2, 4, 8, 16, 32, 64}),
+              static_cast<double>(batch->size()));
+  for (Pending& pending : *batch) {
+    const double queue_ms = pending.admitted.ElapsedMillis();
+    const ScoreRequest& request = pending.request;
+    const int k = request.k > 0 ? request.k : config_.default_k;
+    ScoreResponse response;
+    // One batched Score call over all candidates: the content rows flow
+    // through MatMulNT/LinearForward as one GEMM, not a per-item loop.
+    response.items = eval::RecommendTopK(scorer.get(), request.user,
+                                         request.candidates,
+                                         request.support_items, k);
+    response.snapshot_version = snapshot->version();
+    response.queue_ms = queue_ms;
+    response.total_ms = pending.admitted.ElapsedMillis();
+    OBS_OBSERVE("serve/queue_wait_ms", LatencyBoundsMs(), queue_ms);
+    OBS_OBSERVE("serve/request_latency_ms", LatencyBoundsMs(), response.total_ms);
+    OBS_COUNT("serve/requests_ok", 1);
+    {
+      // Count the completion BEFORE fulfilling the promise: a caller that has
+      // observed its response is guaranteed to see itself in Stats::completed.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    pending.promise.set_value(std::move(response));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+}
+
+void ScoringServer::UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
+  MDPA_CHECK(snapshot != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    // Swap under the lock, destroy the displaced snapshot after releasing it:
+    // if this store drops the last reference, ~ModelSnapshot (and the model
+    // teardown it owns) must not run while pinners wait on the lock.
+    snapshot_.swap(snapshot);
+  }
+  OBS_COUNT("serve/snapshot_swaps", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++snapshot_swaps_;
+}
+
+std::shared_ptr<const ModelSnapshot> ScoringServer::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void ScoringServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // Workers drain every admitted request before the pool joins (ThreadPool
+  // drains its queue on Shutdown, and a drainer only exits on empty queue).
+  pool_->Shutdown();
+  // Defensive sweep: if the drainer invariant were ever violated, serve the
+  // leftovers inline rather than breaking promises.
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (!queue_.empty() &&
+             batch.size() < static_cast<size_t>(config_.max_batch)) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch.empty()) break;
+    ServeBatch(&batch);
+  }
+}
+
+ScoringServer::Stats ScoringServer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.accepted = accepted_;
+  stats.rejected_full = rejected_full_;
+  stats.rejected_invalid = rejected_invalid_;
+  stats.completed = completed_;
+  stats.snapshot_swaps = snapshot_swaps_;
+  stats.batches = batches_;
+  stats.queue_depth = static_cast<int64_t>(queue_.size());
+  stats.peak_queue_depth = peak_queue_depth_;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace metadpa

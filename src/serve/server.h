@@ -1,0 +1,169 @@
+// Online top-k scoring server.
+//
+// A ScoringServer turns a frozen ModelSnapshot into a long-lived service:
+// requests enter through a bounded admission queue, worker threads (the
+// server's own util::ThreadPool) drain them in small batches, and each
+// request is answered with the top-k recommendations for its user. Scoring a
+// request's candidate set is ONE batched CaseScorer::Score call — the
+// candidate content rows go through the GEMM kernel family
+// (t::MatMulNT / t::LinearForward) as a single matrix product, never a
+// per-item loop.
+//
+// Concurrency/SLO design:
+//  * Admission is bounded and non-blocking: Submit either enqueues (and
+//    returns a future) or rejects immediately with FailedPrecondition when
+//    `max_queue` requests are already waiting. The acceptor thread is never
+//    blocked on scoring capacity — backpressure is explicit, callers decide
+//    whether to retry, shed, or slow down.
+//  * Hot swap: the current snapshot lives in a mutex-guarded shared_ptr
+//    publish/pin slot. A worker pins the snapshot once per drained batch, so
+//    in-flight requests finish against the snapshot they started with while
+//    new batches see the new one; the old model is destroyed when its last
+//    batch completes. Scoring is bit-identical before and after swapping in
+//    a re-capture of the same model.
+//  * Request batching: a worker wakeup drains up to `max_batch` queued
+//    requests and serves them with one scorer clone, amortizing the clone
+//    and the wakeup without adding latency at low load (a lone request is a
+//    batch of one).
+//
+// Observability: request latency / queue-wait histograms, batch-size
+// histogram, queue-depth gauge and accept/reject/swap counters are recorded
+// through the obs registry (serve/* names) when instrumentation is on, so
+// TelemetrySampler and MetricsTable pick them up for free. Native counters
+// (GetStats) are always maintained, obs on or off.
+#ifndef METADPA_SERVE_SERVER_H_
+#define METADPA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "eval/recommend.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace serve {
+
+/// \brief Server sizing and SLO knobs.
+struct ServerConfig {
+  /// Scoring worker threads (the server owns a pool of this size).
+  int num_workers = 1;
+  /// Admission cap: requests allowed to WAIT. At depth max_queue further
+  /// Submits are rejected with FailedPrecondition (never blocked).
+  int max_queue = 256;
+  /// Requests one worker wakeup drains and serves with one scorer clone.
+  int max_batch = 8;
+  /// k used when a request leaves its own k at 0.
+  int default_k = 10;
+};
+
+/// \brief One scoring request: rank `candidates` for `user` and return the
+/// top k. `support_items` are the user's observed positives — forwarded to
+/// the model for per-case adaptation (meta methods) and excluded from the
+/// results, exactly as in eval::RecommendTopK.
+struct ScoreRequest {
+  int64_t user = -1;
+  std::vector<int64_t> candidates;
+  std::vector<int64_t> support_items;
+  int k = 0;  ///< 0 = ServerConfig::default_k
+};
+
+/// \brief A served request.
+struct ScoreResponse {
+  std::vector<eval::Recommendation> items;
+  uint64_t snapshot_version = 0;  ///< which model version scored this
+  double queue_ms = 0.0;          ///< admission -> picked up by a worker
+  double total_ms = 0.0;          ///< admission -> response ready
+};
+
+/// \brief Long-lived multi-threaded top-k scoring service.
+class ScoringServer {
+ public:
+  /// \brief Starts `config.num_workers` workers serving `snapshot`.
+  ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                const ServerConfig& config);
+
+  /// \brief Stop() — pending accepted requests are served before teardown.
+  ~ScoringServer();
+
+  ScoringServer(const ScoringServer&) = delete;
+  ScoringServer& operator=(const ScoringServer&) = delete;
+
+  /// \brief Admits a request. Returns the future for its response, or a
+  /// non-OK Status without enqueuing anything:
+  ///   InvalidArgument    — malformed request (negative user, no candidates)
+  ///   FailedPrecondition — admission queue full (backpressure) or server
+  ///                        stopped.
+  Result<std::future<ScoreResponse>> Submit(ScoreRequest request);
+
+  /// \brief Publishes a new snapshot. In-flight batches finish against the
+  /// snapshot they pinned; batches drained after this call score against
+  /// `snapshot`. The old snapshot is released when its last batch completes.
+  void UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// \brief The snapshot new batches would score against right now.
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// \brief Rejects new requests, serves everything already admitted, joins
+  /// the workers. Idempotent.
+  void Stop();
+
+  /// \brief Native request-path counters (maintained regardless of obs).
+  struct Stats {
+    int64_t accepted = 0;
+    int64_t rejected_full = 0;     ///< backpressure rejections
+    int64_t rejected_invalid = 0;  ///< malformed requests
+    int64_t completed = 0;
+    int64_t snapshot_swaps = 0;
+    int64_t batches = 0;       ///< worker drain batches served
+    int64_t queue_depth = 0;   ///< requests waiting right now
+    int64_t peak_queue_depth = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Pending {
+    ScoreRequest request;
+    std::promise<ScoreResponse> promise;
+    Stopwatch admitted;  ///< started at Submit; measures queue wait + total
+  };
+
+  /// Worker body: repeatedly drains up to max_batch requests and serves
+  /// them; exits when the queue is empty.
+  void DrainLoop();
+  void ServeBatch(std::vector<Pending>* batch);
+
+  const ServerConfig config_;
+  /// Publish/pin slot for the current snapshot. A dedicated mutex (never
+  /// held together with mutex_) instead of std::atomic<shared_ptr>: workers
+  /// touch it once per batch and publishers rarely, so the lock is
+  /// uncontended — and libstdc++'s lock-free _Sp_atomic does plain pointer
+  /// writes under an embedded spin bit ThreadSanitizer cannot see, which
+  /// would poison the whole tsan tier with false positives.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;  ///< guards queue_, drainers_, stopping_, stats
+  std::deque<Pending> queue_;
+  int drainers_ = 0;  ///< DrainLoop instances live or scheduled
+  bool stopping_ = false;
+  int64_t accepted_ = 0;
+  int64_t rejected_full_ = 0;
+  int64_t rejected_invalid_ = 0;
+  int64_t completed_ = 0;
+  int64_t snapshot_swaps_ = 0;
+  int64_t batches_ = 0;
+  int64_t peak_queue_depth_ = 0;
+};
+
+}  // namespace serve
+}  // namespace metadpa
+
+#endif  // METADPA_SERVE_SERVER_H_

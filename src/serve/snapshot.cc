@@ -1,0 +1,35 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+namespace metadpa {
+namespace serve {
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<eval::Recommender> model,
+                             uint64_t version)
+    : model_(std::move(model)), version_(version), model_name_(model_->name()) {}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
+    std::shared_ptr<eval::Recommender> model, uint64_t version) {
+  if (model == nullptr) {
+    return Status::FailedPrecondition("ModelSnapshot::Capture: null model");
+  }
+  // One probe clone validates the concurrency contract up front, instead of
+  // discovering a nullptr on a worker thread mid-request.
+  if (model->CloneForScoring() == nullptr) {
+    return Status::FailedPrecondition(
+        "ModelSnapshot::Capture: model '" + model->name() +
+        "' does not support CloneForScoring (concurrent scoring unaudited)");
+  }
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(std::move(model), version));
+}
+
+std::unique_ptr<eval::CaseScorer> ModelSnapshot::NewScorer() const {
+  std::unique_ptr<eval::CaseScorer> scorer = model_->CloneForScoring();
+  MDPA_CHECK(scorer != nullptr);  // validated at Capture; models never regress
+  return scorer;
+}
+
+}  // namespace serve
+}  // namespace metadpa

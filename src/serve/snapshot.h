@@ -1,0 +1,65 @@
+// Immutable model snapshots for online serving.
+//
+// A ModelSnapshot freezes one trained Recommender for concurrent scoring: it
+// shares ownership of the model and dispenses per-thread CaseScorer handles
+// through the existing CloneForScoring contract (eval/recommender.h). The
+// ownership rules mirror that contract:
+//
+//  * Capture() succeeds only for models whose scoring path is audited for
+//    concurrency (CloneForScoring != nullptr — true for MetaDPA and all
+//    seven baselines).
+//  * After Capture the model is FROZEN: nobody may call Fit or BeginScenario
+//    on it again. Retraining produces a NEW model instance captured into a
+//    NEW snapshot that is hot-swapped into the server; the old snapshot (and
+//    the model it keeps alive) is released when the last in-flight request
+//    drops its shared_ptr.
+//  * Snapshots are handed around as shared_ptr<const ModelSnapshot>; the
+//    server publishes the current one through a mutex-guarded publish/pin
+//    slot, so a swap is one pointer exchange under an uncontended lock and
+//    readers never observe a torn snapshot.
+#ifndef METADPA_SERVE_SNAPSHOT_H_
+#define METADPA_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "eval/recommender.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace serve {
+
+/// \brief One frozen, concurrently scorable model version.
+class ModelSnapshot {
+ public:
+  /// \brief Freezes `model` as serving version `version`. Fails with
+  /// FailedPrecondition when the model is null or opted out of concurrent
+  /// scoring (CloneForScoring() == nullptr), so a server can never be built
+  /// over a model whose scoring path would race.
+  static Result<std::shared_ptr<const ModelSnapshot>> Capture(
+      std::shared_ptr<eval::Recommender> model, uint64_t version);
+
+  /// \brief A fresh per-thread scoring handle borrowing this snapshot's
+  /// state read-only. The caller must keep the snapshot alive for the
+  /// handle's lifetime (server workers hold their shared_ptr across a batch).
+  std::unique_ptr<eval::CaseScorer> NewScorer() const;
+
+  uint64_t version() const { return version_; }
+  const std::string& model_name() const { return model_name_; }
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+ private:
+  ModelSnapshot(std::shared_ptr<eval::Recommender> model, uint64_t version);
+
+  const std::shared_ptr<eval::Recommender> model_;
+  const uint64_t version_;
+  const std::string model_name_;
+};
+
+}  // namespace serve
+}  // namespace metadpa
+
+#endif  // METADPA_SERVE_SNAPSHOT_H_

@@ -23,13 +23,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  // joinable() under join_mutex_ makes concurrent/repeated Shutdowns safe:
+  // whichever caller wins the lock does the joins, later callers see every
+  // worker already joined.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -122,6 +135,10 @@ void ThreadPool::ParallelFor(size_t n, size_t max_concurrency,
   for (auto& f : futures) {
     try {
       f.get();
+    } catch (const ThreadPoolShutdownError&) {
+      // The pool rejected this helper (Shutdown raced the Submit above). Its
+      // claim loop never ran, so it claimed no indices; the executors that
+      // did run — the calling thread at minimum — covered all of [0, n).
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }

@@ -11,10 +11,21 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace metadpa {
+
+/// \brief Thrown (via the returned future) by Submit calls that lose the race
+/// against Shutdown: the task was never enqueued and will never run. Callers
+/// that share a pool with a shutdown path catch this instead of hanging on a
+/// future whose task sits in a dead queue.
+class ThreadPoolShutdownError : public std::runtime_error {
+ public:
+  ThreadPoolShutdownError()
+      : std::runtime_error("ThreadPool: Submit after Shutdown") {}
+};
 
 /// \brief A minimal task-queue thread pool.
 class ThreadPool {
@@ -26,7 +37,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// \brief Enqueues a task and returns a future for its completion.
+  /// \brief Enqueues a task and returns a future for its completion. After
+  /// Shutdown the task is NOT enqueued; the returned future carries a
+  /// ThreadPoolShutdownError instead (long-lived services poll futures, so a
+  /// silently dropped task would hang them forever).
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -34,6 +48,12 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        std::promise<R> rejected;
+        rejected.set_exception(
+            std::make_exception_ptr(ThreadPoolShutdownError()));
+        return rejected.get_future();
+      }
       tasks_.emplace([task] { (*task)(); });
       ++tasks_submitted_;
       const int64_t depth = static_cast<int64_t>(tasks_.size());
@@ -54,8 +74,25 @@ class ThreadPool {
   /// calling thread) execute bodies. 0 means "no cap beyond the pool size";
   /// 1 runs everything on the calling thread. This is how a `threads` config
   /// knob bounds a parallel section without resizing the global pool.
+  ///
+  /// Well-defined at the edges: n = 0 returns immediately, and a call that
+  /// overlaps (or follows) Shutdown still executes every body — helper tasks
+  /// the pool rejects are simply covered by the calling thread.
   void ParallelFor(size_t n, size_t max_concurrency,
                    const std::function<void(size_t)>& fn);
+
+  /// \brief Stops accepting tasks, drains everything already enqueued, and
+  /// joins the workers. Idempotent and safe to race with Submit from other
+  /// threads: each concurrent Submit either enqueues before the stop flag
+  /// flips (and its task runs to completion during the drain) or observes the
+  /// flag and returns a ThreadPoolShutdownError future. The destructor calls
+  /// this; long-lived services call it explicitly for a deterministic quiesce
+  /// point.
+  void Shutdown();
+
+  /// \brief True once Shutdown has been requested (tasks may still be
+  /// draining when this first turns true).
+  bool IsShutdown() const;
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -94,6 +131,7 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::mutex join_mutex_;  ///< serializes the join phase of concurrent Shutdowns
   // Stats counters, guarded by mutex_ (touched only where it is already held).
   int64_t tasks_submitted_ = 0;
   int64_t tasks_executed_ = 0;

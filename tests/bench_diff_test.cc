@@ -214,6 +214,38 @@ TEST(DiffBenchmarksTest, ComparesMeansWhenConfigured) {
   EXPECT_DOUBLE_EQ(report.deltas[0].contender_time, 1600.0);
 }
 
+TEST(SummarizeByRunNameTest, CpuTimeBasisUsesCpuColumns) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  const auto summaries = SummarizeByRunName(records, /*use_cpu_time=*/true);
+  ASSERT_EQ(summaries.count("BM_MatMul/32"), 1u);
+  EXPECT_DOUBLE_EQ(summaries.at("BM_MatMul/32").median, 990.0);
+  EXPECT_DOUBLE_EQ(summaries.at("BM_MatMul/32").mean, 1040.0);
+}
+
+TEST(DiffBenchmarksTest, ComparesCpuTimeWhenConfigured) {
+  // A wall-time spike with flat CPU time (the shared-machine noise shape)
+  // must regress under --time real and pass under --time cpu.
+  const std::string base = R"({"benchmarks": [
+    {"name": "BM_X_median", "run_name": "BM_X", "run_type": "aggregate",
+     "aggregate_name": "median", "real_time": 100.0, "cpu_time": 50.0,
+     "time_unit": "us"}]})";
+  const std::string cont = R"({"benchmarks": [
+    {"name": "BM_X_median", "run_name": "BM_X", "run_type": "aggregate",
+     "aggregate_name": "median", "real_time": 180.0, "cpu_time": 51.0,
+     "time_unit": "us"}]})";
+  const auto baseline = ParseBenchmarkJson(base).ValueOrDie();
+  const auto contender = ParseBenchmarkJson(cont).ValueOrDie();
+  BenchDiffOptions options;
+  options.threshold_pct = 25.0;
+  EXPECT_TRUE(DiffBenchmarks(baseline, contender, options).has_regression);
+  options.use_cpu_time = true;
+  const BenchDiffReport report = DiffBenchmarks(baseline, contender, options);
+  EXPECT_FALSE(report.has_regression);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.deltas[0].baseline_time, 50.0);
+  EXPECT_DOUBLE_EQ(report.deltas[0].contender_time, 51.0);
+}
+
 TEST(DiffBenchmarksTest, ReportsUnmatchedBenchmarksWithoutRegressing) {
   const auto baseline = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
   const auto contender = ParseBenchmarkJson(ContenderJson()).ValueOrDie();

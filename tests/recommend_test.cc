@@ -76,6 +76,69 @@ TEST(RecommendTest, TieBreakIsDeterministicById) {
   EXPECT_EQ(recs[2].item, 7);
 }
 
+TEST(RecommendTest, DuplicateCandidatesAppearAtMostOnce) {
+  IdScorer model;
+  auto recs = RecommendTopK(&model, 0, {3, 1, 3, 5, 1, 1, 3}, {}, 10);
+  ASSERT_EQ(recs.size(), 3u);  // {1, 3, 5} each exactly once
+  EXPECT_EQ(recs[0].item, 1);
+  EXPECT_EQ(recs[1].item, 3);
+  EXPECT_EQ(recs[2].item, 5);
+}
+
+TEST(RecommendTest, DuplicatesDoNotInflateTopKUnderTies) {
+  /// A duplicated tied id must not crowd distinct items out of the top k.
+  class Constant : public Recommender {
+   public:
+    std::string name() const override { return "Const"; }
+    Status Fit(const TrainContext&) override { return Status::OK(); }
+    std::vector<double> ScoreCase(const data::EvalCase&,
+                                  const std::vector<int64_t>& items) override {
+      return std::vector<double>(items.size(), 0.5);
+    }
+  };
+  Constant model;
+  auto recs = RecommendTopK(&model, 0, {2, 2, 2, 4, 6}, {}, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 2);
+  EXPECT_EQ(recs[1].item, 4);
+  EXPECT_EQ(recs[2].item, 6);
+}
+
+TEST(RecommendTest, NonPositiveKReturnsEmpty) {
+  IdScorer model;
+  EXPECT_TRUE(RecommendTopK(&model, 0, {1, 2, 3}, {}, 0).empty());
+  EXPECT_TRUE(RecommendTopK(&model, 0, {1, 2, 3}, {}, -4).empty());
+}
+
+TEST(RecommendTest, EmptyCandidatesReturnsEmpty) {
+  IdScorer model;
+  EXPECT_TRUE(RecommendTopK(&model, 0, {}, {}, 5).empty());
+  EXPECT_TRUE(RecommendTopK(&model, 0, {}, {1, 2}, 5).empty());
+}
+
+TEST(RecommendTest, ExactlyMinKRemainingAfterExclusion) {
+  IdScorer model;
+  const std::vector<int64_t> candidates = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<int64_t> support = {0, 2, 4, 6};  // 6 remain
+  EXPECT_EQ(RecommendTopK(&model, 0, candidates, support, 8).size(), 6u);
+  EXPECT_EQ(RecommendTopK(&model, 0, candidates, support, 6).size(), 6u);
+  EXPECT_EQ(RecommendTopK(&model, 0, candidates, support, 3).size(), 3u);
+}
+
+TEST(RecommendTest, CaseScorerOverloadMatchesRecommenderOverload) {
+  IdScorer model;
+  SharedStateScorer scorer(&model);
+  const std::vector<int64_t> candidates = {9, 3, 9, 7, 1, 5};
+  const std::vector<int64_t> support = {5};
+  auto via_model = RecommendTopK(&model, 11, candidates, support, 4);
+  auto via_scorer = RecommendTopK(&scorer, 11, candidates, support, 4);
+  ASSERT_EQ(via_model.size(), via_scorer.size());
+  for (size_t i = 0; i < via_model.size(); ++i) {
+    EXPECT_EQ(via_model[i].item, via_scorer[i].item);
+    EXPECT_EQ(via_model[i].score, via_scorer[i].score);  // bit-identical
+  }
+}
+
 TEST(RecommendTest, RecommendForUserExcludesHistory) {
   data::MultiDomainDataset dataset = data::Generate(data::DefaultConfig("CDs", 0.2));
   data::SplitOptions options;

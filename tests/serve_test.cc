@@ -1,0 +1,385 @@
+// Scoring-server correctness: top-k responses, admission backpressure,
+// snapshot hot-swap under in-flight traffic (old requests finish on the old
+// snapshot, new ones see the new), snapshot lifetime, Stop semantics, and
+// the closed-loop load generator. The stress tests are part of the
+// `ctest -L tsan` / `-L asan` tiers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace metadpa {
+namespace serve {
+namespace {
+
+/// Deterministic model: score = offset + 1/(1 + item), so smaller ids rank
+/// higher and two instances with different offsets are distinguishable.
+/// An optional on_score hook lets tests block a request mid-scoring.
+class FakeModel : public eval::Recommender {
+ public:
+  explicit FakeModel(double offset = 0.0) : offset_(offset) {}
+  std::string name() const override { return "fake"; }
+  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
+  std::vector<double> ScoreCase(const data::EvalCase&,
+                                const std::vector<int64_t>& items) override {
+    if (on_score) on_score();
+    std::vector<double> scores;
+    scores.reserve(items.size());
+    for (int64_t item : items) {
+      scores.push_back(offset_ + 1.0 / (1.0 + static_cast<double>(item)));
+    }
+    return scores;
+  }
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
+    return std::make_unique<eval::SharedStateScorer>(this);
+  }
+
+  std::function<void()> on_score;
+
+ private:
+  double offset_;
+};
+
+/// A model that opted out of concurrent scoring.
+class UnauditedModel : public FakeModel {
+ public:
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override { return nullptr; }
+};
+
+std::shared_ptr<const ModelSnapshot> MustCapture(
+    std::shared_ptr<eval::Recommender> model, uint64_t version) {
+  auto result = ModelSnapshot::Capture(std::move(model), version);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ValueOrDie();
+}
+
+ScoreRequest SimpleRequest(std::vector<int64_t> candidates, int k = 0) {
+  ScoreRequest request;
+  request.user = 0;
+  request.candidates = std::move(candidates);
+  request.k = k;
+  return request;
+}
+
+TEST(ModelSnapshotTest, CaptureRejectsNullAndUnauditedModels) {
+  EXPECT_FALSE(ModelSnapshot::Capture(nullptr, 1).ok());
+  auto unaudited = ModelSnapshot::Capture(std::make_shared<UnauditedModel>(), 1);
+  ASSERT_FALSE(unaudited.ok());
+  EXPECT_EQ(unaudited.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScoringServerTest, ServesTopKSortedWithSupportExcluded) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 7),
+                       ServerConfig{});
+  ScoreRequest request = SimpleRequest({5, 1, 9, 3, 7}, 3);
+  request.support_items = {1};
+  auto admitted = server.Submit(std::move(request));
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  ScoreResponse response = admitted.ValueOrDie().get();
+  ASSERT_EQ(response.items.size(), 3u);
+  EXPECT_EQ(response.items[0].item, 3);  // 1 is support-excluded
+  EXPECT_EQ(response.items[1].item, 5);
+  EXPECT_EQ(response.items[2].item, 7);
+  EXPECT_EQ(response.snapshot_version, 7u);
+  EXPECT_GE(response.total_ms, response.queue_ms);
+  const ScoringServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 1);
+  EXPECT_EQ(stats.rejected_full, 0);
+}
+
+TEST(ScoringServerTest, DefaultKAppliesWhenRequestLeavesKZero) {
+  ServerConfig config;
+  config.default_k = 2;
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1), config);
+  auto admitted = server.Submit(SimpleRequest({4, 2, 8, 6}));
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted.ValueOrDie().get().items.size(), 2u);
+}
+
+TEST(ScoringServerTest, RejectsMalformedRequestsWithInvalidArgument) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1),
+                       ServerConfig{});
+  ScoreRequest negative_user = SimpleRequest({1, 2});
+  negative_user.user = -5;
+  EXPECT_EQ(server.Submit(std::move(negative_user)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Submit(SimpleRequest({})).status().code(),
+            StatusCode::kInvalidArgument);
+  ScoreRequest negative_k = SimpleRequest({1, 2}, -1);
+  EXPECT_EQ(server.Submit(std::move(negative_k)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.GetStats().rejected_invalid, 3);
+}
+
+TEST(ScoringServerTest, BackpressureRejectsWhenQueueFullNeverBlocks) {
+  auto model = std::make_shared<FakeModel>();
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started_promise;
+  std::atomic<bool> started{false};
+  model->on_score = [&] {
+    if (!started.exchange(true)) started_promise.set_value();
+    gate.wait();
+  };
+  ServerConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.max_queue = 2;
+  ScoringServer server(MustCapture(model, 1), config);
+
+  // First request occupies the worker (blocked in scoring)...
+  auto in_flight = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_TRUE(in_flight.ok());
+  started_promise.get_future().wait();
+  // ...two more fill the admission queue...
+  auto queued_a = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  auto queued_b = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_TRUE(queued_a.ok());
+  ASSERT_TRUE(queued_b.ok());
+  // ...and the next is rejected immediately instead of blocking the caller.
+  auto rejected = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.GetStats().rejected_full, 1);
+
+  release.set_value();
+  EXPECT_EQ(in_flight.ValueOrDie().get().items.size(), 2u);
+  EXPECT_EQ(queued_a.ValueOrDie().get().items.size(), 2u);
+  EXPECT_EQ(queued_b.ValueOrDie().get().items.size(), 2u);
+  EXPECT_EQ(server.GetStats().completed, 3);
+}
+
+TEST(ScoringServerTest, InFlightRequestsFinishOnOldSnapshotNewOnesSeeNew) {
+  auto old_model = std::make_shared<FakeModel>(/*offset=*/0.0);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started_promise;
+  std::atomic<bool> started{false};
+  old_model->on_score = [&] {
+    if (!started.exchange(true)) {
+      started_promise.set_value();
+      gate.wait();  // only the first (in-flight) request blocks
+    }
+  };
+  ServerConfig config;
+  config.num_workers = 2;
+  config.max_batch = 1;
+  ScoringServer server(MustCapture(old_model, 1), config);
+
+  auto in_flight = server.Submit(SimpleRequest({0, 1}, 1));
+  ASSERT_TRUE(in_flight.ok());
+  started_promise.get_future().wait();  // pinned snapshot v1, blocked mid-score
+
+  server.UpdateSnapshot(
+      MustCapture(std::make_shared<FakeModel>(/*offset=*/100.0), 2));
+  auto fresh = server.Submit(SimpleRequest({0, 1}, 1));
+  ASSERT_TRUE(fresh.ok());
+  ScoreResponse fresh_response = fresh.ValueOrDie().get();
+  EXPECT_EQ(fresh_response.snapshot_version, 2u);
+  EXPECT_GT(fresh_response.items[0].score, 100.0);  // new model's offset
+
+  release.set_value();
+  ScoreResponse old_response = in_flight.ValueOrDie().get();
+  EXPECT_EQ(old_response.snapshot_version, 1u);  // finished on the old snapshot
+  EXPECT_LT(old_response.items[0].score, 2.0);   // old model's scores
+  EXPECT_EQ(server.GetStats().snapshot_swaps, 1);
+}
+
+TEST(ScoringServerTest, RecapturedSnapshotScoresBitIdenticalAcrossSwap) {
+  auto model = std::make_shared<FakeModel>(/*offset=*/3.5);
+  ScoringServer server(MustCapture(model, 1), ServerConfig{});
+  auto before = server.Submit(SimpleRequest({8, 3, 5, 13, 2}, 4));
+  ASSERT_TRUE(before.ok());
+  ScoreResponse v1 = before.ValueOrDie().get();
+
+  // Retrain-free hot swap: same model, new version. Scoring must not move
+  // by a single bit.
+  server.UpdateSnapshot(MustCapture(model, 2));
+  auto after = server.Submit(SimpleRequest({8, 3, 5, 13, 2}, 4));
+  ASSERT_TRUE(after.ok());
+  ScoreResponse v2 = after.ValueOrDie().get();
+
+  EXPECT_EQ(v1.snapshot_version, 1u);
+  EXPECT_EQ(v2.snapshot_version, 2u);
+  ASSERT_EQ(v1.items.size(), v2.items.size());
+  for (size_t i = 0; i < v1.items.size(); ++i) {
+    EXPECT_EQ(v1.items[i].item, v2.items[i].item);
+    EXPECT_EQ(v1.items[i].score, v2.items[i].score);  // exact, not near
+  }
+}
+
+TEST(ScoringServerTest, SwappedOutSnapshotIsReleasedAfterLastRequest) {
+  auto model = std::make_shared<FakeModel>();
+  std::shared_ptr<const ModelSnapshot> old_snapshot = MustCapture(model, 1);
+  std::weak_ptr<const ModelSnapshot> old_watch = old_snapshot;
+  ScoringServer server(old_snapshot, ServerConfig{});
+  old_snapshot.reset();
+
+  auto first = server.Submit(SimpleRequest({1, 2}, 1));
+  ASSERT_TRUE(first.ok());
+  first.ValueOrDie().get();
+  EXPECT_FALSE(old_watch.expired());  // still the current snapshot
+
+  server.UpdateSnapshot(MustCapture(model, 2));
+  auto second = server.Submit(SimpleRequest({1, 2}, 1));
+  ASSERT_TRUE(second.ok());
+  second.ValueOrDie().get();
+  EXPECT_TRUE(old_watch.expired())
+      << "old snapshot must be destroyed once no batch pins it";
+}
+
+TEST(ScoringServerTest, StopServesAdmittedThenRejectsNewRequests) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1),
+                       ServerConfig{});
+  std::vector<std::future<ScoreResponse>> admitted;
+  for (int i = 0; i < 16; ++i) {
+    auto result = server.Submit(SimpleRequest({1, 2, 3, 4}, 2));
+    ASSERT_TRUE(result.ok());
+    admitted.push_back(result.MoveValueOrDie());
+  }
+  server.Stop();
+  for (auto& fut : admitted) {
+    EXPECT_EQ(fut.get().items.size(), 2u);  // every admitted request served
+  }
+  auto late = server.Submit(SimpleRequest({1, 2}, 1));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  server.Stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+TEST(LoadgenTest, RequestStreamIsDeterministicPerIndex) {
+  const std::vector<int64_t> pool = {10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+  LoadgenConfig config;
+  config.candidates_per_request = 5;
+  for (int64_t i = 0; i < 8; ++i) {
+    ScoreRequest a = SynthesizeRequest(i, 100, pool, config);
+    ScoreRequest b = SynthesizeRequest(i, 100, pool, config);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.support_items, b.support_items);
+    EXPECT_EQ(a.candidates.size(), 5u);
+    EXPECT_GE(a.support_items.size(), 2u);
+    EXPECT_LE(a.support_items.size(), 4u);
+  }
+  // Different indices draw different users/candidates somewhere in the stream.
+  bool any_different = false;
+  ScoreRequest first = SynthesizeRequest(0, 100, pool, config);
+  for (int64_t i = 1; i < 8 && !any_different; ++i) {
+    ScoreRequest other = SynthesizeRequest(i, 100, pool, config);
+    any_different = other.user != first.user || other.candidates != first.candidates;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(LoadgenTest, SaturationSmokeServesEveryRequest) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1),
+                       ServerConfig{});
+  const std::vector<int64_t> pool = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                     10, 11, 12, 13, 14, 15};
+  LoadgenConfig config;
+  config.num_requests = 100;
+  config.clients = 3;
+  config.target_qps = 0.0;  // forced pacing off: saturation mode
+  config.candidates_per_request = 8;
+  LoadgenReport report = RunLoadgen(&server, 50, pool, config);
+  EXPECT_EQ(report.requests, 100);
+  EXPECT_EQ(report.ok, 100);
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_GT(report.achieved_qps, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  EXPECT_GE(report.max_ms, report.p99_ms);
+  EXPECT_EQ(server.GetStats().completed, 100);
+  EXPECT_FALSE(RenderLoadgenReport(report).empty());
+}
+
+TEST(LoadgenTest, PacedModeHonorsScheduleWithoutDroppingRequests) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1),
+                       ServerConfig{});
+  const std::vector<int64_t> pool = {0, 1, 2, 3, 4, 5, 6, 7};
+  LoadgenConfig config;
+  config.num_requests = 20;
+  config.clients = 2;
+  config.target_qps = 2000.0;  // fast schedule, still exercises sleep_until
+  config.candidates_per_request = 4;
+  LoadgenReport report = RunLoadgen(&server, 10, pool, config);
+  EXPECT_EQ(report.ok, 20);
+  EXPECT_EQ(report.rejected, 0);
+  // 20 requests at 2000 qps schedule the last at ~9.5ms; wall clock respects it.
+  EXPECT_GE(report.wall_seconds, 0.009);
+}
+
+// ---------------------------------------------------------------------------
+// Stress (tsan/asan tiers): concurrent submit + hot-swap + stats polling.
+// ---------------------------------------------------------------------------
+
+TEST(ScoringServerStressTest, SubmitSwapAndPollRaceCleanly) {
+  auto model = std::make_shared<FakeModel>();
+  ServerConfig config;
+  config.num_workers = 2;
+  config.max_queue = 64;
+  config.max_batch = 4;
+  ScoringServer server(MustCapture(model, 1), config);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 200;
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> backpressured{0};
+  std::atomic<bool> done{false};
+
+  std::thread swapper([&] {
+    uint64_t version = 1;
+    while (!done.load()) {
+      server.UpdateSnapshot(MustCapture(model, ++version));
+      std::this_thread::yield();
+    }
+  });
+  std::thread poller([&] {
+    while (!done.load()) {
+      const ScoringServer::Stats stats = server.GetStats();
+      ASSERT_GE(stats.accepted, stats.completed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto result = server.Submit(SimpleRequest({c, i % 7, 3, 11}, 2));
+        if (!result.ok()) {
+          backpressured.fetch_add(1);
+          continue;
+        }
+        const ScoreResponse response = result.ValueOrDie().get();
+        ASSERT_FALSE(response.items.empty());
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  swapper.join();
+  poller.join();
+  server.Stop();
+
+  const ScoringServer::Stats stats = server.GetStats();
+  EXPECT_EQ(served.load() + backpressured.load(), kClients * kPerClient);
+  EXPECT_EQ(stats.completed, served.load());
+  EXPECT_EQ(stats.rejected_full, backpressured.load());
+  EXPECT_GT(stats.snapshot_swaps, 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace metadpa

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -246,6 +248,81 @@ TEST(ThreadPoolTest, ConcurrentCallersAllComplete) {
   }
   for (auto& t : callers) t.join();
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFailedFuture) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_TRUE(pool.IsShutdown());
+  auto fut = pool.Submit([] { return 42; });
+  EXPECT_THROW(fut.get(), ThreadPoolShutdownError);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&executed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      executed.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  for (auto& fut : futures) fut.get();  // accepted work was all served
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsAndZeroConcurrency) {
+  ThreadPool pool(2);
+  int hits = 0;
+  pool.ParallelFor(0, [&](size_t) { ++hits; });  // n = 0: no-op
+  EXPECT_EQ(hits, 0);
+  std::vector<std::atomic<int>> counts(16);
+  // max_concurrency = 0 means "use every worker", not "run nothing".
+  pool.ParallelFor(16, 0, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownStillCoversAllIndices) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::vector<std::atomic<int>> counts(32);
+  // Helper Submits are rejected; the caller's own drain loop covers the range.
+  pool.ParallelFor(32, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitVsShutdownStress) {
+  // Producers hammer Submit while the main thread shuts the pool down
+  // mid-stream. Every future must resolve — either with its value (task ran)
+  // or with ThreadPoolShutdownError (rejected, task never ran) — and the two
+  // tallies must cover every submission exactly once.
+  constexpr int kProducers = 4, kPerProducer = 500;
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::atomic<int> succeeded{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto fut = pool.Submit([&executed] { executed.fetch_add(1); return 1; });
+        try {
+          succeeded.fetch_add(fut.get());
+        } catch (const ThreadPoolShutdownError&) {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.Shutdown();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(succeeded.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(succeeded.load(), executed.load())
+      << "a rejected Submit must never have run its task";
 }
 
 TEST(StopwatchTest, MeasuresElapsed) {

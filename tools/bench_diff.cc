@@ -1,7 +1,7 @@
 // bench_diff — compares two google-benchmark JSON files by benchmark name.
 //
 // usage: bench_diff <baseline.json> <contender.json>
-//                   [--threshold-pct P] [--metric median|mean]
+//                   [--threshold-pct P] [--metric median|mean] [--time real|cpu]
 //
 // Prints a per-benchmark delta table. Exit codes:
 //   0  no matched benchmark regressed beyond the threshold
@@ -24,7 +24,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <contender.json>\n"
-               "                  [--threshold-pct P] [--metric median|mean]\n");
+               "                  [--threshold-pct P] [--metric median|mean]\n"
+               "                  [--time real|cpu]\n");
   return 2;
 }
 
@@ -50,6 +51,16 @@ int main(int argc, char** argv) {
         options.use_median = false;
       } else {
         std::fprintf(stderr, "invalid --metric: %s (median|mean)\n", metric.c_str());
+        return 2;
+      }
+    } else if (arg == "--time" && i + 1 < argc) {
+      const std::string time = argv[++i];
+      if (time == "real") {
+        options.use_cpu_time = false;
+      } else if (time == "cpu") {
+        options.use_cpu_time = true;
+      } else {
+        std::fprintf(stderr, "invalid --time: %s (real|cpu)\n", time.c_str());
         return 2;
       }
     } else if (arg.rfind("--", 0) == 0) {

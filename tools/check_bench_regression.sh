@@ -3,17 +3,22 @@
 # baseline with bench_diff; exits non-zero when any benchmark regressed
 # beyond the threshold.
 #
-# Usage: tools/check_bench_regression.sh [build-dir] [baseline-json] [threshold-pct]
+# Usage: tools/check_bench_regression.sh [build-dir] [baseline-json] [threshold-pct] [time-basis]
 #
-# Defaults: build / BENCH_substrate.json / 25. The threshold is deliberately
-# loose for a 1-run-vs-baseline comparison on a shared machine; tighten it on
-# quiet dedicated hardware. Compare against a baseline produced with the same
-# build flags (see bench/README.md on METADPA_NATIVE).
+# Defaults: build / BENCH_substrate.json / 25 / cpu. The threshold is
+# deliberately loose for a 1-run-vs-baseline comparison on a shared machine;
+# tighten it on quiet dedicated hardware. The default time basis is `cpu`
+# because on shared hardware wall time gates the neighbors, not the code
+# (noisy-neighbor spikes flip random benchmarks past any sane threshold);
+# pass `real` on quiet dedicated machines to gate what users actually feel.
+# Compare against a baseline produced with the same build flags (see
+# bench/README.md on METADPA_NATIVE).
 set -eu
 
 build_dir="${1:-build}"
 baseline="${2:-BENCH_substrate.json}"
 threshold="${3:-25}"
+time_basis="${4:-cpu}"
 fresh="$(mktemp -t bench_fresh.XXXXXX.json)"
 trap 'rm -f "$fresh"' EXIT
 
@@ -26,6 +31,14 @@ if [ ! -x "$build_dir/tools/bench_diff" ]; then
   exit 2
 fi
 
+# A stale baseline without the serve-path rows would pass the diff while
+# leaving BM_ServeScoreTopK ungated — refuse it.
+if ! grep -q 'BM_ServeScoreTopK' "$baseline"; then
+  echo "error: baseline $baseline has no BM_ServeScoreTopK rows; re-baseline with tools/run_substrate_bench.sh" >&2
+  exit 2
+fi
+
 tools/run_substrate_bench.sh "$build_dir" "$fresh"
 
-"$build_dir/tools/bench_diff" "$baseline" "$fresh" --threshold-pct "$threshold"
+"$build_dir/tools/bench_diff" "$baseline" "$fresh" \
+  --threshold-pct "$threshold" --time "$time_basis"

@@ -21,32 +21,57 @@
 //            [--seed SEED] [--train-threads T]
 //       write the run-provenance manifest (build flags, host, resolved
 //       configuration, data-generator parameters) to PATH, or stdout.
+//   serve-bench [--target NAME] [--scale S] [--method NAME] [--effort E]
+//               [--seed SEED] [--qps Q] [--requests N] [--clients C]
+//               [--serve-workers W] [--queue-cap N] [--batch B] [--k K]
+//               [--candidates N] [--swap-ms MS] [--train-threads T]
+//       train one method, freeze it into a ModelSnapshot, start the scoring
+//       server and drive a closed-loop synthetic cold-user load through it;
+//       prints the p50/p99 latency report and the server's request-path
+//       counters. --qps 0 = saturation (no pacing); --swap-ms N hot-swaps a
+//       re-captured snapshot of the same model every N ms while the load
+//       runs (scoring is bit-identical across those swaps).
 //
-// Telemetry flags for `run`:
+// Telemetry flags for `run` and `serve-bench`:
 //   --telemetry-out PATH        append JSONL metric snapshots during the run
 //                               (manifest sidecar: PATH.manifest.json)
 //   --telemetry-interval-ms N   background sampling period (default 250;
 //                               0 = only epoch-boundary samples)
 //   --watchdog off|warn|abort   training-health policy (default off); abort
 //                               fails the run on NaN/Inf/divergent training
+//
+// Argument errors (unknown subcommand or flag, missing or malformed value)
+// uniformly print to stderr and exit 2; nothing is half-run on a typo.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/io.h"
 #include "data/stats.h"
 #include "eval/suite.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "util/table.h"
 
 using namespace metadpa;
 
 namespace {
+
+[[noreturn]] void FlagError(const std::string& message) {
+  std::fprintf(stderr, "metadpa_cli: %s\n", message.c_str());
+  std::exit(2);
+}
 
 struct Args {
   std::string command;
@@ -56,46 +81,119 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+  /// Strict numeric parse: the WHOLE value must be a number ("10abc" and ""
+  /// are errors, not silently-truncated 10s).
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
     if (it == flags.end()) return fallback;
     try {
-      return std::stod(it->second);
+      size_t pos = 0;
+      const double value = std::stod(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument("trailing");
+      return value;
     } catch (const std::exception&) {
-      std::fprintf(stderr, "invalid value for --%s: %s\n", key.c_str(),
-                   it->second.c_str());
-      std::exit(2);
+      FlagError("invalid value for --" + key + ": '" + it->second +
+                "' (expected a number)");
     }
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    try {
+      size_t pos = 0;
+      const int64_t value = std::stoll(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument("trailing");
+      return value;
+    } catch (const std::exception&) {
+      FlagError("invalid value for --" + key + ": '" + it->second +
+                "' (expected an integer)");
+    }
+  }
+  /// GetInt plus a lower bound, for count-like flags.
+  int64_t GetIntAtLeast(const std::string& key, int64_t fallback, int64_t lo) const {
+    const int64_t value = GetInt(key, fallback);
+    if (value < lo) {
+      FlagError("invalid value for --" + key + ": " + std::to_string(value) +
+                " (must be >= " + std::to_string(lo) + ")");
+    }
+    return value;
   }
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: metadpa_cli <stats|run|export|manifest> [--target Books|CDs]\n"
-               "  stats    [--scale S]\n"
-               "  run      [--methods A,B,..] [--scale S] [--negatives N]\n"
-               "           [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
-               "           [--train-threads T] [--trace-out PATH]\n"
-               "           [--metrics-out PATH] [--telemetry-out PATH]\n"
-               "           [--telemetry-interval-ms N] [--watchdog off|warn|abort]\n"
-               "  export   --prefix PATH [--scale S]\n"
-               "  manifest [--out PATH] [--scale S] [--effort E] [--seed SEED]\n");
+  std::fprintf(
+      stderr,
+      "usage: metadpa_cli <stats|run|export|manifest|serve-bench> [--target Books|CDs]\n"
+      "  stats       [--scale S]\n"
+      "  run         [--methods A,B,..] [--scale S] [--negatives N]\n"
+      "              [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
+      "              [--train-threads T] [--trace-out PATH]\n"
+      "              [--metrics-out PATH] [--telemetry-out PATH]\n"
+      "              [--telemetry-interval-ms N] [--watchdog off|warn|abort]\n"
+      "  export      --prefix PATH [--scale S]\n"
+      "  manifest    [--out PATH] [--scale S] [--effort E] [--seed SEED]\n"
+      "  serve-bench [--method NAME] [--scale S] [--effort E] [--seed SEED]\n"
+      "              [--qps Q] [--requests N] [--clients C] [--serve-workers W]\n"
+      "              [--queue-cap N] [--batch B] [--k K] [--candidates N]\n"
+      "              [--swap-ms MS] [--train-threads T] [+ telemetry flags]\n");
   return 2;
+}
+
+const std::set<std::string> kObservabilityFlags = {
+    "trace-out", "metrics-out", "telemetry-out", "telemetry-interval-ms",
+    "watchdog"};
+
+/// Flags each subcommand accepts; anything else is a hard error (previously a
+/// typo like --watchdgo was silently swallowed and the run exited 0 with the
+/// default behavior).
+std::set<std::string> AllowedFlags(const std::string& command) {
+  std::set<std::string> allowed;
+  if (command == "stats") {
+    allowed = {"target", "scale"};
+  } else if (command == "run") {
+    allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
+               "csv", "threads", "train-threads"};
+    allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
+  } else if (command == "export") {
+    allowed = {"prefix", "target", "scale"};
+  } else if (command == "manifest") {
+    allowed = {"out", "target", "scale", "effort", "seed", "train-threads"};
+    allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
+  } else if (command == "serve-bench") {
+    allowed = {"target", "scale", "method", "effort", "seed", "negatives",
+               "train-threads", "qps", "requests", "clients", "serve-workers",
+               "queue-cap", "batch", "k", "candidates", "swap-ms"};
+    allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
+  }
+  return allowed;
 }
 
 Args Parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
+  const std::set<std::string> allowed = AllowedFlags(args.command);
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    if (key.rfind("--", 0) != 0) {
+      FlagError("unexpected argument '" + key + "' (flags start with --)");
+    }
+    key = key.substr(2);
     // Both --key value and --key=value are accepted.
+    std::string value;
     const size_t eq = key.find('=');
     if (eq != std::string::npos) {
-      args.flags[key.substr(0, eq)] = key.substr(eq + 1);
-    } else if (i + 1 < argc) {
-      args.flags[key] = argv[++i];
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        FlagError("missing value for --" + key);
+      }
+      value = argv[++i];
     }
+    if (!allowed.count(key)) {
+      FlagError("unknown flag --" + key + " for '" + args.command + "'");
+    }
+    args.flags[key] = value;
   }
   return args;
 }
@@ -106,19 +204,26 @@ void ApplyObservabilityFlags(const Args& args, suite::SuiteOptions* options) {
   options->trace_out = args.Get("trace-out", "");
   options->metrics_out = args.Get("metrics-out", "");
   options->telemetry_out = args.Get("telemetry-out", "");
-  const double interval = args.GetDouble("telemetry-interval-ms", 250);
-  if (interval < 0) {
-    std::fprintf(stderr, "invalid value for --telemetry-interval-ms: %g (must be >= 0)\n",
-                 interval);
-    std::exit(2);
-  }
-  options->telemetry_interval_ms = static_cast<int>(interval);
+  options->telemetry_interval_ms =
+      static_cast<int>(args.GetIntAtLeast("telemetry-interval-ms", 250, 0));
   const std::string watchdog = args.Get("watchdog", "off");
   if (!obs::ParseHealthPolicy(watchdog, &options->watchdog)) {
-    std::fprintf(stderr, "invalid value for --watchdog: %s (off|warn|abort)\n",
-                 watchdog.c_str());
-    std::exit(2);
+    FlagError("invalid value for --watchdog: '" + watchdog +
+              "' (off|warn|abort)");
   }
+}
+
+/// Shared data-shape flags; validates scale/negatives once for every command.
+data::SyntheticConfig ResolveDataConfig(const Args& args) {
+  const double scale = args.GetDouble("scale", 1.0);
+  if (scale <= 0.0) {
+    FlagError("invalid value for --scale: " + std::to_string(scale) +
+              " (must be > 0)");
+  }
+  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"), scale);
+  const uint64_t seed = static_cast<uint64_t>(args.GetIntAtLeast("seed", 0, 0));
+  if (seed != 0) config.seed = seed;
+  return config;
 }
 
 /// The full provenance document: suite manifest plus the data-generator
@@ -130,15 +235,14 @@ obs::RunManifest BuildCliManifest(const Args& args, const suite::SuiteOptions& o
   manifest.Set("data", "target", args.Get("target", "Books"));
   manifest.SetDouble("data", "scale", args.GetDouble("scale", 1.0));
   manifest.SetInt("data", "seed", static_cast<int64_t>(data_seed));
-  manifest.SetInt("data", "negatives", static_cast<int>(args.GetDouble("negatives", 99)));
+  manifest.SetInt("data", "negatives",
+                  static_cast<int>(args.GetIntAtLeast("negatives", 99, 1)));
   manifest.Set("data", "methods", args.Get("methods", "MeLU,CoNN,MetaDPA"));
   return manifest;
 }
 
 int RunStats(const Args& args) {
-  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"),
-                                                     args.GetDouble("scale", 1.0));
-  data::MultiDomainDataset dataset = data::Generate(config);
+  data::MultiDomainDataset dataset = data::Generate(ResolveDataConfig(args));
   std::cout << data::RenderDatasetTables(dataset);
   return 0;
 }
@@ -146,12 +250,9 @@ int RunStats(const Args& args) {
 int RunExport(const Args& args) {
   const std::string prefix = args.Get("prefix", "");
   if (prefix.empty()) {
-    std::fprintf(stderr, "export requires --prefix\n");
-    return 2;
+    FlagError("export requires --prefix");
   }
-  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"),
-                                                     args.GetDouble("scale", 1.0));
-  data::MultiDomainDataset dataset = data::Generate(config);
+  data::MultiDomainDataset dataset = data::Generate(ResolveDataConfig(args));
   Status status = data::SaveDomain(prefix, dataset.target);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -163,19 +264,16 @@ int RunExport(const Args& args) {
 }
 
 int RunCompare(const Args& args) {
-  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"),
-                                                     args.GetDouble("scale", 1.0));
-  const uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
-  if (seed != 0) config.seed = seed;
+  data::SyntheticConfig config = ResolveDataConfig(args);
   data::MultiDomainDataset dataset = data::Generate(config);
   data::SplitOptions split_options;
-  split_options.num_negatives = static_cast<int>(args.GetDouble("negatives", 99));
+  split_options.num_negatives = static_cast<int>(args.GetIntAtLeast("negatives", 99, 1));
   data::DatasetSplits splits = data::MakeSplits(dataset.target, split_options);
   eval::TrainContext ctx{&dataset, &splits, config.seed};
 
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
-  options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
+  options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -195,7 +293,7 @@ int RunCompare(const Args& args) {
   }
 
   eval::EvalOptions eval_options;
-  eval_options.num_threads = static_cast<int>(args.GetDouble("threads", 0));
+  eval_options.num_threads = static_cast<int>(args.GetIntAtLeast("threads", 0, 0));
   TextTable table;
   table.SetHeader({"Method", "Scenario", "HR@10", "MRR@10", "NDCG@10", "AUC"});
   for (const std::string& name : names) {
@@ -260,12 +358,9 @@ int RunCompare(const Args& args) {
 int RunManifest(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
-  options.train_threads = static_cast<int>(args.GetDouble("train-threads", 1));
+  options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   ApplyObservabilityFlags(args, &options);
-  data::SyntheticConfig config = data::DefaultConfig(args.Get("target", "Books"),
-                                                     args.GetDouble("scale", 1.0));
-  const uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 0));
-  if (seed != 0) config.seed = seed;
+  data::SyntheticConfig config = ResolveDataConfig(args);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
   const std::string out = args.Get("out", "");
   if (out.empty()) {
@@ -281,6 +376,127 @@ int RunManifest(const Args& args) {
   return 0;
 }
 
+int RunServeBench(const Args& args) {
+  // Parse EVERY flag before the (slow) train step, so a typo'd value fails
+  // in milliseconds with a flag error, not minutes in.
+  serve::ServerConfig server_config;
+  server_config.num_workers = static_cast<int>(args.GetIntAtLeast("serve-workers", 1, 1));
+  server_config.max_queue = static_cast<int>(args.GetIntAtLeast("queue-cap", 256, 1));
+  server_config.max_batch = static_cast<int>(args.GetIntAtLeast("batch", 8, 1));
+  server_config.default_k = static_cast<int>(args.GetIntAtLeast("k", 10, 1));
+
+  serve::LoadgenConfig load;
+  load.num_requests = args.GetIntAtLeast("requests", 1000, 0);
+  load.target_qps = args.GetDouble("qps", 0.0);
+  if (load.target_qps < 0.0) FlagError("invalid value for --qps: must be >= 0");
+  load.clients = static_cast<int>(args.GetIntAtLeast("clients", 4, 1));
+  load.k = server_config.default_k;
+  load.candidates_per_request = static_cast<int>(args.GetIntAtLeast("candidates", 100, 1));
+  const int64_t swap_ms = args.GetIntAtLeast("swap-ms", 0, 0);
+
+  data::SyntheticConfig config = ResolveDataConfig(args);
+  data::MultiDomainDataset dataset = data::Generate(config);
+  data::SplitOptions split_options;
+  split_options.num_negatives = static_cast<int>(args.GetIntAtLeast("negatives", 99, 1));
+  data::DatasetSplits splits = data::MakeSplits(dataset.target, split_options);
+  eval::TrainContext ctx{&dataset, &splits, config.seed};
+
+  suite::SuiteOptions options;
+  options.effort = args.GetDouble("effort", 1.0);
+  options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
+  ApplyObservabilityFlags(args, &options);
+  suite::SetupObservability(options);
+  obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
+  const std::string method = args.Get("method", "MetaDPA");
+  manifest.Set("data", "methods", method);
+  std::unique_ptr<obs::TelemetrySampler> sampler =
+      suite::StartTelemetry(options, &manifest);
+
+  std::shared_ptr<eval::Recommender> model = suite::MakeMethod(method, options);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "training %s (effort %.2f)...\n", method.c_str(),
+               options.effort);
+  Status fit_status = model->Fit(ctx);
+  if (!fit_status.ok()) {
+    std::fprintf(stderr, "%s training failed: %s\n", method.c_str(),
+                 fit_status.ToString().c_str());
+    if (sampler != nullptr) sampler->Stop();
+    return 1;
+  }
+
+  Result<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Capture(model, /*version=*/1);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ScoringServer server(snapshot.ValueOrDie(), server_config);
+  load.seed = config.seed;
+
+  // Optional hot-swap churn while the load runs: re-capture the SAME model
+  // under a new version every --swap-ms. Responses flip versions but stay
+  // bit-identical — the swap path, not the model, is what's being exercised.
+  std::atomic<bool> swapping{swap_ms > 0};
+  std::thread swapper;
+  if (swap_ms > 0) {
+    swapper = std::thread([&] {
+      uint64_t version = 1;
+      while (swapping.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(swap_ms));
+        auto next = serve::ModelSnapshot::Capture(model, ++version);
+        if (next.ok()) server.UpdateSnapshot(next.ValueOrDie());
+      }
+    });
+  }
+
+  std::fprintf(stderr,
+               "serving %lld requests (%d clients, %d workers, qps %s)...\n",
+               static_cast<long long>(load.num_requests), load.clients,
+               server_config.num_workers,
+               load.target_qps > 0 ? std::to_string(load.target_qps).c_str()
+                                   : "max");
+  serve::LoadgenReport report = serve::RunLoadgen(
+      &server, dataset.target.num_users(), splits.existing_items, load);
+  if (swapper.joinable()) {
+    swapping.store(false);
+    swapper.join();
+  }
+  server.Stop();
+
+  std::cout << serve::RenderLoadgenReport(report);
+  const serve::ScoringServer::Stats stats = server.GetStats();
+  TextTable server_table;
+  server_table.SetHeader({"accepted", "rejected_full", "rejected_invalid",
+                          "completed", "batches", "swaps", "peak_queue"});
+  server_table.AddRow({std::to_string(stats.accepted),
+                       std::to_string(stats.rejected_full),
+                       std::to_string(stats.rejected_invalid),
+                       std::to_string(stats.completed),
+                       std::to_string(stats.batches),
+                       std::to_string(stats.snapshot_swaps),
+                       std::to_string(stats.peak_queue_depth)});
+  std::cout << server_table.ToString();
+
+  if (sampler != nullptr) {
+    Status telemetry_status = sampler->Stop();
+    if (!telemetry_status.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", telemetry_status.ToString().c_str());
+      return 1;
+    }
+  }
+  Status obs_status = suite::ExportObservability(options);
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "%s\n", obs_status.ToString().c_str());
+    return 1;
+  }
+  // The demo contract (EXPERIMENTS.md): every admitted request served.
+  return report.rejected == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,5 +505,6 @@ int main(int argc, char** argv) {
   if (args.command == "run") return RunCompare(args);
   if (args.command == "export") return RunExport(args);
   if (args.command == "manifest") return RunManifest(args);
+  if (args.command == "serve-bench") return RunServeBench(args);
   return Usage();
 }

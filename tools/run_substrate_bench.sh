@@ -28,8 +28,15 @@ fi
 "$bench" \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
+  --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true
+
+# The serve-path benchmark is part of the tracked set; a run missing it means
+# the binary predates the scoring server and would silently un-gate that path.
+if ! grep -q 'BM_ServeScoreTopK' "$out"; then
+  echo "error: $out has no BM_ServeScoreTopK rows; rebuild bench_micro_substrate" >&2
+  exit 1
+fi
 
 echo "wrote $out"
 
