@@ -275,5 +275,20 @@ std::string RenderBenchDiff(const BenchDiffReport& report,
   return out.str();
 }
 
+std::string FirstMissingRequired(const std::vector<BenchRecord>& records,
+                                 const std::vector<std::string>& required) {
+  for (const std::string& substr : required) {
+    bool found = false;
+    for (const BenchRecord& r : records) {
+      if (r.name.find(substr) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return substr;
+  }
+  return std::string();
+}
+
 }  // namespace bench
 }  // namespace metadpa

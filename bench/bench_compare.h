@@ -93,6 +93,14 @@ BenchDiffReport DiffBenchmarks(const std::vector<BenchRecord>& baseline,
 std::string RenderBenchDiff(const BenchDiffReport& report,
                             const BenchDiffOptions& options);
 
+/// \brief Returns the first entry of `required` that no record name contains
+/// as a substring, or "" when every entry matches. bench_diff's --require
+/// guard: a protected benchmark family absent from either file (deleted from
+/// the suite, or a stale baseline predating the family) makes the diff
+/// refuse to run instead of passing silently.
+std::string FirstMissingRequired(const std::vector<BenchRecord>& records,
+                                 const std::vector<std::string>& required);
+
 }  // namespace bench
 }  // namespace metadpa
 

@@ -146,6 +146,82 @@ void BM_DualCvaeStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DualCvaeStep);
 
+// ---- parallel backward engine (autograd/engine.h) ----
+// Each BM_GradEngine* bench differentiates ONE pre-built graph at varying
+// GradOptions::threads (results are bit-identical across args; see
+// tests/autograd_engine_test.cc). On hosts where the pool has real workers
+// the threads>1 rows measure main-thread CPU reduction from offloading
+// branch execution; tools/check_bench_regression.sh gates these rows on the
+// CPU-time basis like every other row.
+
+// Wide synthetic graph: 16 independent towers over shared leaves re-joining
+// in one sum — the maximally engine-friendly shape (ready-queue depth ~16).
+void BM_GradEngineWideGraph(benchmark::State& state) {
+  Rng rng(9);
+  ag::Variable w1(Tensor::RandNormal({48, 48}, &rng), true);
+  ag::Variable w2(Tensor::RandNormal({48, 48}, &rng), true);
+  ag::Variable x = ag::Constant(Tensor::RandNormal({24, 48}, &rng));
+  ag::Variable total = ag::ConstantScalar(0.0f);
+  for (int tower = 0; tower < 16; ++tower) {
+    ag::Variable h = ag::Tanh(ag::MatMul(ag::MatMul(x, w1), w2));
+    total = ag::Add(total, ag::MeanAll(ag::MulScalar(h, 1.0f + 0.1f * tower)));
+  }
+  ag::GradOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Grad(total, {w1, w2}, opts));
+  }
+}
+BENCHMARK(BM_GradEngineWideGraph)->Arg(1)->Arg(2)->Arg(4);
+
+// Real model graph: the Dual-CVAE total loss (two encoder/decoder towers
+// plus critics) built once, backward-only in the loop.
+void BM_GradEngineCvaeElbo(benchmark::State& state) {
+  Rng rng(10);
+  cvae::DualCvaeConfig config;
+  config.source_items = 200;
+  config.target_items = 240;
+  config.content_dim = 96;
+  cvae::DualCvae model(config, &rng);
+  Tensor r_s = Tensor::RandUniform({32, 200}, &rng);
+  Tensor x_s = Tensor::RandUniform({32, 96}, &rng);
+  Tensor r_t = Tensor::RandUniform({32, 240}, &rng);
+  Tensor x_t = Tensor::RandUniform({32, 96}, &rng);
+  cvae::DualCvaeLosses losses = model.ComputeLosses(r_s, x_s, r_t, x_t, &rng);
+  std::vector<ag::Variable> params = model.Parameters();
+  ag::GradOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Grad(losses.total, params, opts));
+  }
+}
+BENCHMARK(BM_GradEngineCvaeElbo)->Arg(1)->Arg(2)->Arg(4);
+
+// Second-order MAML step: inner create_graph backward + outer backward
+// through the inner step, both on the engine. The inner grad graph is
+// rebuilt every iteration (it must be — create_graph output depends on the
+// engine's own Add-chain construction), so this row also covers the
+// parallel construction of second-order graphs.
+void BM_GradEngineSecondOrderMaml(benchmark::State& state) {
+  Rng rng(11);
+  ag::Variable w(Tensor::RandNormal({64, 64}, &rng), true);
+  ag::Variable x = ag::Constant(Tensor::RandNormal({32, 64}, &rng));
+  Tensor targets = Tensor::RandUniform({32, 64}, &rng);
+  ag::GradOptions inner_opts;
+  inner_opts.create_graph = true;
+  inner_opts.threads = static_cast<int>(state.range(0));
+  ag::GradOptions outer_opts;
+  outer_opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ag::Variable loss = ag::BceWithLogits(ag::MatMul(x, w), ag::Constant(targets));
+    ag::Variable g = ag::Grad(loss, {w}, inner_opts)[0];
+    ag::Variable fast = ag::Sub(w, ag::MulScalar(g, 0.1f));
+    ag::Variable outer = ag::BceWithLogits(ag::MatMul(x, fast), ag::Constant(targets));
+    benchmark::DoNotOptimize(ag::Grad(outer, {w}, outer_opts));
+  }
+}
+BENCHMARK(BM_GradEngineSecondOrderMaml)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_MamlMetaStep(benchmark::State& state) {
   Rng rng(7);
   meta::PreferenceModelConfig model_config;

@@ -1,0 +1,360 @@
+#include "autograd/engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "obs/obs.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace ag {
+namespace engine {
+namespace {
+
+// Graphs below this node count run serially even when opts.threads asks for
+// more: recruiting pool helpers costs more than the walk itself. Purely a
+// scheduling decision — values are identical either way.
+constexpr size_t kMinParallelNodes = 8;
+
+/// Depth-first post-order over the subgraph that requires grad (iterative to
+/// survive deep chains, e.g. unrolled inner loops).
+void TopoSort(const NodePtr& root, std::vector<NodePtr>* order) {
+  std::unordered_set<const Node*> visited;
+  struct Frame {
+    NodePtr node;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  if (root && root->requires_grad) stack.push_back({root});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == 0) {
+      if (visited.count(frame.node.get())) {
+        stack.pop_back();
+        continue;
+      }
+      visited.insert(frame.node.get());
+    }
+    if (frame.next_child < frame.node->inputs.size()) {
+      const NodePtr& child = frame.node->inputs[frame.next_child++];
+      if (child && child->requires_grad && !visited.count(child.get())) {
+        stack.push_back({child});
+      }
+    } else {
+      order->push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+/// One edge from a consumer's input position to the producer's slot table.
+struct OutEdge {
+  int32_t target = -1;  ///< state index of the producer; -1 = no grad flows
+  uint32_t slot = 0;    ///< reserved position in the slots arena
+};
+
+/// Engine-local per-node state. The graph's Nodes are never written: all
+/// mutable bookkeeping lives here, so concurrent Grad() calls sharing leaf
+/// nodes (the PR-3 invariant) stay race-free. Slot and edge storage lives in
+/// two flat arenas indexed from here — per-node vectors would cost two heap
+/// allocations per graph node, which dominates the serial walk on the small
+/// graphs the inner loops differentiate.
+struct NodeState {
+  Node* node = nullptr;
+  uint32_t slot_begin = 0;  ///< this node's contribution slots in the arena
+  uint32_t slot_count = 0;
+  uint32_t edge_begin = 0;  ///< this node's out-edges, aligned with inputs
+  /// Contributions not yet delivered. The release of each delivery pairs
+  /// with the acquire of the decrement that reaches zero, so the executor
+  /// that readies this node sees every slot write.
+  std::atomic<uint32_t> pending{0};
+  /// Merged gradient, set when the node executes (invalid = unreachable
+  /// through differentiable paths — the serial walk's missing-map-entry).
+  Variable grad;
+};
+
+/// The full engine-local execution state of one backward.
+struct Graph {
+  std::vector<NodeState> states;
+  /// Incoming gradient contributions in fixed consumer order (the serial
+  /// arrival order), all nodes back to back. An invalid Variable is an
+  /// "empty" contribution: the consumer completed but no gradient flows
+  /// along that edge.
+  std::vector<Variable> slots;
+  /// Where each consumer input's gradient goes; states[i] owns the range
+  /// [edge_begin, edge_begin + node->inputs.size()).
+  std::vector<OutEdge> edges;
+};
+
+/// Merges a node's slot contributions in slot order with the serial walk's
+/// ownership discipline: a single contribution is aliased as-is, the first
+/// collision makes a fresh sum, later arrivals accumulate in place into that
+/// owned buffer (never into a closure-produced buffer, which pass-through
+/// closures may alias into other slots). With create_graph the sum is an Add
+/// node chain in the same order, so second-order graphs are bit-identical
+/// too.
+Variable MergeSlots(NodeState* state, Graph* graph, bool create_graph) {
+  Variable acc;
+  bool owned = false;
+  for (uint32_t s = state->slot_begin; s < state->slot_begin + state->slot_count;
+       ++s) {
+    Variable& slot = graph->slots[s];
+    if (!slot.is_valid()) continue;
+    if (!acc.is_valid()) {
+      acc = std::move(slot);
+    } else if (create_graph) {
+      acc = Add(acc, slot);
+    } else if (owned) {
+      Tensor sum = acc.data();  // shares storage with the owned buffer
+      t::AddInPlace(&sum, slot.data());
+    } else {
+      acc = Variable(t::Add(acc.data(), slot.data()), /*requires_grad=*/false);
+      owned = true;
+    }
+  }
+  return acc;
+}
+
+/// Executes one ready node: merge, run the backward closure, deliver each
+/// input's contribution into its reserved slot, and collect inputs whose
+/// dependency count reached zero into `newly_ready`. Only `state` and the
+/// slots this node reserved are written; any set of ready nodes may run
+/// concurrently.
+void Process(NodeState* state, Graph* graph, bool create_graph,
+             std::vector<NodeState*>* newly_ready) {
+  state->grad = MergeSlots(state, graph, create_graph);
+
+  std::vector<Variable> input_grads;
+  const bool run_backward = state->grad.is_valid() && state->node->backward != nullptr;
+  if (run_backward) {
+    input_grads = state->node->backward(state->grad);
+    MDPA_CHECK_EQ(input_grads.size(), state->node->inputs.size());
+  }
+  const size_t num_inputs = state->node->inputs.size();
+  for (size_t i = 0; i < num_inputs; ++i) {
+    const OutEdge edge = graph->edges[state->edge_begin + i];
+    if (edge.target < 0) continue;
+    NodeState& target = graph->states[static_cast<size_t>(edge.target)];
+    if (run_backward && input_grads[i].is_valid()) {
+      const NodePtr& in = state->node->inputs[i];
+      MDPA_CHECK(SameShape(input_grads[i].shape(), in->value.shape()))
+          << "backward of " << state->node->op_name << " produced grad of shape "
+          << ShapeToString(input_grads[i].shape()) << " for input of shape "
+          << ShapeToString(in->value.shape());
+      graph->slots[edge.slot] = std::move(input_grads[i]);
+    }
+    // An invalid contribution leaves the slot empty but still counts down:
+    // the producer must learn all its consumers finished even when no
+    // gradient flows (the serial walk's unreachable-node skip).
+    if (target.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      newly_ready->push_back(&target);
+    }
+  }
+}
+
+/// Shared scheduling state of one parallel backward. Guards only the queue
+/// and termination flags; gradient data synchronizes through the slot/pending
+/// protocol above.
+struct Scheduler {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<NodeState*> ready;
+  size_t remaining = 0;  ///< nodes not yet executed
+  bool done = false;
+  std::exception_ptr error;
+  int64_t peak_ready = 0;
+};
+
+/// Claim loop run by the calling thread and every recruited helper: pop a
+/// ready node, execute it, publish newly-ready nodes, until all nodes ran
+/// (or a sibling failed). Blocking here is safe — the calling thread always
+/// participates, so the queue cannot starve.
+void ExecutorLoop(Scheduler* sched, Graph* graph, bool create_graph) {
+  std::vector<NodeState*> newly_ready;
+  for (;;) {
+    NodeState* state = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(sched->mutex);
+      sched->cv.wait(lock, [sched] { return sched->done || !sched->ready.empty(); });
+      if (sched->done) return;
+      state = sched->ready.front();
+      sched->ready.pop_front();
+    }
+    newly_ready.clear();
+    try {
+      Process(state, graph, create_graph, &newly_ready);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sched->mutex);
+      if (!sched->error) sched->error = std::current_exception();
+      sched->done = true;
+      sched->cv.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sched->mutex);
+      for (NodeState* ready : newly_ready) sched->ready.push_back(ready);
+      const int64_t depth = static_cast<int64_t>(sched->ready.size());
+      if (depth > sched->peak_ready) sched->peak_ready = depth;
+      if (--sched->remaining == 0) {
+        sched->done = true;
+        sched->cv.notify_all();
+      } else {
+        for (size_t i = 1; i < newly_ready.size(); ++i) sched->cv.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& inputs,
+                          const GradOptions& opts) {
+  OBS_SPAN("autograd/backward");
+
+  std::vector<NodePtr> order;
+  TopoSort(output.node(), &order);
+
+  // --- Pre-pass: dependency counts and position-indexed slots. Walking the
+  // nodes in reverse-topological (processing) order and their inputs in
+  // position order assigns slots in EXACTLY the serial walk's gradient
+  // arrival order — the whole determinism contract hangs on this loop.
+  Graph graph;
+  // vector::resize would require NodeState be movable (the atomic forbids
+  // it); the count constructor only default-constructs in place.
+  graph.states = std::vector<NodeState>(order.size());
+  std::vector<NodeState>& states = graph.states;
+  std::unordered_map<const Node*, uint32_t> index;
+  index.reserve(order.size());
+  size_t total_inputs = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    states[i].node = order[i].get();
+    states[i].edge_begin = static_cast<uint32_t>(total_inputs);
+    total_inputs += order[i]->inputs.size();
+    index.emplace(order[i].get(), static_cast<uint32_t>(i));
+  }
+  graph.edges.resize(total_inputs);
+
+  // Pass 1: per-producer contribution counts. The output gets one extra slot
+  // for the backward seed (it has no consumers inside the walked subgraph).
+  const uint32_t root_index = index.at(output.node().get());
+  states[root_index].slot_count = 1;
+  for (const NodePtr& node : order) {
+    for (const NodePtr& in : node->inputs) {
+      if (in && in->requires_grad) ++states[index.at(in.get())].slot_count;
+    }
+  }
+  uint32_t total_slots = 0;
+  for (NodeState& state : states) {
+    state.slot_begin = total_slots;
+    total_slots += state.slot_count;
+    // The seed delivery below does not decrement, so the root starts with
+    // pending already zero: ready immediately, as in the serial walk.
+    state.pending.store(state.slot_count, std::memory_order_relaxed);
+  }
+  states[root_index].pending.store(states[root_index].slot_count - 1,
+                                   std::memory_order_relaxed);
+  graph.slots.resize(total_slots);
+  graph.slots[states[root_index].slot_begin] =
+      Variable(Tensor::Ones(output.shape()), /*requires_grad=*/opts.create_graph);
+
+  // Pass 2: assign each (consumer, input-position) edge the producer's next
+  // free slot, in reverse-topological consumer order — the serial arrival
+  // order. `filled` tracks per-producer assignment; the root's seed occupies
+  // its slot 0, counted by starting its fill cursor at 1.
+  std::vector<uint32_t> filled(states.size(), 0);
+  filled[root_index] = 1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeState& consumer = states[index.at(it->get())];
+    const std::vector<NodePtr>& node_inputs = consumer.node->inputs;
+    for (size_t i = 0; i < node_inputs.size(); ++i) {
+      const NodePtr& in = node_inputs[i];
+      if (!in || !in->requires_grad) continue;
+      const uint32_t target = index.at(in.get());
+      OutEdge& edge = graph.edges[consumer.edge_begin + i];
+      edge.target = static_cast<int32_t>(target);
+      edge.slot = states[target].slot_begin + filled[target]++;
+    }
+  }
+
+  // --- Execution. Every non-root node has at least one consumer in the
+  // subgraph, so the root alone is ready at the start.
+  int64_t peak_ready = 0;
+  size_t executors = 1;
+  if (opts.threads != 1 && !ThreadPool::InsideWorker() &&
+      states.size() >= kMinParallelNodes) {
+    executors = ThreadPool::ResolveConcurrency(opts.threads);
+  }
+  if (executors <= 1) {
+    std::deque<NodeState*> ready;
+    ready.push_back(&states[root_index]);
+    std::vector<NodeState*> newly_ready;
+    while (!ready.empty()) {
+      NodeState* state = ready.front();
+      ready.pop_front();
+      newly_ready.clear();
+      Process(state, &graph, opts.create_graph, &newly_ready);
+      for (NodeState* next : newly_ready) ready.push_back(next);
+      const int64_t depth = static_cast<int64_t>(ready.size());
+      if (depth > peak_ready) peak_ready = depth;
+    }
+  } else {
+    Scheduler sched;
+    sched.ready.push_back(&states[root_index]);
+    sched.remaining = states.size();
+    sched.peak_ready = 1;
+    ThreadPool& pool = ThreadPool::Global();
+    const size_t helpers = std::min(executors - 1, pool.num_threads());
+    // Helper-exit latch, not futures: Wait() returning proves no helper still
+    // touches `sched`/`states` on this frame (the ParallelFor discipline).
+    CountdownLatch helpers_exited(helpers);
+    for (size_t h = 0; h < helpers; ++h) {
+      const bool submitted = pool.TrySubmit([&sched, &graph, &opts, &helpers_exited] {
+        ExecutorLoop(&sched, &graph, opts.create_graph);
+        helpers_exited.CountDown();
+      });
+      if (!submitted) helpers_exited.CountDown();
+    }
+    ExecutorLoop(&sched, &graph, opts.create_graph);
+    helpers_exited.Wait();
+    if (sched.error) std::rethrow_exception(sched.error);
+    peak_ready = sched.peak_ready;
+  }
+
+  OBS_COUNT("autograd/nodes_executed", static_cast<int64_t>(states.size()));
+  OBS_GAUGE_SET("autograd/ready_peak", static_cast<double>(peak_ready));
+
+  // --- Results, aligned with `inputs` (same contract as the serial walk).
+  std::vector<Variable> results;
+  results.reserve(inputs.size());
+  for (const Variable& in : inputs) {
+    MDPA_CHECK(in.is_valid());
+    auto found = index.find(in.node().get());
+    const Variable* grad =
+        found != index.end() && states[found->second].grad.is_valid()
+            ? &states[found->second].grad
+            : nullptr;
+    if (grad == nullptr) {
+      MDPA_CHECK(opts.allow_unused)
+          << "an input is unused by the output and allow_unused is false";
+      results.emplace_back(Tensor::Zeros(in.shape()),
+                           /*requires_grad=*/false);
+    } else if (opts.create_graph) {
+      results.push_back(*grad);
+    } else {
+      results.push_back(grad->Detach());
+    }
+  }
+  return results;
+}
+
+}  // namespace engine
+}  // namespace ag
+}  // namespace metadpa

@@ -1,0 +1,66 @@
+// Dependency-driven backward engine: the execution core behind ag::Grad().
+//
+// The serial walk this replaces processed nodes in reverse topological order,
+// so a wide graph — the Dual-CVAE's per-source encoder/decoder towers, the
+// Concat/Split fan-outs, a MAML second-order meta-graph — ran one branch at a
+// time even though the branches share no state. The engine instead executes
+// backward as a ready queue over per-node dependency counts:
+//
+//  1. Pre-pass (serial, on the calling thread): the same iterative DFS
+//     topo-sort as before enumerates the requires_grad subgraph; walking it
+//     in reverse-topological (processing) order assigns every edge
+//     (consumer, input-slot) a POSITION-INDEXED SLOT on the producer and
+//     bumps the producer's outstanding-dependency count.
+//  2. Execution: the output node seeds the ready queue. Executing a node
+//     merges its slots, runs its backward closure, writes each input
+//     gradient into that input's reserved slot, and decrements the input's
+//     dependency count; the decrement that reaches zero enqueues the input.
+//     Any set of ready nodes may run concurrently — they touch disjoint
+//     slots and engine-local state only, never the shared graph nodes.
+//
+// Determinism contract (the reason grad_threads=N is bit-identical to
+// serial): a multi-consumer node's gradient is the floating-point sum of its
+// slot contributions IN SLOT ORDER — first collision makes a fresh t::Add,
+// later arrivals AddInPlace into that owned buffer (with create_graph, an
+// Add node chain in the same order). Slot order equals the serial engine's
+// arrival order by construction, so the merged sums — and therefore every
+// downstream closure input — are the exact tensors the serial walk produced,
+// regardless of which thread executed what when. Execution ORDER is
+// scheduler-dependent; execution VALUES are not.
+//
+// create_graph: backward closures build grad-graph nodes on whichever engine
+// thread executes them. That is safe under the PR-3 graph-isolation
+// invariant (autograd/variable.h): closures only READ the forward graph's
+// nodes and link new nodes against them; the per-slot publish plus the
+// acquire/release dependency-count handoff sequences every cross-thread
+// edge, which is also what makes the engine TSan-visible (no lock-free
+// cleverness the sanitizer cannot see).
+//
+// Deadlock safety: the calling thread is always an executor; pool helpers
+// are optional accelerators recruited with TrySubmit and released through a
+// CountdownLatch. Inside a pool worker (ThreadPool::InsideWorker) the engine
+// degrades to serial — blocking a fixed-size pool's workers on each other
+// can deadlock, exactly the ParallelFor rule.
+#ifndef METADPA_AUTOGRAD_ENGINE_H_
+#define METADPA_AUTOGRAD_ENGINE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace metadpa {
+namespace ag {
+namespace engine {
+
+/// \brief Runs backward for `output` and returns gradients aligned with
+/// `inputs`. Validation of the arguments (scalar output, requires_grad) is
+/// Grad()'s job; this assumes them. opts.threads selects the executor count
+/// (1 = serial, 0 = all cores, N = cap).
+std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& inputs,
+                          const GradOptions& opts);
+
+}  // namespace engine
+}  // namespace ag
+}  // namespace metadpa
+
+#endif  // METADPA_AUTOGRAD_ENGINE_H_

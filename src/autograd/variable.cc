@@ -1,11 +1,8 @@
 #include "autograd/variable.h"
 
 #include <atomic>
-#include <unordered_map>
-#include <unordered_set>
 
-#include "autograd/ops.h"
-#include "tensor/ops.h"
+#include "autograd/engine.h"
 
 namespace metadpa {
 namespace ag {
@@ -50,113 +47,13 @@ void Variable::SetData(Tensor data) {
   node_->value = std::move(data);
 }
 
-namespace {
-
-// Depth-first post-order over the subgraph that requires grad.
-void TopoSort(const NodePtr& root, std::vector<NodePtr>* order) {
-  std::unordered_set<const Node*> visited;
-  // Iterative DFS to survive deep chains (e.g. unrolled inner loops).
-  struct Frame {
-    NodePtr node;
-    size_t next_child = 0;
-  };
-  std::vector<Frame> stack;
-  if (root && root->requires_grad) stack.push_back({root});
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next_child == 0) {
-      if (visited.count(frame.node.get())) {
-        stack.pop_back();
-        continue;
-      }
-      visited.insert(frame.node.get());
-    }
-    if (frame.next_child < frame.node->inputs.size()) {
-      const NodePtr& child = frame.node->inputs[frame.next_child++];
-      if (child && child->requires_grad && !visited.count(child.get())) {
-        stack.push_back({child});
-      }
-    } else {
-      order->push_back(frame.node);
-      stack.pop_back();
-    }
-  }
-}
-
-}  // namespace
-
 std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& inputs,
                            const GradOptions& opts) {
   MDPA_CHECK(output.is_valid());
   MDPA_CHECK_EQ(output.numel(), 1) << "Grad requires a scalar output";
   MDPA_CHECK(output.requires_grad())
       << "output does not require grad; no graph to differentiate";
-
-  std::vector<NodePtr> order;
-  TopoSort(output.node(), &order);
-
-  // Accumulated gradient per node, built with differentiable ops.
-  std::unordered_map<const Node*, Variable> grads;
-  grads[output.node().get()] = Variable(Tensor::Ones(output.shape()),
-                                        /*requires_grad=*/opts.create_graph);
-
-  // Without create_graph the accumulated sums need no tape, so multi-consumer
-  // nodes accumulate in place instead of allocating an Add node per consumer.
-  // A buffer is only written through once it is exclusively ours: the first
-  // collision makes a fresh t::Add result (recorded in `owned`), later
-  // arrivals AddInPlace into it. Buffers produced by backward closures are
-  // never mutated — pass-through closures may alias them into other slots.
-  std::unordered_set<const Node*> owned;
-
-  // Reverse topological order: every node is processed after all its users.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodePtr& node = *it;
-    auto found = grads.find(node.get());
-    if (found == grads.end()) continue;  // unreachable from output
-    const Variable grad_out = found->second;
-    if (!node->backward) continue;  // leaf
-    std::vector<Variable> input_grads = node->backward(grad_out);
-    MDPA_CHECK_EQ(input_grads.size(), node->inputs.size());
-    for (size_t i = 0; i < input_grads.size(); ++i) {
-      const NodePtr& in = node->inputs[i];
-      if (!in || !in->requires_grad || !input_grads[i].is_valid()) continue;
-      MDPA_CHECK(SameShape(input_grads[i].shape(), in->value.shape()))
-          << "backward of " << node->op_name << " produced grad of shape "
-          << ShapeToString(input_grads[i].shape()) << " for input of shape "
-          << ShapeToString(in->value.shape());
-      auto slot = grads.find(in.get());
-      if (slot == grads.end()) {
-        grads[in.get()] = input_grads[i];
-      } else if (opts.create_graph) {
-        slot->second = Add(slot->second, input_grads[i]);
-      } else if (owned.count(in.get())) {
-        Tensor acc = slot->second.data();  // shares storage with the owned sum
-        t::AddInPlace(&acc, input_grads[i].data());
-      } else {
-        slot->second = Variable(t::Add(slot->second.data(), input_grads[i].data()),
-                                /*requires_grad=*/false);
-        owned.insert(in.get());
-      }
-    }
-  }
-
-  std::vector<Variable> results;
-  results.reserve(inputs.size());
-  for (const Variable& in : inputs) {
-    MDPA_CHECK(in.is_valid());
-    auto found = grads.find(in.node().get());
-    if (found == grads.end()) {
-      MDPA_CHECK(opts.allow_unused)
-          << "an input is unused by the output and allow_unused is false";
-      results.emplace_back(Tensor::Zeros(in.shape()),
-                           /*requires_grad=*/false);
-    } else if (opts.create_graph) {
-      results.push_back(found->second);
-    } else {
-      results.push_back(found->second.Detach());
-    }
-  }
-  return results;
+  return engine::Run(output, inputs, opts);
 }
 
 }  // namespace ag

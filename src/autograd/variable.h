@@ -103,6 +103,14 @@ struct GradOptions {
   /// Permit inputs that the output does not depend on; their gradient comes
   /// back as zeros of the input shape.
   bool allow_unused = true;
+  /// Concurrent executors for the backward walk itself (1 = serial, 0 = all
+  /// cores, N = at most N — the repo-wide threads convention). Independent
+  /// branches of the graph run concurrently on util::ThreadPool; results are
+  /// bit-identical for any value because multi-consumer gradients merge in a
+  /// fixed consumer order (see autograd/engine.h). Degrades to serial inside
+  /// pool workers, so task-level parallelism (MamlConfig::threads) and
+  /// graph-level parallelism compose without deadlock.
+  int threads = 1;
 };
 
 /// \brief Computes d(output)/d(inputs) for a scalar `output`.
@@ -110,6 +118,12 @@ struct GradOptions {
 /// Returns one Variable per input, aligned with `inputs`. With
 /// opts.create_graph the results stay on the tape (differentiable); otherwise
 /// they are detached leaves.
+///
+/// Backward executes on the dependency-driven engine (autograd/engine.h): a
+/// pre-pass counts each node's outstanding consumers, then a ready queue runs
+/// any node whose consumers have all delivered gradients — serially by
+/// default, or on opts.threads executors. The result is bit-identical for
+/// every thread count, including create_graph second-order graphs.
 std::vector<Variable> Grad(const Variable& output, const std::vector<Variable>& inputs,
                            const GradOptions& opts = {});
 

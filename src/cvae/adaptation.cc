@@ -117,7 +117,9 @@ TrainOneResult TrainOne(DualCvae* model, const AlignedPairs& pairs,
         DualCvaeLosses losses = model->ComputeLosses(
             SelectRows(pairs.r_s, rows), SelectRows(pairs.x_s, rows),
             SelectRows(pairs.r_t, rows), SelectRows(pairs.x_t, rows), &noise);
-        std::vector<ag::Variable> grads = ag::Grad(losses.total, params);
+        ag::GradOptions grad_opts;
+        grad_opts.threads = config.grad_threads;
+        std::vector<ag::Variable> grads = ag::Grad(losses.total, params, grad_opts);
         BatchContribution& out = contribs[offset];
         out.grads.reserve(grads.size());
         for (const auto& g : grads) out.grads.push_back(g.data());

@@ -45,6 +45,12 @@ struct AdaptationConfig {
   /// to serial inside the per-source `parallel` workers (the pool is
   /// non-reentrant), so it pays off when k = 1 or parallel = false.
   int threads = 1;
+  /// Executors INSIDE each backward walk (ag::GradOptions::threads, same
+  /// 1/0/N convention; see autograd/engine.h). Bit-identical for any value.
+  /// Degrades to serial when the backward is issued from a pool worker
+  /// (per-source `parallel` training or `threads` > 1), so graph-level and
+  /// task-level parallelism compose without deadlock.
+  int grad_threads = 1;
   /// Training-health watchdog over each source's per-step losses, step
   /// gradient norms, and per-epoch losses (monitors are named "cvae/<s>").
   /// kAbort stops the tripping source before the offending optimizer step and

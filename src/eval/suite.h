@@ -30,6 +30,12 @@ struct SuiteOptions {
   /// loops (MamlConfig::threads / AdaptationConfig::threads: 1 = serial,
   /// 0 = all cores). Training results are bit-identical for any value.
   int train_threads = 1;
+  /// Concurrent executors INSIDE each backward walk
+  /// (ag::GradOptions::threads via MamlConfig::grad_threads /
+  /// AdaptationConfig::grad_threads; same 1/0/N convention). Bit-identical
+  /// for any value; composes with train_threads (backwards issued from pool
+  /// workers degrade to serial).
+  int grad_threads = 1;
   /// When non-empty, SetupObservability enables tracing/metrics and
   /// ExportObservability writes a chrome://tracing JSON here.
   std::string trace_out;

@@ -46,6 +46,7 @@ nn::ParamList MamlTrainer::InnerAdapt(const nn::ParamList& params, const Task& t
     ag::Variable loss = ag::BceWithLogits(model_->ForwardWith(su, si, fast), sl);
     ag::GradOptions opts;
     opts.create_graph = build_graph;
+    opts.threads = config_.grad_threads;
     std::vector<ag::Variable> grads = ag::Grad(loss, fast, opts);
     nn::ParamList next;
     next.reserve(fast.size());
@@ -95,7 +96,9 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
                               ag::Constant(task.query_item), fast),
           ag::Constant(task.query_labels));
       if (task.loss_weight != 1.0f) loss = ag::MulScalar(loss, task.loss_weight);
-      std::vector<ag::Variable> grads = ag::Grad(loss, params);
+      ag::GradOptions outer_opts;
+      outer_opts.threads = config_.grad_threads;
+      std::vector<ag::Variable> grads = ag::Grad(loss, params, outer_opts);
       TaskContribution& out = contribs[offset];
       out.grads.reserve(grads.size());
       // Keep only the tensors (shared storage); the graphs die here, on the

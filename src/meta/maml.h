@@ -33,6 +33,13 @@ struct MamlConfig {
   /// N threads). Any value produces bit-identical training: per-task graphs
   /// are independent and the outer reduction runs in task-index order.
   int threads = 1;
+  /// Executors INSIDE each backward walk (ag::GradOptions::threads; same
+  /// 1/0/N convention). Bit-identical for any value — the engine merges
+  /// multi-consumer gradients in fixed consumer order. Composes with
+  /// `threads`: backwards issued from pool workers degrade to serial, so the
+  /// knob pays off when task-level parallelism is off or the meta-batch is
+  /// ragged (e.g. serve-time Adapt, which is single-task by construction).
+  int grad_threads = 1;
   uint64_t seed = 3;
   /// Training-health watchdog (NaN/Inf batch losses or outer-gradient norms,
   /// divergence, stalls). kOff skips every check; kWarn only records

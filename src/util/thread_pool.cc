@@ -15,6 +15,22 @@ thread_local bool t_inside_worker = false;
 
 }  // namespace
 
+CountdownLatch::CountdownLatch(size_t count) : count_(count) {}
+
+void CountdownLatch::CountDown(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MDPA_CHECK_GE(count_, n) << "CountdownLatch over-counted";
+  count_ -= n;
+  if (count_ == 0) cv_.notify_all();
+}
+
+void CountdownLatch::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
+
+bool ThreadPool::InsideWorker() { return t_inside_worker; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   MDPA_CHECK_GE(num_threads, 1u);
   workers_.reserve(num_threads);
@@ -70,6 +86,19 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return false;
+    tasks_.emplace(std::move(fn));
+    ++tasks_submitted_;
+    const int64_t depth = static_cast<int64_t>(tasks_.size());
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
+  }
+  cv_.notify_one();
+  return true;
+}
+
 ThreadPool::Stats ThreadPool::GetStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
@@ -117,9 +146,27 @@ void ThreadPool::ParallelFor(size_t n, size_t max_concurrency,
   // loops go to the pool when a cap is set.
   size_t num_tasks = std::min(n, workers_.size());
   if (max_concurrency > 0) num_tasks = std::min(num_tasks, max_concurrency - 1);
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_tasks);
-  for (size_t t = 0; t < num_tasks; ++t) futures.push_back(Submit(claim_loop));
+  // Helper-exit latch instead of a future vector: every helper counts down as
+  // its LAST action, so Wait() returning guarantees no sibling still
+  // references `next`/`fn`/`failed`/`error_*` on this stack frame. A helper
+  // the pool rejects (Shutdown raced TrySubmit) never runs, so the caller
+  // counts it down on the spot; the executors that do run — the calling
+  // thread at minimum — cover all of [0, n).
+  CountdownLatch helpers_exited(num_tasks);
+  std::mutex error_mutex;
+  std::exception_ptr helper_error;
+  auto helper = [&claim_loop, &helpers_exited, &error_mutex, &helper_error] {
+    try {
+      claim_loop();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!helper_error) helper_error = std::current_exception();
+    }
+    helpers_exited.CountDown();
+  };
+  for (size_t t = 0; t < num_tasks; ++t) {
+    if (!TrySubmit(helper)) helpers_exited.CountDown();
+  }
   // The calling thread participates instead of blocking: the loop still makes
   // progress when the pool is saturated by concurrent ParallelFor callers.
   std::exception_ptr first_error;
@@ -128,21 +175,10 @@ void ThreadPool::ParallelFor(size_t n, size_t max_concurrency,
   } catch (...) {
     first_error = std::current_exception();
   }
-  // Drain EVERY future before surfacing an error: sibling workers still
-  // reference `next`/`fn`/`failed` on this stack frame, and packaged_task
-  // futures do not block on destruction, so rethrowing from the first get()
-  // would let them run against a dead frame (use-after-free).
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (const ThreadPoolShutdownError&) {
-      // The pool rejected this helper (Shutdown raced the Submit above). Its
-      // claim loop never ran, so it claimed no indices; the executors that
-      // did run — the calling thread at minimum — covered all of [0, n).
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
+  helpers_exited.Wait();
+  // The calling thread's own exception wins (it is the deterministic one);
+  // otherwise surface the first helper failure.
+  if (!first_error) first_error = helper_error;
   if (first_error) std::rethrow_exception(first_error);
 }
 

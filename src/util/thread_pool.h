@@ -27,6 +27,37 @@ class ThreadPoolShutdownError : public std::runtime_error {
       : std::runtime_error("ThreadPool: Submit after Shutdown") {}
 };
 
+/// \brief A one-shot completion gate: Wait() blocks until the count, fixed at
+/// construction, has been consumed by CountDown() calls. This is the
+/// fan-out/fan-in primitive ParallelFor and the autograd backward engine use
+/// to know every helper has LEFT the shared stack frame — unlike draining a
+/// vector of futures, it has no per-task allocation and no exception
+/// plumbing (errors travel in a caller-owned slot).
+///
+/// Contract: exactly `count` CountDown units must eventually arrive; extra
+/// CountDowns abort (they would mask a lost-wakeup bug elsewhere). Wait may
+/// be called from several threads; all are released together. A latch is
+/// single-use — there is no reset.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count);
+
+  /// \brief Consumes `n` units; the final unit releases every waiter.
+  void CountDown(size_t n = 1);
+
+  /// \brief Blocks until the count reaches zero (returns immediately when the
+  /// latch was constructed with count 0 or already drained).
+  void Wait();
+
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
 /// \brief A minimal task-queue thread pool.
 class ThreadPool {
  public:
@@ -62,6 +93,20 @@ class ThreadPool {
     cv_.notify_one();
     return fut;
   }
+
+  /// \brief Submit without the future machinery: enqueues `fn` and returns
+  /// true, or returns false (task never runs) when the pool is already shut
+  /// down. For fire-and-forget helpers whose completion is tracked out of
+  /// band (a CountdownLatch) — the caller MUST handle the false case by
+  /// doing whatever bookkeeping the task would have done (typically counting
+  /// the latch down itself), or it will wait forever.
+  bool TrySubmit(std::function<void()> fn);
+
+  /// \brief True while the calling thread is executing a pool task. Parallel
+  /// sections use this to degrade to serial instead of nesting: with a
+  /// fixed-size pool, blocking a worker on sub-tasks can deadlock once every
+  /// worker waits on every other (see ParallelFor and ag::Grad's engine).
+  static bool InsideWorker();
 
   /// \brief Runs fn(i) for i in [0, n) across the pool and waits. The calling
   /// thread participates in the work. If a body throws, no further indices are

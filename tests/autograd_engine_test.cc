@@ -1,0 +1,312 @@
+// The parallel backward engine's determinism contract (autograd/engine.h):
+// ag::Grad with GradOptions::threads = N must be BIT-identical to serial for
+// any N — first order, second order (create_graph), ragged/diamond/
+// multi-consumer graphs, the real Dual-CVAE ELBO, and a full MAML meta-step.
+// Equality here is exact (float bits), not approximate: the engine merges
+// multi-consumer gradient contributions in fixed consumer order, so the
+// scheduler must not be able to change a single ulp.
+//
+// The stress test at the bottom runs engine-parallel backwards from several
+// caller threads sharing the same leaf parameters — the PR-3 graph-isolation
+// invariant combined with in-graph parallelism. Registered under both
+// `ctest -L tsan` and `ctest -L asan`.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "cvae/dual_cvae.h"
+#include "meta/maml.h"
+#include "meta/preference_model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+Variable Leaf(Tensor v) { return Variable(std::move(v), /*requires_grad=*/true); }
+
+/// Same float bits everywhere, including signed zeros (stronger than ==).
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    uint32_t ba, bb;
+    const float fa = a.at(i), fb = b.at(i);
+    std::memcpy(&ba, &fa, sizeof(ba));
+    std::memcpy(&bb, &fb, sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at element " << i << ": " << fa
+                      << " vs " << fb;
+  }
+}
+
+/// Runs Grad on one already-built graph at every thread count in `counts`
+/// and checks each result bit-matches the serial (threads = 1) walk. Grad is
+/// read-only on the graph, so repeated walks over the same tape are exact
+/// repeats by construction — any difference comes from the engine.
+void ExpectGradBitIdenticalAcrossThreads(const Variable& loss,
+                                         const std::vector<Variable>& params,
+                                         bool create_graph = false) {
+  GradOptions serial_opts;
+  serial_opts.create_graph = create_graph;
+  const std::vector<Variable> reference = Grad(loss, params, serial_opts);
+  for (int threads : {4, 2, 0}) {
+    GradOptions opts;
+    opts.create_graph = create_graph;
+    opts.threads = threads;
+    const std::vector<Variable> got = Grad(loss, params, opts);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectBitIdentical(reference[i].data(), got[i].data(),
+                         "threads=" + std::to_string(threads) + " grad[" +
+                             std::to_string(i) + "]");
+    }
+  }
+}
+
+TEST(GradEngineTest, DiamondGraphBitIdentical) {
+  // x feeds two independent towers that re-join: the smallest graph where
+  // the parallel engine can actually interleave branches.
+  Rng rng(101);
+  Variable x = Leaf(Tensor::RandNormal({6, 4}, &rng));
+  Variable w = Leaf(Tensor::RandNormal({4, 4}, &rng));
+  Variable left = Sigmoid(MatMul(x, w));
+  Variable right = Tanh(MatMul(x, w));
+  Variable loss = MeanAll(Mul(left, right));
+  ExpectGradBitIdenticalAcrossThreads(loss, {x, w});
+}
+
+TEST(GradEngineTest, RaggedBranchDepthsBitIdentical) {
+  // Branches of very different depths off one leaf: the deep chain is still
+  // running when the shallow ones finish, so the merge order at the shared
+  // leaf is fully exercised.
+  Rng rng(103);
+  Variable x = Leaf(Tensor::RandNormal({5, 5}, &rng));
+  Variable deep = x;
+  for (int i = 0; i < 12; ++i) deep = Tanh(MulScalar(deep, 0.9f));
+  Variable mid = Sigmoid(MatMul(x, x));
+  Variable shallow = PowScalar(x, 2.0f);
+  Variable loss =
+      Add(Add(MeanAll(deep), MeanAll(mid)), MeanAll(shallow));
+  ExpectGradBitIdenticalAcrossThreads(loss, {x});
+}
+
+TEST(GradEngineTest, ManyConsumersAccumulateInFixedOrder) {
+  // One node with many consumers: the case where a scheduler-dependent
+  // accumulation order would change the floating-point sum.
+  Rng rng(107);
+  Variable x = Leaf(Tensor::RandNormal({4, 4}, &rng));
+  Variable shared = Sigmoid(x);
+  Variable acc = ConstantScalar(0.0f);
+  for (int i = 0; i < 9; ++i) {
+    acc = Add(acc, MeanAll(MulScalar(shared, 0.3f + 0.1f * static_cast<float>(i))));
+  }
+  ExpectGradBitIdenticalAcrossThreads(acc, {x});
+}
+
+TEST(GradEngineTest, ConcatSliceGraphBitIdentical) {
+  Rng rng(109);
+  Variable a = Leaf(Tensor::RandNormal({3, 4}, &rng));
+  Variable b = Leaf(Tensor::RandNormal({2, 4}, &rng));
+  Variable cat = ConcatRows({a, b});
+  Variable left = SliceCols(cat, 0, 2);
+  Variable right = SliceCols(cat, 2, 2);
+  Variable loss = Add(MeanAll(PowScalar(left, 2.0f)),
+                      MeanAll(Mul(right, Sigmoid(right))));
+  ExpectGradBitIdenticalAcrossThreads(loss, {a, b});
+}
+
+TEST(GradEngineTest, UnusedAndDetachedInputsBitIdentical) {
+  // allow_unused zeros and Detach-cut paths must behave identically under
+  // the engine's empty-contribution propagation.
+  Rng rng(113);
+  Variable used = Leaf(Tensor::RandNormal({3, 3}, &rng));
+  Variable unused = Leaf(Tensor::RandNormal({2, 2}, &rng));
+  Variable half_cut = Leaf(Tensor::RandNormal({3, 3}, &rng));
+  Variable loss =
+      MeanAll(Mul(Sigmoid(MatMul(used, used)), half_cut.Detach()));
+  loss = Add(loss, MeanAll(Tanh(used)));
+  ExpectGradBitIdenticalAcrossThreads(loss, {used, unused, half_cut});
+}
+
+TEST(GradEngineTest, SecondOrderCreateGraphBitIdentical) {
+  // create_graph on a MAML-shaped double backward: the inner Grad's result
+  // graph (built on engine threads) must itself differentiate identically.
+  Rng rng(127);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable w = Leaf(Tensor::RandNormal({3, 3}, &rng));
+  Variable inner_loss = MeanAll(Sigmoid(MatMul(x, w)));
+
+  GradOptions serial_inner;
+  serial_inner.create_graph = true;
+  std::vector<Variable> g_ref = Grad(inner_loss, {w}, serial_inner);
+  Variable h_ref = SumAll(PowScalar(g_ref[0], 2.0f));
+  const std::vector<Variable> gg_ref = Grad(h_ref, {x, w});
+
+  for (int threads : {4, 0}) {
+    GradOptions opts;
+    opts.create_graph = true;
+    opts.threads = threads;
+    std::vector<Variable> g = Grad(inner_loss, {w}, opts);
+    ExpectBitIdentical(g_ref[0].data(), g[0].data(), "inner grad");
+    Variable h = SumAll(PowScalar(g[0], 2.0f));
+    GradOptions outer_opts;
+    outer_opts.threads = threads;
+    const std::vector<Variable> gg = Grad(h, {x, w}, outer_opts);
+    ExpectBitIdentical(gg_ref[0].data(), gg[0].data(), "second-order d/dx");
+    ExpectBitIdentical(gg_ref[1].data(), gg[1].data(), "second-order d/dw");
+  }
+}
+
+TEST(GradEngineTest, DualCvaeElboBitIdentical) {
+  // The real workload: a full Dual-CVAE loss graph (two encoder/decoder
+  // towers + critics — hundreds of nodes), built once, differentiated at
+  // every thread count.
+  cvae::DualCvaeConfig config;
+  config.source_items = 12;
+  config.target_items = 10;
+  config.content_dim = 8;
+  config.hidden_dim = 16;
+  config.latent_dim = 6;
+  Rng rng(131);
+  cvae::DualCvae model(config, &rng);
+
+  const Tensor r_s = Tensor::RandUniform({5, 12}, &rng);
+  const Tensor x_s = Tensor::RandNormal({5, 8}, &rng);
+  const Tensor r_t = Tensor::RandUniform({5, 10}, &rng);
+  const Tensor x_t = Tensor::RandNormal({5, 8}, &rng);
+  Rng noise(17);
+  const cvae::DualCvaeLosses losses = model.ComputeLosses(r_s, x_s, r_t, x_t, &noise);
+  std::vector<Variable> params = model.Parameters();
+  ExpectGradBitIdenticalAcrossThreads(losses.total, params);
+}
+
+TEST(GradEngineTest, MamlMetaStepBitIdenticalAcrossGradThreads) {
+  // Twin second-order MAML trainings from identical initializations with
+  // grad_threads 1 / 4 / 0: every epoch loss and every final parameter must
+  // carry the same bits.
+  meta::PreferenceModelConfig model_config;
+  model_config.content_dim = 6;
+  model_config.embed_dim = 8;
+  model_config.hidden = {12};
+
+  Rng task_rng(211);
+  std::vector<meta::Task> tasks;
+  for (int t = 0; t < 6; ++t) {
+    meta::Task task;
+    task.user = t;
+    task.support_user = Tensor::RandNormal({5, 6}, &task_rng);
+    task.support_item = Tensor::RandNormal({5, 6}, &task_rng);
+    task.query_user = Tensor::RandNormal({4, 6}, &task_rng);
+    task.query_item = Tensor::RandNormal({4, 6}, &task_rng);
+    Tensor sl({5, 1}), ql({4, 1});
+    for (int64_t i = 0; i < 5; ++i) sl.at(i) = (t + i) % 2 ? 1.0f : 0.0f;
+    for (int64_t i = 0; i < 4; ++i) ql.at(i) = (t + i) % 2 ? 0.0f : 1.0f;
+    task.support_labels = sl;
+    task.query_labels = ql;
+    tasks.push_back(std::move(task));
+  }
+
+  auto train = [&](int grad_threads) {
+    Rng rng(4242);
+    meta::PreferenceModel model(model_config, &rng);
+    meta::MamlConfig config;
+    config.epochs = 2;
+    config.inner_steps = 2;
+    config.second_order = true;
+    config.meta_batch_size = 4;
+    config.seed = 11;
+    config.grad_threads = grad_threads;
+    meta::MamlTrainer trainer(&model, config);
+    std::pair<std::vector<float>, std::vector<Tensor>> run;
+    run.first = trainer.Train(tasks);
+    for (const auto& p : model.Parameters()) run.second.push_back(p.data().Clone());
+    return run;
+  };
+
+  const auto reference = train(1);
+  for (int grad_threads : {4, 0}) {
+    const auto got = train(grad_threads);
+    ASSERT_EQ(reference.first.size(), got.first.size());
+    for (size_t e = 0; e < reference.first.size(); ++e) {
+      uint32_t br, bg;
+      std::memcpy(&br, &reference.first[e], sizeof(br));
+      std::memcpy(&bg, &got.first[e], sizeof(bg));
+      EXPECT_EQ(br, bg) << "epoch " << e << " loss with grad_threads="
+                        << grad_threads;
+    }
+    ASSERT_EQ(reference.second.size(), got.second.size());
+    for (size_t i = 0; i < reference.second.size(); ++i) {
+      ExpectBitIdentical(reference.second[i], got.second[i],
+                         "param[" + std::to_string(i) + "] grad_threads=" +
+                             std::to_string(grad_threads));
+    }
+  }
+}
+
+TEST(GradEngineStressTest, ConcurrentParallelBackwardsSharingLeaves) {
+  // Several caller threads, each building its own graph over the SAME leaf
+  // parameters and running an engine-parallel backward, repeatedly. This is
+  // task-level parallelism (MamlConfig::threads) composed with graph-level
+  // parallelism (grad_threads) minus the pool-worker degradation: the
+  // callers are raw std::threads, so each backward really does recruit pool
+  // helpers concurrently with its siblings. TSan must see every cross-thread
+  // edge (slot publish -> acquire decrement; queue mutex).
+  Rng rng(151);
+  Variable w1 = Leaf(Tensor::RandNormal({6, 6}, &rng));
+  Variable w2 = Leaf(Tensor::RandNormal({6, 6}, &rng));
+  const Tensor x0 = Tensor::RandNormal({4, 6}, &rng);
+
+  auto build_and_grad = [&](int salt) {
+    Variable x = Constant(x0);
+    Variable h = Tanh(MatMul(MatMul(x, w1), w2));
+    Variable loss = Add(MeanAll(PowScalar(h, 2.0f)),
+                        MulScalar(MeanAll(Sigmoid(h)), 1.0f + 0.1f * salt));
+    GradOptions opts;
+    opts.threads = 4;
+    return Grad(loss, {w1, w2}, opts);
+  };
+
+  // Serial references per salt value, computed up front.
+  std::vector<std::vector<Variable>> reference;
+  for (int salt = 0; salt < 3; ++salt) {
+    Variable x = Constant(x0);
+    Variable h = Tanh(MatMul(MatMul(x, w1), w2));
+    Variable loss = Add(MeanAll(PowScalar(h, 2.0f)),
+                        MulScalar(MeanAll(Sigmoid(h)), 1.0f + 0.1f * salt));
+    reference.push_back(Grad(loss, {w1, w2}));
+  }
+
+  constexpr int kCallers = 4;
+  constexpr int kIters = 8;
+  std::vector<std::thread> callers;
+  std::vector<std::string> failures(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        const int salt = (c + iter) % 3;
+        const std::vector<Variable> got = build_and_grad(salt);
+        for (size_t p = 0; p < got.size(); ++p) {
+          const Tensor& a = reference[salt][p].data();
+          const Tensor& b = got[p].data();
+          for (int64_t i = 0; i < a.numel(); ++i) {
+            if (std::memcmp(&a.data()[i], &b.data()[i], sizeof(float)) != 0) {
+              failures[c] = "caller " + std::to_string(c) + " iter " +
+                            std::to_string(iter) + " param " + std::to_string(p);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& f : failures) EXPECT_EQ(f, "");
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace metadpa

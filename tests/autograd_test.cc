@@ -337,6 +337,125 @@ TEST(GraphHygieneTest, SecondOrderGraphAlsoFreed) {
   EXPECT_EQ(LiveNodeCount(), before);
 }
 
+// ---- structural-op gradchecks: every Concat/Slice variant alone, first and
+// ---- second order (the composite SliceAndConcat test above can hide a bug
+// ---- in one op with a compensating bug in its inverse) ----
+
+TEST(GradCheckTest, ConcatRowsAlone) {
+  Rng rng(211);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 4}, &rng),
+                             Tensor::RandNormal({2, 4}, &rng),
+                             Tensor::RandNormal({1, 4}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(ConcatRows({in[0], in[1], in[2]}), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, ConcatColsAlone) {
+  Rng rng(223);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 2}, &rng),
+                             Tensor::RandNormal({3, 5}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(ConcatCols({in[0], in[1]}), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, SliceRowsAlone) {
+  Rng rng(227);
+  std::vector<Tensor> pts = {Tensor::RandNormal({5, 3}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(SliceRows(in[0], 1, 3), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(GradCheckTest, SliceColsAlone) {
+  Rng rng(229);
+  std::vector<Tensor> pts = {Tensor::RandNormal({4, 6}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(SliceCols(in[0], 2, 3), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn, pts), 2e-2);
+}
+
+TEST(SecondOrderTest, ConcatSliceRows) {
+  Rng rng(233);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 2}, &rng),
+                             Tensor::RandNormal({2, 2}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable cat = ConcatRows({in[0], in[1]});
+    return MeanAll(PowScalar(SliceRows(cat, 1, 3), 3.0f));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+TEST(SecondOrderTest, ConcatSliceCols) {
+  Rng rng(239);
+  std::vector<Tensor> pts = {Tensor::RandNormal({2, 3}, &rng),
+                             Tensor::RandNormal({2, 2}, &rng)};
+  auto fn = [](const std::vector<Variable>& in) {
+    Variable cat = ConcatCols({in[0], in[1]});
+    return MeanAll(PowScalar(SliceCols(cat, 1, 3), 3.0f));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn, pts, &rng), 5e-2);
+}
+
+// ---- elementwise max/min subgradient, first + second order + exact tie
+// ---- semantics ----
+
+TEST(GradCheckTest, MaximumMinimumElementwise) {
+  // RandNormal points are tie-free almost surely, so central differences are
+  // valid despite the kink at a == b.
+  Rng rng(241);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 3}, &rng),
+                             Tensor::RandNormal({3, 3}, &rng)};
+  auto fn_max = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(Maximum(in[0], in[1]), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn_max, pts), 2e-2);
+  auto fn_min = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(Minimum(in[0], in[1]), 2.0f));
+  };
+  EXPECT_LT(MaxGradError(fn_min, pts), 2e-2);
+}
+
+TEST(SecondOrderTest, MaximumMinimumThroughSmoothOuter) {
+  Rng rng(251);
+  std::vector<Tensor> pts = {Tensor::RandNormal({3, 2}, &rng),
+                             Tensor::RandNormal({3, 2}, &rng)};
+  auto fn_max = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(Maximum(in[0], in[1]), 3.0f));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn_max, pts, &rng), 5e-2);
+  auto fn_min = [](const std::vector<Variable>& in) {
+    return MeanAll(PowScalar(Minimum(in[0], in[1]), 3.0f));
+  };
+  EXPECT_LT(MaxSecondOrderError(fn_min, pts, &rng), 5e-2);
+}
+
+TEST(GradTest, MaximumMinimumTieSplitsGradientEvenly) {
+  // At a tie each side gets exactly half the incoming gradient (the 0.5 mask
+  // in MaxMinImpl) — the symmetric subgradient choice; pinned exactly.
+  Variable a = Leaf(Tensor::FromVector({2.0f, 1.0f, -3.0f}));
+  Variable b = Leaf(Tensor::FromVector({2.0f, 0.0f, -1.0f}));
+  auto g_max = Grad(SumAll(Maximum(a, b)), {a, b});
+  EXPECT_FLOAT_EQ(g_max[0].data().at(0), 0.5f);  // tie
+  EXPECT_FLOAT_EQ(g_max[1].data().at(0), 0.5f);
+  EXPECT_FLOAT_EQ(g_max[0].data().at(1), 1.0f);  // a wins
+  EXPECT_FLOAT_EQ(g_max[1].data().at(1), 0.0f);
+  EXPECT_FLOAT_EQ(g_max[0].data().at(2), 0.0f);  // b wins
+  EXPECT_FLOAT_EQ(g_max[1].data().at(2), 1.0f);
+  auto g_min = Grad(SumAll(Minimum(a, b)), {a, b});
+  EXPECT_FLOAT_EQ(g_min[0].data().at(0), 0.5f);  // tie
+  EXPECT_FLOAT_EQ(g_min[1].data().at(0), 0.5f);
+  EXPECT_FLOAT_EQ(g_min[0].data().at(1), 0.0f);  // b is smaller
+  EXPECT_FLOAT_EQ(g_min[1].data().at(1), 1.0f);
+  EXPECT_FLOAT_EQ(g_min[0].data().at(2), 1.0f);  // a is smaller
+  EXPECT_FLOAT_EQ(g_min[1].data().at(2), 0.0f);
+}
+
 }  // namespace
 }  // namespace ag
 }  // namespace metadpa

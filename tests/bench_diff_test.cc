@@ -286,6 +286,27 @@ TEST(RenderBenchDiffTest, MarksRegressionsAndUnmatched) {
   EXPECT_NE(rendered.find("BM_New/1"), std::string::npos);
 }
 
+TEST(FirstMissingRequiredTest, EmptyRequirementsAlwaysPass) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  EXPECT_EQ(FirstMissingRequired(records, {}), "");
+}
+
+TEST(FirstMissingRequiredTest, SubstringMatchesAggregateNames) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  // "BM_MatMul" matches "BM_MatMul/32_mean" as a substring.
+  EXPECT_EQ(FirstMissingRequired(records, {"BM_MatMul", "BM_Reduce"}), "");
+}
+
+TEST(FirstMissingRequiredTest, ReportsFirstAbsentFamily) {
+  const auto records = ParseBenchmarkJson(BaselineJson()).ValueOrDie();
+  EXPECT_EQ(FirstMissingRequired(records, {"BM_MatMul", "BM_GradEngine", "BM_Serve"}),
+            "BM_GradEngine");
+}
+
+TEST(FirstMissingRequiredTest, EmptyRecordSetFailsAnyRequirement) {
+  EXPECT_EQ(FirstMissingRequired({}, {"BM_MatMul"}), "BM_MatMul");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace metadpa

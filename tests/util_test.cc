@@ -325,6 +325,68 @@ TEST(ThreadPoolTest, SubmitVsShutdownStress) {
       << "a rejected Submit must never have run its task";
 }
 
+TEST(CountdownLatchTest, WaitReturnsImmediatelyAtZero) {
+  CountdownLatch latch(0);
+  latch.Wait();  // must not block
+}
+
+TEST(CountdownLatchTest, CountDownReleasesWaiter) {
+  CountdownLatch latch(3);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  latch.CountDown(2);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(CountdownLatchTest, ReleasesAllWaitersTogether) {
+  CountdownLatch latch(1);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      latch.Wait();
+      released.fetch_add(1);
+    });
+  }
+  latch.CountDown();
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(released.load(), 4);
+}
+
+TEST(CountdownLatchTest, FanInFromPoolWorkers) {
+  // The exact shape ParallelFor and the backward engine use: N helpers
+  // count down as their last action; Wait() proves they left the frame.
+  ThreadPool pool(3);
+  constexpr int kTasks = 16;
+  CountdownLatch done(kTasks);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    const bool submitted = pool.TrySubmit([&] {
+      ran.fetch_add(1);
+      done.CountDown();
+    });
+    ASSERT_TRUE(submitted);
+  }
+  done.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(CountdownLatchTest, TrySubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  CountdownLatch done(1);
+  const bool submitted = pool.TrySubmit([&] { done.CountDown(); });
+  EXPECT_FALSE(submitted);
+  // The documented contract: the caller does the rejected task's bookkeeping.
+  done.CountDown();
+  done.Wait();
+}
+
 TEST(StopwatchTest, MeasuresElapsed) {
   Stopwatch sw;
   volatile double x = 0;

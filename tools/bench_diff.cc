@@ -2,18 +2,24 @@
 //
 // usage: bench_diff <baseline.json> <contender.json>
 //                   [--threshold-pct P] [--metric median|mean] [--time real|cpu]
+//                   [--require SUBSTR]...
 //
 // Prints a per-benchmark delta table. Exit codes:
 //   0  no matched benchmark regressed beyond the threshold
 //   1  at least one regression (contender slower by more than P percent)
-//   2  usage or parse error
+//   2  usage or parse error, or a --require substring matched no row
 //
 // Benchmarks present in only one file are reported but never count as
 // regressions (a renamed benchmark should not fail CI silently either way;
-// the rename shows up in the "only in ..." lines).
+// the rename shows up in the "only in ..." lines). --require closes the
+// complementary hole: a benchmark family DELETED from the suite — or a stale
+// baseline recorded before the family existed — would otherwise pass
+// silently forever. Each --require substring must match at least one row in
+// BOTH files or the diff refuses to run (exit 2).
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_compare.h"
 
@@ -25,7 +31,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <contender.json>\n"
                "                  [--threshold-pct P] [--metric median|mean]\n"
-               "                  [--time real|cpu]\n");
+               "                  [--time real|cpu] [--require SUBSTR]...\n");
   return 2;
 }
 
@@ -33,10 +39,13 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::string baseline_path, contender_path;
+  std::vector<std::string> required;
   bench::BenchDiffOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold-pct" && i + 1 < argc) {
+    if (arg == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (arg == "--threshold-pct" && i + 1 < argc) {
       try {
         options.threshold_pct = std::stod(argv[++i]);
       } catch (const std::exception&) {
@@ -87,6 +96,21 @@ int main(int argc, char** argv) {
   if (!contender.ok()) {
     std::fprintf(stderr, "%s: %s\n", contender_path.c_str(),
                  contender.status().ToString().c_str());
+    return 2;
+  }
+
+  const std::string missing_base =
+      bench::FirstMissingRequired(baseline.ValueOrDie(), required);
+  if (!missing_base.empty()) {
+    std::fprintf(stderr, "%s: no benchmark matching required \"%s\" (stale baseline?)\n",
+                 baseline_path.c_str(), missing_base.c_str());
+    return 2;
+  }
+  const std::string missing_cont =
+      bench::FirstMissingRequired(contender.ValueOrDie(), required);
+  if (!missing_cont.empty()) {
+    std::fprintf(stderr, "%s: no benchmark matching required \"%s\"\n",
+                 contender_path.c_str(), missing_cont.c_str());
     return 2;
   }
 

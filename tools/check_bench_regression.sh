@@ -31,14 +31,18 @@ if [ ! -x "$build_dir/tools/bench_diff" ]; then
   exit 2
 fi
 
-# A stale baseline without the serve-path rows would pass the diff while
-# leaving BM_ServeScoreTopK ungated — refuse it.
-if ! grep -q 'BM_ServeScoreTopK' "$baseline"; then
-  echo "error: baseline $baseline has no BM_ServeScoreTopK rows; re-baseline with tools/run_substrate_bench.sh" >&2
-  exit 2
-fi
+# A stale baseline without the serve-path or backward-engine rows would pass
+# the diff while leaving those paths ungated — refuse it early (bench_diff's
+# --require repeats the check on both files after the fresh run).
+for family in BM_ServeScoreTopK BM_GradEngine; do
+  if ! grep -q "$family" "$baseline"; then
+    echo "error: baseline $baseline has no $family rows; re-baseline with tools/run_substrate_bench.sh" >&2
+    exit 2
+  fi
+done
 
 tools/run_substrate_bench.sh "$build_dir" "$fresh"
 
 "$build_dir/tools/bench_diff" "$baseline" "$fresh" \
-  --threshold-pct "$threshold" --time "$time_basis"
+  --threshold-pct "$threshold" --time "$time_basis" \
+  --require BM_ServeScoreTopK --require BM_GradEngine

@@ -5,12 +5,15 @@
 //       print Table I/II-style dataset statistics for a generated world.
 //   run     [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
 //           [--effort E] [--seed SEED] [--csv PATH] [--threads T]
-//           [--train-threads T] [--trace-out PATH] [--metrics-out PATH]
+//           [--train-threads T] [--grad-threads G] [--trace-out PATH]
+//           [--metrics-out PATH]
 //       train the chosen methods and print the four-scenario comparison;
 //       optionally dump a CSV of every (method, scenario, metric) cell.
 //       --threads controls parallel case scoring (0 = all cores, 1 = serial);
 //       --train-threads controls parallel meta-training (same convention;
-//       results are bit-identical for any value); per-method eval throughput
+//       results are bit-identical for any value); --grad-threads the
+//       executors inside each backward walk (also bit-identical, see
+//       autograd/engine.h); per-method eval throughput
 //       is reported on stderr. --trace-out writes a chrome://tracing JSON of
 //       the run, --metrics-out the metrics + span summary tables; either flag
 //       turns instrumentation on (results stay bit-identical).
@@ -18,13 +21,14 @@
 //       write the generated target domain to PATH.ratings.tsv /
 //       PATH.content.bin (the formats data/io.h reads back).
 //   manifest [--out PATH] [--target NAME] [--scale S] [--effort E]
-//            [--seed SEED] [--train-threads T]
+//            [--seed SEED] [--train-threads T] [--grad-threads G]
 //       write the run-provenance manifest (build flags, host, resolved
 //       configuration, data-generator parameters) to PATH, or stdout.
 //   serve-bench [--target NAME] [--scale S] [--method NAME] [--effort E]
 //               [--seed SEED] [--qps Q] [--requests N] [--clients C]
 //               [--serve-workers W] [--queue-cap N] [--batch B] [--k K]
 //               [--candidates N] [--swap-ms MS] [--train-threads T]
+//               [--grad-threads G]
 //       train one method, freeze it into a ModelSnapshot, start the scoring
 //       server and drive a closed-loop synthetic cold-user load through it;
 //       prints the p50/p99 latency report and the server's request-path
@@ -127,15 +131,17 @@ int Usage() {
       "  stats       [--scale S]\n"
       "  run         [--methods A,B,..] [--scale S] [--negatives N]\n"
       "              [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
-      "              [--train-threads T] [--trace-out PATH]\n"
+      "              [--train-threads T] [--grad-threads G] [--trace-out PATH]\n"
       "              [--metrics-out PATH] [--telemetry-out PATH]\n"
       "              [--telemetry-interval-ms N] [--watchdog off|warn|abort]\n"
       "  export      --prefix PATH [--scale S]\n"
       "  manifest    [--out PATH] [--scale S] [--effort E] [--seed SEED]\n"
+      "              [--train-threads T] [--grad-threads G]\n"
       "  serve-bench [--method NAME] [--scale S] [--effort E] [--seed SEED]\n"
       "              [--qps Q] [--requests N] [--clients C] [--serve-workers W]\n"
       "              [--queue-cap N] [--batch B] [--k K] [--candidates N]\n"
-      "              [--swap-ms MS] [--train-threads T] [+ telemetry flags]\n");
+      "              [--swap-ms MS] [--train-threads T] [--grad-threads G]\n"
+      "              [+ telemetry flags]\n");
   return 2;
 }
 
@@ -152,16 +158,18 @@ std::set<std::string> AllowedFlags(const std::string& command) {
     allowed = {"target", "scale"};
   } else if (command == "run") {
     allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
-               "csv", "threads", "train-threads"};
+               "csv", "threads", "train-threads", "grad-threads"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   } else if (command == "export") {
     allowed = {"prefix", "target", "scale"};
   } else if (command == "manifest") {
-    allowed = {"out", "target", "scale", "effort", "seed", "train-threads"};
+    allowed = {"out",           "target", "scale",       "effort",
+               "grad-threads",  "seed",   "train-threads"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   } else if (command == "serve-bench") {
     allowed = {"target", "scale", "method", "effort", "seed", "negatives",
-               "train-threads", "qps", "requests", "clients", "serve-workers",
+               "train-threads", "grad-threads", "qps", "requests", "clients",
+               "serve-workers",
                "queue-cap", "batch", "k", "candidates", "swap-ms"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   }
@@ -274,6 +282,7 @@ int RunCompare(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
+  options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -359,6 +368,7 @@ int RunManifest(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
+  options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
   ApplyObservabilityFlags(args, &options);
   data::SyntheticConfig config = ResolveDataConfig(args);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -404,6 +414,7 @@ int RunServeBench(const Args& args) {
   suite::SuiteOptions options;
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
+  options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);

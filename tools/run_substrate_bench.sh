@@ -31,12 +31,15 @@ fi
   --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true
 
-# The serve-path benchmark is part of the tracked set; a run missing it means
-# the binary predates the scoring server and would silently un-gate that path.
-if ! grep -q 'BM_ServeScoreTopK' "$out"; then
-  echo "error: $out has no BM_ServeScoreTopK rows; rebuild bench_micro_substrate" >&2
-  exit 1
-fi
+# The serve-path and backward-engine benchmarks are part of the tracked set;
+# a run missing either means the binary predates them and would silently
+# un-gate those paths.
+for family in BM_ServeScoreTopK BM_GradEngine; do
+  if ! grep -q "$family" "$out"; then
+    echo "error: $out has no $family rows; rebuild bench_micro_substrate" >&2
+    exit 1
+  fi
+done
 
 echo "wrote $out"
 
