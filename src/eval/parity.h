@@ -1,0 +1,107 @@
+// Precision-parity evaluation harness.
+//
+// The reduced-precision serving path (bf16 storage, per-row symmetric int8 —
+// serve/quant.h) trades bits for memory and throughput; this harness measures
+// what that trade costs in the paper's OWN metrics. One call trains nothing:
+// it takes an already-fitted model, scores every leave-one-out case of a
+// scenario ONCE at fp32, derives the bf16 and int8 scores for the same cases,
+// and reports per-precision HR/MRR/NDCG/AUC plus the top-k set overlap
+// against the fp32 ranking, asserting each against a declared tolerance.
+//
+// How reduced-precision scores are derived:
+//  * A model with an exact dot-product factorization (ExportServingEmbeddings
+//    returns true) is scored through reduced-precision TABLES, mirroring the
+//    serving kernels element for element: bf16 rounds every embedding entry
+//    (RNE) and dots in fp32; int8 quantizes every row symmetrically
+//    (scale = max|row|/127) and dots in int32. The mirror is pinned to
+//    serve/quant.h by precision_parity_test, which asserts bit-equal scores
+//    between the two implementations (eval cannot link serve — the dependency
+//    points the other way).
+//  * A deep scorer (MetaDPA, the MLP baselines) has no factorized tables; its
+//    serving path stores parameters reduced but scores in fp32. For parity we
+//    bound the score-path sensitivity by transforming the fp32 score vector
+//    at the scoring interface: bf16 rounds each score; int8 symmetrically
+//    quantizes/dequantizes the case's score vector (scale = max|s|/127).
+//    That models "scores transported at reduced precision" — the tightest
+//    measurable proxy without a factorization.
+//
+// Determinism: the fp32 row is computed with the same per-case scoring and
+// the same case-order metric accumulation as EvaluateScenario, so its metrics
+// are bit-identical to EvaluateScenario's for the same model and options —
+// the parity report's baseline IS the paper's number, not a re-derivation.
+#ifndef METADPA_EVAL_PARITY_H_
+#define METADPA_EVAL_PARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+
+namespace metadpa {
+namespace eval {
+
+/// \brief Scoring precision under parity test. Mirrors serve::quant::Precision
+/// (eval cannot depend on serve); keep the two enums in sync.
+enum class ScoringPrecision { kFp32, kBf16, kInt8 };
+
+/// \brief "fp32" / "bf16" / "int8".
+const char* ScoringPrecisionName(ScoringPrecision precision);
+
+/// \brief Per-precision acceptance thresholds.
+struct ParityTolerance {
+  /// Max |metric(precision) - metric(fp32)| over HR/MRR/NDCG/AUC.
+  double max_metric_delta = 0.0;
+  /// Min mean top-k overlap |topk(precision) ∩ topk(fp32)| / k across cases.
+  double min_mean_topk_overlap = 1.0;
+  /// Min per-case top-k overlap (the exact set-overlap bound).
+  double min_case_topk_overlap = 1.0;
+};
+
+/// \brief Parity run options. Defaults encode the contract this repo ships
+/// with: fp32 exact, bf16 within ~1e-2 on every metric with ≥80% per-case
+/// top-k agreement, int8 within ~2.5e-2 with ≥60% per-case agreement (per-row
+/// symmetric quantization keeps rankings largely intact; see DESIGN.md).
+struct ParityOptions {
+  int k = 10;                 ///< metric cutoff and top-k overlap set size
+  int num_threads = 0;        ///< fp32 scoring shards, as EvalOptions
+  ParityTolerance bf16{1e-2, 0.9, 0.8};
+  ParityTolerance int8{2.5e-2, 0.8, 0.6};
+};
+
+/// \brief One precision's outcome for one (model, scenario).
+struct PrecisionRow {
+  ScoringPrecision precision = ScoringPrecision::kFp32;
+  metrics::RankingMetrics at_k;    ///< mean metrics at this precision
+  double max_metric_delta = 0.0;   ///< vs the fp32 row
+  double mean_topk_overlap = 1.0;  ///< mean over cases vs fp32 top-k set
+  double min_topk_overlap = 1.0;   ///< worst case vs fp32 top-k set
+  bool via_tables = false;         ///< true = factorized-table kernels
+  bool passed = true;
+  std::string failure;             ///< first violated bound, human-readable
+};
+
+/// \brief Parity verdict for one (model, scenario).
+struct ParityReport {
+  std::string model_name;
+  data::Scenario scenario = data::Scenario::kWarm;
+  int64_t num_cases = 0;
+  std::vector<PrecisionRow> rows;  ///< fp32 first, then bf16, then int8
+  bool passed = false;             ///< every row passed
+
+  const PrecisionRow* Row(ScoringPrecision precision) const;
+};
+
+/// \brief Runs the parity protocol for one already-fitted model on one
+/// scenario. Calls BeginScenario (so meta methods fine-tune exactly as in
+/// EvaluateScenario), scores every case once at fp32, derives bf16/int8
+/// scores, and fills one report. The model is left re-usable.
+ParityReport RunParity(Recommender* model, const TrainContext& ctx,
+                       data::Scenario scenario, const ParityOptions& options);
+
+/// \brief Renders reports as an aligned text table (one row per precision).
+std::string RenderParityReports(const std::vector<ParityReport>& reports);
+
+}  // namespace eval
+}  // namespace metadpa
+
+#endif  // METADPA_EVAL_PARITY_H_

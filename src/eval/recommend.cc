@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_set>
 
 #include "util/status.h"
 
@@ -18,15 +17,53 @@ std::vector<Recommendation> TopKImpl(const ScoreFn& score, int64_t user,
                                      const std::vector<int64_t>& support_items,
                                      int k) {
   if (k <= 0) return {};
-  std::unordered_set<int64_t> known(support_items.begin(), support_items.end());
-  std::unordered_set<int64_t> seen;
-  seen.reserve(candidates.size());
+  // Dedup + support exclusion in one O(n) pass over an epoch-stamped dense
+  // array instead of hash sets: item ids are table rows, so for the common
+  // dense-id case a reusable thread-local stamp buffer replaces ~2 hash
+  // probes per candidate (tens of microseconds per serving request at
+  // candidate counts in the hundreds) with one indexed load/store. Stamping
+  // the support ids first makes them read as already-seen. First-occurrence
+  // order is preserved; ids outside the dense range fall back to sorting,
+  // which yields the same top-k because the final (score desc, item asc)
+  // ordering is a total order over the unique (item, score) pairs.
+  constexpr int64_t kDenseIdLimit = int64_t{1} << 22;
+  int64_t max_id = -1;
+  for (int64_t item : candidates) max_id = std::max(max_id, item);
+  for (int64_t item : support_items) max_id = std::max(max_id, item);
+  bool dense = max_id < kDenseIdLimit;
+  for (int64_t item : candidates) dense = dense && item >= 0;
+  for (int64_t item : support_items) dense = dense && item >= 0;
+
   std::vector<int64_t> items;
   items.reserve(candidates.size());
-  for (int64_t item : candidates) {
-    if (known.count(item)) continue;
-    if (!seen.insert(item).second) continue;  // repeated candidate id
-    items.push_back(item);
+  if (dense) {
+    static thread_local std::vector<uint32_t> stamp;
+    static thread_local uint32_t epoch = 0;
+    if (static_cast<int64_t>(stamp.size()) <= max_id) stamp.resize(max_id + 1, 0);
+    if (++epoch == 0) {  // epoch wrapped: every stale stamp must be cleared
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+    for (int64_t item : support_items) stamp[item] = epoch;
+    for (int64_t item : candidates) {
+      if (stamp[item] == epoch) continue;  // support item or repeated id
+      stamp[item] = epoch;
+      items.push_back(item);
+    }
+  } else {
+    items = candidates;
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (!support_items.empty()) {
+      std::vector<int64_t> known(support_items.begin(), support_items.end());
+      std::sort(known.begin(), known.end());
+      items.erase(std::remove_if(items.begin(), items.end(),
+                                 [&known](int64_t item) {
+                                   return std::binary_search(known.begin(),
+                                                             known.end(), item);
+                                 }),
+                  items.end());
+    }
   }
   if (items.empty()) return {};
 

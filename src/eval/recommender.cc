@@ -57,6 +57,8 @@ void Recommender::BeginScenario(const data::ScenarioData&, const TrainContext&) 
 
 std::unique_ptr<CaseScorer> Recommender::CloneForScoring() { return nullptr; }
 
+bool Recommender::ExportServingEmbeddings(ServingEmbeddings*) { return false; }
+
 ScenarioResult EvaluateScenario(Recommender* model, const TrainContext& ctx,
                                 data::Scenario scenario, const EvalOptions& options) {
   MDPA_CHECK(model != nullptr);

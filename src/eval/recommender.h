@@ -25,6 +25,15 @@ struct TrainContext {
   uint64_t seed = 1;
 };
 
+/// \brief Dense two-tower serving export: a model whose preference score for
+/// (user, item) is exactly the dot product users[user] · items[item] can hand
+/// the serving layer its factorized tables. `users` is (num_users, dim),
+/// `items` is (num_items, dim); row index == entity id.
+struct ServingEmbeddings {
+  Tensor users;
+  Tensor items;
+};
+
 /// \brief Per-thread scoring handle for parallel evaluation (see
 /// Recommender::CloneForScoring for the thread-safety contract).
 class CaseScorer {
@@ -82,6 +91,15 @@ class Recommender {
   /// The default returns nullptr: a model that has not audited its scoring
   /// path opts out, and EvaluateScenario falls back to the serial loop.
   virtual std::unique_ptr<CaseScorer> CloneForScoring();
+
+  /// \brief Optional reduced-precision serving contract. A model whose
+  /// scoring is EXACTLY a user·item embedding dot product fills `out` with
+  /// its tables and returns true; serve::ModelSnapshot can then quantize
+  /// those tables (bf16 storage, per-row symmetric int8) and score top-k
+  /// through the reduced-precision kernels instead of the model. The default
+  /// returns false: deep scorers (MetaDPA, the MLP baselines) have no exact
+  /// factorization and are served at full precision.
+  virtual bool ExportServingEmbeddings(ServingEmbeddings* out);
 };
 
 /// \brief CaseScorer for models whose ScoreCase is already safe for

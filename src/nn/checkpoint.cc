@@ -12,6 +12,14 @@ Status SaveCheckpoint(const std::string& path, const ParamList& params) {
   return t::SaveTensors(path, tensors);
 }
 
+Status SaveCheckpoint(const std::string& path, const ParamList& params,
+                      t::DType dtype) {
+  std::vector<Tensor> tensors;
+  tensors.reserve(params.size());
+  for (const auto& p : params) tensors.push_back(p.data());
+  return t::SaveTensors(path, tensors, dtype);
+}
+
 Status LoadCheckpoint(const std::string& path, const ParamList& params) {
   Result<std::vector<Tensor>> loaded = t::LoadTensors(path);
   if (!loaded.ok()) return loaded.status();

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "nn/module.h"
+#include "tensor/serialize.h"
 #include "util/status.h"
 
 namespace metadpa {
@@ -13,6 +14,15 @@ namespace nn {
 
 /// \brief Saves a parameter list's current data to `path`.
 Status SaveCheckpoint(const std::string& path, const ParamList& params);
+
+/// \brief Saves a parameter list at a declared storage precision.
+/// t::DType::kFloat32 writes dtype-tagged fp32 records (same values as the
+/// two-argument form, self-describing header); t::DType::kBFloat16 rounds
+/// every parameter to bf16 (RNE) and halves the checkpoint size — embedding
+/// tables and model snapshots use this for the reduced-precision storage
+/// path. LoadCheckpoint reads either transparently (bf16 widens to fp32).
+Status SaveCheckpoint(const std::string& path, const ParamList& params,
+                      t::DType dtype);
 
 /// \brief Loads a checkpoint into an existing parameter list; every tensor's
 /// shape must match (the model architecture is not serialized).

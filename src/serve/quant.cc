@@ -1,0 +1,171 @@
+#include "serve/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/bf16.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace serve {
+namespace quant {
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kBf16: return "bf16";
+    case Precision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+bool ParsePrecision(const std::string& name, Precision* out) {
+  MDPA_CHECK(out != nullptr);
+  if (name == "fp32") { *out = Precision::kFp32; return true; }
+  if (name == "bf16") { *out = Precision::kBf16; return true; }
+  if (name == "int8") { *out = Precision::kInt8; return true; }
+  return false;
+}
+
+Int8Matrix QuantizeRowsInt8(const Tensor& m) {
+  MDPA_CHECK(m.ndim() == 2);
+  Int8Matrix q;
+  q.rows = m.dim(0);
+  q.cols = m.dim(1);
+  q.data.resize(static_cast<size_t>(q.rows * q.cols));
+  q.scales.resize(static_cast<size_t>(q.rows));
+  const float* src = m.data();
+  for (int64_t r = 0; r < q.rows; ++r) {
+    const float* row = src + r * q.cols;
+    float max_abs = 0.0f;
+    for (int64_t j = 0; j < q.cols; ++j) {
+      max_abs = std::max(max_abs, std::fabs(row[j]));
+    }
+    // All-zero row: scale 0, all codes 0 — dequantizes to exact zeros.
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+    const float inv_scale = scale > 0.0f ? 1.0f / scale : 0.0f;
+    q.scales[static_cast<size_t>(r)] = scale;
+    int8_t* dst = q.data.data() + r * q.cols;
+    for (int64_t j = 0; j < q.cols; ++j) {
+      const float scaled = row[j] * inv_scale;
+      const int32_t code = static_cast<int32_t>(std::lrintf(scaled));
+      dst[j] = static_cast<int8_t>(std::min(127, std::max(-127, code)));
+    }
+  }
+  return q;
+}
+
+Bf16Matrix PackRowsBf16(const Tensor& m) {
+  MDPA_CHECK(m.ndim() == 2);
+  Bf16Matrix b;
+  b.rows = m.dim(0);
+  b.cols = m.dim(1);
+  b.data.resize(static_cast<size_t>(b.rows * b.cols));
+  t::Bf16FromFloatArray(m.data(), b.data.data(), b.rows * b.cols);
+  return b;
+}
+
+int32_t DotInt8(const int8_t* a, const int8_t* b, int64_t n) {
+  // Widen to int (int16 product fits: 127·127 = 16129); the plain loop
+  // auto-vectorizes to widening multiply-adds at -O3.
+  int32_t acc = 0;
+  for (int64_t j = 0; j < n; ++j) {
+    acc += static_cast<int32_t>(a[j]) * static_cast<int32_t>(b[j]);
+  }
+  return acc;
+}
+
+std::vector<double> ScoreItemsInt8(const Int8Matrix& users, const Int8Matrix& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids) {
+  MDPA_CHECK(users.cols == items.cols);
+  MDPA_CHECK(user >= 0 && user < users.rows);
+  const int64_t dim = users.cols;
+  const int8_t* u = users.data.data() + user * dim;
+  const float user_scale = users.scales[static_cast<size_t>(user)];
+  std::vector<double> scores;
+  scores.reserve(item_ids.size());
+  for (int64_t item : item_ids) {
+    MDPA_CHECK(item >= 0 && item < items.rows);
+    const int32_t dot = DotInt8(u, items.data.data() + item * dim, dim);
+    const float rescale = user_scale * items.scales[static_cast<size_t>(item)];
+    scores.push_back(static_cast<double>(static_cast<float>(dot) * rescale));
+  }
+  return scores;
+}
+
+std::vector<double> ScoreItemsBf16(const Bf16Matrix& users, const Bf16Matrix& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids) {
+  MDPA_CHECK(users.cols == items.cols);
+  MDPA_CHECK(user >= 0 && user < users.rows);
+  const int64_t dim = users.cols;
+  const uint16_t* u = users.data.data() + user * dim;
+  std::vector<double> scores;
+  scores.reserve(item_ids.size());
+  for (int64_t item : item_ids) {
+    MDPA_CHECK(item >= 0 && item < items.rows);
+    const uint16_t* v = items.data.data() + item * dim;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < dim; ++j) {
+      acc += t::FloatFromBf16(u[j]) * t::FloatFromBf16(v[j]);
+    }
+    scores.push_back(static_cast<double>(acc));
+  }
+  return scores;
+}
+
+std::vector<double> ScoreItemsFp32(const Tensor& users, const Tensor& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids) {
+  MDPA_CHECK(users.ndim() == 2 && items.ndim() == 2);
+  MDPA_CHECK(users.dim(1) == items.dim(1));
+  MDPA_CHECK(user >= 0 && user < users.dim(0));
+  const int64_t dim = users.dim(1);
+  const float* u = users.data() + user * dim;
+  std::vector<double> scores;
+  scores.reserve(item_ids.size());
+  for (int64_t item : item_ids) {
+    MDPA_CHECK(item >= 0 && item < items.dim(0));
+    const float* v = items.data() + item * dim;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < dim; ++j) acc += u[j] * v[j];
+    scores.push_back(static_cast<double>(acc));
+  }
+  return scores;
+}
+
+}  // namespace quant
+
+DotProductRecommender::DotProductRecommender(Tensor users, Tensor items)
+    : users_(std::move(users)), items_(std::move(items)) {
+  MDPA_CHECK(users_.ndim() == 2);
+  MDPA_CHECK(items_.ndim() == 2);
+  MDPA_CHECK(users_.dim(1) == items_.dim(1));
+}
+
+std::unique_ptr<DotProductRecommender> DotProductRecommender::MakeRandom(
+    int64_t num_users, int64_t num_items, int64_t dim, Rng* rng) {
+  MDPA_CHECK(rng != nullptr);
+  Tensor users = Tensor::RandNormal({num_users, dim}, rng);
+  Tensor items = Tensor::RandNormal({num_items, dim}, rng);
+  return std::make_unique<DotProductRecommender>(std::move(users), std::move(items));
+}
+
+std::vector<double> DotProductRecommender::ScoreCase(
+    const data::EvalCase& eval_case, const std::vector<int64_t>& items) {
+  return quant::ScoreItemsFp32(users_, items_, eval_case.user, items);
+}
+
+std::unique_ptr<eval::CaseScorer> DotProductRecommender::CloneForScoring() {
+  // Pure forward pass over frozen tables — safe for concurrent callers.
+  return std::make_unique<eval::SharedStateScorer>(this);
+}
+
+bool DotProductRecommender::ExportServingEmbeddings(eval::ServingEmbeddings* out) {
+  MDPA_CHECK(out != nullptr);
+  // Tensors share storage on copy; the snapshot layer clones what it keeps.
+  out->users = users_;
+  out->items = items_;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace metadpa

@@ -1,0 +1,130 @@
+// Reduced-precision serving kernels: bf16-stored and per-row symmetric
+// int8-quantized user/item embedding tables, plus the int8×int8→int32 dot
+// kernel the quantized top-k path scores with.
+//
+// Quantization scheme (per-row symmetric):
+//   scale[r] = max_j |row[r][j]| / 127
+//   q[r][j]  = clamp(round(row[r][j] / scale[r]), -127, 127)
+//   score    = (Σ_j q_u[j] · q_i[j]) · scale_u · scale_i     (int32 product,
+//                                                             fp32 rescale)
+// The symmetric range [-127, 127] (never -128) keeps negation exact and the
+// scheme self-inverse; an all-zero row gets scale 0 and dequantizes to exact
+// zeros. Per-ROW scales matter: embedding norms vary per user/item, and one
+// global scale would crush small rows to zero (top-k inversions). With 127
+// levels per row the dequantization error per coordinate is ≤ scale/2, so
+// the dot-product error is bounded and top-k overlap vs fp32 stays high —
+// the precision-parity harness (eval/parity.h) and the differential serving
+// tests measure exactly that.
+//
+// bf16 tables are storage-only: each element is stored as its RNE-rounded
+// bf16 pattern (half the bytes) and widened back to fp32 for the dot, so the
+// bf16 score equals the fp32 score of the bf16-rounded tables bit for bit.
+//
+// Memory per 64-dim embedding row: fp32 256 B, bf16 128 B, int8 64 B + 4 B
+// scale — the "~2×/~4× more users per node" the ROADMAP's reduced-precision
+// item asks for.
+#ifndef METADPA_SERVE_QUANT_H_
+#define METADPA_SERVE_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/recommender.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace serve {
+namespace quant {
+
+/// \brief Serving-path scoring precision (the ScoringServer knob).
+enum class Precision { kFp32, kBf16, kInt8 };
+
+/// \brief "fp32" / "bf16" / "int8".
+const char* PrecisionName(Precision precision);
+
+/// \brief Parses "fp32"/"bf16"/"int8"; false on anything else.
+bool ParsePrecision(const std::string& name, Precision* out);
+
+/// \brief Per-row symmetric int8 quantization of a 2-D matrix.
+struct Int8Matrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> data;   ///< rows × cols, row-major
+  std::vector<float> scales;  ///< dequantized[r][j] = data[r*cols+j] * scales[r]
+
+  size_t bytes() const { return data.size() + scales.size() * sizeof(float); }
+};
+
+/// \brief bf16-stored 2-D matrix (RNE-rounded fp32 bit patterns).
+struct Bf16Matrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<uint16_t> data;  ///< rows × cols, row-major
+
+  size_t bytes() const { return data.size() * sizeof(uint16_t); }
+};
+
+/// \brief Quantizes every row of `m` (must be 2-D) symmetrically to int8.
+Int8Matrix QuantizeRowsInt8(const Tensor& m);
+
+/// \brief Packs `m` (must be 2-D) into bf16 storage.
+Bf16Matrix PackRowsBf16(const Tensor& m);
+
+/// \brief The int8 serving kernel: Σ a[j]·b[j] in int32 (exact — 96-dim
+/// worst case is 96·127² ≈ 1.5M, far inside int32).
+int32_t DotInt8(const int8_t* a, const int8_t* b, int64_t n);
+
+/// \brief Quantized top-k GEMV: scores[i] = dequantized dot of users[user]
+/// with items[item_ids[i]]. Ids must be inside the tables.
+std::vector<double> ScoreItemsInt8(const Int8Matrix& users, const Int8Matrix& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids);
+
+/// \brief bf16 variant: widen-to-fp32 dot over bf16-stored rows.
+std::vector<double> ScoreItemsBf16(const Bf16Matrix& users, const Bf16Matrix& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids);
+
+/// \brief fp32 reference with the same accumulation order (increasing j), so
+/// the differential tests compare kernels, not summation orders.
+std::vector<double> ScoreItemsFp32(const Tensor& users, const Tensor& items,
+                                   int64_t user, const std::vector<int64_t>& item_ids);
+
+}  // namespace quant
+
+/// \brief Two-tower recommender over explicit user/item embedding tables:
+/// score(u, i) = users[u] · items[i]. The exact shape the reduced-precision
+/// serving path factorizes, so it implements ExportServingEmbeddings — used
+/// by the serve benchmarks, the differential serving tests, and
+/// `metadpa_cli serve-bench --method EmbeddingDot`. Fit is a no-op (tables
+/// are injected or drawn at construction); scoring is thread-safe.
+class DotProductRecommender : public eval::Recommender {
+ public:
+  /// \brief Adopts explicit tables; both must be 2-D with equal column count.
+  DotProductRecommender(Tensor users, Tensor items);
+
+  /// \brief N(0,1) random tables, for benches and load experiments.
+  static std::unique_ptr<DotProductRecommender> MakeRandom(int64_t num_users,
+                                                           int64_t num_items,
+                                                           int64_t dim, Rng* rng);
+
+  std::string name() const override { return "EmbeddingDot"; }
+  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
+  std::vector<double> ScoreCase(const data::EvalCase& eval_case,
+                                const std::vector<int64_t>& items) override;
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override;
+  bool ExportServingEmbeddings(eval::ServingEmbeddings* out) override;
+
+  const Tensor& users() const { return users_; }
+  const Tensor& items() const { return items_; }
+
+ private:
+  Tensor users_;
+  Tensor items_;
+};
+
+}  // namespace serve
+}  // namespace metadpa
+
+#endif  // METADPA_SERVE_QUANT_H_

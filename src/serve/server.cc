@@ -27,6 +27,7 @@ ScoringServer::ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
   MDPA_CHECK_GE(config_.max_queue, 1);
   MDPA_CHECK_GE(config_.max_batch, 1);
   MDPA_CHECK_GE(config_.default_k, 1);
+  MDPA_CHECK(snapshot->SupportsPrecision(config_.precision));
   snapshot_ = std::move(snapshot);
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_workers));
 }
@@ -111,7 +112,10 @@ void ScoringServer::ServeBatch(std::vector<Pending>* batch) {
   // the same model version, and a concurrent UpdateSnapshot cannot free the
   // model under us — the shared_ptr copy keeps it alive to the last response.
   std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
-  std::unique_ptr<eval::CaseScorer> scorer = snapshot->NewScorer();
+  std::unique_ptr<eval::CaseScorer> scorer = snapshot->NewScorer(config_.precision);
+  if (config_.precision != quant::Precision::kFp32) {
+    OBS_COUNT("serve/quant_requests", static_cast<int64_t>(batch->size()));
+  }
   OBS_OBSERVE("serve/batch_size",
               (std::vector<double>{1, 2, 4, 8, 16, 32, 64}),
               static_cast<double>(batch->size()));
@@ -145,6 +149,7 @@ void ScoringServer::ServeBatch(std::vector<Pending>* batch) {
 
 void ScoringServer::UpdateSnapshot(std::shared_ptr<const ModelSnapshot> snapshot) {
   MDPA_CHECK(snapshot != nullptr);
+  MDPA_CHECK(snapshot->SupportsPrecision(config_.precision));
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
     // Swap under the lock, destroy the displaced snapshot after releasing it:

@@ -61,6 +61,12 @@ struct ServerConfig {
   int max_batch = 8;
   /// k used when a request leaves its own k at 0.
   int default_k = 10;
+  /// Scoring precision (the reduced-precision serving knob). kFp32 scores
+  /// through the model clone exactly as before the knob existed — bit
+  /// identical. kBf16/kInt8 score through the snapshot's packed tables; the
+  /// published snapshot must have been captured at that precision (checked at
+  /// construction and on every UpdateSnapshot).
+  quant::Precision precision = quant::Precision::kFp32;
 };
 
 /// \brief One scoring request: rank `candidates` for `user` and return the

@@ -2,8 +2,44 @@
 
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace metadpa {
 namespace serve {
+namespace {
+
+/// CaseScorer over the snapshot's int8 tables. Stateless beyond the borrowed
+/// tables, so any number of handles may score concurrently.
+class Int8TableScorer : public eval::CaseScorer {
+ public:
+  Int8TableScorer(const quant::Int8Matrix* users, const quant::Int8Matrix* items)
+      : users_(users), items_(items) {}
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return quant::ScoreItemsInt8(*users_, *items_, eval_case.user, items);
+  }
+
+ private:
+  const quant::Int8Matrix* users_;
+  const quant::Int8Matrix* items_;
+};
+
+/// CaseScorer over the snapshot's bf16 tables.
+class Bf16TableScorer : public eval::CaseScorer {
+ public:
+  Bf16TableScorer(const quant::Bf16Matrix* users, const quant::Bf16Matrix* items)
+      : users_(users), items_(items) {}
+  std::vector<double> Score(const data::EvalCase& eval_case,
+                            const std::vector<int64_t>& items) override {
+    return quant::ScoreItemsBf16(*users_, *items_, eval_case.user, items);
+  }
+
+ private:
+  const quant::Bf16Matrix* users_;
+  const quant::Bf16Matrix* items_;
+};
+
+}  // namespace
 
 ModelSnapshot::ModelSnapshot(std::shared_ptr<eval::Recommender> model,
                              uint64_t version)
@@ -11,6 +47,12 @@ ModelSnapshot::ModelSnapshot(std::shared_ptr<eval::Recommender> model,
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
     std::shared_ptr<eval::Recommender> model, uint64_t version) {
+  return Capture(std::move(model), version, SnapshotOptions());
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
+    std::shared_ptr<eval::Recommender> model, uint64_t version,
+    const SnapshotOptions& options) {
   if (model == nullptr) {
     return Status::FailedPrecondition("ModelSnapshot::Capture: null model");
   }
@@ -21,14 +63,71 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Capture(
         "ModelSnapshot::Capture: model '" + model->name() +
         "' does not support CloneForScoring (concurrent scoring unaudited)");
   }
-  return std::shared_ptr<const ModelSnapshot>(
+  std::shared_ptr<ModelSnapshot> snapshot(
       new ModelSnapshot(std::move(model), version));
+  if (options.precision != quant::Precision::kFp32) {
+    eval::ServingEmbeddings tables;
+    if (!snapshot->model_->ExportServingEmbeddings(&tables)) {
+      return Status::FailedPrecondition(
+          "ModelSnapshot::Capture: model '" + snapshot->model_name_ +
+          "' has no factorized serving embeddings; " +
+          quant::PrecisionName(options.precision) +
+          " serving requires an exact dot-product model");
+    }
+    snapshot->precision_ = options.precision;
+    if (options.precision == quant::Precision::kBf16) {
+      snapshot->bf16_users_ =
+          std::make_unique<quant::Bf16Matrix>(quant::PackRowsBf16(tables.users));
+      snapshot->bf16_items_ =
+          std::make_unique<quant::Bf16Matrix>(quant::PackRowsBf16(tables.items));
+    } else {
+      snapshot->int8_users_ =
+          std::make_unique<quant::Int8Matrix>(quant::QuantizeRowsInt8(tables.users));
+      snapshot->int8_items_ =
+          std::make_unique<quant::Int8Matrix>(quant::QuantizeRowsInt8(tables.items));
+    }
+    OBS_COUNT("serve/quant_captures", 1);
+    OBS_COUNT("serve/quant_rows", tables.users.dim(0) + tables.items.dim(0));
+    OBS_COUNT("serve/quant_bytes",
+              static_cast<int64_t>(snapshot->table_bytes()));
+  }
+  return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }
 
 std::unique_ptr<eval::CaseScorer> ModelSnapshot::NewScorer() const {
   std::unique_ptr<eval::CaseScorer> scorer = model_->CloneForScoring();
   MDPA_CHECK(scorer != nullptr);  // validated at Capture; models never regress
   return scorer;
+}
+
+std::unique_ptr<eval::CaseScorer> ModelSnapshot::NewScorer(
+    quant::Precision precision) const {
+  MDPA_CHECK(SupportsPrecision(precision));
+  switch (precision) {
+    case quant::Precision::kFp32:
+      return NewScorer();
+    case quant::Precision::kBf16:
+      return std::make_unique<Bf16TableScorer>(bf16_users_.get(),
+                                               bf16_items_.get());
+    case quant::Precision::kInt8:
+      return std::make_unique<Int8TableScorer>(int8_users_.get(),
+                                               int8_items_.get());
+  }
+  MDPA_CHECK(false);
+  return nullptr;
+}
+
+bool ModelSnapshot::SupportsPrecision(quant::Precision precision) const {
+  // fp32 is always served through the model clone; reduced precisions only
+  // when their tables were built at capture.
+  return precision == quant::Precision::kFp32 || precision == precision_;
+}
+
+size_t ModelSnapshot::table_bytes() const {
+  size_t bytes = 0;
+  if (bf16_users_ != nullptr) bytes += bf16_users_->bytes() + bf16_items_->bytes();
+  if (int8_users_ != nullptr) bytes += int8_users_->bytes() + int8_items_->bytes();
+  return bytes;
 }
 
 }  // namespace serve

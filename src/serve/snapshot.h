@@ -17,6 +17,16 @@
 //    server publishes the current one through a mutex-guarded publish/pin
 //    slot, so a swap is one pointer exchange under an uncontended lock and
 //    readers never observe a torn snapshot.
+//
+// Reduced-precision capture: Capture(model, version, options) with a non-fp32
+// SnapshotOptions::precision asks the model for its factorized serving tables
+// (Recommender::ExportServingEmbeddings) and eagerly builds bf16-packed or
+// per-row int8-quantized copies (serve/quant.h). Models without an exact
+// dot-product factorization (MetaDPA, the deep baselines) fail such a capture
+// with FailedPrecondition — they are served at full precision. A snapshot
+// captured at a reduced precision still dispenses fp32 scorers (the model
+// clone path is always available), so a server can A/B precisions against
+// one snapshot.
 #ifndef METADPA_SERVE_SNAPSHOT_H_
 #define METADPA_SERVE_SNAPSHOT_H_
 
@@ -25,10 +35,18 @@
 #include <string>
 
 #include "eval/recommender.h"
+#include "serve/quant.h"
 #include "util/status.h"
 
 namespace metadpa {
 namespace serve {
+
+/// \brief Capture-time knobs.
+struct SnapshotOptions {
+  /// Table precision to build at capture. kFp32 builds no tables; kBf16 /
+  /// kInt8 require the model to implement ExportServingEmbeddings.
+  quant::Precision precision = quant::Precision::kFp32;
+};
 
 /// \brief One frozen, concurrently scorable model version.
 class ModelSnapshot {
@@ -40,10 +58,31 @@ class ModelSnapshot {
   static Result<std::shared_ptr<const ModelSnapshot>> Capture(
       std::shared_ptr<eval::Recommender> model, uint64_t version);
 
-  /// \brief A fresh per-thread scoring handle borrowing this snapshot's
+  /// \brief As above, additionally building reduced-precision serving tables
+  /// when options.precision != kFp32. Fails with FailedPrecondition when the
+  /// model cannot export factorized embeddings at a reduced precision.
+  static Result<std::shared_ptr<const ModelSnapshot>> Capture(
+      std::shared_ptr<eval::Recommender> model, uint64_t version,
+      const SnapshotOptions& options);
+
+  /// \brief A fresh per-thread fp32 scoring handle borrowing this snapshot's
   /// state read-only. The caller must keep the snapshot alive for the
   /// handle's lifetime (server workers hold their shared_ptr across a batch).
   std::unique_ptr<eval::CaseScorer> NewScorer() const;
+
+  /// \brief Scoring handle at the requested precision. kFp32 is always
+  /// available (model clone); kBf16/kInt8 require the snapshot to have been
+  /// captured at that precision — MDPA_CHECKed, probe with SupportsPrecision.
+  std::unique_ptr<eval::CaseScorer> NewScorer(quant::Precision precision) const;
+
+  /// \brief True if NewScorer(precision) is valid for this snapshot.
+  bool SupportsPrecision(quant::Precision precision) const;
+
+  /// \brief The precision this snapshot was captured at.
+  quant::Precision captured_precision() const { return precision_; }
+
+  /// \brief Bytes held by the reduced-precision tables (0 for fp32 capture).
+  size_t table_bytes() const;
 
   uint64_t version() const { return version_; }
   const std::string& model_name() const { return model_name_; }
@@ -57,6 +96,13 @@ class ModelSnapshot {
   const std::shared_ptr<eval::Recommender> model_;
   const uint64_t version_;
   const std::string model_name_;
+  quant::Precision precision_ = quant::Precision::kFp32;
+  // Reduced-precision tables, built eagerly at capture and immutable after —
+  // scorers reference them without synchronization.
+  std::unique_ptr<quant::Bf16Matrix> bf16_users_;
+  std::unique_ptr<quant::Bf16Matrix> bf16_items_;
+  std::unique_ptr<quant::Int8Matrix> int8_users_;
+  std::unique_ptr<quant::Int8Matrix> int8_items_;
 };
 
 }  // namespace serve

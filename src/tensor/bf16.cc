@@ -1,0 +1,25 @@
+#include "tensor/bf16.h"
+
+namespace metadpa {
+namespace t {
+
+void Bf16FromFloatArray(const float* src, uint16_t* dst, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) dst[i] = Bf16FromFloat(src[i]);
+}
+
+void FloatFromBf16Array(const uint16_t* src, float* dst, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) dst[i] = FloatFromBf16(src[i]);
+}
+
+Tensor RoundTensorToBf16(const Tensor& tensor) {
+  Tensor out(tensor.shape());
+  const float* src = tensor.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < tensor.numel(); ++i) {
+    dst[i] = FloatFromBf16(Bf16FromFloat(src[i]));
+  }
+  return out;
+}
+
+}  // namespace t
+}  // namespace metadpa

@@ -1,0 +1,111 @@
+// bfloat16 storage type: fp32's 8-bit exponent with a 7-bit mantissa.
+//
+// bf16 is a STORAGE format here, never an arithmetic one — kernels compute in
+// fp32 and values pass through bf16 only when they cross a storage boundary
+// (checkpoints, embedding tables, serving snapshots). The conversions are the
+// whole contract:
+//
+//  * fp32 -> bf16 rounds to nearest, ties to even (RNE), the same rule fp32
+//    arithmetic itself uses, so repeated round-trips are idempotent: once a
+//    value is representable in bf16, converting it again never moves it.
+//  * bf16 -> fp32 is exact (a bf16 payload shifted into the high half of an
+//    fp32 word IS that value), including ±0, ±Inf and denormals.
+//  * NaNs stay NaNs and keep their payload where the truncation can carry it:
+//    a bf16 NaN survives bf16 -> fp32 -> bf16 bit-identically (the
+//    all-patterns round-trip test pins this), and an fp32 NaN whose high
+//    mantissa bits are all zero gets the quiet bit forced so truncation can
+//    never turn it into an Inf.
+#ifndef METADPA_TENSOR_BF16_H_
+#define METADPA_TENSOR_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "tensor/tensor.h"
+
+namespace metadpa {
+namespace t {
+
+namespace bf16_internal {
+
+inline uint32_t BitsFromFloat(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+inline float FloatFromBits(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace bf16_internal
+
+/// \brief fp32 -> bf16 bit pattern, round-to-nearest-even.
+inline uint16_t Bf16FromFloat(float value) {
+  const uint32_t bits = bf16_internal::BitsFromFloat(value);
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+    // NaN: truncate (keeping whatever payload lives in the high mantissa
+    // bits) instead of rounding — RNE's carry could ripple a payload of all
+    // ones into the exponent and produce Inf. If the surviving high mantissa
+    // bits are zero the result WOULD be Inf, so force the quiet bit.
+    uint16_t hi = static_cast<uint16_t>(bits >> 16);
+    if ((hi & 0x007F) == 0) hi |= 0x0040;
+    return hi;
+  }
+  // RNE via the carry trick: adding 0x7FFF rounds up exactly when the
+  // discarded half exceeds 0.5 ulp, and adding the kept LSB on top breaks
+  // exact ties toward even. Inf and ±0 fall through unchanged (their low 16
+  // bits are zero, so no carry), and denormals round like any other value.
+  const uint32_t rounding_bias = 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>((bits + rounding_bias) >> 16);
+}
+
+/// \brief bf16 bit pattern -> fp32 (exact).
+inline float FloatFromBf16(uint16_t bits) {
+  return bf16_internal::FloatFromBits(static_cast<uint32_t>(bits) << 16);
+}
+
+/// \brief Value type wrapping one bf16 scalar. Arithmetic goes through float;
+/// the class only stores and converts.
+class BFloat16 {
+ public:
+  BFloat16() : bits_(0) {}
+  explicit BFloat16(float value) : bits_(Bf16FromFloat(value)) {}
+
+  static BFloat16 FromBits(uint16_t bits) {
+    BFloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  uint16_t bits() const { return bits_; }
+  float ToFloat() const { return FloatFromBf16(bits_); }
+  operator float() const { return ToFloat(); }
+
+  /// Bit equality (NaN != NaN under operator float, but two equal payloads
+  /// ARE the same stored value — what serialization round-trip tests need).
+  bool BitEquals(const BFloat16& other) const { return bits_ == other.bits_; }
+
+ private:
+  uint16_t bits_;
+};
+
+static_assert(sizeof(BFloat16) == 2, "BFloat16 must be exactly 2 bytes");
+
+/// \brief Rounds `count` fp32 values into bf16 bit patterns (RNE).
+void Bf16FromFloatArray(const float* src, uint16_t* dst, int64_t count);
+
+/// \brief Widens `count` bf16 bit patterns back to fp32 (exact).
+void FloatFromBf16Array(const uint16_t* src, float* dst, int64_t count);
+
+/// \brief A fresh tensor with every element rounded through bf16 — the
+/// in-memory twin of a bf16 save/load round trip, used by the evaluation
+/// parity harness to degrade stored values without touching disk.
+Tensor RoundTensorToBf16(const Tensor& tensor);
+
+}  // namespace t
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_BF16_H_

@@ -4,12 +4,15 @@
 #include <cstring>
 #include <memory>
 
+#include "tensor/bf16.h"
+
 namespace metadpa {
 namespace t {
 namespace {
 
-constexpr uint32_t kTensorMagic = 0x4d445054;  // "MDPT"
-constexpr uint32_t kFileMagic = 0x4d445046;    // "MDPF"
+constexpr uint32_t kTensorMagic = 0x4d445054;    // "MDPT" (legacy, untagged fp32)
+constexpr uint32_t kTensorMagicV2 = 0x4d445432;  // "MDT2" (dtype-tagged)
+constexpr uint32_t kFileMagic = 0x4d445046;      // "MDPF"
 constexpr uint32_t kVersion = 1;
 
 Status WriteRaw(std::FILE* file, const void* data, size_t bytes) {
@@ -46,28 +49,20 @@ int64_t RemainingBytes(std::FILE* file) {
   return static_cast<int64_t>(end - pos);
 }
 
-}  // namespace
-
-Status WriteTensor(std::FILE* file, const Tensor& tensor) {
-  MDPA_CHECK(file != nullptr);
-  MDPA_RETURN_NOT_OK(WriteRaw(file, &kTensorMagic, sizeof(kTensorMagic)));
+Status WriteShape(std::FILE* file, const Tensor& tensor) {
   const uint32_t rank = static_cast<uint32_t>(tensor.ndim());
   MDPA_RETURN_NOT_OK(WriteRaw(file, &rank, sizeof(rank)));
   for (int64_t d = 0; d < tensor.ndim(); ++d) {
     const int64_t dim = tensor.dim(d);
     MDPA_RETURN_NOT_OK(WriteRaw(file, &dim, sizeof(dim)));
   }
-  return WriteRaw(file, tensor.data(),
-                  static_cast<size_t>(tensor.numel()) * sizeof(float));
+  return Status::OK();
 }
 
-Result<Tensor> ReadTensor(std::FILE* file) {
-  MDPA_CHECK(file != nullptr);
-  uint32_t magic = 0;
-  MDPA_RETURN_NOT_OK(ReadRaw(file, &magic, sizeof(magic)));
-  if (magic != kTensorMagic) {
-    return Status::InvalidArgument("bad tensor magic; not a MetaDPA tensor stream");
-  }
+/// Shared by both record formats after their magic/tag prefix: validates the
+/// shape header, checks the payload against the bytes actually left in the
+/// file, and reads/widens the payload. `elem_size` follows the dtype.
+Result<Tensor> ReadShapeAndPayload(std::FILE* file, DType dtype) {
   uint32_t rank = 0;
   MDPA_RETURN_NOT_OK(ReadRaw(file, &rank, sizeof(rank)));
   if (rank > 8) return Status::InvalidArgument("tensor rank too large (corrupt file?)");
@@ -89,12 +84,13 @@ Result<Tensor> ReadTensor(std::FILE* file) {
     }
     numel *= shape[d];
   }
+  const int64_t elem_size = static_cast<int64_t>(DTypeSize(dtype));
   // A corrupt-but-plausible header can still request far more payload than
   // the file holds; check against the actual bytes left (when the stream is
   // seekable) BEFORE allocating, so a bit-flipped dimension yields an error
   // Status instead of a gigabyte allocation followed by a short read.
   const int64_t remaining = RemainingBytes(file);
-  if (remaining >= 0 && numel * static_cast<int64_t>(sizeof(float)) > remaining) {
+  if (remaining >= 0 && numel * elem_size > remaining) {
     // IoError, matching what the doomed fread would have reported: the
     // dominant cause is a truncated file, and io_test pins that code.
     return Status::IoError(
@@ -102,9 +98,106 @@ Result<Tensor> ReadTensor(std::FILE* file) {
         "file?)");
   }
   Tensor tensor(shape);
-  MDPA_RETURN_NOT_OK(
-      ReadRaw(file, tensor.data(), static_cast<size_t>(tensor.numel()) * sizeof(float)));
+  switch (dtype) {
+    case DType::kFloat32:
+      MDPA_RETURN_NOT_OK(ReadRaw(file, tensor.data(),
+                                 static_cast<size_t>(tensor.numel()) * sizeof(float)));
+      break;
+    case DType::kBFloat16: {
+      std::vector<uint16_t> packed(static_cast<size_t>(tensor.numel()));
+      MDPA_RETURN_NOT_OK(ReadRaw(file, packed.data(),
+                                 packed.size() * sizeof(uint16_t)));
+      FloatFromBf16Array(packed.data(), tensor.data(), tensor.numel());
+      break;
+    }
+  }
   return tensor;
+}
+
+}  // namespace
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "fp32";
+    case DType::kBFloat16:
+      return "bf16";
+  }
+  return "unknown";
+}
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return sizeof(float);
+    case DType::kBFloat16:
+      return sizeof(uint16_t);
+  }
+  MDPA_CHECK(false);
+  return 0;
+}
+
+bool ParseDType(const std::string& name, DType* out) {
+  MDPA_CHECK(out != nullptr);
+  if (name == "fp32") {
+    *out = DType::kFloat32;
+    return true;
+  }
+  if (name == "bf16") {
+    *out = DType::kBFloat16;
+    return true;
+  }
+  return false;
+}
+
+Status WriteTensor(std::FILE* file, const Tensor& tensor) {
+  MDPA_CHECK(file != nullptr);
+  MDPA_RETURN_NOT_OK(WriteRaw(file, &kTensorMagic, sizeof(kTensorMagic)));
+  MDPA_RETURN_NOT_OK(WriteShape(file, tensor));
+  return WriteRaw(file, tensor.data(),
+                  static_cast<size_t>(tensor.numel()) * sizeof(float));
+}
+
+Status WriteTensor(std::FILE* file, const Tensor& tensor, DType dtype) {
+  MDPA_CHECK(file != nullptr);
+  MDPA_RETURN_NOT_OK(WriteRaw(file, &kTensorMagicV2, sizeof(kTensorMagicV2)));
+  const uint32_t tag = static_cast<uint32_t>(dtype);
+  MDPA_RETURN_NOT_OK(WriteRaw(file, &tag, sizeof(tag)));
+  MDPA_RETURN_NOT_OK(WriteShape(file, tensor));
+  switch (dtype) {
+    case DType::kFloat32:
+      return WriteRaw(file, tensor.data(),
+                      static_cast<size_t>(tensor.numel()) * sizeof(float));
+    case DType::kBFloat16: {
+      std::vector<uint16_t> packed(static_cast<size_t>(tensor.numel()));
+      Bf16FromFloatArray(tensor.data(), packed.data(), tensor.numel());
+      return WriteRaw(file, packed.data(), packed.size() * sizeof(uint16_t));
+    }
+  }
+  MDPA_CHECK(false);
+  return Status::OK();
+}
+
+Result<Tensor> ReadTensor(std::FILE* file) {
+  MDPA_CHECK(file != nullptr);
+  uint32_t magic = 0;
+  MDPA_RETURN_NOT_OK(ReadRaw(file, &magic, sizeof(magic)));
+  if (magic == kTensorMagic) {
+    // Legacy untagged record: always fp32.
+    return ReadShapeAndPayload(file, DType::kFloat32);
+  }
+  if (magic == kTensorMagicV2) {
+    uint32_t tag = 0;
+    MDPA_RETURN_NOT_OK(ReadRaw(file, &tag, sizeof(tag)));
+    if (tag != static_cast<uint32_t>(DType::kFloat32) &&
+        tag != static_cast<uint32_t>(DType::kBFloat16)) {
+      return Status::InvalidArgument("unknown tensor dtype tag " +
+                                     std::to_string(tag) +
+                                     " (newer format, or corrupt file?)");
+    }
+    return ReadShapeAndPayload(file, static_cast<DType>(tag));
+  }
+  return Status::InvalidArgument("bad tensor magic; not a MetaDPA tensor stream");
 }
 
 Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
@@ -116,6 +209,20 @@ Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) 
   MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &count, sizeof(count)));
   for (const Tensor& tensor : tensors) {
     MDPA_RETURN_NOT_OK(WriteTensor(file.get(), tensor));
+  }
+  return Status::OK();
+}
+
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors,
+                   DType dtype) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return Status::IoError("cannot open for writing: " + path);
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &kFileMagic, sizeof(kFileMagic)));
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &kVersion, sizeof(kVersion)));
+  const uint64_t count = tensors.size();
+  MDPA_RETURN_NOT_OK(WriteRaw(file.get(), &count, sizeof(count)));
+  for (const Tensor& tensor : tensors) {
+    MDPA_RETURN_NOT_OK(WriteTensor(file.get(), tensor, dtype));
   }
   return Status::OK();
 }

@@ -1,9 +1,26 @@
 // Binary tensor serialization (little-endian, versioned magic header).
 // Used for model checkpoints and for exchanging generated rating matrices
 // between processes.
+//
+// Two tensor record formats coexist in one stream:
+//
+//  * legacy (untagged): [magic "MDPT"][rank u32][dims i64 x rank][fp32...]
+//    — what every pre-dtype checkpoint on disk holds; always fp32.
+//  * tagged:            [magic "MDT2"][dtype u32][rank u32][dims][payload]
+//    — written whenever a caller passes an explicit DType; the payload
+//    element width follows the tag (fp32 = 4 bytes, bf16 = 2).
+//
+// ReadTensor dispatches on the per-record magic, so tagged and legacy records
+// mix freely in one file and old checkpoints keep loading byte-for-byte.
+// Unknown dtype tags are rejected with InvalidArgument (a NEWER writer's
+// format, or corruption — either way not silently-wrong tensors). bf16
+// payloads widen to fp32 tensors on read; reading then re-saving as bf16
+// reproduces the identical file (bf16 -> fp32 is exact and RNE is idempotent
+// on representable values).
 #ifndef METADPA_TENSOR_SERIALIZE_H_
 #define METADPA_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,16 +31,42 @@
 namespace metadpa {
 namespace t {
 
-/// \brief Writes one tensor to an open stream.
+/// \brief On-disk element type of a tensor record.
+enum class DType : uint32_t {
+  kFloat32 = 0,
+  kBFloat16 = 1,
+};
+
+/// \brief "fp32" / "bf16".
+const char* DTypeName(DType dtype);
+
+/// \brief Payload bytes per element.
+size_t DTypeSize(DType dtype);
+
+/// \brief Parses "fp32"/"bf16" into a DType; false on anything else.
+bool ParseDType(const std::string& name, DType* out);
+
+/// \brief Writes one tensor to an open stream (legacy untagged fp32 record —
+/// the format every existing file uses).
 Status WriteTensor(std::FILE* file, const Tensor& tensor);
 
-/// \brief Reads one tensor from an open stream.
+/// \brief Writes one tensor as a dtype-tagged record. kFloat32 stores the
+/// exact values; kBFloat16 rounds each element to bf16 (RNE) and stores two
+/// bytes per element — halving the size, and widening losslessly on read.
+Status WriteTensor(std::FILE* file, const Tensor& tensor, DType dtype);
+
+/// \brief Reads one tensor from an open stream (legacy or tagged record;
+/// reduced-precision payloads widen to fp32).
 Result<Tensor> ReadTensor(std::FILE* file);
 
-/// \brief Saves a list of tensors to `path` (overwrites).
+/// \brief Saves a list of tensors to `path` (overwrites) as legacy records.
 Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 
-/// \brief Loads a list of tensors from `path`.
+/// \brief Saves a list of tensors to `path` as dtype-tagged records.
+Status SaveTensors(const std::string& path, const std::vector<Tensor>& tensors,
+                   DType dtype);
+
+/// \brief Loads a list of tensors from `path` (either record format).
 Result<std::vector<Tensor>> LoadTensors(const std::string& path);
 
 }  // namespace t

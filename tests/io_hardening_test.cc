@@ -16,6 +16,7 @@
 
 #include "nn/checkpoint.h"
 #include "nn/layers.h"
+#include "tensor/bf16.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 
@@ -168,6 +169,168 @@ TEST(TensorHardeningTest, MissingFileIsNotFound) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
+// --- Dtype-tagged record format -------------------------------------------
+
+/// A valid two-tensor file in the TAGGED format (records carry a dtype).
+std::string MakeValidTaggedFile(const std::string& name, t::DType dtype) {
+  Rng rng(15);
+  const std::string path = TempPath(name);
+  std::vector<Tensor> tensors = {Tensor::RandNormal({3, 4}, &rng),
+                                 Tensor::RandNormal({5}, &rng)};
+  EXPECT_TRUE(t::SaveTensors(path, tensors, dtype).ok());
+  return ReadFileBytes(path);
+}
+
+TEST(TaggedFormatHardeningTest, EveryTruncationYieldsErrorStatusFp32) {
+  const std::string bytes = MakeValidTaggedFile("tag_trunc32_base.bin",
+                                                t::DType::kFloat32);
+  const std::string path = TempPath("tag_trunc32.bin");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(path, bytes.substr(0, len));
+    EXPECT_FALSE(t::LoadTensors(path).ok())
+        << "truncation to " << len << " bytes accepted";
+  }
+  WriteFileBytes(path, bytes);
+  EXPECT_TRUE(t::LoadTensors(path).ok());
+}
+
+TEST(TaggedFormatHardeningTest, EveryTruncationYieldsErrorStatusBf16) {
+  const std::string bytes = MakeValidTaggedFile("tag_trunc16_base.bin",
+                                                t::DType::kBFloat16);
+  const std::string path = TempPath("tag_trunc16.bin");
+  // The bf16 payload is 2 bytes per element; odd-length truncations land
+  // mid-element and must be just as dead as whole-element cuts.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(path, bytes.substr(0, len));
+    EXPECT_FALSE(t::LoadTensors(path).ok())
+        << "truncation to " << len << " bytes accepted";
+  }
+  WriteFileBytes(path, bytes);
+  EXPECT_TRUE(t::LoadTensors(path).ok());
+}
+
+TEST(TaggedFormatHardeningTest, TaggedHeaderBitFlipsNeverCrash) {
+  const std::string bytes = MakeValidTaggedFile("tag_flip_base.bin",
+                                                t::DType::kBFloat16);
+  const std::string path = TempPath("tag_flip.bin");
+  // Tagged header region: file magic(4) + version(4) + count(8) + first
+  // record's magic(4) + dtype(4) + rank(4) + dims(2*8).
+  const size_t header_bytes = 4 + 4 + 8 + 4 + 4 + 4 + 16;
+  ASSERT_LT(header_bytes, bytes.size());
+  for (size_t byte = 0; byte < header_bytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      WriteFileBytes(path, corrupt);
+      auto loaded = t::LoadTensors(path);
+      if (loaded.ok()) {
+        int64_t numel = 0;
+        for (const Tensor& t : loaded.ValueOrDie()) numel += t.numel();
+        EXPECT_EQ(numel, 3 * 4 + 5) << "byte " << byte << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(TaggedFormatHardeningTest, UnknownDtypeTagRejected) {
+  // A tagged record claiming dtype 7 — a NEWER writer's format or corruption.
+  // Must reject with InvalidArgument, not guess an element width.
+  const std::string path = TempPath("unknown_dtype.bin");
+  std::string bytes;
+  const uint32_t file_magic = 0x4d445046, version = 1;
+  const uint64_t count = 1;
+  const uint32_t tagged_magic = 0x4d445432, dtype = 7, rank = 1;
+  const int64_t dims[1] = {4};
+  bytes.append(reinterpret_cast<const char*>(&file_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  bytes.append(reinterpret_cast<const char*>(&count), 8);
+  bytes.append(reinterpret_cast<const char*>(&tagged_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&dtype), 4);
+  bytes.append(reinterpret_cast<const char*>(&rank), 4);
+  bytes.append(reinterpret_cast<const char*>(dims), 8);
+  bytes.append(16, '\0');
+  WriteFileBytes(path, bytes);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("dtype"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(TaggedFormatHardeningTest, LegacyUntaggedFileStillReads) {
+  // Byte-crafted LEGACY file (no dtype field anywhere): the pre-dtype format
+  // must keep loading, values intact, forever.
+  const std::string path = TempPath("legacy_compat.bin");
+  std::string bytes;
+  const uint32_t file_magic = 0x4d445046, version = 1;
+  const uint64_t count = 1;
+  const uint32_t legacy_magic = 0x4d445054, rank = 2;
+  const int64_t dims[2] = {2, 3};
+  const float payload[6] = {1.5f, -2.25f, 0.0f, 4096.0f, -0.125f, 3.0f};
+  bytes.append(reinterpret_cast<const char*>(&file_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  bytes.append(reinterpret_cast<const char*>(&count), 8);
+  bytes.append(reinterpret_cast<const char*>(&legacy_magic), 4);
+  bytes.append(reinterpret_cast<const char*>(&rank), 4);
+  bytes.append(reinterpret_cast<const char*>(dims), 16);
+  bytes.append(reinterpret_cast<const char*>(payload), 24);
+  WriteFileBytes(path, bytes);
+  auto loaded = t::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.ValueOrDie().size(), 1u);
+  const Tensor& tensor = loaded.ValueOrDie()[0];
+  ASSERT_EQ(tensor.shape(), (Shape{2, 3}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(tensor.at(i), payload[i]);
+}
+
+TEST(TaggedFormatHardeningTest, LegacyWriterOutputIsByteStable) {
+  // The 2-argument SaveTensors must keep producing the LEGACY layout — a
+  // dtype field sneaking in would silently break old readers. Check the
+  // first record's magic and total size arithmetic.
+  const std::string bytes = MakeValidFile("legacy_layout.bin");
+  uint32_t record_magic;
+  std::memcpy(&record_magic, bytes.data() + 16, 4);
+  EXPECT_EQ(record_magic, 0x4d445054u);  // "MDPT", not "MDT2"
+  // file header 16 + (magic 4 + rank 4 + dims 16 + 12 floats) + (magic 4 +
+  // rank 4 + dims 8 + 5 floats)
+  EXPECT_EQ(bytes.size(), 16u + (4 + 4 + 16 + 48) + (4 + 4 + 8 + 20));
+}
+
+TEST(TaggedFormatHardeningTest, Bf16RoundTripIsBitExactAndIdempotent) {
+  Rng rng(16);
+  std::vector<Tensor> tensors = {Tensor::RandNormal({4, 7}, &rng),
+                                 Tensor::RandNormal({9}, &rng)};
+  const std::string path_a = TempPath("bf16_rt_a.bin");
+  const std::string path_b = TempPath("bf16_rt_b.bin");
+  ASSERT_TRUE(t::SaveTensors(path_a, tensors, t::DType::kBFloat16).ok());
+
+  auto loaded = t::LoadTensors(path_a);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<Tensor>& widened = loaded.ValueOrDie();
+  ASSERT_EQ(widened.size(), tensors.size());
+  // Loaded values are exactly the bf16-rounded originals, bit for bit.
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    Tensor expect = t::RoundTensorToBf16(tensors[i]);
+    ASSERT_EQ(widened[i].shape(), tensors[i].shape());
+    for (int64_t j = 0; j < expect.numel(); ++j) {
+      uint32_t eb, wb;
+      const float ef = expect.at(j), wf = widened[i].at(j);
+      std::memcpy(&eb, &ef, 4);
+      std::memcpy(&wb, &wf, 4);
+      EXPECT_EQ(eb, wb) << "tensor " << i << " elem " << j;
+    }
+  }
+  // Re-saving the widened tensors as bf16 reproduces the identical file:
+  // bf16 -> fp32 is exact and RNE is idempotent on representable values.
+  ASSERT_TRUE(t::SaveTensors(path_b, widened, t::DType::kBFloat16).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+  // The bf16 file is smaller: each record saves 2 bytes/element over fp32.
+  const std::string fp32_path = TempPath("bf16_rt_fp32.bin");
+  ASSERT_TRUE(t::SaveTensors(fp32_path, tensors, t::DType::kFloat32).ok());
+  EXPECT_EQ(ReadFileBytes(fp32_path).size() - ReadFileBytes(path_a).size(),
+            2u * (4 * 7 + 9));
+}
+
 // --- Checkpoint-level hardening -------------------------------------------
 
 TEST(CheckpointHardeningTest, TruncatedCheckpointRejectedAtEveryLength) {
@@ -212,6 +375,32 @@ TEST(CheckpointHardeningTest, BitFlippedCheckpointHeaderNeverCrashes) {
       Status status = nn::LoadCheckpoint(corrupt_path, layer.Parameters());
       (void)status;
     }
+  }
+}
+
+TEST(CheckpointHardeningTest, Bf16CheckpointRoundTripsThroughLoad) {
+  Rng rng(17);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("ckpt_bf16.bin");
+  ASSERT_TRUE(
+      nn::SaveCheckpoint(path, layer.Parameters(), t::DType::kBFloat16).ok());
+  // Loading into a second model yields exactly the bf16-rounded parameters.
+  Rng rng2(18);
+  nn::Linear other(6, 4, &rng2);
+  ASSERT_TRUE(nn::LoadCheckpoint(path, other.Parameters()).ok());
+  std::vector<Tensor> saved = nn::SnapshotParams(layer.Parameters());
+  std::vector<Tensor> loaded = nn::SnapshotParams(other.Parameters());
+  ASSERT_EQ(saved.size(), loaded.size());
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_FLOAT_EQ(
+        t::MaxAbsDiff(t::RoundTensorToBf16(saved[i]), loaded[i]), 0.0f);
+  }
+  // Truncating the bf16 checkpoint anywhere still never loads.
+  const std::string bytes = ReadFileBytes(path);
+  const std::string corrupt_path = TempPath("ckpt_bf16_trunc.bin");
+  for (size_t len = 0; len < bytes.size(); len += 9) {
+    WriteFileBytes(corrupt_path, bytes.substr(0, len));
+    EXPECT_FALSE(nn::LoadCheckpoint(corrupt_path, other.Parameters()).ok());
   }
 }
 

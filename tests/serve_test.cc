@@ -5,15 +5,20 @@
 // `ctest -L tsan` / `-L asan` tiers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "serve/loadgen.h"
+#include "serve/quant.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "tensor/bf16.h"
 
 namespace metadpa {
 namespace serve {
@@ -378,6 +383,223 @@ TEST(ScoringServerStressTest, SubmitSwapAndPollRaceCleanly) {
   EXPECT_EQ(stats.completed, served.load());
   EXPECT_EQ(stats.rejected_full, backpressured.load());
   EXPECT_GT(stats.snapshot_swaps, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-precision serving (serve/quant.h + snapshot precision capture)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DotProductRecommender> MakeTables(uint64_t seed,
+                                                  int64_t users = 64,
+                                                  int64_t items = 256,
+                                                  int64_t dim = 32) {
+  Rng rng(seed);
+  return DotProductRecommender::MakeRandom(users, items, dim, &rng);
+}
+
+TEST(QuantKernelTest, Int8QuantizationBoundsRowError) {
+  Rng rng(21);
+  Tensor m = Tensor::RandNormal({17, 24}, &rng);
+  quant::Int8Matrix q = quant::QuantizeRowsInt8(m);
+  ASSERT_EQ(q.rows, 17);
+  ASSERT_EQ(q.cols, 24);
+  for (int64_t r = 0; r < q.rows; ++r) {
+    const float scale = q.scales[static_cast<size_t>(r)];
+    EXPECT_GT(scale, 0.0f);
+    for (int64_t j = 0; j < q.cols; ++j) {
+      const float original = m.at(r, j);
+      const float dequant = q.data[static_cast<size_t>(r * q.cols + j)] * scale;
+      // Symmetric rounding: at most half a quantization step per coordinate.
+      EXPECT_LE(std::fabs(dequant - original), scale * 0.5f + 1e-7f);
+    }
+  }
+}
+
+TEST(QuantKernelTest, AllZeroRowQuantizesToExactZeros) {
+  Tensor m = Tensor::Zeros({2, 8});
+  m.at(1, 3) = 5.0f;  // second row non-zero so only row 0 is degenerate
+  quant::Int8Matrix q = quant::QuantizeRowsInt8(m);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  for (int64_t j = 0; j < 8; ++j) EXPECT_EQ(q.data[static_cast<size_t>(j)], 0);
+  std::vector<double> scores = quant::ScoreItemsInt8(q, q, 0, {0, 1});
+  EXPECT_EQ(scores[0], 0.0);
+  EXPECT_EQ(scores[1], 0.0);
+}
+
+TEST(QuantKernelTest, DotInt8IsExactInt32Arithmetic) {
+  const std::vector<int8_t> a = {127, -127, 50, 0, -3};
+  const std::vector<int8_t> b = {127, 127, -50, 9, -3};
+  EXPECT_EQ(quant::DotInt8(a.data(), b.data(), 5),
+            127 * 127 - 127 * 127 - 2500 + 0 + 9);
+}
+
+TEST(QuantKernelTest, Bf16ScoresEqualFp32OverRoundedTables) {
+  // The bf16 path's contract: identical to fp32 scoring of bf16-rounded
+  // tables, bit for bit.
+  auto model = MakeTables(22);
+  quant::Bf16Matrix users = quant::PackRowsBf16(model->users());
+  quant::Bf16Matrix items = quant::PackRowsBf16(model->items());
+  std::vector<int64_t> ids = {0, 3, 17, 255, 9};
+  std::vector<double> bf16_scores = quant::ScoreItemsBf16(users, items, 5, ids);
+  Tensor rounded_users = t::RoundTensorToBf16(model->users());
+  Tensor rounded_items = t::RoundTensorToBf16(model->items());
+  std::vector<double> ref = quant::ScoreItemsFp32(rounded_users, rounded_items, 5, ids);
+  ASSERT_EQ(bf16_scores.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(bf16_scores[i], ref[i]);
+}
+
+TEST(SnapshotPrecisionTest, ReducedCaptureRequiresFactorizedModel) {
+  SnapshotOptions options;
+  options.precision = quant::Precision::kInt8;
+  auto deep = ModelSnapshot::Capture(std::make_shared<FakeModel>(), 1, options);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kFailedPrecondition);
+
+  auto factorized = ModelSnapshot::Capture(MakeTables(23), 1, options);
+  ASSERT_TRUE(factorized.ok()) << factorized.status().ToString();
+  const auto& snapshot = factorized.ValueOrDie();
+  EXPECT_EQ(snapshot->captured_precision(), quant::Precision::kInt8);
+  EXPECT_TRUE(snapshot->SupportsPrecision(quant::Precision::kInt8));
+  EXPECT_TRUE(snapshot->SupportsPrecision(quant::Precision::kFp32));
+  EXPECT_FALSE(snapshot->SupportsPrecision(quant::Precision::kBf16));
+  // int8 tables: one byte per element plus one fp32 scale per row.
+  EXPECT_EQ(snapshot->table_bytes(),
+            static_cast<size_t>((64 + 256) * 32 + (64 + 256) * 4));
+}
+
+TEST(SnapshotPrecisionTest, PrecisionScorersMatchKernels) {
+  auto model = MakeTables(24);
+  const Tensor users = model->users();
+  const Tensor items = model->items();
+  SnapshotOptions options;
+  options.precision = quant::Precision::kInt8;
+  auto snapshot = ModelSnapshot::Capture(std::move(model), 1, options).ValueOrDie();
+
+  data::EvalCase eval_case;
+  eval_case.user = 11;
+  const std::vector<int64_t> ids = {1, 2, 3, 100, 200, 255};
+  std::vector<double> via_scorer =
+      snapshot->NewScorer(quant::Precision::kInt8)->Score(eval_case, ids);
+  quant::Int8Matrix qu = quant::QuantizeRowsInt8(users);
+  quant::Int8Matrix qi = quant::QuantizeRowsInt8(items);
+  std::vector<double> via_kernel = quant::ScoreItemsInt8(qu, qi, 11, ids);
+  ASSERT_EQ(via_scorer.size(), via_kernel.size());
+  for (size_t i = 0; i < via_kernel.size(); ++i) {
+    EXPECT_EQ(via_scorer[i], via_kernel[i]);
+  }
+  // The fp32 scorer from the SAME snapshot scores through the model clone.
+  std::vector<double> via_fp32 =
+      snapshot->NewScorer(quant::Precision::kFp32)->Score(eval_case, ids);
+  std::vector<double> ref = quant::ScoreItemsFp32(users, items, 11, ids);
+  for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(via_fp32[i], ref[i]);
+}
+
+TEST(ScoringServerPrecisionTest, Fp32KnobOffIsBitIdenticalOverReducedCapture) {
+  // A server with the precision knob OFF (fp32) must score bit-identically
+  // whether its snapshot was captured plain or with int8 tables on the side.
+  auto model = MakeTables(25);
+  std::shared_ptr<eval::Recommender> shared = std::move(model);
+  SnapshotOptions int8_options;
+  int8_options.precision = quant::Precision::kInt8;
+
+  ScoringServer plain(MustCapture(shared, 1), ServerConfig{});
+  ServerConfig fp32_config;  // precision defaults to kFp32
+  ScoringServer reduced(
+      ModelSnapshot::Capture(shared, 1, int8_options).ValueOrDie(), fp32_config);
+
+  for (int64_t user = 0; user < 8; ++user) {
+    ScoreRequest request = SimpleRequest({5, 1, 99, 250, 7, 42, 13}, 5);
+    request.user = user;
+    auto a = plain.Submit(request);
+    auto b = reduced.Submit(request);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ScoreResponse ra = a.ValueOrDie().get();
+    ScoreResponse rb = b.ValueOrDie().get();
+    ASSERT_EQ(ra.items.size(), rb.items.size());
+    for (size_t i = 0; i < ra.items.size(); ++i) {
+      EXPECT_EQ(ra.items[i].item, rb.items[i].item);
+      EXPECT_EQ(ra.items[i].score, rb.items[i].score);  // exact, not near
+    }
+  }
+}
+
+TEST(ScoringServerPrecisionTest, Int8TopKOverlapsFp32UnderHotSwapLoad) {
+  // Differential serving: an int8 server and an fp32 server answer the same
+  // request stream while the int8 server hot-swaps re-captured snapshots.
+  // Every response pair must agree on most of the top-k (rank overlap), and
+  // the int8 responses must be deterministic across the swaps.
+  auto model = MakeTables(26);
+  std::shared_ptr<eval::Recommender> shared = std::move(model);
+  SnapshotOptions int8_options;
+  int8_options.precision = quant::Precision::kInt8;
+
+  ServerConfig fp32_config;
+  fp32_config.num_workers = 2;
+  ServerConfig int8_config = fp32_config;
+  int8_config.precision = quant::Precision::kInt8;
+  ScoringServer fp32_server(MustCapture(shared, 1), fp32_config);
+  ScoringServer int8_server(
+      ModelSnapshot::Capture(shared, 1, int8_options).ValueOrDie(), int8_config);
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    uint64_t version = 1;
+    while (!done.load()) {
+      auto next = ModelSnapshot::Capture(shared, ++version, int8_options);
+      ASSERT_TRUE(next.ok());
+      int8_server.UpdateSnapshot(next.ValueOrDie());
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRequests = 120;
+  constexpr int kK = 10;
+  Rng rng(27);
+  double overlap_sum = 0.0;
+  for (int i = 0; i < kRequests; ++i) {
+    ScoreRequest request;
+    request.user = static_cast<int64_t>(rng.UniformInt(64));
+    for (int c = 0; c < 40; ++c) {
+      request.candidates.push_back(static_cast<int64_t>(rng.UniformInt(256)));
+    }
+    request.k = kK;
+    auto fp32_fut = fp32_server.Submit(request);
+    auto int8_a_fut = int8_server.Submit(request);
+    auto int8_b_fut = int8_server.Submit(request);
+    ASSERT_TRUE(fp32_fut.ok() && int8_a_fut.ok() && int8_b_fut.ok());
+    ScoreResponse fp32_response = fp32_fut.ValueOrDie().get();
+    ScoreResponse int8_a = int8_a_fut.ValueOrDie().get();
+    ScoreResponse int8_b = int8_b_fut.ValueOrDie().get();
+
+    // Same request twice against the swapping int8 server: identical items
+    // and scores regardless of which snapshot version answered.
+    ASSERT_EQ(int8_a.items.size(), int8_b.items.size());
+    for (size_t j = 0; j < int8_a.items.size(); ++j) {
+      EXPECT_EQ(int8_a.items[j].item, int8_b.items[j].item);
+      EXPECT_EQ(int8_a.items[j].score, int8_b.items[j].score);
+    }
+
+    // Rank overlap vs fp32.
+    ASSERT_EQ(fp32_response.items.size(), int8_a.items.size());
+    std::vector<int64_t> fp32_top, int8_top;
+    for (const auto& r : fp32_response.items) fp32_top.push_back(r.item);
+    for (const auto& r : int8_a.items) int8_top.push_back(r.item);
+    std::sort(fp32_top.begin(), fp32_top.end());
+    std::sort(int8_top.begin(), int8_top.end());
+    std::vector<int64_t> common;
+    std::set_intersection(fp32_top.begin(), fp32_top.end(), int8_top.begin(),
+                          int8_top.end(), std::back_inserter(common));
+    const double overlap = static_cast<double>(common.size()) /
+                           static_cast<double>(fp32_top.size());
+    EXPECT_GE(overlap, 0.5) << "request " << i;  // per-request floor
+    overlap_sum += overlap;
+  }
+  done.store(true);
+  swapper.join();
+  fp32_server.Stop();
+  int8_server.Stop();
+  // Aggregate bound is much tighter than the per-request floor.
+  EXPECT_GE(overlap_sum / kRequests, 0.85);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 
+#include "tensor/bf16.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -193,6 +196,71 @@ TEST(StructurePropertyTest, RowMatchesIndexSelect) {
     Tensor via_row = Row(a, r);
     Tensor via_select = IndexSelect(a, {r}).Reshape({5});
     EXPECT_LT(MaxAbsDiff(via_row, via_select), 1e-7f);
+  }
+}
+
+// Properties of the bf16 rounding map r(x) = FloatFromBf16(Bf16FromFloat(x)).
+// Random values span magnitudes from denormal to near-overflow via
+// exp-distributed exponents.
+
+TEST(Bf16PropertyTest, RoundingIsIdempotent) {
+  Rng rng(50);
+  for (int i = 0; i < 5000; ++i) {
+    const float x =
+        static_cast<float>(rng.Normal() * std::pow(2.0, rng.Uniform(-140.0, 120.0)));
+    const uint16_t once = Bf16FromFloat(x);
+    EXPECT_EQ(Bf16FromFloat(FloatFromBf16(once)), once) << "x=" << x;
+  }
+}
+
+TEST(Bf16PropertyTest, RoundingIsMonotone) {
+  // x <= y implies r(x) <= r(y): rounding never reorders values, so bf16
+  // storage can change which items tie but never inverts a strict ranking by
+  // more than the rounding granularity.
+  Rng rng(51);
+  for (int i = 0; i < 5000; ++i) {
+    const double scale = std::pow(2.0, rng.Uniform(-10.0, 10.0));
+    float x = static_cast<float>(rng.Normal() * scale);
+    float y = static_cast<float>(rng.Normal() * scale);
+    if (x > y) std::swap(x, y);
+    EXPECT_LE(FloatFromBf16(Bf16FromFloat(x)), FloatFromBf16(Bf16FromFloat(y)))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(Bf16PropertyTest, RoundingCommutesWithNegation) {
+  Rng rng(52);
+  for (int i = 0; i < 5000; ++i) {
+    const float x = static_cast<float>(rng.Normal() * 100.0);
+    EXPECT_EQ(Bf16FromFloat(-x), Bf16FromFloat(x) ^ 0x8000u);
+  }
+}
+
+TEST(Bf16PropertyTest, RoundTensorToBf16IsIdempotentBitwise) {
+  Rng rng(53);
+  Tensor a = Tensor::RandNormal({13, 7}, &rng);
+  Tensor once = RoundTensorToBf16(a);
+  Tensor twice = RoundTensorToBf16(once);
+  for (int64_t i = 0; i < once.numel(); ++i) {
+    uint32_t b1, b2;
+    float f1 = once.at(i), f2 = twice.at(i);
+    std::memcpy(&b1, &f1, sizeof(b1));
+    std::memcpy(&b2, &f2, sizeof(b2));
+    EXPECT_EQ(b1, b2);
+  }
+  EXPECT_FALSE(once.SharesStorageWith(a));
+}
+
+TEST(Bf16PropertyTest, RoundingNeverIncreasesMagnitudeByMoreThanHalfUlp) {
+  // |r(x)| stays within one part in 2^8 of |x| for normal-range inputs, and
+  // r(x) has the same sign as x (or is a signed zero).
+  Rng rng(54);
+  for (int i = 0; i < 5000; ++i) {
+    const float x =
+        static_cast<float>(rng.Normal() * std::pow(2.0, rng.Uniform(-60.0, 60.0)));
+    const float r = FloatFromBf16(Bf16FromFloat(x));
+    EXPECT_LE(std::fabs(r - x), std::fabs(x) * 0x1p-8f);
+    EXPECT_EQ(std::signbit(r), std::signbit(x));
   }
 }
 

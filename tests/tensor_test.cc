@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
+#include "tensor/bf16.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -299,6 +302,130 @@ TEST(OpsTest, MaxAbsDiffAndAllFinite) {
   Tensor inf = Tensor::FromVector({1, std::numeric_limits<float>::infinity()});
   EXPECT_FALSE(t::AllFinite(inf));
   EXPECT_TRUE(t::AllFinite(a));
+}
+
+// ---------------------------------------------------------------------------
+// bfloat16 conversion (tensor/bf16.h)
+// ---------------------------------------------------------------------------
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float FromBits(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+// Every one of the 2^16 bf16 bit patterns — including every NaN payload,
+// both infinities, both zeros and all denormals — must survive
+// bf16 -> fp32 -> bf16 unchanged. This is the exhaustive identity the
+// storage format's losslessness rests on.
+TEST(Bf16Test, AllPatternsRoundTripExactly) {
+  for (uint32_t p = 0; p <= 0xFFFF; ++p) {
+    const uint16_t pattern = static_cast<uint16_t>(p);
+    const float widened = t::FloatFromBf16(pattern);
+    EXPECT_EQ(t::Bf16FromFloat(widened), pattern) << "pattern 0x" << std::hex << p;
+  }
+}
+
+TEST(Bf16Test, PinnedValues) {
+  EXPECT_EQ(t::Bf16FromFloat(0.0f), 0x0000);
+  EXPECT_EQ(t::Bf16FromFloat(-0.0f), 0x8000);
+  EXPECT_EQ(t::Bf16FromFloat(1.0f), 0x3F80);
+  EXPECT_EQ(t::Bf16FromFloat(-2.0f), 0xC000);
+  EXPECT_EQ(t::Bf16FromFloat(1.0078125f), 0x3F81);  // 1 + 2^-7, one bf16 ulp
+  EXPECT_EQ(t::FloatFromBf16(0x3F80), 1.0f);
+  EXPECT_EQ(t::FloatFromBf16(0x4049), 3.140625f);  // pi truncated to bf16
+}
+
+TEST(Bf16Test, RoundToNearestEvenTies) {
+  // Exactly halfway between 0x3F80 and 0x3F81; 0x3F80 is even -> stays.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x3F808000u)), 0x3F80);
+  // Exactly halfway above odd 0x3F81 -> rounds up to even 0x3F82.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x3F818000u)), 0x3F82);
+  // Tie above odd 0x3FFF carries into the exponent: -> 0x4000 (2.0).
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x3FFF8000u)), 0x4000);
+  // One bit below the tie truncates; one above rounds up.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x3F807FFFu)), 0x3F80);
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x3F808001u)), 0x3F81);
+}
+
+TEST(Bf16Test, InfinityAndOverflow) {
+  EXPECT_EQ(t::Bf16FromFloat(std::numeric_limits<float>::infinity()), 0x7F80);
+  EXPECT_EQ(t::Bf16FromFloat(-std::numeric_limits<float>::infinity()), 0xFF80);
+  // Max finite fp32 is above the bf16 rounding boundary -> overflows to Inf.
+  EXPECT_EQ(t::Bf16FromFloat(std::numeric_limits<float>::max()), 0x7F80);
+  // Max finite bf16 widens exactly and stays finite.
+  EXPECT_EQ(t::FloatFromBf16(0x7F7F), FromBits(0x7F7F0000u));
+  EXPECT_TRUE(std::isfinite(t::FloatFromBf16(0x7F7F)));
+}
+
+TEST(Bf16Test, NanPayloadAndQuieting) {
+  // Quiet NaN with payload bits in the bf16-visible range: truncation keeps
+  // the payload.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x7FC30000u)), 0x7FC3);
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0xFFC30000u)), 0xFFC3);
+  // NaN whose mantissa bits live ONLY below the truncation point would decay
+  // to Inf; the converter forces the quiet bit instead.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x7F800001u)), 0x7FC0);
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0xFF800001u)), 0xFFC0);
+  // NaN in, NaN out — never a finite value or Inf.
+  EXPECT_TRUE(std::isnan(t::FloatFromBf16(t::Bf16FromFloat(
+      std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Bf16Test, Denormals) {
+  // Smallest positive bf16 denormal: exact in fp32 (widening shifts into
+  // fp32's denormal range), so it round-trips.
+  const float tiny = t::FloatFromBf16(0x0001);
+  EXPECT_GT(tiny, 0.0f);
+  EXPECT_EQ(t::Bf16FromFloat(tiny), 0x0001);
+  // A denormal fp32 below half the smallest bf16 denormal rounds to +0.
+  EXPECT_EQ(t::Bf16FromFloat(FromBits(0x00000001u)), 0x0000);
+  EXPECT_EQ(t::Bf16FromFloat(-FromBits(0x00000001u)), 0x8000);
+}
+
+TEST(Bf16Test, RelativeErrorBoundedByHalfUlp) {
+  // For normal-range values the RNE error is at most 2^-8 relative (half of
+  // the 7-bit mantissa's ulp).
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.Normal(0.0, 100.0));
+    const float back = t::FloatFromBf16(t::Bf16FromFloat(x));
+    EXPECT_LE(std::fabs(back - x), std::fabs(x) * 0x1p-8f) << "x=" << x;
+  }
+}
+
+TEST(Bf16Test, ArrayAndTensorHelpersMatchScalar) {
+  Rng rng(7);
+  Tensor x = Tensor::RandNormal({9, 5}, &rng);
+  std::vector<uint16_t> packed(static_cast<size_t>(x.numel()));
+  t::Bf16FromFloatArray(x.data(), packed.data(), x.numel());
+  std::vector<float> widened(packed.size());
+  t::FloatFromBf16Array(packed.data(), widened.data(), x.numel());
+  Tensor rounded = t::RoundTensorToBf16(x);
+  EXPECT_EQ(rounded.shape(), x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const uint16_t expect = t::Bf16FromFloat(x.at(i));
+    EXPECT_EQ(packed[static_cast<size_t>(i)], expect);
+    EXPECT_EQ(FloatBits(widened[static_cast<size_t>(i)]),
+              FloatBits(t::FloatFromBf16(expect)));
+    EXPECT_EQ(FloatBits(rounded.at(i)), FloatBits(t::FloatFromBf16(expect)));
+  }
+}
+
+TEST(Bf16Test, BFloat16ValueType) {
+  t::BFloat16 a(1.5f);
+  EXPECT_EQ(a.bits(), 0x3FC0);
+  EXPECT_EQ(a.ToFloat(), 1.5f);
+  EXPECT_EQ(static_cast<float>(a), 1.5f);
+  t::BFloat16 b = t::BFloat16::FromBits(0x3FC0);
+  EXPECT_TRUE(a.BitEquals(b));
+  EXPECT_FALSE(a.BitEquals(t::BFloat16(2.0f)));
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Builds the coverage tier, runs the quick test suite in it, and renders a
+# line/branch coverage report for src/.
+#
+# Usage: tools/coverage.sh [build-dir] [ctest-label-args...]
+#
+# Defaults: build-coverage / "-LE slow" (the quick tier; pass e.g. "" to run
+# everything including the slow integration tests). The build tree is
+# configured with -DMETADPA_COVERAGE=ON (gcc --coverage at -O0; see the root
+# CMakeLists.txt) — keep it separate from the Release and sanitizer trees.
+#
+# Reporting prefers gcovr (per-file table + totals). When gcovr is not
+# installed the script falls back to raw gcov summaries per object directory,
+# which is cruder but needs nothing beyond the gcc toolchain.
+set -eu
+
+build_dir="${1:-build-coverage}"
+shift 2>/dev/null || true
+label_args="${*:--LE slow}"
+
+cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Debug -DMETADPA_COVERAGE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)"
+
+# Stale counters from a previous run would inflate the report.
+find "$build_dir" -name '*.gcda' -delete
+
+(cd "$build_dir" && ctest $label_args --output-on-failure)
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root . --filter 'src/' "$build_dir" \
+    --print-summary --sort-percentage
+else
+  echo "note: gcovr not installed; falling back to gcov file summaries" >&2
+  find "$build_dir/src" -name '*.gcda' | while read -r gcda; do
+    (cd "$(dirname "$gcda")" && gcov -n "$(basename "$gcda")" 2>/dev/null)
+  done | grep -A1 "^File 'src" | sed "s/^Lines executed:/  lines:/"
+fi

@@ -27,14 +27,24 @@
 //   serve-bench [--target NAME] [--scale S] [--method NAME] [--effort E]
 //               [--seed SEED] [--qps Q] [--requests N] [--clients C]
 //               [--serve-workers W] [--queue-cap N] [--batch B] [--k K]
-//               [--candidates N] [--swap-ms MS] [--train-threads T]
-//               [--grad-threads G]
+//               [--candidates N] [--swap-ms MS] [--precision fp32|bf16|int8]
+//               [--train-threads T] [--grad-threads G]
 //       train one method, freeze it into a ModelSnapshot, start the scoring
 //       server and drive a closed-loop synthetic cold-user load through it;
 //       prints the p50/p99 latency report and the server's request-path
 //       counters. --qps 0 = saturation (no pacing); --swap-ms N hot-swaps a
 //       re-captured snapshot of the same model every N ms while the load
-//       runs (scoring is bit-identical across those swaps).
+//       runs (scoring is bit-identical across those swaps). --precision
+//       selects the reduced-precision serving path (bf16/int8 require a
+//       factorized model — today --method EmbeddingDot, an untrained random
+//       two-tower model that exists to exercise the quantized kernels).
+//   parity  [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
+//           [--effort E] [--seed SEED] [--k K] [--threads T] [--csv PATH]
+//           [--train-threads T] [--grad-threads G]
+//       train the chosen methods once, then evaluate every scenario under
+//       fp32, bf16 and int8 scoring (eval/parity.h) and print per-precision
+//       metrics, metric deltas vs fp32 and top-k overlap. Exits 1 if any
+//       precision violates its declared tolerance.
 //
 // Telemetry flags for `run` and `serve-bench`:
 //   --telemetry-out PATH        append JSONL metric snapshots during the run
@@ -63,8 +73,10 @@
 
 #include "data/io.h"
 #include "data/stats.h"
+#include "eval/parity.h"
 #include "eval/suite.h"
 #include "serve/loadgen.h"
+#include "serve/quant.h"
 #include "serve/server.h"
 #include "util/table.h"
 
@@ -140,8 +152,11 @@ int Usage() {
       "  serve-bench [--method NAME] [--scale S] [--effort E] [--seed SEED]\n"
       "              [--qps Q] [--requests N] [--clients C] [--serve-workers W]\n"
       "              [--queue-cap N] [--batch B] [--k K] [--candidates N]\n"
-      "              [--swap-ms MS] [--train-threads T] [--grad-threads G]\n"
-      "              [+ telemetry flags]\n");
+      "              [--swap-ms MS] [--precision fp32|bf16|int8]\n"
+      "              [--train-threads T] [--grad-threads G] [+ telemetry flags]\n"
+      "  parity      [--methods A,B,..] [--scale S] [--negatives N] [--effort E]\n"
+      "              [--seed SEED] [--k K] [--threads T] [--csv PATH]\n"
+      "              [--train-threads T] [--grad-threads G]\n");
   return 2;
 }
 
@@ -170,7 +185,11 @@ std::set<std::string> AllowedFlags(const std::string& command) {
     allowed = {"target", "scale", "method", "effort", "seed", "negatives",
                "train-threads", "grad-threads", "qps", "requests", "clients",
                "serve-workers",
-               "queue-cap", "batch", "k", "candidates", "swap-ms"};
+               "queue-cap", "batch", "k", "candidates", "swap-ms", "precision"};
+    allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
+  } else if (command == "parity") {
+    allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
+               "k", "threads", "csv", "train-threads", "grad-threads"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   }
   return allowed;
@@ -394,6 +413,11 @@ int RunServeBench(const Args& args) {
   server_config.max_queue = static_cast<int>(args.GetIntAtLeast("queue-cap", 256, 1));
   server_config.max_batch = static_cast<int>(args.GetIntAtLeast("batch", 8, 1));
   server_config.default_k = static_cast<int>(args.GetIntAtLeast("k", 10, 1));
+  const std::string precision_name = args.Get("precision", "fp32");
+  if (!serve::quant::ParsePrecision(precision_name, &server_config.precision)) {
+    FlagError("invalid value for --precision: '" + precision_name +
+              "' (fp32|bf16|int8)");
+  }
 
   serve::LoadgenConfig load;
   load.num_requests = args.GetIntAtLeast("requests", 1000, 0);
@@ -423,23 +447,34 @@ int RunServeBench(const Args& args) {
   std::unique_ptr<obs::TelemetrySampler> sampler =
       suite::StartTelemetry(options, &manifest);
 
-  std::shared_ptr<eval::Recommender> model = suite::MakeMethod(method, options);
-  if (model == nullptr) {
-    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
-    return 2;
-  }
-  std::fprintf(stderr, "training %s (effort %.2f)...\n", method.c_str(),
-               options.effort);
-  Status fit_status = model->Fit(ctx);
-  if (!fit_status.ok()) {
-    std::fprintf(stderr, "%s training failed: %s\n", method.c_str(),
-                 fit_status.ToString().c_str());
-    if (sampler != nullptr) sampler->Stop();
-    return 1;
+  std::shared_ptr<eval::Recommender> model;
+  if (method == "EmbeddingDot") {
+    // Untrained random two-tower tables: the model whose factorization the
+    // reduced-precision serving path quantizes. No Fit step.
+    Rng rng(config.seed);
+    model = serve::DotProductRecommender::MakeRandom(
+        dataset.target.num_users(), dataset.target.num_items(), /*dim=*/96, &rng);
+  } else {
+    model = suite::MakeMethod(method, options);
+    if (model == nullptr) {
+      std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "training %s (effort %.2f)...\n", method.c_str(),
+                 options.effort);
+    Status fit_status = model->Fit(ctx);
+    if (!fit_status.ok()) {
+      std::fprintf(stderr, "%s training failed: %s\n", method.c_str(),
+                   fit_status.ToString().c_str());
+      if (sampler != nullptr) sampler->Stop();
+      return 1;
+    }
   }
 
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.precision = server_config.precision;
   Result<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
-      serve::ModelSnapshot::Capture(model, /*version=*/1);
+      serve::ModelSnapshot::Capture(model, /*version=*/1, snapshot_options);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
     return 1;
@@ -458,18 +493,20 @@ int RunServeBench(const Args& args) {
       uint64_t version = 1;
       while (swapping.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(swap_ms));
-        auto next = serve::ModelSnapshot::Capture(model, ++version);
+        auto next = serve::ModelSnapshot::Capture(model, ++version, snapshot_options);
         if (next.ok()) server.UpdateSnapshot(next.ValueOrDie());
       }
     });
   }
 
   std::fprintf(stderr,
-               "serving %lld requests (%d clients, %d workers, qps %s)...\n",
+               "serving %lld requests (%d clients, %d workers, qps %s, "
+               "precision %s)...\n",
                static_cast<long long>(load.num_requests), load.clients,
                server_config.num_workers,
                load.target_qps > 0 ? std::to_string(load.target_qps).c_str()
-                                   : "max");
+                                   : "max",
+               serve::quant::PrecisionName(server_config.precision));
   serve::LoadgenReport report = serve::RunLoadgen(
       &server, dataset.target.num_users(), splits.existing_items, load);
   if (swapper.joinable()) {
@@ -508,6 +545,83 @@ int RunServeBench(const Args& args) {
   return report.rejected == 0 ? 0 : 1;
 }
 
+int RunParityCmd(const Args& args) {
+  data::SyntheticConfig config = ResolveDataConfig(args);
+  data::MultiDomainDataset dataset = data::Generate(config);
+  data::SplitOptions split_options;
+  split_options.num_negatives = static_cast<int>(args.GetIntAtLeast("negatives", 99, 1));
+  data::DatasetSplits splits = data::MakeSplits(dataset.target, split_options);
+  eval::TrainContext ctx{&dataset, &splits, config.seed};
+
+  suite::SuiteOptions options;
+  options.effort = args.GetDouble("effort", 1.0);
+  options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
+  options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
+  ApplyObservabilityFlags(args, &options);
+  suite::SetupObservability(options);
+
+  eval::ParityOptions parity_options;
+  parity_options.k = static_cast<int>(args.GetIntAtLeast("k", 10, 1));
+  parity_options.num_threads = static_cast<int>(args.GetIntAtLeast("threads", 0, 0));
+
+  std::vector<std::string> names;
+  std::stringstream ss(args.Get("methods", "MeLU,CoNN,MetaDPA"));
+  std::string token;
+  while (std::getline(ss, token, ',')) names.push_back(token);
+
+  std::unique_ptr<CsvWriter> csv;
+  const std::string csv_path = args.Get("csv", "");
+  if (!csv_path.empty()) {
+    csv = std::make_unique<CsvWriter>(csv_path);
+    csv->WriteRow({"method", "scenario", "precision", "hr10", "mrr10", "ndcg10",
+                   "auc", "max_delta", "mean_overlap", "min_overlap", "passed"});
+  }
+
+  std::vector<eval::ParityReport> reports;
+  for (const std::string& name : names) {
+    std::unique_ptr<eval::Recommender> model = suite::MakeMethod(name, options);
+    if (model == nullptr) {
+      std::fprintf(stderr, "unknown method: %s\n", name.c_str());
+      return 2;
+    }
+    Status fit_status = model->Fit(ctx);
+    if (!fit_status.ok()) {
+      std::fprintf(stderr, "%s training failed: %s\n", name.c_str(),
+                   fit_status.ToString().c_str());
+      return 1;
+    }
+    for (data::Scenario scenario :
+         {data::Scenario::kWarm, data::Scenario::kColdUser, data::Scenario::kColdItem,
+          data::Scenario::kColdUserItem}) {
+      reports.push_back(eval::RunParity(model.get(), ctx, scenario, parity_options));
+    }
+    std::fprintf(stderr, "%s parity done\n", name.c_str());
+  }
+
+  std::cout << eval::RenderParityReports(reports);
+  bool all_passed = true;
+  for (const eval::ParityReport& report : reports) {
+    all_passed &= report.passed;
+    if (csv != nullptr) {
+      for (const eval::PrecisionRow& row : report.rows) {
+        csv->WriteRow({report.model_name, data::ScenarioName(report.scenario),
+                       eval::ScoringPrecisionName(row.precision),
+                       TextTable::Num(row.at_k.hr), TextTable::Num(row.at_k.mrr),
+                       TextTable::Num(row.at_k.ndcg), TextTable::Num(row.at_k.auc),
+                       TextTable::Num(row.max_metric_delta),
+                       TextTable::Num(row.mean_topk_overlap),
+                       TextTable::Num(row.min_topk_overlap),
+                       row.passed ? "1" : "0"});
+      }
+    }
+  }
+  if (!all_passed) {
+    std::fprintf(stderr, "parity FAILED: at least one precision out of tolerance\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -517,5 +631,6 @@ int main(int argc, char** argv) {
   if (args.command == "export") return RunExport(args);
   if (args.command == "manifest") return RunManifest(args);
   if (args.command == "serve-bench") return RunServeBench(args);
+  if (args.command == "parity") return RunParityCmd(args);
   return Usage();
 }

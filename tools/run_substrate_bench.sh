@@ -25,16 +25,23 @@ if [ ! -x "$bench" ]; then
   exit 1
 fi
 
+# Random interleaving spreads each benchmark's repetitions across the whole
+# run instead of executing them back-to-back. On shared hardware whose speed
+# drifts on a ~minute timescale, back-to-back repetitions all catch one random
+# machine state (low within-run cv, 30%+ median swings between runs);
+# interleaved repetitions sample the same state distribution for every
+# benchmark, so medians stay comparable run to run.
 "$bench" \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true
 
-# The serve-path and backward-engine benchmarks are part of the tracked set;
-# a run missing either means the binary predates them and would silently
-# un-gate those paths.
-for family in BM_ServeScoreTopK BM_GradEngine; do
+# The serve-path (fp32 + reduced-precision), and backward-engine benchmarks
+# are part of the tracked set; a run missing any of them means the binary
+# predates them and would silently un-gate those paths.
+for family in BM_ServeScoreTopK BM_ServeScoreTopKBf16 BM_ServeScoreTopKInt8 BM_GradEngine; do
   if ! grep -q "$family" "$out"; then
     echo "error: $out has no $family rows; rebuild bench_micro_substrate" >&2
     exit 1
