@@ -225,6 +225,87 @@ void BM_GradEngineSecondOrderMaml(benchmark::State& state) {
 }
 BENCHMARK(BM_GradEngineSecondOrderMaml)->Arg(1)->Arg(2)->Arg(4);
 
+// ---- tape optimizer (autograd/optimizer.h) ----
+// Each BM_TapeOpt* bench differentiates ONE pre-built graph with
+// GradOptions::optimize off (Arg 0) and on (Arg 1); results are
+// bit-identical across args (tests/tape_fuzz_test.cc), so the rows measure
+// pure overhead-vs-win of the fusion/CSE/release passes. Serial execution:
+// the optimizer's counters and its benefit are cleanest with one executor.
+
+// Deep elementwise chain over a {64,64} leaf: the fusion pass's best case —
+// every link fuses into one kernel, so the optimized backward materializes
+// zero intermediate gradients for the chain.
+void BM_TapeOptFusedChain(benchmark::State& state) {
+  Rng rng(12);
+  ag::Variable x(Tensor::RandNormal({64, 64}, &rng), true);
+  ag::Variable h = x;
+  for (int depth = 0; depth < 4; ++depth) {
+    h = ag::AddScalar(ag::MulScalar(ag::Tanh(h), 0.9f), 0.05f);
+    h = ag::Softplus(ag::Neg(h));
+    h = ag::Sigmoid(ag::MulScalar(h, 1.1f));
+  }
+  ag::Variable loss = ag::MeanAll(h);
+  ag::GradOptions opts;
+  opts.threads = 1;
+  opts.optimize = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Grad(loss, {x}, opts));
+  }
+}
+BENCHMARK(BM_TapeOptFusedChain)->Arg(0)->Arg(1);
+
+// Real model graph: the Dual-CVAE total loss backward with the optimizer on
+// vs off — the reparameterization Exp(MulScalar(logvar, 0.5)) and the
+// activation stacks are the fusion targets, and the eager-release pass
+// returns tower-sized gradient buffers to the pool mid-backward.
+void BM_TapeOptCvaeElbo(benchmark::State& state) {
+  Rng rng(13);
+  cvae::DualCvaeConfig config;
+  config.source_items = 200;
+  config.target_items = 240;
+  config.content_dim = 96;
+  cvae::DualCvae model(config, &rng);
+  Tensor r_s = Tensor::RandUniform({32, 200}, &rng);
+  Tensor x_s = Tensor::RandUniform({32, 96}, &rng);
+  Tensor r_t = Tensor::RandUniform({32, 240}, &rng);
+  Tensor x_t = Tensor::RandUniform({32, 96}, &rng);
+  cvae::DualCvaeLosses losses = model.ComputeLosses(r_s, x_s, r_t, x_t, &rng);
+  std::vector<ag::Variable> params = model.Parameters();
+  ag::GradOptions opts;
+  opts.threads = 1;
+  opts.optimize = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Grad(losses.total, params, opts));
+  }
+}
+BENCHMARK(BM_TapeOptCvaeElbo)->Arg(0)->Arg(1);
+
+// Second-order MAML step with optimize plumbed the way meta/maml.cc does:
+// the inner create_graph backward makes the pass stand down, the outer
+// first-order backward over the inner-built graph is optimized — the row
+// shows the net effect on a full meta-step.
+void BM_TapeOptMamlInner(benchmark::State& state) {
+  Rng rng(14);
+  ag::Variable w(Tensor::RandNormal({64, 64}, &rng), true);
+  ag::Variable x = ag::Constant(Tensor::RandNormal({32, 64}, &rng));
+  Tensor targets = Tensor::RandUniform({32, 64}, &rng);
+  ag::GradOptions inner_opts;
+  inner_opts.create_graph = true;
+  inner_opts.threads = 1;
+  inner_opts.optimize = state.range(0) != 0;
+  ag::GradOptions outer_opts;
+  outer_opts.threads = 1;
+  outer_opts.optimize = state.range(0) != 0;
+  for (auto _ : state) {
+    ag::Variable loss = ag::BceWithLogits(ag::MatMul(x, w), ag::Constant(targets));
+    ag::Variable g = ag::Grad(loss, {w}, inner_opts)[0];
+    ag::Variable fast = ag::Sub(w, ag::MulScalar(g, 0.1f));
+    ag::Variable outer = ag::BceWithLogits(ag::MatMul(x, fast), ag::Constant(targets));
+    benchmark::DoNotOptimize(ag::Grad(outer, {w}, outer_opts));
+  }
+}
+BENCHMARK(BM_TapeOptMamlInner)->Arg(0)->Arg(1);
+
 void BM_MamlMetaStep(benchmark::State& state) {
   Rng rng(7);
   meta::PreferenceModelConfig model_config;

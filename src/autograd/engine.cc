@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,19 +11,15 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "autograd/optimizer.h"
 #include "obs/obs.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
 namespace metadpa {
 namespace ag {
 namespace engine {
-namespace {
-
-// Graphs below this node count run serially even when opts.threads asks for
-// more: recruiting pool helpers costs more than the walk itself. Purely a
-// scheduling decision — values are identical either way.
-constexpr size_t kMinParallelNodes = 8;
 
 /// Depth-first post-order over the subgraph that requires grad (iterative to
 /// survive deep chains, e.g. unrolled inner loops).
@@ -54,6 +51,13 @@ void TopoSort(const NodePtr& root, std::vector<NodePtr>* order) {
     }
   }
 }
+
+namespace {
+
+// Graphs below this node count run serially even when opts.threads asks for
+// more: recruiting pool helpers costs more than the walk itself. Purely a
+// scheduling decision — values are identical either way.
+constexpr size_t kMinParallelNodes = 8;
 
 /// One edge from a consumer's input position to the producer's slot table.
 struct OutEdge {
@@ -94,6 +98,55 @@ struct Graph {
   std::vector<OutEdge> edges;
 };
 
+/// Runtime state of one CSE class (optimizer.h): the first member to execute
+/// caches its merged gradient (keeping the storage alive so the pointer
+/// cannot be recycled) and its closure outputs; later members whose merged
+/// gradient arrives in the SAME storage reuse the outputs instead of running
+/// the closure. Same storage implies same values, and the reused outputs are
+/// delivered into the member's ordinary slots, so downstream merge order —
+/// and therefore every bit of every result — is unchanged. Mutex-guarded:
+/// contention is per-duplicate-class and the critical section is pointer
+/// bookkeeping only.
+struct ClassCache {
+  std::mutex mutex;
+  bool set = false;
+  const float* grad_ptr = nullptr;
+  Variable grad_keepalive;
+  std::vector<Variable> outputs;
+};
+
+/// Per-run execution state of an optimization plan.
+struct PlanRt {
+  const optimizer::Plan* plan = nullptr;
+  /// Resolved delivery edge per chain: the slot the chain-bottom link's
+  /// closure would have filled on the producer below the chain.
+  std::vector<OutEdge> chain_deliver;
+  std::unique_ptr<ClassCache[]> classes;
+  /// Runtime counters. Values the engine produces are schedule-independent;
+  /// these counters are exact in serial runs but may vary with scheduling in
+  /// parallel runs (two class members racing both execute — correct, just a
+  /// missed share).
+  std::atomic<int64_t> cse_hits{0};
+  std::atomic<int64_t> bytes_saved{0};
+};
+
+/// Drops a node's merged gradient once it can no longer be observed. When
+/// this handle is the last one (node unique AND storage unaliased — Reshape
+/// views and pass-through closures share storage), the buffer returns to the
+/// thread-local pool immediately and is counted; otherwise reference
+/// counting keeps the buffer alive for its remaining users (the PR 2
+/// ownership rule: release is a handle drop, never a forced free).
+void ReleaseGrad(NodeState* state, size_t my_index, PlanRt* rt) {
+  if (!rt->plan->releasable[my_index] || !state->grad.is_valid()) return;
+  const NodePtr& node = state->grad.node();
+  if (node.use_count() == 1 && node->value.StorageUseCount() == 1) {
+    rt->bytes_saved.fetch_add(
+        node->value.numel() * static_cast<int64_t>(sizeof(float)),
+        std::memory_order_relaxed);
+  }
+  state->grad = Variable();
+}
+
 /// Merges a node's slot contributions in slot order with the serial walk's
 /// ownership discipline: a single contribution is aliased as-is, the first
 /// collision makes a fresh sum, later arrivals accumulate in place into that
@@ -123,20 +176,72 @@ Variable MergeSlots(NodeState* state, Graph* graph, bool create_graph) {
   return acc;
 }
 
-/// Executes one ready node: merge, run the backward closure, deliver each
-/// input's contribution into its reserved slot, and collect inputs whose
-/// dependency count reached zero into `newly_ready`. Only `state` and the
-/// slots this node reserved are written; any set of ready nodes may run
-/// concurrently.
-void Process(NodeState* state, Graph* graph, bool create_graph,
+/// Executes one ready node: merge, run the backward closure (or its fused /
+/// cached replacement when a plan is active), deliver each input's
+/// contribution into its reserved slot, and collect inputs whose dependency
+/// count reached zero into `newly_ready`. Only `state` and the slots this
+/// node reserved are written; any set of ready nodes may run concurrently.
+/// `rt` may be null (unoptimized execution).
+void Process(NodeState* state, Graph* graph, bool create_graph, PlanRt* rt,
              std::vector<NodeState*>* newly_ready) {
   state->grad = MergeSlots(state, graph, create_graph);
+  const size_t my_index = static_cast<size_t>(state - graph->states.data());
+
+  if (rt != nullptr) {
+    // The contribution slots are dead once merged; dropping the handles now
+    // lets aliased upstream buffers free as soon as their last user merges.
+    for (uint32_t s = state->slot_begin; s < state->slot_begin + state->slot_count;
+         ++s) {
+      graph->slots[s] = Variable();
+    }
+    const int32_t chain_id = rt->plan->chain_of[my_index];
+    if (chain_id >= 0) {
+      // Fused chain tail: one pass computes what the chain's closures would
+      // have produced link by link, delivered straight into the slot the
+      // chain-bottom closure owned. Interior nodes never execute.
+      const optimizer::Chain& chain =
+          rt->plan->chains[static_cast<size_t>(chain_id)];
+      const OutEdge edge = rt->chain_deliver[static_cast<size_t>(chain_id)];
+      if (state->grad.is_valid()) {
+        graph->slots[edge.slot] =
+            Variable(t::fused::BackwardChain(state->grad.data(), chain.steps),
+                     /*requires_grad=*/false);
+      }
+      ReleaseGrad(state, my_index, rt);
+      NodeState& target = graph->states[static_cast<size_t>(edge.target)];
+      if (target.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        newly_ready->push_back(&target);
+      }
+      return;
+    }
+  }
 
   std::vector<Variable> input_grads;
   const bool run_backward = state->grad.is_valid() && state->node->backward != nullptr;
-  if (run_backward) {
+  ClassCache* cache = nullptr;
+  bool shared = false;
+  if (run_backward && rt != nullptr && rt->plan->cse_class[my_index] >= 0) {
+    cache = &rt->classes[static_cast<size_t>(rt->plan->cse_class[my_index])];
+    const float* grad_ptr = state->grad.data().data();
+    std::lock_guard<std::mutex> lock(cache->mutex);
+    if (cache->set && cache->grad_ptr == grad_ptr) {
+      input_grads = cache->outputs;
+      shared = true;
+      rt->cse_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (run_backward && !shared) {
     input_grads = state->node->backward(state->grad);
     MDPA_CHECK_EQ(input_grads.size(), state->node->inputs.size());
+    if (cache != nullptr) {
+      std::lock_guard<std::mutex> lock(cache->mutex);
+      if (!cache->set) {
+        cache->set = true;
+        cache->grad_keepalive = state->grad;  // pins the storage address
+        cache->grad_ptr = state->grad.data().data();
+        cache->outputs = input_grads;
+      }
+    }
   }
   const size_t num_inputs = state->node->inputs.size();
   for (size_t i = 0; i < num_inputs; ++i) {
@@ -149,7 +254,13 @@ void Process(NodeState* state, Graph* graph, bool create_graph,
           << "backward of " << state->node->op_name << " produced grad of shape "
           << ShapeToString(input_grads[i].shape()) << " for input of shape "
           << ShapeToString(in->value.shape());
-      graph->slots[edge.slot] = std::move(input_grads[i]);
+      // Cached outputs stay shared across class members, so copy the handle
+      // instead of moving it out from under the cache.
+      if (cache != nullptr) {
+        graph->slots[edge.slot] = input_grads[i];
+      } else {
+        graph->slots[edge.slot] = std::move(input_grads[i]);
+      }
     }
     // An invalid contribution leaves the slot empty but still counts down:
     // the producer must learn all its consumers finished even when no
@@ -158,6 +269,7 @@ void Process(NodeState* state, Graph* graph, bool create_graph,
       newly_ready->push_back(&target);
     }
   }
+  if (rt != nullptr) ReleaseGrad(state, my_index, rt);
 }
 
 /// Shared scheduling state of one parallel backward. Guards only the queue
@@ -177,7 +289,7 @@ struct Scheduler {
 /// ready node, execute it, publish newly-ready nodes, until all nodes ran
 /// (or a sibling failed). Blocking here is safe — the calling thread always
 /// participates, so the queue cannot starve.
-void ExecutorLoop(Scheduler* sched, Graph* graph, bool create_graph) {
+void ExecutorLoop(Scheduler* sched, Graph* graph, bool create_graph, PlanRt* rt) {
   std::vector<NodeState*> newly_ready;
   for (;;) {
     NodeState* state = nullptr;
@@ -190,7 +302,7 @@ void ExecutorLoop(Scheduler* sched, Graph* graph, bool create_graph) {
     }
     newly_ready.clear();
     try {
-      Process(state, graph, create_graph, &newly_ready);
+      Process(state, graph, create_graph, rt, &newly_ready);
     } catch (...) {
       std::lock_guard<std::mutex> lock(sched->mutex);
       if (!sched->error) sched->error = std::current_exception();
@@ -284,8 +396,43 @@ std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& i
     }
   }
 
+  // --- Tape optimization (optimizer.h). The plan is pure analysis over the
+  // order/edge structure built above; execution consults it per node. Chain
+  // interiors never execute, so they leave the node budget now. Disabled
+  // under create_graph — the closures there BUILD the second-order graph and
+  // must run unrewritten (see GradOptions::optimize).
+  optimizer::Plan plan;
+  PlanRt rt;
+  PlanRt* rt_ptr = nullptr;
+  size_t fused_interior_count = 0;
+  if (opts.optimize && !opts.create_graph && !order.empty()) {
+    std::vector<uint32_t> consumers(states.size());
+    for (size_t i = 0; i < states.size(); ++i) consumers[i] = states[i].slot_count;
+    consumers[root_index] -= 1;  // the backward seed is not a consumer
+    std::vector<uint8_t> requested(states.size(), 0);
+    for (const Variable& in : inputs) {
+      if (!in.is_valid()) continue;
+      auto found = index.find(in.node().get());
+      if (found != index.end()) requested[found->second] = 1;
+    }
+    plan = optimizer::Analyze(order, consumers, requested, root_index, &index);
+    rt.plan = &plan;
+    rt.chain_deliver.resize(plan.chains.size());
+    for (size_t c = 0; c < plan.chains.size(); ++c) {
+      const optimizer::Chain& chain = plan.chains[c];
+      rt.chain_deliver[c] =
+          graph.edges[states[chain.bottom].edge_begin + chain.deliver_input_pos];
+    }
+    for (uint8_t interior : plan.fused_interior) fused_interior_count += interior;
+    if (plan.num_cse_classes > 0) {
+      rt.classes = std::make_unique<ClassCache[]>(plan.num_cse_classes);
+    }
+    rt_ptr = &rt;
+  }
+
   // --- Execution. Every non-root node has at least one consumer in the
   // subgraph, so the root alone is ready at the start.
+  const size_t to_execute = states.size() - fused_interior_count;
   int64_t peak_ready = 0;
   size_t executors = 1;
   if (opts.threads != 1 && !ThreadPool::InsideWorker() &&
@@ -300,7 +447,7 @@ std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& i
       NodeState* state = ready.front();
       ready.pop_front();
       newly_ready.clear();
-      Process(state, &graph, opts.create_graph, &newly_ready);
+      Process(state, &graph, opts.create_graph, rt_ptr, &newly_ready);
       for (NodeState* next : newly_ready) ready.push_back(next);
       const int64_t depth = static_cast<int64_t>(ready.size());
       if (depth > peak_ready) peak_ready = depth;
@@ -308,7 +455,7 @@ std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& i
   } else {
     Scheduler sched;
     sched.ready.push_back(&states[root_index]);
-    sched.remaining = states.size();
+    sched.remaining = to_execute;
     sched.peak_ready = 1;
     ThreadPool& pool = ThreadPool::Global();
     const size_t helpers = std::min(executors - 1, pool.num_threads());
@@ -316,20 +463,28 @@ std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& i
     // touches `sched`/`states` on this frame (the ParallelFor discipline).
     CountdownLatch helpers_exited(helpers);
     for (size_t h = 0; h < helpers; ++h) {
-      const bool submitted = pool.TrySubmit([&sched, &graph, &opts, &helpers_exited] {
-        ExecutorLoop(&sched, &graph, opts.create_graph);
-        helpers_exited.CountDown();
-      });
+      const bool submitted =
+          pool.TrySubmit([&sched, &graph, &opts, &rt_ptr, &helpers_exited] {
+            ExecutorLoop(&sched, &graph, opts.create_graph, rt_ptr);
+            helpers_exited.CountDown();
+          });
       if (!submitted) helpers_exited.CountDown();
     }
-    ExecutorLoop(&sched, &graph, opts.create_graph);
+    ExecutorLoop(&sched, &graph, opts.create_graph, rt_ptr);
     helpers_exited.Wait();
     if (sched.error) std::rethrow_exception(sched.error);
     peak_ready = sched.peak_ready;
   }
 
-  OBS_COUNT("autograd/nodes_executed", static_cast<int64_t>(states.size()));
+  OBS_COUNT("autograd/nodes_executed", static_cast<int64_t>(to_execute));
   OBS_GAUGE_SET("autograd/ready_peak", static_cast<double>(peak_ready));
+  if (rt_ptr != nullptr) {
+    OBS_COUNT("autograd/tape/nodes_fused", plan.nodes_fused);
+    OBS_COUNT("autograd/tape/cse_hits",
+              rt.cse_hits.load(std::memory_order_relaxed));
+    OBS_COUNT("autograd/tape/bytes_saved",
+              rt.bytes_saved.load(std::memory_order_relaxed));
+  }
 
   // --- Results, aligned with `inputs` (same contract as the serial walk).
   std::vector<Variable> results;

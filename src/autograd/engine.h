@@ -52,10 +52,19 @@ namespace metadpa {
 namespace ag {
 namespace engine {
 
+/// \brief Depth-first post-order over the requires-grad subgraph (iterative,
+/// survives deep chains). Producers appear before consumers. Shared with the
+/// tape optimizer (autograd/optimizer.h) so plans align with engine order.
+void TopoSort(const NodePtr& root, std::vector<NodePtr>* order);
+
 /// \brief Runs backward for `output` and returns gradients aligned with
 /// `inputs`. Validation of the arguments (scalar output, requires_grad) is
 /// Grad()'s job; this assumes them. opts.threads selects the executor count
-/// (1 = serial, 0 = all cores, N = cap).
+/// (1 = serial, 0 = all cores, N = cap). With opts.optimize (and not
+/// create_graph) the tape optimizer's plan drives execution: fused chains
+/// skip their interior nodes, duplicate closures are shared when their
+/// incoming gradients share storage, and dead gradients return their buffers
+/// to the pool mid-backward — bit-identical results either way.
 std::vector<Variable> Run(const Variable& output, const std::vector<Variable>& inputs,
                           const GradOptions& opts);
 

@@ -1,6 +1,7 @@
 #include "autograd/ops.h"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "tensor/ops.h"
@@ -11,13 +12,31 @@ namespace {
 
 using BackwardFn = std::function<std::vector<Variable>(const Variable&)>;
 
+/// Scalar op attributes are stored as the float's bit pattern widened to
+/// uint64 — exact (no rounding), so CSE only ever merges bit-equal params.
+uint64_t FloatAttr(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
 /// Creates the output node. If no input requires grad the tape entry is
-/// dropped entirely (constant folding), so inference builds no graph.
-Variable MakeNode(const char* name, Tensor value, const std::vector<Variable>& inputs,
-                  BackwardFn bw) {
+/// dropped entirely (constant folding), so inference builds no graph. The
+/// OpId + attrs are recorded unconditionally (they are inline fields, free)
+/// so the tape optimizer can pattern-match and value-number the graph.
+Variable MakeNode(OpId op, const char* name, Tensor value,
+                  const std::vector<Variable>& inputs, BackwardFn bw,
+                  std::initializer_list<uint64_t> attrs = {},
+                  bool cse_safe = true) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->op_name = name;
+  node->op = op;
+  node->cse_safe = cse_safe;
+  for (uint64_t a : attrs) {
+    MDPA_CHECK_LT(node->attr_count, 3);
+    node->attrs[node->attr_count++] = a;
+  }
   bool requires_grad = false;
   for (const Variable& v : inputs) requires_grad = requires_grad || v.requires_grad();
   node->requires_grad = requires_grad;
@@ -36,28 +55,28 @@ Variable Constant(Tensor value) { return Variable(std::move(value), false); }
 Variable ConstantScalar(float value) { return Constant(Tensor::Scalar(value)); }
 
 Variable Add(const Variable& a, const Variable& b) {
-  return MakeNode("add", t::Add(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kAdd, "add", t::Add(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {ReduceTo(g, a.shape()), ReduceTo(g, b.shape())};
                   });
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  return MakeNode("sub", t::Sub(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kSub, "sub", t::Sub(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {ReduceTo(g, a.shape()), ReduceTo(Neg(g), b.shape())};
                   });
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  return MakeNode("mul", t::Mul(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kMul, "mul", t::Mul(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {ReduceTo(Mul(g, b), a.shape()), ReduceTo(Mul(g, a), b.shape())};
                   });
 }
 
 Variable Div(const Variable& a, const Variable& b) {
-  return MakeNode("div", t::Div(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kDiv, "div", t::Div(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     Variable ga = ReduceTo(Div(g, b), a.shape());
                     Variable gb = ReduceTo(Neg(Div(Mul(g, a), Mul(b, b))), b.shape());
@@ -66,53 +85,56 @@ Variable Div(const Variable& a, const Variable& b) {
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  return MakeNode("add_scalar", t::AddScalar(a.data(), s), {a},
-                  [](const Variable& g) -> std::vector<Variable> { return {g}; });
+  return MakeNode(OpId::kAddScalar, "add_scalar", t::AddScalar(a.data(), s), {a},
+                  [](const Variable& g) -> std::vector<Variable> { return {g}; },
+                  {FloatAttr(s)});
 }
 
 Variable MulScalar(const Variable& a, float s) {
-  return MakeNode("mul_scalar", t::MulScalar(a.data(), s), {a},
+  return MakeNode(OpId::kMulScalar, "mul_scalar", t::MulScalar(a.data(), s), {a},
                   [s](const Variable& g) -> std::vector<Variable> {
                     return {MulScalar(g, s)};
-                  });
+                  },
+                  {FloatAttr(s)});
 }
 
 Variable PowScalar(const Variable& a, float exponent) {
-  return MakeNode("pow_scalar", t::PowScalar(a.data(), exponent), {a},
+  return MakeNode(OpId::kPowScalar, "pow_scalar", t::PowScalar(a.data(), exponent), {a},
                   [a, exponent](const Variable& g) -> std::vector<Variable> {
                     // d/dx x^p = p * x^(p-1)
                     return {Mul(g, MulScalar(PowScalar(a, exponent - 1.0f), exponent))};
-                  });
+                  },
+                  {FloatAttr(exponent)});
 }
 
 Variable Neg(const Variable& a) {
-  return MakeNode("neg", t::Neg(a.data()), {a},
+  return MakeNode(OpId::kNeg, "neg", t::Neg(a.data()), {a},
                   [](const Variable& g) -> std::vector<Variable> { return {Neg(g)}; });
 }
 
 Variable Exp(const Variable& a) {
-  return MakeNode("exp", t::Exp(a.data()), {a},
+  return MakeNode(OpId::kExp, "exp", t::Exp(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     return {Mul(g, Exp(a))};  // recompute; see header note on cycles
                   });
 }
 
 Variable Log(const Variable& a) {
-  return MakeNode("log", t::Log(a.data()), {a},
+  return MakeNode(OpId::kLog, "log", t::Log(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     return {Div(g, a)};
                   });
 }
 
 Variable Sqrt(const Variable& a) {
-  return MakeNode("sqrt", t::Sqrt(a.data()), {a},
+  return MakeNode(OpId::kSqrt, "sqrt", t::Sqrt(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     return {Div(MulScalar(g, 0.5f), Sqrt(a))};
                   });
 }
 
 Variable Sigmoid(const Variable& a) {
-  return MakeNode("sigmoid", t::Sigmoid(a.data()), {a},
+  return MakeNode(OpId::kSigmoid, "sigmoid", t::Sigmoid(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     Variable s = Sigmoid(a);
                     return {Mul(g, Mul(s, AddScalar(Neg(s), 1.0f)))};
@@ -120,7 +142,7 @@ Variable Sigmoid(const Variable& a) {
 }
 
 Variable Tanh(const Variable& a) {
-  return MakeNode("tanh", t::Tanh(a.data()), {a},
+  return MakeNode(OpId::kTanh, "tanh", t::Tanh(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     Variable th = Tanh(a);
                     return {Mul(g, AddScalar(Neg(Mul(th, th)), 1.0f))};
@@ -128,7 +150,7 @@ Variable Tanh(const Variable& a) {
 }
 
 Variable Relu(const Variable& a) {
-  return MakeNode("relu", t::Relu(a.data()), {a},
+  return MakeNode(OpId::kRelu, "relu", t::Relu(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     // Mask is constant w.r.t. the tape (correct a.e.).
                     Variable mask =
@@ -142,14 +164,14 @@ Variable Softplus(const Variable& a) {
   Tensor x = a.data();
   Tensor value =
       t::Add(t::Relu(x), t::Log(t::AddScalar(t::Exp(t::Neg(t::Abs(x))), 1.0f)));
-  return MakeNode("softplus", std::move(value), {a},
+  return MakeNode(OpId::kSoftplus, "softplus", std::move(value), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     return {Mul(g, Sigmoid(a))};
                   });
 }
 
 Variable Abs(const Variable& a) {
-  return MakeNode("abs", t::Abs(a.data()), {a},
+  return MakeNode(OpId::kAbs, "abs", t::Abs(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     // sign(x) as a constant mask: +1 where x > 0, -1 where
                     // x < 0, 0 at exactly 0 (the subgradient choice).
@@ -166,10 +188,11 @@ namespace {
 
 /// Shared implementation for elementwise max/min: the gradient flows to the
 /// winning side, split evenly on exact ties.
-Variable MaxMinImpl(const char* name, const Variable& a, const Variable& b, bool is_max) {
+Variable MaxMinImpl(OpId op, const char* name, const Variable& a, const Variable& b,
+                    bool is_max) {
   Tensor value = is_max ? t::Maximum(a.data(), b.data()) : t::Minimum(a.data(), b.data());
   return MakeNode(
-      name, std::move(value), {a, b},
+      op, name, std::move(value), {a, b},
       [a, b, is_max](const Variable& g) -> std::vector<Variable> {
         const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
         Tensor abig = t::BroadcastTo(a.data(), out_shape);
@@ -195,26 +218,27 @@ Variable MaxMinImpl(const char* name, const Variable& a, const Variable& b, bool
 }  // namespace
 
 Variable Maximum(const Variable& a, const Variable& b) {
-  return MaxMinImpl("maximum", a, b, /*is_max=*/true);
+  return MaxMinImpl(OpId::kMaximum, "maximum", a, b, /*is_max=*/true);
 }
 
 Variable Minimum(const Variable& a, const Variable& b) {
-  return MaxMinImpl("minimum", a, b, /*is_max=*/false);
+  return MaxMinImpl(OpId::kMinimum, "minimum", a, b, /*is_max=*/false);
 }
 
 Variable ClampMin(const Variable& a, float lo) {
-  return MakeNode("clamp_min",
+  return MakeNode(OpId::kClampMin, "clamp_min",
                   t::Maximum(a.data(), Tensor::Full(a.shape(), lo)), {a},
                   [a, lo](const Variable& g) -> std::vector<Variable> {
                     Variable mask =
                         Constant(t::Greater(a.data(), Tensor::Full(a.shape(), lo)));
                     return {Mul(g, mask)};
-                  });
+                  },
+                  {FloatAttr(lo)});
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
   // dA = g·bᵀ, dB = aᵀ·g — computed transpose-free by the NT/TN kernels.
-  return MakeNode("matmul", t::MatMul(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kMatMul, "matmul", t::MatMul(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {MatMulNT(g, b), MatMulTN(a, g)};
                   });
@@ -222,7 +246,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
 
 Variable MatMulNT(const Variable& a, const Variable& b) {
   // c = a·bᵀ: dA = g·b, dB = gᵀ·a.
-  return MakeNode("matmul_nt", t::MatMulNT(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kMatMulNT, "matmul_nt", t::MatMulNT(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {MatMul(g, b), MatMulTN(g, a)};
                   });
@@ -230,7 +254,7 @@ Variable MatMulNT(const Variable& a, const Variable& b) {
 
 Variable MatMulTN(const Variable& a, const Variable& b) {
   // c = aᵀ·b: dA = b·gᵀ, dB = a·g.
-  return MakeNode("matmul_tn", t::MatMulTN(a.data(), b.data()), {a, b},
+  return MakeNode(OpId::kMatMulTN, "matmul_tn", t::MatMulTN(a.data(), b.data()), {a, b},
                   [a, b](const Variable& g) -> std::vector<Variable> {
                     return {MatMulNT(b, g), MatMul(a, g)};
                   });
@@ -238,15 +262,15 @@ Variable MatMulTN(const Variable& a, const Variable& b) {
 
 Variable Linear(const Variable& x, const Variable& w, const Variable& bias) {
   const Shape bias_shape = bias.shape();
-  return MakeNode("linear", t::LinearForward(x.data(), w.data(), bias.data()),
-                  {x, w, bias},
+  return MakeNode(OpId::kLinear, "linear",
+                  t::LinearForward(x.data(), w.data(), bias.data()), {x, w, bias},
                   [x, w, bias_shape](const Variable& g) -> std::vector<Variable> {
                     return {MatMulNT(g, w), MatMulTN(x, g), ReduceTo(g, bias_shape)};
                   });
 }
 
 Variable Transpose(const Variable& a) {
-  return MakeNode("transpose", t::Transpose(a.data()), {a},
+  return MakeNode(OpId::kTranspose, "transpose", t::Transpose(a.data()), {a},
                   [](const Variable& g) -> std::vector<Variable> {
                     return {Transpose(g)};
                   });
@@ -254,14 +278,25 @@ Variable Transpose(const Variable& a) {
 
 Variable Reshape(const Variable& a, Shape new_shape) {
   Shape original = a.shape();
-  return MakeNode("reshape", a.data().Reshape(std::move(new_shape)), {a},
-                  [original](const Variable& g) -> std::vector<Variable> {
-                    return {Reshape(g, original)};
-                  });
+  const Shape target = new_shape;
+  Variable out = MakeNode(OpId::kReshape, "reshape",
+                          a.data().Reshape(std::move(new_shape)), {a},
+                          [original](const Variable& g) -> std::vector<Variable> {
+                            return {Reshape(g, original)};
+                          });
+  // Target dims are the CSE key; ranks beyond the inline attr capacity are
+  // simply opted out of CSE (none exist in this codebase today).
+  Node* node = out.node().get();
+  if (target.size() <= 3) {
+    for (int64_t d : target) node->attrs[node->attr_count++] = static_cast<uint64_t>(d);
+  } else {
+    node->cse_safe = false;
+  }
+  return out;
 }
 
 Variable SumAll(const Variable& a) {
-  return MakeNode("sum_all", t::SumAll(a.data()), {a},
+  return MakeNode(OpId::kSumAll, "sum_all", t::SumAll(a.data()), {a},
                   [a](const Variable& g) -> std::vector<Variable> {
                     return {ExpandTo(g, a.shape())};
                   });
@@ -269,7 +304,7 @@ Variable SumAll(const Variable& a) {
 
 Variable MeanAll(const Variable& a) {
   const float inv_n = 1.0f / static_cast<float>(a.numel());
-  return MakeNode("mean_all", t::MeanAll(a.data()), {a},
+  return MakeNode(OpId::kMeanAll, "mean_all", t::MeanAll(a.data()), {a},
                   [a, inv_n](const Variable& g) -> std::vector<Variable> {
                     return {ExpandTo(MulScalar(g, inv_n), a.shape())};
                   });
@@ -279,11 +314,12 @@ Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
   if (axis < 0) axis += a.data().ndim();
   Shape keep_shape = a.shape();
   keep_shape[static_cast<size_t>(axis)] = 1;
-  return MakeNode("sum_axis", t::Sum(a.data(), axis, keepdims), {a},
+  return MakeNode(OpId::kSumAxis, "sum_axis", t::Sum(a.data(), axis, keepdims), {a},
                   [a, keep_shape](const Variable& g) -> std::vector<Variable> {
                     Variable gk = Reshape(g, keep_shape);
                     return {ExpandTo(gk, a.shape())};
-                  });
+                  },
+                  {static_cast<uint64_t>(axis), keepdims ? 1u : 0u});
 }
 
 Variable Mean(const Variable& a, int64_t axis, bool keepdims) {
@@ -337,7 +373,7 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
   std::vector<int64_t> lens;
   lens.reserve(parts.size());
   for (const auto& p : parts) lens.push_back(p.shape()[0]);
-  return MakeNode("concat_rows", t::Concat(data, 0), parts,
+  return MakeNode(OpId::kConcatRows, "concat_rows", t::Concat(data, 0), parts,
                   [parts, lens](const Variable& g) -> std::vector<Variable> {
                     std::vector<Variable> grads;
                     grads.reserve(parts.size());
@@ -358,7 +394,7 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
   std::vector<int64_t> lens;
   lens.reserve(parts.size());
   for (const auto& p : parts) lens.push_back(p.shape()[1]);
-  return MakeNode("concat_cols", t::Concat(data, 1), parts,
+  return MakeNode(OpId::kConcatCols, "concat_cols", t::Concat(data, 1), parts,
                   [parts, lens](const Variable& g) -> std::vector<Variable> {
                     std::vector<Variable> grads;
                     grads.reserve(parts.size());
@@ -405,7 +441,8 @@ Tensor SliceColsKernel(const Tensor& a, int64_t start, int64_t len) {
 
 Variable SliceRows(const Variable& a, int64_t start, int64_t len) {
   const Shape in_shape = a.shape();
-  return MakeNode("slice_rows", SliceRowsKernel(a.data(), start, len), {a},
+  return MakeNode(OpId::kSliceRows, "slice_rows", SliceRowsKernel(a.data(), start, len),
+                  {a},
                   [in_shape, start, len](const Variable& g) -> std::vector<Variable> {
                     const int64_t total = in_shape[0];
                     std::vector<Variable> parts;
@@ -421,12 +458,14 @@ Variable SliceRows(const Variable& a, int64_t start, int64_t len) {
                       parts.push_back(Constant(Tensor::Zeros(post)));
                     }
                     return {parts.size() == 1 ? parts[0] : ConcatRows(parts)};
-                  });
+                  },
+                  {static_cast<uint64_t>(start), static_cast<uint64_t>(len)});
 }
 
 Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
   const Shape in_shape = a.shape();
-  return MakeNode("slice_cols", SliceColsKernel(a.data(), start, len), {a},
+  return MakeNode(OpId::kSliceCols, "slice_cols", SliceColsKernel(a.data(), start, len),
+                  {a},
                   [in_shape, start, len](const Variable& g) -> std::vector<Variable> {
                     const int64_t total = in_shape[1];
                     std::vector<Variable> parts;
@@ -439,18 +478,20 @@ Variable SliceCols(const Variable& a, int64_t start, int64_t len) {
                           Tensor::Zeros({in_shape[0], total - start - len})));
                     }
                     return {parts.size() == 1 ? parts[0] : ConcatCols(parts)};
-                  });
+                  },
+                  {static_cast<uint64_t>(start), static_cast<uint64_t>(len)});
 }
 
 Variable IndexSelectRows(const Variable& a, std::vector<int64_t> indices) {
   MDPA_CHECK_EQ(a.data().ndim(), 2);
   const int64_t num_rows = a.shape()[0];
   Tensor value = t::IndexSelect(a.data(), indices);
-  return MakeNode("index_select_rows", std::move(value), {a},
+  return MakeNode(OpId::kIndexSelectRows, "index_select_rows", std::move(value), {a},
                   [indices = std::move(indices),
                    num_rows](const Variable& g) -> std::vector<Variable> {
                     return {ScatterAddRows(g, indices, num_rows)};
-                  });
+                  },
+                  {}, /*cse_safe=*/false);
 }
 
 Variable ScatterAddRows(const Variable& rows, std::vector<int64_t> indices,
@@ -466,11 +507,12 @@ Variable ScatterAddRows(const Variable& rows, std::vector<int64_t> indices,
       value.at(indices[i], c) += rows.data().at(static_cast<int64_t>(i), c);
     }
   }
-  return MakeNode("scatter_add_rows", std::move(value), {rows},
+  return MakeNode(OpId::kScatterAddRows, "scatter_add_rows", std::move(value), {rows},
                   [indices = std::move(indices)](const Variable& g)
                       -> std::vector<Variable> {
                     return {IndexSelectRows(g, indices)};
-                  });
+                  },
+                  {}, /*cse_safe=*/false);
 }
 
 Variable BceWithLogits(const Variable& logits, const Variable& targets) {

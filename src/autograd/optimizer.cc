@@ -1,0 +1,340 @@
+#include "autograd/optimizer.h"
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "autograd/engine.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace ag {
+namespace optimizer {
+namespace {
+
+using t::fused::Step;
+using t::fused::StepKind;
+
+float AttrFloat(uint64_t a) {
+  const uint32_t bits = static_cast<uint32_t>(a);
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Classification of one node as a fusable backward link: an elementwise op
+/// with exactly one differentiable input and no shape change, whose backward
+/// closure is (per element) a pure transform of the incoming gradient. The
+/// Step table below replicates each closure's exact scalar op sequence — see
+/// the bit-identity argument in tensor/fused.h.
+struct LinkInfo {
+  bool is_link = false;
+  int diff_pos = 0;          ///< input position the gradient flows to
+  std::array<Step, 2> steps;  ///< closure as 1–2 fused steps
+  int num_steps = 0;
+};
+
+LinkInfo ClassifyLink(const Node* n) {
+  LinkInfo li;
+  if (n->backward == nullptr) return li;
+  const auto& ins = n->inputs;
+  auto emit = [&li](Step s) { li.steps[li.num_steps++] = s; };
+  auto unary_aux = [&](StepKind k, float s0 = 0.0f, float s1 = 0.0f) {
+    li.is_link = true;
+    li.diff_pos = 0;
+    emit({k, s0, s1, n->inputs[0]->value.data(), nullptr});
+  };
+  switch (n->op) {
+    case OpId::kAddScalar:
+      li.is_link = true;
+      emit({StepKind::kIdentity, 0, 0, nullptr, nullptr});
+      return li;
+    case OpId::kNeg:
+      li.is_link = true;
+      emit({StepKind::kNeg, 0, 0, nullptr, nullptr});
+      return li;
+    case OpId::kMulScalar:
+      li.is_link = true;
+      emit({StepKind::kScale, AttrFloat(n->attrs[0]), 0, nullptr, nullptr});
+      return li;
+    case OpId::kPowScalar: {
+      // Closure: Mul(g, MulScalar(PowScalar(a, e - 1.0f), e)).
+      const float e = AttrFloat(n->attrs[0]);
+      unary_aux(StepKind::kPowGrad, e - 1.0f, e);
+      return li;
+    }
+    case OpId::kExp:
+      unary_aux(StepKind::kExpGrad);
+      return li;
+    case OpId::kLog:
+      // Closure: Div(g, a) — same-shape, so ReduceTo is the identity.
+      unary_aux(StepKind::kDivAux);
+      return li;
+    case OpId::kSqrt:
+      // Closure: Div(MulScalar(g, 0.5f), Sqrt(a)).
+      li.is_link = true;
+      li.diff_pos = 0;
+      emit({StepKind::kScale, 0.5f, 0, nullptr, nullptr});
+      emit({StepKind::kDivSqrtAux, 0, 0, n->inputs[0]->value.data(), nullptr});
+      return li;
+    case OpId::kSigmoid:
+      unary_aux(StepKind::kSigmoidGrad);
+      return li;
+    case OpId::kTanh:
+      unary_aux(StepKind::kTanhGrad);
+      return li;
+    case OpId::kRelu:
+      unary_aux(StepKind::kReluMask);
+      return li;
+    case OpId::kSoftplus:
+      unary_aux(StepKind::kSoftplusGrad);
+      return li;
+    case OpId::kAbs:
+      unary_aux(StepKind::kAbsSign);
+      return li;
+    case OpId::kClampMin:
+      unary_aux(StepKind::kClampMinMask, AttrFloat(n->attrs[0]));
+      return li;
+    case OpId::kAdd:
+    case OpId::kSub:
+    case OpId::kMul:
+    case OpId::kDiv: {
+      // Fusable only when exactly one side is differentiable and neither
+      // side broadcasts (same shapes → the closure's ReduceTo is the
+      // identity and the gradient is a pure elementwise transform).
+      if (ins.size() != 2) return li;
+      const bool g0 = ins[0] && ins[0]->requires_grad;
+      const bool g1 = ins[1] && ins[1]->requires_grad;
+      if (g0 == g1) return li;
+      if (!SameShape(n->value.shape(), ins[0]->value.shape()) ||
+          !SameShape(n->value.shape(), ins[1]->value.shape())) {
+        return li;
+      }
+      const int d = g0 ? 0 : 1;
+      li.diff_pos = d;
+      li.is_link = true;
+      switch (n->op) {
+        case OpId::kAdd:
+          emit({StepKind::kIdentity, 0, 0, nullptr, nullptr});
+          break;
+        case OpId::kSub:
+          if (d == 0) {
+            emit({StepKind::kIdentity, 0, 0, nullptr, nullptr});
+          } else {
+            emit({StepKind::kNeg, 0, 0, nullptr, nullptr});
+          }
+          break;
+        case OpId::kMul:
+          emit({StepKind::kMulAux, 0, 0, ins[1 - d]->value.data(), nullptr});
+          break;
+        default:  // kDiv
+          if (d == 0) {
+            // Closure: Div(g, b).
+            emit({StepKind::kDivAux, 0, 0, ins[1]->value.data(), nullptr});
+          } else {
+            // Closure: Neg(Div(Mul(g, a), Mul(b, b))).
+            emit({StepKind::kDivGradB, 0, 0, ins[0]->value.data(),
+                  ins[1]->value.data()});
+          }
+          break;
+      }
+      return li;
+    }
+    default:
+      return li;
+  }
+}
+
+/// CSE value-numbering key: the op, its scalar attrs, and the identity of
+/// each input — value numbers for in-subgraph inputs (so duplicate detection
+/// cascades), raw node pointers for constants and detached leaves. Inputs
+/// are stored inline (no allocation on the per-backward analysis path);
+/// nodes with more than kMaxVNInputs inputs are simply not keyed — they stay
+/// singletons, which is correct, just a skipped sharing opportunity.
+constexpr size_t kMaxVNInputs = 4;
+
+struct VNKey {
+  uint8_t op = 0;
+  uint8_t nattrs = 0;
+  uint8_t nins = 0;
+  std::array<uint64_t, 3> attrs = {0, 0, 0};
+  std::array<uint64_t, kMaxVNInputs> ins = {0, 0, 0, 0};
+
+  bool operator==(const VNKey& o) const {
+    return op == o.op && nattrs == o.nattrs && nins == o.nins &&
+           attrs == o.attrs && ins == o.ins;
+  }
+};
+
+struct VNKeyHash {
+  size_t operator()(const VNKey& k) const {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.op);
+    mix(k.nattrs);
+    mix(k.nins);
+    for (uint64_t a : k.attrs) mix(a);
+    for (size_t i = 0; i < k.nins; ++i) mix(k.ins[i]);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Plan Analyze(const std::vector<NodePtr>& order,
+             const std::vector<uint32_t>& consumer_counts,
+             const std::vector<uint8_t>& requested, size_t root_index,
+             const std::unordered_map<const Node*, uint32_t>* index) {
+  const size_t n = order.size();
+  Plan plan;
+  plan.fused_interior.assign(n, 0);
+  plan.chain_of.assign(n, -1);
+  plan.cse_class.assign(n, -1);
+  plan.releasable.assign(n, 0);
+  if (n == 0) return plan;
+  MDPA_CHECK_EQ(consumer_counts.size(), n);
+  MDPA_CHECK_EQ(requested.size(), n);
+
+  std::unordered_map<const Node*, uint32_t> own_index;
+  if (index == nullptr) {
+    own_index.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      own_index.emplace(order[i].get(), static_cast<uint32_t>(i));
+    }
+    index = &own_index;
+  }
+
+  // --- Fusion: classify links, then grow maximal chains top-down. `order` is
+  // post-order (producers first), so iterating in reverse visits consumers
+  // before producers and each candidate tail claims its whole chain before
+  // any of its interiors is considered as a tail itself.
+  std::vector<LinkInfo> links(n);
+  for (size_t i = 0; i < n; ++i) links[i] = ClassifyLink(order[i].get());
+
+  std::vector<uint8_t> in_chain(n, 0);  // tail or interior of some chain
+  auto interior_ok = [&](uint32_t idx) {
+    // An interior node's gradient is never materialized, so it must have
+    // exactly one consumer (the link above it), must not be wanted by the
+    // caller, and must not be the root (whose seed arrives from outside).
+    return links[idx].is_link && consumer_counts[idx] == 1 && !requested[idx] &&
+           idx != root_index && !in_chain[idx];
+  };
+  for (size_t i = n; i-- > 0;) {
+    if (in_chain[i] || !links[i].is_link) continue;
+    std::vector<uint32_t> interiors;
+    uint32_t cur = static_cast<uint32_t>(i);
+    for (;;) {
+      const Node* diff_in = order[cur]->inputs[links[cur].diff_pos].get();
+      const uint32_t p = index->at(diff_in);
+      if (!interior_ok(p)) break;
+      interiors.push_back(p);
+      cur = p;
+    }
+    if (interiors.empty()) continue;
+    Chain chain;
+    chain.tail = static_cast<uint32_t>(i);
+    chain.bottom = interiors.back();
+    chain.deliver_input_pos = static_cast<uint32_t>(links[chain.bottom].diff_pos);
+    auto append_steps = [&chain, &links](uint32_t idx) {
+      for (int s = 0; s < links[idx].num_steps; ++s) {
+        chain.steps.push_back(links[idx].steps[s]);
+      }
+    };
+    append_steps(chain.tail);
+    for (uint32_t p : interiors) append_steps(p);
+    plan.chain_of[i] = static_cast<int32_t>(plan.chains.size());
+    in_chain[i] = 1;
+    for (uint32_t p : interiors) {
+      plan.fused_interior[p] = 1;
+      in_chain[p] = 1;
+    }
+    plan.nodes_fused += static_cast<int64_t>(1 + interiors.size());
+    plan.chains.push_back(std::move(chain));
+  }
+
+  // --- CSE: value numbering in producer order so duplicate detection
+  // cascades through duplicate subgraphs. Chain participants are excluded
+  // from classes — their closures don't run, so there is nothing to share.
+  std::vector<uint32_t> vn(n);
+  std::unordered_map<VNKey, uint32_t, VNKeyHash> table;
+  table.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    vn[i] = static_cast<uint32_t>(i);
+    const Node* nd = order[i].get();
+    if (!nd->cse_safe || nd->op == OpId::kLeaf || nd->backward == nullptr) continue;
+    VNKey key;
+    key.op = static_cast<uint8_t>(nd->op);
+    key.nattrs = nd->attr_count;
+    for (int a = 0; a < 3; ++a) key.attrs[static_cast<size_t>(a)] = nd->attrs[a];
+    bool keyable = nd->inputs.size() <= kMaxVNInputs;
+    for (const NodePtr& in : nd->inputs) {
+      if (!keyable) break;
+      if (!in) {
+        keyable = false;
+        break;
+      }
+      if (in->requires_grad) {
+        // In-subgraph input: key on its value number (top bit tags the
+        // namespace so a VN can never collide with a pointer).
+        key.ins[key.nins++] = (1ull << 63) | vn[index->at(in.get())];
+      } else {
+        key.ins[key.nins++] = reinterpret_cast<uint64_t>(in.get());
+      }
+    }
+    if (!keyable) continue;
+    auto inserted = table.emplace(std::move(key), static_cast<uint32_t>(i));
+    vn[i] = inserted.first->second;
+  }
+  std::unordered_map<uint32_t, std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    if (in_chain[i]) continue;
+    groups[vn[i]].push_back(static_cast<uint32_t>(i));
+  }
+  for (auto& entry : groups) {
+    // Un-keyable nodes carry vn[i]==i and can only ever be singletons here.
+    std::vector<uint32_t>& members = entry.second;
+    if (members.size() < 2) continue;
+    const int32_t id = static_cast<int32_t>(plan.num_cse_classes++);
+    for (uint32_t m : members) plan.cse_class[m] = id;
+  }
+
+  // --- Eager release: every gradient the caller did not ask for is dead the
+  // moment its node finishes executing. Interiors never materialize one.
+  for (size_t i = 0; i < n; ++i) {
+    if (requested[i] || plan.fused_interior[i]) continue;
+    plan.releasable[i] = 1;
+    ++plan.release_planned;
+  }
+  return plan;
+}
+
+Plan AnalyzeTape(const Variable& output, const std::vector<Variable>& inputs) {
+  std::vector<NodePtr> order;
+  engine::TopoSort(output.node(), &order);
+  const size_t n = order.size();
+  if (n == 0) return Analyze(order, {}, {}, 0);
+  std::unordered_map<const Node*, uint32_t> index;
+  index.reserve(n);
+  for (size_t i = 0; i < n; ++i) index.emplace(order[i].get(), static_cast<uint32_t>(i));
+  std::vector<uint32_t> consumers(n, 0);
+  for (const NodePtr& node : order) {
+    for (const NodePtr& in : node->inputs) {
+      if (in && in->requires_grad) ++consumers[index.at(in.get())];
+    }
+  }
+  std::vector<uint8_t> requested(n, 0);
+  for (const Variable& in : inputs) {
+    if (!in.is_valid()) continue;
+    auto found = index.find(in.node().get());
+    if (found != index.end()) requested[found->second] = 1;
+  }
+  return Analyze(order, consumers, requested, index.at(output.node().get()));
+}
+
+}  // namespace optimizer
+}  // namespace ag
+}  // namespace metadpa

@@ -1,0 +1,107 @@
+// Tape-level graph optimizer: the analysis pass ag::Grad runs before the
+// dependency-driven engine executes (GradOptions::optimize).
+//
+// Three cooperating optimizations, all bit-identity preserving (DESIGN.md
+// "Tape optimization"):
+//
+//  1. FUSION — a chain of single-consumer elementwise backward links
+//     (activation grads, scalar scale/shift, one-sided add/mul/div) is
+//     collapsed into one t::fused::BackwardChain step list. The chain's
+//     interior nodes never execute and their intermediate gradient tensors
+//     are never materialized; the fused kernel delivers the chain-bottom
+//     gradient directly into the slot the bottom link's closure would have
+//     filled. Elementwise backward kernels are pointwise, so the fused
+//     per-element scalar sequence performs the identical float ops in the
+//     identical order as the separate tensor passes — same bits.
+//  2. CSE — value numbering over (op, input value-numbers, attrs) groups
+//     structurally identical nodes into classes. Rewiring the tape to merge
+//     duplicates would CHANGE gradient-merge sum trees (float addition is
+//     not associative), so classes are only a runtime gate: when a class
+//     member's merged incoming gradient arrives in the SAME STORAGE as the
+//     gradient a sibling already ran its closure with, the cached closure
+//     outputs are reused and delivered into the member's ordinary slots.
+//     Slot structure is untouched, so every downstream sum is bitwise
+//     unchanged; the closure execution is simply skipped.
+//  3. BUFFER RELEASE — after a node executes, its merged gradient (unless
+//     the caller requested it) and its consumed contribution slots are dead;
+//     the engine drops those handles immediately so the buffers return to
+//     the PR 2 thread-local pool mid-backward instead of at graph teardown.
+//     Aliased buffers survive automatically through reference counting —
+//     release is a handle drop, never a forced free.
+//
+// The pass runs only when !GradOptions::create_graph: under create_graph the
+// backward closures BUILD the second-order graph, and fusing or sharing them
+// would change that graph's structure (and hence the outer Grad's slot-merge
+// order). Second-order training still benefits: the outer, first-order Grad
+// over the inner-built graph is optimized.
+#ifndef METADPA_AUTOGRAD_OPTIMIZER_H_
+#define METADPA_AUTOGRAD_OPTIMIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/fused.h"
+
+namespace metadpa {
+namespace ag {
+namespace optimizer {
+
+/// One fused backward chain. Node references are indices into the
+/// topo-sorted order the plan was built from.
+struct Chain {
+  uint32_t tail = 0;    ///< first link; its merged gradient enters the chain
+  uint32_t bottom = 0;  ///< deepest interior link
+  /// Input position on `bottom` whose producer receives the fused result
+  /// (the slot the unfused bottom closure would have delivered into).
+  uint32_t deliver_input_pos = 0;
+  /// Per-link steps in tail→bottom order for t::fused::BackwardChain.
+  std::vector<t::fused::Step> steps;
+};
+
+/// The optimization plan for one backward execution, aligned with the
+/// engine's topo order. Pure analysis output: nothing here mutates the graph.
+struct Plan {
+  /// 1 = chain interior: the engine never executes this node and its
+  /// gradient tensor is never materialized.
+  std::vector<uint8_t> fused_interior;
+  /// Chain id when this node is a chain tail, else -1.
+  std::vector<int32_t> chain_of;
+  std::vector<Chain> chains;
+  /// CSE class id (0..num_cse_classes) for nodes in a duplicate class, else
+  /// -1. Classes have >= 2 members and exclude chain participants.
+  std::vector<int32_t> cse_class;
+  uint32_t num_cse_classes = 0;
+  /// 1 = merged gradient may be dropped right after the node executes (the
+  /// caller did not request it).
+  std::vector<uint8_t> releasable;
+
+  /// Static pass statistics (exact, schedule-independent).
+  int64_t nodes_fused = 0;      ///< backward closures replaced by fused kernels
+  int64_t release_planned = 0;  ///< nodes whose gradient is eagerly dropped
+};
+
+/// \brief Builds the plan for a topo-sorted requires-grad subgraph.
+///
+/// `order` is the engine's reverse post-order; `consumer_counts[i]` is the
+/// number of in-subgraph consumers of order[i] (the root's backward seed is
+/// NOT counted); `requested[i]` marks nodes whose gradient the caller asked
+/// for; `root_index` locates the output node. Linear time in nodes + edges.
+/// `index` optionally supplies the node->position map for `order` (the
+/// engine already built one); pass nullptr to have Analyze derive it.
+Plan Analyze(const std::vector<NodePtr>& order,
+             const std::vector<uint32_t>& consumer_counts,
+             const std::vector<uint8_t>& requested, size_t root_index,
+             const std::unordered_map<const Node*, uint32_t>* index = nullptr);
+
+/// \brief Convenience wrapper for tests and diagnostics: topo-sorts
+/// `output`'s subgraph exactly as the engine does, derives consumer counts
+/// and the requested set from `inputs`, and returns Analyze()'s plan.
+Plan AnalyzeTape(const Variable& output, const std::vector<Variable>& inputs);
+
+}  // namespace optimizer
+}  // namespace ag
+}  // namespace metadpa
+
+#endif  // METADPA_AUTOGRAD_OPTIMIZER_H_

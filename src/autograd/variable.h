@@ -41,6 +41,22 @@ namespace ag {
 
 class Variable;
 
+/// \brief Structural identity of the op that produced a node. The tape
+/// optimizer (autograd/optimizer.h) keys fusion pattern-matching and CSE
+/// value-numbering on (op, input identities, attrs); kLeaf marks nodes built
+/// directly from data (parameters, constants, engine-internal tensors).
+enum class OpId : uint8_t {
+  kLeaf = 0,
+  kAdd, kSub, kMul, kDiv,
+  kAddScalar, kMulScalar, kPowScalar, kNeg,
+  kExp, kLog, kSqrt, kSigmoid, kTanh, kRelu, kSoftplus, kAbs,
+  kMaximum, kMinimum, kClampMin,
+  kMatMul, kMatMulNT, kMatMulTN, kLinear, kTranspose, kReshape,
+  kSumAll, kMeanAll, kSumAxis,
+  kConcatRows, kConcatCols, kSliceRows, kSliceCols,
+  kIndexSelectRows, kScatterAddRows,
+};
+
 /// \brief Internal graph node. Public because tests and the Grad engine walk
 /// the graph; user code should only touch Variable.
 struct Node {
@@ -54,6 +70,17 @@ struct Node {
   /// each entry of `inputs` (an invalid Variable for non-differentiable ones).
   std::function<std::vector<Variable>(const Variable& grad_out)> backward;
   const char* op_name = "leaf";
+
+  /// Structural op identity plus the scalar attributes that parameterize it
+  /// (float bits widened to uint64, ints verbatim) — together with the input
+  /// nodes these fully determine the forward value for CSE-safe ops. Stored
+  /// inline (no allocation) so hot-path node creation stays malloc-free.
+  OpId op = OpId::kLeaf;
+  uint8_t attr_count = 0;
+  /// False for ops whose value depends on closure-captured state the attrs
+  /// cannot encode (index_select/scatter_add row vectors) — never CSE'd.
+  bool cse_safe = true;
+  uint64_t attrs[3] = {0, 0, 0};
 };
 
 using NodePtr = std::shared_ptr<Node>;
@@ -111,6 +138,14 @@ struct GradOptions {
   /// pool workers, so task-level parallelism (MamlConfig::threads) and
   /// graph-level parallelism compose without deadlock.
   int threads = 1;
+  /// Run the tape optimizer (autograd/optimizer.h) before execution: fuse
+  /// elementwise backward chains, share duplicate subexpression closures, and
+  /// release dead intermediate buffers to the pool mid-backward. Results are
+  /// bit-identical to optimize=false at every thread count (DESIGN.md "Tape
+  /// optimization"). create_graph=true calls run unoptimized — rewriting the
+  /// tape there would change the *structure* of the constructed gradient
+  /// graph; the outer first-order Grad over that graph still optimizes.
+  bool optimize = false;
 };
 
 /// \brief Computes d(output)/d(inputs) for a scalar `output`.

@@ -119,6 +119,7 @@ TrainOneResult TrainOne(DualCvae* model, const AlignedPairs& pairs,
             SelectRows(pairs.r_t, rows), SelectRows(pairs.x_t, rows), &noise);
         ag::GradOptions grad_opts;
         grad_opts.threads = config.grad_threads;
+        grad_opts.optimize = config.tape_opt;
         std::vector<ag::Variable> grads = ag::Grad(losses.total, params, grad_opts);
         BatchContribution& out = contribs[offset];
         out.grads.reserve(grads.size());

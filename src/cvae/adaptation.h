@@ -51,6 +51,11 @@ struct AdaptationConfig {
   /// (per-source `parallel` training or `threads` > 1), so graph-level and
   /// task-level parallelism compose without deadlock.
   int grad_threads = 1;
+  /// Run the tape optimizer inside each backward (ag::GradOptions::optimize):
+  /// fused elementwise backward chains — the CVAE reparameterization
+  /// Exp(MulScalar(logvar, 0.5)) is the canonical win — shared duplicate
+  /// closures, and eager buffer release. Bit-identical for any setting.
+  bool tape_opt = false;
   /// Training-health watchdog over each source's per-step losses, step
   /// gradient norms, and per-epoch losses (monitors are named "cvae/<s>").
   /// kAbort stops the tripping source before the offending optimizer step and

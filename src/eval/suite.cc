@@ -70,6 +70,7 @@ obs::RunManifest BuildRunManifest(const SuiteOptions& options) {
   manifest.SetInt("suite", "seed", static_cast<int64_t>(options.seed));
   manifest.SetInt("suite", "train_threads", options.train_threads);
   manifest.SetInt("suite", "grad_threads", options.grad_threads);
+  manifest.SetInt("suite", "tape_opt", options.tape_opt ? 1 : 0);
   manifest.Set("suite", "watchdog", obs::HealthPolicyName(options.watchdog));
   manifest.SetInt("suite", "telemetry_interval_ms", options.telemetry_interval_ms);
 
@@ -132,11 +133,13 @@ core::MetaDpaConfig DefaultMetaDpaConfig(const SuiteOptions& options) {
   config.maml.finetune_steps = 10;
   config.maml.threads = options.train_threads;
   config.maml.grad_threads = options.grad_threads;
+  config.maml.tape_opt = options.tape_opt;
   // accum_batches stays at its default (1): raising it alters the CVAE
   // optimization trajectory (batches per step), so it is not tied to the
   // pure-parallelism train_threads knob.
   config.adaptation.threads = options.train_threads;
   config.adaptation.grad_threads = options.grad_threads;
+  config.adaptation.tape_opt = options.tape_opt;
   config.maml.health.policy = options.watchdog;
   config.adaptation.health.policy = options.watchdog;
   config.model.embed_dim = 24;
@@ -158,6 +161,7 @@ meta::MamlConfig BaselineMamlConfig(const SuiteOptions& options) {
   config.finetune_steps = 10;
   config.threads = options.train_threads;
   config.grad_threads = options.grad_threads;
+  config.tape_opt = options.tape_opt;
   config.seed = options.seed + 1;
   config.health.policy = options.watchdog;
   return config;

@@ -36,6 +36,12 @@ struct SuiteOptions {
   /// for any value; composes with train_threads (backwards issued from pool
   /// workers degrade to serial).
   int grad_threads = 1;
+  /// Tape optimizer inside every training backward (MamlConfig::tape_opt /
+  /// AdaptationConfig::tape_opt -> ag::GradOptions::optimize): fused
+  /// elementwise backward chains, shared duplicate closures, eager buffer
+  /// release. Bit-identical results for any setting; recorded in the run
+  /// manifest.
+  bool tape_opt = false;
   /// When non-empty, SetupObservability enables tracing/metrics and
   /// ExportObservability writes a chrome://tracing JSON here.
   std::string trace_out;

@@ -47,6 +47,7 @@ nn::ParamList MamlTrainer::InnerAdapt(const nn::ParamList& params, const Task& t
     ag::GradOptions opts;
     opts.create_graph = build_graph;
     opts.threads = config_.grad_threads;
+    opts.optimize = config_.tape_opt;
     std::vector<ag::Variable> grads = ag::Grad(loss, fast, opts);
     nn::ParamList next;
     next.reserve(fast.size());
@@ -98,6 +99,7 @@ EpochStats MamlTrainer::TrainEpochStats(const std::vector<Task>& tasks) {
       if (task.loss_weight != 1.0f) loss = ag::MulScalar(loss, task.loss_weight);
       ag::GradOptions outer_opts;
       outer_opts.threads = config_.grad_threads;
+      outer_opts.optimize = config_.tape_opt;
       std::vector<ag::Variable> grads = ag::Grad(loss, params, outer_opts);
       TaskContribution& out = contribs[offset];
       out.grads.reserve(grads.size());

@@ -40,6 +40,12 @@ struct MamlConfig {
   /// knob pays off when task-level parallelism is off or the meta-batch is
   /// ragged (e.g. serve-time Adapt, which is single-task by construction).
   int grad_threads = 1;
+  /// Run the tape optimizer inside each backward (ag::GradOptions::optimize):
+  /// fused elementwise backward chains, shared duplicate closures, eager
+  /// buffer release. Bit-identical results either way; inner-loop
+  /// create_graph backwards run unoptimized by design (the optimizer skips
+  /// them), the outer first-order backwards get the full pass.
+  bool tape_opt = false;
   uint64_t seed = 3;
   /// Training-health watchdog (NaN/Inf batch losses or outer-gradient norms,
   /// divergence, stalls). kOff skips every check; kWarn only records

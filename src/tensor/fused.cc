@@ -1,0 +1,104 @@
+#include "tensor/fused.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/scalar_kernels.h"
+
+namespace metadpa {
+namespace t {
+namespace fused {
+
+// Block-tiled evaluation: a block of the gradient is loaded once, every step
+// runs over it as a branch-free tight loop (one StepKind dispatch per block
+// per step, not per element), and the block stays L1-resident across steps.
+// Per element this performs the exact same float-op sequence as the
+// element-at-a-time formulation — steps are pointwise, so the element loop
+// order is free — which keeps the bit-identity contract while letting each
+// step's loop vectorize like the unfused tensor kernels it replaces.
+namespace {
+constexpr int64_t kBlock = 1024;
+}  // namespace
+
+Tensor BackwardChain(const Tensor& grad, const std::vector<Step>& steps) {
+  Tensor out(grad.shape());
+  const float* pg = grad.data();
+  float* po = out.data();
+  const int64_t n = grad.numel();
+  for (int64_t base = 0; base < n; base += kBlock) {
+    const int64_t m = std::min(kBlock, n - base);
+    float* v = po + base;
+    std::memcpy(v, pg + base, static_cast<size_t>(m) * sizeof(float));
+    for (const Step& st : steps) {
+      const float* aux = st.aux == nullptr ? nullptr : st.aux + base;
+      const float* aux2 = st.aux2 == nullptr ? nullptr : st.aux2 + base;
+      switch (st.kind) {
+        case StepKind::kIdentity:
+          break;
+        case StepKind::kNeg:
+          for (int64_t i = 0; i < m; ++i) v[i] = -v[i];
+          break;
+        case StepKind::kScale:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] * st.s0;
+          break;
+        case StepKind::kMulAux:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] * aux[i];
+          break;
+        case StepKind::kDivAux:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] / aux[i];
+          break;
+        case StepKind::kDivSqrtAux:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] / scalar::Sqrt(aux[i]);
+          break;
+        case StepKind::kDivGradB:
+          for (int64_t i = 0; i < m; ++i) {
+            v[i] = -((v[i] * aux[i]) / (aux2[i] * aux2[i]));
+          }
+          break;
+        case StepKind::kReluMask:
+          for (int64_t i = 0; i < m; ++i) {
+            v[i] = v[i] * scalar::Greater(aux[i], 0.0f);
+          }
+          break;
+        case StepKind::kClampMinMask:
+          for (int64_t i = 0; i < m; ++i) {
+            v[i] = v[i] * scalar::Greater(aux[i], st.s0);
+          }
+          break;
+        case StepKind::kSigmoidGrad:
+          for (int64_t i = 0; i < m; ++i) {
+            const float s = scalar::Sigmoid(aux[i]);
+            v[i] = v[i] * (s * ((-s) + 1.0f));
+          }
+          break;
+        case StepKind::kTanhGrad:
+          for (int64_t i = 0; i < m; ++i) {
+            const float th = scalar::Tanh(aux[i]);
+            v[i] = v[i] * ((-(th * th)) + 1.0f);
+          }
+          break;
+        case StepKind::kExpGrad:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] * scalar::Exp(aux[i]);
+          break;
+        case StepKind::kSoftplusGrad:
+          for (int64_t i = 0; i < m; ++i) {
+            v[i] = v[i] * scalar::Sigmoid(aux[i]);
+          }
+          break;
+        case StepKind::kAbsSign:
+          for (int64_t i = 0; i < m; ++i) v[i] = v[i] * scalar::Sign(aux[i]);
+          break;
+        case StepKind::kPowGrad:
+          for (int64_t i = 0; i < m; ++i) {
+            v[i] = v[i] * (scalar::Pow(aux[i], st.s0) * st.s1);
+          }
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fused
+}  // namespace t
+}  // namespace metadpa

@@ -1,0 +1,67 @@
+// Fused elementwise backward chains for the tape optimizer.
+//
+// The autograd optimizer (autograd/optimizer.h) collapses a chain of
+// single-consumer elementwise backward closures (activation grads, scalar
+// scale/shift, one-sided add/mul/div) into one Step list. BackwardChain then
+// produces the chain's final gradient in a single pass over the incoming
+// gradient — no intermediate tensors are materialized.
+//
+// Bit-identity contract: each StepKind replicates, per element, the exact
+// scalar operation sequence its op's backward closure performs through the
+// tensor kernels (see the table in autograd/optimizer.cc and the shared
+// helpers in tensor/scalar_kernels.h). Elementwise kernels are pointwise, so
+// evaluating the whole sequence element-at-a-time performs the same float
+// ops in the same order per element as k separate whole-tensor passes —
+// identical bits, merely better locality and k-1 fewer allocations.
+#ifndef METADPA_TENSOR_FUSED_H_
+#define METADPA_TENSOR_FUSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metadpa {
+namespace t {
+namespace fused {
+
+/// One backward link in a fused chain, applied to the running scalar v
+/// (the gradient flowing down the chain). `aux`/`aux2` point at forward
+/// tensors owned by the graph, which outlives the backward run.
+enum class StepKind : uint8_t {
+  kIdentity,      // add_scalar / same-shape add side:        v
+  kNeg,           // neg / same-shape sub b-side:             -v
+  kScale,         // mul_scalar(s0):                          v * s0
+  kMulAux,        // exp's g*exp(a) uses kExpGrad; this is mul's one-sided
+                  //   backward and similar:                  v * aux[i]
+  kDivAux,        // div a-side / log:                        v / aux[i]
+  kDivSqrtAux,    // sqrt (after its kScale 0.5 step):        v / sqrt(aux[i])
+  kDivGradB,      // div b-side (aux=a, aux2=b):  -((v * aux[i]) / (aux2[i] * aux2[i]))
+  kReluMask,      // relu:                                    v * (aux[i] > 0 ? 1 : 0)
+  kClampMinMask,  // clamp_min(s0=lo):                        v * (aux[i] > s0 ? 1 : 0)
+  kSigmoidGrad,   // s = sigmoid(aux[i]);                     v * (s * ((-s) + 1))
+  kTanhGrad,      // th = tanh(aux[i]);                       v * ((-(th * th)) + 1)
+  kExpGrad,       // exp:                                     v * exp(aux[i])
+  kSoftplusGrad,  // softplus:                                v * sigmoid(aux[i])
+  kAbsSign,       // abs:                                     v * sign(aux[i])
+  kPowGrad,       // pow_scalar (s0 = e-1, s1 = e):           v * (pow(aux[i], s0) * s1)
+};
+
+struct Step {
+  StepKind kind;
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  const float* aux = nullptr;
+  const float* aux2 = nullptr;
+};
+
+/// Applies `steps` in order to every element of `grad` (the gradient arriving
+/// at the chain's tail) and returns the chain-bottom gradient. All tensors in
+/// a fusable chain share one shape, so the output has grad's shape.
+Tensor BackwardChain(const Tensor& grad, const std::vector<Step>& steps);
+
+}  // namespace fused
+}  // namespace t
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_FUSED_H_

@@ -1,5 +1,7 @@
 #include "tensor/ops.h"
 
+#include "tensor/scalar_kernels.h"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -106,7 +108,7 @@ Tensor Minimum(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
 }
 Tensor Greater(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+  return BinaryOp(a, b, [](float x, float y) { return scalar::Greater(x, y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -116,40 +118,32 @@ Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(a, [s](float x) { return x * s; });
 }
 Tensor PowScalar(const Tensor& a, float exponent) {
-  return UnaryOp(a, [exponent](float x) { return std::pow(x, exponent); });
+  return UnaryOp(a, [exponent](float x) { return scalar::Pow(x, exponent); });
 }
 
 Tensor Neg(const Tensor& a) {
   return UnaryOp(a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return UnaryOp(a, [](float x) { return scalar::Exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return UnaryOp(a, [](float x) { return scalar::Log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return UnaryOp(a, [](float x) { return scalar::Sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return UnaryOp(a, [](float x) { return scalar::Abs(x); });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
-    // Numerically stable in both tails.
-    if (x >= 0) {
-      const float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  return UnaryOp(a, [](float x) { return scalar::Sigmoid(x); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return UnaryOp(a, [](float x) { return scalar::Tanh(x); });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.0f; });
+  return UnaryOp(a, [](float x) { return scalar::Relu(x); });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });

@@ -1,0 +1,47 @@
+// Per-element math shared by the tensor elementwise kernels (tensor/ops.cc)
+// and the fused backward-chain kernel (tensor/fused.cc).
+//
+// Single-sourcing these is a correctness requirement, not a convenience: the
+// tape optimizer's fusion pass (autograd/optimizer.h) promises that a fused
+// backward chain is BIT-IDENTICAL to running the constituent tensor kernels
+// one pass at a time. That holds exactly when both paths execute the same
+// scalar operation sequence per element — which these helpers guarantee by
+// being the one definition both call. (The repo builds without FMA
+// contraction — x86-64 baseline, and METADPA_NATIVE sets -ffp-contract=off —
+// so "same scalar sequence" implies "same bits".)
+#ifndef METADPA_TENSOR_SCALAR_KERNELS_H_
+#define METADPA_TENSOR_SCALAR_KERNELS_H_
+
+#include <cmath>
+
+namespace metadpa {
+namespace t {
+namespace scalar {
+
+inline float Sigmoid(float x) {
+  // Numerically stable in both tails.
+  if (x >= 0) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+inline float Tanh(float x) { return std::tanh(x); }
+inline float Exp(float x) { return std::exp(x); }
+inline float Log(float x) { return std::log(x); }
+inline float Sqrt(float x) { return std::sqrt(x); }
+inline float Abs(float x) { return std::fabs(x); }
+inline float Relu(float x) { return x > 0 ? x : 0.0f; }
+inline float Pow(float x, float e) { return std::pow(x, e); }
+inline float Greater(float x, float y) { return x > y ? 1.0f : 0.0f; }
+
+/// The subgradient choice ops.cc's Abs backward makes: sign(0) = 0.
+inline float Sign(float x) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); }
+
+}  // namespace scalar
+}  // namespace t
+}  // namespace metadpa
+
+#endif  // METADPA_TENSOR_SCALAR_KERNELS_H_

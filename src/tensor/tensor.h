@@ -97,6 +97,12 @@ class Tensor {
   /// \brief True if this tensor aliases the same storage as `other`.
   bool SharesStorageWith(const Tensor& other) const { return data_ == other.data_; }
 
+  /// \brief Reference count on the underlying storage (1 = sole owner).
+  /// The autograd engine's eager buffer release uses this to account bytes
+  /// actually returned to the pool: an aliased buffer (Reshape views, shared
+  /// gradients) is not freed by dropping one handle and must not be counted.
+  long StorageUseCount() const { return data_ ? data_.use_count() : 0; }
+
   /// \brief Human-readable rendering (truncates long tensors).
   std::string ToString() const;
 

@@ -149,6 +149,39 @@ std::vector<OpCase> AllOpCases() {
                      return scalarize(Minimum(in[0], other));
                    },
                    AwayFromZero, /*check_second_order=*/false});
+  // Two-sided max/min: gradient must route through BOTH differentiable
+  // operands (the _vs_const cases only exercise the a-side). x vs -x and
+  // x vs x/2 tie only at 0, which AwayFromZero keeps at distance.
+  cases.push_back({"maximum_two_sided", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Maximum(in[0], Neg(in[0])));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  cases.push_back({"minimum_two_sided", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(Minimum(in[0], MulScalar(in[0], 0.5f)));
+                   },
+                   AwayFromZero, /*check_second_order=*/false});
+  // Concat backward splits the gradient back to its parts; feeding the same
+  // input through both parts checks the split offsets AND the resulting
+  // two-consumer merge on in[0].
+  cases.push_back({"concat_rows", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(ConcatRows({in[0], MulScalar(in[0], -2.0f)}));
+                   },
+                   AnyPoint});
+  cases.push_back({"concat_cols", [scalarize](const std::vector<Variable>& in) {
+                     return scalarize(ConcatCols({in[0], MulScalar(in[0], -2.0f)}));
+                   },
+                   AnyPoint});
+  // Composite losses (ops.h): smooth everywhere, so both orders apply.
+  cases.push_back({"bce_with_logits", [](const std::vector<Variable>& in) {
+                     Variable targets = Constant(Tensor::Full(in[0].shape(), 0.3f));
+                     return BceWithLogits(in[0], targets);
+                   },
+                   AnyPoint});
+  cases.push_back({"mse_loss", [](const std::vector<Variable>& in) {
+                     Variable target = Constant(Tensor::Full(in[0].shape(), 0.4f));
+                     return MseLoss(in[0], target);
+                   },
+                   AnyPoint});
   return cases;
 }
 

@@ -1,0 +1,348 @@
+// Golden pass-behavior tests for the tape optimizer (autograd/optimizer.h).
+//
+// Where tape_fuzz_test.cc proves the optimizer CANNOT change results (bit
+// differential over random graphs), this file proves it DOES what it claims:
+// hand-built tapes with known structure assert the exact plan a fresh
+// Analyze() produces (chain membership, CSE classes, release set) and the
+// exact counter values one serial optimized backward emits —
+// autograd/tape/nodes_fused, cse_hits and bytes_saved are checked against
+// hand-derived numbers, not just "greater than zero".
+//
+// Counter caveat baked into these tests: cse_hits and bytes_saved are exact
+// only under serial execution (threads = 1); with a parallel scheduler two
+// duplicate-class members can race and both execute — still correct, just a
+// missed share — so every counter assertion here pins threads = 1.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "autograd/variable.h"
+#include "obs/obs.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metadpa {
+namespace ag {
+namespace {
+
+Variable Leaf(Tensor v) { return Variable(std::move(v), /*requires_grad=*/true); }
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    uint32_t ba, bb;
+    const float fa = a.at(i), fb = b.at(i);
+    std::memcpy(&ba, &fa, sizeof(ba));
+    std::memcpy(&bb, &fb, sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at element " << i;
+  }
+}
+
+/// Runs one serial optimized backward with metrics on and returns the deltas
+/// of the three tape counters (callers assert exact values).
+struct TapeCounters {
+  int64_t nodes_fused = 0;
+  int64_t cse_hits = 0;
+  int64_t bytes_saved = 0;
+};
+
+TapeCounters GradWithCounters(const Variable& loss, const std::vector<Variable>& params,
+                              std::vector<Variable>* grads) {
+  obs::SetEnabled(true);
+  obs::ResetMetrics();
+  GradOptions opts;
+  opts.optimize = true;
+  opts.threads = 1;
+  *grads = Grad(loss, params, opts);
+  TapeCounters c;
+  c.nodes_fused = obs::GetCounter("autograd/tape/nodes_fused").Value();
+  c.cse_hits = obs::GetCounter("autograd/tape/cse_hits").Value();
+  c.bytes_saved = obs::GetCounter("autograd/tape/bytes_saved").Value();
+  obs::SetEnabled(false);
+  return c;
+}
+
+std::vector<Variable> GradPlain(const Variable& loss, const std::vector<Variable>& params) {
+  GradOptions opts;
+  opts.threads = 1;
+  return Grad(loss, params, opts);
+}
+
+// --- Fusion ---------------------------------------------------------------
+
+TEST(TapeOptGolden, ElementwiseChainPlanAndCounters) {
+  // x -> Tanh -> MulScalar -> AddScalar -> SumAll. The three elementwise
+  // links collapse into one chain (tail AddScalar, interiors MulScalar and
+  // Tanh); SumAll is not fusable and x is a leaf, so the chain is maximal.
+  Rng rng(7);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable c = Tanh(x);
+  Variable b = MulScalar(c, 2.0f);
+  Variable a = AddScalar(b, 1.0f);
+  Variable loss = SumAll(a);
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  ASSERT_EQ(plan.chains.size(), 1u);
+  EXPECT_EQ(plan.nodes_fused, 3);  // tail + 2 interiors
+  EXPECT_EQ(plan.chains[0].steps.size(), 3u);
+  EXPECT_EQ(plan.num_cse_classes, 0u);
+  // Release set: loss + chain tail. x is requested, interiors never
+  // materialize a gradient.
+  EXPECT_EQ(plan.release_planned, 2);
+
+  int interiors = 0;
+  for (uint8_t f : plan.fused_interior) interiors += f;
+  EXPECT_EQ(interiors, 2);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.nodes_fused, 3);
+  EXPECT_EQ(counters.cse_hits, 0);
+  // Exactly two buffers die early: the scalar backward seed (1 float) and
+  // the {4,3} gradient merged at the chain tail (12 floats).
+  EXPECT_EQ(counters.bytes_saved, (1 + 12) * static_cast<int64_t>(sizeof(float)));
+
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "fused chain grad");
+}
+
+TEST(TapeOptGolden, ChainStopsAtFanOut) {
+  // s = Sigmoid(x) feeds two consumers, so it can never be a chain interior:
+  // its gradient is a real merge point. Each branch above it fuses on its
+  // own (Exp tail + Neg interior stops at s; MulScalar tail alone has no
+  // interior and forms no chain).
+  Rng rng(11);
+  Variable x = Leaf(Tensor::RandNormal({3, 5}, &rng));
+  Variable s = Sigmoid(x);
+  Variable left = Exp(Neg(s));
+  Variable right = MulScalar(s, 0.5f);
+  Variable loss = SumAll(Add(left, right));
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  ASSERT_EQ(plan.chains.size(), 1u);
+  EXPECT_EQ(plan.nodes_fused, 2);  // Exp + Neg only
+  EXPECT_EQ(plan.chains[0].steps.size(), 2u);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.nodes_fused, 2);
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "fan-out grad");
+}
+
+TEST(TapeOptGolden, RequestedInteriorBreaksChain) {
+  // The caller asks for the mid-chain gradient, so that node must
+  // materialize it and cannot be fused away: the would-be 3-node chain
+  // splits into AddScalar->(requested MulScalar) with only the top link
+  // chained, and a chain needs >= 1 interior, so nothing fuses.
+  Rng rng(13);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable c = Tanh(x);
+  Variable b = MulScalar(c, 2.0f);
+  Variable a = AddScalar(b, 1.0f);
+  Variable loss = SumAll(a);
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x, b});
+  // a's chain may still claim interior c? No: a's diff input is b, which is
+  // requested, so a has no interiors; c is claimable only below b's link.
+  // b itself is a valid tail with interior c.
+  ASSERT_EQ(plan.chains.size(), 1u);
+  EXPECT_EQ(plan.nodes_fused, 2);  // b (tail) + c (interior)
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x, b}, &got);
+  EXPECT_EQ(counters.nodes_fused, 2);
+  const std::vector<Variable> want = GradPlain(loss, {x, b});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "leaf grad");
+  ExpectBitIdentical(want[1].data(), got[1].data(), "requested interior grad");
+}
+
+// --- CSE ------------------------------------------------------------------
+
+TEST(TapeOptGolden, DuplicateClosureSharedOnce) {
+  // Two structurally identical Transpose(x) nodes (Transpose is outside the
+  // fusable-link set, so fusion cannot claim them). Add's backward passes
+  // the SAME gradient storage to both inputs, so the second member's merged
+  // gradient is pointer-equal to the first's and the cached closure outputs
+  // are reused: exactly one cse hit in a serial run.
+  Rng rng(17);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable u = Transpose(x);
+  Variable v = Transpose(x);
+  Variable loss = SumAll(Add(u, v));
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  EXPECT_EQ(plan.num_cse_classes, 1u);
+  EXPECT_EQ(plan.nodes_fused, 0);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.cse_hits, 1);
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "cse grad");
+}
+
+TEST(TapeOptGolden, CseCascadesThroughDuplicateSubgraphs) {
+  // Duplicate two-level subgraphs: Transpose(Transpose(x)) twice. Value
+  // numbering keys inner duplicates first, so the outer pair keys on the
+  // inner pair's shared value number and both levels form classes. At
+  // runtime the shared incoming storage propagates: the outer reuse delivers
+  // the SAME cached output handles into both inner slots, making the inner
+  // pair's merged gradients pointer-equal in turn — two hits, cascade
+  // working end to end.
+  Rng rng(19);
+  Variable x = Leaf(Tensor::RandNormal({3, 4}, &rng));
+  Variable u = Transpose(Transpose(x));
+  Variable v = Transpose(Transpose(x));
+  Variable loss = SumAll(Add(u, v));
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  EXPECT_EQ(plan.num_cse_classes, 2u);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.cse_hits, 2);
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "cascaded cse grad");
+}
+
+TEST(TapeOptGolden, DifferentAttrsDoNotShareAClass) {
+  // Same op, same input, different scalar attrs: the attrs are part of the
+  // value-numbering key, so no class forms and no sharing happens.
+  Rng rng(23);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable u = SliceRows(x, 0, 2);
+  Variable v = SliceRows(x, 1, 2);
+  Variable loss = SumAll(Add(u, v));
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  EXPECT_EQ(plan.num_cse_classes, 0u);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.cse_hits, 0);
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "attr-distinct grad");
+}
+
+TEST(TapeOptGolden, IndexedOpsAreCseExempt) {
+  // IndexSelectRows carries its indices outside the node's inline attrs, so
+  // two gathers are NOT keyable — even with identical indices they must not
+  // share a class (sharing on (op, input) alone would conflate different
+  // index vectors).
+  Rng rng(29);
+  Variable x = Leaf(Tensor::RandNormal({5, 3}, &rng));
+  Variable u = IndexSelectRows(x, {0, 2, 4});
+  Variable v = IndexSelectRows(x, {0, 2, 4});
+  Variable loss = SumAll(Add(u, v));
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  EXPECT_EQ(plan.num_cse_classes, 0u);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.cse_hits, 0);
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "gather grad");
+}
+
+// --- Buffer release -------------------------------------------------------
+
+TEST(TapeOptGolden, AliasedPassThroughGradIsNeverCounted) {
+  // Negative test for the release planner's ownership rule. AddScalar's
+  // backward is a pass-through: the gradient Variable delivered to x IS the
+  // merged gradient of u (same node, same storage). When u's handle is
+  // dropped after execution, the buffer is still owned by x's slot, so it
+  // must NOT count as saved — only the backward seed (1 float, exclusively
+  // owned) may. Counting 52 here would mean the engine freed (or
+  // double-counted) a live aliased buffer.
+  Rng rng(31);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable u = AddScalar(x, 1.0f);
+  Variable loss = MeanAll(u);
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x});
+  EXPECT_EQ(plan.nodes_fused, 0);  // chain needs an interior; x is a leaf
+  EXPECT_EQ(plan.release_planned, 2);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.bytes_saved, static_cast<int64_t>(sizeof(float)));
+
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "alias grad");
+}
+
+TEST(TapeOptGolden, RequestedGradsAreNotReleasePlanned) {
+  // Every requested node must be excluded from the release set, or the
+  // caller would receive an empty gradient.
+  Rng rng(37);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable u = Transpose(x);
+  Variable v = Transpose(u);
+  Variable loss = SumAll(v);
+
+  const optimizer::Plan plan = optimizer::AnalyzeTape(loss, {x, u, v});
+  EXPECT_EQ(plan.release_planned, 1);  // only the loss node itself
+
+  std::vector<Variable> got;
+  GradWithCounters(loss, {x, u, v}, &got);
+  const std::vector<Variable> want = GradPlain(loss, {x, u, v});
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_TRUE(got[i].is_valid());
+    ExpectBitIdentical(want[i].data(), got[i].data(),
+                       "requested grad " + std::to_string(i));
+  }
+}
+
+TEST(TapeOptGolden, ExclusiveIntermediateGradIsCounted) {
+  // Positive counterpart of the alias test: Transpose's backward builds a
+  // fresh gradient tensor, so the intermediate's merged gradient is
+  // exclusively owned when dropped and its 12 floats count, plus the seed.
+  Rng rng(41);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable u = Transpose(x);
+  Variable loss = SumAll(u);
+
+  std::vector<Variable> got;
+  const TapeCounters counters = GradWithCounters(loss, {x}, &got);
+  EXPECT_EQ(counters.bytes_saved, (1 + 12) * static_cast<int64_t>(sizeof(float)));
+
+  const std::vector<Variable> want = GradPlain(loss, {x});
+  ExpectBitIdentical(want[0].data(), got[0].data(), "exclusive release grad");
+}
+
+// --- create_graph exclusion ----------------------------------------------
+
+TEST(TapeOptGolden, CreateGraphDisablesThePass) {
+  // With create_graph the optimizer must stand down entirely (closures BUILD
+  // the second-order graph); the engine emits no tape counters at all.
+  Rng rng(43);
+  Variable x = Leaf(Tensor::RandNormal({4, 3}, &rng));
+  Variable loss = SumAll(AddScalar(MulScalar(Tanh(x), 2.0f), 1.0f));
+
+  obs::SetEnabled(true);
+  obs::ResetMetrics();
+  GradOptions opts;
+  opts.optimize = true;
+  opts.create_graph = true;
+  opts.threads = 1;
+  const std::vector<Variable> g = Grad(loss, {x}, opts);
+  EXPECT_EQ(obs::GetCounter("autograd/tape/nodes_fused").Value(), 0);
+  EXPECT_EQ(obs::GetCounter("autograd/tape/bytes_saved").Value(), 0);
+  obs::SetEnabled(false);
+
+  // And the returned gradient still participates in the second-order graph.
+  ASSERT_TRUE(g[0].requires_grad());
+  const Variable gg = SumAll(Mul(g[0], g[0]));
+  const std::vector<Variable> g2 = GradPlain(gg, {x});
+  ASSERT_TRUE(g2[0].is_valid());
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace metadpa

@@ -26,12 +26,28 @@ find "$build_dir" -name '*.gcda' -delete
 
 (cd "$build_dir" && ctest $label_args --output-on-failure)
 
+# The report must measure the library alone: tests/ and bench/ are harness
+# code whose near-100% self-coverage would dilute the per-file table and
+# inflate the totals. --filter keeps src/, and the explicit excludes guard
+# against gcovr versions whose filter regexes are unanchored.
+report="$build_dir/coverage_report.txt"
 if command -v gcovr >/dev/null 2>&1; then
-  gcovr --root . --filter 'src/' "$build_dir" \
-    --print-summary --sort-percentage
+  gcovr --root . --filter 'src/' \
+    --exclude 'tests/' --exclude 'bench/' "$build_dir" \
+    --print-summary --sort-percentage | tee "$report"
 else
   echo "note: gcovr not installed; falling back to gcov file summaries" >&2
   find "$build_dir/src" -name '*.gcda' | while read -r gcda; do
     (cd "$(dirname "$gcda")" && gcov -n "$(basename "$gcda")" 2>/dev/null)
-  done | grep -A1 "^File 'src" | sed "s/^Lines executed:/  lines:/"
+  done | grep -A1 "^File 'src" | sed "s/^Lines executed:/  lines:/" \
+    | tee "$report"
+fi
+
+# Smoke check, pinned here so a filter regression (gcovr upgrade, object
+# layout change) fails the run instead of silently shipping a diluted
+# report: no row may reference a tests/ or bench/ source file.
+if grep -Eq "(^|[[:space:]]|')(tests|bench)/" "$report"; then
+  echo "error: coverage report contains tests/ or bench/ rows;" \
+    "the src/-only filter has regressed" >&2
+  exit 1
 fi

@@ -143,20 +143,22 @@ int Usage() {
       "  stats       [--scale S]\n"
       "  run         [--methods A,B,..] [--scale S] [--negatives N]\n"
       "              [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
-      "              [--train-threads T] [--grad-threads G] [--trace-out PATH]\n"
+      "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n"
+      "              [--trace-out PATH]\n"
       "              [--metrics-out PATH] [--telemetry-out PATH]\n"
       "              [--telemetry-interval-ms N] [--watchdog off|warn|abort]\n"
       "  export      --prefix PATH [--scale S]\n"
       "  manifest    [--out PATH] [--scale S] [--effort E] [--seed SEED]\n"
-      "              [--train-threads T] [--grad-threads G]\n"
+      "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n"
       "  serve-bench [--method NAME] [--scale S] [--effort E] [--seed SEED]\n"
       "              [--qps Q] [--requests N] [--clients C] [--serve-workers W]\n"
       "              [--queue-cap N] [--batch B] [--k K] [--candidates N]\n"
       "              [--swap-ms MS] [--precision fp32|bf16|int8]\n"
-      "              [--train-threads T] [--grad-threads G] [+ telemetry flags]\n"
+      "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n"
+      "              [+ telemetry flags]\n"
       "  parity      [--methods A,B,..] [--scale S] [--negatives N] [--effort E]\n"
       "              [--seed SEED] [--k K] [--threads T] [--csv PATH]\n"
-      "              [--train-threads T] [--grad-threads G]\n");
+      "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n");
   return 2;
 }
 
@@ -173,23 +175,25 @@ std::set<std::string> AllowedFlags(const std::string& command) {
     allowed = {"target", "scale"};
   } else if (command == "run") {
     allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
-               "csv", "threads", "train-threads", "grad-threads"};
+               "csv", "threads", "train-threads", "grad-threads", "tape-opt"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   } else if (command == "export") {
     allowed = {"prefix", "target", "scale"};
   } else if (command == "manifest") {
     allowed = {"out",           "target", "scale",       "effort",
-               "grad-threads",  "seed",   "train-threads"};
+               "grad-threads",  "seed",   "train-threads", "tape-opt"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   } else if (command == "serve-bench") {
     allowed = {"target", "scale", "method", "effort", "seed", "negatives",
-               "train-threads", "grad-threads", "qps", "requests", "clients",
+               "train-threads", "grad-threads", "tape-opt", "qps", "requests",
+               "clients",
                "serve-workers",
                "queue-cap", "batch", "k", "candidates", "swap-ms", "precision"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   } else if (command == "parity") {
     allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
-               "k", "threads", "csv", "train-threads", "grad-threads"};
+               "k", "threads", "csv", "train-threads", "grad-threads",
+               "tape-opt"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
   }
   return allowed;
@@ -302,6 +306,7 @@ int RunCompare(const Args& args) {
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
+  options.tape_opt = args.GetIntAtLeast("tape-opt", 0, 0) != 0;
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -388,6 +393,7 @@ int RunManifest(const Args& args) {
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
+  options.tape_opt = args.GetIntAtLeast("tape-opt", 0, 0) != 0;
   ApplyObservabilityFlags(args, &options);
   data::SyntheticConfig config = ResolveDataConfig(args);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -439,6 +445,7 @@ int RunServeBench(const Args& args) {
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
+  options.tape_opt = args.GetIntAtLeast("tape-opt", 0, 0) != 0;
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
@@ -557,6 +564,7 @@ int RunParityCmd(const Args& args) {
   options.effort = args.GetDouble("effort", 1.0);
   options.train_threads = static_cast<int>(args.GetIntAtLeast("train-threads", 1, 0));
   options.grad_threads = static_cast<int>(args.GetIntAtLeast("grad-threads", 1, 0));
+  options.tape_opt = args.GetIntAtLeast("tape-opt", 0, 0) != 0;
   ApplyObservabilityFlags(args, &options);
   suite::SetupObservability(options);
 
