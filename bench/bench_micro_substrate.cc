@@ -490,6 +490,70 @@ void BM_ServeScoreTopKInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeScoreTopKInt8)->Arg(128)->Arg(512)->MeasureProcessCPUTime();
 
+// Request-tracing overhead gate: the BM_ServeScoreTopK round trip with the
+// whole observability path lit up — stage timestamps, per-precision stage
+// histograms, SLO accounting, exemplar ring at threshold 0 (every request
+// deposits) — against the same run with tracing and obs off. range(0) is the
+// on/off toggle; check_bench_regression holds the Arg(1)/Arg(0) ratio to the
+// <= 2% tracing budget.
+void BM_ObsRequestTrace(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  constexpr int64_t kCandidates = 128;
+  constexpr int64_t kUsers = 256, kItems = 2048, kDim = 96;
+  Rng rng(9);
+  std::shared_ptr<serve::DotProductRecommender> model =
+      serve::DotProductRecommender::MakeRandom(kUsers, kItems, kDim, &rng);
+  auto snapshot = serve::ModelSnapshot::Capture(model, 1);
+  if (!snapshot.ok()) {
+    state.SkipWithError("snapshot capture failed");
+    return;
+  }
+  serve::ServerConfig server_config;
+  server_config.trace_requests = traced;
+  if (traced) {
+    server_config.capture_exemplars = true;
+    server_config.exemplar_threshold_ms = 0.0;
+    server_config.exemplar_capacity = 256;
+    server_config.slo_enabled = true;
+  }
+  serve::ScoringServer server(snapshot.ValueOrDie(), server_config);
+
+  std::vector<int64_t> pool(kItems);
+  for (int64_t i = 0; i < kItems; ++i) pool[i] = i;
+  serve::LoadgenConfig shape;
+  shape.candidates_per_request = static_cast<int>(kCandidates);
+  shape.k = 10;
+  constexpr int64_t kRing = 64;
+  std::vector<serve::ScoreRequest> ring;
+  ring.reserve(kRing);
+  for (int64_t i = 0; i < kRing; ++i) {
+    ring.push_back(serve::SynthesizeRequest(i, kUsers, pool, shape));
+  }
+  constexpr int64_t kBurst = 64;
+  int64_t index = 0;
+  std::vector<std::future<serve::ScoreResponse>> inflight;
+  inflight.reserve(kBurst);
+  const bool was_enabled = obs::SetEnabled(traced);
+  for (auto _ : state) {
+    inflight.clear();
+    for (int64_t b = 0; b < kBurst; ++b) {
+      serve::ScoreRequest request = ring[index++ % kRing];
+      auto admitted = server.Submit(std::move(request));
+      if (!admitted.ok()) {
+        state.SkipWithError("request rejected");
+        obs::SetEnabled(was_enabled);
+        return;
+      }
+      inflight.push_back(std::move(admitted.ValueOrDie()));
+    }
+    for (auto& response : inflight) benchmark::DoNotOptimize(response.get());
+  }
+  obs::SetEnabled(was_enabled);
+  obs::ResetAll();  // keep later repetitions/benchmarks from inheriting state
+  state.SetItemsProcessed(state.iterations() * kBurst * kCandidates);
+}
+BENCHMARK(BM_ObsRequestTrace)->Arg(0)->Arg(1)->MeasureProcessCPUTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

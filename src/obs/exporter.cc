@@ -1,0 +1,430 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/health.h"
+
+namespace metadpa {
+namespace obs {
+
+namespace {
+
+/// Shortest %g rendering that round-trips a double through strtod.
+std::string RenderDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool ParseDoubleStrict(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* stop = nullptr;
+  const double value = std::strtod(token.c_str(), &stop);
+  if (stop != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Sends the whole buffer, retrying short writes; false on error.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetIoTimeouts(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusText() {
+  const MetricsSnapshot snap = SnapshotMetrics();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + RenderDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.buckets.size() ? hist.buckets[i] : 0;
+      out += pname + "_bucket{le=\"" + RenderDouble(hist.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += pname + "_sum " + RenderDouble(hist.sum) + "\n";
+    out += pname + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+Result<ParsedMetrics> ParsePrometheusText(const std::string& text) {
+  ParsedMetrics out;
+  // TYPE declared for each metric family, keyed by exposition name.
+  std::map<std::string, std::string> types;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const auto fail = [&](const char* what) {
+      return Status::InvalidArgument("ParsePrometheusText: line " +
+                                     std::to_string(line_no) + ": " + what +
+                                     ": " + line);
+    };
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <kind>" comments are produced (and accepted).
+      if (line.compare(0, 7, "# TYPE ") != 0) return fail("unknown comment");
+      const size_t name_end = line.find(' ', 7);
+      if (name_end == std::string::npos) return fail("bad TYPE line");
+      types[line.substr(7, name_end - 7)] = line.substr(name_end + 1);
+      continue;
+    }
+    // Sample line: NAME[{le="X"}] VALUE
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      return fail("no value");
+    }
+    double value = 0.0;
+    if (!ParseDoubleStrict(line.substr(space + 1), &value)) {
+      return fail("bad value");
+    }
+    std::string name = line.substr(0, space);
+    std::string le;
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      // The only label this exposition emits is a histogram bucket's le="X".
+      if (name.back() != '}') return fail("bad labels");
+      const std::string labels = name.substr(brace + 1, name.size() - brace - 2);
+      if (labels.compare(0, 4, "le=\"") != 0 || labels.back() != '"') {
+        return fail("unknown label");
+      }
+      le = labels.substr(4, labels.size() - 5);
+      name = name.substr(0, brace);
+    }
+    // Histogram series carry suffixes; resolve the family they belong to.
+    std::string family = name;
+    enum { kPlain, kBucket, kSum, kCount } part = kPlain;
+    const auto strip = [&](const char* suffix, int kind) {
+      const size_t len = std::strlen(suffix);
+      if (family.size() > len &&
+          family.compare(family.size() - len, len, suffix) == 0 &&
+          types.count(family.substr(0, family.size() - len))) {
+        family = family.substr(0, family.size() - len);
+        part = static_cast<decltype(part)>(kind);
+      }
+    };
+    strip("_bucket", kBucket);
+    if (part == kPlain) strip("_sum", kSum);
+    if (part == kPlain) strip("_count", kCount);
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) return fail("sample without TYPE");
+    const std::string& type = type_it->second;
+    if (type == "counter") {
+      out.counters[family] = value;
+    } else if (type == "gauge") {
+      out.gauges[family] = value;
+    } else if (type == "histogram") {
+      HistogramSnapshot& hist = out.histograms[family];
+      if (part == kBucket) {
+        if (le == "+Inf") {
+          hist.count = static_cast<int64_t>(value);
+        } else {
+          double bound = 0.0;
+          if (!ParseDoubleStrict(le, &bound)) return fail("bad le bound");
+          hist.bounds.push_back(bound);
+          hist.buckets.push_back(static_cast<int64_t>(value));
+        }
+      } else if (part == kSum) {
+        hist.sum = value;
+      } else if (part == kCount) {
+        hist.count = static_cast<int64_t>(value);
+      } else {
+        return fail("bare histogram sample");
+      }
+    } else {
+      return fail("unknown TYPE");
+    }
+  }
+  // Buckets arrived cumulative; de-cumulate and add the overflow bucket so
+  // the snapshots match what Histogram::Snapshot() would have produced.
+  for (auto& [name, hist] : out.histograms) {
+    (void)name;
+    int64_t seen = 0;
+    for (auto& bucket : hist.buckets) {
+      const int64_t cumulative = bucket;
+      bucket = cumulative - seen;
+      seen = cumulative;
+    }
+    hist.buckets.push_back(hist.count - seen);  // overflow
+  }
+  return out;
+}
+
+std::function<Status()> HealthCheckFrom(const HealthMonitor* monitor) {
+  if (monitor == nullptr) return [] { return Status::OK(); };
+  return [monitor] { return monitor->status(); };
+}
+
+Result<std::unique_ptr<StatsExporter>> StatsExporter::Start(
+    const StatsExporterOptions& options) {
+  std::unique_ptr<StatsExporter> exporter(new StatsExporter(options));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("StatsExporter: socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("StatsExporter: bad bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseFd(fd);
+    return Status::IoError("StatsExporter: bind " + options.bind_address + ":" +
+                           std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseFd(fd);
+    return Status::IoError("StatsExporter: listen: " + err);
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseFd(fd);
+    return Status::IoError("StatsExporter: getsockname: " + err);
+  }
+  exporter->listen_fd_ = fd;
+  exporter->port_ = static_cast<int>(ntohs(bound.sin_port));
+  exporter->pool_.reset(new ThreadPool(2));
+  StatsExporter* raw = exporter.get();
+  exporter->pool_->TrySubmit([raw] { raw->AcceptLoop(); });
+  return exporter;
+}
+
+StatsExporter::StatsExporter(const StatsExporterOptions& options)
+    : options_(options) {}
+
+StatsExporter::~StatsExporter() { Stop(); }
+
+void StatsExporter::Stop() {
+  const bool already = stopping_.exchange(true);
+  if (pool_) pool_->Shutdown();  // joins the accept loop and in-flight handlers
+  if (!already) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsExporter::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // Short poll timeout keeps Stop() prompt without self-pipe tricks.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    SetIoTimeouts(conn, /*timeout_ms=*/2000);
+    // The pool has two threads; this loop occupies one, so handlers run on
+    // the other. If the pool is already shutting down, answer inline —
+    // dropping an accepted connection would hang a polling client.
+    if (!pool_->TrySubmit([this, conn] { HandleConnection(conn); })) {
+      HandleConnection(conn);
+    }
+  }
+}
+
+void StatsExporter::HandleConnection(int fd) {
+  // Read until the end of the request head (we ignore bodies; GET only).
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  const std::string first =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::string path;
+  if (first.compare(0, 4, "GET ") == 0) {
+    const size_t path_end = first.find(' ', 4);
+    path = first.substr(4, path_end == std::string::npos ? std::string::npos
+                                                         : path_end - 4);
+  }
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse("200 OK", "text/plain; version=0.0.4",
+                            PrometheusText());
+  } else if (path == "/healthz") {
+    const Status health = options_.health ? options_.health() : Status::OK();
+    if (health.ok()) {
+      response = HttpResponse("200 OK", "text/plain", "ok\n");
+    } else {
+      response =
+          HttpResponse("503 Service Unavailable", "text/plain",
+                       health.ToString() + "\n");
+    }
+  } else if (path == "/") {
+    response = HttpResponse("200 OK", "text/plain",
+                            "metadpa stats exporter\n/metrics\n/healthz\n");
+  } else if (path.empty()) {
+    response = HttpResponse("400 Bad Request", "text/plain", "bad request\n");
+  } else {
+    response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+  }
+  SendAll(fd, response);
+  CloseFd(fd);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<std::string> HttpGetBody(const std::string& host, int port,
+                                const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("HttpGetBody: socket: ") +
+                           std::strerror(errno));
+  }
+  SetIoTimeouts(fd, timeout_ms);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("HttpGetBody: bad host (IPv4 only): " +
+                                   host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    CloseFd(fd);
+    return Status::IoError("HttpGetBody: connect " + host + ":" +
+                           std::to_string(port) + ": " + err);
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    const std::string err = std::strerror(errno);
+    CloseFd(fd);
+    return Status::IoError("HttpGetBody: send: " + err);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+    if (response.size() > (64u << 20)) break;  // runaway guard
+  }
+  CloseFd(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IoError("HttpGetBody: truncated response (" +
+                           std::to_string(response.size()) + " bytes)");
+  }
+  const size_t line_end = response.find("\r\n");
+  const std::string status_line = response.substr(0, line_end);
+  // "HTTP/1.0 200 OK"
+  const size_t code_at = status_line.find(' ');
+  if (code_at == std::string::npos ||
+      status_line.compare(code_at + 1, 3, "200") != 0) {
+    return Status::FailedPrecondition("HttpGetBody: " + status_line);
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace obs
+}  // namespace metadpa

@@ -1,0 +1,133 @@
+// Live metric exposition: a tiny blocking TCP server that renders the whole
+// metrics registry in Prometheus text format, plus a /healthz probe — so a
+// long serving run can be observed (curl, `metadpa_cli top`, a real
+// Prometheus scraper) without attaching a debugger or killing it for the
+// exit-time tables.
+//
+// Endpoints (HTTP/1.0, Connection: close, GET only):
+//   /metrics   PrometheusText() of SnapshotMetrics() — counters, gauges and
+//              cumulative-bucket histograms, names sanitized ('/' -> '_')
+//   /healthz   200 "ok" while the configured health callback returns OK,
+//              503 with the status text otherwise
+//   /          short plain-text index
+//
+// Design: deliberately minimal. One listener socket polled with a short
+// timeout (so Stop() is prompt without signal tricks), connections accepted
+// on a 2-thread util::ThreadPool — one task runs the accept loop, handlers
+// run on the second thread — and each response is rendered, written and
+// closed. No keep-alive, no TLS, no request bodies: it is a stats endpoint,
+// not a web server. Exposition READS the registry only; scoring results are
+// bit-identical with the exporter on or off (same contract as every obs
+// surface).
+#ifndef METADPA_OBS_EXPORTER_H_
+#define METADPA_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/obs.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metadpa {
+namespace obs {
+
+class HealthMonitor;
+
+/// \brief The whole registry in Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` lines, sanitized metric names, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`. Deterministic order
+/// (name-sorted, like SnapshotMetrics).
+std::string PrometheusText();
+
+/// \brief Metric-name sanitization used by PrometheusText: every character
+/// outside [a-zA-Z0-9_] becomes '_', and a leading digit gains a '_' prefix.
+std::string PrometheusName(const std::string& name);
+
+/// \brief Parsed form of a Prometheus text page — enough structure for
+/// `metadpa_cli top` and the exporter round-trip tests. Histograms are
+/// reconstructed as HistogramSnapshot (buckets DE-cumulated) so
+/// HistogramPercentile works on them directly.
+struct ParsedMetrics {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// \brief Parses a PrometheusText()-shaped page. Unknown or malformed lines
+/// fail the parse (the producer is ours; leniency would only hide bugs).
+Result<ParsedMetrics> ParsePrometheusText(const std::string& text);
+
+/// \brief Exporter configuration.
+struct StatsExporterOptions {
+  /// TCP port to bind; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Loopback by default: this is an operator endpoint, not a public one.
+  std::string bind_address = "127.0.0.1";
+  /// /healthz callback; empty = always OK. Runs on exporter threads — the
+  /// callable must be thread-safe (HealthCheckFrom documents the monitor
+  /// caveat).
+  std::function<Status()> health;
+};
+
+/// \brief Adapts a HealthMonitor to the /healthz callback: reports the
+/// monitor's sticky status. HealthMonitor itself is not thread-safe, so use
+/// this only when the monitor has quiesced (after training) or when its
+/// status can no longer change concurrently.
+std::function<Status()> HealthCheckFrom(const HealthMonitor* monitor);
+
+/// \brief The blocking stats endpoint. Start() binds and begins serving;
+/// destruction (or Stop()) closes the listener and joins the pool.
+class StatsExporter {
+ public:
+  /// \brief Binds `options.port`, starts the accept loop, returns the live
+  /// exporter. Fails with IoError when the socket cannot be bound.
+  static Result<std::unique_ptr<StatsExporter>> Start(
+      const StatsExporterOptions& options);
+
+  ~StatsExporter();  ///< Stop()
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// \brief The bound port (resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// \brief Requests served so far (any endpoint, including 404s).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Stops accepting, drains in-flight handlers, closes the socket.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  explicit StatsExporter(const StatsExporterOptions& options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const StatsExporterOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// \brief Minimal blocking HTTP GET against a local endpoint (the client side
+/// of `metadpa_cli top` and the exporter tests). Returns the response BODY on
+/// any 200 response; non-200 responses come back as FailedPrecondition with
+/// the status line, connection problems as IoError.
+Result<std::string> HttpGetBody(const std::string& host, int port,
+                                const std::string& path, int timeout_ms = 2000);
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_EXPORTER_H_

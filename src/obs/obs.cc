@@ -455,6 +455,12 @@ Span::~Span() {
 }
 #endif
 
+int64_t TraceNowNs() { return NowNs(); }
+
+void RecordExternalSpan(const char* name, int64_t start_ns, int64_t dur_ns) {
+  RecordEvent(name, start_ns, dur_ns < 0 ? 0 : dur_ns);
+}
+
 std::vector<TraceEvent> SnapshotTrace() {
   std::vector<TraceEvent> out;
   for (EventBuffer* buffer : Registry::Get().Buffers()) {

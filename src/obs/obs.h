@@ -211,6 +211,21 @@ class Span {
 #endif
 };
 
+/// \brief Nanoseconds on the shared trace clock (steady, epoch = first use in
+/// the process). Every recorded span start lives on this clock; subsystems
+/// that stamp their own timestamps (serve's RequestTrace) read it so their
+/// records merge time-aligned into the trace export.
+int64_t TraceNowNs();
+
+/// \brief Records a pre-timed complete event into the calling thread's trace
+/// buffer, exactly as if a Span had covered [start_ns, start_ns + dur_ns) on
+/// the TraceNowNs() clock. Used to merge externally captured records (slow-
+/// request exemplars) into the export. `name` must be a string literal (the
+/// usual span-name lifetime rule); negative durations are clamped to 0.
+/// Unlike Span construction this does NOT gate on Enabled() — the caller
+/// already decided the event matters.
+void RecordExternalSpan(const char* name, int64_t start_ns, int64_t dur_ns);
+
 /// \brief One recorded span, in registration order per thread.
 struct TraceEvent {
   std::string name;

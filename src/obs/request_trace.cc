@@ -1,0 +1,265 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace metadpa {
+namespace obs {
+
+const std::vector<double>& LatencyBucketsMs() {
+  // 1-2-5 log series, 50µs .. 1s. See the header for the pin contract.
+  static const std::vector<double> bounds = {
+      0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+  return bounds;
+}
+
+StageBreakdown ComputeStageBreakdown(const RequestTrace& trace) {
+  StageBreakdown b;
+  b.queue_ms = static_cast<double>(trace.dequeue_ns - trace.admit_ns) / 1e6;
+  b.batch_ms = static_cast<double>(trace.pin_ns - trace.dequeue_ns) / 1e6;
+  b.score_ms = static_cast<double>(trace.score_ns - trace.pin_ns) / 1e6;
+  b.fulfill_ms = static_cast<double>(trace.fulfill_ns - trace.score_ns) / 1e6;
+  b.total_ms = static_cast<double>(trace.fulfill_ns - trace.admit_ns) / 1e6;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// ExemplarRing
+// ---------------------------------------------------------------------------
+
+// Slot state word: kFree (never written), kBusy (a writer or the snapshot
+// reader momentarily owns the payload), or ticket + kFirstTicket (stable,
+// holds the exemplar deposited under that ticket). Payload fields are plain
+// (non-atomic) because every access happens between winning the CAS to kBusy
+// and the release store back to a stable state — the CAS/store pair is the
+// acquire/release edge ThreadSanitizer (and the memory model) need.
+struct ExemplarRing::Slot {
+  static constexpr uint64_t kFree = 0;
+  static constexpr uint64_t kBusy = 1;
+  static constexpr uint64_t kFirstTicket = 2;
+  std::atomic<uint64_t> state{kFree};
+  RequestTrace trace;
+};
+
+ExemplarRing::ExemplarRing(size_t capacity)
+    : slots_(capacity > 0 ? capacity : 1) {}
+
+ExemplarRing::~ExemplarRing() = default;
+
+size_t ExemplarRing::capacity() const { return slots_.size(); }
+
+bool ExemplarRing::Offer(const RequestTrace& trace) {
+  const uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  uint64_t expected = slot.state.load(std::memory_order_relaxed);
+  if (expected == Slot::kBusy ||
+      !slot.state.compare_exchange_strong(expected, Slot::kBusy,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    // Someone else owns the slot right now. Never wait: drop and count.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot.trace = trace;
+  slot.state.store(ticket + Slot::kFirstTicket, std::memory_order_release);
+  deposited_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<RequestTrace> ExemplarRing::Snapshot() {
+  std::vector<std::pair<uint64_t, RequestTrace>> held;
+  held.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    uint64_t state = slot.state.load(std::memory_order_relaxed);
+    if (state == Slot::kFree || state == Slot::kBusy) continue;
+    if (!slot.state.compare_exchange_strong(state, Slot::kBusy,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      continue;  // a writer beat us to it; its newer record wins
+    }
+    held.emplace_back(state - Slot::kFirstTicket, slot.trace);
+    slot.state.store(state, std::memory_order_release);
+  }
+  std::sort(held.begin(), held.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<RequestTrace> out;
+  out.reserve(held.size());
+  for (auto& [ticket, trace] : held) out.push_back(trace);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendMs(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  *out += buf;
+}
+
+/// Finds `"key":` and parses the integer after it. Returns false if absent
+/// or malformed.
+bool ScanInt(const std::string& line, const char* key, int64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const long long value = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ScanString(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const size_t start = pos + needle.size();
+  const size_t close = line.find('"', start);
+  if (close == std::string::npos) return false;
+  *out = line.substr(start, close - start);
+  return true;
+}
+
+/// The precision field must stay a pointer to storage that outlives the
+/// parsed record; intern the three known tags (anything else reads as "?").
+const char* InternPrecision(const std::string& name) {
+  if (name == "fp32") return "fp32";
+  if (name == "bf16") return "bf16";
+  if (name == "int8") return "int8";
+  return "?";
+}
+
+}  // namespace
+
+std::string ExemplarJsonLine(const RequestTrace& trace) {
+  const StageBreakdown b = ComputeStageBreakdown(trace);
+  std::string out = "{\"request_id\":" + std::to_string(trace.request_id);
+  out += ",\"user\":" + std::to_string(trace.user);
+  out += ",\"snapshot_version\":" + std::to_string(trace.snapshot_version);
+  out += ",\"batch_size\":" + std::to_string(trace.batch_size);
+  out += std::string(",\"precision\":\"") + trace.precision + "\"";
+  out += ",\"admit_ns\":" + std::to_string(trace.admit_ns);
+  out += ",\"dequeue_ns\":" + std::to_string(trace.dequeue_ns);
+  out += ",\"pin_ns\":" + std::to_string(trace.pin_ns);
+  out += ",\"score_ns\":" + std::to_string(trace.score_ns);
+  out += ",\"fulfill_ns\":" + std::to_string(trace.fulfill_ns);
+  out += ",\"queue_ms\":";
+  AppendMs(&out, b.queue_ms);
+  out += ",\"batch_ms\":";
+  AppendMs(&out, b.batch_ms);
+  out += ",\"score_ms\":";
+  AppendMs(&out, b.score_ms);
+  out += ",\"fulfill_ms\":";
+  AppendMs(&out, b.fulfill_ms);
+  out += ",\"total_ms\":";
+  AppendMs(&out, b.total_ms);
+  out += "}";
+  return out;
+}
+
+bool ParseExemplarJsonLine(const std::string& line, RequestTrace* out) {
+  RequestTrace trace;
+  int64_t version = 0, batch = 0;
+  std::string precision;
+  if (!ScanInt(line, "request_id", &trace.request_id)) return false;
+  if (!ScanInt(line, "user", &trace.user)) return false;
+  if (!ScanInt(line, "snapshot_version", &version)) return false;
+  if (!ScanInt(line, "batch_size", &batch)) return false;
+  if (!ScanString(line, "precision", &precision)) return false;
+  if (!ScanInt(line, "admit_ns", &trace.admit_ns)) return false;
+  if (!ScanInt(line, "dequeue_ns", &trace.dequeue_ns)) return false;
+  if (!ScanInt(line, "pin_ns", &trace.pin_ns)) return false;
+  if (!ScanInt(line, "score_ns", &trace.score_ns)) return false;
+  if (!ScanInt(line, "fulfill_ns", &trace.fulfill_ns)) return false;
+  trace.snapshot_version = static_cast<uint64_t>(version);
+  trace.batch_size = static_cast<int32_t>(batch);
+  trace.precision = InternPrecision(precision);
+  *out = trace;
+  return true;
+}
+
+Status WriteExemplarsJsonl(const std::string& path,
+                           const std::vector<RequestTrace>& exemplars) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open exemplar output: " + path);
+  }
+  for (const RequestTrace& trace : exemplars) {
+    const std::string line = ExemplarJsonLine(trace) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return Status::IoError("short write: " + path);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<RequestTrace>> ReadExemplarsJsonl(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open exemplar file: " + path);
+  }
+  std::vector<RequestTrace> out;
+  std::string line;
+  int ch;
+  int64_t line_no = 1;
+  auto flush_line = [&]() -> Status {
+    if (line.empty()) return Status::OK();
+    RequestTrace trace;
+    if (!ParseExemplarJsonLine(line, &trace)) {
+      return Status::InvalidArgument("malformed exemplar at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    out.push_back(trace);
+    return Status::OK();
+  };
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch == '\n') {
+      Status status = flush_line();
+      if (!status.ok()) {
+        std::fclose(f);
+        return status;
+      }
+      line.clear();
+      ++line_no;
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  Status status = flush_line();  // unterminated final line
+  std::fclose(f);
+  if (!status.ok()) return status;
+  return out;
+}
+
+void MergeExemplarSpans(const std::vector<RequestTrace>& exemplars) {
+  for (const RequestTrace& trace : exemplars) {
+    // Whole-request span plus the four stage children, all on the shared
+    // trace clock, so they land time-aligned with the live serve/batch spans.
+    RecordExternalSpan("serve/exemplar/request", trace.admit_ns,
+                       trace.fulfill_ns - trace.admit_ns);
+    RecordExternalSpan("serve/exemplar/queue", trace.admit_ns,
+                       trace.dequeue_ns - trace.admit_ns);
+    RecordExternalSpan("serve/exemplar/batch", trace.dequeue_ns,
+                       trace.pin_ns - trace.dequeue_ns);
+    RecordExternalSpan("serve/exemplar/score", trace.pin_ns,
+                       trace.score_ns - trace.pin_ns);
+    RecordExternalSpan("serve/exemplar/fulfill", trace.score_ns,
+                       trace.fulfill_ns - trace.score_ns);
+  }
+}
+
+}  // namespace obs
+}  // namespace metadpa

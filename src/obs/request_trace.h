@@ -1,0 +1,149 @@
+// Per-request tracing for the scoring server: stage-timestamped request
+// records, a non-blocking slow-request exemplar ring, and JSONL export.
+//
+// Stage model (serve::ScoringServer threads one RequestTrace through each
+// request's life; every field is a nanosecond reading of the shared trace
+// clock TraceNowNs(), so exemplars merge time-aligned into the chrome://
+// tracing export):
+//
+//   admit_ns    Submit enqueued the request
+//   dequeue_ns  a worker popped it out of the admission queue (batch formed)
+//   pin_ns      the batch pinned its snapshot and built its scorer
+//   score_ns    this request's RecommendTopK returned
+//   fulfill_ns  the response was handed to the caller's future
+//
+// Stage durations are the CONSECUTIVE differences:
+//   queue   = dequeue - admit     (admission-queue wait)
+//   batch   = pin - dequeue       (batch formation + snapshot pin + clone)
+//   score   = score - pin         (in-batch wait for earlier requests + own
+//                                  GEMM/top-k — where a p99 request's time
+//                                  went inside its batch)
+//   fulfill = fulfill - score     (bookkeeping + promise fulfillment)
+// so the exactness invariant
+//   queue + batch + score + fulfill == total (fulfill_ns - admit_ns)
+// holds to the last nanosecond by construction; StageBreakdown() computes it
+// and tests/serve_trace_test.cc pins it to tight tolerance in milliseconds.
+//
+// Contract: tracing READS clocks and program state only — it never draws
+// random numbers, never mutates tensors, never reorders work. A
+// trace-on run scores bit-identically to a trace-off run (pinned by
+// serve_trace_test). RequestTrace is trivially copyable (the precision tag
+// is a pointer to a string literal) so the exemplar ring can publish records
+// with plain stores under its per-slot state protocol.
+#ifndef METADPA_OBS_REQUEST_TRACE_H_
+#define METADPA_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+/// \brief Log-scaled latency bucket edges (milliseconds) shared by every
+/// serve-path latency histogram (request latency, queue wait, per-stage).
+/// A 1-2-5 series from 50µs to 1s: equal resolution per decade, so the
+/// sub-millisecond range where a healthy p50 lives is not crushed into one
+/// bucket the way the old linear-start edges (0.25, 0.5, 1, ...) crushed it.
+/// Pinned exactly by tests/obs_test.cc — changing these edges invalidates
+/// every recorded baseline, so they move deliberately or not at all.
+const std::vector<double>& LatencyBucketsMs();
+
+/// \brief One request's stage-timestamped record. All *_ns fields are
+/// TraceNowNs() readings (see obs.h); zero means "stage never reached".
+struct RequestTrace {
+  int64_t request_id = -1;       ///< admission-ordered, unique per server
+  int64_t user = -1;
+  uint64_t snapshot_version = 0; ///< model version that scored this request
+  int32_t batch_size = 0;        ///< size of the drain batch it rode in
+  /// Scoring precision tag ("fp32"/"bf16"/"int8"): a pointer to a string
+  /// literal, NOT an owned string, so the struct stays trivially copyable.
+  const char* precision = "fp32";
+  int64_t admit_ns = 0;
+  int64_t dequeue_ns = 0;
+  int64_t pin_ns = 0;
+  int64_t score_ns = 0;
+  int64_t fulfill_ns = 0;
+};
+
+/// \brief Stage durations in milliseconds; total is fulfill - admit and
+/// equals the sum of the four stages exactly (same subtractions, same order).
+struct StageBreakdown {
+  double queue_ms = 0.0;
+  double batch_ms = 0.0;
+  double score_ms = 0.0;
+  double fulfill_ms = 0.0;
+  double total_ms = 0.0;
+};
+StageBreakdown ComputeStageBreakdown(const RequestTrace& trace);
+
+/// \brief Fixed-capacity non-blocking ring of slow-request exemplars.
+///
+/// Offer claims a monotonically increasing ticket (one relaxed fetch_add)
+/// and writes the record into slot `ticket % capacity` under a per-slot
+/// state word: a single CAS flips the slot to "busy", plain stores write the
+/// payload, and a release store publishes `ticket`. Nobody ever blocks or
+/// spins — a writer (or the snapshot reader) that loses a slot CAS simply
+/// moves on, and the loser is counted in dropped(). Newer tickets overwrite
+/// older ones, so the ring always holds the most recent <= capacity
+/// exemplars in ticket order.
+class ExemplarRing {
+ public:
+  explicit ExemplarRing(size_t capacity);
+  ~ExemplarRing();
+
+  ExemplarRing(const ExemplarRing&) = delete;
+  ExemplarRing& operator=(const ExemplarRing&) = delete;
+
+  /// \brief Deposits a copy of `trace`. Returns false (and counts the drop)
+  /// only when the slot is momentarily owned by a concurrent Offer/Snapshot.
+  bool Offer(const RequestTrace& trace);
+
+  /// \brief Stable copies of every currently published exemplar, oldest
+  /// ticket first. Skips (without waiting on) slots mid-write.
+  std::vector<RequestTrace> Snapshot();
+
+  size_t capacity() const;
+  int64_t deposited() const { return deposited_.load(std::memory_order_relaxed); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_ticket_{0};
+  std::atomic<int64_t> deposited_{0};
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// \brief One exemplar as a single JSON line (no trailing newline): the five
+/// raw timestamps plus the derived stage breakdown, so a dump is readable
+/// without re-deriving the stage model.
+std::string ExemplarJsonLine(const RequestTrace& trace);
+
+/// \brief Parses a line ExemplarJsonLine produced. Returns false (leaving
+/// `out` untouched) on anything malformed; tolerant of the derived-duration
+/// keys being absent (only the raw fields are authoritative).
+bool ParseExemplarJsonLine(const std::string& line, RequestTrace* out);
+
+/// \brief Writes one ExemplarJsonLine per trace to `path` (truncates).
+Status WriteExemplarsJsonl(const std::string& path,
+                           const std::vector<RequestTrace>& exemplars);
+
+/// \brief Reads a JSONL file of exemplars back. Fails on unreadable files or
+/// any unparseable non-empty line.
+Result<std::vector<RequestTrace>> ReadExemplarsJsonl(const std::string& path);
+
+/// \brief Injects each exemplar into the trace-event buffers as a
+/// "serve/exemplar/request" span plus its four stage child spans, all on the
+/// shared TraceNowNs() clock — so WriteTrace output shows a tail request one
+/// click away from the serve/batch span tree it rode through. Call after the
+/// load finishes, before WriteTrace.
+void MergeExemplarSpans(const std::vector<RequestTrace>& exemplars);
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_REQUEST_TRACE_H_

@@ -1,0 +1,169 @@
+#include "obs/slo.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+
+namespace {
+
+/// Strict double parse of `text[begin, end)`; the whole range must consume.
+bool ParseDoubleRange(const std::string& text, size_t begin, size_t end,
+                      double* out) {
+  if (begin >= end || end > text.size()) return false;
+  const std::string token = text.substr(begin, end - begin);
+  char* stop = nullptr;
+  const double value = std::strtod(token.c_str(), &stop);
+  if (stop != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseSloSpec(const std::string& spec, SloConfig* out) {
+  SloConfig config;
+  // Split on commas: first field is the objective "pNN<Xms", the rest are
+  // "avail=F" / "window=N" in any order.
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    fields.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (fields.empty() || fields[0].size() < 4 || fields[0][0] != 'p') {
+    return false;
+  }
+  const std::string& objective = fields[0];
+  const size_t lt = objective.find('<');
+  if (lt == std::string::npos || lt < 2) return false;
+  double percentile = 0.0;
+  if (!ParseDoubleRange(objective, 1, lt, &percentile)) return false;
+  if (percentile <= 0.0 || percentile >= 100.0) return false;
+  size_t target_end = objective.size();
+  if (target_end >= 2 && objective.compare(target_end - 2, 2, "ms") == 0) {
+    target_end -= 2;
+  }
+  double target = 0.0;
+  if (!ParseDoubleRange(objective, lt + 1, target_end, &target)) return false;
+  if (target <= 0.0) return false;
+  config.quantile = percentile / 100.0;
+  config.target_ms = target;
+  for (size_t i = 1; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    if (key == "avail") {
+      double avail = 0.0;
+      if (!ParseDoubleRange(field, eq + 1, field.size(), &avail)) return false;
+      if (avail <= 0.0 || avail > 1.0) return false;
+      config.availability = avail;
+    } else if (key == "window") {
+      double window = 0.0;
+      if (!ParseDoubleRange(field, eq + 1, field.size(), &window)) return false;
+      if (window < 1.0 || window != static_cast<double>(static_cast<int>(window))) {
+        return false;
+      }
+      config.window = static_cast<int>(window);
+    } else {
+      return false;
+    }
+  }
+  *out = config;
+  return true;
+}
+
+std::string RenderSloSpec(const SloConfig& config) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p%.10g<%.10gms,avail=%.10g,window=%d",
+                config.quantile * 100.0, config.target_ms, config.availability,
+                config.window);
+  return buf;
+}
+
+SloTracker::SloTracker(const SloConfig& config)
+    : config_(config),
+      window_(static_cast<size_t>(config.window > 0 ? config.window : 1), 0) {
+  MDPA_CHECK_GT(config_.target_ms, 0.0);
+  MDPA_CHECK_GT(config_.quantile, 0.0);
+  MDPA_CHECK_LT(config_.quantile, 1.0);
+  RegisterStatsProvider("slo", [this] { return Gauges(); });
+}
+
+SloTracker::~SloTracker() {
+  // The provider captured `this`; neuter it before the members die. The name
+  // stays registered (the registry has no erase) but now yields nothing.
+  RegisterStatsProvider("slo", [] {
+    return std::vector<std::pair<std::string, double>>{};
+  });
+}
+
+void SloTracker::Record(double latency_ms, bool served) {
+  const bool good = served && latency_ms <= config_.target_ms;
+  const uint8_t flags =
+      static_cast<uint8_t>((good ? 1 : 0) | (served ? 2 : 0));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_filled_ == static_cast<int64_t>(window_.size())) {
+    const uint8_t old = window_[window_next_];
+    window_good_ -= old & 1;
+    window_served_ -= (old >> 1) & 1;
+  } else {
+    ++window_filled_;
+  }
+  window_[window_next_] = flags;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_good_ += good ? 1 : 0;
+  window_served_ += served ? 1 : 0;
+  ++total_;
+  if (good) ++good_;
+  if (!served) ++rejected_;
+}
+
+SloTracker::Snapshot SloTracker::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.total = total_;
+  snap.good = good_;
+  snap.rejected = rejected_;
+  const double budget = 1.0 - config_.quantile;
+  if (window_filled_ > 0) {
+    const double n = static_cast<double>(window_filled_);
+    snap.attainment = static_cast<double>(window_good_) / n;
+    snap.availability = static_cast<double>(window_served_) / n;
+    snap.burn_rate = (1.0 - snap.attainment) / budget;
+  }
+  if (total_ > 0) {
+    snap.attainment_total =
+        static_cast<double>(good_) / static_cast<double>(total_);
+    snap.error_budget_remaining = 1.0 - (1.0 - snap.attainment_total) / budget;
+  }
+  snap.latency_met = snap.attainment >= config_.quantile;
+  snap.availability_met = snap.availability >= config_.availability;
+  return snap;
+}
+
+std::vector<std::pair<std::string, double>> SloTracker::Gauges() const {
+  const Snapshot snap = GetSnapshot();
+  return {
+      {"slo/target_ms", config_.target_ms},
+      {"slo/quantile", config_.quantile},
+      {"slo/attainment", snap.attainment},
+      {"slo/attainment_total", snap.attainment_total},
+      {"slo/availability", snap.availability},
+      {"slo/burn_rate", snap.burn_rate},
+      {"slo/error_budget_remaining", snap.error_budget_remaining},
+      {"slo/good_total", static_cast<double>(snap.good)},
+      {"slo/bad_total", static_cast<double>(snap.total - snap.good)},
+  };
+}
+
+}  // namespace obs
+}  // namespace metadpa

@@ -1,0 +1,114 @@
+// Service-level-objective accounting for the scoring server: a configurable
+// latency/availability objective, sliding-window attainment, and error-budget
+// burn-rate gauges the existing TelemetrySampler picks up for free.
+//
+// Objective model (the classic quantile SLO, e.g. "p99 < 5ms @ 99.9%
+// availability"): a request is GOOD when it was served (not rejected) and its
+// end-to-end latency is <= target_ms. The latency objective asks that at
+// least `quantile` of requests be good; the error budget is therefore the
+// allowed bad fraction 1 - quantile. Derived series:
+//
+//   attainment              good / total over the sliding window
+//   attainment_total        good / total since construction
+//   availability            served / total over the window (rejections only)
+//   burn_rate               window bad fraction / (1 - quantile);
+//                           1.0 = consuming budget exactly at the allowed
+//                           rate, >1 = the budget shrinks, 10 = a classic
+//                           fast-burn page
+//   error_budget_remaining  1 - lifetime bad fraction / (1 - quantile);
+//                           negative once the objective is blown for the run
+//
+// The tracker is thread-safe (one mutex around an O(1) ring update — Record
+// is called once per request, not per score) and purely observational: it
+// never draws random numbers or touches scoring state, so an SLO-on run is
+// bit-identical to an SLO-off run (pinned by serve_trace_test).
+#ifndef METADPA_OBS_SLO_H_
+#define METADPA_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace metadpa {
+namespace obs {
+
+/// \brief One latency/availability objective.
+struct SloConfig {
+  double target_ms = 5.0;     ///< latency objective for one request
+  double quantile = 0.99;     ///< fraction of requests that must meet it
+  double availability = 0.999;///< fraction of requests that must be served
+  int window = 1024;          ///< sliding window size (requests)
+};
+
+/// \brief Parses an SLO spec string: "p99<5ms", optionally extended with
+/// ",avail=0.999" and/or ",window=2048" (any order after the objective).
+/// The quantile is the pNN (or pNN.N) percentile; the target accepts an
+/// optional "ms" suffix. Returns false on malformed input.
+bool ParseSloSpec(const std::string& spec, SloConfig* out);
+
+/// \brief Renders the config back to spec form ("p99<5ms,avail=0.999,
+/// window=1024") for manifests and logs.
+std::string RenderSloSpec(const SloConfig& config);
+
+/// \brief Sliding-window SLO attainment + error-budget accounting. On
+/// construction registers a stats provider under "slo" (the same pull bridge
+/// ThreadPool uses), so SnapshotMetrics — and with it TelemetrySampler JSONL
+/// snapshots, MetricsTable and the /metrics endpoint — expose the gauges
+/// below without any extra wiring. At most one tracker should be live at a
+/// time (a second registration would replace the first one's bridge).
+class SloTracker {
+ public:
+  explicit SloTracker(const SloConfig& config);
+  ~SloTracker();  ///< unregisters the stats bridge
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// \brief Accounts one request: `served` = admitted and answered (false
+  /// for backpressure rejections, which are availability violations and
+  /// always bad); `latency_ms` is end-to-end and ignored when !served.
+  void Record(double latency_ms, bool served);
+
+  /// \brief Point-in-time view (also what the gauges expose).
+  struct Snapshot {
+    int64_t total = 0;       ///< requests recorded since construction
+    int64_t good = 0;        ///< served within target_ms
+    int64_t rejected = 0;    ///< not served
+    double attainment = 1.0;        ///< window good fraction
+    double attainment_total = 1.0;  ///< lifetime good fraction
+    double availability = 1.0;      ///< window served fraction
+    double burn_rate = 0.0;
+    double error_budget_remaining = 1.0;
+    bool latency_met = true;       ///< window attainment >= quantile
+    bool availability_met = true;  ///< window availability >= config target
+  };
+  Snapshot GetSnapshot() const;
+
+  /// \brief The gauge series the stats bridge publishes:
+  /// slo/{target_ms,quantile,attainment,attainment_total,availability,
+  /// burn_rate,error_budget_remaining,good_total,bad_total}.
+  std::vector<std::pair<std::string, double>> Gauges() const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  const SloConfig config_;
+  mutable std::mutex mutex_;
+  /// Ring of per-request flags for the sliding window: bit 0 = good,
+  /// bit 1 = served. Window sums are maintained incrementally.
+  std::vector<uint8_t> window_;
+  size_t window_next_ = 0;
+  int64_t window_filled_ = 0;
+  int64_t window_good_ = 0;
+  int64_t window_served_ = 0;
+  int64_t total_ = 0;
+  int64_t good_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace obs
+}  // namespace metadpa
+
+#endif  // METADPA_OBS_SLO_H_

@@ -69,6 +69,8 @@ LoadgenReport RunLoadgen(ScoringServer* server, int64_t num_users,
   std::atomic<int64_t> rejected{0};
   std::vector<std::vector<double>> client_latencies(
       static_cast<size_t>(config.clients));
+  std::vector<std::vector<obs::StageBreakdown>> client_stages(
+      static_cast<size_t>(config.clients));
 
   const auto t0 = std::chrono::steady_clock::now();
   auto client_loop = [&](size_t client_id) {
@@ -93,7 +95,10 @@ LoadgenReport RunLoadgen(ScoringServer* server, int64_t num_users,
         continue;
       }
       const ScoreResponse response = admitted.ValueOrDie().get();
-      (void)response;
+      if (response.trace.request_id >= 0) {
+        client_stages[client_id].push_back(
+            obs::ComputeStageBreakdown(response.trace));
+      }
       latencies.push_back(timer.ElapsedMillis());
       ok.fetch_add(1, std::memory_order_relaxed);
     }
@@ -130,6 +135,32 @@ LoadgenReport RunLoadgen(ScoringServer* server, int64_t num_users,
     report.p99_ms = PercentileMs(all, 99);
     report.max_ms = all.back();
   }
+
+  // Stage attribution: the same exact nearest-rank treatment, one series per
+  // stage, sourced from the per-response RequestTrace records.
+  std::vector<obs::StageBreakdown> stages;
+  for (const auto& v : client_stages) stages.insert(stages.end(), v.begin(), v.end());
+  if (!stages.empty()) {
+    report.has_stages = true;
+    const auto aggregate = [&stages](double obs::StageBreakdown::*field) {
+      std::vector<double> samples;
+      samples.reserve(stages.size());
+      for (const obs::StageBreakdown& b : stages) samples.push_back(b.*field);
+      std::sort(samples.begin(), samples.end());
+      double sum = 0.0;
+      for (double v : samples) sum += v;
+      StageStats stats;
+      stats.mean_ms = sum / static_cast<double>(samples.size());
+      stats.p50_ms = PercentileMs(samples, 50);
+      stats.p99_ms = PercentileMs(samples, 99);
+      stats.max_ms = samples.back();
+      return stats;
+    };
+    report.queue = aggregate(&obs::StageBreakdown::queue_ms);
+    report.batch = aggregate(&obs::StageBreakdown::batch_ms);
+    report.score = aggregate(&obs::StageBreakdown::score_ms);
+    report.fulfill = aggregate(&obs::StageBreakdown::fulfill_ms);
+  }
   return report;
 }
 
@@ -142,7 +173,21 @@ std::string RenderLoadgenReport(const LoadgenReport& report) {
                 TextTable::Num(report.achieved_qps), TextTable::Num(report.p50_ms),
                 TextTable::Num(report.p90_ms), TextTable::Num(report.p99_ms),
                 TextTable::Num(report.max_ms)});
-  return table.ToString();
+  std::string out = table.ToString();
+  if (report.has_stages) {
+    TextTable stages;
+    stages.SetHeader({"stage", "mean_ms", "p50_ms", "p99_ms", "max_ms"});
+    const auto row = [&stages](const char* name, const StageStats& s) {
+      stages.AddRow({name, TextTable::Num(s.mean_ms), TextTable::Num(s.p50_ms),
+                     TextTable::Num(s.p99_ms), TextTable::Num(s.max_ms)});
+    };
+    row("queue", report.queue);
+    row("batch", report.batch);
+    row("score", report.score);
+    row("fulfill", report.fulfill);
+    out += stages.ToString();
+  }
+  return out;
 }
 
 }  // namespace serve

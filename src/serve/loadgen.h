@@ -40,6 +40,15 @@ struct LoadgenConfig {
   uint64_t seed = 2024;
 };
 
+/// \brief Exact aggregates (sorted samples, nearest-rank percentiles) of one
+/// traced stage across every served request.
+struct StageStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
 /// \brief Aggregate results of one run. Latencies are end-to-end
 /// (Submit -> future ready), percentiles exact (sorted samples, nearest-rank).
 struct LoadgenReport {
@@ -53,6 +62,14 @@ struct LoadgenReport {
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Stage-latency attribution from each response's RequestTrace (see
+  /// obs/request_trace.h for the queue/batch/score/fulfill stage model).
+  /// Populated — has_stages = true — when the server traced its requests.
+  bool has_stages = false;
+  StageStats queue;
+  StageStats batch;
+  StageStats score;
+  StageStats fulfill;
 };
 
 /// \brief Runs the load. `num_users` bounds the synthesized user ids (the
@@ -69,7 +86,8 @@ ScoreRequest SynthesizeRequest(int64_t index, int64_t num_users,
                                const std::vector<int64_t>& candidate_pool,
                                const LoadgenConfig& config);
 
-/// \brief One-line-per-stat text rendering (util/table).
+/// \brief One-line-per-stat text rendering (util/table); appends a
+/// stage-attribution table (one row per stage) when has_stages.
 std::string RenderLoadgenReport(const LoadgenReport& report);
 
 }  // namespace serve

@@ -3,18 +3,51 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "serve/quant.h"
 
 namespace metadpa {
 namespace serve {
 namespace {
 
-// Latency-style bucket edges (milliseconds) shared by the request-latency and
-// queue-wait histograms; roughly log-spaced so p99 interpolation stays tight
-// from sub-millisecond scoring up to an overloaded queue.
-const std::vector<double>& LatencyBoundsMs() {
-  static const std::vector<double> bounds = {0.25, 0.5, 1,  2,   5,   10,
-                                             20,   50,  100, 250, 500, 1000};
-  return bounds;
+// Per-precision stage-latency histograms. The OBS_* macros need literal
+// names, but the precision tag is runtime config — so the histograms are
+// looked up once per precision through function-local statics (GetHistogram
+// references are stable for the process lifetime). Shared log-scaled edges
+// from obs::LatencyBucketsMs(), same as request_latency/queue_wait.
+struct StageHistograms {
+  obs::Histogram* queue;
+  obs::Histogram* batch;
+  obs::Histogram* score;
+  obs::Histogram* fulfill;
+};
+
+StageHistograms MakeStageHistograms(const char* precision) {
+  const std::string tag(precision);
+  return StageHistograms{
+      &obs::GetHistogram("serve/stage_queue_ms/" + tag, obs::LatencyBucketsMs()),
+      &obs::GetHistogram("serve/stage_batch_ms/" + tag, obs::LatencyBucketsMs()),
+      &obs::GetHistogram("serve/stage_score_ms/" + tag, obs::LatencyBucketsMs()),
+      &obs::GetHistogram("serve/stage_fulfill_ms/" + tag,
+                         obs::LatencyBucketsMs()),
+  };
+}
+
+const StageHistograms& StageHistogramsFor(quant::Precision precision) {
+  switch (precision) {
+    case quant::Precision::kBf16: {
+      static const StageHistograms h = MakeStageHistograms("bf16");
+      return h;
+    }
+    case quant::Precision::kInt8: {
+      static const StageHistograms h = MakeStageHistograms("int8");
+      return h;
+    }
+    case quant::Precision::kFp32:
+    default: {
+      static const StageHistograms h = MakeStageHistograms("fp32");
+      return h;
+    }
+  }
 }
 
 }  // namespace
@@ -28,6 +61,17 @@ ScoringServer::ScoringServer(std::shared_ptr<const ModelSnapshot> snapshot,
   MDPA_CHECK_GE(config_.max_batch, 1);
   MDPA_CHECK_GE(config_.default_k, 1);
   MDPA_CHECK(snapshot->SupportsPrecision(config_.precision));
+  if (config_.capture_exemplars) {
+    // Exemplars ARE traces; capturing without stamping would deposit zeros.
+    MDPA_CHECK(config_.trace_requests);
+    MDPA_CHECK_GE(config_.exemplar_capacity, 1);
+    MDPA_CHECK_GE(config_.exemplar_threshold_ms, 0.0);
+    exemplars_ = std::make_unique<obs::ExemplarRing>(
+        static_cast<size_t>(config_.exemplar_capacity));
+  }
+  if (config_.slo_enabled) {
+    slo_ = std::make_unique<obs::SloTracker>(config_.slo);
+  }
   snapshot_ = std::move(snapshot);
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_workers));
 }
@@ -60,13 +104,19 @@ Result<std::future<ScoreResponse>> ScoringServer::Submit(ScoreRequest request) {
         static_cast<int64_t>(config_.max_queue)) {
       // Backpressure: reject NOW instead of blocking the acceptor. The
       // counter (not the caller's retry loop) is what the SLO dashboards
-      // watch.
+      // watch. A rejection is an availability violation: it burns budget.
       ++rejected_full_;
       OBS_COUNT("serve/requests_rejected", 1);
+      if (slo_) slo_->Record(0.0, /*served=*/false);
       return Status::FailedPrecondition("ScoringServer: admission queue full");
     }
     Pending pending;
     pending.request = std::move(request);
+    if (config_.trace_requests) {
+      pending.trace.request_id = next_request_id_++;
+      pending.trace.user = pending.request.user;
+      pending.trace.admit_ns = obs::TraceNowNs();
+    }
     fut = pending.promise.get_future();
     queue_.push_back(std::move(pending));
     ++accepted_;
@@ -95,6 +145,9 @@ void ScoringServer::DrainLoop() {
              batch.size() < static_cast<size_t>(config_.max_batch)) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        if (config_.trace_requests) {
+          batch.back().trace.dequeue_ns = obs::TraceNowNs();
+        }
       }
       if (batch.empty()) {
         --drainers_;
@@ -119,27 +172,58 @@ void ScoringServer::ServeBatch(std::vector<Pending>* batch) {
   OBS_OBSERVE("serve/batch_size",
               (std::vector<double>{1, 2, 4, 8, 16, 32, 64}),
               static_cast<double>(batch->size()));
+  const bool tracing = config_.trace_requests;
+  // One pin stamp for the whole batch: every request's batch stage ends at
+  // the moment the shared scorer was ready.
+  const int64_t pin_ns = tracing ? obs::TraceNowNs() : 0;
   for (Pending& pending : *batch) {
     const double queue_ms = pending.admitted.ElapsedMillis();
     const ScoreRequest& request = pending.request;
     const int k = request.k > 0 ? request.k : config_.default_k;
     ScoreResponse response;
+    if (tracing) {
+      pending.trace.snapshot_version = snapshot->version();
+      pending.trace.batch_size = static_cast<int32_t>(batch->size());
+      pending.trace.precision = quant::PrecisionName(config_.precision);
+      pending.trace.pin_ns = pin_ns;
+    }
     // One batched Score call over all candidates: the content rows flow
     // through MatMulNT/LinearForward as one GEMM, not a per-item loop.
     response.items = eval::RecommendTopK(scorer.get(), request.user,
                                          request.candidates,
                                          request.support_items, k);
+    if (tracing) pending.trace.score_ns = obs::TraceNowNs();
     response.snapshot_version = snapshot->version();
     response.queue_ms = queue_ms;
     response.total_ms = pending.admitted.ElapsedMillis();
-    OBS_OBSERVE("serve/queue_wait_ms", LatencyBoundsMs(), queue_ms);
-    OBS_OBSERVE("serve/request_latency_ms", LatencyBoundsMs(), response.total_ms);
+    OBS_OBSERVE("serve/queue_wait_ms", obs::LatencyBucketsMs(), queue_ms);
+    OBS_OBSERVE("serve/request_latency_ms", obs::LatencyBucketsMs(),
+                response.total_ms);
     OBS_COUNT("serve/requests_ok", 1);
+    if (slo_) slo_->Record(response.total_ms, /*served=*/true);
     {
       // Count the completion BEFORE fulfilling the promise: a caller that has
       // observed its response is guaranteed to see itself in Stats::completed.
       std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;
+    }
+    if (tracing) {
+      // The fulfill stamp closes the record; everything after (stage
+      // histograms, exemplar deposit) reads the finished trace.
+      pending.trace.fulfill_ns = obs::TraceNowNs();
+      response.trace = pending.trace;
+      const obs::StageBreakdown stages =
+          obs::ComputeStageBreakdown(pending.trace);
+      if (obs::Enabled()) {
+        const StageHistograms& hist = StageHistogramsFor(config_.precision);
+        hist.queue->Observe(stages.queue_ms);
+        hist.batch->Observe(stages.batch_ms);
+        hist.score->Observe(stages.score_ms);
+        hist.fulfill->Observe(stages.fulfill_ms);
+      }
+      if (exemplars_ && stages.total_ms >= config_.exemplar_threshold_ms) {
+        exemplars_->Offer(pending.trace);
+      }
     }
     pending.promise.set_value(std::move(response));
   }
@@ -185,6 +269,9 @@ void ScoringServer::Stop() {
              batch.size() < static_cast<size_t>(config_.max_batch)) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        if (config_.trace_requests) {
+          batch.back().trace.dequeue_ns = obs::TraceNowNs();
+        }
       }
     }
     if (batch.empty()) break;
@@ -203,7 +290,16 @@ ScoringServer::Stats ScoringServer::GetStats() const {
   stats.batches = batches_;
   stats.queue_depth = static_cast<int64_t>(queue_.size());
   stats.peak_queue_depth = peak_queue_depth_;
+  if (exemplars_) {
+    stats.exemplars_deposited = exemplars_->deposited();
+    stats.exemplars_dropped = exemplars_->dropped();
+  }
   return stats;
+}
+
+std::vector<obs::RequestTrace> ScoringServer::Exemplars() const {
+  if (!exemplars_) return {};
+  return exemplars_->Snapshot();
 }
 
 }  // namespace serve

@@ -30,7 +30,12 @@
 // histogram, queue-depth gauge and accept/reject/swap counters are recorded
 // through the obs registry (serve/* names) when instrumentation is on, so
 // TelemetrySampler and MetricsTable pick them up for free. Native counters
-// (GetStats) are always maintained, obs on or off.
+// (GetStats) are always maintained, obs on or off. With trace_requests each
+// request additionally carries an obs::RequestTrace — five timestamps on the
+// shared trace clock decomposing its latency into queue / batch / score /
+// fulfill stages (per-precision serve/stage_* histograms, slow-request
+// exemplar ring, SLO burn-rate gauges). See obs/request_trace.h for the
+// stage model.
 #ifndef METADPA_SERVE_SERVER_H_
 #define METADPA_SERVE_SERVER_H_
 
@@ -42,6 +47,8 @@
 #include <vector>
 
 #include "eval/recommend.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -67,6 +74,25 @@ struct ServerConfig {
   /// published snapshot must have been captured at that precision (checked at
   /// construction and on every UpdateSnapshot).
   quant::Precision precision = quant::Precision::kFp32;
+  /// Per-request stage tracing (obs::RequestTrace threaded through admission,
+  /// drain, scoring and fulfillment). Purely observational — clock reads
+  /// only; a trace-on run scores bit-identically to a trace-off run (pinned
+  /// by tests/serve_trace_test.cc). On by default: the cost is five
+  /// steady-clock reads per request.
+  bool trace_requests = true;
+  /// Slow-request exemplar capture. Completed requests whose traced total is
+  /// >= exemplar_threshold_ms deposit their RequestTrace into a fixed-size
+  /// lock-free ring (newest overwrite oldest); read it back with Exemplars().
+  /// Requires trace_requests (checked at construction). threshold 0 captures
+  /// every request — useful for tests and short diagnostic runs.
+  bool capture_exemplars = false;
+  double exemplar_threshold_ms = 0.0;
+  int exemplar_capacity = 256;
+  /// SLO accounting: every completed request and every backpressure
+  /// rejection feeds an obs::SloTracker (gauges under slo/*; see obs/slo.h).
+  /// Invalid requests are client errors and are NOT counted against the SLO.
+  bool slo_enabled = false;
+  obs::SloConfig slo;
 };
 
 /// \brief One scoring request: rank `candidates` for `user` and return the
@@ -86,6 +112,11 @@ struct ScoreResponse {
   uint64_t snapshot_version = 0;  ///< which model version scored this
   double queue_ms = 0.0;          ///< admission -> picked up by a worker
   double total_ms = 0.0;          ///< admission -> response ready
+  /// Stage-timestamped record (valid iff trace.request_id >= 0, i.e. the
+  /// server was configured with trace_requests). queue_ms/total_ms above stay
+  /// Stopwatch-based for compatibility; the trace carries the ns-exact
+  /// decomposition (queue + batch + score + fulfill == total).
+  obs::RequestTrace trace;
 };
 
 /// \brief Long-lived multi-threaded top-k scoring service.
@@ -130,14 +161,32 @@ class ScoringServer {
     int64_t batches = 0;       ///< worker drain batches served
     int64_t queue_depth = 0;   ///< requests waiting right now
     int64_t peak_queue_depth = 0;
+    int64_t exemplars_deposited = 0;  ///< 0 unless capture_exemplars
+    int64_t exemplars_dropped = 0;    ///< ring-contention drops (see ExemplarRing)
   };
+  /// Lock discipline (audited): every mutable field above except the exemplar
+  /// pair is written and read under mutex_ only — Submit, DrainLoop,
+  /// ServeBatch, UpdateSnapshot and Stop all take mutex_ for their stats
+  /// writes, so a GetStats racing any of them sees a consistent point-in-time
+  /// view (e.g. completed <= accepted always). The exemplar counters are
+  /// relaxed atomics owned by the ring; they may lag the locked fields by a
+  /// few requests but are individually exact. tests/serve_trace_test.cc
+  /// stresses this under TSan (GetStats polled against submit + swap).
   Stats GetStats() const;
+
+  /// \brief Current exemplar-ring contents, oldest first (empty unless
+  /// capture_exemplars). Safe to call while serving.
+  std::vector<obs::RequestTrace> Exemplars() const;
+
+  /// \brief The SLO tracker, or nullptr unless slo_enabled.
+  const obs::SloTracker* slo_tracker() const { return slo_.get(); }
 
  private:
   struct Pending {
     ScoreRequest request;
     std::promise<ScoreResponse> promise;
     Stopwatch admitted;  ///< started at Submit; measures queue wait + total
+    obs::RequestTrace trace;  ///< stamped along the way when trace_requests
   };
 
   /// Worker body: repeatedly drains up to max_batch requests and serves
@@ -155,6 +204,10 @@ class ScoringServer {
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Both created in the constructor and immutable after (the pointers, not
+  /// the pointees), so workers use them without holding mutex_.
+  std::unique_ptr<obs::ExemplarRing> exemplars_;  ///< null unless capturing
+  std::unique_ptr<obs::SloTracker> slo_;          ///< null unless slo_enabled
 
   mutable std::mutex mutex_;  ///< guards queue_, drainers_, stopping_, stats
   std::deque<Pending> queue_;
@@ -167,6 +220,7 @@ class ScoringServer {
   int64_t snapshot_swaps_ = 0;
   int64_t batches_ = 0;
   int64_t peak_queue_depth_ = 0;
+  int64_t next_request_id_ = 0;  ///< admission-ordered trace ids
 };
 
 }  // namespace serve

@@ -1,0 +1,213 @@
+// Stats exporter: Prometheus text round trips (render -> parse -> snapshots
+// match, cumulative buckets de-cumulated back to plain counts), name
+// sanitization pins, the live TCP endpoint (/metrics, /healthz 200/503, the
+// index, 404/400), stop idempotence, and a concurrent-GET stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/health.h"
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+TEST(PrometheusNameTest, SanitizationPins) {
+  EXPECT_EQ(PrometheusName("serve/queue_wait_ms"), "serve_queue_wait_ms");
+  EXPECT_EQ(PrometheusName("serve/stage_score_ms/bf16"),
+            "serve_stage_score_ms_bf16");
+  EXPECT_EQ(PrometheusName("a-b.c"), "a_b_c");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName("already_fine_123"), "already_fine_123");
+  EXPECT_EQ(PrometheusName(""), "");
+}
+
+TEST(PrometheusTextTest, RenderParseRoundTripMatchesRegistry) {
+  ResetMetrics();
+  GetCounter("exporter_test/hits").Add(41);
+  GetGauge("exporter_test/depth").Set(2.5);
+  Histogram& hist =
+      GetHistogram("exporter_test/lat_ms", std::vector<double>{1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(5.0);  // overflow bucket
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const Result<ParsedMetrics> parsed = ParsePrometheusText(PrometheusText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ParsedMetrics& m = parsed.ValueOrDie();
+
+  // Every registry entry survives the round trip under its sanitized name
+  // with its exact value (nothing else runs in this test binary, so the
+  // registry is quiescent between the two snapshots).
+  ASSERT_EQ(m.counters.size(), snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    const auto it = m.counters.find(PrometheusName(name));
+    ASSERT_NE(it, m.counters.end()) << name;
+    EXPECT_EQ(static_cast<int64_t>(it->second), value) << name;
+  }
+  ASSERT_EQ(m.gauges.size(), snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    const auto it = m.gauges.find(PrometheusName(name));
+    ASSERT_NE(it, m.gauges.end()) << name;
+    EXPECT_DOUBLE_EQ(it->second, value) << name;
+  }
+  ASSERT_EQ(m.histograms.size(), snap.histograms.size());
+  for (const auto& [name, hsnap] : snap.histograms) {
+    const auto it = m.histograms.find(PrometheusName(name));
+    ASSERT_NE(it, m.histograms.end()) << name;
+    EXPECT_EQ(it->second.bounds, hsnap.bounds) << name;
+    EXPECT_EQ(it->second.buckets, hsnap.buckets) << name;
+    EXPECT_EQ(it->second.count, hsnap.count) << name;
+    EXPECT_DOUBLE_EQ(it->second.sum, hsnap.sum) << name;
+  }
+
+  // The de-cumulated reconstruction is usable directly: same percentile as
+  // the live snapshot.
+  const HistogramSnapshot& parsed_hist =
+      m.histograms.at("exporter_test_lat_ms");
+  EXPECT_EQ(parsed_hist.buckets, (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(HistogramPercentile(parsed_hist, 50),
+                   HistogramPercentile(hist.Snapshot(), 50));
+  ResetMetrics();
+}
+
+TEST(PrometheusTextTest, HistogramBucketsRenderCumulative) {
+  ResetMetrics();
+  Histogram& hist =
+      GetHistogram("exporter_test/cum_ms", std::vector<double>{1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(5.0);
+  const std::string text = PrometheusText();
+  EXPECT_NE(text.find("# TYPE exporter_test_cum_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("exporter_test_cum_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("exporter_test_cum_ms_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("exporter_test_cum_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("exporter_test_cum_ms_sum 7"), std::string::npos);
+  EXPECT_NE(text.find("exporter_test_cum_ms_count 3"), std::string::npos);
+  ResetMetrics();
+}
+
+TEST(PrometheusTextTest, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(ParsePrometheusText("bogus\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# HELP x y\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("untyped_sample 1\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# TYPE f counter\nf abc\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# TYPE h histogram\nh 1\n").ok());
+  EXPECT_FALSE(
+      ParsePrometheusText("# TYPE h histogram\nh_bucket{foo=\"1\"} 1\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# TYPE w weird\nw 1\n").ok());
+  // The empty page is a valid (empty) registry.
+  EXPECT_TRUE(ParsePrometheusText("").ok());
+}
+
+TEST(StatsExporterTest, ServesMetricsHealthIndexAnd404) {
+  ResetMetrics();
+  GetCounter("exporter_test/live_hits").Add(7);
+  StatsExporterOptions options;
+  options.port = 0;  // ephemeral
+  Result<std::unique_ptr<StatsExporter>> started = StatsExporter::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<StatsExporter> exporter = std::move(started.ValueOrDie());
+  ASSERT_GT(exporter->port(), 0);
+
+  const Result<std::string> metrics =
+      HttpGetBody("127.0.0.1", exporter->port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const Result<ParsedMetrics> parsed = ParsePrometheusText(metrics.ValueOrDie());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().counters.at("exporter_test_live_hits"), 7);
+
+  const Result<std::string> health =
+      HttpGetBody("127.0.0.1", exporter->port(), "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.ValueOrDie(), "ok\n");
+
+  const Result<std::string> index =
+      HttpGetBody("127.0.0.1", exporter->port(), "/");
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_NE(index.ValueOrDie().find("/metrics"), std::string::npos);
+
+  const Result<std::string> missing =
+      HttpGetBody("127.0.0.1", exporter->port(), "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("404"), std::string::npos);
+
+  EXPECT_GE(exporter->requests_served(), 4);
+
+  const int port = exporter->port();
+  exporter->Stop();
+  exporter->Stop();  // idempotent
+  EXPECT_FALSE(HttpGetBody("127.0.0.1", port, "/metrics").ok());
+  ResetMetrics();
+}
+
+TEST(StatsExporterTest, HealthCallbackDrivesHealthz) {
+  StatsExporterOptions options;
+  options.health = [] { return Status::FailedPrecondition("load done"); };
+  Result<std::unique_ptr<StatsExporter>> started = StatsExporter::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  const Result<std::string> health =
+      HttpGetBody("127.0.0.1", started.ValueOrDie()->port(), "/healthz");
+  ASSERT_FALSE(health.ok());
+  EXPECT_NE(health.status().message().find("503"), std::string::npos);
+  // /metrics stays up regardless of health: stats outlive readiness.
+  EXPECT_TRUE(
+      HttpGetBody("127.0.0.1", started.ValueOrDie()->port(), "/metrics").ok());
+}
+
+TEST(StatsExporterTest, HealthCheckFromMonitorStickyStatus) {
+  // Null monitor: always healthy.
+  EXPECT_TRUE(HealthCheckFrom(nullptr)().ok());
+
+  HealthConfig config;
+  config.policy = HealthPolicy::kAbort;
+  HealthMonitor monitor("serve", config);
+  const std::function<Status()> check = HealthCheckFrom(&monitor);
+  EXPECT_TRUE(check().ok());
+  EXPECT_FALSE(monitor.CheckStep(std::nan("")).ok());
+  EXPECT_FALSE(check().ok());  // sticky
+  EXPECT_FALSE(check().ok());
+}
+
+TEST(StatsExporterTest, ConcurrentGetsAllAnswered) {
+  StatsExporterOptions options;
+  Result<std::unique_ptr<StatsExporter>> started = StatsExporter::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  StatsExporter* exporter = started.ValueOrDie().get();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([exporter, &ok_count, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const char* path = (t + i) % 2 == 0 ? "/metrics" : "/healthz";
+        const Result<std::string> body =
+            HttpGetBody("127.0.0.1", exporter->port(), path, /*timeout_ms=*/5000);
+        if (body.ok()) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sequential single-handler service, so every blocking GET is answered.
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  EXPECT_GE(exporter->requests_served(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace metadpa

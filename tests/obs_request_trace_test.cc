@@ -1,0 +1,411 @@
+// Request-trace primitives: stage-breakdown exactness, the lock-free
+// exemplar ring (wrap-around, ticket order, concurrent offer/snapshot
+// stress), exemplar JSONL round trips, trace-export merging, SLO spec
+// parsing and SloTracker attainment/burn-rate math.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
+
+namespace metadpa {
+namespace obs {
+namespace {
+
+RequestTrace MakeTrace(int64_t id, int64_t base_ns = 1000) {
+  RequestTrace trace;
+  trace.request_id = id;
+  trace.user = id * 2;
+  trace.snapshot_version = 7;
+  trace.batch_size = 3;
+  trace.precision = "bf16";
+  trace.admit_ns = base_ns;
+  trace.dequeue_ns = base_ns + 1500;
+  trace.pin_ns = base_ns + 1700;
+  trace.score_ns = base_ns + 9000;
+  trace.fulfill_ns = base_ns + 9250;
+  return trace;
+}
+
+TEST(StageBreakdownTest, StagesAreConsecutiveDiffsAndSumToTotal) {
+  const RequestTrace trace = MakeTrace(1);
+  const StageBreakdown b = ComputeStageBreakdown(trace);
+  EXPECT_DOUBLE_EQ(b.queue_ms, 1500 / 1e6);
+  EXPECT_DOUBLE_EQ(b.batch_ms, 200 / 1e6);
+  EXPECT_DOUBLE_EQ(b.score_ms, 7300 / 1e6);
+  EXPECT_DOUBLE_EQ(b.fulfill_ms, 250 / 1e6);
+  EXPECT_DOUBLE_EQ(b.total_ms, 9250 / 1e6);
+  // The exactness invariant: consecutive diffs telescope to the total.
+  EXPECT_NEAR(b.queue_ms + b.batch_ms + b.score_ms + b.fulfill_ms, b.total_ms,
+              1e-12);
+}
+
+TEST(StageBreakdownTest, InvariantHoldsForLargeClockValues) {
+  // Hours into a run the ns readings are ~1e13; the telescoped sum must
+  // still match to floating-point round-off of the total itself.
+  RequestTrace trace = MakeTrace(2, /*base_ns=*/int64_t{13} * 3600 * 1000000000);
+  const StageBreakdown b = ComputeStageBreakdown(trace);
+  EXPECT_NEAR(b.queue_ms + b.batch_ms + b.score_ms + b.fulfill_ms, b.total_ms,
+              1e-9);
+}
+
+TEST(LatencyBucketsTest, SharedEdgesAreTheLogSeries) {
+  const std::vector<double> expected = {0.05, 0.1, 0.2, 0.5, 1,   2,   5,
+                                        10,   20,  50,  100, 200, 500, 1000};
+  EXPECT_EQ(LatencyBucketsMs(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// ExemplarRing
+// ---------------------------------------------------------------------------
+
+TEST(ExemplarRingTest, OfferAndSnapshotRoundTrip) {
+  ExemplarRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_TRUE(ring.Offer(MakeTrace(42)));
+  const std::vector<RequestTrace> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].request_id, 42);
+  EXPECT_EQ(snap[0].user, 84);
+  EXPECT_EQ(snap[0].snapshot_version, 7u);
+  EXPECT_EQ(snap[0].batch_size, 3);
+  EXPECT_STREQ(snap[0].precision, "bf16");
+  EXPECT_EQ(ring.deposited(), 1);
+  EXPECT_EQ(ring.dropped(), 0);
+}
+
+TEST(ExemplarRingTest, WrapKeepsNewestInTicketOrder) {
+  ExemplarRing ring(4);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_TRUE(ring.Offer(MakeTrace(i)));
+  const std::vector<RequestTrace> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(snap[i].request_id, 6 + i);
+  EXPECT_EQ(ring.deposited(), 10);
+}
+
+TEST(ExemplarRingTest, ConcurrentOffersNeverBlockAndNeverTear) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 2000;
+  ExemplarRing ring(16);
+  std::atomic<bool> stop{false};
+  // A reader hammering Snapshot concurrently: every record it sees must be
+  // internally consistent (user == 2 * request_id — a torn read would break
+  // it). Request ids interleave across writer threads, so only per-record
+  // consistency is checkable here; ticket ordering is pinned single-threaded
+  // above.
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const std::vector<RequestTrace> snap = ring.Snapshot();
+      for (const RequestTrace& trace : snap) {
+        EXPECT_EQ(trace.user, trace.request_id * 2);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        ring.Offer(MakeTrace(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  // Nothing is lost silently: every Offer either deposited or was counted
+  // as a contention drop.
+  EXPECT_EQ(ring.deposited() + ring.dropped(), kThreads * kPerThread);
+  EXPECT_GT(ring.deposited(), 0);
+  EXPECT_LE(ring.Snapshot().size(), ring.capacity());
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+TEST(ExemplarJsonTest, LineRoundTripsAllFields) {
+  const RequestTrace trace = MakeTrace(9);
+  const std::string line = ExemplarJsonLine(trace);
+  EXPECT_NE(line.find("\"request_id\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"precision\":\"bf16\""), std::string::npos);
+  EXPECT_NE(line.find("\"total_ms\":"), std::string::npos);
+  RequestTrace parsed;
+  ASSERT_TRUE(ParseExemplarJsonLine(line, &parsed));
+  EXPECT_EQ(parsed.request_id, trace.request_id);
+  EXPECT_EQ(parsed.user, trace.user);
+  EXPECT_EQ(parsed.snapshot_version, trace.snapshot_version);
+  EXPECT_EQ(parsed.batch_size, trace.batch_size);
+  EXPECT_STREQ(parsed.precision, trace.precision);
+  EXPECT_EQ(parsed.admit_ns, trace.admit_ns);
+  EXPECT_EQ(parsed.dequeue_ns, trace.dequeue_ns);
+  EXPECT_EQ(parsed.pin_ns, trace.pin_ns);
+  EXPECT_EQ(parsed.score_ns, trace.score_ns);
+  EXPECT_EQ(parsed.fulfill_ns, trace.fulfill_ns);
+}
+
+TEST(ExemplarJsonTest, MalformedLinesAreRejected) {
+  RequestTrace out;
+  EXPECT_FALSE(ParseExemplarJsonLine("", &out));
+  EXPECT_FALSE(ParseExemplarJsonLine("not json", &out));
+  EXPECT_FALSE(ParseExemplarJsonLine("{\"request_id\":1}", &out));
+  // A missing raw-timestamp key fails even with the derived keys present.
+  std::string line = ExemplarJsonLine(MakeTrace(1));
+  const size_t pos = line.find("\"score_ns\"");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, 11, "\"score_xx\"");
+  EXPECT_FALSE(ParseExemplarJsonLine(line, &out));
+}
+
+TEST(ExemplarJsonTest, UnknownPrecisionInternsToPlaceholder) {
+  std::string line = ExemplarJsonLine(MakeTrace(1));
+  const size_t pos = line.find("bf16");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, 4, "fp64");
+  RequestTrace out;
+  ASSERT_TRUE(ParseExemplarJsonLine(line, &out));
+  EXPECT_STREQ(out.precision, "?");
+}
+
+TEST(ExemplarJsonTest, FileRoundTripAndMalformedFileFails) {
+  const std::string path = ::testing::TempDir() + "/exemplars_rt.jsonl";
+  std::vector<RequestTrace> exemplars;
+  for (int64_t i = 0; i < 5; ++i) exemplars.push_back(MakeTrace(i, 1000 + i));
+  ASSERT_TRUE(WriteExemplarsJsonl(path, exemplars).ok());
+  Result<std::vector<RequestTrace>> loaded = ReadExemplarsJsonl(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.ValueOrDie().size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(loaded.ValueOrDie()[i].request_id, i);
+    EXPECT_EQ(loaded.ValueOrDie()[i].admit_ns, 1000 + i);
+  }
+
+  const std::string bad_path = ::testing::TempDir() + "/exemplars_bad.jsonl";
+  std::FILE* f = std::fopen(bad_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string bad = ExemplarJsonLine(MakeTrace(0)) + "\ngarbage\n";
+  std::fwrite(bad.data(), 1, bad.size(), f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadExemplarsJsonl(bad_path).ok());
+  EXPECT_FALSE(ReadExemplarsJsonl("/nonexistent/exemplars.jsonl").ok());
+}
+
+TEST(MergeExemplarSpansTest, EmitsRequestAndStageSpansOnTraceClock) {
+  const bool was_enabled = SetEnabled(true);
+  ClearTrace();
+  MergeExemplarSpans({MakeTrace(3, /*base_ns=*/5000)});
+  std::vector<TraceEvent> events = SnapshotTrace();
+  ClearTrace();
+  SetEnabled(was_enabled);
+  ASSERT_EQ(events.size(), 5u);
+  std::set<std::string> names;
+  for (const TraceEvent& event : events) names.insert(event.name);
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "serve/exemplar/request", "serve/exemplar/queue",
+                       "serve/exemplar/batch", "serve/exemplar/score",
+                       "serve/exemplar/fulfill"}));
+  for (const TraceEvent& event : events) {
+    if (event.name == "serve/exemplar/request") {
+      EXPECT_EQ(event.start_ns, 5000);
+      EXPECT_EQ(event.dur_ns, 9250);
+    }
+    if (event.name == "serve/exemplar/score") {
+      EXPECT_EQ(event.start_ns, 5000 + 1700);
+      EXPECT_EQ(event.dur_ns, 7300);
+    }
+  }
+}
+
+TEST(TraceClockTest, TraceNowNsIsMonotonic) {
+  const int64_t a = TraceNowNs();
+  const int64_t b = TraceNowNs();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// SLO
+// ---------------------------------------------------------------------------
+
+TEST(SloSpecTest, ParsesObjectiveAndOptions) {
+  SloConfig config;
+  ASSERT_TRUE(ParseSloSpec("p99<5ms", &config));
+  EXPECT_DOUBLE_EQ(config.quantile, 0.99);
+  EXPECT_DOUBLE_EQ(config.target_ms, 5.0);
+  EXPECT_DOUBLE_EQ(config.availability, 0.999);  // default preserved
+  EXPECT_EQ(config.window, 1024);
+
+  ASSERT_TRUE(ParseSloSpec("p99.9<0.5", &config));
+  EXPECT_DOUBLE_EQ(config.quantile, 0.999);
+  EXPECT_DOUBLE_EQ(config.target_ms, 0.5);
+
+  ASSERT_TRUE(ParseSloSpec("p95<2ms,window=64,avail=0.99", &config));
+  EXPECT_DOUBLE_EQ(config.quantile, 0.95);
+  EXPECT_DOUBLE_EQ(config.target_ms, 2.0);
+  EXPECT_DOUBLE_EQ(config.availability, 0.99);
+  EXPECT_EQ(config.window, 64);
+}
+
+TEST(SloSpecTest, RejectsMalformedSpecs) {
+  SloConfig config;
+  EXPECT_FALSE(ParseSloSpec("", &config));
+  EXPECT_FALSE(ParseSloSpec("q99<5ms", &config));
+  EXPECT_FALSE(ParseSloSpec("p0<5ms", &config));
+  EXPECT_FALSE(ParseSloSpec("p100<5ms", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<0ms", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<-1ms", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<5ms,bogus=1", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<5ms,avail=0", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<5ms,avail=1.5", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<5ms,window=0", &config));
+  EXPECT_FALSE(ParseSloSpec("p99<5ms,window=1.5", &config));
+  EXPECT_FALSE(ParseSloSpec("p99x5ms", &config));
+}
+
+TEST(SloSpecTest, RenderedSpecReparsesIdentically) {
+  SloConfig config;
+  ASSERT_TRUE(ParseSloSpec("p99.5<2.5ms,avail=0.995,window=512", &config));
+  SloConfig reparsed;
+  ASSERT_TRUE(ParseSloSpec(RenderSloSpec(config), &reparsed));
+  EXPECT_DOUBLE_EQ(reparsed.quantile, config.quantile);
+  EXPECT_DOUBLE_EQ(reparsed.target_ms, config.target_ms);
+  EXPECT_DOUBLE_EQ(reparsed.availability, config.availability);
+  EXPECT_EQ(reparsed.window, config.window);
+}
+
+TEST(SloTrackerTest, AttainmentBurnRateAndBudgetMath) {
+  SloConfig config;
+  config.target_ms = 5.0;
+  config.quantile = 0.75;  // budget = 0.25
+  config.availability = 0.9;
+  config.window = 4;
+  SloTracker tracker(config);
+
+  // Empty tracker: green across the board.
+  SloTracker::Snapshot snap = tracker.GetSnapshot();
+  EXPECT_EQ(snap.total, 0);
+  EXPECT_DOUBLE_EQ(snap.attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.error_budget_remaining, 1.0);
+  EXPECT_TRUE(snap.latency_met);
+
+  for (int i = 0; i < 4; ++i) tracker.Record(1.0, /*served=*/true);
+  snap = tracker.GetSnapshot();
+  EXPECT_EQ(snap.total, 4);
+  EXPECT_EQ(snap.good, 4);
+  EXPECT_DOUBLE_EQ(snap.attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.error_budget_remaining, 1.0);
+
+  // One miss (10ms > 5ms target). Window = [g,g,g,bad]:
+  //   attainment = 3/4, burn = (1/4) / 0.25 = 1.0 (burning exactly at the
+  //   allowed rate), lifetime bad fraction = 1/5 -> budget left = 1 - .2/.25.
+  tracker.Record(10.0, /*served=*/true);
+  snap = tracker.GetSnapshot();
+  EXPECT_EQ(snap.total, 5);
+  EXPECT_EQ(snap.good, 4);
+  EXPECT_DOUBLE_EQ(snap.attainment, 0.75);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 1.0);
+  EXPECT_NEAR(snap.error_budget_remaining, 1.0 - 0.2 / 0.25, 1e-12);
+  EXPECT_TRUE(snap.latency_met);  // 0.75 >= 0.75
+
+  // A rejection is unavailable AND bad. Window = [g,g,bad,rej].
+  tracker.Record(0.0, /*served=*/false);
+  snap = tracker.GetSnapshot();
+  EXPECT_EQ(snap.rejected, 1);
+  EXPECT_DOUBLE_EQ(snap.attainment, 0.5);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.75);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 2.0);
+  EXPECT_FALSE(snap.latency_met);
+  EXPECT_FALSE(snap.availability_met);  // 0.75 < 0.9
+
+  // Window slides: four fresh good requests push the bad ones out entirely.
+  for (int i = 0; i < 4; ++i) tracker.Record(1.0, /*served=*/true);
+  snap = tracker.GetSnapshot();
+  EXPECT_DOUBLE_EQ(snap.attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_TRUE(snap.latency_met);
+  EXPECT_TRUE(snap.availability_met);
+  // Lifetime counters do NOT slide.
+  EXPECT_EQ(snap.total, 10);
+  EXPECT_EQ(snap.good, 8);
+}
+
+TEST(SloTrackerTest, BudgetGoesNegativeWhenObjectiveBlown) {
+  SloConfig config;
+  config.target_ms = 1.0;
+  config.quantile = 0.99;  // budget = 0.01
+  config.window = 8;
+  SloTracker tracker(config);
+  for (int i = 0; i < 10; ++i) tracker.Record(100.0, /*served=*/true);
+  const SloTracker::Snapshot snap = tracker.GetSnapshot();
+  EXPECT_DOUBLE_EQ(snap.attainment, 0.0);
+  EXPECT_LT(snap.error_budget_remaining, 0.0);
+  EXPECT_NEAR(snap.burn_rate, 100.0, 1e-9);  // classic fast burn
+}
+
+TEST(SloTrackerTest, PublishesGaugesThroughStatsProvider) {
+  SloConfig config;
+  config.target_ms = 5.0;
+  config.quantile = 0.99;
+  {
+    SloTracker tracker(config);
+    tracker.Record(1.0, /*served=*/true);
+    const MetricsSnapshot metrics = SnapshotMetrics();
+    std::set<std::string> names;
+    for (const auto& [name, value] : metrics.gauges) names.insert(name);
+    EXPECT_TRUE(names.count("slo/target_ms"));
+    EXPECT_TRUE(names.count("slo/attainment"));
+    EXPECT_TRUE(names.count("slo/burn_rate"));
+    EXPECT_TRUE(names.count("slo/error_budget_remaining"));
+    for (const auto& [name, value] : metrics.gauges) {
+      if (name == "slo/target_ms") EXPECT_DOUBLE_EQ(value, 5.0);
+      if (name == "slo/attainment") EXPECT_DOUBLE_EQ(value, 1.0);
+      if (name == "slo/good_total") EXPECT_DOUBLE_EQ(value, 1.0);
+    }
+  }
+  // After destruction the bridge is neutered: the registry gauges persist
+  // (the registry is append-only) but freeze at their last published values
+  // instead of touching the dead tracker.
+  const MetricsSnapshot metrics = SnapshotMetrics();
+  for (const auto& [name, value] : metrics.gauges) {
+    if (name == "slo/good_total") EXPECT_DOUBLE_EQ(value, 1.0);
+    if (name == "slo/target_ms") EXPECT_DOUBLE_EQ(value, 5.0);
+  }
+}
+
+TEST(SloTrackerTest, ConcurrentRecordsAllCounted) {
+  SloConfig config;
+  config.target_ms = 5.0;
+  config.quantile = 0.5;
+  config.window = 128;
+  SloTracker tracker(config);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracker.Record(i % 2 == 0 ? 1.0 : 10.0, /*served=*/true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const SloTracker::Snapshot snap = tracker.GetSnapshot();
+  EXPECT_EQ(snap.total, kThreads * kPerThread);
+  EXPECT_EQ(snap.good, kThreads * kPerThread / 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace metadpa

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/request_trace.h"
+
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -99,6 +101,20 @@ TEST_F(ObsTest, HistogramBucketBoundariesArePinned) {
   EXPECT_EQ(snap.buckets[3], 1);  // 5.01
   EXPECT_EQ(snap.count, 7);
   EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.01 - 3.0);
+}
+
+TEST_F(ObsTest, ServeLatencyBucketEdgesArePinned) {
+  // The shared serve-path latency edges are a 1-2-5 log series, 50µs..1s.
+  // Changing them silently would invalidate every recorded baseline and
+  // dashboards built on the bucket boundaries, so they are pinned EXACTLY:
+  // an edit must touch this test (and the recorded baselines) on purpose.
+  const std::vector<double> expected = {0.05, 0.1, 0.2, 0.5, 1,   2,   5,
+                                        10,   20,  50,  100, 200, 500, 1000};
+  EXPECT_EQ(LatencyBucketsMs(), expected);
+  // Registering a serve histogram against them must agree with the registry's
+  // identical-bounds check (a second registration re-checks).
+  Histogram& h = GetHistogram("test/latency_edges", LatencyBucketsMs());
+  EXPECT_EQ(h.bounds(), LatencyBucketsMs());
 }
 
 TEST_F(ObsTest, HistogramPercentilesArePinned) {

@@ -1,0 +1,435 @@
+// End-to-end request tracing through the scoring server: ns-exact stage
+// decomposition on every response, trace-on/off bit-identity of scores,
+// per-precision stage histograms, exemplar capture (threshold + capacity),
+// trace consistency across hot snapshot swaps (exemplars never pin a
+// released snapshot), SLO accounting, and the GetStats-vs-submit-vs-swap
+// stress. The stress tests are part of the `ctest -L tsan` / `-L asan` tiers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace metadpa {
+namespace serve {
+namespace {
+
+/// Deterministic model: score = offset + 1/(1 + item). An optional on_score
+/// hook lets tests block a request mid-scoring (same shape as serve_test).
+class FakeModel : public eval::Recommender {
+ public:
+  explicit FakeModel(double offset = 0.0) : offset_(offset) {}
+  std::string name() const override { return "fake"; }
+  Status Fit(const eval::TrainContext&) override { return Status::OK(); }
+  std::vector<double> ScoreCase(const data::EvalCase&,
+                                const std::vector<int64_t>& items) override {
+    if (on_score) on_score();
+    std::vector<double> scores;
+    scores.reserve(items.size());
+    for (int64_t item : items) {
+      scores.push_back(offset_ + 1.0 / (1.0 + static_cast<double>(item)));
+    }
+    return scores;
+  }
+  std::unique_ptr<eval::CaseScorer> CloneForScoring() override {
+    return std::make_unique<eval::SharedStateScorer>(this);
+  }
+
+  std::function<void()> on_score;
+
+ private:
+  double offset_;
+};
+
+std::shared_ptr<const ModelSnapshot> MustCapture(
+    std::shared_ptr<eval::Recommender> model, uint64_t version) {
+  auto result = ModelSnapshot::Capture(std::move(model), version);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ValueOrDie();
+}
+
+ScoreRequest SimpleRequest(std::vector<int64_t> candidates, int k = 0) {
+  ScoreRequest request;
+  request.user = 0;
+  request.candidates = std::move(candidates);
+  request.k = k;
+  return request;
+}
+
+ScoreResponse MustServe(ScoringServer* server, ScoreRequest request) {
+  auto admitted = server->Submit(std::move(request));
+  EXPECT_TRUE(admitted.ok()) << admitted.status().ToString();
+  return admitted.ValueOrDie().get();
+}
+
+TEST(ServeTraceTest, EveryResponseCarriesAnExactStageDecomposition) {
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 3),
+                       ServerConfig{});
+  int64_t last_id = -1;
+  for (int i = 0; i < 20; ++i) {
+    const ScoreResponse response =
+        MustServe(&server, SimpleRequest({5, 1, 9, 3}, 2));
+    const obs::RequestTrace& trace = response.trace;
+    ASSERT_GE(trace.request_id, 0);
+    EXPECT_GT(trace.request_id, last_id);  // admission-ordered, unique
+    last_id = trace.request_id;
+    EXPECT_EQ(trace.user, 0);
+    EXPECT_EQ(trace.snapshot_version, response.snapshot_version);
+    EXPECT_EQ(trace.snapshot_version, 3u);
+    EXPECT_GE(trace.batch_size, 1);
+    EXPECT_STREQ(trace.precision, "fp32");
+    // Timestamps are one monotonic walk through the request's life...
+    EXPECT_GT(trace.admit_ns, 0);
+    EXPECT_LE(trace.admit_ns, trace.dequeue_ns);
+    EXPECT_LE(trace.dequeue_ns, trace.pin_ns);
+    EXPECT_LE(trace.pin_ns, trace.score_ns);
+    EXPECT_LE(trace.score_ns, trace.fulfill_ns);
+    // ...so the decomposition telescopes exactly, to the nanosecond.
+    EXPECT_EQ((trace.dequeue_ns - trace.admit_ns) +
+                  (trace.pin_ns - trace.dequeue_ns) +
+                  (trace.score_ns - trace.pin_ns) +
+                  (trace.fulfill_ns - trace.score_ns),
+              trace.fulfill_ns - trace.admit_ns);
+    const obs::StageBreakdown b = obs::ComputeStageBreakdown(trace);
+    EXPECT_GE(b.queue_ms, 0.0);
+    EXPECT_GE(b.batch_ms, 0.0);
+    EXPECT_GE(b.score_ms, 0.0);
+    EXPECT_GE(b.fulfill_ms, 0.0);
+    EXPECT_NEAR(b.queue_ms + b.batch_ms + b.score_ms + b.fulfill_ms,
+                b.total_ms, 1e-9);
+  }
+}
+
+TEST(ServeTraceTest, TracingOffLeavesResponsesUntraced) {
+  ServerConfig config;
+  config.trace_requests = false;
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1), config);
+  const ScoreResponse response = MustServe(&server, SimpleRequest({1, 2, 3}, 2));
+  EXPECT_EQ(response.trace.request_id, -1);
+  EXPECT_EQ(response.trace.admit_ns, 0);
+  ASSERT_EQ(response.items.size(), 2u);
+}
+
+TEST(ServeTraceTest, TracingOnOffScoresBitIdentical) {
+  // Tracing only reads clocks: the same request stream against the same
+  // model must produce byte-for-byte equal rankings and scores.
+  ServerConfig traced_config;
+  traced_config.trace_requests = true;
+  ServerConfig untraced_config;
+  untraced_config.trace_requests = false;
+  ScoringServer traced(MustCapture(std::make_shared<FakeModel>(0.25), 1),
+                       traced_config);
+  ScoringServer untraced(MustCapture(std::make_shared<FakeModel>(0.25), 1),
+                         untraced_config);
+  for (int i = 0; i < 10; ++i) {
+    ScoreRequest request = SimpleRequest({7, 2, 11, 4, 9, 1}, 4);
+    request.user = i;
+    request.support_items = {2};
+    ScoreRequest copy = request;
+    const ScoreResponse a = MustServe(&traced, std::move(request));
+    const ScoreResponse b = MustServe(&untraced, std::move(copy));
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t j = 0; j < a.items.size(); ++j) {
+      EXPECT_EQ(a.items[j].item, b.items[j].item);
+      EXPECT_EQ(a.items[j].score, b.items[j].score);  // bit-identical
+    }
+  }
+}
+
+TEST(ServeTraceTest, StageHistogramsRecordPerPrecisionUnderObs) {
+  const bool was_enabled = obs::SetEnabled(true);
+  obs::ResetMetrics();
+  {
+    ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1),
+                         ServerConfig{});
+    for (int i = 0; i < 12; ++i) {
+      MustServe(&server, SimpleRequest({3, 1, 4, 1, 5}, 2));
+    }
+  }
+  const obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  int found = 0;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "serve/stage_queue_ms/fp32" ||
+        name == "serve/stage_batch_ms/fp32" ||
+        name == "serve/stage_score_ms/fp32" ||
+        name == "serve/stage_fulfill_ms/fp32") {
+      ++found;
+      EXPECT_EQ(hist.count, 12) << name;
+      EXPECT_EQ(hist.bounds, obs::LatencyBucketsMs()) << name;
+    }
+  }
+  EXPECT_EQ(found, 4);
+  obs::ResetMetrics();
+  obs::SetEnabled(was_enabled);
+}
+
+TEST(ServeTraceTest, ExemplarCaptureHonorsThresholdAndCapacity) {
+  ServerConfig config;
+  config.capture_exemplars = true;
+  config.exemplar_threshold_ms = 0.0;  // capture everything
+  config.exemplar_capacity = 4;
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1), config);
+  for (int i = 0; i < 10; ++i) {
+    MustServe(&server, SimpleRequest({1, 2, 3}, 2));
+  }
+  const std::vector<obs::RequestTrace> exemplars = server.Exemplars();
+  ASSERT_EQ(exemplars.size(), 4u);
+  // Sequential serving: tickets follow admission order, so the ring holds
+  // the newest four requests in order.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(exemplars[static_cast<size_t>(i)].request_id, 6 + i);
+  }
+  const ScoringServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.exemplars_deposited, 10);
+  EXPECT_EQ(stats.exemplars_dropped, 0);
+
+  // A threshold nothing reaches captures nothing.
+  ServerConfig quiet = config;
+  quiet.exemplar_threshold_ms = 1e9;
+  ScoringServer quiet_server(MustCapture(std::make_shared<FakeModel>(), 1),
+                             quiet);
+  for (int i = 0; i < 5; ++i) {
+    MustServe(&quiet_server, SimpleRequest({1, 2, 3}, 2));
+  }
+  EXPECT_TRUE(quiet_server.Exemplars().empty());
+  EXPECT_EQ(quiet_server.GetStats().exemplars_deposited, 0);
+}
+
+TEST(ServeTraceTest, ExemplarsRecordSwapConsistentVersionsWithoutPinning) {
+  // A request that was mid-score during a hot swap must be attributed to the
+  // snapshot that actually scored it, and the exemplar record must stay
+  // readable after that snapshot is released (it stores the version number,
+  // never the snapshot).
+  auto old_model = std::make_shared<FakeModel>(0.0);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started_promise;
+  std::atomic<bool> started{false};
+  old_model->on_score = [&] {
+    if (!started.exchange(true)) {
+      started_promise.set_value();
+      gate.wait();  // only the first (in-flight) request blocks
+    }
+  };
+  ServerConfig config;
+  config.num_workers = 2;
+  config.max_batch = 1;
+  config.capture_exemplars = true;
+  config.exemplar_threshold_ms = 0.0;
+  config.exemplar_capacity = 8;
+
+  std::shared_ptr<const ModelSnapshot> v1 = MustCapture(old_model, 1);
+  std::weak_ptr<const ModelSnapshot> v1_weak = v1;
+  ScoringServer server(std::move(v1), config);
+
+  auto in_flight = server.Submit(SimpleRequest({0, 1}, 1));
+  ASSERT_TRUE(in_flight.ok());
+  started_promise.get_future().wait();  // pinned v1, blocked mid-score
+
+  server.UpdateSnapshot(
+      MustCapture(std::make_shared<FakeModel>(/*offset=*/100.0), 2));
+  const ScoreResponse fresh = MustServe(&server, SimpleRequest({0, 1}, 1));
+  EXPECT_EQ(fresh.trace.snapshot_version, 2u);
+
+  release.set_value();
+  const ScoreResponse old_response = in_flight.ValueOrDie().get();
+  EXPECT_EQ(old_response.snapshot_version, 1u);
+  EXPECT_EQ(old_response.trace.snapshot_version, 1u);
+
+  // The old snapshot is released once its batch completes (the worker may
+  // hold its pin a beat past the future resolving).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!v1_weak.expired() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(v1_weak.expired());
+
+  // Both exemplars remain readable with their swap-consistent versions.
+  const std::vector<obs::RequestTrace> exemplars = server.Exemplars();
+  ASSERT_EQ(exemplars.size(), 2u);
+  bool saw_v1 = false, saw_v2 = false;
+  for (const obs::RequestTrace& trace : exemplars) {
+    if (trace.snapshot_version == 1u) saw_v1 = true;
+    if (trace.snapshot_version == 2u) saw_v2 = true;
+    EXPECT_GE(trace.fulfill_ns, trace.admit_ns);
+  }
+  EXPECT_TRUE(saw_v1);
+  EXPECT_TRUE(saw_v2);
+}
+
+TEST(ServeTraceTest, SloTracksServedRejectedAndIgnoresInvalid) {
+  auto model = std::make_shared<FakeModel>();
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started_promise;
+  std::atomic<bool> started{false};
+  model->on_score = [&] {
+    if (!started.exchange(true)) started_promise.set_value();
+    gate.wait();
+  };
+  ServerConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.max_queue = 1;
+  config.slo_enabled = true;
+  config.slo.target_ms = 1e9;  // every served request is good
+  config.slo.quantile = 0.99;
+  config.slo.availability = 0.999;
+  ScoringServer server(MustCapture(model, 1), config);
+  ASSERT_NE(server.slo_tracker(), nullptr);
+
+  auto in_flight = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_TRUE(in_flight.ok());
+  started_promise.get_future().wait();  // worker blocked mid-score
+  auto queued = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_TRUE(queued.ok());
+  auto rejected = server.Submit(SimpleRequest({1, 2, 3}, 2));
+  ASSERT_FALSE(rejected.ok());  // backpressure -> SLO availability violation
+  // Invalid requests are client errors, not SLO events.
+  ASSERT_FALSE(server.Submit(SimpleRequest({})).ok());
+
+  release.set_value();
+  in_flight.ValueOrDie().get();
+  queued.ValueOrDie().get();
+
+  const obs::SloTracker::Snapshot snap = server.slo_tracker()->GetSnapshot();
+  EXPECT_EQ(snap.total, 3);  // 2 served + 1 rejection; invalid not counted
+  EXPECT_EQ(snap.good, 2);
+  EXPECT_EQ(snap.rejected, 1);
+  EXPECT_LT(snap.availability, 1.0);
+  EXPECT_FALSE(snap.availability_met);
+  EXPECT_FALSE(snap.latency_met);  // 2/3 window attainment < p99
+  EXPECT_GT(snap.burn_rate, 1.0);
+}
+
+TEST(ServeTraceTest, SloImpossibleTargetBurnsTheBudget) {
+  ServerConfig config;
+  config.slo_enabled = true;
+  config.slo.target_ms = 1e-9;  // nothing real can meet a 1ps target
+  config.slo.quantile = 0.99;
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1), config);
+  for (int i = 0; i < 10; ++i) {
+    MustServe(&server, SimpleRequest({1, 2, 3}, 2));
+  }
+  const obs::SloTracker::Snapshot snap = server.slo_tracker()->GetSnapshot();
+  EXPECT_EQ(snap.total, 10);
+  EXPECT_EQ(snap.good, 0);
+  EXPECT_DOUBLE_EQ(snap.attainment, 0.0);
+  EXPECT_LT(snap.error_budget_remaining, 0.0);
+  EXPECT_FALSE(snap.latency_met);
+}
+
+TEST(ServeTraceTest, LoadgenReportsStageAttributionWhenTraced) {
+  ScoringServer traced(MustCapture(std::make_shared<FakeModel>(), 1),
+                       ServerConfig{});
+  std::vector<int64_t> pool;
+  for (int64_t i = 0; i < 32; ++i) pool.push_back(i);
+  LoadgenConfig load;
+  load.num_requests = 30;
+  load.clients = 2;
+  load.k = 5;
+  load.candidates_per_request = 16;
+  const LoadgenReport report = RunLoadgen(&traced, 8, pool, load);
+  EXPECT_EQ(report.ok, 30);
+  ASSERT_TRUE(report.has_stages);
+  EXPECT_GE(report.queue.mean_ms, 0.0);
+  EXPECT_GE(report.score.max_ms, 0.0);
+  // The rendering includes the stage table only when stages exist.
+  EXPECT_NE(RenderLoadgenReport(report).find("fulfill"), std::string::npos);
+
+  ServerConfig untraced_config;
+  untraced_config.trace_requests = false;
+  ScoringServer untraced(MustCapture(std::make_shared<FakeModel>(), 1),
+                         untraced_config);
+  const LoadgenReport plain = RunLoadgen(&untraced, 8, pool, load);
+  EXPECT_EQ(plain.ok, 30);
+  EXPECT_FALSE(plain.has_stages);
+  EXPECT_EQ(RenderLoadgenReport(plain).find("fulfill"), std::string::npos);
+}
+
+TEST(ServeTraceTest, GetStatsStaysConsistentUnderSubmitSwapAndPolling) {
+  ServerConfig config;
+  config.num_workers = 2;
+  config.max_batch = 4;
+  config.max_queue = 64;
+  config.capture_exemplars = true;
+  config.exemplar_threshold_ms = 0.0;
+  config.exemplar_capacity = 32;
+  config.slo_enabled = true;
+  config.slo.target_ms = 1e9;
+  ScoringServer server(MustCapture(std::make_shared<FakeModel>(), 1), config);
+
+  constexpr int kSubmitters = 2;
+  constexpr int kPerSubmitter = 300;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> submitted_ok{0};
+  std::atomic<int64_t> submitted_rejected{0};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&server, &submitted_ok, &submitted_rejected] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        auto admitted = server.Submit(SimpleRequest({1, 2, 3, 4}, 2));
+        if (!admitted.ok()) {
+          submitted_rejected.fetch_add(1);
+          continue;
+        }
+        admitted.ValueOrDie().get();
+        submitted_ok.fetch_add(1);
+      }
+    });
+  }
+  std::thread swapper([&server, &done] {
+    uint64_t version = 2;
+    while (!done.load()) {
+      server.UpdateSnapshot(
+          MustCapture(std::make_shared<FakeModel>(0.5), version++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread poller([&server, &done] {
+    while (!done.load()) {
+      const ScoringServer::Stats stats = server.GetStats();
+      // The locked fields are one consistent point-in-time view.
+      EXPECT_LE(stats.completed, stats.accepted);
+      EXPECT_GE(stats.queue_depth, 0);
+      EXPECT_GE(stats.peak_queue_depth, stats.queue_depth);
+      EXPECT_LE(stats.exemplars_deposited + stats.exemplars_dropped,
+                stats.accepted);
+      (void)server.Exemplars();
+      (void)server.slo_tracker()->GetSnapshot();
+    }
+  });
+
+  for (auto& t : submitters) t.join();
+  done.store(true);
+  swapper.join();
+  poller.join();
+  server.Stop();
+
+  const ScoringServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted + stats.rejected_full,
+            kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.completed, submitted_ok.load());
+  EXPECT_EQ(stats.rejected_full, submitted_rejected.load());
+  // Threshold 0: every completed request was offered to the ring.
+  EXPECT_EQ(stats.exemplars_deposited + stats.exemplars_dropped,
+            stats.completed);
+  const obs::SloTracker::Snapshot slo = server.slo_tracker()->GetSnapshot();
+  EXPECT_EQ(slo.total, stats.completed + stats.rejected_full);
+  EXPECT_EQ(slo.good, stats.completed);  // 1e9ms target: all served are good
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace metadpa

@@ -34,7 +34,7 @@ fi
 # A stale baseline without the serve-path or backward-engine rows would pass
 # the diff while leaving those paths ungated — refuse it early (bench_diff's
 # --require repeats the check on both files after the fresh run).
-for family in BM_ServeScoreTopK BM_ServeScoreTopKBf16 BM_ServeScoreTopKInt8 BM_GradEngine BM_TapeOpt; do
+for family in BM_ServeScoreTopK BM_ServeScoreTopKBf16 BM_ServeScoreTopKInt8 BM_GradEngine BM_TapeOpt BM_ObsRequestTrace; do
   if ! grep -q "$family" "$baseline"; then
     echo "error: baseline $baseline has no $family rows; re-baseline with tools/run_substrate_bench.sh" >&2
     exit 2
@@ -46,4 +46,5 @@ tools/run_substrate_bench.sh "$build_dir" "$fresh"
 "$build_dir/tools/bench_diff" "$baseline" "$fresh" \
   --threshold-pct "$threshold" --time "$time_basis" \
   --require BM_ServeScoreTopK --require BM_ServeScoreTopKBf16 \
-  --require BM_ServeScoreTopKInt8 --require BM_GradEngine --require BM_TapeOpt
+  --require BM_ServeScoreTopKInt8 --require BM_GradEngine --require BM_TapeOpt \
+  --require BM_ObsRequestTrace

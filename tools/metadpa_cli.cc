@@ -28,16 +28,35 @@
 //               [--seed SEED] [--qps Q] [--requests N] [--clients C]
 //               [--serve-workers W] [--queue-cap N] [--batch B] [--k K]
 //               [--candidates N] [--swap-ms MS] [--precision fp32|bf16|int8]
-//               [--train-threads T] [--grad-threads G]
+//               [--train-threads T] [--grad-threads G] [--trace-requests 0|1]
+//               [--stats-port P] [--exemplars-out PATH]
+//               [--exemplar-threshold-ms MS] [--exemplar-capacity N]
+//               [--slo SPEC]
 //       train one method, freeze it into a ModelSnapshot, start the scoring
 //       server and drive a closed-loop synthetic cold-user load through it;
-//       prints the p50/p99 latency report and the server's request-path
-//       counters. --qps 0 = saturation (no pacing); --swap-ms N hot-swaps a
-//       re-captured snapshot of the same model every N ms while the load
-//       runs (scoring is bit-identical across those swaps). --precision
-//       selects the reduced-precision serving path (bf16/int8 require a
-//       factorized model — today --method EmbeddingDot, an untrained random
-//       two-tower model that exists to exercise the quantized kernels).
+//       prints the p50/p99 latency report, the per-stage attribution table
+//       (queue/batch/score/fulfill — see obs/request_trace.h) and the
+//       server's request-path counters. --qps 0 = saturation (no pacing);
+//       --swap-ms N hot-swaps a re-captured snapshot of the same model every
+//       N ms while the load runs (scoring is bit-identical across those
+//       swaps). --precision selects the reduced-precision serving path
+//       (bf16/int8 require a factorized model — today --method EmbeddingDot,
+//       an untrained random two-tower model that exists to exercise the
+//       quantized kernels). --stats-port P serves live Prometheus metrics +
+//       /healthz while the load runs (0 = ephemeral port, printed to
+//       stderr). --exemplars-out dumps slow-request traces (total >=
+//       --exemplar-threshold-ms, newest --exemplar-capacity kept) as JSONL
+//       and merges them into --trace-out. --slo "p99<5ms[,avail=F][,window=N]"
+//       turns on SLO attainment/burn-rate accounting (slo/* gauges, summary
+//       table after the run).
+//   top         --port P [--host H] [--interval-ms N] [--count N]
+//       poll a serve-bench --stats-port endpoint and render the registry as
+//       text tables (counters, gauges, histogram percentiles) plus /healthz —
+//       a curl-free dashboard for a live run. --interval-ms 0 (default) is
+//       one-shot; otherwise prints --count frames that many ms apart.
+//   exemplar-summarize --in PATH [--top N]
+//       read an --exemplars-out JSONL dump and print the worst-N requests by
+//       total latency with their per-stage breakdown.
 //   parity  [--target NAME] [--methods A,B,C] [--scale S] [--negatives N]
 //           [--effort E] [--seed SEED] [--k K] [--threads T] [--csv PATH]
 //           [--train-threads T] [--grad-threads G]
@@ -75,6 +94,9 @@
 #include "data/stats.h"
 #include "eval/parity.h"
 #include "eval/suite.h"
+#include "obs/exporter.h"
+#include "obs/request_trace.h"
+#include "obs/slo.h"
 #include "serve/loadgen.h"
 #include "serve/quant.h"
 #include "serve/server.h"
@@ -139,7 +161,8 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: metadpa_cli <stats|run|export|manifest|serve-bench> [--target Books|CDs]\n"
+      "usage: metadpa_cli <stats|run|export|manifest|serve-bench|parity|top|"
+      "exemplar-summarize> [--target Books|CDs]\n"
       "  stats       [--scale S]\n"
       "  run         [--methods A,B,..] [--scale S] [--negatives N]\n"
       "              [--effort E] [--seed SEED] [--csv PATH] [--threads T]\n"
@@ -155,7 +178,12 @@ int Usage() {
       "              [--queue-cap N] [--batch B] [--k K] [--candidates N]\n"
       "              [--swap-ms MS] [--precision fp32|bf16|int8]\n"
       "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n"
+      "              [--trace-requests 0|1] [--stats-port P]\n"
+      "              [--exemplars-out PATH] [--exemplar-threshold-ms MS]\n"
+      "              [--exemplar-capacity N] [--slo p99<5ms[,avail=F][,window=N]]\n"
       "              [+ telemetry flags]\n"
+      "  top         --port P [--host H] [--interval-ms N] [--count N]\n"
+      "  exemplar-summarize --in PATH [--top N]\n"
       "  parity      [--methods A,B,..] [--scale S] [--negatives N] [--effort E]\n"
       "              [--seed SEED] [--k K] [--threads T] [--csv PATH]\n"
       "              [--train-threads T] [--grad-threads G] [--tape-opt 0|1]\n");
@@ -188,8 +216,14 @@ std::set<std::string> AllowedFlags(const std::string& command) {
                "train-threads", "grad-threads", "tape-opt", "qps", "requests",
                "clients",
                "serve-workers",
-               "queue-cap", "batch", "k", "candidates", "swap-ms", "precision"};
+               "queue-cap", "batch", "k", "candidates", "swap-ms", "precision",
+               "trace-requests", "stats-port", "exemplars-out",
+               "exemplar-threshold-ms", "exemplar-capacity", "slo"};
     allowed.insert(kObservabilityFlags.begin(), kObservabilityFlags.end());
+  } else if (command == "top") {
+    allowed = {"host", "port", "interval-ms", "count"};
+  } else if (command == "exemplar-summarize") {
+    allowed = {"in", "top"};
   } else if (command == "parity") {
     allowed = {"target", "methods", "scale", "negatives", "effort", "seed",
                "k", "threads", "csv", "train-threads", "grad-threads",
@@ -424,6 +458,31 @@ int RunServeBench(const Args& args) {
     FlagError("invalid value for --precision: '" + precision_name +
               "' (fp32|bf16|int8)");
   }
+  server_config.trace_requests = args.GetInt("trace-requests", 1) != 0;
+  const std::string exemplars_out = args.Get("exemplars-out", "");
+  if (!exemplars_out.empty()) {
+    if (!server_config.trace_requests) {
+      FlagError("--exemplars-out requires --trace-requests 1");
+    }
+    server_config.capture_exemplars = true;
+    server_config.exemplar_threshold_ms =
+        args.GetDouble("exemplar-threshold-ms", 0.0);
+    if (server_config.exemplar_threshold_ms < 0.0) {
+      FlagError("invalid value for --exemplar-threshold-ms: must be >= 0");
+    }
+    server_config.exemplar_capacity =
+        static_cast<int>(args.GetIntAtLeast("exemplar-capacity", 256, 1));
+  }
+  const std::string slo_spec = args.Get("slo", "");
+  if (!slo_spec.empty()) {
+    if (!obs::ParseSloSpec(slo_spec, &server_config.slo)) {
+      FlagError("invalid value for --slo: '" + slo_spec +
+                "' (expected e.g. \"p99<5ms\", \"p99<5ms,avail=0.999,window=2048\")");
+    }
+    server_config.slo_enabled = true;
+  }
+  const int64_t stats_port = args.GetInt("stats-port", -1);
+  if (stats_port > 65535) FlagError("invalid value for --stats-port");
 
   serve::LoadgenConfig load;
   load.num_requests = args.GetIntAtLeast("requests", 1000, 0);
@@ -451,6 +510,11 @@ int RunServeBench(const Args& args) {
   obs::RunManifest manifest = BuildCliManifest(args, options, config.seed);
   const std::string method = args.Get("method", "MetaDPA");
   manifest.Set("data", "methods", method);
+  manifest.Set("serve", "precision", precision_name);
+  manifest.SetInt("serve", "trace_requests", server_config.trace_requests ? 1 : 0);
+  manifest.Set("serve", "slo",
+               server_config.slo_enabled ? obs::RenderSloSpec(server_config.slo)
+                                         : "off");
   std::unique_ptr<obs::TelemetrySampler> sampler =
       suite::StartTelemetry(options, &manifest);
 
@@ -490,6 +554,28 @@ int RunServeBench(const Args& args) {
   serve::ScoringServer server(snapshot.ValueOrDie(), server_config);
   load.seed = config.seed;
 
+  // Live stats endpoint: up before the first request, health green while the
+  // load is in flight and red once serving stops (pollers see the lifecycle).
+  std::atomic<bool> serving{true};
+  std::unique_ptr<obs::StatsExporter> exporter;
+  if (stats_port >= 0) {
+    obs::StatsExporterOptions exporter_options;
+    exporter_options.port = static_cast<int>(stats_port);
+    exporter_options.health = [&serving] {
+      return serving.load() ? Status::OK()
+                            : Status::FailedPrecondition("serve-bench: load done");
+    };
+    Result<std::unique_ptr<obs::StatsExporter>> started =
+        obs::StatsExporter::Start(exporter_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    exporter = std::move(started.ValueOrDie());
+    std::fprintf(stderr, "stats endpoint: http://127.0.0.1:%d/metrics (+/healthz)\n",
+                 exporter->port());
+  }
+
   // Optional hot-swap churn while the load runs: re-capture the SAME model
   // under a new version every --swap-ms. Responses flip versions but stay
   // bit-identical — the swap path, not the model, is what's being exercised.
@@ -520,9 +606,43 @@ int RunServeBench(const Args& args) {
     swapping.store(false);
     swapper.join();
   }
-  server.Stop();
+  serving.store(false);  // /healthz goes 503: the load is over
+  // A final forced telemetry sample with the post-run gauge values (SLO
+  // attainment/burn rate included) before the server tears down.
+  if (sampler != nullptr) obs::SampleTelemetryNow("serve_bench_done");
 
   std::cout << serve::RenderLoadgenReport(report);
+
+  if (server_config.capture_exemplars) {
+    const std::vector<obs::RequestTrace> exemplars = server.Exemplars();
+    Status write_status = obs::WriteExemplarsJsonl(exemplars_out, exemplars);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "%s\n", write_status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu exemplars (threshold %.3f ms) to %s\n",
+                 exemplars.size(), server_config.exemplar_threshold_ms,
+                 exemplars_out.c_str());
+    // Time-aligned with the live serve/batch spans (shared trace clock), so
+    // a --trace-out export shows the tail requests in context.
+    if (!options.trace_out.empty()) obs::MergeExemplarSpans(exemplars);
+  }
+
+  if (server_config.slo_enabled) {
+    const obs::SloTracker::Snapshot slo = server.slo_tracker()->GetSnapshot();
+    TextTable slo_table;
+    slo_table.SetHeader({"slo", "attain", "attain_total", "avail", "burn_rate",
+                         "budget_left", "met"});
+    slo_table.AddRow(
+        {obs::RenderSloSpec(server_config.slo), TextTable::Num(slo.attainment),
+         TextTable::Num(slo.attainment_total), TextTable::Num(slo.availability),
+         TextTable::Num(slo.burn_rate),
+         TextTable::Num(slo.error_budget_remaining),
+         slo.latency_met && slo.availability_met ? "yes" : "NO"});
+    std::cout << slo_table.ToString();
+  }
+
+  server.Stop();
   const serve::ScoringServer::Stats stats = server.GetStats();
   TextTable server_table;
   server_table.SetHeader({"accepted", "rejected_full", "rejected_invalid",
@@ -550,6 +670,105 @@ int RunServeBench(const Args& args) {
   }
   // The demo contract (EXPERIMENTS.md): every admitted request served.
   return report.rejected == 0 ? 0 : 1;
+}
+
+/// One `top` frame: /healthz plus the parsed /metrics registry as tables.
+int RenderTopFrame(const std::string& host, int port) {
+  Result<std::string> health = obs::HttpGetBody(host, port, "/healthz");
+  Result<std::string> page = obs::HttpGetBody(host, port, "/metrics");
+  if (!page.ok()) {
+    std::fprintf(stderr, "%s\n", page.status().ToString().c_str());
+    return 1;
+  }
+  Result<obs::ParsedMetrics> parsed = obs::ParsePrometheusText(page.ValueOrDie());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const obs::ParsedMetrics& metrics = parsed.ValueOrDie();
+  std::printf("-- %s:%d  health: %s\n", host.c_str(), port,
+              health.ok() ? "ok" : health.status().ToString().c_str());
+  if (!metrics.counters.empty() || !metrics.gauges.empty()) {
+    TextTable scalars;
+    scalars.SetHeader({"metric", "value"});
+    for (const auto& [name, value] : metrics.counters) {
+      scalars.AddRow({name, TextTable::Num(value)});
+    }
+    if (!metrics.counters.empty() && !metrics.gauges.empty()) {
+      scalars.AddSeparator();
+    }
+    for (const auto& [name, value] : metrics.gauges) {
+      scalars.AddRow({name, TextTable::Num(value)});
+    }
+    std::cout << scalars.ToString();
+  }
+  if (!metrics.histograms.empty()) {
+    TextTable hists;
+    hists.SetHeader({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, snap] : metrics.histograms) {
+      const double mean =
+          snap.count > 0 ? snap.sum / static_cast<double>(snap.count) : 0.0;
+      hists.AddRow({name, std::to_string(snap.count), TextTable::Num(mean),
+                    TextTable::Num(obs::HistogramPercentile(snap, 50)),
+                    TextTable::Num(obs::HistogramPercentile(snap, 90)),
+                    TextTable::Num(obs::HistogramPercentile(snap, 99))});
+    }
+    std::cout << hists.ToString();
+  }
+  return 0;
+}
+
+int RunTop(const Args& args) {
+  if (!args.flags.count("port")) FlagError("top requires --port");
+  const int port = static_cast<int>(args.GetIntAtLeast("port", 0, 1));
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int64_t interval_ms = args.GetIntAtLeast("interval-ms", 0, 0);
+  const int64_t count = args.GetIntAtLeast("count", 1, 1);
+  const int64_t frames = interval_ms > 0 ? count : 1;
+  for (int64_t frame = 0; frame < frames; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const int rc = RenderTopFrame(host, port);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int RunExemplarSummarize(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) FlagError("exemplar-summarize requires --in");
+  const int64_t top = args.GetIntAtLeast("top", 10, 1);
+  Result<std::vector<obs::RequestTrace>> loaded = obs::ReadExemplarsJsonl(in);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<obs::RequestTrace> exemplars = loaded.ValueOrDie();
+  std::sort(exemplars.begin(), exemplars.end(),
+            [](const obs::RequestTrace& a, const obs::RequestTrace& b) {
+              return (a.fulfill_ns - a.admit_ns) > (b.fulfill_ns - b.admit_ns);
+            });
+  if (exemplars.size() > static_cast<size_t>(top)) {
+    exemplars.resize(static_cast<size_t>(top));
+  }
+  std::printf("worst %zu of %lld exemplars in %s (by total_ms):\n",
+              exemplars.size(),
+              static_cast<long long>(loaded.ValueOrDie().size()), in.c_str());
+  TextTable table;
+  table.SetHeader({"request", "user", "snap", "batch", "prec", "queue_ms",
+                   "batch_ms", "score_ms", "fulfill_ms", "total_ms"});
+  for (const obs::RequestTrace& trace : exemplars) {
+    const obs::StageBreakdown b = obs::ComputeStageBreakdown(trace);
+    table.AddRow({std::to_string(trace.request_id), std::to_string(trace.user),
+                  std::to_string(trace.snapshot_version),
+                  std::to_string(trace.batch_size), trace.precision,
+                  TextTable::Num(b.queue_ms), TextTable::Num(b.batch_ms),
+                  TextTable::Num(b.score_ms), TextTable::Num(b.fulfill_ms),
+                  TextTable::Num(b.total_ms)});
+  }
+  std::cout << table.ToString();
+  return 0;
 }
 
 int RunParityCmd(const Args& args) {
@@ -640,5 +859,7 @@ int main(int argc, char** argv) {
   if (args.command == "manifest") return RunManifest(args);
   if (args.command == "serve-bench") return RunServeBench(args);
   if (args.command == "parity") return RunParityCmd(args);
+  if (args.command == "top") return RunTop(args);
+  if (args.command == "exemplar-summarize") return RunExemplarSummarize(args);
   return Usage();
 }

@@ -38,11 +38,11 @@ fi
   --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true
 
-# The serve-path (fp32 + reduced-precision), backward-engine, and
-# tape-optimizer benchmarks
+# The serve-path (fp32 + reduced-precision), backward-engine, tape-optimizer
+# and request-tracing-overhead benchmarks
 # are part of the tracked set; a run missing any of them means the binary
 # predates them and would silently un-gate those paths.
-for family in BM_ServeScoreTopK BM_ServeScoreTopKBf16 BM_ServeScoreTopKInt8 BM_GradEngine BM_TapeOpt; do
+for family in BM_ServeScoreTopK BM_ServeScoreTopKBf16 BM_ServeScoreTopKInt8 BM_GradEngine BM_TapeOpt BM_ObsRequestTrace; do
   if ! grep -q "$family" "$out"; then
     echo "error: $out has no $family rows; rebuild bench_micro_substrate" >&2
     exit 1
